@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks for the hot components of the stack:
+//! the interpreter, the cache model, the Q-agent, and a whole-machine
+//! end-to-end run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use astro_core::reward::RewardParams;
+use astro_core::state::AstroStateSpace;
+use astro_exec::machine::{Machine, MachineParams};
+use astro_exec::program::compile;
+use astro_exec::runtime::NullHooks;
+use astro_exec::sched::affinity::AffinityScheduler;
+use astro_exec::time::SimTime;
+use astro_hw::boards::BoardSpec;
+use astro_hw::cache::{CacheHierarchy, CacheParams};
+use astro_hw::config::HwConfig;
+use astro_rl::nn::{Activation, Mlp, Optimizer};
+use astro_rl::qlearn::{QAgent, QConfig};
+use astro_rl::replay::Experience;
+use astro_workloads::InputSize;
+
+fn bench_nn(c: &mut Criterion) {
+    let mut net = Mlp::new(&[40, 64, 32, 24], Activation::Relu, 1);
+    let x: Vec<f64> = (0..40).map(|i| (i % 2) as f64).collect();
+    c.bench_function("nn_forward_40x64x32x24", |b| {
+        b.iter(|| black_box(net.forward_inference(black_box(&x))))
+    });
+    let target: Vec<f64> = (0..24).map(|i| i as f64 / 24.0).collect();
+    c.bench_function("nn_train_step", |b| {
+        b.iter(|| net.train_mse(black_box(&x), black_box(&target), Optimizer::default_adam()))
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache_access_streaming", |b| {
+        let mut h = CacheHierarchy::new(CacheParams::L1_32K, CacheParams::L2_2M);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(8) % (1 << 24);
+            black_box(h.access(addr))
+        })
+    });
+}
+
+fn bench_qagent(c: &mut Criterion) {
+    let space = AstroStateSpace::ODROID_XU4;
+    let mut agent = QAgent::new(QConfig::astro_default(
+        space.encoding_dim(),
+        space.num_actions(),
+    ));
+    let reward = RewardParams::default();
+    let s = space.encode(3, astro_compiler::ProgramPhase::CpuBound, astro_hw::counters::HwPhase::from_index(40));
+    c.bench_function("qagent_observe_and_learn", |b| {
+        b.iter(|| {
+            agent.observe(Experience {
+                state: s.clone(),
+                action: 3,
+                reward: reward.reward(1500.0, 2.0),
+                next_state: s.clone(),
+                terminal: false,
+            })
+        })
+    });
+    c.bench_function("qagent_select_action", |b| {
+        b.iter(|| black_box(agent.select_action(black_box(&s))))
+    });
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let board = BoardSpec::odroid_xu4();
+    let module = (astro_workloads::by_name("hotspot").unwrap().build)(InputSize::Test);
+    let prog = compile(&module).unwrap();
+    let params = MachineParams {
+        checkpoint_interval: SimTime::from_micros(400.0),
+        ..MachineParams::default()
+    };
+    c.bench_function("machine_run_hotspot_test", |b| {
+        b.iter(|| {
+            let machine = Machine::new(&board, params);
+            let mut sched = AffinityScheduler;
+            let mut hooks = NullHooks;
+            black_box(machine.run(&prog, &mut sched, &mut hooks, HwConfig::new(4, 4)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_nn, bench_cache, bench_qagent, bench_machine);
+criterion_main!(benches);

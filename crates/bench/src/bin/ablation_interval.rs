@@ -1,0 +1,5 @@
+//! Ablation C: checkpoint interval vs overhead.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    astro_bench::figs::ablation_interval::run(astro_bench::parse_size(&args));
+}

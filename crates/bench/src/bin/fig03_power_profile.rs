@@ -1,0 +1,5 @@
+//! Regenerates Figure 3 (the matmul demo's power profile).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    astro_bench::figs::fig03::run(astro_bench::parse_size(&args));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 4 (best configurations under slowdown budgets).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let size = astro_bench::parse_size(&args);
+    let samples = if astro_bench::quick_mode(&args) { 1 } else { 3 };
+    astro_bench::figs::fig04::run(size, samples);
+}

@@ -1,0 +1,32 @@
+//! Runs every experiment in sequence (use `--quick --size test` for a
+//! fast smoke pass; defaults regenerate everything at simsmall scale).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let size = astro_bench::parse_size(&args);
+    let quick = astro_bench::quick_mode(&args);
+    let (ep9, ep10, s10, s1) = if quick { (20, 3, 3, 1) } else { (80, 8, 5, 5) };
+
+    astro_bench::figs::table1::run();
+    println!();
+    astro_bench::figs::fig06::run(size);
+    println!();
+    astro_bench::figs::fig11::run(size);
+    println!();
+    astro_bench::figs::fig03::run(size);
+    println!();
+    astro_bench::figs::fig01::run(size, s1);
+    println!();
+    astro_bench::figs::fig04::run(size, if quick { 1 } else { 3 });
+    println!();
+    astro_bench::figs::fig09::run(size, ep9);
+    println!();
+    astro_bench::figs::fig10::run(size, ep10, s10);
+    println!();
+    astro_bench::figs::ablation_convergence::run(size, if quick { 24 } else { 60 });
+    println!();
+    astro_bench::figs::ablation_gamma::run(size, if quick { 20 } else { 50 });
+    println!();
+    astro_bench::figs::ablation_interval::run(size);
+    println!();
+    astro_bench::figs::ablation_agent::run(size, if quick { 20 } else { 60 });
+}

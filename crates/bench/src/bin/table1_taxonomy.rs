@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (related-work taxonomy).
+fn main() {
+    astro_bench::figs::table1::run();
+}

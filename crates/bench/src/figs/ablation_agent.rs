@@ -1,0 +1,134 @@
+//! Ablation D — the learner itself: the paper's neural-network Q-agent
+//! vs plain tabular Q-learning over the same (24 × 4 × 81)-state MDP.
+//! Function approximation generalises across hardware phases that were
+//! never visited; the table cannot.
+
+use crate::figs::fig09::fluidanimate_traces;
+use crate::table::TextTable;
+use astro_core::reward::RewardParams;
+use astro_core::state::AstroStateSpace;
+use astro_core::trace::{TraceRecord, TraceSet};
+use astro_core::tracesim::{AstroTracePolicy, StateView, TracePolicy, TraceSim};
+use astro_hw::counters::HwPhase;
+use astro_rl::qlearn::{QAgent, QConfig};
+use astro_rl::tabular::TabularQ;
+use astro_workloads::InputSize;
+
+/// Tabular Q-learning as a trace policy.
+pub struct TabularTracePolicy {
+    /// The table.
+    pub q: TabularQ,
+    space: AstroStateSpace,
+    reward: RewardParams,
+    /// Greedy evaluation mode.
+    pub frozen: bool,
+    pending: Option<(usize, usize)>,
+}
+
+impl TabularTracePolicy {
+    /// New tabular policy.
+    pub fn new(space: AstroStateSpace, reward: RewardParams, seed: u64) -> Self {
+        let q = TabularQ::new(
+            space.num_states(),
+            space.num_actions(),
+            seed,
+        );
+        TabularTracePolicy {
+            q,
+            space,
+            reward,
+            frozen: false,
+            pending: None,
+        }
+    }
+
+    fn state_of(&self, cfg: usize, rec: &TraceRecord) -> usize {
+        self.space
+            .state_index(cfg, rec.program_phase, HwPhase::from_index(rec.hw_phase_idx))
+    }
+}
+
+impl TracePolicy for TabularTracePolicy {
+    fn name(&self) -> String {
+        "Tabular-Q".into()
+    }
+
+    fn choose(&mut self, ts: &TraceSet, frac: f64, current: usize) -> usize {
+        let rec = *ts.trace(current).record_at(frac);
+        let s = self.state_of(current, &rec);
+        let a = if self.frozen {
+            self.q.best_action(s)
+        } else {
+            self.q.select_action(s)
+        };
+        self.pending = Some((s, a));
+        a
+    }
+
+    fn observe(
+        &mut self,
+        ts: &TraceSet,
+        _prev_cfg: usize,
+        chosen: usize,
+        rec: &TraceRecord,
+        next_frac: f64,
+    ) {
+        if self.frozen {
+            return;
+        }
+        if let Some((s, a)) = self.pending.take() {
+            let r = self.reward.reward(rec.mips, rec.watts);
+            let next_rec = *ts.trace(chosen).record_at(next_frac);
+            let s_next = self.state_of(chosen, &next_rec);
+            self.q.update(s, a, r, s_next, next_frac >= 1.0);
+        }
+    }
+}
+
+/// Run the agent ablation.
+pub fn run(size: InputSize, episodes: usize) {
+    println!("=== Ablation D: neural-network vs tabular Q-learning ===\n");
+    let ts = fluidanimate_traces(size);
+    let space = AstroStateSpace::ODROID_XU4;
+    let sim = TraceSim::new(&ts);
+    let start = ts.num_configs() - 1;
+
+    // NN agent.
+    let mut qcfg = QConfig::astro_default(space.encoding_dim(), space.num_actions());
+    qcfg.seed = 51;
+    qcfg.epsilon_decay_steps = (episodes as u64 * 30).max(200);
+    let mut nn = AstroTracePolicy::new(
+        QAgent::new(qcfg),
+        space,
+        RewardParams::default(),
+        StateView::PhaseAware,
+    );
+    sim.train(&mut nn, start, episodes);
+    nn.frozen = true;
+    let nn_out = sim.run(&mut nn, start);
+
+    // Tabular agent.
+    let mut tab = TabularTracePolicy::new(space, RewardParams::default(), 52);
+    tab.q.epsilon = 0.25;
+    sim.train(&mut tab, start, episodes);
+    tab.frozen = true;
+    let tab_out = sim.run(&mut tab, start);
+
+    let mut t = TextTable::new(&["agent", "time (s)", "energy (J)", "cfg changes"]);
+    for (name, o) in [("NN (paper)", nn_out), ("Tabular", tab_out)] {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.4}", o.time_s),
+            format!("{:.4}", o.energy_j),
+            format!("{}", o.config_changes),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nstate space: {} states x {} actions (table: {} entries; NN: {} inputs)",
+        space.num_states(),
+        space.num_actions(),
+        space.num_states() * space.num_actions(),
+        space.encoding_dim()
+    );
+}

@@ -1,0 +1,91 @@
+//! Ablation A — the paper's core claim (§1): "To speedup convergence, we
+//! resort to the compiler … As we show in Section 4, convergence is
+//! faster, and runtime shorter."
+//!
+//! Trains the *same* learner twice on the fluidanimate traces — once
+//! with the compiler-provided program phase in the state (Astro), once
+//! without (Hipster) — and reports the learning curves plus episodes-to-
+//! convergence (first episode whose time is within 10% of the final
+//! plateau).
+
+use crate::figs::fig09::fluidanimate_traces;
+use crate::stats::mean;
+use crate::table::TextTable;
+use astro_core::baselines::hipster_trace_policy;
+use astro_core::reward::RewardParams;
+use astro_core::state::AstroStateSpace;
+use astro_core::tracesim::{AstroTracePolicy, StateView, TraceSim, TraceSimOutcome};
+use astro_rl::qlearn::{QAgent, QConfig};
+use astro_workloads::InputSize;
+
+fn curve(
+    ts: &astro_core::trace::TraceSet,
+    view: StateView,
+    episodes: usize,
+    seed: u64,
+) -> Vec<TraceSimOutcome> {
+    let space = AstroStateSpace::ODROID_XU4;
+    let mut qcfg = QConfig::astro_default(space.encoding_dim(), space.num_actions());
+    qcfg.seed = seed;
+    qcfg.epsilon_decay_steps = (episodes as u64 * 30).max(200);
+    let sim = TraceSim::new(ts);
+    let mut policy = match view {
+        StateView::PhaseAware => AstroTracePolicy::new(
+            QAgent::new(qcfg),
+            space,
+            RewardParams::default(),
+            StateView::PhaseAware,
+        ),
+        StateView::PhaseBlind => hipster_trace_policy(space, RewardParams::default(), qcfg),
+    };
+    sim.train(&mut policy, ts.num_configs() - 1, episodes)
+}
+
+/// First episode whose time is within `tol` of the final plateau (mean
+/// of the last 5 episodes).
+pub fn episodes_to_converge(curve: &[TraceSimOutcome], tol: f64) -> usize {
+    let tail = &curve[curve.len().saturating_sub(5)..];
+    let plateau = mean(&tail.iter().map(|o| o.time_s).collect::<Vec<_>>());
+    curve
+        .iter()
+        .position(|o| o.time_s <= plateau * (1.0 + tol))
+        .unwrap_or(curve.len())
+}
+
+/// Run the convergence ablation.
+pub fn run(size: InputSize, episodes: usize) {
+    println!("=== Ablation A: convergence with vs without program phases ===\n");
+    let ts = fluidanimate_traces(size);
+    println!("training (2 learners x {episodes} episodes)…\n");
+    let astro = curve(&ts, StateView::PhaseAware, episodes, 31);
+    let hipster = curve(&ts, StateView::PhaseBlind, episodes, 32);
+
+    let mut t = TextTable::new(&["episode", "Astro time (s)", "Hipster time (s)", "Astro reward", "Hipster reward"]);
+    let step = (episodes / 12).max(1);
+    for i in (0..episodes).step_by(step) {
+        t.row(vec![
+            format!("{i}"),
+            format!("{:.4}", astro[i].time_s),
+            format!("{:.4}", hipster[i].time_s),
+            format!("{:.4}", astro[i].mean_reward),
+            format!("{:.4}", hipster[i].mean_reward),
+        ]);
+    }
+    t.print();
+
+    let ea = episodes_to_converge(&astro, 0.10);
+    let eh = episodes_to_converge(&hipster, 0.10);
+    println!("\nepisodes to reach within 10% of final plateau: Astro {ea}, Hipster {eh}");
+    let final_a = astro.last().unwrap().time_s;
+    let final_h = hipster.last().unwrap().time_s;
+    println!(
+        "final-episode time: Astro {:.4}s vs Hipster {:.4}s — {}",
+        final_a,
+        final_h,
+        if ea <= eh {
+            "program phases speed up or match convergence (paper's claim)"
+        } else {
+            "UNEXPECTED: phase-blind learner converged first"
+        }
+    );
+}

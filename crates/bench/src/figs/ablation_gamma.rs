@@ -1,0 +1,44 @@
+//! Ablation B — the reward exponent γ (Definition 3.7): γ = 1 optimises
+//! performance-per-watt; γ = 2 "emphasizes performance gains" by
+//! optimising the inverse energy-delay product. Sweeping γ shows the
+//! time/energy trade the designer buys with it.
+
+use crate::figs::fig09::fluidanimate_traces;
+use crate::table::TextTable;
+use astro_core::reward::RewardParams;
+use astro_core::state::AstroStateSpace;
+use astro_core::tracesim::{AstroTracePolicy, StateView, TraceSim};
+use astro_rl::qlearn::{QAgent, QConfig};
+use astro_workloads::InputSize;
+
+/// Run the γ sweep.
+pub fn run(size: InputSize, episodes: usize) {
+    println!("=== Ablation B: reward exponent gamma sweep ===\n");
+    let ts = fluidanimate_traces(size);
+    let space = AstroStateSpace::ODROID_XU4;
+    let mut t = TextTable::new(&["gamma", "time (s)", "energy (J)", "E*T"]);
+    for &gamma in &[0.5, 1.0, 1.5, 2.0, 3.0] {
+        let reward = RewardParams {
+            gamma,
+            ..RewardParams::default()
+        };
+        let mut qcfg = QConfig::astro_default(space.encoding_dim(), space.num_actions());
+        qcfg.seed = 41 + (gamma * 10.0) as u64;
+        qcfg.epsilon_decay_steps = (episodes as u64 * 30).max(200);
+        let mut sim = TraceSim::new(&ts);
+        sim.reward = reward;
+        let mut policy =
+            AstroTracePolicy::new(QAgent::new(qcfg), space, reward, StateView::PhaseAware);
+        sim.train(&mut policy, ts.num_configs() - 1, episodes);
+        policy.frozen = true;
+        let out = sim.run(&mut policy, ts.num_configs() - 1);
+        t.row(vec![
+            format!("{gamma:.1}"),
+            format!("{:.4}", out.time_s),
+            format!("{:.4}", out.energy_j),
+            format!("{:.5}", out.time_s * out.energy_j),
+        ]);
+    }
+    t.print();
+    println!("\n(expected: larger gamma buys time at the cost of energy)");
+}

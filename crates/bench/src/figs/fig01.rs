@@ -1,0 +1,121 @@
+//! Figure 1: energy vs processing time for Freqmine and Streamcluster
+//! across all 24 Odroid XU4 configurations (`simsmall` inputs, averaged
+//! over repeated runs).
+//!
+//! The X axis is the *sum of execution times of active processors*
+//! (CPU time), exactly as the paper specifies — "hence, it is not clock
+//! time". Expected shape (paper): Freqmine's best-time point is 0L4B and
+//! best-energy point 4L0B; Streamcluster's best-time *and* best-energy
+//! point is 0L1B.
+
+use crate::pareto::{best_edp, best_energy, best_time, ConfigPoint};
+use crate::runner::{default_threads, parallel_map};
+use crate::stats::{cv, mean};
+use crate::table::TextTable;
+use astro_core::pipeline::{AstroPipeline, PipelineConfig};
+use astro_hw::boards::BoardSpec;
+use astro_workloads::InputSize;
+
+/// Sweep one workload over every configuration; returns per-config mean
+/// points (cpu-time, energy) plus the max coefficient of variation seen.
+pub fn sweep(
+    workload: &astro_workloads::Workload,
+    size: InputSize,
+    samples: usize,
+) -> (Vec<ConfigPoint>, Vec<f64>, f64) {
+    let board = BoardSpec::odroid_xu4();
+    let space = board.config_space();
+    let module = (workload.build)(size);
+    let cfgs = space.all();
+
+    let results = parallel_map(cfgs.len(), default_threads(), |i| {
+        let board = BoardSpec::odroid_xu4();
+        let pipe = AstroPipeline::new(
+            &board,
+            PipelineConfig {
+                machine: crate::experiment_params(),
+                ..Default::default()
+            },
+        );
+        let mut times = Vec::with_capacity(samples);
+        let mut walls = Vec::with_capacity(samples);
+        let mut energies = Vec::with_capacity(samples);
+        for s in 0..samples {
+            let r = pipe.run_fixed(&module, cfgs[i], 1000 + s as u64);
+            times.push(r.cpu_time_s);
+            walls.push(r.wall_time_s);
+            energies.push(r.energy_j);
+        }
+        (
+            mean(&times),
+            mean(&walls),
+            mean(&energies),
+            cv(&times).max(cv(&energies)),
+        )
+    });
+
+    let mut max_cv = 0.0f64;
+    let mut walls = Vec::with_capacity(cfgs.len());
+    let points = results
+        .into_iter()
+        .zip(&cfgs)
+        .map(|((t, w, e, c), &config)| {
+            max_cv = max_cv.max(c);
+            walls.push(w);
+            ConfigPoint {
+                config,
+                time_s: t,
+                energy_j: e,
+            }
+        })
+        .collect();
+    (points, walls, max_cv)
+}
+
+/// Run the Figure 1 experiment.
+pub fn run(size: InputSize, samples: usize) {
+    println!("=== Figure 1: Energy vs processing time, all 24 configurations ===\n");
+    for name in ["freqmine", "streamcluster"] {
+        let w = astro_workloads::by_name(name).expect("workload");
+        let (points, walls, max_cv) = sweep(&w, size, samples);
+        let bt = best_time(&points);
+        let be = best_energy(&points);
+        let bedp = best_edp(&points);
+        let best_wall = points
+            .iter()
+            .zip(&walls)
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(p, _)| p.config)
+            .unwrap();
+
+        println!("--- {name} ({samples} samples/config, max CV {:.2}%) ---", max_cv * 100.0);
+        let mut t = TextTable::new(&["config", "cpu-time (s)", "wall (s)", "energy (J)", "marks"]);
+        for (p, wall) in points.iter().zip(&walls) {
+            let mut marks = Vec::new();
+            if p.config == bt.config {
+                marks.push("Best Runtime");
+            }
+            if p.config == be.config {
+                marks.push("Best Energy");
+            }
+            if p.config == bedp.config {
+                marks.push("Best Energy/Time");
+            }
+            t.row(vec![
+                p.config.label(),
+                format!("{:.6}", p.time_s),
+                format!("{wall:.6}"),
+                format!("{:.6}", p.energy_j),
+                marks.join(", "),
+            ]);
+        }
+        t.print();
+        println!(
+            "\n  best cpu-time: {}   best wall-clock: {}   best energy: {}   best E*T: {}\n",
+            bt.config.label(),
+            best_wall.label(),
+            be.config.label(),
+            bedp.config.label()
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 4: "Best configurations for seven PARSEC applications, if we
+//! accept a slowdown of 1% or 5% to save more energy."
+//!
+//! Expected shape (paper): no single winner — choices scatter over the
+//! (LITTLE, big) grid and move toward fewer/smaller cores as the
+//! tolerated slowdown grows.
+
+use crate::figs::fig01::sweep;
+use crate::pareto::best_under_slowdown;
+use crate::table::TextTable;
+use astro_workloads::InputSize;
+
+/// Run the Figure 4 experiment.
+pub fn run(size: InputSize, samples: usize) {
+    println!("=== Figure 4: best configurations under 1% / 5% slowdown budgets ===\n");
+    let mut t = TextTable::new(&["application", "best (1% loss)", "best (5% loss)", "fastest"]);
+    let mut distinct = std::collections::HashSet::new();
+    for w in astro_workloads::figure4_set() {
+        let (points, _walls, _) = sweep(&w, size, samples);
+        let b1 = best_under_slowdown(&points, 0.01);
+        let b5 = best_under_slowdown(&points, 0.05);
+        let fastest = crate::pareto::best_time(&points);
+        distinct.insert(b5.config);
+        t.row(vec![
+            w.name.to_string(),
+            b1.config.label(),
+            b5.config.label(),
+            fastest.config.label(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\ndistinct best-5% configurations across applications: {} — {}",
+        distinct.len(),
+        if distinct.len() > 1 {
+            "no single winner, as in the paper"
+        } else {
+            "UNEXPECTED: a single configuration won everywhere"
+        }
+    );
+}

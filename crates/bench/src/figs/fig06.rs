@@ -1,0 +1,42 @@
+//! Figure 6 / Examples 3.4–3.5: mapping the demo's functions into the
+//! feature space (arithmetic density × I/O weight × nesting factor) and
+//! into the production four-phase partition.
+
+use crate::table::TextTable;
+use astro_compiler::{classify, extract_function_features, PhaseSpace};
+use astro_workloads::InputSize;
+
+/// Run the Figure 6 experiment.
+pub fn run(size: InputSize) {
+    println!("=== Figure 6: functions of the matmul demo in feature space ===\n");
+    let m = astro_workloads::matmul::build(size);
+    let space = PhaseSpace::example_3_4();
+    println!(
+        "Example 3.4 space: {} dims, {} phases (3 x 3 x 4)\n",
+        space.num_dims(),
+        space.num_phases()
+    );
+    let mut t = TextTable::new(&[
+        "function",
+        "arith density",
+        "I/O weight",
+        "nesting",
+        "ex-3.4 phase",
+        "production phase",
+    ]);
+    for (_, f) in m.iter() {
+        let fv = extract_function_features(f);
+        t.row(vec![
+            f.name.clone(),
+            format!("{:.3}", fv.arith_density),
+            format!("{:.1}", fv.io_weight),
+            format!("{}", fv.nesting_factor),
+            format!("{}", space.phase_of_features(&fv)),
+            classify(&fv).to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n(Example 3.5: `main` lands in the cube Arith∈[0,.25) × IO∈[0,1) × Nest∈[0,1) — phase 0.)"
+    );
+}

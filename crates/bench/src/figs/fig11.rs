@@ -1,0 +1,53 @@
+//! Figure 11 / RQ5: code-size growth of the three builds.
+//!
+//! Expected shape (paper): Learning binaries grow marginally over the
+//! originals (instrumentation only); Instrumented (final) binaries add a
+//! near-constant increment dominated by the Astro runtime library.
+
+use crate::table::TextTable;
+use astro_compiler::{
+    instrument_for_learning, CodeSizeModel, CodegenMode, FinalCodegen, PhaseMap,
+};
+use astro_workloads::InputSize;
+
+/// Run the Figure 11 experiment.
+pub fn run(size: InputSize) {
+    println!("=== Figure 11: code size (KB) of original / learning / instrumented builds ===\n");
+    let model = CodeSizeModel::default();
+    let mut t = TextTable::new(&["benchmark", "original", "learning", "instrumented", "lib share"]);
+    let mut lib_deltas = Vec::new();
+    for w in astro_workloads::figure11_set() {
+        let original = (w.build)(size);
+        let phases = PhaseMap::compute(&original);
+        let mut learning = original.clone();
+        instrument_for_learning(&mut learning, &phases);
+        let mut finalb = original.clone();
+        // The schedule's contents don't affect size; use the all-on table.
+        FinalCodegen::new(CodegenMode::Static, [23, 23, 23, 23]).run(&mut finalb, &phases);
+
+        let bd = model.breakdown(&original, &learning, &finalb);
+        let growth = bd.instrumented - bd.original;
+        let lib_share = model.runtime_lib_bytes as f64 / growth as f64;
+        lib_deltas.push(bd.instrumented - bd.learning);
+        t.row(vec![
+            w.name.to_string(),
+            format!("{:.1}", bd.original_kb()),
+            format!("{:.1}", bd.learning_kb()),
+            format!("{:.1}", bd.instrumented_kb()),
+            format!("{:.0}%", lib_share * 100.0),
+        ]);
+    }
+    t.print();
+    let min = lib_deltas.iter().min().unwrap();
+    let max = lib_deltas.iter().max().unwrap();
+    println!(
+        "\ninstrumented − learning spread: {}–{} bytes across benchmarks — {}",
+        min,
+        max,
+        if (max - min) as f64 / *max as f64 <= 0.25 {
+            "≈ constant, dominated by the runtime library (as in the paper)"
+        } else {
+            "UNEXPECTED: growth should be library-dominated"
+        }
+    );
+}

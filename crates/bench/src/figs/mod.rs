@@ -1,0 +1,15 @@
+//! One module per regenerated table/figure; the `src/bin/` binaries are
+//! thin wrappers so `run_all` can drive every experiment in-process.
+
+pub mod ablation_agent;
+pub mod ablation_convergence;
+pub mod ablation_gamma;
+pub mod ablation_interval;
+pub mod fig01;
+pub mod fig03;
+pub mod fig04;
+pub mod fig06;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod table1;

@@ -1,0 +1,27 @@
+//! Table 1: the related-work taxonomy, rendered from
+//! [`crate::taxonomy`].
+
+use crate::table::TextTable;
+use crate::taxonomy::table1;
+
+/// Print Table 1.
+pub fn run() {
+    println!("=== Table 1: taxonomy of SPha solutions ===\n");
+    let yn = |b: bool| if b { "Yes" } else { "No" }.to_string();
+    let mut t = TextTable::new(&["work", "level", "source", "auto", "runtime", "learn"]);
+    for r in table1() {
+        t.row(vec![
+            r.work.to_string(),
+            r.level.code().to_string(),
+            yn(r.source),
+            yn(r.auto),
+            yn(r.runtime),
+            yn(r.learn),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nLevels: A = architecture, O = operating system, C = compiler, L = library.\n\
+         Astro is the only O/C (hybrid) entry that also learns."
+    );
+}

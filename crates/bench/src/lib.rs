@@ -1,0 +1,56 @@
+//! # astro-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus the
+//! shared machinery: statistics ([`stats`]), table rendering
+//! ([`table`]), Pareto/best-configuration analysis ([`pareto`]), the
+//! Table 1 taxonomy ([`taxonomy`]) and a parallel sample runner
+//! ([`runner`]).
+//!
+//! Every binary prints the rows/series the corresponding figure plots.
+//! Absolute values are simulator units; EXPERIMENTS.md records the
+//! paper-vs-measured comparison for each.
+
+pub mod figs;
+pub mod pareto;
+pub mod runner;
+pub mod stats;
+pub mod table;
+pub mod taxonomy;
+
+use astro_exec::machine::MachineParams;
+use astro_exec::time::SimTime;
+
+/// Engine parameters used by the experiment binaries: the 500 ms
+/// checkpoint of §3.2.1 scaled to the workloads' millisecond-scale
+/// runtimes (see EXPERIMENTS.md, "time scaling").
+pub fn experiment_params() -> MachineParams {
+    MachineParams {
+        checkpoint_interval: SimTime::from_micros(400.0),
+        balance_interval: SimTime::from_micros(100.0),
+        timeslice: SimTime::from_micros(400.0),
+        min_config_dwell: SimTime::from_micros(800.0),
+        ..MachineParams::default()
+    }
+}
+
+/// Parse a `--size` CLI argument (defaults to simsmall).
+pub fn parse_size(args: &[String]) -> astro_workloads::InputSize {
+    use astro_workloads::InputSize;
+    for w in args.windows(2) {
+        if w[0] == "--size" {
+            return match w[1].as_str() {
+                "test" => InputSize::Test,
+                "simsmall" => InputSize::SimSmall,
+                "simmedium" => InputSize::SimMedium,
+                "simlarge" => InputSize::SimLarge,
+                other => panic!("unknown size {other}"),
+            };
+        }
+    }
+    InputSize::SimSmall
+}
+
+/// Is `--quick` present (reduced samples/episodes for smoke runs)?
+pub fn quick_mode(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--quick")
+}

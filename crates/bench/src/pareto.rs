@@ -1,0 +1,117 @@
+//! Pareto / best-configuration analysis for Figures 1 and 4.
+
+use astro_hw::config::HwConfig;
+
+/// One configuration's measured operating point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfigPoint {
+    /// The configuration.
+    pub config: HwConfig,
+    /// Mean time (Figure 1 uses summed CPU time; Figure 4 wall time).
+    pub time_s: f64,
+    /// Mean energy.
+    pub energy_j: f64,
+}
+
+/// The time-optimal point.
+pub fn best_time(points: &[ConfigPoint]) -> ConfigPoint {
+    *points
+        .iter()
+        .min_by(|a, b| a.time_s.partial_cmp(&b.time_s).unwrap())
+        .expect("non-empty")
+}
+
+/// The energy-optimal point.
+pub fn best_energy(points: &[ConfigPoint]) -> ConfigPoint {
+    *points
+        .iter()
+        .min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).unwrap())
+        .expect("non-empty")
+}
+
+/// The best energy·time product (Figure 1's "Best Energy/Time").
+pub fn best_edp(points: &[ConfigPoint]) -> ConfigPoint {
+    *points
+        .iter()
+        .min_by(|a, b| {
+            (a.time_s * a.energy_j)
+                .partial_cmp(&(b.time_s * b.energy_j))
+                .unwrap()
+        })
+        .expect("non-empty")
+}
+
+/// Figure 4's criterion: "the best configuration is the one that spends
+/// less energy, given a certain slowdown compared to the fastest
+/// configuration" — minimum energy among points within
+/// `(1 + slowdown)·fastest`.
+pub fn best_under_slowdown(points: &[ConfigPoint], slowdown_frac: f64) -> ConfigPoint {
+    let fastest = best_time(points).time_s;
+    let budget = fastest * (1.0 + slowdown_frac);
+    *points
+        .iter()
+        .filter(|p| p.time_s <= budget)
+        .min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).unwrap())
+        .expect("the fastest point always qualifies")
+}
+
+/// The Pareto frontier (non-dominated points), sorted by time.
+pub fn pareto_frontier(points: &[ConfigPoint]) -> Vec<ConfigPoint> {
+    let mut sorted: Vec<ConfigPoint> = points.to_vec();
+    sorted.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).unwrap());
+    let mut out: Vec<ConfigPoint> = Vec::new();
+    let mut best_e = f64::INFINITY;
+    for p in sorted {
+        if p.energy_j < best_e {
+            best_e = p.energy_j;
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Vec<ConfigPoint> {
+        vec![
+            ConfigPoint { config: HwConfig::new(0, 4), time_s: 1.0, energy_j: 10.0 },
+            ConfigPoint { config: HwConfig::new(2, 2), time_s: 1.5, energy_j: 6.0 },
+            ConfigPoint { config: HwConfig::new(4, 0), time_s: 3.0, energy_j: 4.0 },
+            ConfigPoint { config: HwConfig::new(1, 1), time_s: 2.0, energy_j: 8.0 }, // dominated
+        ]
+    }
+
+    #[test]
+    fn extremes() {
+        assert_eq!(best_time(&pts()).config, HwConfig::new(0, 4));
+        assert_eq!(best_energy(&pts()).config, HwConfig::new(4, 0));
+    }
+
+    #[test]
+    fn slowdown_budget_moves_choice_toward_energy() {
+        // 0% budget → fastest; 100% → 2L2B (6 J within 2×); 300% → 4L0B.
+        assert_eq!(best_under_slowdown(&pts(), 0.0).config, HwConfig::new(0, 4));
+        assert_eq!(best_under_slowdown(&pts(), 1.0).config, HwConfig::new(2, 2));
+        assert_eq!(best_under_slowdown(&pts(), 3.0).config, HwConfig::new(4, 0));
+    }
+
+    #[test]
+    fn frontier_excludes_dominated() {
+        let f = pareto_frontier(&pts());
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|p| p.config != HwConfig::new(1, 1)));
+        // Sorted by time, decreasing energy.
+        for w in f.windows(2) {
+            assert!(w[0].time_s < w[1].time_s);
+            assert!(w[0].energy_j > w[1].energy_j);
+        }
+    }
+
+    #[test]
+    fn edp_picks_balanced_point() {
+        // EDPs: 10, 9, 12, 16 → 2L2B wins.
+        assert_eq!(best_edp(&pts()).config, HwConfig::new(2, 2));
+    }
+}

@@ -1,0 +1,81 @@
+//! Parallel experiment driver: fans independent simulations out across
+//! OS threads with `crossbeam::scope`, aggregating into a
+//! `parking_lot`-guarded result vector.
+//!
+//! The simulator itself is single-threaded by design (determinism);
+//! parallelism lives here, across configurations/samples — which is
+//! also where the wall-clock time goes when regenerating Figure 1's
+//! 24-configuration sweeps.
+
+use parking_lot::Mutex;
+
+/// Run `jobs(i)` for `i ∈ 0..n` across up to `threads` workers and
+/// return the results in index order.
+///
+/// `job` must be `Sync` because multiple workers call it concurrently
+/// (each call gets a distinct index).
+pub fn parallel_map<T, F>(n: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads > 0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(n.max(1)) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = job(i);
+                results.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index produced"))
+        .collect()
+}
+
+/// Default worker count: physical parallelism minus one, at least one.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_index_order() {
+        let out = parallel_map(32, 4, |i| i * i);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let out = parallel_map(5, 1, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_jobs_ok() {
+        let out: Vec<usize> = parallel_map(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_jobs_ok() {
+        let out = parallel_map(2, 16, |i| i);
+        assert_eq!(out, vec![0, 1]);
+    }
+}

@@ -1,0 +1,345 @@
+//! Statistics for the evaluation: summary statistics and the
+//! significance tests behind Figure 10's p-values ("the probability that
+//! the static and purely dynamic samples come from the same
+//! distribution").
+//!
+//! With 5 samples per group an *exact permutation test* is both feasible
+//! (C(10,5) = 252 partitions) and assumption-free, so it is the primary
+//! test; Welch's t statistic and the Mann–Whitney U (normal
+//! approximation) are provided as cross-checks.
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Coefficient of variation (σ/μ), the "variance … under 1%" check of §2.
+pub fn cv(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        0.0
+    } else {
+        std_dev(xs) / m.abs()
+    }
+}
+
+/// Exact two-sided permutation test on the difference of means.
+///
+/// Enumerates every way of relabelling the pooled samples into groups of
+/// the original sizes and counts how many produce a mean difference at
+/// least as extreme as observed. Exact for the small sample counts used
+/// here (≤ ~12 per group); the p-value's resolution is 1/C(n, k).
+pub fn permutation_test(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty());
+    let observed = (mean(a) - mean(b)).abs();
+    let pooled: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+    let n = pooled.len();
+    let k = a.len();
+    let total: f64 = pooled.iter().sum();
+
+    let mut extreme = 0u64;
+    let mut count = 0u64;
+    // Iterate over k-subsets of {0..n} via combination enumeration.
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        let sum_a: f64 = idx.iter().map(|&i| pooled[i]).sum();
+        let mean_a = sum_a / k as f64;
+        let mean_b = (total - sum_a) / (n - k) as f64;
+        if (mean_a - mean_b).abs() >= observed - 1e-12 {
+            extreme += 1;
+        }
+        count += 1;
+        // Next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return extreme as f64 / count as f64;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                idx[i] += 1;
+                for j in i + 1..k {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Welch's t statistic (unequal variances). Returned with its
+/// Welch–Satterthwaite degrees of freedom; convert to a p-value with
+/// [`t_two_sided_p`].
+pub fn welch_t(a: &[f64], b: &[f64]) -> (f64, f64) {
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (variance(a), variance(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 == 0.0 {
+        return (0.0, na + nb - 2.0);
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2
+        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0)).max(1e-300);
+    (t, df)
+}
+
+/// Two-sided p-value of a t statistic with `df` degrees of freedom, via
+/// the regularised incomplete beta function.
+pub fn t_two_sided_p(t: f64, df: f64) -> f64 {
+    let x = df / (df + t * t);
+    incomplete_beta(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Mann–Whitney U two-sided p-value (normal approximation with tie
+/// correction).
+pub fn mann_whitney_p(a: &[f64], b: &[f64]) -> f64 {
+    let n1 = a.len() as f64;
+    let n2 = b.len() as f64;
+    // Rank the pooled sample.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&x| (x, 0usize))
+        .chain(b.iter().map(|&x| (x, 1usize)))
+        .collect();
+    pooled.sort_by(|p, q| p.0.partial_cmp(&q.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; pooled.len()];
+    let mut i = 0;
+    while i < pooled.len() {
+        let mut j = i;
+        while j + 1 < pooled.len() && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let r = (i + j) as f64 / 2.0 + 1.0;
+        for r_i in ranks.iter_mut().take(j + 1).skip(i) {
+            *r_i = r;
+        }
+        i = j + 1;
+    }
+    let r1: f64 = pooled
+        .iter()
+        .zip(&ranks)
+        .filter(|((_, g), _)| *g == 0)
+        .map(|(_, &r)| r)
+        .sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+    let mu = n1 * n2 / 2.0;
+    let sigma = (n1 * n2 * (n1 + n2 + 1.0) / 12.0).sqrt();
+    if sigma == 0.0 {
+        return 1.0;
+    }
+    let z = (u1 - mu).abs() / sigma;
+    2.0 * (1.0 - phi(z))
+}
+
+/// Standard normal CDF.
+fn phi(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Error function (Abramowitz & Stegun 7.1.26, |ε| ≤ 1.5e-7).
+fn erf(x: f64) -> f64 {
+    let sign = x.signum();
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Regularised incomplete beta function `I_x(a, b)` via the continued
+/// fraction of Numerical Recipes §6.4.
+fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b);
+    let front = (ln_beta + a * x.ln() + b * (1.0 - x).ln()).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - (ln_beta + b * (1.0 - x).ln() + a * x.ln()).exp() * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos log-gamma.
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 6] = [
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000000000190015;
+    for g in G {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.5066282746310005 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_test_identical_groups_is_one() {
+        let a = [1.0, 2.0, 3.0];
+        let p = permutation_test(&a, &a);
+        assert!(p > 0.99, "identical groups: p = {p}");
+    }
+
+    #[test]
+    fn permutation_test_separated_groups_is_small() {
+        let a = [1.0, 1.1, 0.9, 1.05, 0.95];
+        let b = [5.0, 5.1, 4.9, 5.05, 4.95];
+        let p = permutation_test(&a, &b);
+        // Only the two fully-separated labelings are as extreme: 2/252.
+        assert!(p < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn permutation_test_resolution() {
+        let a = [0.0, 0.0, 0.0, 0.0, 0.0];
+        let b = [1.0, 1.0, 1.0, 1.0, 1.0];
+        let p = permutation_test(&a, &b);
+        assert!((p - 2.0 / 252.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_t_separated_groups() {
+        let a = [1.0, 1.1, 0.9, 1.05, 0.95];
+        let b = [5.0, 5.1, 4.9, 5.05, 4.95];
+        let (t, df) = welch_t(&a, &b);
+        assert!(t.abs() > 10.0);
+        let p = t_two_sided_p(t, df);
+        assert!(p < 1e-5, "p = {p}");
+    }
+
+    #[test]
+    fn t_p_value_sane_for_zero_t() {
+        assert!((t_two_sided_p(0.0, 8.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mann_whitney_agrees_on_extremes() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [10.0, 11.0, 12.0, 13.0, 14.0];
+        assert!(mann_whitney_p(&a, &b) < 0.02);
+        assert!(mann_whitney_p(&a, &a) > 0.8);
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1.5e-7, "A&S 7.1.26 absolute error bound");
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n−1)!
+        assert!((ln_gamma(5.0) - (24.0f64).ln()).abs() < 1e-9);
+        assert!((ln_gamma(1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+        let x = 0.3;
+        let lhs = incomplete_beta(2.0, 5.0, x);
+        let rhs = 1.0 - incomplete_beta(5.0, 2.0, 1.0 - x);
+        assert!((lhs - rhs).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cv_of_tight_samples_is_small() {
+        let xs = [100.0, 100.5, 99.5, 100.2, 99.8];
+        assert!(cv(&xs) < 0.01);
+    }
+}

@@ -1,0 +1,116 @@
+//! Table 1: the taxonomy of prior SPha solutions.
+//!
+//! Static data transcribed from the paper; `table1_taxonomy` renders it,
+//! and the classification helpers let tests verify the paper's central
+//! claim about the table — Astro is the only hybrid entry with learning.
+
+/// Implementation level of a technique.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// Architecture.
+    Architecture,
+    /// Operating system / VM.
+    Os,
+    /// Compiler.
+    Compiler,
+    /// Library / programming model.
+    Library,
+    /// Compiler + library.
+    CompilerLibrary,
+    /// Architecture + library.
+    ArchitectureLibrary,
+    /// OS + compiler (hybrid).
+    OsCompiler,
+}
+
+impl Level {
+    /// The paper's letter coding.
+    pub fn code(self) -> &'static str {
+        match self {
+            Level::Architecture => "A",
+            Level::Os => "O",
+            Level::Compiler => "C",
+            Level::Library => "L",
+            Level::CompilerLibrary => "C/L",
+            Level::ArchitectureLibrary => "A/L",
+            Level::OsCompiler => "O/C",
+        }
+    }
+
+    /// Hybrid = implemented at both a static (compiler) and a dynamic
+    /// (OS) level.
+    pub fn is_hybrid(self) -> bool {
+        matches!(self, Level::OsCompiler)
+    }
+}
+
+/// One row of Table 1.
+#[derive(Clone, Copy, Debug)]
+pub struct TaxonomyRow {
+    /// Citation key in the paper.
+    pub work: &'static str,
+    /// Implementation level.
+    pub level: Level,
+    /// Requires source code?
+    pub source: bool,
+    /// Automatic (no user intervention)?
+    pub auto: bool,
+    /// Uses runtime information?
+    pub runtime: bool,
+    /// Adapts/learns a model?
+    pub learn: bool,
+}
+
+/// The rows of Table 1, in paper order.
+pub fn table1() -> Vec<TaxonomyRow> {
+    vec![
+        TaxonomyRow { work: "[24] Poesia et al.", level: Level::Compiler, source: true, auto: true, runtime: false, learn: true },
+        TaxonomyRow { work: "[2] Barik et al.", level: Level::Compiler, source: true, auto: true, runtime: true, learn: false },
+        TaxonomyRow { work: "[26] Rossbach et al.", level: Level::CompilerLibrary, source: true, auto: false, runtime: true, learn: false },
+        TaxonomyRow { work: "[16] Luk et al.", level: Level::CompilerLibrary, source: true, auto: false, runtime: true, learn: false },
+        TaxonomyRow { work: "[13] Joao et al.", level: Level::ArchitectureLibrary, source: true, auto: false, runtime: false, learn: false },
+        TaxonomyRow { work: "[17] Lukefahr et al.", level: Level::Architecture, source: false, auto: true, runtime: false, learn: false },
+        TaxonomyRow { work: "[30] Van Craeynest et al.", level: Level::Architecture, source: false, auto: true, runtime: false, learn: false },
+        TaxonomyRow { work: "[20] Nishtala et al. (Hipster)", level: Level::Os, source: false, auto: true, runtime: true, learn: true },
+        TaxonomyRow { work: "[22] Petrucci et al. (Octopus-Man)", level: Level::Os, source: false, auto: true, runtime: true, learn: false },
+        TaxonomyRow { work: "[1] Augonnet et al. (StarPU)", level: Level::Library, source: true, auto: false, runtime: false, learn: false },
+        TaxonomyRow { work: "[23] Piccoli et al.", level: Level::OsCompiler, source: true, auto: true, runtime: true, learn: false },
+        TaxonomyRow { work: "[29] Tang et al. (ReQoS)", level: Level::OsCompiler, source: true, auto: true, runtime: true, learn: false },
+        TaxonomyRow { work: "[8] Cong & Yuan", level: Level::OsCompiler, source: true, auto: true, runtime: true, learn: false },
+        TaxonomyRow { work: "Astro (this work)", level: Level::OsCompiler, source: true, auto: true, runtime: true, learn: true },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn astro_is_unique_learning_hybrid() {
+        // §5: "None of these previous work use any form of learning
+        // technique to adapt the program to runtime conditions… That is
+        // the main difference between these previous approaches and the
+        // Astro method."
+        let rows = table1();
+        let learning_hybrids: Vec<&TaxonomyRow> = rows
+            .iter()
+            .filter(|r| r.level.is_hybrid() && r.learn)
+            .collect();
+        assert_eq!(learning_hybrids.len(), 1);
+        assert!(learning_hybrids[0].work.contains("Astro"));
+    }
+
+    #[test]
+    fn hipster_learns_but_is_not_hybrid() {
+        let rows = table1();
+        let hipster = rows.iter().find(|r| r.work.contains("Hipster")).unwrap();
+        assert!(hipster.learn);
+        assert!(!hipster.level.is_hybrid());
+        assert!(!hipster.source, "Hipster needs no source code");
+    }
+
+    #[test]
+    fn fourteen_rows_like_the_paper() {
+        assert_eq!(table1().len(), 14);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the statistics module: the significance tests must
+//! behave like probabilities and respect the symmetries of their
+//! definitions.
+
+use astro_bench::stats::{
+    mann_whitney_p, mean, permutation_test, std_dev, t_two_sided_p, variance, welch_t,
+};
+use proptest::prelude::*;
+
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0..50.0f64, 3..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// p-values are probabilities.
+    #[test]
+    fn p_values_in_unit_interval(a in samples(), b in samples()) {
+        let p = permutation_test(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let (t, df) = welch_t(&a, &b);
+        let pt = t_two_sided_p(t, df);
+        prop_assert!((0.0..=1.0).contains(&pt), "welch p {pt}");
+        let pm = mann_whitney_p(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&pm), "mw p {pm}");
+    }
+
+    /// The permutation test is symmetric in its arguments.
+    #[test]
+    fn permutation_test_symmetric(a in samples(), b in samples()) {
+        let p1 = permutation_test(&a, &b);
+        let p2 = permutation_test(&b, &a);
+        prop_assert!((p1 - p2).abs() < 1e-9, "{p1} vs {p2}");
+    }
+
+    /// Shifting both groups by the same constant changes nothing.
+    #[test]
+    fn permutation_test_shift_invariant(a in samples(), b in samples(), c in -10.0..10.0f64) {
+        let p1 = permutation_test(&a, &b);
+        let sa: Vec<f64> = a.iter().map(|x| x + c).collect();
+        let sb: Vec<f64> = b.iter().map(|x| x + c).collect();
+        let p2 = permutation_test(&sa, &sb);
+        prop_assert!((p1 - p2).abs() < 1e-9);
+    }
+
+    /// Mean is within [min, max]; variance is non-negative; σ² = var.
+    #[test]
+    fn summary_stats_sane(a in samples()) {
+        let m = mean(&a);
+        let lo = a.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        prop_assert!(variance(&a) >= 0.0);
+        prop_assert!((std_dev(&a).powi(2) - variance(&a)).abs() < 1e-9);
+    }
+
+    /// Comparing a group against itself is never significant.
+    #[test]
+    fn self_comparison_not_significant(a in samples()) {
+        prop_assert!(permutation_test(&a, &a) > 0.5);
+        let (t, _) = welch_t(&a, &a);
+        prop_assert!(t.abs() < 1e-9);
+    }
+
+    /// Separating two groups by a huge constant is always significant at
+    /// the test's resolution.
+    #[test]
+    fn separated_groups_significant(a in samples()) {
+        let b: Vec<f64> = a.iter().map(|x| x + 1000.0).collect();
+        let p = permutation_test(&a, &b);
+        // Exactly the two all-or-nothing labelings are as extreme.
+        let n = a.len() + b.len();
+        let k = a.len();
+        let total = (1..=n).product::<usize>() as f64
+            / ((1..=k).product::<usize>() as f64 * (1..=(n - k)).product::<usize>() as f64);
+        prop_assert!((p - 2.0 / total).abs() < 1e-9, "p = {p}, C = {total}");
+    }
+}

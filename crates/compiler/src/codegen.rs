@@ -1,0 +1,236 @@
+//! Final code generation (§3.3, Figure 8b/8c).
+//!
+//! After training, the learned policy is imprinted into the program:
+//!
+//! * **Static** instrumentation maps every program phase to one fixed
+//!   hardware configuration — `determine_active_configuration(cfg)` at
+//!   function entries and around dormant calls (Figure 8b). Lowest
+//!   overhead, but it "cannot recover from bad decisions" (the
+//!   ParticleFilter trap of §4.2).
+//! * **Hybrid** instrumentation passes the *static* phase to the runtime,
+//!   which combines it with current hardware status before deciding
+//!   (Figure 8c) — `determine_active_conf(STA, DYN)`.
+//!
+//! Both forms are emitted as Astro intrinsics interpreted by the
+//! execution engine; the policy table for hybrid mode lives in the
+//! runtime (exactly as the paper's `libastro` does).
+
+use crate::phase::{PhaseMap, ProgramPhase};
+use astro_ir::{Instr, InstrKind, LibCall, Module, Value};
+
+/// Which flavour of final instrumentation to emit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodegenMode {
+    /// Fixed configuration per program phase (Figure 8b).
+    Static,
+    /// Phase + runtime hardware state consulted at each decision point
+    /// (Figure 8c).
+    Hybrid,
+}
+
+/// The final code generator.
+///
+/// For static mode it needs the learned phase→configuration table; for
+/// hybrid mode the table lives in the runtime, so only phase indices are
+/// embedded in the code.
+#[derive(Clone, Debug)]
+pub struct FinalCodegen {
+    /// Emission mode.
+    pub mode: CodegenMode,
+    /// Learned configuration index per program phase
+    /// (indexed by [`ProgramPhase::index`]); used in static mode and as
+    /// the runtime's fallback in hybrid mode.
+    pub config_for_phase: [usize; ProgramPhase::COUNT],
+}
+
+impl FinalCodegen {
+    /// Create a code generator from a learned phase→config table.
+    pub fn new(mode: CodegenMode, config_for_phase: [usize; ProgramPhase::COUNT]) -> Self {
+        FinalCodegen {
+            mode,
+            config_for_phase,
+        }
+    }
+
+    fn decision(&self, phase: ProgramPhase) -> Instr {
+        let (callee, imm) = match self.mode {
+            CodegenMode::Static => (
+                LibCall::AstroSetConfig,
+                self.config_for_phase[phase.index()] as i64,
+            ),
+            CodegenMode::Hybrid => (LibCall::AstroHybridDecide, phase.index() as i64),
+        };
+        Instr {
+            result: None,
+            kind: InstrKind::CallLib {
+                callee,
+                args: vec![Value::int(imm)],
+            },
+        }
+    }
+
+    /// Emit the final instrumentation into `m`.
+    ///
+    /// * At every function entry: a decision for the function's phase.
+    /// * Before every dormant library call: a decision for `Blocked`.
+    /// * After it: a decision restoring the enclosing function's phase.
+    ///
+    /// Returns the number of decision points inserted.
+    pub fn run(&self, m: &mut Module, phases: &PhaseMap) -> usize {
+        let mut inserted = 0usize;
+        for (fid, f) in m
+            .functions
+            .iter_mut()
+            .enumerate()
+            .map(|(i, f)| (astro_ir::FunctionId(i as u32), f))
+        {
+            let phase = phases.phase(fid);
+            let entry = f.entry;
+            f.block_mut(entry).instrs.insert(0, self.decision(phase));
+            inserted += 1;
+
+            for b in &mut f.blocks {
+                let sites: Vec<usize> = b
+                    .instrs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, ins)| {
+                        matches!(
+                            &ins.kind,
+                            InstrKind::CallLib { callee, .. } if callee.is_dormant_wait()
+                        )
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                for &i in sites.iter().rev() {
+                    b.instrs.insert(i + 1, self.decision(phase));
+                    b.instrs.insert(i, self.decision(ProgramPhase::Blocked));
+                    inserted += 2;
+                }
+            }
+        }
+        inserted
+    }
+}
+
+/// Remove every Astro intrinsic from `m`, recovering the original program
+/// (the "Original" bars of Figure 11). Returns the number of removed
+/// instructions.
+pub fn strip_astro_instrumentation(m: &mut Module) -> usize {
+    let mut removed = 0usize;
+    for f in &mut m.functions {
+        for b in &mut f.blocks {
+            let before = b.instrs.len();
+            b.instrs.retain(|ins| {
+                !matches!(
+                    &ins.kind,
+                    InstrKind::CallLib { callee, .. } if callee.is_astro_intrinsic()
+                )
+            });
+            removed += before - b.instrs.len();
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::instrument_for_learning;
+    use crate::phase::PhaseMap;
+    use astro_ir::{FunctionBuilder, Opcode, Ty};
+
+    fn demo() -> Module {
+        let mut m = Module::new("demo");
+        let mut main = FunctionBuilder::new("main", Ty::Void);
+        main.counted_loop(8, |b| {
+            let x = b.load(Ty::F64);
+            b.fmul(Ty::F64, x, x);
+        });
+        main.call_lib(LibCall::BarrierWait, &[Value::int(0)]);
+        main.ret(None);
+        let f = m.add_function(main.finish());
+        m.set_entry(f);
+        m
+    }
+
+    #[test]
+    fn static_mode_embeds_config_indices() {
+        let mut m = demo();
+        let phases = PhaseMap::compute(&m);
+        let phase = phases.phase(m.entry.unwrap());
+        let table = [3, 7, 11, 19];
+        let cg = FinalCodegen::new(CodegenMode::Static, table);
+        cg.run(&mut m, &phases);
+        let f = m.function(m.entry.unwrap());
+        let first = &f.block(f.entry).instrs[0];
+        match &first.kind {
+            InstrKind::CallLib { callee, args } => {
+                assert_eq!(*callee, LibCall::AstroSetConfig);
+                assert_eq!(
+                    args[0].as_const_int(),
+                    Some(table[phase.index()] as i64)
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hybrid_mode_embeds_phase_indices() {
+        let mut m = demo();
+        let phases = PhaseMap::compute(&m);
+        let phase = phases.phase(m.entry.unwrap());
+        let cg = FinalCodegen::new(CodegenMode::Hybrid, [0; 4]);
+        cg.run(&mut m, &phases);
+        let f = m.function(m.entry.unwrap());
+        let first = &f.block(f.entry).instrs[0];
+        match &first.kind {
+            InstrKind::CallLib { callee, args } => {
+                assert_eq!(*callee, LibCall::AstroHybridDecide);
+                assert_eq!(args[0].as_const_int(), Some(phase.index() as i64));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dormant_calls_bracketed_with_blocked_decision() {
+        let mut m = demo();
+        let phases = PhaseMap::compute(&m);
+        let cg = FinalCodegen::new(CodegenMode::Static, [5, 6, 7, 8]);
+        let inserted = cg.run(&mut m, &phases);
+        // Entry + pair around the barrier.
+        assert_eq!(inserted, 3);
+        let f = m.function(m.entry.unwrap());
+        // Find the barrier; the instruction before must request config 5
+        // (Blocked's table entry).
+        for b in &f.blocks {
+            if let Some(pos) = b.instrs.iter().position(
+                |i| matches!(i.opcode(), Opcode::CallLib(LibCall::BarrierWait)),
+            ) {
+                match &b.instrs[pos - 1].kind {
+                    InstrKind::CallLib { callee, args } => {
+                        assert_eq!(*callee, LibCall::AstroSetConfig);
+                        assert_eq!(args[0].as_const_int(), Some(5));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        assert_eq!(m.verify(), Ok(()));
+    }
+
+    #[test]
+    fn strip_removes_all_intrinsics_roundtrip() {
+        let mut m = demo();
+        let baseline = m.total_instrs();
+        let phases = PhaseMap::compute(&m);
+        instrument_for_learning(&mut m, &phases);
+        FinalCodegen::new(CodegenMode::Hybrid, [0; 4]).run(&mut m, &phases);
+        assert!(m.total_instrs() > baseline);
+        strip_astro_instrumentation(&mut m);
+        assert_eq!(m.total_instrs(), baseline);
+        assert_eq!(m.verify(), Ok(()));
+    }
+}

@@ -1,0 +1,294 @@
+//! Code-level feature mining (§3.1.1 of the paper).
+//!
+//! A *code-level feature* is a syntactic characteristic of a function.
+//! Astro's implementation uses density features — counts of a given
+//! instruction kind normalised by the function's total instruction count —
+//! plus boolean flags for calls that put the program to sleep. This module
+//! also computes the three illustrative features of Example 3.4
+//! (arithmetic density, nesting-weighted I/O weight, nesting factor),
+//! which Figure 6 plots for the matrix-multiplication demo.
+
+use astro_ir::visit::for_each_instr_with_depth;
+use astro_ir::{Function, FunctionId, Module, Opcode};
+
+/// The static features of one function.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FeatureVector {
+    /// Proportion of library calls that perform I/O operations.
+    pub io_dens: f64,
+    /// Proportion of instructions that access memory (loads and stores).
+    pub mem_dens: f64,
+    /// Proportion of arithmetic/logic instructions on integer types.
+    pub int_dens: f64,
+    /// Proportion of arithmetic/logic instructions on floating-point types.
+    pub fp_dens: f64,
+    /// Proportion of lock instructions.
+    pub locks_dens: f64,
+    /// True when the function invokes a multi-thread barrier.
+    pub barrier: bool,
+    /// True when the function waits on a network event.
+    pub net: bool,
+    /// True when the function calls sleep.
+    pub sleep: bool,
+    // ---- Example 3.4 illustrative features (Figure 6) ----------------------
+    /// Density of arithmetic and logic instructions (int + fp combined).
+    pub arith_density: f64,
+    /// `Σᵢ 10ⁿ` for every I/O call `i` nested in `n` loops — the paper's
+    /// heuristic expectation of I/O routine invocations.
+    pub io_weight: f64,
+    /// Maximum loop-nesting depth in the function.
+    pub nesting_factor: u32,
+    /// Total instructions counted (denominator of the densities).
+    pub total_instrs: u64,
+}
+
+impl FeatureVector {
+    /// The all-zero vector (used for functions the miner cannot analyse,
+    /// e.g. mangled C++ symbols — see §4 "Benchmarks").
+    pub const ZERO: FeatureVector = FeatureVector {
+        io_dens: 0.0,
+        mem_dens: 0.0,
+        int_dens: 0.0,
+        fp_dens: 0.0,
+        locks_dens: 0.0,
+        barrier: false,
+        net: false,
+        sleep: false,
+        arith_density: 0.0,
+        io_weight: 0.0,
+        nesting_factor: 0,
+        total_instrs: 0,
+    };
+
+    /// Does any dormant-wait flag hold?
+    pub fn any_dormant(&self) -> bool {
+        self.barrier || self.net || self.sleep
+    }
+
+    /// The feature values as a fixed-order numeric slice, for encoding
+    /// into learning inputs and the range machinery:
+    /// `[io, mem, int, fp, locks, barrier, net, sleep]`.
+    pub fn as_array(&self) -> [f64; 8] {
+        [
+            self.io_dens,
+            self.mem_dens,
+            self.int_dens,
+            self.fp_dens,
+            self.locks_dens,
+            self.barrier as u8 as f64,
+            self.net as u8 as f64,
+            self.sleep as u8 as f64,
+        ]
+    }
+}
+
+/// Mine the features of a single function.
+///
+/// Counting rules:
+/// * Astro's own instrumentation intrinsics are invisible (they are
+///   inserted after mining and must not perturb re-mining);
+/// * terminators are not counted (they carry no mix information);
+/// * densities are fractions of the counted instruction total;
+/// * mangled functions yield [`FeatureVector::ZERO`] — the paper's LLVM
+///   module "does not recognize mangled C++ routines".
+pub fn extract_function_features(f: &Function) -> FeatureVector {
+    if f.mangled {
+        return FeatureVector::ZERO;
+    }
+
+    let mut total = 0u64;
+    let mut io = 0u64;
+    let mut mem = 0u64;
+    let mut int = 0u64;
+    let mut fp = 0u64;
+    let mut locks = 0u64;
+    let mut barrier = false;
+    let mut net = false;
+    let mut sleep = false;
+    let mut io_weight = 0.0f64;
+    let mut nesting = 0u32;
+
+    for_each_instr_with_depth(f, |_, depth, ins| {
+        let op = ins.opcode();
+        if let Opcode::CallLib(lc) = op {
+            if lc.is_astro_intrinsic() {
+                return;
+            }
+            match lc.blocking_kind() {
+                Some(astro_ir::BlockingKind::Barrier) => barrier = true,
+                Some(astro_ir::BlockingKind::Net) => net = true,
+                Some(astro_ir::BlockingKind::Sleep) => sleep = true,
+                _ => {}
+            }
+        }
+        total += 1;
+        nesting = nesting.max(depth);
+        if op.is_io() {
+            io += 1;
+            io_weight += 10f64.powi(depth as i32);
+        }
+        if op.is_mem() {
+            mem += 1;
+        }
+        if op.is_int_arith() {
+            int += 1;
+        }
+        if op.is_fp_arith() {
+            fp += 1;
+        }
+        if op.is_lock() {
+            locks += 1;
+        }
+    });
+
+    if total == 0 {
+        return FeatureVector {
+            barrier,
+            net,
+            sleep,
+            ..FeatureVector::ZERO
+        };
+    }
+    let t = total as f64;
+    FeatureVector {
+        io_dens: io as f64 / t,
+        mem_dens: mem as f64 / t,
+        int_dens: int as f64 / t,
+        fp_dens: fp as f64 / t,
+        locks_dens: locks as f64 / t,
+        barrier,
+        net,
+        sleep,
+        arith_density: (int + fp) as f64 / t,
+        io_weight,
+        nesting_factor: nesting,
+        total_instrs: total,
+    }
+}
+
+/// Mine features for every function of a module, indexable by
+/// [`FunctionId`].
+pub fn extract_module_features(m: &Module) -> Vec<FeatureVector> {
+    m.functions.iter().map(extract_function_features).collect()
+}
+
+/// Convenience: features of the function with the given id.
+pub fn features_of(m: &Module, f: FunctionId) -> FeatureVector {
+    extract_function_features(m.function(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_ir::{FunctionBuilder, LibCall, Ty, Value};
+
+    #[test]
+    fn pure_fp_kernel_is_fp_dense() {
+        let mut b = FunctionBuilder::new("k", Ty::Void);
+        for _ in 0..8 {
+            let x = b.load(Ty::F64);
+            let y = b.fmul(Ty::F64, x, x);
+            b.fadd(Ty::F64, y, y);
+        }
+        b.ret(None);
+        let fv = extract_function_features(&b.finish());
+        // 8 loads, 16 fp ops → fp_dens = 16/24, mem = 8/24.
+        assert!((fv.fp_dens - 16.0 / 24.0).abs() < 1e-12);
+        assert!((fv.mem_dens - 8.0 / 24.0).abs() < 1e-12);
+        assert_eq!(fv.int_dens, 0.0);
+        assert_eq!(fv.io_dens, 0.0);
+        assert!(!fv.any_dormant());
+    }
+
+    #[test]
+    fn io_weight_scales_with_nesting() {
+        // One I/O call at depth 0 → weight 1; one at depth 2 → weight 100.
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        b.call_lib(LibCall::ReadFile, &[]);
+        b.counted_loop(4, |b| {
+            b.counted_loop(4, |b| {
+                b.call_lib(LibCall::WriteFile, &[]);
+            });
+        });
+        b.ret(None);
+        let fv = extract_function_features(&b.finish());
+        assert_eq!(fv.io_weight, 1.0 + 100.0);
+        assert_eq!(fv.nesting_factor, 2);
+    }
+
+    #[test]
+    fn dormant_flags_fire() {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        b.call_lib(LibCall::BarrierWait, &[Value::int(0)]);
+        b.call_lib(LibCall::Sleep, &[Value::int(1000)]);
+        b.ret(None);
+        let fv = extract_function_features(&b.finish());
+        assert!(fv.barrier);
+        assert!(fv.sleep);
+        assert!(!fv.net);
+        assert!(fv.any_dormant());
+    }
+
+    #[test]
+    fn lock_density_counts_lock_and_unlock() {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        b.call_lib(LibCall::MutexLock, &[Value::int(0)]);
+        b.load(Ty::I64);
+        b.call_lib(LibCall::MutexUnlock, &[Value::int(0)]);
+        b.ret(None);
+        let fv = extract_function_features(&b.finish());
+        assert!((fv.locks_dens - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn astro_intrinsics_invisible_to_miner() {
+        let mut plain = FunctionBuilder::new("f", Ty::Void);
+        plain.load(Ty::I64);
+        plain.ret(None);
+        let base = extract_function_features(&plain.finish());
+
+        let mut instrumented = FunctionBuilder::new("g", Ty::Void);
+        instrumented.call_lib(LibCall::AstroLogPhase, &[Value::int(2)]);
+        instrumented.load(Ty::I64);
+        instrumented.call_lib(LibCall::AstroSetConfig, &[Value::int(5)]);
+        instrumented.ret(None);
+        let instr = extract_function_features(&instrumented.finish());
+
+        assert_eq!(base.mem_dens, instr.mem_dens);
+        assert_eq!(base.total_instrs, instr.total_instrs);
+    }
+
+    #[test]
+    fn mangled_functions_yield_zero() {
+        let mut b = FunctionBuilder::new("_ZN3fooE", Ty::Void);
+        b.mangled();
+        b.load(Ty::F64);
+        b.ret(None);
+        assert_eq!(extract_function_features(&b.finish()), FeatureVector::ZERO);
+    }
+
+    #[test]
+    fn empty_function_is_zero_but_valid() {
+        let mut b = FunctionBuilder::new("empty", Ty::Void);
+        b.ret(None);
+        let fv = extract_function_features(&b.finish());
+        assert_eq!(fv.total_instrs, 0);
+        assert_eq!(fv.mem_dens, 0.0);
+    }
+
+    #[test]
+    fn densities_sum_at_most_one_for_disjoint_classes() {
+        let mut b = FunctionBuilder::new("mix", Ty::Void);
+        b.counted_loop(10, |b| {
+            let x = b.load(Ty::F64);
+            b.fadd(Ty::F64, x, x);
+            let i = b.iadd(Ty::I64, Value::int(0), Value::int(1));
+            b.store(Ty::I64, i);
+            b.call_lib(LibCall::ReadFile, &[]);
+        });
+        b.ret(None);
+        let fv = extract_function_features(&b.finish());
+        // io, mem, int, fp have disjoint numerators.
+        assert!(fv.io_dens + fv.mem_dens + fv.int_dens + fv.fp_dens <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,192 @@
+//! Learning-mode instrumentation (Figure 8a of the paper).
+//!
+//! The instrumented program announces its own phase changes to the Astro
+//! runtime: a `save_feature_range`-style marker at every function entry,
+//! and `toggle_sleeping_state` markers around library calls that put the
+//! program to sleep (barriers, network waits, sleeps). Both are modelled
+//! as Astro intrinsics ([`LibCall::AstroLogPhase`],
+//! [`LibCall::AstroToggleBlocked`]) that the execution engine interprets.
+
+use crate::phase::PhaseMap;
+use astro_ir::{Instr, InstrKind, LibCall, Module, Value};
+
+/// What the instrumentation pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InstrumentationReport {
+    /// Functions that received an entry marker.
+    pub functions_instrumented: usize,
+    /// Entry-point phase markers inserted.
+    pub entry_markers: usize,
+    /// `toggle_blocked` pairs inserted around dormant library calls.
+    pub toggle_pairs: usize,
+}
+
+fn intrinsic(callee: LibCall, imm: i64) -> Instr {
+    Instr {
+        result: None,
+        kind: InstrKind::CallLib {
+            callee,
+            args: vec![Value::int(imm)],
+        },
+    }
+}
+
+/// Is this instruction a library call that forces the program to wait for
+/// an external event (the calls §3.1.1 wraps with phase toggles)?
+fn is_dormant_call(ins: &Instr) -> bool {
+    matches!(
+        &ins.kind,
+        InstrKind::CallLib { callee, .. } if callee.is_dormant_wait()
+    )
+}
+
+/// Instrument `m` for the learning phase.
+///
+/// * At the entry of every function: `astro.log_phase(phase_index)`.
+/// * Around every dormant library call: `astro.toggle_blocked(1)` before
+///   and `astro.toggle_blocked(0)` after.
+///
+/// Functions whose features the miner cannot see (mangled C++ symbols)
+/// still get an entry marker — their phase is `Other` per the zero
+/// feature vector — matching the paper's behaviour of scheduling unknown
+/// code conservatively.
+pub fn instrument_for_learning(m: &mut Module, phases: &PhaseMap) -> InstrumentationReport {
+    let mut report = InstrumentationReport::default();
+
+    for (fid, f) in m
+        .functions
+        .iter_mut()
+        .enumerate()
+        .map(|(i, f)| (astro_ir::FunctionId(i as u32), f))
+    {
+        let phase = phases.phase(fid);
+
+        // Entry marker, prepended to the entry block.
+        let entry = f.entry;
+        f.block_mut(entry)
+            .instrs
+            .insert(0, intrinsic(LibCall::AstroLogPhase, phase.index() as i64));
+        report.functions_instrumented += 1;
+        report.entry_markers += 1;
+
+        // Toggle pairs around dormant calls, in every block.
+        for b in &mut f.blocks {
+            // Positions of dormant calls, found first so we can insert
+            // back-to-front without invalidating indices.
+            let sites: Vec<usize> = b
+                .instrs
+                .iter()
+                .enumerate()
+                .filter(|(_, ins)| is_dormant_call(ins))
+                .map(|(i, _)| i)
+                .collect();
+            for &i in sites.iter().rev() {
+                b.instrs
+                    .insert(i + 1, intrinsic(LibCall::AstroToggleBlocked, 0));
+                b.instrs
+                    .insert(i, intrinsic(LibCall::AstroToggleBlocked, 1));
+                report.toggle_pairs += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::{PhaseMap, ProgramPhase};
+    use astro_ir::{FunctionBuilder, Opcode, Ty};
+
+    fn build_demo() -> Module {
+        let mut m = Module::new("demo");
+        let mut main = FunctionBuilder::new("main", Ty::Void);
+        main.load(Ty::I64);
+        main.call_lib(LibCall::Sleep, &[Value::int(100)]);
+        main.counted_loop(4, |b| {
+            let x = b.load(Ty::F64);
+            b.fmul(Ty::F64, x, x);
+        });
+        main.ret(None);
+        let f = m.add_function(main.finish());
+        m.set_entry(f);
+        m
+    }
+
+    #[test]
+    fn entry_marker_is_first_instruction() {
+        let mut m = build_demo();
+        let phases = PhaseMap::compute(&m);
+        let rep = instrument_for_learning(&mut m, &phases);
+        assert_eq!(rep.entry_markers, 1);
+        let f = m.function(m.entry.unwrap());
+        let first = &f.block(f.entry).instrs[0];
+        match &first.kind {
+            InstrKind::CallLib { callee, args } => {
+                assert_eq!(*callee, LibCall::AstroLogPhase);
+                // main sleeps → Blocked phase index 0.
+                assert_eq!(args[0].as_const_int(), Some(ProgramPhase::Blocked.index() as i64));
+            }
+            other => panic!("expected log_phase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn toggles_bracket_dormant_calls() {
+        let mut m = build_demo();
+        let phases = PhaseMap::compute(&m);
+        let rep = instrument_for_learning(&mut m, &phases);
+        assert_eq!(rep.toggle_pairs, 1);
+        let f = m.function(m.entry.unwrap());
+        let entry = f.block(f.entry);
+        let ops: Vec<Opcode> = entry.instrs.iter().map(|i| i.opcode()).collect();
+        let sleep_at = ops
+            .iter()
+            .position(|o| matches!(o, Opcode::CallLib(LibCall::Sleep)))
+            .expect("sleep call survives");
+        assert_eq!(
+            ops[sleep_at - 1],
+            Opcode::CallLib(LibCall::AstroToggleBlocked)
+        );
+        assert_eq!(
+            ops[sleep_at + 1],
+            Opcode::CallLib(LibCall::AstroToggleBlocked)
+        );
+    }
+
+    #[test]
+    fn instrumented_module_still_verifies() {
+        let mut m = build_demo();
+        let phases = PhaseMap::compute(&m);
+        instrument_for_learning(&mut m, &phases);
+        assert_eq!(m.verify(), Ok(()));
+    }
+
+    #[test]
+    fn instrumentation_is_invisible_to_reminer() {
+        let mut m = build_demo();
+        let before = PhaseMap::compute(&m);
+        instrument_for_learning(&mut m, &before.clone());
+        let after = PhaseMap::compute(&m);
+        for (fid, p) in before.iter() {
+            assert_eq!(after.phase(fid), p, "phase changed by instrumentation");
+        }
+    }
+
+    #[test]
+    fn multiple_dormant_calls_each_get_pairs() {
+        let mut m = Module::new("m");
+        let mut f = FunctionBuilder::new("main", Ty::Void);
+        f.call_lib(LibCall::BarrierWait, &[Value::int(0)]);
+        f.load(Ty::I32);
+        f.call_lib(LibCall::NetRecv, &[]);
+        f.call_lib(LibCall::Sleep, &[Value::int(5)]);
+        f.ret(None);
+        let id = m.add_function(f.finish());
+        m.set_entry(id);
+        let phases = PhaseMap::compute(&m);
+        let rep = instrument_for_learning(&mut m, &phases);
+        assert_eq!(rep.toggle_pairs, 3);
+        assert_eq!(m.verify(), Ok(()));
+    }
+}

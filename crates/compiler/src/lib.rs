@@ -1,0 +1,38 @@
+//! # astro-compiler — the static half of Astro
+//!
+//! Everything the paper's §3.1.1 ("Phase Partitioning"), §3.2's
+//! instrumentation, and §3.3 ("Code Scheduling") ask of the compiler:
+//!
+//! * [`features`] — mine code-level features from the IR: the density
+//!   features `IO-Dens`, `Mem-Dens`, `Int-Dens`, `FP-Dens`, `Locks-Dens`
+//!   and the blocking flags `Barrier`, `Net`, `Sleep`, plus the
+//!   Example 3.4 heuristics (arithmetic density, loop-nesting-weighted
+//!   I/O weight, nesting factor) used in Figure 6;
+//! * [`ranges`] — the generic feature-range machinery of Definition 3.3:
+//!   partition each feature's domain into intervals and form program
+//!   phases as points of the product space;
+//! * [`phase`] — the paper's concrete four-phase partition (`Blocked`,
+//!   `I/O Bound`, `CPU Bound`, `Other`) and the per-module phase map;
+//! * [`instrument`] — learning-mode instrumentation: log the program
+//!   phase at function entries and toggle the blocked flag around
+//!   dormant library calls (Figure 8a);
+//! * [`codegen`] — final code generation: bake a learned policy into the
+//!   program as static (Figure 8b) or hybrid (Figure 8c) actuation calls;
+//! * [`size`] — the binary-size model behind Figure 11;
+//! * [`pass`] — a small pass manager tying the stages together.
+
+pub mod codegen;
+pub mod features;
+pub mod instrument;
+pub mod pass;
+pub mod phase;
+pub mod ranges;
+pub mod size;
+
+pub use codegen::{strip_astro_instrumentation, CodegenMode, FinalCodegen};
+pub use features::{extract_function_features, extract_module_features, FeatureVector};
+pub use instrument::{instrument_for_learning, InstrumentationReport};
+pub use pass::{Pass, PassManager};
+pub use phase::{classify, PhaseMap, ProgramPhase};
+pub use ranges::{PhaseSpace, RangeSet};
+pub use size::{CodeSizeModel, SizeBreakdown};

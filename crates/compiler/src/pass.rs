@@ -1,0 +1,152 @@
+//! A minimal pass manager: named module transforms with inter-pass
+//! verification, mirroring how the paper chains `Extractor → Annotator →
+//! CodeGen` through `LLVM-opt` (Figure 5).
+
+use crate::codegen::{strip_astro_instrumentation, CodegenMode, FinalCodegen};
+use crate::instrument::instrument_for_learning;
+use crate::phase::{PhaseMap, ProgramPhase};
+use astro_ir::{Module, VerifyError};
+
+/// A module transformation.
+pub trait Pass {
+    /// Short pass name for reports.
+    fn name(&self) -> &'static str;
+    /// Apply the pass; returns a one-line human-readable note.
+    fn run(&mut self, m: &mut Module) -> String;
+}
+
+/// Runs passes in order, optionally verifying the module between passes.
+pub struct PassManager {
+    /// Verify after every pass (on by default; the paper's pipeline runs
+    /// `opt` repeatedly, which implies verification).
+    pub verify_between: bool,
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        PassManager {
+            verify_between: true,
+        }
+    }
+}
+
+impl PassManager {
+    /// Run all passes; returns per-pass notes, or the first verification
+    /// failure.
+    pub fn run(
+        &self,
+        m: &mut Module,
+        passes: &mut [Box<dyn Pass>],
+    ) -> Result<Vec<String>, VerifyError> {
+        let mut notes = Vec::with_capacity(passes.len());
+        for p in passes {
+            let note = p.run(m);
+            notes.push(format!("{}: {}", p.name(), note));
+            if self.verify_between {
+                m.verify()?;
+            }
+        }
+        Ok(notes)
+    }
+}
+
+/// Pass wrapper: learning-mode instrumentation (recomputes phases).
+pub struct LearningInstrumentationPass;
+
+impl Pass for LearningInstrumentationPass {
+    fn name(&self) -> &'static str {
+        "astro-learning-instrument"
+    }
+    fn run(&mut self, m: &mut Module) -> String {
+        let phases = PhaseMap::compute(m);
+        let rep = instrument_for_learning(m, &phases);
+        format!(
+            "{} entry markers, {} toggle pairs",
+            rep.entry_markers, rep.toggle_pairs
+        )
+    }
+}
+
+/// Pass wrapper: strip all Astro intrinsics.
+pub struct StripInstrumentationPass;
+
+impl Pass for StripInstrumentationPass {
+    fn name(&self) -> &'static str {
+        "astro-strip"
+    }
+    fn run(&mut self, m: &mut Module) -> String {
+        let n = strip_astro_instrumentation(m);
+        format!("removed {n} intrinsics")
+    }
+}
+
+/// Pass wrapper: final code generation with a learned table.
+pub struct FinalCodegenPass {
+    /// Emission mode (static/hybrid).
+    pub mode: CodegenMode,
+    /// Learned phase→configuration table.
+    pub config_for_phase: [usize; ProgramPhase::COUNT],
+}
+
+impl Pass for FinalCodegenPass {
+    fn name(&self) -> &'static str {
+        "astro-final-codegen"
+    }
+    fn run(&mut self, m: &mut Module) -> String {
+        let phases = PhaseMap::compute(m);
+        let cg = FinalCodegen::new(self.mode, self.config_for_phase);
+        let n = cg.run(m, &phases);
+        format!("{n} decision points ({:?})", self.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_ir::{FunctionBuilder, LibCall, Ty, Value};
+
+    fn demo() -> Module {
+        let mut m = Module::new("demo");
+        let mut main = FunctionBuilder::new("main", Ty::Void);
+        main.call_lib(LibCall::Sleep, &[Value::int(1)]);
+        main.ret(None);
+        let f = m.add_function(main.finish());
+        m.set_entry(f);
+        m
+    }
+
+    #[test]
+    fn pipeline_instrument_strip_roundtrips() {
+        let mut m = demo();
+        let before = m.total_instrs();
+        let pm = PassManager::default();
+        let notes = pm
+            .run(
+                &mut m,
+                &mut [
+                    Box::new(LearningInstrumentationPass),
+                    Box::new(StripInstrumentationPass),
+                ],
+            )
+            .expect("verifies between passes");
+        assert_eq!(notes.len(), 2);
+        assert!(notes[0].contains("entry markers"));
+        assert_eq!(m.total_instrs(), before);
+    }
+
+    #[test]
+    fn final_codegen_pass_reports_mode() {
+        let mut m = demo();
+        let pm = PassManager::default();
+        let notes = pm
+            .run(
+                &mut m,
+                &mut [Box::new(FinalCodegenPass {
+                    mode: CodegenMode::Hybrid,
+                    config_for_phase: [0; 4],
+                })],
+            )
+            .unwrap();
+        assert!(notes[0].contains("Hybrid"));
+    }
+}

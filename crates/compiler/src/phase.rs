@@ -1,0 +1,229 @@
+//! The paper's concrete program phases and the classification rules of
+//! §3.1.1 ("Our Choice of Program Phases").
+
+use crate::features::{extract_module_features, FeatureVector};
+use astro_ir::{FunctionId, Module};
+use std::fmt;
+
+/// The four program phases Astro uses in its evaluation.
+///
+/// Classification rules (quoted from the paper):
+/// * **Blocked**: `Barrier ∨ Net ∨ Sleep ∨ Locks-Dens > 0.5`;
+/// * **I/O Bound**: `IO-Dens + Mem-Dens > 0.5 ∧ ¬Blocked ∧ Locks-Dens = 0`;
+/// * **CPU Bound**: `Int-Dens + FP-Dens > 0.5 ∧ ¬Blocked`;
+/// * **Other**: none of the above.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProgramPhase {
+    Blocked,
+    IoBound,
+    CpuBound,
+    Other,
+}
+
+impl ProgramPhase {
+    /// All phases, index order.
+    pub const ALL: [ProgramPhase; 4] = [
+        ProgramPhase::Blocked,
+        ProgramPhase::IoBound,
+        ProgramPhase::CpuBound,
+        ProgramPhase::Other,
+    ];
+
+    /// Number of phases.
+    pub const COUNT: usize = 4;
+
+    /// Dense index (stable across the codebase: encodes into learning
+    /// states and instrumentation immediates).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            ProgramPhase::Blocked => 0,
+            ProgramPhase::IoBound => 1,
+            ProgramPhase::CpuBound => 2,
+            ProgramPhase::Other => 3,
+        }
+    }
+
+    /// Inverse of [`ProgramPhase::index`].
+    ///
+    /// # Panics
+    /// Panics if `i >= 4`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+}
+
+impl fmt::Display for ProgramPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProgramPhase::Blocked => "Blocked",
+            ProgramPhase::IoBound => "I/O Bound",
+            ProgramPhase::CpuBound => "CPU Bound",
+            ProgramPhase::Other => "Other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classify a feature vector into the paper's four phases.
+pub fn classify(fv: &FeatureVector) -> ProgramPhase {
+    let blocked = fv.barrier || fv.net || fv.sleep || fv.locks_dens > 0.5;
+    if blocked {
+        return ProgramPhase::Blocked;
+    }
+    if fv.io_dens + fv.mem_dens > 0.5 && fv.locks_dens == 0.0 {
+        return ProgramPhase::IoBound;
+    }
+    if fv.int_dens + fv.fp_dens > 0.5 {
+        return ProgramPhase::CpuBound;
+    }
+    ProgramPhase::Other
+}
+
+/// Per-function phases for a whole module: the output of phase
+/// partitioning, consumed by instrumentation and code generation.
+#[derive(Clone, Debug)]
+pub struct PhaseMap {
+    phases: Vec<ProgramPhase>,
+    features: Vec<FeatureVector>,
+}
+
+impl PhaseMap {
+    /// Mine features and classify every function of `m`.
+    pub fn compute(m: &Module) -> Self {
+        let features = extract_module_features(m);
+        let phases = features.iter().map(classify).collect();
+        PhaseMap { phases, features }
+    }
+
+    /// Phase of function `f`.
+    #[inline]
+    pub fn phase(&self, f: FunctionId) -> ProgramPhase {
+        self.phases[f.0 as usize]
+    }
+
+    /// Mined features of function `f`.
+    #[inline]
+    pub fn features(&self, f: FunctionId) -> &FeatureVector {
+        &self.features[f.0 as usize]
+    }
+
+    /// Number of functions covered.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// True if the module had no functions.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Iterate (function, phase).
+    pub fn iter(&self) -> impl Iterator<Item = (FunctionId, ProgramPhase)> + '_ {
+        self.phases
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (FunctionId(i as u32), p))
+    }
+
+    /// How many functions landed in each phase (indexed by
+    /// [`ProgramPhase::index`]).
+    pub fn histogram(&self) -> [usize; ProgramPhase::COUNT] {
+        let mut h = [0usize; ProgramPhase::COUNT];
+        for &p in &self.phases {
+            h[p.index()] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_ir::{FunctionBuilder, LibCall, Ty, Value};
+
+    fn fv() -> FeatureVector {
+        FeatureVector::ZERO
+    }
+
+    #[test]
+    fn barrier_forces_blocked() {
+        let mut v = fv();
+        v.barrier = true;
+        v.int_dens = 0.9; // would otherwise be CPU bound
+        assert_eq!(classify(&v), ProgramPhase::Blocked);
+    }
+
+    #[test]
+    fn heavy_locking_is_blocked() {
+        let mut v = fv();
+        v.locks_dens = 0.51;
+        assert_eq!(classify(&v), ProgramPhase::Blocked);
+        v.locks_dens = 0.5; // strictly greater required
+        assert_eq!(classify(&v), ProgramPhase::Other);
+    }
+
+    #[test]
+    fn io_bound_requires_zero_locks() {
+        let mut v = fv();
+        v.io_dens = 0.3;
+        v.mem_dens = 0.3;
+        assert_eq!(classify(&v), ProgramPhase::IoBound);
+        v.locks_dens = 0.1; // any locking disqualifies I/O bound…
+        assert_eq!(classify(&v), ProgramPhase::Other);
+        v.int_dens = 0.6; // …but CPU bound tolerates it
+        assert_eq!(classify(&v), ProgramPhase::CpuBound);
+    }
+
+    #[test]
+    fn cpu_bound_from_arith_majority() {
+        let mut v = fv();
+        v.int_dens = 0.3;
+        v.fp_dens = 0.25;
+        assert_eq!(classify(&v), ProgramPhase::CpuBound);
+    }
+
+    #[test]
+    fn defaults_to_other() {
+        assert_eq!(classify(&fv()), ProgramPhase::Other);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for p in ProgramPhase::ALL {
+            assert_eq!(ProgramPhase::from_index(p.index()), p);
+        }
+    }
+
+    #[test]
+    fn phase_map_over_module() {
+        let mut m = astro_ir::Module::new("m");
+        // CPU-bound kernel.
+        let mut k = FunctionBuilder::new("kernel", Ty::Void);
+        k.counted_loop(64, |b| {
+            let x = b.load(Ty::F64);
+            let y = b.fmul(Ty::F64, x, x);
+            b.fadd(Ty::F64, y, y);
+            let i = b.iadd(Ty::I64, Value::int(0), Value::int(1));
+            b.imul(Ty::I64, i, i);
+        });
+        k.ret(None);
+        let kernel = m.add_function(k.finish());
+
+        // Barrier-waiting function.
+        let mut w = FunctionBuilder::new("sync", Ty::Void);
+        w.call_lib(LibCall::BarrierWait, &[Value::int(0)]);
+        w.ret(None);
+        let sync = m.add_function(w.finish());
+        m.set_entry(kernel);
+
+        let pm = PhaseMap::compute(&m);
+        assert_eq!(pm.phase(kernel), ProgramPhase::CpuBound);
+        assert_eq!(pm.phase(sync), ProgramPhase::Blocked);
+        assert_eq!(pm.len(), 2);
+        let h = pm.histogram();
+        assert_eq!(h[ProgramPhase::Blocked.index()], 1);
+        assert_eq!(h[ProgramPhase::CpuBound.index()], 1);
+    }
+}

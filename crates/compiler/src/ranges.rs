@@ -1,0 +1,190 @@
+//! Feature ranges and phase spaces (Definition 3.3 / Example 3.4).
+//!
+//! A *feature range* partitions one feature's domain into contiguous
+//! intervals; a *program phase* in the general framework is one cell of
+//! the product of several features' partitions. The paper's production
+//! system uses the fixed four-phase rule of [`crate::phase`], but the
+//! generic machinery is exercised in Figure 6 and available to users who
+//! want finer partitions.
+
+use crate::features::FeatureVector;
+
+/// A partition of `[0, +∞)` into contiguous buckets.
+///
+/// Bucket `i` covers `[boundaries[i-1], boundaries[i])`, with bucket 0
+/// starting at 0 and the last bucket extending to `+∞`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RangeSet {
+    name: String,
+    boundaries: Vec<f64>,
+}
+
+impl RangeSet {
+    /// Build a range set from strictly increasing interior boundaries.
+    ///
+    /// # Panics
+    /// Panics if the boundaries are not strictly increasing or any is
+    /// non-positive/NaN.
+    pub fn new(name: impl Into<String>, boundaries: &[f64]) -> Self {
+        for w in boundaries.windows(2) {
+            assert!(w[0] < w[1], "range boundaries must be strictly increasing");
+        }
+        for &b in boundaries {
+            assert!(b > 0.0 && b.is_finite(), "boundaries must be positive finite");
+        }
+        RangeSet {
+            name: name.into(),
+            boundaries: boundaries.to_vec(),
+        }
+    }
+
+    /// The feature name this partition applies to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of buckets (`boundaries.len() + 1`).
+    pub fn num_buckets(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// Which bucket does `x` fall into? Negative values clamp to bucket 0.
+    pub fn bucket(&self, x: f64) -> usize {
+        self.boundaries.iter().take_while(|&&b| x >= b).count()
+    }
+}
+
+/// The product of several feature partitions: the general notion of a
+/// program-phase space.
+#[derive(Clone, Debug)]
+pub struct PhaseSpace {
+    dims: Vec<RangeSet>,
+}
+
+impl PhaseSpace {
+    /// Build a phase space from per-feature partitions.
+    pub fn new(dims: Vec<RangeSet>) -> Self {
+        assert!(!dims.is_empty(), "phase space needs at least one dimension");
+        PhaseSpace { dims }
+    }
+
+    /// The Example 3.4 space: arithmetic density × nesting factor × I/O
+    /// weight, with the intervals quoted in the paper
+    /// (3 × 3 × 4 = 36 phases).
+    pub fn example_3_4() -> Self {
+        PhaseSpace::new(vec![
+            RangeSet::new("arith_density", &[0.25, 0.50]),
+            RangeSet::new("nesting_factor", &[2.0, 4.0]),
+            RangeSet::new("io_weight", &[1.0, 10.0, 100.0]),
+        ])
+    }
+
+    /// Number of dimensions.
+    pub fn num_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of phases (product of bucket counts).
+    pub fn num_phases(&self) -> usize {
+        self.dims.iter().map(|d| d.num_buckets()).product()
+    }
+
+    /// Per-dimension bucket of a feature point.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != num_dims()`.
+    pub fn buckets(&self, values: &[f64]) -> Vec<usize> {
+        assert_eq!(values.len(), self.dims.len(), "dimension mismatch");
+        self.dims
+            .iter()
+            .zip(values)
+            .map(|(d, &v)| d.bucket(v))
+            .collect()
+    }
+
+    /// Flat phase index of a feature point (row-major over dimensions).
+    pub fn phase_of(&self, values: &[f64]) -> usize {
+        let bs = self.buckets(values);
+        let mut idx = 0usize;
+        for (d, b) in self.dims.iter().zip(bs) {
+            idx = idx * d.num_buckets() + b;
+        }
+        idx
+    }
+
+    /// Phase index for the Example 3.4 space applied to a mined
+    /// [`FeatureVector`].
+    pub fn phase_of_features(&self, fv: &FeatureVector) -> usize {
+        self.phase_of(&[
+            fv.arith_density,
+            fv.nesting_factor as f64,
+            fv.io_weight,
+        ])
+    }
+
+    /// The dimensions.
+    pub fn dims(&self) -> &[RangeSet] {
+        &self.dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_half_open() {
+        let r = RangeSet::new("x", &[0.25, 0.50]);
+        assert_eq!(r.num_buckets(), 3);
+        assert_eq!(r.bucket(0.0), 0);
+        assert_eq!(r.bucket(0.2499), 0);
+        assert_eq!(r.bucket(0.25), 1, "left-closed at the boundary");
+        assert_eq!(r.bucket(0.49), 1);
+        assert_eq!(r.bucket(0.50), 2);
+        assert_eq!(r.bucket(123.0), 2, "last bucket extends to +inf");
+        assert_eq!(r.bucket(-1.0), 0, "negatives clamp to bucket 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unordered_boundaries_rejected() {
+        RangeSet::new("x", &[0.5, 0.25]);
+    }
+
+    #[test]
+    fn example_3_4_has_36_phases() {
+        let ps = PhaseSpace::example_3_4();
+        assert_eq!(ps.num_phases(), 36);
+        assert_eq!(ps.num_dims(), 3);
+    }
+
+    #[test]
+    fn example_3_4_maps_paper_main_function() {
+        // Example 3.5: main has Arith.Density ∈ [0,0.25), IO Weight ∈ [0,1)
+        // and NestingFactor ∈ [0,1) → all three in bucket 0 → phase 0.
+        let ps = PhaseSpace::example_3_4();
+        assert_eq!(ps.phase_of(&[0.12, 0.0, 0.8]), 0);
+    }
+
+    #[test]
+    fn phase_index_is_row_major_and_bijective_on_buckets() {
+        let ps = PhaseSpace::new(vec![
+            RangeSet::new("a", &[1.0]),
+            RangeSet::new("b", &[1.0, 2.0]),
+        ]);
+        assert_eq!(ps.num_phases(), 6);
+        let mut seen = std::collections::HashSet::new();
+        for a in [0.5, 1.5] {
+            for b in [0.5, 1.5, 2.5] {
+                seen.insert(ps.phase_of(&[a, b]));
+            }
+        }
+        assert_eq!(seen.len(), 6, "all cells reachable and distinct");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_arity_rejected() {
+        PhaseSpace::example_3_4().phase_of(&[1.0]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Binary-size model (Figure 11, RQ5).
+//!
+//! The paper distinguishes three builds of each benchmark:
+//!
+//! * **Original** — no Astro involvement;
+//! * **Learning** — phase markers inserted, *statically* linked, no
+//!   runtime library ("in the Learning phase, binaries do not use any
+//!   dynamically linked library; thus, code size expansion is due to
+//!   instrumentation only, and it is small");
+//! * **Instrumented** — final static or hybrid build, which carries the
+//!   Astro runtime library ("most of the size overhead imposed by Astro
+//!   is due to its dynamic library; this increase is constant across
+//!   benchmarks").
+//!
+//! We model the same accounting: a fixed ELF/base overhead, a per-
+//! instruction encoding cost, a per-intrinsic marker cost (a call
+//! sequence: argument materialisation + call), and a constant runtime
+//! library cost.
+
+use astro_ir::{InstrKind, Module};
+
+/// Tunable byte costs of the size model. Defaults are calibrated to land
+/// in the tens-of-KB range of Figure 11 for benchmark-sized programs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CodeSizeModel {
+    /// Encoded bytes per ordinary IR instruction (ARM-ish mix of 4-byte
+    /// instructions plus literal pools and alignment).
+    pub bytes_per_instr: u64,
+    /// Fixed executable overhead: ELF headers, startup files, libc stubs.
+    pub base_bytes: u64,
+    /// Bytes per Astro intrinsic call site (materialise immediate +
+    /// call + PLT stub amortisation).
+    pub marker_bytes: u64,
+    /// Size of the Astro runtime library linked into final builds.
+    pub runtime_lib_bytes: u64,
+}
+
+impl Default for CodeSizeModel {
+    fn default() -> Self {
+        CodeSizeModel {
+            bytes_per_instr: 14,
+            base_bytes: 9 * 1024,
+            marker_bytes: 24,
+            runtime_lib_bytes: 44 * 1024,
+        }
+    }
+}
+
+/// Sizes of the three builds of one benchmark, in bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizeBreakdown {
+    /// Unmodified program.
+    pub original: u64,
+    /// Learning build (markers only, no runtime library).
+    pub learning: u64,
+    /// Final build (markers + runtime library).
+    pub instrumented: u64,
+}
+
+impl SizeBreakdown {
+    /// Original size in KB (floating, for report tables).
+    pub fn original_kb(&self) -> f64 {
+        self.original as f64 / 1024.0
+    }
+    /// Learning size in KB.
+    pub fn learning_kb(&self) -> f64 {
+        self.learning as f64 / 1024.0
+    }
+    /// Instrumented size in KB.
+    pub fn instrumented_kb(&self) -> f64 {
+        self.instrumented as f64 / 1024.0
+    }
+}
+
+/// Count (ordinary instructions incl. terminators, astro intrinsics).
+fn census(m: &Module) -> (u64, u64) {
+    let mut plain = 0u64;
+    let mut intrinsics = 0u64;
+    for f in &m.functions {
+        for b in &f.blocks {
+            for ins in &b.instrs {
+                match &ins.kind {
+                    InstrKind::CallLib { callee, .. } if callee.is_astro_intrinsic() => {
+                        intrinsics += 1
+                    }
+                    _ => plain += 1,
+                }
+            }
+            plain += 1; // terminator
+        }
+    }
+    (plain, intrinsics)
+}
+
+impl CodeSizeModel {
+    /// Size of one build. `linked_runtime` says whether the Astro runtime
+    /// library is part of the binary (final builds) or not (original and
+    /// learning builds).
+    pub fn binary_size(&self, m: &Module, linked_runtime: bool) -> u64 {
+        let (plain, intrinsics) = census(m);
+        self.base_bytes
+            + plain * self.bytes_per_instr
+            + intrinsics * self.marker_bytes
+            + if linked_runtime {
+                self.runtime_lib_bytes
+            } else {
+                0
+            }
+    }
+
+    /// The Figure 11 triple for one benchmark, given the three builds.
+    pub fn breakdown(
+        &self,
+        original: &Module,
+        learning: &Module,
+        instrumented: &Module,
+    ) -> SizeBreakdown {
+        SizeBreakdown {
+            original: self.binary_size(original, false),
+            learning: self.binary_size(learning, false),
+            instrumented: self.binary_size(instrumented, true),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::{CodegenMode, FinalCodegen};
+    use crate::instrument::instrument_for_learning;
+    use crate::phase::PhaseMap;
+    use astro_ir::{FunctionBuilder, LibCall, Ty, Value};
+
+    fn program(n_kernels: usize) -> Module {
+        let mut m = Module::new("p");
+        let mut main = FunctionBuilder::new("main", Ty::Void);
+        for _ in 0..n_kernels {
+            main.counted_loop(16, |b| {
+                let x = b.load(Ty::F64);
+                b.fmul(Ty::F64, x, x);
+            });
+        }
+        main.call_lib(LibCall::BarrierWait, &[Value::int(0)]);
+        main.ret(None);
+        let f = m.add_function(main.finish());
+        m.set_entry(f);
+        m
+    }
+
+    fn builds(m: &Module) -> (Module, Module, Module) {
+        let original = m.clone();
+        let phases = PhaseMap::compute(m);
+        let mut learning = m.clone();
+        instrument_for_learning(&mut learning, &phases);
+        let mut fin = m.clone();
+        FinalCodegen::new(CodegenMode::Static, [0, 1, 2, 3]).run(&mut fin, &phases);
+        (original, learning, fin)
+    }
+
+    #[test]
+    fn ordering_original_le_learning_le_instrumented() {
+        let m = program(4);
+        let (o, l, f) = builds(&m);
+        let bd = CodeSizeModel::default().breakdown(&o, &l, &f);
+        assert!(bd.original < bd.learning);
+        assert!(bd.learning < bd.instrumented);
+    }
+
+    #[test]
+    fn library_dominates_growth() {
+        // The gap (instrumented − learning) must be ≈ the library size and
+        // identical across differently-sized programs.
+        let model = CodeSizeModel::default();
+        let gaps: Vec<u64> = [2usize, 8, 32]
+            .iter()
+            .map(|&n| {
+                let m = program(n);
+                let (o, l, f) = builds(&m);
+                let bd = model.breakdown(&o, &l, &f);
+                assert!(bd.instrumented - bd.learning >= model.runtime_lib_bytes);
+                bd.instrumented - bd.original
+            })
+            .collect();
+        // Growth is dominated by the constant library: the spread of total
+        // growth across programs is far smaller than the library itself.
+        let min = *gaps.iter().min().unwrap();
+        let max = *gaps.iter().max().unwrap();
+        assert!(max - min < model.runtime_lib_bytes / 4);
+    }
+
+    #[test]
+    fn instrumentation_growth_linear_in_markers() {
+        let model = CodeSizeModel::default();
+        let m = program(4);
+        let (o, l, _) = builds(&m);
+        let (_, intr) = census(&l);
+        assert_eq!(
+            model.binary_size(&l, false) - model.binary_size(&o, false),
+            intr * model.marker_bytes
+        );
+    }
+
+    #[test]
+    fn kb_helpers_divide() {
+        let bd = SizeBreakdown {
+            original: 10 * 1024,
+            learning: 11 * 1024,
+            instrumented: 55 * 1024,
+        };
+        assert_eq!(bd.original_kb(), 10.0);
+        assert_eq!(bd.learning_kb(), 11.0);
+        assert_eq!(bd.instrumented_kb(), 55.0);
+    }
+}

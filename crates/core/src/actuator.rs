@@ -1,0 +1,214 @@
+//! The actuation loop of Figure 7: Monitor → Learn → Adapt.
+//!
+//! Implemented as [`RuntimeHooks`]: the execution engine's periodic
+//! checkpoint delivers the Monitor's sample (configuration and
+//! instruction count from the OS, program phase from the Log, hardware
+//! phase from PerfMon, energy from PowMon); the hooks compute the
+//! reward, feed the experience to the Q-agent (Learn), and return the
+//! next configuration choice (Adapt). The engine applies the
+//! `chg(H′, Hᵢ)` availability rule.
+
+use crate::reward::RewardParams;
+use crate::state::AstroStateSpace;
+use astro_compiler::ProgramPhase;
+use astro_exec::runtime::{MonitorSample, RuntimeHooks};
+use astro_exec::time::SimTime;
+use astro_hw::config::HwConfig;
+use astro_hw::counters::HwPhase;
+use astro_rl::qlearn::QAgent;
+use astro_rl::replay::Experience;
+
+/// Learning-mode hooks: drive a [`QAgent`] from monitor checkpoints.
+///
+/// The same object is reused across training episodes; call
+/// [`AstroLearningHooks::end_episode`] between runs so the last
+/// transition of an episode is marked terminal.
+pub struct AstroLearningHooks {
+    /// The state space / encoder.
+    pub space: AstroStateSpace,
+    /// Reward parameters (γ etc.).
+    pub reward: RewardParams,
+    /// The learner.
+    pub agent: QAgent,
+    /// When true the agent acts greedily and no learning happens
+    /// (evaluation runs of the learning-instrumented binary).
+    pub frozen: bool,
+    /// Per (program phase, hardware phase) visit counts, used later by
+    /// schedule synthesis to weight state aggregation.
+    pub visits: Vec<u64>,
+    pending: Option<(Vec<f64>, usize)>,
+    episodes: usize,
+    reward_log: Vec<f64>,
+}
+
+impl AstroLearningHooks {
+    /// New hooks around an agent.
+    pub fn new(space: AstroStateSpace, reward: RewardParams, agent: QAgent) -> Self {
+        AstroLearningHooks {
+            space,
+            reward,
+            agent,
+            frozen: false,
+            visits: vec![0; ProgramPhase::COUNT * HwPhase::COUNT],
+            pending: None,
+            episodes: 0,
+            reward_log: Vec::new(),
+        }
+    }
+
+    /// Mark the end of a training episode (program run). The pending
+    /// transition, if any, is flushed as terminal with the last reward
+    /// observed.
+    pub fn end_episode(&mut self) {
+        if let Some((state, action)) = self.pending.take() {
+            if !self.frozen {
+                let r = self.reward_log.last().copied().unwrap_or(0.0);
+                let next = state.clone();
+                self.agent.observe(Experience {
+                    state,
+                    action,
+                    reward: r,
+                    next_state: next,
+                    terminal: true,
+                });
+            }
+        }
+        self.episodes += 1;
+    }
+
+    /// Episodes completed.
+    pub fn episodes(&self) -> usize {
+        self.episodes
+    }
+
+    /// Rewards observed at each checkpoint, in order (convergence
+    /// analysis).
+    pub fn reward_history(&self) -> &[f64] {
+        &self.reward_log
+    }
+
+    /// Visit count for a (program phase, hardware phase) pair.
+    pub fn visit_count(&self, phase: ProgramPhase, hw: HwPhase) -> u64 {
+        self.visits[phase.index() * HwPhase::COUNT + hw.index()]
+    }
+}
+
+impl RuntimeHooks for AstroLearningHooks {
+    fn on_checkpoint(&mut self, sample: &MonitorSample) -> Option<HwConfig> {
+        let s_now = self
+            .space
+            .encode(sample.config_idx, sample.program_phase, sample.hw_phase);
+        let r = self.reward.reward(sample.mips, sample.watts);
+        self.reward_log.push(r);
+        self.visits
+            [sample.program_phase.index() * HwPhase::COUNT + sample.hw_phase.index()] += 1;
+
+        if !self.frozen {
+            if let Some((state, action)) = self.pending.take() {
+                self.agent.observe(Experience {
+                    state,
+                    action,
+                    reward: r,
+                    next_state: s_now.clone(),
+                    terminal: false,
+                });
+            }
+        }
+
+        let action = if self.frozen {
+            self.agent.best_action(&s_now)
+        } else {
+            self.agent.select_action(&s_now)
+        };
+        self.pending = Some((s_now, action));
+        Some(self.space.configs.from_index(action))
+    }
+
+    fn on_log_phase(&mut self, _t: SimTime, _phase: ProgramPhase) {}
+    fn on_toggle_blocked(&mut self, _t: SimTime, _blocked: bool) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_hw::counters::CounterDelta;
+    use astro_rl::qlearn::QConfig;
+
+    fn sample(config_idx: usize, mips: f64, watts: f64) -> MonitorSample {
+        MonitorSample {
+            t: SimTime::from_millis(500.0),
+            config: AstroStateSpace::ODROID_XU4.configs.from_index(config_idx),
+            config_idx,
+            program_phase: ProgramPhase::CpuBound,
+            hw_phase: HwPhase::from_index(0),
+            delta: CounterDelta::default(),
+            energy_delta_j: watts * 0.5,
+            watts,
+            mips,
+        }
+    }
+
+    fn hooks() -> AstroLearningHooks {
+        let space = AstroStateSpace::ODROID_XU4;
+        let agent = QAgent::new(QConfig::astro_default(
+            space.encoding_dim(),
+            space.num_actions(),
+        ));
+        AstroLearningHooks::new(space, RewardParams::default(), agent)
+    }
+
+    #[test]
+    fn checkpoint_returns_a_config_request() {
+        let mut h = hooks();
+        let req = h.on_checkpoint(&sample(3, 1500.0, 2.0));
+        assert!(req.is_some());
+        assert_eq!(h.reward_history().len(), 1);
+    }
+
+    #[test]
+    fn transitions_flow_into_agent() {
+        let mut h = hooks();
+        let before = h.agent.steps();
+        h.on_checkpoint(&sample(3, 1500.0, 2.0));
+        assert_eq!(h.agent.steps(), before, "first checkpoint has no transition yet");
+        h.on_checkpoint(&sample(5, 900.0, 1.0));
+        assert_eq!(h.agent.steps(), before + 1);
+        h.on_checkpoint(&sample(7, 1100.0, 1.5));
+        assert_eq!(h.agent.steps(), before + 2);
+    }
+
+    #[test]
+    fn end_episode_flushes_terminal() {
+        let mut h = hooks();
+        h.on_checkpoint(&sample(3, 1500.0, 2.0));
+        let before = h.agent.steps();
+        h.end_episode();
+        assert_eq!(h.agent.steps(), before + 1, "pending flushed as terminal");
+        assert_eq!(h.episodes(), 1);
+        // A fresh checkpoint after an episode boundary starts a new chain.
+        h.on_checkpoint(&sample(3, 1500.0, 2.0));
+        assert_eq!(h.agent.steps(), before + 1);
+    }
+
+    #[test]
+    fn frozen_hooks_do_not_learn() {
+        let mut h = hooks();
+        h.frozen = true;
+        h.on_checkpoint(&sample(3, 1500.0, 2.0));
+        h.on_checkpoint(&sample(5, 900.0, 1.0));
+        h.end_episode();
+        assert_eq!(h.agent.steps(), 0);
+    }
+
+    #[test]
+    fn visits_counted_per_phase_pair() {
+        let mut h = hooks();
+        h.on_checkpoint(&sample(3, 1500.0, 2.0));
+        h.on_checkpoint(&sample(3, 1500.0, 2.0));
+        assert_eq!(
+            h.visit_count(ProgramPhase::CpuBound, HwPhase::from_index(0)),
+            2
+        );
+        assert_eq!(h.visit_count(ProgramPhase::Blocked, HwPhase::from_index(0)), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Hipster (Nishtala et al., HPCA'17) adapted to multithreaded programs,
+//! as in §4.1: the same reinforcement-learning machinery as Astro with
+//! the same reward function, but *without* compiler-provided program
+//! phases — its state is hardware configuration + hardware phase only.
+//!
+//! This faithfully isolates the paper's thesis: any gap between Astro
+//! and Hipster in the experiments is attributable to syntax awareness.
+
+use crate::reward::RewardParams;
+use crate::state::AstroStateSpace;
+use crate::tracesim::{AstroTracePolicy, StateView};
+use astro_rl::qlearn::{QAgent, QConfig};
+
+/// Build the Hipster trace policy: phase-blind Q-learning with Astro's
+/// reward.
+pub fn hipster_trace_policy(
+    space: AstroStateSpace,
+    reward: RewardParams,
+    mut qcfg: QConfig,
+) -> AstroTracePolicy {
+    qcfg.state_dim = space.encoding_dim();
+    qcfg.num_actions = space.num_actions();
+    let agent = QAgent::new(qcfg);
+    AstroTracePolicy::new(agent, space, reward, StateView::PhaseBlind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracesim::TracePolicy;
+
+    #[test]
+    fn hipster_is_phase_blind() {
+        let space = AstroStateSpace::ODROID_XU4;
+        let qcfg = QConfig::astro_default(space.encoding_dim(), space.num_actions());
+        let p = hipster_trace_policy(space, RewardParams::default(), qcfg);
+        assert_eq!(p.view, StateView::PhaseBlind);
+        assert_eq!(p.name(), "Hipster");
+    }
+}

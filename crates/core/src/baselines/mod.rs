@@ -1,0 +1,19 @@
+//! State-of-the-art baselines (RQ3): Hipster and Octopus-Man.
+//!
+//! "We tried to implement, on the simulator, two well-known schedulers
+//! for big.LITTLE architectures: Hipster [20] and Octopus-Man [22]."
+//!
+//! * **Hipster** reuses Astro's whole learning stack — same network,
+//!   same reward ("both Hipster and Astro use the same reward
+//!   function") — but its state omits the program phase: it adapts to
+//!   hardware counters alone. It is constructed with
+//!   [`crate::tracesim::StateView::PhaseBlind`]; see [`hipster`].
+//! * **Octopus-Man** "is the profiling mechanism used in Hipster; hence,
+//!   it does not use the notion of reward": a QoS-driven threshold
+//!   ladder over configurations ordered by capacity; see [`octopus_man`].
+
+pub mod hipster;
+pub mod octopus_man;
+
+pub use hipster::hipster_trace_policy;
+pub use octopus_man::OctopusManPolicy;

@@ -1,0 +1,141 @@
+//! Octopus-Man (Petrucci et al., HPCA'15) adapted to multithreaded
+//! programs: a QoS-driven threshold state machine, no learning, no
+//! reward (§4.1: "Octopus-Man is the profiling mechanism used in
+//! Hipster; hence, it does not use the notion of reward").
+//!
+//! Configurations are ordered by measured capacity (profiled from the
+//! traces' average throughput). The controller watches delivered MIPS:
+//! below the QoS target it climbs to a bigger configuration, above the
+//! target with headroom it steps down to save energy — Octopus-Man's
+//! big/little "ladder".
+
+use crate::trace::TraceSet;
+use crate::tracesim::TracePolicy;
+
+/// Threshold-ladder policy.
+pub struct OctopusManPolicy {
+    /// QoS target as a fraction of the best configuration's average
+    /// throughput.
+    pub qos_frac: f64,
+    /// Headroom factor before stepping down (hysteresis).
+    pub headroom: f64,
+    /// Configurations sorted by profiled capacity (ascending). Built
+    /// lazily from the trace set on first use.
+    ladder: Vec<usize>,
+    /// Position in the ladder.
+    pos: usize,
+    /// Cached QoS target in MIPS.
+    target_mips: f64,
+}
+
+impl OctopusManPolicy {
+    /// A controller with the classic 90%-of-peak target.
+    pub fn new() -> Self {
+        OctopusManPolicy {
+            qos_frac: 0.9,
+            headroom: 1.35,
+            ladder: Vec::new(),
+            pos: 0,
+            target_mips: 0.0,
+        }
+    }
+
+    fn ensure_profiled(&mut self, ts: &TraceSet) {
+        if !self.ladder.is_empty() {
+            return;
+        }
+        // Capacity = average MIPS of each configuration's own trace.
+        let avg_mips = |cfg: usize| {
+            let t = ts.trace(cfg);
+            let n = t.records.len().max(1) as f64;
+            t.records.iter().map(|r| r.mips).sum::<f64>() / n
+        };
+        let mut order: Vec<usize> = (0..ts.num_configs()).collect();
+        order.sort_by(|&a, &b| {
+            avg_mips(a)
+                .partial_cmp(&avg_mips(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let best = avg_mips(*order.last().expect("configs exist"));
+        self.target_mips = self.qos_frac * best;
+        self.ladder = order;
+        self.pos = self.ladder.len() / 2;
+    }
+}
+
+impl Default for OctopusManPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TracePolicy for OctopusManPolicy {
+    fn name(&self) -> String {
+        "Octopus-Man".into()
+    }
+
+    fn choose(&mut self, ts: &TraceSet, frac: f64, current: usize) -> usize {
+        self.ensure_profiled(ts);
+        // Measured throughput right now under the current configuration.
+        let measured = ts.trace(current).record_at(frac).mips;
+        if measured < self.target_mips && self.pos + 1 < self.ladder.len() {
+            self.pos += 1; // QoS violation: climb.
+        } else if measured > self.target_mips * self.headroom && self.pos > 0 {
+            self.pos -= 1; // Comfortable slack: descend to save energy.
+        }
+        self.ladder[self.pos]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracesim::tests::synthetic_traces;
+    use crate::tracesim::{FixedPolicy, TraceSim};
+
+    #[test]
+    fn ladder_sorted_by_capacity() {
+        let ts = synthetic_traces();
+        let mut om = OctopusManPolicy::new();
+        om.ensure_profiled(&ts);
+        // Synthetic config 3 is fastest, 0 slowest.
+        assert_eq!(*om.ladder.first().unwrap(), 0);
+        assert_eq!(*om.ladder.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn meets_qos_faster_than_slowest_fixed() {
+        let ts = synthetic_traces();
+        let sim = TraceSim::new(&ts);
+        let om = sim.run(&mut OctopusManPolicy::new(), 0);
+        let slowest = sim.run(&mut FixedPolicy(0), 0);
+        assert!(om.time_s < slowest.time_s);
+    }
+
+    #[test]
+    fn climbs_on_qos_violation() {
+        let ts = synthetic_traces();
+        let mut om = OctopusManPolicy::new();
+        // Current = slowest config, measured throughput far below the QoS
+        // target → the ladder must climb.
+        let before_pos_cfg = om.choose(&ts, 0.3, 0);
+        om.ensure_profiled(&ts);
+        assert!(
+            before_pos_cfg >= om.ladder[om.ladder.len() / 2],
+            "QoS violation must move up the ladder"
+        );
+    }
+
+    #[test]
+    fn descends_with_headroom() {
+        let ts = synthetic_traces();
+        let mut om = OctopusManPolicy::new();
+        om.ensure_profiled(&ts);
+        let start_pos = om.pos;
+        // Current = fastest config in its full-speed stretch: measured is
+        // far above target × headroom → step down.
+        let chosen = om.choose(&ts, 0.02, 3);
+        assert!(om.pos < start_pos, "headroom must move down the ladder");
+        assert_eq!(chosen, om.ladder[om.pos]);
+    }
+}

@@ -1,0 +1,95 @@
+//! The reward function (Definition 3.7): a weighted performance-per-watt,
+//! `MIPS^γ / Watt`.
+//!
+//! γ trades energy against performance: γ = 1.0 optimises energy
+//! efficiency; γ = 2.0 "emphasizes performance gains" — it maximises the
+//! inverse of the energy–delay product per instruction (the paper's
+//! derivation: `Watt/IPS² = (Energy × Delay)/I²`). The evaluation notes
+//! that "Astro's reward function prioritizes time over energy", i.e. it
+//! runs with γ = 2.0.
+
+/// Parameters of the reward computation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RewardParams {
+    /// The performance-boost exponent γ.
+    pub gamma: f64,
+    /// Normalisation: MIPS are divided by this before exponentiation so
+    /// rewards stay O(1) across γ (keeps NN targets well-scaled).
+    pub mips_scale: f64,
+    /// Power floor, avoids division blow-ups on near-idle intervals.
+    pub min_watts: f64,
+}
+
+impl Default for RewardParams {
+    fn default() -> Self {
+        RewardParams {
+            gamma: 2.0,
+            mips_scale: 2000.0,
+            min_watts: 0.05,
+        }
+    }
+}
+
+impl RewardParams {
+    /// Energy-optimising setting (γ = 1).
+    pub fn energy_oriented() -> Self {
+        RewardParams {
+            gamma: 1.0,
+            ..Default::default()
+        }
+    }
+
+    /// Performance-oriented setting (γ = 2, the evaluation's choice).
+    pub fn performance_oriented() -> Self {
+        RewardParams::default()
+    }
+
+    /// Compute the reward for an interval with the given average MIPS
+    /// and Watts.
+    pub fn reward(&self, mips: f64, watts: f64) -> f64 {
+        let perf = (mips.max(0.0) / self.mips_scale).powf(self.gamma);
+        perf / watts.max(self.min_watts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faster_is_better_at_fixed_power() {
+        let r = RewardParams::default();
+        assert!(r.reward(2000.0, 3.0) > r.reward(1000.0, 3.0));
+    }
+
+    #[test]
+    fn cheaper_is_better_at_fixed_speed() {
+        let r = RewardParams::default();
+        assert!(r.reward(1000.0, 1.0) > r.reward(1000.0, 3.0));
+    }
+
+    #[test]
+    fn gamma_two_prefers_speed_over_proportional_power() {
+        // Doubling speed at double power: γ=2 approves (4×/2×), γ=1 is
+        // indifferent.
+        let perf = RewardParams::performance_oriented();
+        let energy = RewardParams::energy_oriented();
+        assert!(perf.reward(2000.0, 2.0) > perf.reward(1000.0, 1.0) * 1.5);
+        let a = energy.reward(2000.0, 2.0);
+        let b = energy.reward(1000.0, 1.0);
+        assert!((a - b).abs() < 1e-9, "γ=1 is performance-per-watt: {a} vs {b}");
+    }
+
+    #[test]
+    fn idle_interval_rewards_zero_without_nan() {
+        let r = RewardParams::default();
+        let v = r.reward(0.0, 0.0);
+        assert!(v == 0.0 && v.is_finite());
+    }
+
+    #[test]
+    fn power_floor_caps_blowup() {
+        let r = RewardParams::default();
+        assert!(r.reward(1000.0, 1e-9) <= r.reward(1000.0, r.min_watts) + 1e-12);
+    }
+}

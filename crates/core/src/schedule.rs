@@ -1,0 +1,253 @@
+//! Schedule synthesis (§3.3): freezing the learned policy into the
+//! tables that final code generation imprints into the program.
+//!
+//! * A [`StaticSchedule`] maps each program phase to one configuration —
+//!   what Figure 8(b)'s `determine_active_configuration(i)` encodes.
+//! * A [`HybridSchedule`] maps (program phase, hardware phase) to a
+//!   configuration — the table `determine_active_conf(STA, DYN)` of
+//!   Figure 8(c) consults through the runtime.
+
+use crate::actuator::AstroLearningHooks;
+use crate::state::AstroStateSpace;
+use astro_compiler::ProgramPhase;
+use astro_exec::runtime::RuntimeHooks;
+use astro_exec::time::SimTime;
+use astro_hw::config::HwConfig;
+use astro_hw::counters::HwPhase;
+
+/// One configuration index per program phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StaticSchedule {
+    /// Indexed by [`ProgramPhase::index`].
+    pub config_for_phase: [usize; ProgramPhase::COUNT],
+}
+
+impl StaticSchedule {
+    /// The table in codegen form.
+    pub fn as_table(&self) -> [usize; ProgramPhase::COUNT] {
+        self.config_for_phase
+    }
+}
+
+/// One configuration index per (program phase, hardware phase).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HybridSchedule {
+    table: Vec<usize>, // [phase][hw]
+    /// Fallback used for never-visited pairs: the static choice.
+    pub fallback: StaticSchedule,
+}
+
+impl HybridSchedule {
+    /// Configuration index for a (phase, hardware-phase) pair.
+    pub fn get(&self, phase: ProgramPhase, hw: HwPhase) -> usize {
+        self.table[phase.index() * HwPhase::COUNT + hw.index()]
+    }
+
+    /// Override a cell.
+    pub fn set(&mut self, phase: ProgramPhase, hw: HwPhase, cfg: usize) {
+        self.table[phase.index() * HwPhase::COUNT + hw.index()] = cfg;
+    }
+
+    /// A degenerate hybrid schedule that mirrors a static one (every
+    /// hardware phase maps to the phase's static choice).
+    pub fn from_static(st: StaticSchedule) -> Self {
+        let mut table = vec![0usize; ProgramPhase::COUNT * HwPhase::COUNT];
+        for phase in ProgramPhase::ALL {
+            for hw in 0..HwPhase::COUNT {
+                table[phase.index() * HwPhase::COUNT + hw] =
+                    st.config_for_phase[phase.index()];
+            }
+        }
+        HybridSchedule {
+            table,
+            fallback: st,
+        }
+    }
+
+    /// Copy one program phase's row from another schedule.
+    pub fn adopt_row(&mut self, phase: ProgramPhase, from: &HybridSchedule) {
+        for hw in 0..HwPhase::COUNT {
+            let h = HwPhase::from_index(hw);
+            self.set(phase, h, from.get(phase, h));
+        }
+    }
+
+    /// How many distinct configurations the schedule can reach (a
+    /// diversity diagnostic: 1 means it degenerated to a static policy).
+    pub fn distinct_configs(&self) -> usize {
+        let mut v: Vec<usize> = self.table.clone();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+}
+
+/// Synthesise both schedules from trained hooks.
+///
+/// For each program phase, candidate states are formed over every
+/// hardware phase actually visited during training (weighted by visit
+/// count) and every current configuration; the Q-network is queried and
+/// votes are averaged. Never-visited (phase, hw) pairs inherit the
+/// phase's static choice — the "cannot recover from bad decisions"
+/// property of static scheduling applies to exactly these holes.
+pub fn synthesise(hooks: &AstroLearningHooks) -> (StaticSchedule, HybridSchedule) {
+    let space = hooks.space;
+    let n_actions = space.num_actions();
+
+    // Hybrid: per (phase, hw) — average Q over current configs.
+    let mut hybrid_table = vec![usize::MAX; ProgramPhase::COUNT * HwPhase::COUNT];
+    // Static accumulation: per phase, visit-weighted Q sums.
+    let mut static_scores = vec![vec![0.0f64; n_actions]; ProgramPhase::COUNT];
+
+    for phase in ProgramPhase::ALL {
+        for hw_idx in 0..HwPhase::COUNT {
+            let hw = HwPhase::from_index(hw_idx);
+            let visits = hooks.visit_count(phase, hw);
+            if visits == 0 {
+                continue;
+            }
+            let mut scores = vec![0.0f64; n_actions];
+            for cfg in 0..n_actions {
+                let s = space.encode(cfg, phase, hw);
+                for (a, q) in hooks.agent.q_values(&s).into_iter().enumerate() {
+                    scores[a] += q;
+                }
+            }
+            let best = argmax(&scores);
+            hybrid_table[phase.index() * HwPhase::COUNT + hw_idx] = best;
+            for a in 0..n_actions {
+                static_scores[phase.index()][a] += scores[a] * visits as f64;
+            }
+        }
+    }
+
+    // Static choice per phase; phases never observed default to the
+    // all-on configuration (a safe work-conserving choice).
+    let full_idx = space.configs.index(space.configs.full());
+    let mut config_for_phase = [full_idx; ProgramPhase::COUNT];
+    for phase in ProgramPhase::ALL {
+        let scores = &static_scores[phase.index()];
+        if scores.iter().any(|&s| s != 0.0) {
+            config_for_phase[phase.index()] = argmax(scores);
+        }
+    }
+    let fallback = StaticSchedule { config_for_phase };
+
+    // Fill hybrid holes with the static fallback.
+    for phase in ProgramPhase::ALL {
+        for hw_idx in 0..HwPhase::COUNT {
+            let cell = &mut hybrid_table[phase.index() * HwPhase::COUNT + hw_idx];
+            if *cell == usize::MAX {
+                *cell = fallback.config_for_phase[phase.index()];
+            }
+        }
+    }
+
+    (
+        fallback,
+        HybridSchedule {
+            table: hybrid_table,
+            fallback,
+        },
+    )
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Runtime hooks of a final *hybrid* binary: look the learned table up
+/// with the static phase (from the instrumentation) and the current
+/// hardware phase (from the monitor).
+#[derive(Clone, Debug)]
+pub struct HybridBinaryHooks {
+    /// The learned table.
+    pub schedule: HybridSchedule,
+    /// The board's configuration space.
+    pub space: AstroStateSpace,
+}
+
+impl RuntimeHooks for HybridBinaryHooks {
+    fn on_hybrid_decide(
+        &mut self,
+        _t: SimTime,
+        phase: ProgramPhase,
+        hw: HwPhase,
+    ) -> Option<HwConfig> {
+        let idx = self.schedule.get(phase, hw);
+        Some(self.space.configs.from_index(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reward::RewardParams;
+    use astro_rl::qlearn::{QAgent, QConfig};
+
+    fn trained_hooks() -> AstroLearningHooks {
+        let space = AstroStateSpace::ODROID_XU4;
+        let mut cfg = QConfig::astro_default(space.encoding_dim(), space.num_actions());
+        cfg.seed = 7;
+        let agent = QAgent::new(cfg);
+        let mut hooks = AstroLearningHooks::new(space, RewardParams::default(), agent);
+        // Mark a few (phase, hw) pairs as visited.
+        hooks.visits[ProgramPhase::CpuBound.index() * HwPhase::COUNT + 5] = 10;
+        hooks.visits[ProgramPhase::Blocked.index() * HwPhase::COUNT + 2] = 4;
+        hooks
+    }
+
+    #[test]
+    fn synthesis_produces_valid_indices() {
+        let hooks = trained_hooks();
+        let (st, hy) = synthesise(&hooks);
+        let n = hooks.space.num_actions();
+        for p in ProgramPhase::ALL {
+            assert!(st.config_for_phase[p.index()] < n);
+            for h in 0..HwPhase::COUNT {
+                assert!(hy.get(p, HwPhase::from_index(h)) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn unvisited_phases_default_to_full_config() {
+        let hooks = trained_hooks();
+        let (st, _) = synthesise(&hooks);
+        // IoBound and Other were never visited → the all-on configuration.
+        let full = hooks.space.configs.index(hooks.space.configs.full());
+        assert_eq!(st.config_for_phase[ProgramPhase::IoBound.index()], full);
+        assert_eq!(st.config_for_phase[ProgramPhase::Other.index()], full);
+    }
+
+    #[test]
+    fn hybrid_holes_inherit_static_choice() {
+        let hooks = trained_hooks();
+        let (st, hy) = synthesise(&hooks);
+        // An unvisited hardware phase for CpuBound uses the static cell.
+        let hole = hy.get(ProgramPhase::CpuBound, HwPhase::from_index(80));
+        assert_eq!(hole, st.config_for_phase[ProgramPhase::CpuBound.index()]);
+    }
+
+    #[test]
+    fn hybrid_hooks_answer_decisions() {
+        let hooks = trained_hooks();
+        let (_, hy) = synthesise(&hooks);
+        let mut h = HybridBinaryHooks {
+            schedule: hy,
+            space: hooks.space,
+        };
+        let req = h.on_hybrid_decide(
+            SimTime::ZERO,
+            ProgramPhase::CpuBound,
+            HwPhase::from_index(5),
+        );
+        assert!(req.is_some());
+    }
+}

@@ -1,0 +1,99 @@
+//! The SPha problem (Definition 3.1): *Scheduling of Programs in
+//! Heterogeneous Architectures*.
+//!
+//! Input: a program, its input, the hardware configurations, an energy
+//! threshold `E` and a performance threshold `S`. Output: a program
+//! version that processes the input with `E%` less energy and no more
+//! than `S%` slowdown. This module gives the instance/verdict types the
+//! experiment harness uses to state results in the paper's own terms.
+
+use astro_exec::result::RunResult;
+
+/// An SPha instance: the thresholds a transformed program must meet.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SphaInstance {
+    /// Required energy saving, percent (the paper's `E`).
+    pub energy_saving_pct: f64,
+    /// Tolerated slowdown, percent (the paper's `S`).
+    pub max_slowdown_pct: f64,
+}
+
+/// The outcome of checking a candidate against a baseline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SphaVerdict {
+    /// Measured energy saving vs the baseline, percent (negative =
+    /// regression).
+    pub energy_saving_pct: f64,
+    /// Measured slowdown vs the baseline, percent (negative = speedup).
+    pub slowdown_pct: f64,
+    /// Both thresholds met?
+    pub satisfied: bool,
+}
+
+impl SphaInstance {
+    /// Evaluate `candidate` against `baseline`.
+    pub fn check(&self, baseline: &RunResult, candidate: &RunResult) -> SphaVerdict {
+        let energy_saving_pct = 100.0 * (1.0 - candidate.energy_j / baseline.energy_j);
+        let slowdown_pct = 100.0 * (candidate.wall_time_s / baseline.wall_time_s - 1.0);
+        SphaVerdict {
+            energy_saving_pct,
+            slowdown_pct,
+            satisfied: energy_saving_pct >= self.energy_saving_pct
+                && slowdown_pct <= self.max_slowdown_pct,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_hw::counters::PerfCounters;
+
+    fn result(time: f64, energy: f64) -> RunResult {
+        RunResult {
+            wall_time_s: time,
+            cpu_time_s: time,
+            energy_j: energy,
+            instructions: 0,
+            counters: PerfCounters::default(),
+            checkpoints: vec![],
+            power_samples: vec![],
+            config_changes: 0,
+            migrations: 0,
+            timed_out: false,
+        }
+    }
+
+    #[test]
+    fn satisfied_when_cheaper_and_fast_enough() {
+        let inst = SphaInstance {
+            energy_saving_pct: 10.0,
+            max_slowdown_pct: 5.0,
+        };
+        let v = inst.check(&result(1.0, 10.0), &result(1.03, 8.5));
+        assert!(v.satisfied);
+        assert!((v.energy_saving_pct - 15.0).abs() < 1e-9);
+        assert!((v.slowdown_pct - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn violated_by_slowdown() {
+        let inst = SphaInstance {
+            energy_saving_pct: 10.0,
+            max_slowdown_pct: 5.0,
+        };
+        let v = inst.check(&result(1.0, 10.0), &result(1.2, 5.0));
+        assert!(!v.satisfied);
+    }
+
+    #[test]
+    fn speedup_counts_as_negative_slowdown() {
+        let inst = SphaInstance {
+            energy_saving_pct: 0.0,
+            max_slowdown_pct: 0.0,
+        };
+        let v = inst.check(&result(1.0, 10.0), &result(0.9, 10.0));
+        assert!(v.satisfied);
+        assert!(v.slowdown_pct < 0.0);
+    }
+}

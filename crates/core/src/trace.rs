@@ -1,0 +1,285 @@
+//! Trace recording (§4.1): "we have approximated the exhaustive
+//! execution of configurations by generating traces for every hardware
+//! configuration".
+//!
+//! A trace is one full run of the (learning-instrumented) program under
+//! one fixed configuration, sampled at every monitor checkpoint. The
+//! trace-driven simulator ([`crate::tracesim`]) then composes behaviours
+//! by choosing, at each checkpoint, which configuration's trace to
+//! follow.
+
+use astro_compiler::{instrument_for_learning, PhaseMap, ProgramPhase};
+use astro_exec::machine::{Machine, MachineParams};
+use astro_exec::program::compile;
+use astro_exec::runtime::NullHooks;
+use astro_exec::sched::affinity::AffinityScheduler;
+use astro_hw::boards::BoardSpec;
+use astro_ir::Module;
+
+/// One checkpoint of one trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Instructions retired in the interval.
+    pub instructions: u64,
+    /// Energy consumed in the interval, Joules.
+    pub energy_j: f64,
+    /// Average MIPS over the interval.
+    pub mips: f64,
+    /// Average power over the interval, Watts.
+    pub watts: f64,
+    /// Program phase at the checkpoint.
+    pub program_phase: ProgramPhase,
+    /// Hardware-phase index at the checkpoint.
+    pub hw_phase_idx: usize,
+}
+
+/// A full fixed-configuration run, checkpoint by checkpoint.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Configuration index this trace was recorded under.
+    pub config_idx: usize,
+    /// Per-checkpoint records.
+    pub records: Vec<TraceRecord>,
+    /// Whole-run wall time, seconds.
+    pub wall_time_s: f64,
+    /// Whole-run energy, Joules.
+    pub energy_j: f64,
+    /// Whole-run instructions.
+    pub instructions: u64,
+    /// Cumulative instructions *before* each record — the program-progress
+    /// axis that aligns traces of different speeds (see [`Trace::record_at`]).
+    cum_instr: Vec<u64>,
+}
+
+impl Trace {
+    /// Build a trace, precomputing the progress index.
+    pub fn new(
+        config_idx: usize,
+        records: Vec<TraceRecord>,
+        wall_time_s: f64,
+        energy_j: f64,
+        instructions: u64,
+    ) -> Self {
+        let mut cum_instr = Vec::with_capacity(records.len());
+        let mut acc = 0u64;
+        for r in &records {
+            cum_instr.push(acc);
+            acc += r.instructions;
+        }
+        Trace {
+            config_idx,
+            records,
+            wall_time_s,
+            energy_j,
+            instructions,
+            cum_instr,
+        }
+    }
+}
+
+/// Traces for every configuration of a board.
+#[derive(Clone, Debug)]
+pub struct TraceSet {
+    /// One trace per configuration index.
+    pub traces: Vec<Trace>,
+    /// The checkpoint interval used, seconds.
+    pub interval_s: f64,
+    /// The program's total work (instructions), taken from the fastest
+    /// trace (instruction counts agree across configurations up to
+    /// scheduling noise).
+    pub total_work: u64,
+}
+
+impl TraceSet {
+    /// The trace recorded under `config_idx`.
+    pub fn trace(&self, config_idx: usize) -> &Trace {
+        &self.traces[config_idx]
+    }
+
+    /// Number of configurations covered.
+    pub fn num_configs(&self) -> usize {
+        self.traces.len()
+    }
+}
+
+/// Record traces of `module` under every configuration of `board`.
+///
+/// The module is learning-instrumented first so checkpoints carry
+/// program phases, exactly like the binaries the paper traced.
+pub fn record_traces(module: &Module, board: &BoardSpec, params: &MachineParams) -> TraceSet {
+    let mut instrumented = module.clone();
+    let phases = PhaseMap::compute(&instrumented);
+    instrument_for_learning(&mut instrumented, &phases);
+    let prog = compile(&instrumented).expect("instrumented module compiles");
+
+    let space = board.config_space();
+    let mut traces = Vec::with_capacity(space.num_configs());
+    for idx in 0..space.num_configs() {
+        let cfg = space.from_index(idx);
+        let machine = Machine::new(board, *params);
+        let mut sched = AffinityScheduler;
+        let mut hooks = NullHooks;
+        let r = machine.run(&prog, &mut sched, &mut hooks, cfg);
+        let interval_s = params.checkpoint_interval.as_secs();
+        let mut records: Vec<TraceRecord> = r
+            .checkpoints
+            .iter()
+            .map(|cp| TraceRecord {
+                instructions: cp.delta.instructions,
+                energy_j: cp.energy_delta_j,
+                mips: cp.mips,
+                watts: cp.watts,
+                program_phase: cp.program_phase,
+                hw_phase_idx: cp.hw_phase.index(),
+            })
+            .collect();
+        // Tail interval (between the last checkpoint and termination):
+        // attribute the residue so the trace's totals match the run.
+        let cp_instr: u64 = records.iter().map(|r| r.instructions).sum();
+        let cp_energy: f64 = records.iter().map(|r| r.energy_j).sum();
+        let tail_instr = r.instructions.saturating_sub(cp_instr);
+        let tail_energy = (r.energy_j - cp_energy).max(0.0);
+        if tail_instr > 0 || records.is_empty() {
+            let tail_t = (r.wall_time_s - records.len() as f64 * interval_s).max(1e-9);
+            records.push(TraceRecord {
+                instructions: tail_instr,
+                energy_j: tail_energy,
+                mips: tail_instr as f64 / tail_t / 1e6,
+                watts: tail_energy / tail_t,
+                program_phase: records
+                    .last()
+                    .map(|r| r.program_phase)
+                    .unwrap_or(ProgramPhase::Other),
+                hw_phase_idx: records.last().map(|r| r.hw_phase_idx).unwrap_or(0),
+            });
+        }
+        traces.push(Trace::new(
+            idx,
+            records,
+            r.wall_time_s,
+            r.energy_j,
+            r.instructions,
+        ));
+    }
+
+    let total_work = traces
+        .iter()
+        .map(|t| t.instructions)
+        .max()
+        .expect("at least one configuration");
+    TraceSet {
+        traces,
+        interval_s: params.checkpoint_interval.as_secs(),
+        total_work,
+    }
+}
+
+impl Trace {
+    /// The record covering program-progress fraction `frac ∈ [0, 1]`.
+    ///
+    /// Progress is measured in *instructions completed*, not elapsed
+    /// time: every configuration's trace is consulted at the same point
+    /// of the program, so a barrier-bound stretch looks barrier-bound in
+    /// all of them. This is what makes §4.1's per-checkpoint composition
+    /// sound — policies choose between configurations' behaviours *at
+    /// the same program position*, never across positions.
+    pub fn record_at(&self, frac: f64) -> &TraceRecord {
+        let n = self.records.len();
+        debug_assert!(n > 0);
+        let target = (frac.clamp(0.0, 1.0) * self.instructions as f64) as u64;
+        // Last record whose starting progress is <= target (deterministic
+        // under duplicate starts from zero-work intervals).
+        let idx = self.cum_instr.partition_point(|&c| c <= target).max(1) - 1;
+        &self.records[idx.min(n - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_exec::time::SimTime;
+    use astro_ir::{FunctionBuilder, Ty, Value};
+
+    fn tiny_module() -> Module {
+        let mut m = Module::new("tiny");
+        let mut b = FunctionBuilder::new("main", Ty::Void);
+        b.counted_loop(400_000, |b| {
+            let x = b.fmul(Ty::F64, Value::float(1.1), Value::float(2.2));
+            b.fadd(Ty::F64, x, x);
+        });
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        m
+    }
+
+    fn fast_params() -> MachineParams {
+        MachineParams {
+            checkpoint_interval: SimTime::from_micros(200.0),
+            ..MachineParams::default()
+        }
+    }
+
+    #[test]
+    fn traces_cover_all_configs() {
+        let board = BoardSpec::odroid_xu4();
+        let ts = record_traces(&tiny_module(), &board, &fast_params());
+        assert_eq!(ts.num_configs(), 24);
+        assert!(ts.total_work > 1_000_000);
+        for t in &ts.traces {
+            assert!(!t.records.is_empty());
+            assert!(t.energy_j > 0.0);
+            // Record totals match run totals.
+            let sum: u64 = t.records.iter().map(|r| r.instructions).sum();
+            assert_eq!(sum, t.instructions);
+        }
+    }
+
+    #[test]
+    fn faster_configs_have_fewer_records() {
+        let board = BoardSpec::odroid_xu4();
+        let ts = record_traces(&tiny_module(), &board, &fast_params());
+        let space = board.config_space();
+        let t_0l4b = ts.trace(space.index(astro_hw::config::HwConfig::new(0, 4)));
+        let t_1l0b = ts.trace(space.index(astro_hw::config::HwConfig::new(1, 0)));
+        assert!(
+            t_0l4b.wall_time_s < t_1l0b.wall_time_s,
+            "4 bigs beat 1 LITTLE on an FP kernel"
+        );
+        assert!(t_0l4b.records.len() <= t_1l0b.records.len());
+    }
+
+    #[test]
+    fn record_at_clamps_and_aligns_by_work() {
+        let board = BoardSpec::odroid_xu4();
+        let ts = record_traces(&tiny_module(), &board, &fast_params());
+        let t = ts.trace(0);
+        // Low clamp: the returned record's span covers progress 0 — it is
+        // the last record starting at cumulative 0 (zero-work prefixes
+        // are skipped deterministically).
+        let lo = t.record_at(-0.5);
+        assert!(
+            t.records
+                .iter()
+                .take_while(|r| r.instructions == 0)
+                .count()
+                < t.records.len(),
+            "trace has work"
+        );
+        assert!(lo.instructions > 0 || t.records.iter().all(|r| r.instructions == 0));
+        // High clamp: the last record.
+        assert_eq!(
+            t.record_at(2.0) as *const _,
+            t.records.last().unwrap() as *const _,
+            "clamped high"
+        );
+        // Mid-progress records are consistent with the cumulative index:
+        // walking fractions never moves backwards.
+        let mut last_addr = t.record_at(0.0) as *const TraceRecord as usize;
+        for i in 1..=20 {
+            let addr = t.record_at(i as f64 / 20.0) as *const TraceRecord as usize;
+            assert!(addr >= last_addr, "record_at must be monotone");
+            last_addr = addr;
+        }
+    }
+}

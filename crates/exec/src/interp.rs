@@ -1,0 +1,392 @@
+//! The behavioural interpreter: runs one thread on one core for a bounded
+//! cycle budget, producing exact cycle/instruction/cache accounting.
+//!
+//! A *slice* advances the thread through compiled segments until it
+//! (a) exhausts the budget, (b) reaches a call the engine must handle
+//! (blocking library call, Astro intrinsic, spawn/join), or (c) returns
+//! from its outermost frame. The machine turns the slice's cycle total
+//! into simulated time using the core's frequency.
+
+use crate::program::{CallSite, CompiledProgram, CompiledTerm, Segment, WorkChunk};
+use crate::thread::{next_address, Frame, SimThread};
+use astro_hw::cache::{AccessOutcome, CacheHierarchy};
+use astro_hw::cores::CoreSpec;
+use astro_ir::{BranchBehavior, InstrClass};
+use rand::Rng;
+
+/// Why a slice ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StopReason {
+    /// Budget exhausted; the thread is still runnable.
+    Budget,
+    /// An engine-handled call was reached (position already advanced
+    /// past it).
+    EngineCall(CallSite),
+    /// The thread's outermost frame returned.
+    Finished,
+}
+
+/// Accounting for one slice.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SliceOutcome {
+    /// Cycles spent executing instructions.
+    pub exec_cycles: f64,
+    /// Cycles spent stalled on L2/DRAM.
+    pub stall_cycles: f64,
+    /// Instructions retired (terminators included).
+    pub instrs: u64,
+    /// Cache accesses issued.
+    pub mem_accesses: u64,
+    /// L1 misses among them.
+    pub mem_misses: u64,
+    /// Why the slice stopped.
+    pub stop: StopReason,
+}
+
+impl SliceOutcome {
+    /// Total cycles (execution + stalls).
+    pub fn total_cycles(&self) -> f64 {
+        self.exec_cycles + self.stall_cycles
+    }
+}
+
+/// Maximum call depth (workloads are non-recursive by construction; this
+/// guards against accidental cycles).
+const MAX_DEPTH: usize = 64;
+
+fn cost_work(
+    w: &WorkChunk,
+    spec: &CoreSpec,
+    cache: &mut CacheHierarchy,
+    prog: &CompiledProgram,
+    frame: &mut Frame,
+    rng: &mut rand::rngs::SmallRng,
+    out: &mut SliceOutcome,
+) {
+    let mut exec = 0.0;
+    for (ci, &n) in w.class_counts.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let class = CLASSES[ci];
+        exec += n as f64 * spec.cpi.cpi(class);
+    }
+    out.exec_cycles += exec;
+    out.instrs += w.instrs as u64;
+
+    // Drive the cache with one access per memory instruction.
+    if w.mem_ops > 0 {
+        let func = prog.func(frame.func);
+        for _ in 0..w.mem_ops {
+            let addr = next_address(func, frame, rng);
+            out.mem_accesses += 1;
+            match cache.access(addr) {
+                AccessOutcome::L1 => {}
+                AccessOutcome::L2 => {
+                    out.mem_misses += 1;
+                    out.stall_cycles += spec.l2_hit_cycles;
+                }
+                AccessOutcome::Dram => {
+                    out.mem_misses += 1;
+                    out.stall_cycles += spec.dram_cycles;
+                }
+            }
+        }
+    }
+}
+
+/// Class table in [`class_index`] order.
+const CLASSES: [InstrClass; 7] = [
+    InstrClass::IntAlu,
+    InstrClass::IntMulDiv,
+    InstrClass::FpAlu,
+    InstrClass::FpMulDiv,
+    InstrClass::Mem,
+    InstrClass::Control,
+    InstrClass::CallOverhead,
+];
+
+/// Run `thread` for up to `budget_cycles` of core cycles.
+pub fn run_slice(
+    prog: &CompiledProgram,
+    thread: &mut SimThread,
+    spec: &CoreSpec,
+    cache: &mut CacheHierarchy,
+    budget_cycles: f64,
+) -> SliceOutcome {
+    let mut out = SliceOutcome {
+        exec_cycles: 0.0,
+        stall_cycles: 0.0,
+        instrs: 0,
+        mem_accesses: 0,
+        mem_misses: 0,
+        stop: StopReason::Budget,
+    };
+
+    loop {
+        if out.total_cycles() >= budget_cycles {
+            out.stop = StopReason::Budget;
+            return out;
+        }
+        let Some(frame) = thread.stack.last_mut() else {
+            out.stop = StopReason::Finished;
+            return out;
+        };
+        let func = prog.func(frame.func);
+        let block = &func.blocks[frame.block.0 as usize];
+
+        if frame.seg < block.segments.len() {
+            let seg_idx = frame.seg;
+            frame.seg += 1;
+            match &block.segments[seg_idx] {
+                Segment::Work(w) => {
+                    cost_work(w, spec, cache, prog, frame, &mut thread.rng, &mut out);
+                }
+                Segment::Call(CallSite::Direct(callee)) => {
+                    assert!(
+                        thread.stack.len() < MAX_DEPTH,
+                        "call depth exceeded: recursive workload?"
+                    );
+                    let entry = prog.func(*callee).entry;
+                    let cursor = (thread.id.0 as u64) * 8191;
+                    thread.stack.push(Frame::enter(*callee, entry, cursor));
+                }
+                Segment::Call(site @ CallSite::Lib { .. }) => {
+                    out.stop = StopReason::EngineCall(site.clone());
+                    return out;
+                }
+            }
+        } else {
+            // Terminator: one control instruction, then transfer.
+            out.exec_cycles += spec.cpi.control;
+            out.instrs += 1;
+            match block.term {
+                CompiledTerm::Jump(t) => {
+                    frame.block = t;
+                    frame.seg = 0;
+                }
+                CompiledTerm::Branch {
+                    then_bb,
+                    else_bb,
+                    behavior,
+                } => {
+                    let take_then = match behavior {
+                        BranchBehavior::Prob(p) => thread.rng.gen::<f64>() < p,
+                        BranchBehavior::Counted(n) => {
+                            let key = frame.block.0;
+                            let remaining = frame
+                                .loop_counters
+                                .entry(key)
+                                .or_insert_with(|| n.saturating_sub(1));
+                            if *remaining > 0 {
+                                *remaining -= 1;
+                                true
+                            } else {
+                                frame.loop_counters.remove(&key);
+                                false
+                            }
+                        }
+                    };
+                    frame.block = if take_then { then_bb } else { else_bb };
+                    frame.seg = 0;
+                }
+                CompiledTerm::Ret => {
+                    thread.stack.pop();
+                    if thread.stack.is_empty() {
+                        out.stop = StopReason::Finished;
+                        return out;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::compile;
+    use crate::thread::{SimThread, ThreadId};
+    use astro_hw::cache::{CacheHierarchy, CacheParams};
+    use astro_ir::{FunctionBuilder, LibCall, MemBehavior, Module, Ty, Value};
+
+    fn setup(build: impl FnOnce(&mut FunctionBuilder)) -> (CompiledProgram, SimThread) {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", Ty::Void);
+        build(&mut b);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        let p = compile(&m).unwrap();
+        let entry_bb = p.func(p.entry).entry;
+        let t = SimThread::new(ThreadId(0), p.entry, entry_bb, None, 7);
+        (p, t)
+    }
+
+    fn cache() -> CacheHierarchy {
+        CacheHierarchy::new(CacheParams::L1_32K, CacheParams::L2_512K)
+    }
+
+    #[test]
+    fn counted_loop_executes_exact_iterations() {
+        let (p, mut t) = setup(|b| {
+            b.counted_loop(100, |b| {
+                b.fadd(Ty::F64, Value::float(0.0), Value::float(1.0));
+            });
+        });
+        let spec = astro_hw::cores::CoreSpec::big_a15();
+        let out = run_slice(&p, &mut t, &spec, &mut cache(), f64::MAX);
+        assert_eq!(out.stop, StopReason::Finished);
+        // Per iteration: fadd + iadd + icmp (latch) = 3 instrs + 1 branch.
+        // Plus entry jump, exit-block terminator (ret), entry block br.
+        // 100 * 4 + entry br + ret = 402.
+        assert_eq!(out.instrs, 100 * 4 + 2);
+    }
+
+    #[test]
+    fn big_little_gap_depends_on_workload_mix() {
+        // The asymmetry the scheduler learns: FP-heavy compute gains a
+        // lot from big cores; memory-bound streaming gains little,
+        // because both cores wait on the same DRAM.
+        let wall = |build: fn(&mut FunctionBuilder), spec: &astro_hw::cores::CoreSpec| {
+            let (p, mut t) = setup(build);
+            let o = run_slice(&p, &mut t, spec, &mut cache(), f64::MAX);
+            o.total_cycles() / (spec.freq_ghz * 1e9)
+        };
+        let compute = |b: &mut FunctionBuilder| {
+            b.counted_loop(1000, |b| {
+                let x = b.fmul(Ty::F64, Value::float(1.1), Value::float(2.2));
+                b.fadd(Ty::F64, x, x);
+            });
+        };
+        let streaming = |b: &mut FunctionBuilder| {
+            b.mem_behavior(MemBehavior::streaming(64 * 1024 * 1024));
+            b.counted_loop(1000, |b| {
+                b.load(Ty::F64);
+            });
+        };
+        let big = astro_hw::cores::CoreSpec::big_a15();
+        let little = astro_hw::cores::CoreSpec::little_a7();
+        let fp_ratio = wall(compute, &little) / wall(compute, &big);
+        let mem_ratio = wall(streaming, &little) / wall(streaming, &big);
+        assert!(fp_ratio > 2.5, "FP gap should be large, got {fp_ratio:.2}");
+        assert!(
+            mem_ratio < fp_ratio * 0.75,
+            "memory-bound gap ({mem_ratio:.2}) must be clearly below FP gap ({fp_ratio:.2})"
+        );
+        assert!(mem_ratio > 1.0, "big never loses outright");
+    }
+
+    #[test]
+    fn budget_stops_mid_program() {
+        let (p, mut t) = setup(|b| {
+            b.counted_loop(1_000_000, |b| {
+                b.iadd(Ty::I64, Value::int(0), Value::int(1));
+            });
+        });
+        let spec = astro_hw::cores::CoreSpec::big_a15();
+        let out = run_slice(&p, &mut t, &spec, &mut cache(), 1000.0);
+        assert_eq!(out.stop, StopReason::Budget);
+        assert!(out.total_cycles() >= 1000.0);
+        assert!(out.total_cycles() < 5000.0, "overshoot bounded");
+        // Resuming finishes the job with the remaining iterations.
+        let out2 = run_slice(&p, &mut t, &spec, &mut cache(), f64::MAX);
+        assert_eq!(out2.stop, StopReason::Finished);
+    }
+
+    #[test]
+    fn engine_call_surfaces_with_position_advanced() {
+        let (p, mut t) = setup(|b| {
+            b.load(Ty::I64);
+            b.call_lib(LibCall::Sleep, &[Value::int(123)]);
+            b.load(Ty::I64);
+        });
+        let spec = astro_hw::cores::CoreSpec::big_a15();
+        let out = run_slice(&p, &mut t, &spec, &mut cache(), f64::MAX);
+        match out.stop {
+            StopReason::EngineCall(CallSite::Lib { callee, ref imms }) => {
+                assert_eq!(callee, LibCall::Sleep);
+                assert_eq!(imms[0], 123);
+            }
+            ref s => panic!("expected engine call, got {s:?}"),
+        }
+        // Continue: the remaining load then finish.
+        let out2 = run_slice(&p, &mut t, &spec, &mut cache(), f64::MAX);
+        assert_eq!(out2.stop, StopReason::Finished);
+        assert_eq!(out2.mem_accesses, 1);
+    }
+
+    #[test]
+    fn large_working_set_stalls_more() {
+        let run_ws = |ws: u64| {
+            let mut m = Module::new("t");
+            let mut b = FunctionBuilder::new("main", Ty::Void);
+            b.mem_behavior(MemBehavior::random(ws));
+            b.counted_loop(20_000, |b| {
+                b.load(Ty::I64);
+            });
+            b.ret(None);
+            let f = m.add_function(b.finish());
+            m.set_entry(f);
+            let p = compile(&m).unwrap();
+            let mut t = SimThread::new(ThreadId(0), p.entry, astro_ir::BlockId(0), None, 3);
+            let spec = astro_hw::cores::CoreSpec::big_a15();
+            run_slice(&p, &mut t, &spec, &mut cache(), f64::MAX)
+        };
+        let small = run_ws(8 * 1024); // fits L1
+        let large = run_ws(8 * 1024 * 1024); // blows both levels
+        assert!(small.stall_cycles < large.stall_cycles / 4.0);
+        assert!(large.mem_misses > small.mem_misses * 10);
+    }
+
+    #[test]
+    fn direct_calls_push_and_pop_frames() {
+        let mut m = Module::new("t");
+        let mut leaf = FunctionBuilder::new("leaf", Ty::Void);
+        leaf.counted_loop(5, |b| {
+            b.iadd(Ty::I64, Value::int(1), Value::int(2));
+        });
+        leaf.ret(None);
+        let leaf_id = m.add_function(leaf.finish());
+        let mut main = FunctionBuilder::new("main", Ty::Void);
+        main.call(leaf_id, &[]);
+        main.call(leaf_id, &[]);
+        main.ret(None);
+        let main_id = m.add_function(main.finish());
+        m.set_entry(main_id);
+        let p = compile(&m).unwrap();
+        let mut t = SimThread::new(ThreadId(0), main_id, astro_ir::BlockId(0), None, 5);
+        let spec = astro_hw::cores::CoreSpec::big_a15();
+        let out = run_slice(&p, &mut t, &spec, &mut cache(), f64::MAX);
+        assert_eq!(out.stop, StopReason::Finished);
+        assert!(t.stack.is_empty());
+        // Each leaf call: 5*(iadd+latch add+cmp+branch) + entry br + ret ≈
+        // instrs > 40 total across two calls; just sanity-check both ran.
+        assert!(out.instrs > 40);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let (p, mut t) = setup(|b| {
+                b.prob_loop(0.99, |b| {
+                    b.load(Ty::F64);
+                    b.if_else(
+                        0.3,
+                        |b| {
+                            b.fadd(Ty::F64, Value::float(0.0), Value::float(1.0));
+                        },
+                        |b| {
+                            b.imul(Ty::I64, Value::int(2), Value::int(3));
+                        },
+                    );
+                });
+            });
+            let spec = astro_hw::cores::CoreSpec::big_a15();
+            run_slice(&p, &mut t, &spec, &mut cache(), f64::MAX)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+}

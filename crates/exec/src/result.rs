@@ -1,0 +1,94 @@
+//! Run results: everything an experiment needs to report.
+
+use crate::runtime::MonitorSample;
+use astro_hw::counters::PerfCounters;
+use astro_hw::energy::PowerSample;
+
+/// The outcome of one simulated program execution.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Wall-clock time of the run, seconds.
+    pub wall_time_s: f64,
+    /// Sum of per-core busy time, seconds — Figure 1's X axis ("the sum
+    /// of the execution times of processors active in a particular
+    /// configuration; hence, it is not clock time").
+    pub cpu_time_s: f64,
+    /// Total energy, Joules (processor power only, like the paper's
+    /// on-board measurement).
+    pub energy_j: f64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Final machine-wide counters.
+    pub counters: PerfCounters,
+    /// One record per monitor checkpoint.
+    pub checkpoints: Vec<MonitorSample>,
+    /// High-rate power waveform, when a probe was attached (Figure 3).
+    pub power_samples: Vec<PowerSample>,
+    /// Hardware configuration changes that actually happened.
+    pub config_changes: u32,
+    /// Thread migrations between cores.
+    pub migrations: u32,
+    /// The run hit the safety time limit before finishing.
+    pub timed_out: bool,
+}
+
+impl RunResult {
+    /// Average power over the run, Watts.
+    pub fn avg_power_w(&self) -> f64 {
+        if self.wall_time_s > 0.0 {
+            self.energy_j / self.wall_time_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Millions of instructions per (wall) second.
+    pub fn mips(&self) -> f64 {
+        if self.wall_time_s > 0.0 {
+            self.instructions as f64 / self.wall_time_s / 1e6
+        } else {
+            0.0
+        }
+    }
+
+    /// Energy–delay product (J·s), a standard combined metric.
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.wall_time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank() -> RunResult {
+        RunResult {
+            wall_time_s: 2.0,
+            cpu_time_s: 6.0,
+            energy_j: 10.0,
+            instructions: 4_000_000,
+            counters: PerfCounters::default(),
+            checkpoints: vec![],
+            power_samples: vec![],
+            config_changes: 0,
+            migrations: 0,
+            timed_out: false,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = blank();
+        assert!((r.avg_power_w() - 5.0).abs() < 1e-12);
+        assert!((r.mips() - 2.0).abs() < 1e-12);
+        assert!((r.edp() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_guards() {
+        let mut r = blank();
+        r.wall_time_s = 0.0;
+        assert_eq!(r.avg_power_w(), 0.0);
+        assert_eq!(r.mips(), 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! The runtime-hooks interface: how the Astro system (or any policy)
+//! plugs into the execution engine.
+//!
+//! The engine raises a hook when the instrumented program announces a
+//! phase change (Figure 8a), requests a configuration (Figure 8b/8c), or
+//! when the periodic monitor fires (§3.2.1). Hooks return configuration
+//! *requests*; the engine applies the availability rule `chg(H', H)` of
+//! §3.2.3 — a request for unavailable cores leaves the configuration
+//! unchanged.
+
+use crate::time::SimTime;
+use astro_compiler::ProgramPhase;
+use astro_hw::config::HwConfig;
+use astro_hw::counters::{CounterDelta, HwPhase};
+
+/// Everything the Monitor of Figure 7 reads at a checkpoint:
+/// configuration and instructions from the OS, program phase from the
+/// Log, hardware phase from PerfMon, energy from PowMon.
+#[derive(Clone, Debug)]
+pub struct MonitorSample {
+    /// Checkpoint time.
+    pub t: SimTime,
+    /// Current hardware configuration `H`.
+    pub config: HwConfig,
+    /// Dense index of `config` in the board's configuration space.
+    pub config_idx: usize,
+    /// Current program phase `S` (from instrumentation).
+    pub program_phase: ProgramPhase,
+    /// Current hardware phase `D` (from performance counters).
+    pub hw_phase: HwPhase,
+    /// Counter movement since the previous checkpoint.
+    pub delta: CounterDelta,
+    /// Energy consumed since the previous checkpoint, Joules.
+    pub energy_delta_j: f64,
+    /// Average power over the interval, Watts.
+    pub watts: f64,
+    /// Million instructions per second over the interval.
+    pub mips: f64,
+}
+
+/// Callbacks from the engine into the policy layer.
+///
+/// All methods have no-op defaults so simple policies implement only what
+/// they need; `GTS` baseline runs use [`NullHooks`].
+pub trait RuntimeHooks {
+    /// Instrumentation logged entry into `phase` (learning mode).
+    fn on_log_phase(&mut self, _t: SimTime, _phase: ProgramPhase) {}
+
+    /// Instrumentation toggled the blocked override (learning mode).
+    fn on_toggle_blocked(&mut self, _t: SimTime, _blocked: bool) {}
+
+    /// Final static instrumentation requested configuration index
+    /// `cfg_idx`. Return the configuration to switch to, or `None` to
+    /// ignore.
+    fn on_set_config(&mut self, _t: SimTime, _cfg_idx: usize) -> Option<HwConfig> {
+        None
+    }
+
+    /// Final hybrid instrumentation asked for a decision given the static
+    /// phase and the current hardware phase.
+    fn on_hybrid_decide(
+        &mut self,
+        _t: SimTime,
+        _phase: ProgramPhase,
+        _hw: HwPhase,
+    ) -> Option<HwConfig> {
+        None
+    }
+
+    /// The periodic monitor fired. Learning agents observe (and may act)
+    /// here.
+    fn on_checkpoint(&mut self, _sample: &MonitorSample) -> Option<HwConfig> {
+        None
+    }
+}
+
+/// Hooks that never react — pure-OS baselines (GTS, fixed configs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullHooks;
+
+impl RuntimeHooks for NullHooks {}
+
+/// Hooks for final *static* binaries: `determine_active_configuration(i)`
+/// switches to configuration `i` of the given space (Figure 8b). This is
+/// the whole runtime a static build needs — the table was baked into the
+/// code by the compiler.
+#[derive(Clone, Copy, Debug)]
+pub struct StaticBinaryHooks {
+    /// The board's configuration space (maps indices to configurations).
+    pub space: astro_hw::config::ConfigSpace,
+}
+
+impl RuntimeHooks for StaticBinaryHooks {
+    fn on_set_config(&mut self, _t: SimTime, cfg_idx: usize) -> Option<HwConfig> {
+        if cfg_idx < self.space.num_configs() {
+            Some(self.space.from_index(cfg_idx))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_hw::config::ConfigSpace;
+
+    #[test]
+    fn null_hooks_never_request() {
+        let mut h = NullHooks;
+        assert_eq!(h.on_set_config(SimTime::ZERO, 3), None);
+        assert_eq!(
+            h.on_hybrid_decide(SimTime::ZERO, ProgramPhase::CpuBound, HwPhase::from_index(0)),
+            None
+        );
+    }
+
+    #[test]
+    fn static_binary_hooks_map_indices() {
+        let mut h = StaticBinaryHooks {
+            space: ConfigSpace::ODROID_XU4,
+        };
+        let cfg = h.on_set_config(SimTime::ZERO, 0).unwrap();
+        assert_eq!(cfg.label(), "0L1B");
+        assert_eq!(h.on_set_config(SimTime::ZERO, 999), None, "bad index ignored");
+    }
+}

@@ -1,0 +1,137 @@
+//! Configuration-respecting least-loaded scheduler.
+//!
+//! Used whenever the hardware configuration — not the OS — is the policy:
+//! fixed-configuration sweeps (Figure 1/4), and runs where Astro's
+//! instrumentation drives `determine_active_configuration`. Threads go to
+//! the least-occupied enabled core, preferring big cores on ties (they
+//! retire work faster, matching how the paper's fixed configurations are
+//! exercised by a work-conserving runtime).
+
+use super::{OsScheduler, SchedView};
+use crate::thread::ThreadId;
+use astro_hw::cores::CoreKind;
+
+/// Least-loaded placement among enabled cores.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AffinityScheduler;
+
+impl OsScheduler for AffinityScheduler {
+    fn name(&self) -> &'static str {
+        "affinity"
+    }
+
+    fn place(&mut self, view: &SchedView, _thread: ThreadId, _load: f64) -> usize {
+        view.least_loaded(Some(CoreKind::Big))
+            .expect("some core enabled")
+    }
+
+    fn replace(
+        &mut self,
+        view: &SchedView,
+        _thread: ThreadId,
+        _load: f64,
+        current: usize,
+    ) -> usize {
+        if !view.enabled[current] {
+            return view
+                .least_loaded(Some(CoreKind::Big))
+                .expect("some core enabled");
+        }
+        // Move only for a strictly better slot (idle core while others
+        // queue behind us).
+        let best = view
+            .least_loaded(Some(CoreKind::Big))
+            .expect("some core enabled");
+        if view.occupancy(best) + 1 < view.occupancy(current) {
+            best
+        } else {
+            current
+        }
+    }
+
+    fn balance(
+        &mut self,
+        view: &SchedView,
+        queued: &[(ThreadId, usize, f64)],
+    ) -> Vec<(ThreadId, usize)> {
+        let mut moves = Vec::new();
+        let mut occ: Vec<usize> = (0..view.enabled.len()).map(|c| view.occupancy(c)).collect();
+        for &(tid, core, _) in queued {
+            let Some(best) = view
+                .enabled_cores()
+                .min_by_key(|&c| (occ[c], (view.kind[c] != CoreKind::Big) as usize, c))
+            else {
+                continue;
+            };
+            if best != core && occ[best] + 1 < occ[core] {
+                occ[core] -= 1;
+                occ[best] += 1;
+                moves.push((tid, best));
+            }
+        }
+        moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view_0l2b() -> SchedView {
+        SchedView {
+            enabled: vec![false, false, false, false, true, true, false, false],
+            kind: vec![
+                CoreKind::Little,
+                CoreKind::Little,
+                CoreKind::Little,
+                CoreKind::Little,
+                CoreKind::Big,
+                CoreKind::Big,
+                CoreKind::Big,
+                CoreKind::Big,
+            ],
+            queue_len: vec![0; 8],
+            busy: vec![false; 8],
+        }
+    }
+
+    #[test]
+    fn placement_only_on_enabled_cores() {
+        let mut s = AffinityScheduler;
+        let v = view_0l2b();
+        for i in 0..10 {
+            let c = s.place(&v, ThreadId(i), 0.5);
+            assert!(v.enabled[c]);
+        }
+    }
+
+    #[test]
+    fn evicted_from_disabled_core() {
+        let mut s = AffinityScheduler;
+        let v = view_0l2b();
+        let c = s.replace(&v, ThreadId(0), 0.9, 0);
+        assert!(v.enabled[c]);
+    }
+
+    #[test]
+    fn stays_unless_strictly_better() {
+        let mut s = AffinityScheduler;
+        let mut v = view_0l2b();
+        v.busy[4] = true;
+        assert_eq!(s.replace(&v, ThreadId(0), 0.5, 4), 4);
+        // Now pile a queue behind core 4 while 5 is idle → move.
+        v.queue_len[4] = 2;
+        assert_eq!(s.replace(&v, ThreadId(0), 0.5, 4), 5);
+    }
+
+    #[test]
+    fn balance_moves_from_hot_queues() {
+        let mut s = AffinityScheduler;
+        let mut v = view_0l2b();
+        v.busy[4] = true;
+        v.queue_len[4] = 2;
+        let moves = s.balance(&v, &[(ThreadId(1), 4, 0.5), (ThreadId(2), 4, 0.5)]);
+        assert_eq!(moves.len(), 1, "one move equalises 2-vs-0 queues");
+        assert_eq!(moves[0].1, 5);
+    }
+}

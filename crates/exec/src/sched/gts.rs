@@ -1,0 +1,239 @@
+//! Global Task Scheduling (GTS) — the paper's baseline scheduler.
+//!
+//! From §4.2: "GTS … uses historical data of the running tasks and active
+//! cores to determine where each individual thread will run. By tracking
+//! the load information at runtime, GTS migrates tasks that are
+//! compute-intensive to big cores and those that are less intensive to
+//! little cores. Load balancing heuristics are periodically executed to
+//! minimize concentrating compute-intensive threads excessively on big
+//! cores and letting little cores under-utilized."
+//!
+//! This implementation mirrors that description: the machine maintains a
+//! decayed busy fraction per thread (the load); GTS up-migrates above
+//! [`GtsScheduler::up_threshold`], down-migrates below
+//! [`GtsScheduler::down_threshold`], and its balance tick spreads queued
+//! threads across under-utilised cores of both clusters.
+
+use super::{OsScheduler, SchedView};
+use crate::thread::ThreadId;
+use astro_hw::cores::CoreKind;
+
+/// ARM-style big.LITTLE load-tracking scheduler.
+#[derive(Clone, Debug)]
+pub struct GtsScheduler {
+    /// Load above which a thread is "compute-intensive" → big.
+    pub up_threshold: f64,
+    /// Load below which a thread is "light" → LITTLE.
+    pub down_threshold: f64,
+}
+
+impl Default for GtsScheduler {
+    fn default() -> Self {
+        GtsScheduler {
+            up_threshold: 0.75,
+            down_threshold: 0.30,
+        }
+    }
+}
+
+impl GtsScheduler {
+    fn preferred_kind(&self, load: f64) -> Option<CoreKind> {
+        if load >= self.up_threshold {
+            Some(CoreKind::Big)
+        } else if load < self.down_threshold {
+            Some(CoreKind::Little)
+        } else {
+            None
+        }
+    }
+}
+
+impl OsScheduler for GtsScheduler {
+    fn name(&self) -> &'static str {
+        "GTS"
+    }
+
+    fn place(&mut self, view: &SchedView, _thread: ThreadId, load: f64) -> usize {
+        view.least_loaded(self.preferred_kind(load))
+            .expect("some core enabled")
+    }
+
+    fn replace(
+        &mut self,
+        view: &SchedView,
+        _thread: ThreadId,
+        load: f64,
+        current: usize,
+    ) -> usize {
+        if !view.enabled[current] {
+            return view
+                .least_loaded(self.preferred_kind(load))
+                .expect("some core enabled");
+        }
+        let current_kind = view.kind[current];
+        match self.preferred_kind(load) {
+            // Up-migration: compute-intensive thread on a LITTLE moves to a
+            // big core that is no busier than where it is.
+            Some(CoreKind::Big) if current_kind == CoreKind::Little => {
+                let best_big = view
+                    .enabled_cores()
+                    .filter(|&c| view.kind[c] == CoreKind::Big)
+                    .min_by_key(|&c| (view.occupancy(c), c));
+                match best_big {
+                    Some(c) if view.occupancy(c) <= view.occupancy(current) => c,
+                    _ => current,
+                }
+            }
+            // Down-migration: light thread vacates a big core.
+            Some(CoreKind::Little) if current_kind == CoreKind::Big => {
+                let best_little = view
+                    .enabled_cores()
+                    .filter(|&c| view.kind[c] == CoreKind::Little)
+                    .min_by_key(|&c| (view.occupancy(c), c));
+                best_little.unwrap_or(current)
+            }
+            _ => {
+                // Same-cluster balance: leave unless somewhere is much
+                // emptier (avoids ping-ponging).
+                let best = view
+                    .least_loaded(Some(current_kind))
+                    .expect("some core enabled");
+                if view.occupancy(best) + 1 < view.occupancy(current) {
+                    best
+                } else {
+                    current
+                }
+            }
+        }
+    }
+
+    fn balance(
+        &mut self,
+        view: &SchedView,
+        queued: &[(ThreadId, usize, f64)],
+    ) -> Vec<(ThreadId, usize)> {
+        let mut moves = Vec::new();
+        // Clone occupancy so successive moves see each other.
+        let mut occ: Vec<usize> = (0..view.enabled.len()).map(|c| view.occupancy(c)).collect();
+        for &(tid, core, load) in queued {
+            let candidates: Vec<usize> = view
+                .enabled_cores()
+                .filter(|&c| match self.preferred_kind(load) {
+                    Some(k) => view.kind[c] == k,
+                    None => true,
+                })
+                .collect();
+            let Some(&best) = candidates.iter().min_by_key(|&&c| (occ[c], c)) else {
+                continue;
+            };
+            if best != core && occ[best] + 1 < occ[core] {
+                occ[core] -= 1;
+                occ[best] += 1;
+                moves.push((tid, best));
+            }
+        }
+        moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view() -> SchedView {
+        SchedView {
+            enabled: vec![true; 8],
+            kind: vec![
+                CoreKind::Little,
+                CoreKind::Little,
+                CoreKind::Little,
+                CoreKind::Little,
+                CoreKind::Big,
+                CoreKind::Big,
+                CoreKind::Big,
+                CoreKind::Big,
+            ],
+            queue_len: vec![0; 8],
+            busy: vec![false; 8],
+        }
+    }
+
+    #[test]
+    fn hot_threads_placed_on_big() {
+        let mut g = GtsScheduler::default();
+        let c = g.place(&view(), ThreadId(0), 0.9);
+        assert_eq!(view().kind[c], CoreKind::Big);
+    }
+
+    #[test]
+    fn light_threads_placed_on_little() {
+        let mut g = GtsScheduler::default();
+        let c = g.place(&view(), ThreadId(0), 0.1);
+        assert_eq!(view().kind[c], CoreKind::Little);
+    }
+
+    #[test]
+    fn up_migration_from_little() {
+        let mut g = GtsScheduler::default();
+        // Thread running hot on LITTLE core 0; bigs idle.
+        let c = g.replace(&view(), ThreadId(0), 0.95, 0);
+        assert_eq!(view().kind[c], CoreKind::Big);
+    }
+
+    #[test]
+    fn no_up_migration_when_bigs_overloaded() {
+        let mut g = GtsScheduler::default();
+        let mut v = view();
+        for c in 4..8 {
+            v.busy[c] = true;
+            v.queue_len[c] = 3;
+        }
+        let c = g.replace(&v, ThreadId(0), 0.95, 0);
+        assert_eq!(c, 0, "stay on LITTLE rather than pile onto busy bigs");
+    }
+
+    #[test]
+    fn down_migration_from_big() {
+        let mut g = GtsScheduler::default();
+        let c = g.replace(&view(), ThreadId(0), 0.05, 5);
+        assert_eq!(view().kind[c], CoreKind::Little);
+    }
+
+    #[test]
+    fn medium_load_stays_put() {
+        let mut g = GtsScheduler::default();
+        assert_eq!(g.replace(&view(), ThreadId(0), 0.5, 2), 2);
+        assert_eq!(g.replace(&view(), ThreadId(0), 0.5, 6), 6);
+    }
+
+    #[test]
+    fn disabled_current_core_forces_move() {
+        let mut g = GtsScheduler::default();
+        let mut v = view();
+        v.enabled[0] = false;
+        let c = g.replace(&v, ThreadId(0), 0.5, 0);
+        assert_ne!(c, 0);
+        assert!(v.enabled[c]);
+    }
+
+    #[test]
+    fn balance_spreads_queued_threads() {
+        let mut g = GtsScheduler::default();
+        let mut v = view();
+        // Everything piled on core 4.
+        v.busy[4] = true;
+        v.queue_len[4] = 3;
+        let queued = [
+            (ThreadId(1), 4usize, 0.9),
+            (ThreadId(2), 4, 0.9),
+            (ThreadId(3), 4, 0.9),
+        ];
+        let moves = g.balance(&v, &queued);
+        assert!(!moves.is_empty());
+        // Hot threads move to other big cores.
+        for (_, c) in &moves {
+            assert_eq!(v.kind[*c], CoreKind::Big);
+            assert_ne!(*c, 4);
+        }
+    }
+}

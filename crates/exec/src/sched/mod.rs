@@ -1,0 +1,132 @@
+//! OS-level schedulers: thread→core placement policy.
+//!
+//! The machine owns run queues and dispatch; schedulers only answer
+//! placement questions. Three implementations ship with the engine:
+//!
+//! * [`gts::GtsScheduler`] — ARM's Global Task Scheduling, the paper's
+//!   baseline (§4.2): load-tracking with up/down migration between
+//!   clusters and periodic balancing;
+//! * [`affinity::AffinityScheduler`] — configuration-respecting
+//!   least-loaded placement, used when Astro owns the configuration;
+//! * [`random::RandomScheduler`] — uniformly random placement, a
+//!   degenerate baseline for tests and sanity checks.
+
+pub mod affinity;
+pub mod gts;
+pub mod random;
+
+use crate::thread::ThreadId;
+use astro_hw::cores::CoreKind;
+
+/// A read-only snapshot of scheduler-relevant machine state.
+#[derive(Clone, Debug)]
+pub struct SchedView {
+    /// Per-core: enabled in the current hardware configuration?
+    pub enabled: Vec<bool>,
+    /// Per-core: cluster kind.
+    pub kind: Vec<CoreKind>,
+    /// Per-core: number of runnable threads queued (not counting the
+    /// running one).
+    pub queue_len: Vec<usize>,
+    /// Per-core: is something running right now?
+    pub busy: Vec<bool>,
+}
+
+impl SchedView {
+    /// Cores currently enabled.
+    pub fn enabled_cores(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.enabled.len()).filter(|&c| self.enabled[c])
+    }
+
+    /// Effective occupancy of a core: queued + running.
+    pub fn occupancy(&self, core: usize) -> usize {
+        self.queue_len[core] + self.busy[core] as usize
+    }
+
+    /// The enabled core with the smallest occupancy, preferring `prefer`
+    /// on ties; `None` if nothing is enabled (cannot happen for valid
+    /// configurations).
+    pub fn least_loaded(&self, prefer: Option<CoreKind>) -> Option<usize> {
+        self.enabled_cores().min_by_key(|&c| {
+            let tie = match prefer {
+                Some(k) if self.kind[c] == k => 0usize,
+                Some(_) => 1,
+                None => 0,
+            };
+            (self.occupancy(c), tie, c)
+        })
+    }
+}
+
+/// Placement policy. All methods must return *enabled* cores.
+pub trait OsScheduler {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Where should a newly runnable thread go?
+    fn place(&mut self, view: &SchedView, thread: ThreadId, load: f64) -> usize;
+
+    /// A running thread finished a slice on `current`; keep it there or
+    /// migrate? Called at slice granularity, which is how often real
+    /// schedulers get to act on running tasks.
+    fn replace(&mut self, view: &SchedView, thread: ThreadId, load: f64, current: usize)
+        -> usize;
+
+    /// Periodic balance tick: relocate *queued* threads. Returns
+    /// `(thread, new core)` pairs. Default: no-op.
+    fn balance(&mut self, _view: &SchedView, _queued: &[(ThreadId, usize, f64)]) -> Vec<(ThreadId, usize)> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn view_4l4b() -> SchedView {
+        SchedView {
+            enabled: vec![true; 8],
+            kind: vec![
+                CoreKind::Little,
+                CoreKind::Little,
+                CoreKind::Little,
+                CoreKind::Little,
+                CoreKind::Big,
+                CoreKind::Big,
+                CoreKind::Big,
+                CoreKind::Big,
+            ],
+            queue_len: vec![0; 8],
+            busy: vec![false; 8],
+        }
+    }
+
+    #[test]
+    fn least_loaded_prefers_kind_on_tie() {
+        let v = view_4l4b();
+        assert_eq!(v.least_loaded(Some(CoreKind::Big)), Some(4));
+        assert_eq!(v.least_loaded(Some(CoreKind::Little)), Some(0));
+        assert_eq!(v.least_loaded(None), Some(0), "index breaks final ties");
+    }
+
+    #[test]
+    fn least_loaded_respects_occupancy() {
+        let mut v = view_4l4b();
+        v.busy = vec![true; 8];
+        v.queue_len[6] = 0;
+        for c in [0, 1, 2, 3, 4, 5, 7] {
+            v.queue_len[c] = 2;
+        }
+        assert_eq!(v.least_loaded(None), Some(6));
+    }
+
+    #[test]
+    fn disabled_cores_invisible() {
+        let mut v = view_4l4b();
+        for c in 0..7 {
+            v.enabled[c] = false;
+        }
+        assert_eq!(v.least_loaded(Some(CoreKind::Little)), Some(7));
+        assert_eq!(v.enabled_cores().count(), 1);
+    }
+}

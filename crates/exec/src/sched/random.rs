@@ -1,0 +1,91 @@
+//! Uniformly random placement — a degenerate baseline used in tests and
+//! as the "system that chooses the next configuration randomly" flavour
+//! of Figure 9's caption.
+
+use super::{OsScheduler, SchedView};
+use crate::thread::ThreadId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random placement among enabled cores.
+#[derive(Clone, Debug)]
+pub struct RandomScheduler {
+    rng: SmallRng,
+}
+
+impl RandomScheduler {
+    /// Seeded for reproducibility.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    fn pick(&mut self, view: &SchedView) -> usize {
+        let enabled: Vec<usize> = view.enabled_cores().collect();
+        enabled[self.rng.gen_range(0..enabled.len())]
+    }
+}
+
+impl OsScheduler for RandomScheduler {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn place(&mut self, view: &SchedView, _thread: ThreadId, _load: f64) -> usize {
+        self.pick(view)
+    }
+
+    fn replace(
+        &mut self,
+        view: &SchedView,
+        _thread: ThreadId,
+        _load: f64,
+        current: usize,
+    ) -> usize {
+        if view.enabled[current] {
+            current
+        } else {
+            self.pick(view)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_hw::cores::CoreKind;
+
+    #[test]
+    fn only_enabled_cores_chosen() {
+        let view = SchedView {
+            enabled: vec![false, true, false, true],
+            kind: vec![CoreKind::Little; 4],
+            queue_len: vec![0; 4],
+            busy: vec![false; 4],
+        };
+        let mut s = RandomScheduler::new(11);
+        for i in 0..50 {
+            let c = s.place(&view, ThreadId(i), 0.5);
+            assert!(view.enabled[c]);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let view = SchedView {
+            enabled: vec![true; 8],
+            kind: vec![CoreKind::Big; 8],
+            queue_len: vec![0; 8],
+            busy: vec![false; 8],
+        };
+        let seq = |seed| {
+            let mut s = RandomScheduler::new(seed);
+            (0..20)
+                .map(|i| s.place(&view, ThreadId(i), 0.5))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(seq(5), seq(5));
+        assert_ne!(seq(5), seq(6));
+    }
+}

@@ -1,0 +1,168 @@
+//! Synchronisation objects: barriers and mutexes.
+//!
+//! Pure state machines — the machine supplies time and wakes threads; the
+//! tables only track membership. Keeping them free of time makes them
+//! trivially unit-testable and keeps all event ordering in one place
+//! (the machine's event queue).
+
+use crate::thread::ThreadId;
+use std::collections::{HashMap, VecDeque};
+
+/// Result of arriving at a barrier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BarrierArrival {
+    /// Not everyone is here: the caller must block.
+    Wait,
+    /// The caller was the last participant: everyone in the list (the
+    /// earlier arrivals) must be woken, and the caller proceeds.
+    Release(Vec<ThreadId>),
+}
+
+/// All barriers, keyed by the id passed to `barrier_wait`.
+#[derive(Clone, Debug, Default)]
+pub struct BarrierTable {
+    waiting: HashMap<i64, Vec<ThreadId>>,
+}
+
+impl BarrierTable {
+    /// Thread `t` arrives at barrier `id` expecting `participants` total
+    /// arrivals per release cycle.
+    pub fn arrive(&mut self, id: i64, t: ThreadId, participants: u32) -> BarrierArrival {
+        let entry = self.waiting.entry(id).or_default();
+        debug_assert!(!entry.contains(&t), "double arrival of {t:?} at barrier {id}");
+        if entry.len() + 1 >= participants.max(1) as usize {
+            let released = std::mem::take(entry);
+            BarrierArrival::Release(released)
+        } else {
+            entry.push(t);
+            BarrierArrival::Wait
+        }
+    }
+
+    /// Threads currently parked at barrier `id`.
+    pub fn parked(&self, id: i64) -> usize {
+        self.waiting.get(&id).map_or(0, |v| v.len())
+    }
+}
+
+/// Result of a lock attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockAttempt {
+    /// The caller now holds the lock.
+    Acquired,
+    /// The lock is held; the caller must block.
+    Contended,
+}
+
+/// All mutexes, keyed by the id passed to `mutex_lock`.
+#[derive(Clone, Debug, Default)]
+pub struct MutexTable {
+    held: HashMap<i64, ThreadId>,
+    waiters: HashMap<i64, VecDeque<ThreadId>>,
+}
+
+impl MutexTable {
+    /// Thread `t` tries to take mutex `id`.
+    pub fn lock(&mut self, id: i64, t: ThreadId) -> LockAttempt {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.held.entry(id) {
+            e.insert(t);
+            LockAttempt::Acquired
+        } else {
+            debug_assert_ne!(self.held[&id], t, "recursive lock of {id} by {t:?}");
+            self.waiters.entry(id).or_default().push_back(t);
+            LockAttempt::Contended
+        }
+    }
+
+    /// Thread `t` releases mutex `id`; returns the next holder to wake,
+    /// if anyone was queued (ownership transfers directly — FIFO,
+    /// convoy-style, like a fair futex).
+    pub fn unlock(&mut self, id: i64, t: ThreadId) -> Option<ThreadId> {
+        debug_assert_eq!(
+            self.held.get(&id),
+            Some(&t),
+            "unlock of {id} by non-holder {t:?}"
+        );
+        self.held.remove(&id);
+        let next = self.waiters.get_mut(&id).and_then(|q| q.pop_front());
+        if let Some(n) = next {
+            self.held.insert(id, n);
+        }
+        next
+    }
+
+    /// Who holds mutex `id`?
+    pub fn holder(&self, id: i64) -> Option<ThreadId> {
+        self.held.get(&id).copied()
+    }
+
+    /// Queue length behind mutex `id`.
+    pub fn contention(&self, id: i64) -> usize {
+        self.waiters.get(&id).map_or(0, |q| q.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_releases_on_last_arrival() {
+        let mut b = BarrierTable::default();
+        assert_eq!(b.arrive(0, ThreadId(1), 3), BarrierArrival::Wait);
+        assert_eq!(b.arrive(0, ThreadId(2), 3), BarrierArrival::Wait);
+        assert_eq!(b.parked(0), 2);
+        match b.arrive(0, ThreadId(3), 3) {
+            BarrierArrival::Release(ws) => {
+                assert_eq!(ws, vec![ThreadId(1), ThreadId(2)]);
+            }
+            BarrierArrival::Wait => panic!("last arrival must release"),
+        }
+        assert_eq!(b.parked(0), 0, "barrier resets for the next cycle");
+    }
+
+    #[test]
+    fn barrier_cycles_are_independent() {
+        let mut b = BarrierTable::default();
+        for _cycle in 0..3 {
+            assert_eq!(b.arrive(7, ThreadId(0), 2), BarrierArrival::Wait);
+            assert!(matches!(
+                b.arrive(7, ThreadId(1), 2),
+                BarrierArrival::Release(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn single_participant_barrier_never_blocks() {
+        let mut b = BarrierTable::default();
+        assert!(matches!(
+            b.arrive(1, ThreadId(5), 1),
+            BarrierArrival::Release(ws) if ws.is_empty()
+        ));
+    }
+
+    #[test]
+    fn mutex_fifo_handoff() {
+        let mut m = MutexTable::default();
+        assert_eq!(m.lock(0, ThreadId(1)), LockAttempt::Acquired);
+        assert_eq!(m.lock(0, ThreadId(2)), LockAttempt::Contended);
+        assert_eq!(m.lock(0, ThreadId(3)), LockAttempt::Contended);
+        assert_eq!(m.contention(0), 2);
+        // Unlock hands ownership to the first waiter directly.
+        assert_eq!(m.unlock(0, ThreadId(1)), Some(ThreadId(2)));
+        assert_eq!(m.holder(0), Some(ThreadId(2)));
+        assert_eq!(m.unlock(0, ThreadId(2)), Some(ThreadId(3)));
+        assert_eq!(m.unlock(0, ThreadId(3)), None);
+        assert_eq!(m.holder(0), None);
+    }
+
+    #[test]
+    fn independent_mutexes_do_not_interfere() {
+        let mut m = MutexTable::default();
+        assert_eq!(m.lock(0, ThreadId(1)), LockAttempt::Acquired);
+        assert_eq!(m.lock(1, ThreadId(2)), LockAttempt::Acquired);
+        assert_eq!(m.contention(0), 0);
+        assert_eq!(m.contention(1), 0);
+    }
+}

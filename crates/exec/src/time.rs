@@ -1,0 +1,109 @@
+//! Simulated time, in integer picoseconds.
+//!
+//! Integer time keeps the event queue totally ordered without
+//! floating-point tie-break hazards; picosecond resolution expresses
+//! sub-cycle costs exactly (a 2 GHz cycle is 500 ps).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (or a duration), in picoseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+    /// One nanosecond.
+    pub const NANO: SimTime = SimTime(1_000);
+    /// One microsecond.
+    pub const MICRO: SimTime = SimTime(1_000_000);
+    /// One millisecond.
+    pub const MILLI: SimTime = SimTime(1_000_000_000);
+    /// One second.
+    pub const SEC: SimTime = SimTime(1_000_000_000_000);
+
+    /// From seconds (rounds to the nearest picosecond).
+    pub fn from_secs(s: f64) -> Self {
+        debug_assert!(s >= 0.0, "negative duration");
+        SimTime((s * 1e12).round() as u64)
+    }
+
+    /// From microseconds.
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_secs(us * 1e-6)
+    }
+
+    /// From milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_secs(ms * 1e-3)
+    }
+
+    /// As fractional seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "time went backwards");
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(SimTime::from_secs(1.0), SimTime::SEC);
+        assert_eq!(SimTime::from_millis(500.0), SimTime(500_000_000_000));
+        assert_eq!(SimTime::from_micros(1.0), SimTime::MICRO);
+        assert!((SimTime::from_secs(0.123456).as_secs() - 0.123456).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::SEC + SimTime::MILLI;
+        assert_eq!(t.0, 1_001_000_000_000);
+        assert_eq!(t - SimTime::SEC, SimTime::MILLI);
+        assert_eq!(SimTime::MILLI.saturating_sub(SimTime::SEC), SimTime::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        assert!(SimTime::NANO < SimTime::MICRO);
+        assert!(SimTime::MICRO < SimTime::MILLI);
+    }
+}

@@ -1,0 +1,381 @@
+//! End-to-end machine tests: whole programs through the event loop.
+
+use astro_exec::machine::{Machine, MachineParams};
+use astro_exec::program::compile;
+use astro_exec::runtime::{NullHooks, RuntimeHooks};
+use astro_exec::sched::affinity::AffinityScheduler;
+use astro_exec::sched::gts::GtsScheduler;
+use astro_exec::time::SimTime;
+use astro_hw::boards::BoardSpec;
+use astro_hw::config::HwConfig;
+use astro_ir::{FunctionBuilder, LibCall, MemBehavior, Module, Ty, Value};
+
+fn params() -> MachineParams {
+    MachineParams {
+        checkpoint_interval: SimTime::from_millis(10.0),
+        balance_interval: SimTime::from_millis(2.0),
+        ..MachineParams::default()
+    }
+}
+
+/// Single-threaded FP kernel: `iters` loop iterations of fmul/fadd.
+fn fp_kernel(iters: u64) -> astro_exec::CompiledProgram {
+    let mut m = Module::new("fp");
+    let mut b = FunctionBuilder::new("main", Ty::Void);
+    b.counted_loop(iters, |b| {
+        let x = b.fmul(Ty::F64, Value::float(1.5), Value::float(2.5));
+        b.fadd(Ty::F64, x, x);
+    });
+    b.ret(None);
+    let f = m.add_function(b.finish());
+    m.set_entry(f);
+    compile(&m).unwrap()
+}
+
+/// `nthreads` workers each running `iters` FP iterations, joined by main.
+fn parallel_kernel(nthreads: u32, iters: u64) -> astro_exec::CompiledProgram {
+    let mut m = Module::new("par");
+    let mut w = FunctionBuilder::new("worker", Ty::Void);
+    w.counted_loop(iters, |b| {
+        let x = b.fmul(Ty::F64, Value::float(1.5), Value::float(2.5));
+        b.fadd(Ty::F64, x, x);
+        b.imul(Ty::I64, Value::int(3), Value::int(5));
+    });
+    w.ret(None);
+    let worker = m.add_function(w.finish());
+    let mut b = FunctionBuilder::new("main", Ty::Void);
+    for _ in 0..nthreads {
+        b.call_lib(LibCall::ThreadSpawn, &[Value::func(worker)]);
+    }
+    b.call_lib(LibCall::ThreadJoin, &[]);
+    b.ret(None);
+    let main = m.add_function(b.finish());
+    m.set_entry(main);
+    compile(&m).unwrap()
+}
+
+#[test]
+fn single_thread_program_terminates_with_energy() {
+    let board = BoardSpec::odroid_xu4();
+    let machine = Machine::new(&board, params());
+    let prog = fp_kernel(50_000);
+    let mut sched = AffinityScheduler;
+    let mut hooks = NullHooks;
+    let r = machine.run(&prog, &mut sched, &mut hooks, HwConfig::new(0, 1));
+    assert!(!r.timed_out);
+    assert!(r.wall_time_s > 0.0);
+    assert!(r.energy_j > 0.0);
+    assert!(r.instructions > 200_000, "got {}", r.instructions);
+    assert!(r.avg_power_w() > 0.1 && r.avg_power_w() < 15.0);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let board = BoardSpec::odroid_xu4();
+    let run = || {
+        let machine = Machine::new(&board, params());
+        let prog = parallel_kernel(4, 20_000);
+        let mut sched = GtsScheduler::default();
+        let mut hooks = NullHooks;
+        machine.run(&prog, &mut sched, &mut hooks, HwConfig::new(4, 4))
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.wall_time_s, b.wall_time_s);
+    assert_eq!(a.energy_j, b.energy_j);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.migrations, b.migrations);
+}
+
+#[test]
+fn parallelism_shortens_wall_time() {
+    let board = BoardSpec::odroid_xu4();
+    let run_cfg = |cfg: HwConfig| {
+        let machine = Machine::new(&board, params());
+        let prog = parallel_kernel(4, 60_000);
+        let mut sched = AffinityScheduler;
+        let mut hooks = NullHooks;
+        machine.run(&prog, &mut sched, &mut hooks, cfg)
+    };
+    let one_big = run_cfg(HwConfig::new(0, 1));
+    let four_big = run_cfg(HwConfig::new(0, 4));
+    assert!(
+        four_big.wall_time_s < one_big.wall_time_s / 2.5,
+        "4 big ({:.4}s) should be ≫ faster than 1 big ({:.4}s)",
+        four_big.wall_time_s,
+        one_big.wall_time_s
+    );
+}
+
+#[test]
+fn little_cores_cheaper_but_slower_on_fp() {
+    let board = BoardSpec::odroid_xu4();
+    let run_cfg = |cfg: HwConfig| {
+        let machine = Machine::new(&board, params());
+        let prog = parallel_kernel(4, 40_000);
+        let mut sched = AffinityScheduler;
+        let mut hooks = NullHooks;
+        machine.run(&prog, &mut sched, &mut hooks, cfg)
+    };
+    let bigs = run_cfg(HwConfig::new(0, 4));
+    let littles = run_cfg(HwConfig::new(4, 0));
+    assert!(littles.wall_time_s > 1.5 * bigs.wall_time_s);
+    assert!(
+        littles.energy_j < bigs.energy_j,
+        "LITTLE ({:.3} J) must beat big ({:.3} J) on energy for this kernel",
+        littles.energy_j,
+        bigs.energy_j
+    );
+}
+
+#[test]
+fn gts_up_migrates_hot_threads_to_big() {
+    let board = BoardSpec::odroid_xu4();
+    let machine = Machine::new(&board, params());
+    let prog = parallel_kernel(2, 4_000_000);
+    let mut sched = GtsScheduler::default();
+    let mut hooks = NullHooks;
+    let r = machine.run(&prog, &mut sched, &mut hooks, HwConfig::new(4, 4));
+    // Hot FP threads end up on big cores; some migrations happen.
+    assert!(r.migrations > 0, "expected up-migrations");
+    assert!(!r.timed_out);
+}
+
+#[test]
+fn sleep_blocks_without_burning_cpu() {
+    let board = BoardSpec::odroid_xu4();
+    let mut m = Module::new("sleepy");
+    let mut b = FunctionBuilder::new("main", Ty::Void);
+    b.call_lib(LibCall::Sleep, &[Value::int(50_000)]); // 50 ms
+    b.ret(None);
+    let f = m.add_function(b.finish());
+    m.set_entry(f);
+    let prog = compile(&m).unwrap();
+    let machine = Machine::new(&board, params());
+    let mut sched = AffinityScheduler;
+    let mut hooks = NullHooks;
+    let r = machine.run(&prog, &mut sched, &mut hooks, HwConfig::new(0, 1));
+    assert!(r.wall_time_s >= 0.050);
+    assert!(
+        r.cpu_time_s < 0.001,
+        "sleeping must not accrue busy time, got {}",
+        r.cpu_time_s
+    );
+}
+
+#[test]
+fn barrier_synchronises_workers() {
+    let board = BoardSpec::odroid_xu4();
+    let mut m = Module::new("bar");
+    let n = 3u32;
+    let mut w = FunctionBuilder::new("worker", Ty::Void);
+    w.counted_loop(10_000, |b| {
+        b.iadd(Ty::I64, Value::int(1), Value::int(2));
+    });
+    // All workers meet at barrier 7 (participants = 3).
+    w.call_lib(
+        LibCall::BarrierWait,
+        &[Value::int(7), Value::int(n as i64)],
+    );
+    w.counted_loop(10_000, |b| {
+        b.iadd(Ty::I64, Value::int(1), Value::int(2));
+    });
+    w.ret(None);
+    let worker = m.add_function(w.finish());
+    let mut b = FunctionBuilder::new("main", Ty::Void);
+    for _ in 0..n {
+        b.call_lib(LibCall::ThreadSpawn, &[Value::func(worker)]);
+    }
+    b.call_lib(LibCall::ThreadJoin, &[]);
+    b.ret(None);
+    let main = m.add_function(b.finish());
+    m.set_entry(main);
+    let prog = compile(&m).unwrap();
+    let machine = Machine::new(&board, params());
+    let mut sched = AffinityScheduler;
+    let mut hooks = NullHooks;
+    let r = machine.run(&prog, &mut sched, &mut hooks, HwConfig::new(0, 4));
+    assert!(!r.timed_out, "barrier must release all participants");
+}
+
+#[test]
+fn mutex_serialises_critical_sections() {
+    let board = BoardSpec::odroid_xu4();
+    let mk = |iters: u64, with_lock: bool| {
+        let mut m = Module::new("cs");
+        let mut w = FunctionBuilder::new("worker", Ty::Void);
+        w.counted_loop(40, move |b| {
+            if with_lock {
+                b.call_lib(LibCall::MutexLock, &[Value::int(0)]);
+            }
+            b.counted_loop(iters, |b| {
+                b.imul(Ty::I64, Value::int(3), Value::int(5));
+            });
+            if with_lock {
+                b.call_lib(LibCall::MutexUnlock, &[Value::int(0)]);
+            }
+        });
+        w.ret(None);
+        let worker = m.add_function(w.finish());
+        let mut b = FunctionBuilder::new("main", Ty::Void);
+        for _ in 0..4 {
+            b.call_lib(LibCall::ThreadSpawn, &[Value::func(worker)]);
+        }
+        b.call_lib(LibCall::ThreadJoin, &[]);
+        b.ret(None);
+        let main = m.add_function(b.finish());
+        m.set_entry(main);
+        compile(&m).unwrap()
+    };
+    let run = |prog: &astro_exec::CompiledProgram| {
+        let machine = Machine::new(&board, params());
+        let mut sched = AffinityScheduler;
+        let mut hooks = NullHooks;
+        machine.run(prog, &mut sched, &mut hooks, HwConfig::new(0, 4))
+    };
+    let locked = run(&mk(2000, true));
+    let unlocked = run(&mk(2000, false));
+    assert!(
+        locked.wall_time_s > 1.5 * unlocked.wall_time_s,
+        "serialised ({:.5}s) vs parallel ({:.5}s)",
+        locked.wall_time_s,
+        unlocked.wall_time_s
+    );
+}
+
+#[test]
+fn checkpoints_fire_at_interval() {
+    let board = BoardSpec::odroid_xu4();
+    let mut p = params();
+    p.checkpoint_interval = SimTime::from_millis(5.0);
+    let machine = Machine::new(&board, p);
+    let prog = fp_kernel(2_000_000); // long enough for several checkpoints
+    let mut sched = AffinityScheduler;
+    let mut hooks = NullHooks;
+    let r = machine.run(&prog, &mut sched, &mut hooks, HwConfig::new(0, 1));
+    let expected = (r.wall_time_s / 0.005) as usize;
+    assert!(
+        r.checkpoints.len() + 1 >= expected && r.checkpoints.len() <= expected + 1,
+        "expected ≈{expected} checkpoints, got {}",
+        r.checkpoints.len()
+    );
+    // Checkpoint metrics are sane.
+    for cp in &r.checkpoints {
+        assert!(cp.watts >= 0.0 && cp.watts < 20.0);
+        assert!(cp.mips >= 0.0);
+    }
+}
+
+#[test]
+fn config_change_hooks_respected() {
+    // A hook that moves everything to 4L0B at the first checkpoint.
+    struct SwitchOnce {
+        done: bool,
+    }
+    impl RuntimeHooks for SwitchOnce {
+        fn on_checkpoint(
+            &mut self,
+            _s: &astro_exec::MonitorSample,
+        ) -> Option<HwConfig> {
+            if self.done {
+                None
+            } else {
+                self.done = true;
+                Some(HwConfig::new(4, 0))
+            }
+        }
+    }
+    let board = BoardSpec::odroid_xu4();
+    let mut p = params();
+    p.checkpoint_interval = SimTime::from_millis(2.0);
+    let machine = Machine::new(&board, p);
+    let prog = parallel_kernel(4, 2_000_000);
+    let mut sched = AffinityScheduler;
+    let mut hooks = SwitchOnce { done: false };
+    let r = machine.run(&prog, &mut sched, &mut hooks, HwConfig::new(0, 4));
+    assert_eq!(r.config_changes, 1);
+    assert!(r.migrations > 0, "threads must vacate the big cores");
+    assert!(!r.timed_out);
+}
+
+#[test]
+fn unavailable_config_rejected() {
+    struct AskBig;
+    impl RuntimeHooks for AskBig {
+        fn on_checkpoint(
+            &mut self,
+            _s: &astro_exec::MonitorSample,
+        ) -> Option<HwConfig> {
+            Some(HwConfig::new(0, 4)) // needs 4 bigs, only 2 available
+        }
+    }
+    let board = BoardSpec::odroid_xu4();
+    let mut p = params();
+    p.checkpoint_interval = SimTime::from_millis(2.0);
+    p.available = Some((4, 2));
+    let machine = Machine::new(&board, p);
+    let prog = fp_kernel(500_000);
+    let mut sched = AffinityScheduler;
+    let mut hooks = AskBig;
+    let r = machine.run(&prog, &mut sched, &mut hooks, HwConfig::new(2, 2));
+    assert_eq!(
+        r.config_changes, 0,
+        "request above the availability mask must be rejected (§3.2.3)"
+    );
+}
+
+#[test]
+fn power_probe_records_tagged_waveform() {
+    let board = BoardSpec::jetson_tk1();
+    let mut m = Module::new("probe");
+    let mut busy = FunctionBuilder::new("mulMatrix", Ty::Void);
+    busy.counted_loop(200_000, |b| {
+        let x = b.fmul(Ty::F64, Value::float(1.0), Value::float(2.0));
+        b.fadd(Ty::F64, x, x);
+    });
+    busy.ret(None);
+    let busy_id = m.add_function(busy.finish());
+    let mut main = FunctionBuilder::new("main", Ty::Void);
+    main.call_lib(LibCall::AstroLogPhase, &[Value::int(3)]);
+    main.call(busy_id, &[]);
+    main.call_lib(LibCall::Sleep, &[Value::int(20_000)]);
+    main.ret(None);
+    let main_id = m.add_function(main.finish());
+    m.set_entry(main_id);
+    let prog = compile(&m).unwrap();
+
+    let mut p = params();
+    p.probe_rate_hz = Some(100_000.0); // dense sampling for a short run
+    let machine = Machine::new(&board, p);
+    let mut sched = AffinityScheduler;
+    let mut hooks = NullHooks;
+    let r = machine.run(&prog, &mut sched, &mut hooks, HwConfig::new(1, 4));
+    assert!(!r.power_samples.is_empty());
+    // Power during the busy part must exceed power while sleeping.
+    let peak = r
+        .power_samples
+        .iter()
+        .map(|s| s.power_w)
+        .fold(0.0f64, f64::max);
+    let tail = r.power_samples.last().unwrap().power_w;
+    assert!(
+        peak > tail + 0.2,
+        "busy power {peak:.2} W should exceed sleeping power {tail:.2} W"
+    );
+}
+
+#[test]
+fn cpu_time_exceeds_wall_time_with_parallelism() {
+    let board = BoardSpec::odroid_xu4();
+    let machine = Machine::new(&board, params());
+    let prog = parallel_kernel(4, 60_000);
+    let mut sched = AffinityScheduler;
+    let mut hooks = NullHooks;
+    let r = machine.run(&prog, &mut sched, &mut hooks, HwConfig::new(0, 4));
+    assert!(
+        r.cpu_time_s > 2.0 * r.wall_time_s,
+        "4 busy cores: cpu {:.4}s vs wall {:.4}s",
+        r.cpu_time_s,
+        r.wall_time_s
+    );
+}

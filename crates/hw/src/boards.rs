@@ -1,0 +1,133 @@
+//! Board presets: the two experimental platforms of the paper.
+
+use crate::cache::CacheParams;
+use crate::config::ConfigSpace;
+use crate::cores::{CoreKind, CoreSpec};
+use crate::power::PowerModel;
+
+/// A full machine description: clusters, caches, power model.
+#[derive(Clone, Debug)]
+pub struct BoardSpec {
+    /// Board name for reports.
+    pub name: &'static str,
+    /// Number of LITTLE cores.
+    pub num_little: u8,
+    /// Number of big cores.
+    pub num_big: u8,
+    /// LITTLE core model.
+    pub little: CoreSpec,
+    /// big core model.
+    pub big: CoreSpec,
+    /// L1 geometry (per core).
+    pub l1: CacheParams,
+    /// LITTLE-cluster L2 geometry (shared).
+    pub l2_little: CacheParams,
+    /// big-cluster L2 geometry (shared).
+    pub l2_big: CacheParams,
+    /// Power constants.
+    pub power: PowerModel,
+    /// Cost of migrating a thread across clusters, in seconds (state
+    /// transfer + cold caches are modelled by the cache flush; this is
+    /// the kernel-side latency).
+    pub migration_cost_s: f64,
+}
+
+impl BoardSpec {
+    /// The Odroid XU4: Samsung Exynos 5422, 4× Cortex-A15 @ 2.0 GHz +
+    /// 4× Cortex-A7 @ 1.4 GHz (§4 "Experimental Setup").
+    pub fn odroid_xu4() -> Self {
+        BoardSpec {
+            name: "Odroid XU4 (Exynos 5422)",
+            num_little: 4,
+            num_big: 4,
+            little: CoreSpec::little_a7(),
+            big: CoreSpec::big_a15(),
+            l1: CacheParams::L1_32K,
+            l2_little: CacheParams::L2_512K,
+            l2_big: CacheParams::L2_2M,
+            power: PowerModel::default(),
+            migration_cost_s: 60e-6,
+        }
+    }
+
+    /// The Nvidia Jetson TK1: 4 Cortex-A15 + 1 low-power companion core
+    /// ("this diversity is absent on the latter, that has only one LITTLE
+    /// core" — §2, footnote 3). Used for the Figure 3 power-profile
+    /// experiment.
+    pub fn jetson_tk1() -> Self {
+        BoardSpec {
+            name: "Nvidia Jetson TK1",
+            num_little: 1,
+            num_big: 4,
+            little: CoreSpec::little_a7(),
+            big: CoreSpec::big_a15(),
+            l1: CacheParams::L1_32K,
+            l2_little: CacheParams::L2_512K,
+            l2_big: CacheParams::L2_2M,
+            power: PowerModel::default(),
+            migration_cost_s: 80e-6,
+        }
+    }
+
+    /// The configuration space of this board.
+    pub fn config_space(&self) -> ConfigSpace {
+        ConfigSpace {
+            max_little: self.num_little,
+            max_big: self.num_big,
+        }
+    }
+
+    /// Total physical cores.
+    pub fn num_cores(&self) -> usize {
+        self.num_little as usize + self.num_big as usize
+    }
+
+    /// Core kind by global core index: LITTLEs first (0..num_little),
+    /// then bigs.
+    pub fn core_kind(&self, core: usize) -> CoreKind {
+        if core < self.num_little as usize {
+            CoreKind::Little
+        } else {
+            CoreKind::Big
+        }
+    }
+
+    /// Core spec by global core index.
+    pub fn core_spec(&self, core: usize) -> &CoreSpec {
+        match self.core_kind(core) {
+            CoreKind::Little => &self.little,
+            CoreKind::Big => &self.big,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xu4_layout() {
+        let b = BoardSpec::odroid_xu4();
+        assert_eq!(b.num_cores(), 8);
+        assert_eq!(b.config_space().num_configs(), 24);
+        assert_eq!(b.core_kind(0), CoreKind::Little);
+        assert_eq!(b.core_kind(3), CoreKind::Little);
+        assert_eq!(b.core_kind(4), CoreKind::Big);
+        assert_eq!(b.core_kind(7), CoreKind::Big);
+    }
+
+    #[test]
+    fn tk1_has_single_little() {
+        let b = BoardSpec::jetson_tk1();
+        assert_eq!(b.num_little, 1);
+        assert_eq!(b.config_space().num_configs(), 9);
+    }
+
+    #[test]
+    fn core_spec_dispatch() {
+        let b = BoardSpec::odroid_xu4();
+        assert_eq!(b.core_spec(0).kind, CoreKind::Little);
+        assert_eq!(b.core_spec(7).kind, CoreKind::Big);
+        assert!(b.core_spec(7).freq_ghz > b.core_spec(0).freq_ghz);
+    }
+}

@@ -1,0 +1,191 @@
+//! Hardware configurations (Definition 2.1 of the paper).
+//!
+//! A configuration says how many LITTLE and how many big cores are
+//! active. Following ARM's nomenclature the paper writes `xLyB` for
+//! `x` LITTLE cores and `y` big cores; on the Odroid XU4 (4+4) that
+//! yields 5×5−1 = 24 valid configurations (all-off excluded).
+
+use std::fmt;
+
+/// One hardware configuration: active core counts per cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HwConfig {
+    /// Number of active LITTLE cores.
+    pub little: u8,
+    /// Number of active big cores.
+    pub big: u8,
+}
+
+impl HwConfig {
+    /// Construct a configuration.
+    ///
+    /// # Panics
+    /// Panics on the all-off configuration (the paper excludes it: "we do
+    /// not count the setup in which all cores are off").
+    pub fn new(little: u8, big: u8) -> Self {
+        assert!(
+            little > 0 || big > 0,
+            "the all-off configuration is not valid"
+        );
+        HwConfig { little, big }
+    }
+
+    /// Total number of active cores.
+    #[inline]
+    pub fn total(self) -> u32 {
+        self.little as u32 + self.big as u32
+    }
+
+    /// The paper's `xLyB` label.
+    pub fn label(self) -> String {
+        format!("{}L{}B", self.little, self.big)
+    }
+
+    /// Parse an `xLyB` label.
+    pub fn parse(label: &str) -> Option<Self> {
+        let rest = label.strip_suffix(['B', 'b'])?;
+        let (l, b) = rest.split_once(['L', 'l'])?;
+        let little: u8 = l.parse().ok()?;
+        let big: u8 = b.parse().ok()?;
+        if little == 0 && big == 0 {
+            return None;
+        }
+        Some(HwConfig { little, big })
+    }
+}
+
+impl fmt::Display for HwConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}L{}B", self.little, self.big)
+    }
+}
+
+/// The space of valid configurations for a board with `max_little` and
+/// `max_big` cores: all `(l, b)` with `l ≤ max_little`, `b ≤ max_big`,
+/// `(l, b) ≠ (0, 0)`, ordered lexicographically by `(l, b)`.
+///
+/// Configuration *indices* (dense `0..num_configs()`) are the currency of
+/// the learning machinery: Q-agents act on indices, instrumentation
+/// embeds indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConfigSpace {
+    /// LITTLE cores physically present.
+    pub max_little: u8,
+    /// big cores physically present.
+    pub max_big: u8,
+}
+
+impl ConfigSpace {
+    /// The Odroid XU4 space: 4 LITTLE + 4 big → 24 configurations.
+    pub const ODROID_XU4: ConfigSpace = ConfigSpace {
+        max_little: 4,
+        max_big: 4,
+    };
+
+    /// Number of valid configurations: `(L+1)(B+1) − 1`.
+    #[inline]
+    pub fn num_configs(self) -> usize {
+        (self.max_little as usize + 1) * (self.max_big as usize + 1) - 1
+    }
+
+    /// Dense index of `cfg` in lexicographic `(little, big)` order with
+    /// the all-off point removed.
+    ///
+    /// # Panics
+    /// Panics if `cfg` exceeds the board's core counts.
+    pub fn index(self, cfg: HwConfig) -> usize {
+        assert!(
+            cfg.little <= self.max_little && cfg.big <= self.max_big,
+            "{cfg} outside {self:?}"
+        );
+        let raw = cfg.little as usize * (self.max_big as usize + 1) + cfg.big as usize;
+        raw - 1 // skip (0,0)
+    }
+
+    /// Inverse of [`ConfigSpace::index`].
+    ///
+    /// # Panics
+    /// Panics if `idx >= num_configs()`.
+    pub fn from_index(self, idx: usize) -> HwConfig {
+        assert!(idx < self.num_configs(), "config index {idx} out of range");
+        let raw = idx + 1;
+        let width = self.max_big as usize + 1;
+        HwConfig {
+            little: (raw / width) as u8,
+            big: (raw % width) as u8,
+        }
+    }
+
+    /// All configurations in index order.
+    pub fn all(self) -> Vec<HwConfig> {
+        (0..self.num_configs()).map(|i| self.from_index(i)).collect()
+    }
+
+    /// The configuration with everything on.
+    pub fn full(self) -> HwConfig {
+        HwConfig::new(self.max_little, self.max_big)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xu4_has_24_configs() {
+        assert_eq!(ConfigSpace::ODROID_XU4.num_configs(), 24);
+        assert_eq!(ConfigSpace::ODROID_XU4.all().len(), 24);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let cs = ConfigSpace::ODROID_XU4;
+        for i in 0..cs.num_configs() {
+            let cfg = cs.from_index(i);
+            assert_eq!(cs.index(cfg), i);
+        }
+    }
+
+    #[test]
+    fn index_order_is_lexicographic() {
+        let cs = ConfigSpace::ODROID_XU4;
+        assert_eq!(cs.from_index(0), HwConfig { little: 0, big: 1 });
+        assert_eq!(cs.from_index(3), HwConfig { little: 0, big: 4 });
+        assert_eq!(cs.from_index(4), HwConfig { little: 1, big: 0 });
+        assert_eq!(cs.from_index(23), HwConfig { little: 4, big: 4 });
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(HwConfig::new(4, 0).label(), "4L0B");
+        assert_eq!(HwConfig::new(0, 4).label(), "0L4B");
+        assert_eq!(HwConfig::new(1, 1).to_string(), "1L1B");
+    }
+
+    #[test]
+    fn parse_roundtrip_and_rejects_all_off() {
+        for cfg in ConfigSpace::ODROID_XU4.all() {
+            assert_eq!(HwConfig::parse(&cfg.label()), Some(cfg));
+        }
+        assert_eq!(HwConfig::parse("0L0B"), None);
+        assert_eq!(HwConfig::parse("junk"), None);
+        assert_eq!(HwConfig::parse("2l3b"), Some(HwConfig::new(2, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "all-off")]
+    fn all_off_construction_panics() {
+        HwConfig::new(0, 0);
+    }
+
+    #[test]
+    fn tk1_like_space() {
+        // Jetson TK1: 4 big + 1 LITTLE → 2*5−1 = 9 configs.
+        let cs = ConfigSpace {
+            max_little: 1,
+            max_big: 4,
+        };
+        assert_eq!(cs.num_configs(), 9);
+        assert_eq!(cs.full(), HwConfig::new(1, 4));
+    }
+}

@@ -1,0 +1,199 @@
+//! Core models: the asymmetry between big and LITTLE.
+//!
+//! A core is characterised by its kind, clock frequency and a CPI
+//! (cycles-per-instruction) table per [`InstrClass`]. The numbers are
+//! calibrated to the published relative behaviour of the Cortex-A15
+//! (3-wide out-of-order, fast FP/NEON) and Cortex-A7 (2-wide in-order,
+//! slow FP) rather than to any exact microarchitectural figure — what
+//! matters for the scheduling problem is the *ratio* between the
+//! clusters per instruction class, which is what the learner exploits.
+
+use astro_ir::InstrClass;
+
+/// Which cluster a core belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CoreKind {
+    /// Low-power in-order core (Cortex-A7-like).
+    Little,
+    /// High-performance out-of-order core (Cortex-A15-like).
+    Big,
+}
+
+impl CoreKind {
+    /// Display name matching the paper's usage.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoreKind::Little => "LITTLE",
+            CoreKind::Big => "big",
+        }
+    }
+}
+
+/// Average cycles per instruction for each instruction class.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpiTable {
+    /// Integer ALU ops.
+    pub int_alu: f64,
+    /// Integer multiply/divide.
+    pub int_muldiv: f64,
+    /// FP add/sub/cmp.
+    pub fp_alu: f64,
+    /// FP multiply/divide (and libm).
+    pub fp_muldiv: f64,
+    /// Memory access hitting in L1.
+    pub mem_l1: f64,
+    /// Branches and other control flow.
+    pub control: f64,
+    /// Call/return overhead.
+    pub call: f64,
+}
+
+impl CpiTable {
+    /// CPI for an instruction class (memory = L1-hit cost; miss penalties
+    /// are added by the cache model).
+    #[inline]
+    pub fn cpi(&self, class: InstrClass) -> f64 {
+        match class {
+            InstrClass::IntAlu => self.int_alu,
+            InstrClass::IntMulDiv => self.int_muldiv,
+            InstrClass::FpAlu => self.fp_alu,
+            InstrClass::FpMulDiv => self.fp_muldiv,
+            InstrClass::Mem => self.mem_l1,
+            InstrClass::Control => self.control,
+            InstrClass::CallOverhead => self.call,
+        }
+    }
+}
+
+/// A core's static description.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoreSpec {
+    /// Cluster membership.
+    pub kind: CoreKind,
+    /// Clock frequency in GHz (the evaluation pins the performance
+    /// governor: cores run at maximum speed).
+    pub freq_ghz: f64,
+    /// Per-class CPI.
+    pub cpi: CpiTable,
+    /// Extra latency of an L2 hit, in core cycles.
+    pub l2_hit_cycles: f64,
+    /// Extra latency of a DRAM access, in core cycles.
+    pub dram_cycles: f64,
+}
+
+impl CoreSpec {
+    /// A Cortex-A15-like big core at 2.0 GHz.
+    pub fn big_a15() -> Self {
+        CoreSpec {
+            kind: CoreKind::Big,
+            freq_ghz: 2.0,
+            cpi: CpiTable {
+                int_alu: 0.55,
+                int_muldiv: 3.0,
+                fp_alu: 0.7,
+                fp_muldiv: 2.2,
+                mem_l1: 0.65,
+                control: 0.9,
+                call: 2.5,
+            },
+            l2_hit_cycles: 14.0,
+            dram_cycles: 180.0,
+        }
+    }
+
+    /// A Cortex-A7-like LITTLE core at 1.4 GHz.
+    ///
+    /// Relative to the big core (per cycle): integer ~2× slower, FP
+    /// 3–4× slower — LITTLE cores lack the A15's FP pipelines — and
+    /// memory slightly slower. Combined with the lower clock, a LITTLE
+    /// core delivers roughly ⅓–¼ of a big core's FP throughput and
+    /// ~½ of its integer throughput, at a small fraction of the power
+    /// ([`crate::power`]).
+    pub fn little_a7() -> Self {
+        CoreSpec {
+            kind: CoreKind::Little,
+            freq_ghz: 1.4,
+            cpi: CpiTable {
+                int_alu: 1.05,
+                int_muldiv: 7.0,
+                fp_alu: 2.4,
+                fp_muldiv: 8.0,
+                mem_l1: 1.15,
+                control: 1.4,
+                call: 3.5,
+            },
+            l2_hit_cycles: 10.0,
+            dram_cycles: 130.0,
+        }
+    }
+
+    /// Seconds taken by one instruction of `class` hitting in L1.
+    #[inline]
+    pub fn seconds_per_instr(&self, class: InstrClass) -> f64 {
+        self.cpi.cpi(class) / (self.freq_ghz * 1e9)
+    }
+
+    /// Seconds per core cycle.
+    #[inline]
+    pub fn cycle_seconds(&self) -> f64 {
+        1.0 / (self.freq_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_beats_little_everywhere_in_wall_time() {
+        let big = CoreSpec::big_a15();
+        let little = CoreSpec::little_a7();
+        for class in [
+            InstrClass::IntAlu,
+            InstrClass::IntMulDiv,
+            InstrClass::FpAlu,
+            InstrClass::FpMulDiv,
+            InstrClass::Mem,
+            InstrClass::Control,
+            InstrClass::CallOverhead,
+        ] {
+            assert!(
+                big.seconds_per_instr(class) < little.seconds_per_instr(class),
+                "{class:?}: big must be faster in wall time"
+            );
+        }
+    }
+
+    #[test]
+    fn fp_gap_exceeds_int_gap() {
+        // The learner's key signal: FP-heavy phases gain more from big
+        // cores than integer-heavy phases.
+        let big = CoreSpec::big_a15();
+        let little = CoreSpec::little_a7();
+        let int_ratio = little.seconds_per_instr(InstrClass::IntAlu)
+            / big.seconds_per_instr(InstrClass::IntAlu);
+        let fp_ratio = little.seconds_per_instr(InstrClass::FpMulDiv)
+            / big.seconds_per_instr(InstrClass::FpMulDiv);
+        assert!(fp_ratio > int_ratio * 1.5, "int {int_ratio:.2} vs fp {fp_ratio:.2}");
+    }
+
+    #[test]
+    fn frequencies_match_odroid_xu4() {
+        assert_eq!(CoreSpec::big_a15().freq_ghz, 2.0);
+        assert_eq!(CoreSpec::little_a7().freq_ghz, 1.4);
+    }
+
+    #[test]
+    fn cpi_lookup_covers_all_classes() {
+        let t = CoreSpec::big_a15().cpi;
+        assert_eq!(t.cpi(InstrClass::IntAlu), t.int_alu);
+        assert_eq!(t.cpi(InstrClass::FpMulDiv), t.fp_muldiv);
+        assert_eq!(t.cpi(InstrClass::Mem), t.mem_l1);
+    }
+
+    #[test]
+    fn cycle_seconds_inverse_of_freq() {
+        let big = CoreSpec::big_a15();
+        assert!((big.cycle_seconds() - 0.5e-9).abs() < 1e-15);
+    }
+}

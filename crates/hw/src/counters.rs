@@ -1,0 +1,227 @@
+//! Performance counters and hardware phases (§3.1.2).
+//!
+//! "A Performance Counter is any monitor that collects dynamic
+//! information about the hardware state." Astro reads four: IPC, cache
+//! misses per access (CMA), cache misses per instruction (CMI) and CPU
+//! utilisation, each partitioned into three buckets, for
+//! 3⁴ = 81 hardware phases.
+
+/// Raw, monotonically increasing counters (machine-wide aggregates).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Core cycles during which some instruction was executing.
+    pub busy_cycles: u64,
+    /// Total core cycles available (enabled cores × elapsed cycles).
+    pub capacity_cycles: u64,
+    /// L1 cache lookups.
+    pub cache_accesses: u64,
+    /// L1 cache misses.
+    pub cache_misses: u64,
+}
+
+impl PerfCounters {
+    /// Counter movement between two snapshots (`later − self`).
+    pub fn delta(&self, later: &PerfCounters) -> CounterDelta {
+        CounterDelta {
+            instructions: later.instructions - self.instructions,
+            busy_cycles: later.busy_cycles - self.busy_cycles,
+            capacity_cycles: later.capacity_cycles - self.capacity_cycles,
+            cache_accesses: later.cache_accesses - self.cache_accesses,
+            cache_misses: later.cache_misses - self.cache_misses,
+        }
+    }
+}
+
+/// Counter movement over one monitoring interval.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterDelta {
+    /// Instructions retired in the interval.
+    pub instructions: u64,
+    /// Busy cycles in the interval.
+    pub busy_cycles: u64,
+    /// Capacity cycles in the interval.
+    pub capacity_cycles: u64,
+    /// Cache lookups in the interval.
+    pub cache_accesses: u64,
+    /// Cache misses in the interval.
+    pub cache_misses: u64,
+}
+
+impl CounterDelta {
+    /// Instructions per busy cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.busy_cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.busy_cycles as f64
+        }
+    }
+
+    /// Cache misses per cache access.
+    pub fn cma(&self) -> f64 {
+        if self.cache_accesses == 0 {
+            0.0
+        } else {
+            self.cache_misses as f64 / self.cache_accesses as f64
+        }
+    }
+
+    /// Cache misses per instruction.
+    pub fn cmi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cache_misses as f64 / self.instructions as f64
+        }
+    }
+
+    /// CPU utilisation: busy cycles over capacity cycles.
+    pub fn cpu_util(&self) -> f64 {
+        if self.capacity_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.capacity_cycles as f64
+        }
+    }
+}
+
+/// A hardware phase: the bucket combination of the four counters.
+///
+/// Bucket boundaries, from the paper:
+/// * IPC: `[0, .5) [.5, 1.0) [1.0, +∞)`
+/// * CMA: `[0, 1%) [1%, 5%) [5%, +∞)`
+/// * CMI: `[0, .1%) [.1%, .5%) [.5%, +∞)`
+/// * CPU: `[0, 20%) [20%, 50%) [50%, +∞)`
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct HwPhase {
+    /// IPC bucket, 0–2.
+    pub ipc: u8,
+    /// Cache-misses-per-access bucket, 0–2.
+    pub cma: u8,
+    /// Cache-misses-per-instruction bucket, 0–2.
+    pub cmi: u8,
+    /// CPU-utilisation bucket, 0–2.
+    pub cpu: u8,
+}
+
+fn bucket3(x: f64, lo: f64, hi: f64) -> u8 {
+    if x < lo {
+        0
+    } else if x < hi {
+        1
+    } else {
+        2
+    }
+}
+
+impl HwPhase {
+    /// Total number of hardware phases (3⁴).
+    pub const COUNT: usize = 81;
+
+    /// Classify one monitoring interval.
+    pub fn from_delta(d: &CounterDelta) -> Self {
+        HwPhase {
+            ipc: bucket3(d.ipc(), 0.5, 1.0),
+            cma: bucket3(d.cma(), 0.01, 0.05),
+            cmi: bucket3(d.cmi(), 0.001, 0.005),
+            cpu: bucket3(d.cpu_util(), 0.20, 0.50),
+        }
+    }
+
+    /// Dense index in `0..81`.
+    #[inline]
+    pub fn index(self) -> usize {
+        ((self.ipc as usize * 3 + self.cma as usize) * 3 + self.cmi as usize) * 3
+            + self.cpu as usize
+    }
+
+    /// Inverse of [`HwPhase::index`].
+    pub fn from_index(i: usize) -> Self {
+        assert!(i < Self::COUNT);
+        HwPhase {
+            cpu: (i % 3) as u8,
+            cmi: ((i / 3) % 3) as u8,
+            cma: ((i / 9) % 3) as u8,
+            ipc: ((i / 27) % 3) as u8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let d = CounterDelta {
+            instructions: 1000,
+            busy_cycles: 2000,
+            capacity_cycles: 4000,
+            cache_accesses: 100,
+            cache_misses: 5,
+        };
+        assert!((d.ipc() - 0.5).abs() < 1e-12);
+        assert!((d.cma() - 0.05).abs() < 1e-12);
+        assert!((d.cmi() - 0.005).abs() < 1e-12);
+        assert!((d.cpu_util() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_interval_is_all_zero() {
+        let d = CounterDelta::default();
+        assert_eq!(d.ipc(), 0.0);
+        assert_eq!(d.cma(), 0.0);
+        assert_eq!(d.cmi(), 0.0);
+        assert_eq!(d.cpu_util(), 0.0);
+        let p = HwPhase::from_delta(&d);
+        assert_eq!(p.index(), 0);
+    }
+
+    #[test]
+    fn bucket_boundaries_match_paper() {
+        // IPC exactly 0.5 → bucket 1; exactly 1.0 → bucket 2.
+        let mk = |instr, busy| CounterDelta {
+            instructions: instr,
+            busy_cycles: busy,
+            capacity_cycles: busy,
+            cache_accesses: 0,
+            cache_misses: 0,
+        };
+        assert_eq!(HwPhase::from_delta(&mk(499, 1000)).ipc, 0);
+        assert_eq!(HwPhase::from_delta(&mk(500, 1000)).ipc, 1);
+        assert_eq!(HwPhase::from_delta(&mk(1000, 1000)).ipc, 2);
+    }
+
+    #[test]
+    fn index_roundtrips_all_81() {
+        for i in 0..HwPhase::COUNT {
+            assert_eq!(HwPhase::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts() {
+        let a = PerfCounters {
+            instructions: 100,
+            busy_cycles: 200,
+            capacity_cycles: 400,
+            cache_accesses: 10,
+            cache_misses: 1,
+        };
+        let b = PerfCounters {
+            instructions: 300,
+            busy_cycles: 500,
+            capacity_cycles: 1000,
+            cache_accesses: 30,
+            cache_misses: 4,
+        };
+        let d = a.delta(&b);
+        assert_eq!(d.instructions, 200);
+        assert_eq!(d.busy_cycles, 300);
+        assert_eq!(d.capacity_cycles, 600);
+        assert_eq!(d.cache_accesses, 20);
+        assert_eq!(d.cache_misses, 3);
+    }
+}

@@ -1,0 +1,111 @@
+//! Frequency governors.
+//!
+//! The paper's evaluation pins the **performance** governor ("with cores
+//! at maximum speed"), making core on/off the only actuation dimension.
+//! The other governors are provided for the DVFS ablation benches — the
+//! paper's introduction names DVFS as the second energy lever of these
+//! platforms.
+
+/// Available frequency levels of a cluster, in GHz, ascending.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FreqLevels(pub Vec<f64>);
+
+impl FreqLevels {
+    /// Odroid XU4 big cluster steps (subset).
+    pub fn big_a15() -> Self {
+        FreqLevels(vec![0.8, 1.2, 1.6, 2.0])
+    }
+    /// Odroid XU4 LITTLE cluster steps (subset).
+    pub fn little_a7() -> Self {
+        FreqLevels(vec![0.5, 0.8, 1.1, 1.4])
+    }
+
+    /// Highest level.
+    pub fn max(&self) -> f64 {
+        *self.0.last().expect("non-empty levels")
+    }
+    /// Lowest level.
+    pub fn min(&self) -> f64 {
+        self.0[0]
+    }
+}
+
+/// A frequency governor: picks a cluster frequency from utilisation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Governor {
+    /// Always the maximum frequency (the evaluation's setting).
+    Performance,
+    /// Always the minimum frequency.
+    Powersave,
+    /// Classic ondemand: jump to max above the up-threshold, otherwise
+    /// step down one level when under the down-threshold.
+    Ondemand,
+}
+
+impl Governor {
+    /// Choose the next frequency given the current one and the cluster's
+    /// recent utilisation in `[0, 1]`.
+    pub fn next_freq(self, levels: &FreqLevels, current_ghz: f64, util: f64) -> f64 {
+        match self {
+            Governor::Performance => levels.max(),
+            Governor::Powersave => levels.min(),
+            Governor::Ondemand => {
+                const UP: f64 = 0.80;
+                const DOWN: f64 = 0.30;
+                if util >= UP {
+                    levels.max()
+                } else if util < DOWN {
+                    // Step down one level.
+                    let idx = levels
+                        .0
+                        .iter()
+                        .position(|&f| f >= current_ghz)
+                        .unwrap_or(0);
+                    levels.0[idx.saturating_sub(1)]
+                } else {
+                    current_ghz
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_pins_max() {
+        let levels = FreqLevels::big_a15();
+        assert_eq!(
+            Governor::Performance.next_freq(&levels, 0.8, 0.0),
+            2.0
+        );
+    }
+
+    #[test]
+    fn powersave_pins_min() {
+        let levels = FreqLevels::little_a7();
+        assert_eq!(Governor::Powersave.next_freq(&levels, 1.4, 1.0), 0.5);
+    }
+
+    #[test]
+    fn ondemand_ramps_up_on_load() {
+        let levels = FreqLevels::big_a15();
+        assert_eq!(Governor::Ondemand.next_freq(&levels, 0.8, 0.95), 2.0);
+    }
+
+    #[test]
+    fn ondemand_steps_down_when_idle() {
+        let levels = FreqLevels::big_a15();
+        assert_eq!(Governor::Ondemand.next_freq(&levels, 1.6, 0.1), 1.2);
+        // And holds in the hysteresis band.
+        assert_eq!(Governor::Ondemand.next_freq(&levels, 1.6, 0.5), 1.6);
+    }
+
+    #[test]
+    fn ondemand_floor_is_min_level() {
+        let levels = FreqLevels::big_a15();
+        assert_eq!(Governor::Ondemand.next_freq(&levels, 0.8, 0.0), 0.8);
+    }
+}

@@ -1,0 +1,185 @@
+//! Energy accounting: the integrator behind every Joule this repo
+//! reports, plus the JetsonLeap-style sampling probe of Figure 3.
+
+/// Integrates power over time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyMeter {
+    joules: f64,
+    last_power_w: f64,
+}
+
+impl EnergyMeter {
+    /// A meter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account `power_w` Watts for `dt_s` seconds.
+    pub fn integrate(&mut self, power_w: f64, dt_s: f64) {
+        debug_assert!(dt_s >= 0.0 && power_w >= 0.0);
+        self.joules += power_w * dt_s;
+        self.last_power_w = power_w;
+    }
+
+    /// Total energy so far.
+    #[inline]
+    pub fn joules(&self) -> f64 {
+        self.joules
+    }
+
+    /// Power recorded by the most recent integration step.
+    #[inline]
+    pub fn last_power_w(&self) -> f64 {
+        self.last_power_w
+    }
+}
+
+/// One sample from the power probe.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowerSample {
+    /// Sample timestamp, seconds since program start.
+    pub t_s: f64,
+    /// Instantaneous power, Watts.
+    pub power_w: f64,
+    /// The program event active at sampling time — fed through the
+    /// "synchronisation circuit" of the JetsonLeap apparatus (Figure 2d),
+    /// which in this reproduction is simply the executing function's name.
+    pub tag: String,
+}
+
+/// Fixed-rate power sampler: the reproduction of JetsonLeap's NI 6009
+/// data-acquisition device (1000 samples/sec in Figure 3).
+#[derive(Clone, Debug)]
+pub struct PowerProbe {
+    period_s: f64,
+    /// Index of the next sample point; sample `i` is at `i · period` —
+    /// integer indexing avoids floating-point drift over long runs.
+    next_idx: u64,
+    samples: Vec<PowerSample>,
+    current_tag: String,
+}
+
+impl PowerProbe {
+    /// A probe sampling at `rate_hz`.
+    pub fn new(rate_hz: f64) -> Self {
+        assert!(rate_hz > 0.0);
+        PowerProbe {
+            period_s: 1.0 / rate_hz,
+            next_idx: 0,
+            samples: Vec::new(),
+            current_tag: String::new(),
+        }
+    }
+
+    /// Update the program-event tag (the sync-circuit write).
+    pub fn set_tag(&mut self, tag: impl Into<String>) {
+        self.current_tag = tag.into();
+    }
+
+    /// Advance simulated time: the machine reports that power was
+    /// `power_w` over `[t0, t1)`; the probe emits every sample point that
+    /// falls inside the window.
+    pub fn observe(&mut self, t0: f64, t1: f64, power_w: f64) {
+        debug_assert!(t1 >= t0);
+        loop {
+            let t = self.next_idx as f64 * self.period_s;
+            if t >= t1 {
+                break;
+            }
+            if t >= t0 {
+                self.samples.push(PowerSample {
+                    t_s: t,
+                    power_w,
+                    tag: self.current_tag.clone(),
+                });
+            }
+            self.next_idx += 1;
+        }
+    }
+
+    /// All samples so far.
+    pub fn samples(&self) -> &[PowerSample] {
+        &self.samples
+    }
+
+    /// Samples collapsed per tag: (tag, mean power, duration).
+    pub fn per_tag_summary(&self) -> Vec<(String, f64, f64)> {
+        let mut out: Vec<(String, f64, f64)> = Vec::new();
+        for s in &self.samples {
+            match out.last_mut() {
+                Some((tag, sum, n)) if *tag == s.tag => {
+                    *sum += s.power_w;
+                    *n += 1.0;
+                }
+                _ => out.push((s.tag.clone(), s.power_w, 1.0)),
+            }
+        }
+        out.into_iter()
+            .map(|(tag, sum, n)| (tag, sum / n, n * self.period_s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_integrates_linearly() {
+        let mut m = EnergyMeter::new();
+        m.integrate(2.0, 0.5);
+        m.integrate(4.0, 0.25);
+        assert!((m.joules() - 2.0).abs() < 1e-12);
+        assert_eq!(m.last_power_w(), 4.0);
+    }
+
+    #[test]
+    fn probe_sample_count_matches_rate() {
+        let mut p = PowerProbe::new(1000.0);
+        p.set_tag("main");
+        p.observe(0.0, 0.1, 3.0);
+        // 0.1 s at 1 kHz → 100 samples.
+        assert_eq!(p.samples().len(), 100);
+        assert!(p.samples().iter().all(|s| s.power_w == 3.0));
+    }
+
+    #[test]
+    fn probe_windows_are_seamless() {
+        let mut p = PowerProbe::new(100.0);
+        p.observe(0.0, 0.033, 1.0);
+        p.observe(0.033, 0.1, 2.0);
+        assert_eq!(p.samples().len(), 10);
+        // No duplicate or skipped sample points.
+        for (i, s) in p.samples().iter().enumerate() {
+            assert!((s.t_s - i as f64 * 0.01).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tags_follow_program_events() {
+        let mut p = PowerProbe::new(1000.0);
+        p.set_tag("readMatrix");
+        p.observe(0.0, 0.01, 2.0);
+        p.set_tag("mulMatrix");
+        p.observe(0.01, 0.02, 6.0);
+        let summary = p.per_tag_summary();
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].0, "readMatrix");
+        assert!((summary[0].1 - 2.0).abs() < 1e-12);
+        assert_eq!(summary[1].0, "mulMatrix");
+        assert!((summary[1].1 - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_tag_summary_merges_consecutive_only() {
+        let mut p = PowerProbe::new(1000.0);
+        p.set_tag("a");
+        p.observe(0.0, 0.005, 1.0);
+        p.set_tag("b");
+        p.observe(0.005, 0.01, 1.0);
+        p.set_tag("a");
+        p.observe(0.01, 0.015, 1.0);
+        let tags: Vec<String> = p.per_tag_summary().into_iter().map(|(t, _, _)| t).collect();
+        assert_eq!(tags, vec!["a", "b", "a"], "phases keep temporal order");
+    }
+}

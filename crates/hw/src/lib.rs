@@ -1,0 +1,44 @@
+//! # astro-hw — the big.LITTLE hardware model
+//!
+//! The reproduction's substitute for the Odroid XU4 / Jetson TK1 boards,
+//! their power sensors (PowMon / JetsonLeap) and their performance
+//! counters. Everything the Astro runtime observes or actuates about
+//! hardware lives here:
+//!
+//! * [`config`] — hardware configurations (Definition 2.1): which cores
+//!   are on, the `xLyB` notation, and the enumeration of all 5×5−1 = 24
+//!   Odroid XU4 configurations;
+//! * [`cores`] — big (Cortex-A15-like) and LITTLE (Cortex-A7-like) core
+//!   models: frequency and per-instruction-class CPI tables whose
+//!   asymmetry is what the scheduler learns to exploit;
+//! * [`cache`] — a set-associative, LRU cache hierarchy (per-core L1,
+//!   per-cluster L2) driven by synthesised address streams;
+//! * [`power`] — an analytic CMOS-style power model (the PowMon
+//!   substitute) giving Watts per interval from core activity;
+//! * [`energy`] — energy integration and the fixed-rate, event-tagged
+//!   power probe that reproduces the JetsonLeap apparatus of Figure 3;
+//! * [`counters`] — performance counters and the paper's 81 hardware
+//!   phases (§3.1.2): IPC, cache-miss ratios and CPU utilisation, each
+//!   bucketed in three ranges;
+//! * [`dvfs`] — frequency governors (the evaluation pins the
+//!   "performance" governor; others exist for ablations);
+//! * [`boards`] — board presets: `odroid_xu4()` (4+4) and
+//!   `jetson_tk1()` (4 big + 1 LITTLE).
+
+pub mod boards;
+pub mod cache;
+pub mod config;
+pub mod cores;
+pub mod counters;
+pub mod dvfs;
+pub mod energy;
+pub mod power;
+
+pub use boards::BoardSpec;
+pub use cache::{AccessOutcome, CacheHierarchy, CacheParams, CacheStats};
+pub use config::{ConfigSpace, HwConfig};
+pub use cores::{CoreKind, CoreSpec, CpiTable};
+pub use counters::{CounterDelta, HwPhase, PerfCounters};
+pub use dvfs::Governor;
+pub use energy::{EnergyMeter, PowerProbe, PowerSample};
+pub use power::PowerModel;

@@ -1,0 +1,182 @@
+//! Analytic power model — the PowMon substitute.
+//!
+//! Per-core power is modelled as `P = P_idle + (P_peak − P_idle) · a`
+//! where `a` is the core's activity in the interval (busy fraction,
+//! de-rated while stalled on memory), plus a per-cluster uncore term
+//! whenever a cluster has at least one active core. The constants are
+//! calibrated to the published Exynos 5422 envelope: the A15 cluster
+//! draws several times the A7 cluster's power — the asymmetry that makes
+//! `4L0B` the energy-optimal configuration for Freqmine in Figure 1
+//! while `0L4B` is the time-optimal one.
+
+use crate::cores::CoreKind;
+
+/// Per-core-kind and per-cluster power constants, in Watts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerModel {
+    /// Peak dynamic power of one big core at full activity.
+    pub big_peak_w: f64,
+    /// Idle (clock-gated but enabled) power of one big core.
+    pub big_idle_w: f64,
+    /// Peak dynamic power of one LITTLE core.
+    pub little_peak_w: f64,
+    /// Idle power of one LITTLE core.
+    pub little_idle_w: f64,
+    /// Uncore power of the big cluster when any big core is enabled
+    /// (L2, interconnect).
+    pub big_uncore_w: f64,
+    /// Uncore power of the LITTLE cluster when enabled.
+    pub little_uncore_w: f64,
+    /// Activity de-rating for cycles stalled on memory: a stalled core
+    /// burns this fraction of the active-power delta.
+    pub stall_factor: f64,
+}
+
+impl Default for PowerModel {
+    /// Exynos-5422-flavoured constants.
+    fn default() -> Self {
+        PowerModel {
+            big_peak_w: 1.65,
+            big_idle_w: 0.18,
+            little_peak_w: 0.33,
+            little_idle_w: 0.045,
+            big_uncore_w: 0.55,
+            little_uncore_w: 0.14,
+            stall_factor: 0.55,
+        }
+    }
+}
+
+/// What one core did during a measurement interval.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CoreActivity {
+    /// Fraction of the interval the core was executing instructions.
+    pub busy_frac: f64,
+    /// Fraction of the interval the core was stalled on memory.
+    pub stall_frac: f64,
+    /// Is the core enabled in the current hardware configuration?
+    pub enabled: bool,
+}
+
+impl PowerModel {
+    /// Instantaneous power of one core, given its activity.
+    pub fn core_power(&self, kind: CoreKind, activity: CoreActivity) -> f64 {
+        if !activity.enabled {
+            return 0.0;
+        }
+        let (peak, idle) = match kind {
+            CoreKind::Big => (self.big_peak_w, self.big_idle_w),
+            CoreKind::Little => (self.little_peak_w, self.little_idle_w),
+        };
+        let a = activity.busy_frac + self.stall_factor * activity.stall_frac;
+        idle + (peak - idle) * a.clamp(0.0, 1.0)
+    }
+
+    /// Cluster uncore power.
+    pub fn uncore_power(&self, kind: CoreKind, any_core_enabled: bool) -> f64 {
+        if !any_core_enabled {
+            return 0.0;
+        }
+        match kind {
+            CoreKind::Big => self.big_uncore_w,
+            CoreKind::Little => self.little_uncore_w,
+        }
+    }
+
+    /// Total power of a machine snapshot: per-core activities plus the
+    /// two cluster uncore terms.
+    pub fn total_power(&self, cores: &[(CoreKind, CoreActivity)]) -> f64 {
+        let mut p = 0.0;
+        let mut any_big = false;
+        let mut any_little = false;
+        for &(kind, act) in cores {
+            p += self.core_power(kind, act);
+            match kind {
+                CoreKind::Big if act.enabled => any_big = true,
+                CoreKind::Little if act.enabled => any_little = true,
+                _ => {}
+            }
+        }
+        p + self.uncore_power(CoreKind::Big, any_big)
+            + self.uncore_power(CoreKind::Little, any_little)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy() -> CoreActivity {
+        CoreActivity {
+            busy_frac: 1.0,
+            stall_frac: 0.0,
+            enabled: true,
+        }
+    }
+
+    #[test]
+    fn disabled_core_draws_nothing() {
+        let m = PowerModel::default();
+        let off = CoreActivity::default();
+        assert_eq!(m.core_power(CoreKind::Big, off), 0.0);
+    }
+
+    #[test]
+    fn big_cluster_dominates_power() {
+        let m = PowerModel::default();
+        let four_big: Vec<_> = (0..4).map(|_| (CoreKind::Big, busy())).collect();
+        let four_little: Vec<_> = (0..4).map(|_| (CoreKind::Little, busy())).collect();
+        let pb = m.total_power(&four_big);
+        let pl = m.total_power(&four_little);
+        assert!(
+            pb > 3.5 * pl,
+            "4 busy bigs ({pb:.2} W) should dwarf 4 busy LITTLEs ({pl:.2} W)"
+        );
+    }
+
+    #[test]
+    fn idle_between_zero_and_peak() {
+        let m = PowerModel::default();
+        let idle = CoreActivity {
+            busy_frac: 0.0,
+            stall_frac: 0.0,
+            enabled: true,
+        };
+        let p_idle = m.core_power(CoreKind::Big, idle);
+        let p_busy = m.core_power(CoreKind::Big, busy());
+        assert!(p_idle > 0.0 && p_idle < p_busy);
+        assert!((p_busy - m.big_peak_w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stalls_cost_less_than_execution() {
+        let m = PowerModel::default();
+        let stalled = CoreActivity {
+            busy_frac: 0.0,
+            stall_frac: 1.0,
+            enabled: true,
+        };
+        assert!(m.core_power(CoreKind::Big, stalled) < m.core_power(CoreKind::Big, busy()));
+        assert!(m.core_power(CoreKind::Big, stalled) > m.big_idle_w);
+    }
+
+    #[test]
+    fn uncore_paid_once_per_cluster() {
+        let m = PowerModel::default();
+        let one = m.total_power(&[(CoreKind::Big, busy())]);
+        let two = m.total_power(&[(CoreKind::Big, busy()), (CoreKind::Big, busy())]);
+        // Second core adds core power only, not another uncore term.
+        assert!((two - one - m.big_peak_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activity_clamped() {
+        let m = PowerModel::default();
+        let over = CoreActivity {
+            busy_frac: 0.9,
+            stall_frac: 0.9,
+            enabled: true,
+        };
+        assert!(m.core_power(CoreKind::Little, over) <= m.little_peak_w + 1e-12);
+    }
+}

@@ -1,0 +1,149 @@
+//! Basic blocks and terminators.
+
+use crate::instruction::{Instr, Value};
+use std::fmt;
+
+/// Index of a basic block inside its function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// How a conditional branch behaves during simulation.
+///
+/// The IR is executed behaviourally (no concrete values flow), so each
+/// conditional branch carries its own resolution rule. This is the only
+/// place where "what would the data have done" enters the model, which
+/// keeps simulations deterministic and lets workload authors state loop
+/// trip counts directly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BranchBehavior {
+    /// Take the `then` edge with this probability (resolved by the
+    /// executing thread's seeded RNG).
+    Prob(f64),
+    /// Counted loop back edge: take the `then` edge exactly `n − 1`
+    /// consecutive times, then fall through once (a loop that runs `n`
+    /// iterations per entry). The interpreter keeps the counter.
+    Counted(u64),
+}
+
+impl BranchBehavior {
+    /// A 50/50 data-dependent branch.
+    pub const UNBIASED: BranchBehavior = BranchBehavior::Prob(0.5);
+
+    /// Expected number of times the `then` edge is taken per entry.
+    pub fn expected_taken(self) -> f64 {
+        match self {
+            BranchBehavior::Prob(p) => p,
+            BranchBehavior::Counted(n) => (n.max(1) - 1) as f64,
+        }
+    }
+}
+
+/// Block terminators. Every block has exactly one (enforced by
+/// construction: it is a separate field of [`BasicBlock`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Br { target: BlockId },
+    /// Two-way branch resolved by `behavior`; `cond` is kept for printing
+    /// and verification (it must be a defined `i1` value).
+    CondBr {
+        cond: Value,
+        then_bb: BlockId,
+        else_bb: BlockId,
+        behavior: BranchBehavior,
+    },
+    /// Return from the function.
+    Ret { value: Option<Value> },
+    /// Diverge (infinite loop sink / abort). Used as the placeholder
+    /// terminator by the builder until the real one is set.
+    Unreachable,
+}
+
+impl Terminator {
+    /// Successor blocks in CFG order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Br { target } => vec![*target],
+            Terminator::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::Ret { .. } | Terminator::Unreachable => vec![],
+        }
+    }
+
+    /// Is this a function exit?
+    pub fn is_return(&self) -> bool {
+        matches!(self, Terminator::Ret { .. })
+    }
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BasicBlock {
+    /// This block's id (also its index in the function's block list).
+    pub id: BlockId,
+    /// Optional label for printing/debugging.
+    pub label: String,
+    /// Straight-line body.
+    pub instrs: Vec<Instr>,
+    /// The single terminator.
+    pub term: Terminator,
+}
+
+impl BasicBlock {
+    /// A new block with an `Unreachable` placeholder terminator.
+    pub fn new(id: BlockId, label: impl Into<String>) -> Self {
+        BasicBlock {
+            id,
+            label: label.into(),
+            instrs: Vec::new(),
+            term: Terminator::Unreachable,
+        }
+    }
+
+    /// Number of instructions including the terminator.
+    pub fn len_with_term(&self) -> usize {
+        self.instrs.len() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successors_of_each_terminator() {
+        let br = Terminator::Br { target: BlockId(3) };
+        assert_eq!(br.successors(), vec![BlockId(3)]);
+
+        let cbr = Terminator::CondBr {
+            cond: Value::int(1),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+            behavior: BranchBehavior::UNBIASED,
+        };
+        assert_eq!(cbr.successors(), vec![BlockId(1), BlockId(2)]);
+
+        assert!(Terminator::Ret { value: None }.successors().is_empty());
+        assert!(Terminator::Unreachable.successors().is_empty());
+    }
+
+    #[test]
+    fn counted_branch_expectation() {
+        assert_eq!(BranchBehavior::Counted(10).expected_taken(), 9.0);
+        assert_eq!(BranchBehavior::Counted(1).expected_taken(), 0.0);
+        assert_eq!(BranchBehavior::Counted(0).expected_taken(), 0.0);
+        assert_eq!(BranchBehavior::Prob(0.25).expected_taken(), 0.25);
+    }
+
+    #[test]
+    fn new_block_is_empty_with_placeholder() {
+        let b = BasicBlock::new(BlockId(0), "entry");
+        assert_eq!(b.term, Terminator::Unreachable);
+        assert_eq!(b.len_with_term(), 1);
+    }
+}

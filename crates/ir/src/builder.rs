@@ -1,0 +1,437 @@
+//! A fluent builder for constructing IR functions.
+//!
+//! The builder keeps an insertion point (the *current block*) and offers
+//! one method per instruction, plus structured helpers (`counted_loop`,
+//! `prob_loop`, `if_else`) that emit the block scaffolding real compilers
+//! produce — including the induction-variable increment and compare that
+//! give loops their integer-ALU flavour in the feature statistics.
+
+use crate::block::{BasicBlock, BlockId, BranchBehavior, Terminator};
+use crate::function::{Function, FunctionId, MemBehavior};
+use crate::instruction::{
+    BinOp, CastKind, CmpPred, Instr, InstrKind, UnOp, Value, ValueId,
+};
+use crate::libcall::LibCall;
+use crate::types::Ty;
+
+/// Builds one [`Function`].
+pub struct FunctionBuilder {
+    func: Function,
+    current: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Start building a function with the given name and return type.
+    /// The entry block is created and made current.
+    pub fn new(name: impl Into<String>, ret_ty: Ty) -> Self {
+        let mut func = Function::new(name, ret_ty);
+        func.blocks.push(BasicBlock::new(BlockId(0), "entry"));
+        FunctionBuilder {
+            func,
+            current: BlockId(0),
+        }
+    }
+
+    /// Declare a parameter; returns the `Value::Arg` referring to it.
+    pub fn param(&mut self, ty: Ty) -> Value {
+        let idx = self.func.params.len() as u32;
+        self.func.params.push(ty);
+        Value::Arg(idx)
+    }
+
+    /// Set the function's memory behaviour annotation.
+    pub fn mem_behavior(&mut self, mem: MemBehavior) -> &mut Self {
+        self.func.mem = mem;
+        self
+    }
+
+    /// Mark the function as a mangled C++ symbol (skipped by the miner).
+    pub fn mangled(&mut self) -> &mut Self {
+        self.func.mangled = true;
+        self
+    }
+
+    /// Create a new (empty, unterminated) block.
+    pub fn new_block(&mut self, label: impl Into<String>) -> BlockId {
+        let id = BlockId(self.func.blocks.len() as u32);
+        self.func.blocks.push(BasicBlock::new(id, label));
+        id
+    }
+
+    /// Move the insertion point.
+    pub fn switch_to(&mut self, bb: BlockId) {
+        self.current = bb;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    fn push(&mut self, kind: InstrKind, produces: bool) -> Option<ValueId> {
+        let result = if produces {
+            Some(self.func.fresh_value())
+        } else {
+            None
+        };
+        let cur = self.current;
+        self.func
+            .block_mut(cur)
+            .instrs
+            .push(Instr { result, kind });
+        result
+    }
+
+    fn binary(&mut self, op: BinOp, ty: Ty, lhs: Value, rhs: Value) -> Value {
+        let id = self
+            .push(InstrKind::Binary { op, ty, lhs, rhs }, true)
+            .expect("binary produces a value");
+        Value::Reg(id)
+    }
+
+    // ---- integer arithmetic -------------------------------------------------
+
+    /// Integer add.
+    pub fn iadd(&mut self, ty: Ty, l: Value, r: Value) -> Value {
+        self.binary(BinOp::Add, ty, l, r)
+    }
+    /// Integer subtract.
+    pub fn isub(&mut self, ty: Ty, l: Value, r: Value) -> Value {
+        self.binary(BinOp::Sub, ty, l, r)
+    }
+    /// Integer multiply.
+    pub fn imul(&mut self, ty: Ty, l: Value, r: Value) -> Value {
+        self.binary(BinOp::Mul, ty, l, r)
+    }
+    /// Integer divide.
+    pub fn idiv(&mut self, ty: Ty, l: Value, r: Value) -> Value {
+        self.binary(BinOp::Div, ty, l, r)
+    }
+    /// Bitwise and.
+    pub fn and(&mut self, ty: Ty, l: Value, r: Value) -> Value {
+        self.binary(BinOp::And, ty, l, r)
+    }
+    /// Bitwise or.
+    pub fn or(&mut self, ty: Ty, l: Value, r: Value) -> Value {
+        self.binary(BinOp::Or, ty, l, r)
+    }
+    /// Bitwise xor.
+    pub fn xor(&mut self, ty: Ty, l: Value, r: Value) -> Value {
+        self.binary(BinOp::Xor, ty, l, r)
+    }
+    /// Shift left.
+    pub fn shl(&mut self, ty: Ty, l: Value, r: Value) -> Value {
+        self.binary(BinOp::Shl, ty, l, r)
+    }
+    /// Logical shift right.
+    pub fn shr(&mut self, ty: Ty, l: Value, r: Value) -> Value {
+        self.binary(BinOp::Shr, ty, l, r)
+    }
+
+    // ---- floating point -----------------------------------------------------
+
+    /// Floating add.
+    pub fn fadd(&mut self, ty: Ty, l: Value, r: Value) -> Value {
+        debug_assert!(ty.is_float());
+        self.binary(BinOp::Add, ty, l, r)
+    }
+    /// Floating subtract.
+    pub fn fsub(&mut self, ty: Ty, l: Value, r: Value) -> Value {
+        debug_assert!(ty.is_float());
+        self.binary(BinOp::Sub, ty, l, r)
+    }
+    /// Floating multiply.
+    pub fn fmul(&mut self, ty: Ty, l: Value, r: Value) -> Value {
+        debug_assert!(ty.is_float());
+        self.binary(BinOp::Mul, ty, l, r)
+    }
+    /// Floating divide.
+    pub fn fdiv(&mut self, ty: Ty, l: Value, r: Value) -> Value {
+        debug_assert!(ty.is_float());
+        self.binary(BinOp::Div, ty, l, r)
+    }
+
+    // ---- misc value ops -----------------------------------------------------
+
+    /// Negate.
+    pub fn neg(&mut self, ty: Ty, v: Value) -> Value {
+        let id = self
+            .push(InstrKind::Unary { op: UnOp::Neg, ty, operand: v }, true)
+            .unwrap();
+        Value::Reg(id)
+    }
+
+    /// Compare; result is `i1`.
+    pub fn cmp(&mut self, pred: CmpPred, ty: Ty, l: Value, r: Value) -> Value {
+        let id = self
+            .push(InstrKind::Cmp { pred, ty, lhs: l, rhs: r }, true)
+            .unwrap();
+        Value::Reg(id)
+    }
+
+    /// Load a value of type `ty` (address stream synthesised from the
+    /// function's [`MemBehavior`]).
+    pub fn load(&mut self, ty: Ty) -> Value {
+        let id = self.push(InstrKind::Load { ty }, true).unwrap();
+        Value::Reg(id)
+    }
+
+    /// Store `value`.
+    pub fn store(&mut self, ty: Ty, value: Value) {
+        self.push(InstrKind::Store { ty, value }, false);
+    }
+
+    /// Stack allocation.
+    pub fn alloca(&mut self, ty: Ty, count: u32) -> Value {
+        let id = self.push(InstrKind::Alloca { ty, count }, true).unwrap();
+        Value::Reg(id)
+    }
+
+    /// Address arithmetic.
+    pub fn gep(&mut self, base: Value, offset: Value) -> Value {
+        let id = self.push(InstrKind::Gep { base, offset }, true).unwrap();
+        Value::Reg(id)
+    }
+
+    /// Select between two values.
+    pub fn select(&mut self, cond: Value, a: Value, b: Value) -> Value {
+        let id = self.push(InstrKind::Select { cond, a, b }, true).unwrap();
+        Value::Reg(id)
+    }
+
+    /// Type conversion.
+    pub fn cast(&mut self, kind: CastKind, from: Ty, to: Ty, v: Value) -> Value {
+        let id = self
+            .push(InstrKind::Cast { kind, from, to, value: v }, true)
+            .unwrap();
+        Value::Reg(id)
+    }
+
+    /// Direct call to another IR function.
+    pub fn call(&mut self, callee: FunctionId, args: &[Value]) -> Value {
+        let id = self
+            .push(
+                InstrKind::Call { callee, args: args.to_vec() },
+                true,
+            )
+            .unwrap();
+        Value::Reg(id)
+    }
+
+    /// Call a library routine.
+    pub fn call_lib(&mut self, callee: LibCall, args: &[Value]) -> Value {
+        let id = self
+            .push(
+                InstrKind::CallLib { callee, args: args.to_vec() },
+                true,
+            )
+            .unwrap();
+        Value::Reg(id)
+    }
+
+    /// SSA phi node.
+    pub fn phi(&mut self, incomings: Vec<(BlockId, Value)>) -> Value {
+        let id = self.push(InstrKind::Phi { incomings }, true).unwrap();
+        Value::Reg(id)
+    }
+
+    // ---- terminators --------------------------------------------------------
+
+    /// Unconditional branch; leaves the insertion point unchanged.
+    pub fn br(&mut self, target: BlockId) {
+        let cur = self.current;
+        self.func.block_mut(cur).term = Terminator::Br { target };
+    }
+
+    /// Conditional branch.
+    pub fn cond_br(
+        &mut self,
+        cond: Value,
+        then_bb: BlockId,
+        else_bb: BlockId,
+        behavior: BranchBehavior,
+    ) {
+        let cur = self.current;
+        self.func.block_mut(cur).term = Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+            behavior,
+        };
+    }
+
+    /// Return.
+    pub fn ret(&mut self, value: Option<Value>) {
+        let cur = self.current;
+        self.func.block_mut(cur).term = Terminator::Ret { value };
+    }
+
+    // ---- structured helpers -------------------------------------------------
+
+    /// Emit a loop whose body runs exactly `n` times per entry.
+    ///
+    /// Emits the canonical rotated-loop shape: the current block branches
+    /// to a fresh body block; after `body` runs, an induction increment, a
+    /// compare, and a counted back edge are appended; building continues
+    /// in a fresh exit block.
+    pub fn counted_loop(&mut self, n: u64, body: impl FnOnce(&mut Self)) {
+        self.loop_impl(BranchBehavior::Counted(n), body)
+    }
+
+    /// Emit a loop whose back edge is taken with probability `p`
+    /// (geometric trip count with mean `1/(1-p)`).
+    pub fn prob_loop(&mut self, p: f64, body: impl FnOnce(&mut Self)) {
+        assert!((0.0..1.0).contains(&p), "back-edge probability must be in [0,1)");
+        self.loop_impl(BranchBehavior::Prob(p), body)
+    }
+
+    fn loop_impl(&mut self, behavior: BranchBehavior, body: impl FnOnce(&mut Self)) {
+        let body_bb = self.new_block("loop.body");
+        let exit_bb = self.new_block("loop.exit");
+        self.br(body_bb);
+        self.switch_to(body_bb);
+        body(self);
+        // Canonical latch: i += 1; if (i < n) goto body. The latch lives in
+        // whatever block building ended up in (nested loops move it), but
+        // the back edge always targets the loop header.
+        let iv = self.iadd(Ty::I64, Value::int(0), Value::int(1));
+        let cond = self.cmp(CmpPred::Lt, Ty::I64, iv, Value::int(i64::MAX));
+        self.cond_br(cond, body_bb, exit_bb, behavior);
+        self.switch_to(exit_bb);
+    }
+
+    /// Emit an if/else diamond; `p_then` is the probability of the then
+    /// side. Building continues in the join block.
+    pub fn if_else(
+        &mut self,
+        p_then: f64,
+        then_body: impl FnOnce(&mut Self),
+        else_body: impl FnOnce(&mut Self),
+    ) {
+        let then_bb = self.new_block("if.then");
+        let else_bb = self.new_block("if.else");
+        let join_bb = self.new_block("if.join");
+        let cond = self.cmp(CmpPred::Ne, Ty::I64, Value::int(0), Value::int(1));
+        self.cond_br(cond, then_bb, else_bb, BranchBehavior::Prob(p_then));
+        self.switch_to(then_bb);
+        then_body(self);
+        self.br(join_bb);
+        self.switch_to(else_bb);
+        else_body(self);
+        self.br(join_bb);
+        self.switch_to(join_bb);
+    }
+
+    /// Finish building.
+    ///
+    /// # Panics
+    /// Panics if any reachable block still has the placeholder
+    /// `Unreachable` terminator — a builder-usage bug. (Run the module
+    /// verifier for full structural checking.)
+    pub fn finish(self) -> Function {
+        debug_assert!(
+            !matches!(
+                self.func.block(self.func.entry).term,
+                Terminator::Unreachable
+            ) || self.func.blocks.len() == 1,
+            "function {}: entry block left unterminated",
+            self.func.name
+        );
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode;
+
+    #[test]
+    fn straight_line_function() {
+        let mut b = FunctionBuilder::new("f", Ty::F64);
+        let x = b.load(Ty::F64);
+        let y = b.fmul(Ty::F64, x, x);
+        b.ret(Some(y));
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.num_instrs(), 2);
+        assert!(f.block(BlockId(0)).term.is_return());
+    }
+
+    #[test]
+    fn counted_loop_shape() {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        b.counted_loop(8, |b| {
+            b.load(Ty::I32);
+        });
+        b.ret(None);
+        let f = b.finish();
+        // entry, body, exit
+        assert_eq!(f.blocks.len(), 3);
+        let body = f.block(BlockId(1));
+        match &body.term {
+            Terminator::CondBr { then_bb, else_bb, behavior, .. } => {
+                assert_eq!(*then_bb, BlockId(1), "back edge targets the body");
+                assert_eq!(*else_bb, BlockId(2));
+                assert_eq!(*behavior, BranchBehavior::Counted(8));
+            }
+            t => panic!("expected CondBr, got {t:?}"),
+        }
+        // load + induction add + cmp
+        assert_eq!(body.instrs.len(), 3);
+    }
+
+    #[test]
+    fn nested_loops_nest_blocks() {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        b.counted_loop(4, |b| {
+            b.counted_loop(5, |b| {
+                b.fadd(Ty::F32, Value::float(1.0), Value::float(2.0));
+            });
+        });
+        b.ret(None);
+        let f = b.finish();
+        // entry, outer-body, outer-exit, inner-body, inner-exit
+        assert_eq!(f.blocks.len(), 5);
+        f.clone(); // Function is Clone
+        assert!(f.instrs().any(|i| i.opcode() == Opcode::FpBinary(BinOp::Add)));
+    }
+
+    #[test]
+    fn if_else_joins() {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        b.if_else(
+            0.3,
+            |b| {
+                b.load(Ty::I64);
+            },
+            |b| {
+                b.store(Ty::I64, Value::int(0));
+            },
+        );
+        b.call_lib(LibCall::PrintStr, &[]);
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 4);
+        // The join block holds the code after if_else.
+        let join = f.block(BlockId(3));
+        assert_eq!(join.instrs.len(), 1);
+        assert!(join.term.is_return());
+    }
+
+    #[test]
+    fn params_are_sequential() {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        assert_eq!(b.param(Ty::I64), Value::Arg(0));
+        assert_eq!(b.param(Ty::Ptr), Value::Arg(1));
+        b.ret(None);
+        assert_eq!(b.finish().params, vec![Ty::I64, Ty::Ptr]);
+    }
+
+    #[test]
+    #[should_panic(expected = "back-edge probability")]
+    fn prob_loop_validates_probability() {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        b.prob_loop(1.5, |_| {});
+    }
+}

@@ -1,0 +1,156 @@
+//! Control-flow graph view of a function: predecessors, successors and
+//! reverse postorder, the substrate for dominator and loop analysis.
+
+use crate::block::BlockId;
+use crate::function::Function;
+
+/// Precomputed CFG adjacency for one function.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// `succs[b]` = successor blocks of block `b`.
+    pub succs: Vec<Vec<BlockId>>,
+    /// `preds[b]` = predecessor blocks of block `b`.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder from the entry (unreachable blocks are
+    /// absent).
+    pub rpo: Vec<BlockId>,
+    /// `rpo_index[b]` = position of `b` in `rpo`, or `usize::MAX` if
+    /// unreachable.
+    pub rpo_index: Vec<usize>,
+    entry: BlockId,
+}
+
+impl Cfg {
+    /// Build the CFG of `f`.
+    pub fn new(f: &Function) -> Self {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for b in &f.blocks {
+            let ss = b.term.successors();
+            for s in &ss {
+                preds[s.0 as usize].push(b.id);
+            }
+            succs[b.id.0 as usize] = ss;
+        }
+
+        // Iterative postorder DFS from the entry.
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        // Stack of (block, next-successor-index).
+        let mut stack: Vec<(BlockId, usize)> = vec![(f.entry, 0)];
+        visited[f.entry.0 as usize] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let bs = &succs[b.0 as usize];
+            if *i < bs.len() {
+                let s = bs[*i];
+                *i += 1;
+                if !visited[s.0 as usize] {
+                    visited[s.0 as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let rpo = post;
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_index,
+            entry: f.entry,
+        }
+    }
+
+    /// The entry block.
+    #[inline]
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Number of blocks (including unreachable ones).
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Is `b` reachable from the entry?
+    #[inline]
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.0 as usize] != usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Ty;
+
+    #[test]
+    fn diamond_cfg() {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        b.if_else(0.5, |_| {}, |_| {});
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        // entry(0) → then(1), else(2) → join(3)
+        assert_eq!(cfg.succs[0], vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.succs[1], vec![BlockId(3)]);
+        assert_eq!(cfg.succs[2], vec![BlockId(3)]);
+        assert!(cfg.succs[3].is_empty());
+        let mut p3 = cfg.preds[3].clone();
+        p3.sort();
+        assert_eq!(p3, vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_respects_order() {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        b.if_else(0.5, |_| {}, |_| {});
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        // Join must come after both arms in RPO.
+        let join = cfg.rpo_index[3];
+        assert!(join > cfg.rpo_index[1]);
+        assert!(join > cfg.rpo_index[2]);
+        assert_eq!(cfg.rpo.len(), 4);
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded_from_rpo() {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        let dead = b.new_block("dead");
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        b.switch_to(BlockId(0));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert!(!cfg.is_reachable(dead));
+        assert!(cfg.is_reachable(BlockId(0)));
+        assert_eq!(cfg.rpo.len(), 1);
+    }
+
+    #[test]
+    fn loop_back_edge_present() {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        b.counted_loop(3, |_| {});
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        // body(1) → {body(1), exit(2)}
+        assert!(cfg.succs[1].contains(&BlockId(1)));
+        assert!(cfg.preds[1].contains(&BlockId(1)));
+    }
+}

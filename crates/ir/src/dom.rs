@@ -1,0 +1,158 @@
+//! Dominator tree, via the Cooper–Harvey–Kennedy iterative algorithm.
+//!
+//! Natural-loop detection (and hence the nesting-depth feature heuristics
+//! of Example 3.4 in the paper) needs dominance: an edge `t → h` is a loop
+//! back edge iff `h` dominates `t`.
+
+use crate::block::BlockId;
+use crate::cfg::Cfg;
+
+/// Immediate-dominator tree for the reachable blocks of a function.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// `idom[b]` = immediate dominator of `b`; the entry's idom is itself;
+    /// unreachable blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Compute dominators over `cfg` (Cooper, Harvey & Kennedy, "A Simple,
+    /// Fast Dominance Algorithm").
+    pub fn new(cfg: &Cfg) -> Self {
+        let n = cfg.num_blocks();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        let entry = cfg.entry();
+        idom[entry.0 as usize] = Some(entry);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Skip the entry itself (rpo[0]).
+            for &b in cfg.rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b.0 as usize] {
+                    if idom[p.0 as usize].is_none() {
+                        continue; // not yet processed / unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => Self::intersect(&idom, &cfg.rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        DomTree { idom, entry }
+    }
+
+    fn intersect(
+        idom: &[Option<BlockId>],
+        rpo_index: &[usize],
+        mut a: BlockId,
+        mut b: BlockId,
+    ) -> BlockId {
+        while a != b {
+            while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+                a = idom[a.0 as usize].expect("processed block has idom");
+            }
+            while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+                b = idom[b.0 as usize].expect("processed block has idom");
+            }
+        }
+        a
+    }
+
+    /// The immediate dominator of `b` (entry maps to itself).
+    #[inline]
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.0 as usize]
+    }
+
+    /// Does `a` dominate `b`? (Reflexive: every block dominates itself.)
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.0 as usize].is_none() {
+            return false; // b unreachable: nothing dominates it
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = match self.idom[cur.0 as usize] {
+                Some(d) => d,
+                None => return false,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::Function;
+    use crate::types::Ty;
+
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        b.if_else(0.5, |_| {}, |_| {});
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&cfg);
+        // entry(0) idoms everything; join(3)'s idom is the entry, not an arm.
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(dom.dominates(BlockId(3), BlockId(3)), "dominance is reflexive");
+    }
+
+    #[test]
+    fn loop_header_dominates_latch() {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        b.counted_loop(4, |b| {
+            b.counted_loop(5, |_| {});
+        });
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&cfg);
+        // Outer header bb1; its latch is bb4 (inner exit). Header dominates latch.
+        assert!(dom.dominates(BlockId(1), BlockId(4)));
+        // Inner header bb3 is dominated by outer header bb1.
+        assert!(dom.dominates(BlockId(1), BlockId(3)));
+        assert!(!dom.dominates(BlockId(3), BlockId(1)));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        let dead = b.new_block("dead");
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&cfg);
+        assert_eq!(dom.idom(dead), None);
+        assert!(!dom.dominates(BlockId(0), dead));
+    }
+}

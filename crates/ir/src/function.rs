@@ -1,0 +1,213 @@
+//! Functions: the unit at which Astro partitions programs into phases.
+//!
+//! The paper works "mostly at the granularity of functions" (§3.1.1):
+//! features are mined per function, and instrumentation is inserted at
+//! function entry points. [`Function`] therefore carries, besides its CFG,
+//! the behavioural annotations the simulator needs to execute it.
+
+use crate::block::{BasicBlock, BlockId, Terminator};
+use crate::instruction::{Instr, ValueId};
+use crate::types::Ty;
+use std::fmt;
+
+/// Index of a function inside its [`crate::Module`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FunctionId(pub u32);
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@f{}", self.0)
+    }
+}
+
+/// The spatial pattern of a function's memory accesses, used by the cache
+/// model to synthesise an address stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MemPattern {
+    /// Sequential sweep through the working set (streaming kernels).
+    Sequential,
+    /// Fixed-stride walk (matrix column access, structure-of-arrays).
+    Strided {
+        /// Stride between consecutive accesses, in bytes.
+        stride: u64,
+    },
+    /// Uniformly random accesses over the working set (pointer chasing,
+    /// hash tables, graph traversal).
+    Random,
+}
+
+/// How a function touches memory: pattern + working-set size.
+///
+/// Together with [`MemPattern`], this determines the function's cache miss
+/// rate on the simulated hierarchy — which is what differentiates the
+/// paper's *memory-bound* from *CPU-bound* hardware phases.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemBehavior {
+    /// Bytes the function actively touches.
+    pub working_set: u64,
+    /// Spatial pattern of the accesses.
+    pub pattern: MemPattern,
+}
+
+impl MemBehavior {
+    /// A tiny, cache-resident working set accessed sequentially — the
+    /// default for functions that do not declare otherwise.
+    pub const CACHE_FRIENDLY: MemBehavior = MemBehavior {
+        working_set: 16 * 1024,
+        pattern: MemPattern::Sequential,
+    };
+
+    /// Streaming over `bytes` of memory.
+    pub fn streaming(bytes: u64) -> Self {
+        MemBehavior {
+            working_set: bytes,
+            pattern: MemPattern::Sequential,
+        }
+    }
+
+    /// Random access over `bytes` of memory.
+    pub fn random(bytes: u64) -> Self {
+        MemBehavior {
+            working_set: bytes,
+            pattern: MemPattern::Random,
+        }
+    }
+
+    /// Strided access over `bytes` of memory.
+    pub fn strided(bytes: u64, stride: u64) -> Self {
+        MemBehavior {
+            working_set: bytes,
+            pattern: MemPattern::Strided { stride },
+        }
+    }
+}
+
+impl Default for MemBehavior {
+    fn default() -> Self {
+        MemBehavior::CACHE_FRIENDLY
+    }
+}
+
+/// A function: parameters, CFG, and behavioural annotations.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Symbolic name (e.g. `mulMatrix`).
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Ty>,
+    /// Return type.
+    pub ret_ty: Ty,
+    /// Basic blocks; `blocks[i].id == BlockId(i)`.
+    pub blocks: Vec<BasicBlock>,
+    /// The entry block (always `BlockId(0)` for builder-made functions).
+    pub entry: BlockId,
+    /// Number of SSA values defined (dense `ValueId` space).
+    pub num_values: u32,
+    /// Memory behaviour for the simulator's cache model.
+    pub mem: MemBehavior,
+    /// True if this function's symbol is mangled C++ — the paper's LLVM
+    /// module "does not recognize mangled C++ routines yet" (§4), so the
+    /// feature miner skips such functions (they land in phase `Other`).
+    pub mangled: bool,
+}
+
+impl Function {
+    /// An empty function shell (used by the builder).
+    pub fn new(name: impl Into<String>, ret_ty: Ty) -> Self {
+        Function {
+            name: name.into(),
+            params: Vec::new(),
+            ret_ty,
+            blocks: Vec::new(),
+            entry: BlockId(0),
+            num_values: 0,
+            mem: MemBehavior::default(),
+            mangled: false,
+        }
+    }
+
+    /// Shared immutable access to a block.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Mutable access to a block.
+    #[inline]
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[id.0 as usize]
+    }
+
+    /// Iterate over all instructions of all blocks (excluding terminators).
+    pub fn instrs(&self) -> impl Iterator<Item = &Instr> {
+        self.blocks.iter().flat_map(|b| b.instrs.iter())
+    }
+
+    /// Total instruction count, counting each terminator as one.
+    pub fn size_with_terms(&self) -> usize {
+        self.blocks.iter().map(|b| b.len_with_term()).sum()
+    }
+
+    /// Count of non-terminator instructions.
+    pub fn num_instrs(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+
+    /// Allocate a fresh SSA value id.
+    pub fn fresh_value(&mut self) -> ValueId {
+        let id = ValueId(self.num_values);
+        self.num_values += 1;
+        id
+    }
+
+    /// Blocks whose terminator returns.
+    pub fn exit_blocks(&self) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::Ret { .. }))
+            .map(|b| b.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BasicBlock;
+
+    #[test]
+    fn fresh_values_are_dense() {
+        let mut f = Function::new("f", Ty::Void);
+        assert_eq!(f.fresh_value(), ValueId(0));
+        assert_eq!(f.fresh_value(), ValueId(1));
+        assert_eq!(f.num_values, 2);
+    }
+
+    #[test]
+    fn sizes_count_terminators() {
+        let mut f = Function::new("f", Ty::Void);
+        let mut b = BasicBlock::new(BlockId(0), "entry");
+        b.term = Terminator::Ret { value: None };
+        f.blocks.push(b);
+        assert_eq!(f.num_instrs(), 0);
+        assert_eq!(f.size_with_terms(), 1);
+        assert_eq!(f.exit_blocks(), vec![BlockId(0)]);
+    }
+
+    #[test]
+    fn default_mem_behavior_is_cache_friendly() {
+        let f = Function::new("f", Ty::Void);
+        assert_eq!(f.mem, MemBehavior::CACHE_FRIENDLY);
+        assert!(!f.mangled);
+    }
+
+    #[test]
+    fn mem_behavior_constructors() {
+        let s = MemBehavior::streaming(1 << 20);
+        assert_eq!(s.pattern, MemPattern::Sequential);
+        let r = MemBehavior::random(1 << 22);
+        assert_eq!(r.pattern, MemPattern::Random);
+        let st = MemBehavior::strided(1 << 16, 64);
+        assert_eq!(st.pattern, MemPattern::Strided { stride: 64 });
+    }
+}

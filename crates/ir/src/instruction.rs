@@ -1,0 +1,285 @@
+//! Non-terminator instructions and the values they compute.
+
+use crate::function::FunctionId;
+use crate::libcall::LibCall;
+use crate::opcode::Opcode;
+use crate::types::Ty;
+use std::fmt;
+
+/// Index of an SSA value defined inside a function (one per
+/// value-producing instruction, assigned densely by the builder).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// A compile-time constant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Constant {
+    Int(i64),
+    Float(f64),
+    /// Address of a function, used as the target of `thread_spawn`.
+    FuncAddr(FunctionId),
+}
+
+/// An operand: either a constant, a value produced by an instruction, or
+/// one of the enclosing function's parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    Const(Constant),
+    Reg(ValueId),
+    Arg(u32),
+}
+
+impl Value {
+    /// Integer constant shorthand.
+    #[inline]
+    pub fn int(v: i64) -> Self {
+        Value::Const(Constant::Int(v))
+    }
+
+    /// Float constant shorthand.
+    #[inline]
+    pub fn float(v: f64) -> Self {
+        Value::Const(Constant::Float(v))
+    }
+
+    /// Function-address constant shorthand.
+    #[inline]
+    pub fn func(f: FunctionId) -> Self {
+        Value::Const(Constant::FuncAddr(f))
+    }
+
+    /// If this operand is a constant integer, its value.
+    #[inline]
+    pub fn as_const_int(self) -> Option<i64> {
+        match self {
+            Value::Const(Constant::Int(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// If this operand is a function address, the function.
+    #[inline]
+    pub fn as_func_addr(self) -> Option<FunctionId> {
+        match self {
+            Value::Const(Constant::FuncAddr(f)) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// Two-operand arithmetic / logic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+/// One-operand operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Comparison predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpPred {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Conversion kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CastKind {
+    /// Integer widening/narrowing.
+    IntResize,
+    /// Int → float.
+    IntToFloat,
+    /// Float → int.
+    FloatToInt,
+    /// Float precision change.
+    FloatResize,
+    /// Pointer ↔ integer.
+    PtrCast,
+}
+
+/// A non-terminator instruction.
+///
+/// Value-producing instructions carry the [`ValueId`] they define in
+/// `result`; instructions executed purely for effect (stores, void calls)
+/// have `result == None`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instr {
+    /// The value this instruction defines, if any.
+    pub result: Option<ValueId>,
+    /// What the instruction does.
+    pub kind: InstrKind,
+}
+
+/// The operation performed by an [`Instr`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum InstrKind {
+    /// `result = op ty lhs, rhs`
+    Binary {
+        op: BinOp,
+        ty: Ty,
+        lhs: Value,
+        rhs: Value,
+    },
+    /// `result = op ty operand`
+    Unary { op: UnOp, ty: Ty, operand: Value },
+    /// `result = cmp pred ty lhs, rhs` (result is `i1`)
+    Cmp {
+        pred: CmpPred,
+        ty: Ty,
+        lhs: Value,
+        rhs: Value,
+    },
+    /// `result = load ty` — the address stream is synthesised from the
+    /// enclosing function's [`crate::MemBehavior`], so no address operand.
+    Load { ty: Ty },
+    /// `store ty value`
+    Store { ty: Ty, value: Value },
+    /// `result = alloca ty × count` — stack allocation.
+    Alloca { ty: Ty, count: u32 },
+    /// `result = gep base, offset` — address arithmetic (integer ALU work).
+    Gep { base: Value, offset: Value },
+    /// `result = select cond, a, b`
+    Select { cond: Value, a: Value, b: Value },
+    /// `result = cast kind value : from → to`
+    Cast {
+        kind: CastKind,
+        from: Ty,
+        to: Ty,
+        value: Value,
+    },
+    /// `result? = call f(args…)` — direct call to another IR function.
+    Call { callee: FunctionId, args: Vec<Value> },
+    /// `result? = call lib(args…)` — call into the modelled runtime system.
+    CallLib { callee: LibCall, args: Vec<Value> },
+    /// `result = phi [(pred_block, value)…]` — SSA join.
+    Phi { incomings: Vec<(crate::BlockId, Value)> },
+}
+
+impl Instr {
+    /// The abstract opcode of this instruction, used by feature mining and
+    /// by the simulator's cost model.
+    pub fn opcode(&self) -> Opcode {
+        match &self.kind {
+            InstrKind::Binary { op, ty, .. } => {
+                if ty.is_float() {
+                    Opcode::FpBinary(*op)
+                } else {
+                    Opcode::IntBinary(*op)
+                }
+            }
+            InstrKind::Unary { op, ty, .. } => {
+                if ty.is_float() {
+                    Opcode::FpUnary(*op)
+                } else {
+                    Opcode::IntUnary(*op)
+                }
+            }
+            InstrKind::Cmp { ty, .. } => {
+                if ty.is_float() {
+                    Opcode::FpCmp
+                } else {
+                    Opcode::IntCmp
+                }
+            }
+            InstrKind::Load { .. } => Opcode::Load,
+            InstrKind::Store { .. } => Opcode::Store,
+            InstrKind::Alloca { .. } => Opcode::Alloca,
+            InstrKind::Gep { .. } => Opcode::Gep,
+            InstrKind::Select { .. } => Opcode::Select,
+            InstrKind::Cast { .. } => Opcode::Cast,
+            InstrKind::Call { .. } => Opcode::Call,
+            InstrKind::CallLib { callee, .. } => Opcode::CallLib(*callee),
+            InstrKind::Phi { .. } => Opcode::Phi,
+        }
+    }
+
+    /// Operands read by this instruction (for verification / printing).
+    pub fn operands(&self) -> Vec<Value> {
+        match &self.kind {
+            InstrKind::Binary { lhs, rhs, .. } | InstrKind::Cmp { lhs, rhs, .. } => {
+                vec![*lhs, *rhs]
+            }
+            InstrKind::Unary { operand, .. } => vec![*operand],
+            InstrKind::Load { .. } | InstrKind::Alloca { .. } => vec![],
+            InstrKind::Store { value, .. } => vec![*value],
+            InstrKind::Gep { base, offset } => vec![*base, *offset],
+            InstrKind::Select { cond, a, b } => vec![*cond, *a, *b],
+            InstrKind::Cast { value, .. } => vec![*value],
+            InstrKind::Call { args, .. } | InstrKind::CallLib { args, .. } => args.clone(),
+            InstrKind::Phi { incomings } => incomings.iter().map(|(_, v)| *v).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bin(ty: Ty) -> Instr {
+        Instr {
+            result: Some(ValueId(0)),
+            kind: InstrKind::Binary {
+                op: BinOp::Add,
+                ty,
+                lhs: Value::int(1),
+                rhs: Value::int(2),
+            },
+        }
+    }
+
+    #[test]
+    fn opcode_splits_int_and_fp() {
+        assert_eq!(bin(Ty::I32).opcode(), Opcode::IntBinary(BinOp::Add));
+        assert_eq!(bin(Ty::F64).opcode(), Opcode::FpBinary(BinOp::Add));
+    }
+
+    #[test]
+    fn operand_lists_cover_inputs() {
+        let i = Instr {
+            result: Some(ValueId(3)),
+            kind: InstrKind::Select {
+                cond: Value::Reg(ValueId(0)),
+                a: Value::Reg(ValueId(1)),
+                b: Value::Reg(ValueId(2)),
+            },
+        };
+        assert_eq!(i.operands().len(), 3);
+        let load = Instr {
+            result: Some(ValueId(0)),
+            kind: InstrKind::Load { ty: Ty::F32 },
+        };
+        assert!(load.operands().is_empty());
+    }
+
+    #[test]
+    fn const_helpers_roundtrip() {
+        assert_eq!(Value::int(42).as_const_int(), Some(42));
+        assert_eq!(Value::float(1.0).as_const_int(), None);
+        let f = FunctionId(7);
+        assert_eq!(Value::func(f).as_func_addr(), Some(f));
+    }
+}

@@ -1,0 +1,75 @@
+//! # astro-ir — a miniature compiler IR
+//!
+//! This crate is the reproduction's stand-in for LLVM: a small,
+//! SSA-flavoured intermediate representation with enough structure for the
+//! Astro compiler passes (`astro-compiler`) to mine syntactic features,
+//! classify program phases, and instrument programs, and for the Astro
+//! execution engine (`astro-exec`) to run programs behaviourally on a
+//! simulated big.LITTLE machine.
+//!
+//! The IR models exactly what the paper's analyses consume:
+//!
+//! * an **instruction mix** — integer/floating-point arithmetic, memory
+//!   accesses, comparisons, casts ([`Instr`], [`Opcode`]);
+//! * **library calls** with I/O / lock / barrier / network / sleep
+//!   semantics ([`LibCall`]), which drive both the feature densities of
+//!   §3.1.1 of the paper and the blocking behaviour of the simulator;
+//! * a **control-flow graph** of basic blocks with explicit terminators
+//!   ([`BasicBlock`], [`Terminator`]), supporting dominator and natural
+//!   loop analyses ([`dom`], [`loops`]) used by the nesting-aware feature
+//!   heuristics (Example 3.4 of the paper);
+//! * **behavioural annotations** — branch probabilities or exact trip
+//!   counts ([`BranchBehavior`]), per-function memory access patterns
+//!   ([`MemBehavior`]) — that make deterministic simulation possible
+//!   without a full value interpreter.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use astro_ir::{Module, FunctionBuilder, Ty, LibCall};
+//!
+//! let mut module = Module::new("demo");
+//! let mut b = FunctionBuilder::new("kernel", Ty::Void);
+//! // for i in 0..1024 { acc += a[i] * b[i] }
+//! b.counted_loop(1024, |b| {
+//!     let x = b.load(Ty::F64);
+//!     let y = b.load(Ty::F64);
+//!     let p = b.fmul(Ty::F64, x, y);
+//!     let _ = b.fadd(Ty::F64, p, p);
+//! });
+//! b.call_lib(LibCall::PrintStr, &[]);
+//! b.ret(None);
+//! let kernel = module.add_function(b.finish());
+//! module.set_entry(kernel);
+//! module.verify().unwrap();
+//! ```
+
+pub mod block;
+pub mod builder;
+pub mod cfg;
+pub mod dom;
+pub mod function;
+pub mod instruction;
+pub mod libcall;
+pub mod loops;
+pub mod module;
+pub mod opcode;
+pub mod printer;
+pub mod types;
+pub mod verify;
+pub mod visit;
+
+pub use block::{BasicBlock, BlockId, BranchBehavior, Terminator};
+pub use builder::FunctionBuilder;
+pub use cfg::Cfg;
+pub use dom::DomTree;
+pub use function::{Function, FunctionId, MemBehavior, MemPattern};
+pub use instruction::{
+    BinOp, CastKind, CmpPred, Constant, Instr, InstrKind, UnOp, Value, ValueId,
+};
+pub use libcall::{BlockingKind, LibCall};
+pub use loops::{LoopForest, LoopId, LoopInfo};
+pub use module::Module;
+pub use opcode::{InstrClass, Opcode};
+pub use types::Ty;
+pub use verify::VerifyError;

@@ -1,0 +1,286 @@
+//! Library calls: the IR's model of the world outside the program.
+//!
+//! The paper's program phases hinge on what a function asks the runtime
+//! system to do — read files, take locks, wait on barriers, touch the
+//! network, or sleep (§3.1.1). [`LibCall`] enumerates those requests, and
+//! each carries enough classification (`is_io`, `blocking_kind`, …) for
+//! both the feature miner (`astro-compiler`) and the discrete-event
+//! simulator (`astro-exec`) to treat it faithfully.
+
+use std::fmt;
+
+/// How a library call can suspend the calling thread.
+///
+/// These map one-to-one onto the boolean features of §3.1.1: `Barrier`,
+/// `Net` and `Sleep` set the corresponding flags; `Lock` contributes to
+/// `Locks-Dens`; `Io` contributes to `IO-Dens` (I/O calls block on a
+/// simulated device but are not counted as "blocked" phases by themselves).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BlockingKind {
+    /// Multi-thread barrier; waits for every participant.
+    Barrier,
+    /// Network send/receive; waits for a remote event.
+    Net,
+    /// Unconditional sleep for a given duration.
+    Sleep,
+    /// Mutual exclusion; waits for the lock holder.
+    Lock,
+    /// Device I/O; waits for a storage/terminal transfer.
+    Io,
+    /// Waits for a spawned thread to finish.
+    Join,
+}
+
+/// The library routines a program may invoke.
+///
+/// This is the union of everything the Astro feature miner distinguishes
+/// plus the intrinsics that Astro's own instrumentation inserts (the
+/// `Astro*` variants — the equivalent of calls into `libastro.so` in the
+/// paper's Figure 8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LibCall {
+    // ---- I/O ------------------------------------------------------------
+    /// Read a block from a file (Figure 2's `readMatrix`).
+    ReadFile,
+    /// Write a block to a file.
+    WriteFile,
+    /// Read from standard input (Figure 2's `read_user_data`).
+    ReadStdin,
+    /// Write a string to standard output (Figure 2's `printMatrix`).
+    PrintStr,
+    // ---- Network --------------------------------------------------------
+    /// Send a message over the network.
+    NetSend,
+    /// Receive a message from the network.
+    NetRecv,
+    // ---- Timing ---------------------------------------------------------
+    /// Sleep unconditionally for the duration given as first argument (µs).
+    Sleep,
+    // ---- Synchronisation ------------------------------------------------
+    /// Wait at a multi-thread barrier (id = first argument).
+    BarrierWait,
+    /// Acquire a mutex (id = first argument).
+    MutexLock,
+    /// Release a mutex (id = first argument).
+    MutexUnlock,
+    // ---- Threads ----------------------------------------------------------
+    /// Spawn a thread executing the function whose address is the first
+    /// argument. Returns a thread handle.
+    ThreadSpawn,
+    /// Join every thread previously spawned by the caller.
+    ThreadJoin,
+    // ---- Memory -----------------------------------------------------------
+    /// Allocate heap memory (size = first argument).
+    Malloc,
+    /// Free heap memory.
+    Free,
+    /// Bulk copy (size = first argument); counts as memory traffic.
+    Memcpy,
+    // ---- Math (libm) ------------------------------------------------------
+    /// Transcendental math routine (sin/cos/exp/log/sqrt…); floating point.
+    MathF64,
+    // ---- Astro runtime intrinsics ------------------------------------------
+    /// Learning-mode instrumentation: record entry into the program phase
+    /// whose index is the first (constant) argument. Figure 8(a)'s
+    /// `save_feature_range`.
+    AstroLogPhase,
+    /// Learning-mode instrumentation around blocking library calls:
+    /// first argument 1 = entering a blocked region, 0 = leaving.
+    /// Figure 8(a)'s `toggle_sleeping_state`.
+    AstroToggleBlocked,
+    /// Final static instrumentation: request the hardware configuration
+    /// whose index is the first (constant) argument. Figure 8(b)'s
+    /// `determine_active_configuration`.
+    AstroSetConfig,
+    /// Final hybrid instrumentation: consult the learned policy with the
+    /// static phase (first argument) *and* current dynamic hardware state.
+    /// Figure 8(c)'s `determine_active_conf(STA, DYN)`.
+    AstroHybridDecide,
+    // ---- Escape hatch -----------------------------------------------------
+    /// Any other opaque library routine (no special semantics).
+    Other,
+}
+
+impl LibCall {
+    /// All variants, for exhaustive sweeps in tests and benchmarks.
+    pub const ALL: [LibCall; 21] = [
+        LibCall::ReadFile,
+        LibCall::WriteFile,
+        LibCall::ReadStdin,
+        LibCall::PrintStr,
+        LibCall::NetSend,
+        LibCall::NetRecv,
+        LibCall::Sleep,
+        LibCall::BarrierWait,
+        LibCall::MutexLock,
+        LibCall::MutexUnlock,
+        LibCall::ThreadSpawn,
+        LibCall::ThreadJoin,
+        LibCall::Malloc,
+        LibCall::Free,
+        LibCall::Memcpy,
+        LibCall::MathF64,
+        LibCall::AstroLogPhase,
+        LibCall::AstroToggleBlocked,
+        LibCall::AstroSetConfig,
+        LibCall::AstroHybridDecide,
+        LibCall::Other,
+    ];
+
+    /// Does this call perform input/output (contributes to `IO-Dens`)?
+    #[inline]
+    pub fn is_io(self) -> bool {
+        matches!(
+            self,
+            LibCall::ReadFile | LibCall::WriteFile | LibCall::ReadStdin | LibCall::PrintStr
+        )
+    }
+
+    /// Is this a lock operation (contributes to `Locks-Dens`)?
+    #[inline]
+    pub fn is_lock(self) -> bool {
+        matches!(self, LibCall::MutexLock | LibCall::MutexUnlock)
+    }
+
+    /// Is this one of Astro's own instrumentation intrinsics?
+    ///
+    /// Intrinsics are invisible to the feature miner — they are inserted
+    /// *after* features are collected, and must not perturb them.
+    #[inline]
+    pub fn is_astro_intrinsic(self) -> bool {
+        matches!(
+            self,
+            LibCall::AstroLogPhase
+                | LibCall::AstroToggleBlocked
+                | LibCall::AstroSetConfig
+                | LibCall::AstroHybridDecide
+        )
+    }
+
+    /// Does this call count as floating-point work (contributes `FP-Dens`)?
+    #[inline]
+    pub fn is_fp_math(self) -> bool {
+        matches!(self, LibCall::MathF64)
+    }
+
+    /// How this call can suspend the caller, if at all.
+    #[inline]
+    pub fn blocking_kind(self) -> Option<BlockingKind> {
+        match self {
+            LibCall::ReadFile | LibCall::WriteFile | LibCall::PrintStr => {
+                Some(BlockingKind::Io)
+            }
+            // Standard input waits for a *user*: an unbounded external
+            // event, which is why Figure 8(a) wraps `read_user_data` in
+            // `toggle_sleeping_state` — classified like a sleep.
+            LibCall::ReadStdin => Some(BlockingKind::Sleep),
+            LibCall::NetSend | LibCall::NetRecv => Some(BlockingKind::Net),
+            LibCall::Sleep => Some(BlockingKind::Sleep),
+            LibCall::BarrierWait => Some(BlockingKind::Barrier),
+            LibCall::MutexLock => Some(BlockingKind::Lock),
+            LibCall::ThreadJoin => Some(BlockingKind::Join),
+            _ => None,
+        }
+    }
+
+    /// Does this call force the program to wait for an *external* event —
+    /// the condition the paper's instrumentation wraps with
+    /// `toggle_sleeping_state` (§3.1.1's Barrier/Net/Sleep flags)?
+    #[inline]
+    pub fn is_dormant_wait(self) -> bool {
+        matches!(
+            self.blocking_kind(),
+            Some(BlockingKind::Barrier) | Some(BlockingKind::Net) | Some(BlockingKind::Sleep)
+        )
+    }
+
+    /// Symbolic name used by the textual printer.
+    pub fn name(self) -> &'static str {
+        match self {
+            LibCall::ReadFile => "read_file",
+            LibCall::WriteFile => "write_file",
+            LibCall::ReadStdin => "read_stdin",
+            LibCall::PrintStr => "print_str",
+            LibCall::NetSend => "net_send",
+            LibCall::NetRecv => "net_recv",
+            LibCall::Sleep => "sleep",
+            LibCall::BarrierWait => "barrier_wait",
+            LibCall::MutexLock => "mutex_lock",
+            LibCall::MutexUnlock => "mutex_unlock",
+            LibCall::ThreadSpawn => "thread_spawn",
+            LibCall::ThreadJoin => "thread_join",
+            LibCall::Malloc => "malloc",
+            LibCall::Free => "free",
+            LibCall::Memcpy => "memcpy",
+            LibCall::MathF64 => "math_f64",
+            LibCall::AstroLogPhase => "astro.log_phase",
+            LibCall::AstroToggleBlocked => "astro.toggle_blocked",
+            LibCall::AstroSetConfig => "astro.set_config",
+            LibCall::AstroHybridDecide => "astro.hybrid_decide",
+            LibCall::Other => "extern_other",
+        }
+    }
+}
+
+impl fmt::Display for LibCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_calls_are_io_and_block_on_io() {
+        for c in [LibCall::ReadFile, LibCall::WriteFile, LibCall::PrintStr] {
+            assert!(c.is_io(), "{c} should be I/O");
+            assert_eq!(c.blocking_kind(), Some(BlockingKind::Io));
+            assert!(!c.is_dormant_wait(), "I/O alone is not a dormant wait");
+        }
+        // Standard input is I/O for the feature densities but waits for
+        // the user — a dormant wait, like the paper's read_user_data.
+        assert!(LibCall::ReadStdin.is_io());
+        assert!(LibCall::ReadStdin.is_dormant_wait());
+    }
+
+    #[test]
+    fn dormant_waits_are_barrier_net_sleep() {
+        assert!(LibCall::BarrierWait.is_dormant_wait());
+        assert!(LibCall::NetSend.is_dormant_wait());
+        assert!(LibCall::NetRecv.is_dormant_wait());
+        assert!(LibCall::Sleep.is_dormant_wait());
+        assert!(!LibCall::MutexLock.is_dormant_wait());
+        assert!(!LibCall::Malloc.is_dormant_wait());
+    }
+
+    #[test]
+    fn locks_classified() {
+        assert!(LibCall::MutexLock.is_lock());
+        assert!(LibCall::MutexUnlock.is_lock());
+        assert_eq!(LibCall::MutexLock.blocking_kind(), Some(BlockingKind::Lock));
+        // Unlock never blocks.
+        assert_eq!(LibCall::MutexUnlock.blocking_kind(), None);
+    }
+
+    #[test]
+    fn intrinsics_are_marked_and_never_block() {
+        for c in LibCall::ALL {
+            if c.is_astro_intrinsic() {
+                assert_eq!(c.blocking_kind(), None, "{c} must not block");
+                assert!(!c.is_io());
+                assert!(!c.is_lock());
+            }
+        }
+    }
+
+    #[test]
+    fn all_is_exhaustive_and_unique() {
+        let mut names: Vec<&str> = LibCall::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate LibCall names");
+    }
+}

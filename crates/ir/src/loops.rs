@@ -1,0 +1,264 @@
+//! Natural-loop detection and nesting depth.
+//!
+//! The paper's feature heuristics weight I/O calls by `10^n` for a call
+//! nested in `n` loops (Example 3.4), and "number of nested loops" is
+//! itself a candidate code feature. This module finds natural loops from
+//! back edges (`latch → header` where the header dominates the latch),
+//! merges loops sharing a header, and computes per-block nesting depth.
+
+use crate::block::BlockId;
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::function::Function;
+
+/// Index of a loop in the [`LoopForest`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LoopId(pub u32);
+
+/// One natural loop.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    /// The loop header (target of the back edge(s)).
+    pub header: BlockId,
+    /// All blocks in the loop body, header included.
+    pub blocks: Vec<BlockId>,
+    /// The enclosing loop, if any.
+    pub parent: Option<LoopId>,
+    /// Nesting depth: 1 for outermost loops, 2 for loops inside them, …
+    pub depth: u32,
+}
+
+/// All natural loops of a function plus per-block depth.
+#[derive(Clone, Debug)]
+pub struct LoopForest {
+    /// The loops, outermost first within each nest.
+    pub loops: Vec<LoopInfo>,
+    /// `depth[b]` = number of loops containing block `b` (0 = not in any).
+    pub depth: Vec<u32>,
+}
+
+impl LoopForest {
+    /// Detect loops in `f`.
+    pub fn new(f: &Function) -> Self {
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(&cfg);
+        Self::from_analyses(&cfg, &dom)
+    }
+
+    /// Detect loops given precomputed analyses.
+    pub fn from_analyses(cfg: &Cfg, dom: &DomTree) -> Self {
+        let n = cfg.num_blocks();
+
+        // 1. Find back edges, grouped by header.
+        let mut latches_of: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        let mut headers: Vec<BlockId> = Vec::new();
+        for &b in &cfg.rpo {
+            for &s in &cfg.succs[b.0 as usize] {
+                if dom.dominates(s, b) {
+                    if latches_of[s.0 as usize].is_empty() {
+                        headers.push(s);
+                    }
+                    latches_of[s.0 as usize].push(b);
+                }
+            }
+        }
+        // Deterministic order: headers by RPO position (outer loops first
+        // when nested, since outer headers precede inner ones in RPO).
+        headers.sort_by_key(|h| cfg.rpo_index[h.0 as usize]);
+
+        // 2. For each header, collect the loop body: backwards reachability
+        //    from the latches without passing through the header.
+        let mut loops: Vec<LoopInfo> = Vec::with_capacity(headers.len());
+        for &h in &headers {
+            let mut in_loop = vec![false; n];
+            in_loop[h.0 as usize] = true;
+            let mut stack: Vec<BlockId> = Vec::new();
+            for &l in &latches_of[h.0 as usize] {
+                if !in_loop[l.0 as usize] {
+                    in_loop[l.0 as usize] = true;
+                    stack.push(l);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in &cfg.preds[b.0 as usize] {
+                    if cfg.is_reachable(p) && !in_loop[p.0 as usize] {
+                        in_loop[p.0 as usize] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            let mut blocks: Vec<BlockId> = (0..n as u32)
+                .map(BlockId)
+                .filter(|b| in_loop[b.0 as usize])
+                .collect();
+            blocks.sort();
+            loops.push(LoopInfo {
+                header: h,
+                blocks,
+                parent: None,
+                depth: 0,
+            });
+        }
+
+        // 3. Parent links: the parent of loop L is the smallest loop that
+        //    strictly contains L's header (and is not L itself).
+        let ids: Vec<LoopId> = (0..loops.len() as u32).map(LoopId).collect();
+        for i in 0..loops.len() {
+            let mut best: Option<(usize, usize)> = None; // (index, size)
+            for j in 0..loops.len() {
+                if i == j {
+                    continue;
+                }
+                let contains = loops[j]
+                    .blocks
+                    .binary_search(&loops[i].header)
+                    .is_ok();
+                let strictly_larger = loops[j].blocks.len() > loops[i].blocks.len()
+                    || (loops[j].blocks.len() == loops[i].blocks.len()
+                        && loops[j].header != loops[i].header);
+                if contains && strictly_larger {
+                    let sz = loops[j].blocks.len();
+                    if best.is_none_or(|(_, bs)| sz < bs) {
+                        best = Some((j, sz));
+                    }
+                }
+            }
+            loops[i].parent = best.map(|(j, _)| ids[j]);
+        }
+
+        // 4. Depths: walk parent chains.
+        for i in 0..loops.len() {
+            let mut d = 1;
+            let mut p = loops[i].parent;
+            while let Some(pid) = p {
+                d += 1;
+                p = loops[pid.0 as usize].parent;
+            }
+            loops[i].depth = d;
+        }
+
+        // 5. Per-block depth = max depth of any loop containing the block.
+        let mut depth = vec![0u32; n];
+        for l in &loops {
+            for &b in &l.blocks {
+                depth[b.0 as usize] = depth[b.0 as usize].max(l.depth);
+            }
+        }
+
+        LoopForest { loops, depth }
+    }
+
+    /// Nesting depth of block `b` (0 if not inside any loop).
+    #[inline]
+    pub fn depth_of(&self, b: BlockId) -> u32 {
+        self.depth[b.0 as usize]
+    }
+
+    /// The deepest nesting level anywhere in the function.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of loops detected.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Are there no loops?
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Ty;
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        b.load(Ty::I32);
+        b.ret(None);
+        let f = b.finish();
+        let lf = LoopForest::new(&f);
+        assert!(lf.is_empty());
+        assert_eq!(lf.max_depth(), 0);
+    }
+
+    #[test]
+    fn single_loop_depth_one() {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        b.counted_loop(10, |b| {
+            b.load(Ty::I32);
+        });
+        b.ret(None);
+        let f = b.finish();
+        let lf = LoopForest::new(&f);
+        assert_eq!(lf.len(), 1);
+        assert_eq!(lf.loops[0].header, BlockId(1));
+        assert_eq!(lf.loops[0].depth, 1);
+        assert_eq!(lf.depth_of(BlockId(1)), 1);
+        assert_eq!(lf.depth_of(BlockId(0)), 0, "entry outside loop");
+        assert_eq!(lf.depth_of(BlockId(2)), 0, "exit outside loop");
+    }
+
+    #[test]
+    fn triple_nest_depths() {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        b.counted_loop(2, |b| {
+            b.counted_loop(3, |b| {
+                b.counted_loop(4, |b| {
+                    b.fadd(Ty::F64, crate::Value::float(0.0), crate::Value::float(1.0));
+                });
+            });
+        });
+        b.ret(None);
+        let f = b.finish();
+        let lf = LoopForest::new(&f);
+        assert_eq!(lf.len(), 3);
+        assert_eq!(lf.max_depth(), 3);
+        // Exactly one loop at each depth.
+        let mut depths: Vec<u32> = lf.loops.iter().map(|l| l.depth).collect();
+        depths.sort();
+        assert_eq!(depths, vec![1, 2, 3]);
+        // Parent chain is consistent.
+        let innermost = lf.loops.iter().find(|l| l.depth == 3).unwrap();
+        let mid = innermost.parent.expect("inner has parent");
+        assert_eq!(lf.loops[mid.0 as usize].depth, 2);
+    }
+
+    #[test]
+    fn sibling_loops_share_depth() {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        b.counted_loop(2, |_| {});
+        b.counted_loop(2, |_| {});
+        b.ret(None);
+        let f = b.finish();
+        let lf = LoopForest::new(&f);
+        assert_eq!(lf.len(), 2);
+        assert!(lf.loops.iter().all(|l| l.depth == 1));
+        assert!(lf.loops.iter().all(|l| l.parent.is_none()));
+    }
+
+    #[test]
+    fn loop_body_includes_inner_blocks() {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        b.counted_loop(2, |b| {
+            b.counted_loop(3, |_| {});
+        });
+        b.ret(None);
+        let f = b.finish();
+        let lf = LoopForest::new(&f);
+        let outer = lf.loops.iter().find(|l| l.depth == 1).unwrap();
+        let inner = lf.loops.iter().find(|l| l.depth == 2).unwrap();
+        for blk in &inner.blocks {
+            assert!(
+                outer.blocks.contains(blk),
+                "outer loop must contain inner block {blk}"
+            );
+        }
+        assert!(outer.blocks.len() > inner.blocks.len());
+    }
+}

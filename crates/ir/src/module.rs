@@ -1,0 +1,131 @@
+//! Modules: a whole program in IR form.
+
+use crate::function::{Function, FunctionId};
+use crate::verify::{verify_module, VerifyError};
+use std::collections::HashMap;
+
+/// A translation unit: a set of functions plus an entry point.
+#[derive(Clone, Debug)]
+pub struct Module {
+    /// Module name (used in printing and experiment reports).
+    pub name: String,
+    /// All functions; `functions[i]` has id `FunctionId(i)`.
+    pub functions: Vec<Function>,
+    /// The `main` of the program.
+    pub entry: Option<FunctionId>,
+    name_index: HashMap<String, FunctionId>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+            entry: None,
+            name_index: HashMap::new(),
+        }
+    }
+
+    /// Add a function, returning its id. Function names must be unique.
+    ///
+    /// # Panics
+    /// Panics if a function with the same name already exists.
+    pub fn add_function(&mut self, f: Function) -> FunctionId {
+        let id = FunctionId(self.functions.len() as u32);
+        let prev = self.name_index.insert(f.name.clone(), id);
+        assert!(prev.is_none(), "duplicate function name: {}", f.name);
+        self.functions.push(f);
+        id
+    }
+
+    /// Designate the program entry point.
+    pub fn set_entry(&mut self, f: FunctionId) {
+        self.entry = Some(f);
+    }
+
+    /// Shared access to a function.
+    #[inline]
+    pub fn function(&self, id: FunctionId) -> &Function {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Mutable access to a function.
+    #[inline]
+    pub fn function_mut(&mut self, id: FunctionId) -> &mut Function {
+        &mut self.functions[id.0 as usize]
+    }
+
+    /// Look a function up by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FunctionId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// Iterate (id, function) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FunctionId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FunctionId(i as u32), f))
+    }
+
+    /// Total instruction count across all functions (terminators included).
+    pub fn total_instrs(&self) -> usize {
+        self.functions.iter().map(|f| f.size_with_terms()).sum()
+    }
+
+    /// Check structural well-formedness of the whole module.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        verify_module(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Ty;
+
+    fn trivial(name: &str) -> Function {
+        let mut b = FunctionBuilder::new(name, Ty::Void);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn add_and_lookup_by_name() {
+        let mut m = Module::new("m");
+        let f = m.add_function(trivial("alpha"));
+        let g = m.add_function(trivial("beta"));
+        assert_eq!(m.function_by_name("alpha"), Some(f));
+        assert_eq!(m.function_by_name("beta"), Some(g));
+        assert_eq!(m.function_by_name("gamma"), None);
+        assert_eq!(m.function(f).name, "alpha");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function name")]
+    fn duplicate_names_rejected() {
+        let mut m = Module::new("m");
+        m.add_function(trivial("dup"));
+        m.add_function(trivial("dup"));
+    }
+
+    #[test]
+    fn total_instrs_sums_functions() {
+        let mut m = Module::new("m");
+        m.add_function(trivial("a"));
+        m.add_function(trivial("b"));
+        // Each trivial function is a single `ret`.
+        assert_eq!(m.total_instrs(), 2);
+    }
+
+    #[test]
+    fn entry_defaults_to_none() {
+        let mut m = Module::new("m");
+        assert!(m.entry.is_none());
+        let f = m.add_function(trivial("main"));
+        m.set_entry(f);
+        assert_eq!(m.entry, Some(f));
+    }
+}

@@ -1,0 +1,200 @@
+//! Abstract opcodes and the coarse instruction classes consumed by the
+//! feature miner and the simulator's cost model.
+
+use crate::instruction::{BinOp, UnOp};
+use crate::libcall::LibCall;
+use std::fmt;
+
+/// An abstract opcode: the identity of an instruction with its type class
+/// (integer vs floating point) resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    IntBinary(BinOp),
+    IntUnary(UnOp),
+    IntCmp,
+    FpBinary(BinOp),
+    FpUnary(UnOp),
+    FpCmp,
+    Load,
+    Store,
+    Alloca,
+    Gep,
+    Select,
+    Cast,
+    Call,
+    CallLib(LibCall),
+    Phi,
+}
+
+/// Coarse instruction classes.
+///
+/// * The **feature miner** (§3.1.1) counts these to compute the density
+///   features `Mem-Dens`, `Int-Dens`, `FP-Dens`, `IO-Dens`, `Locks-Dens`.
+/// * The **cost model** (`astro-hw`) assigns per-class CPIs that differ
+///   between big and LITTLE cores — the asymmetry the scheduler exploits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Integer ALU work (arith, logic, compares, address arithmetic,
+    /// casts, selects, phis).
+    IntAlu,
+    /// Integer multiply/divide (separately costed: much slower on LITTLE).
+    IntMulDiv,
+    /// Floating-point add/sub/compare.
+    FpAlu,
+    /// Floating-point multiply/divide (and libm calls).
+    FpMulDiv,
+    /// Memory access (loads, stores, allocas, memcpy).
+    Mem,
+    /// Control flow (branches are costed via the terminator).
+    Control,
+    /// Call overhead (direct calls and non-blocking library calls).
+    CallOverhead,
+}
+
+impl Opcode {
+    /// The coarse class of this opcode.
+    pub fn class(self) -> InstrClass {
+        match self {
+            Opcode::IntBinary(op) => match op {
+                BinOp::Mul | BinOp::Div | BinOp::Rem => InstrClass::IntMulDiv,
+                _ => InstrClass::IntAlu,
+            },
+            Opcode::IntUnary(_) | Opcode::IntCmp => InstrClass::IntAlu,
+            Opcode::FpBinary(op) => match op {
+                BinOp::Mul | BinOp::Div | BinOp::Rem => InstrClass::FpMulDiv,
+                _ => InstrClass::FpAlu,
+            },
+            Opcode::FpUnary(_) | Opcode::FpCmp => InstrClass::FpAlu,
+            Opcode::Load | Opcode::Store | Opcode::Alloca => InstrClass::Mem,
+            Opcode::Gep | Opcode::Select | Opcode::Cast | Opcode::Phi => InstrClass::IntAlu,
+            Opcode::Call => InstrClass::CallOverhead,
+            Opcode::CallLib(lc) => {
+                if lc.is_fp_math() {
+                    InstrClass::FpMulDiv
+                } else if lc == LibCall::Memcpy {
+                    InstrClass::Mem
+                } else {
+                    InstrClass::CallOverhead
+                }
+            }
+        }
+    }
+
+    /// Is this opcode integer arithmetic/logic (the numerator of
+    /// `Int-Dens`)?
+    #[inline]
+    pub fn is_int_arith(self) -> bool {
+        matches!(
+            self,
+            Opcode::IntBinary(_) | Opcode::IntUnary(_) | Opcode::IntCmp | Opcode::Gep
+        )
+    }
+
+    /// Is this opcode floating-point arithmetic/logic (the numerator of
+    /// `FP-Dens`)?
+    #[inline]
+    pub fn is_fp_arith(self) -> bool {
+        match self {
+            Opcode::FpBinary(_) | Opcode::FpUnary(_) | Opcode::FpCmp => true,
+            Opcode::CallLib(lc) => lc.is_fp_math(),
+            _ => false,
+        }
+    }
+
+    /// Is this opcode a memory access (the numerator of `Mem-Dens`)?
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, Opcode::Load | Opcode::Store | Opcode::Alloca)
+            || matches!(self, Opcode::CallLib(LibCall::Memcpy))
+    }
+
+    /// Is this opcode an I/O library call (the numerator of `IO-Dens`)?
+    #[inline]
+    pub fn is_io(self) -> bool {
+        matches!(self, Opcode::CallLib(lc) if lc.is_io())
+    }
+
+    /// Is this opcode a lock operation (the numerator of `Locks-Dens`)?
+    #[inline]
+    pub fn is_lock(self) -> bool {
+        matches!(self, Opcode::CallLib(lc) if lc.is_lock())
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Opcode::IntBinary(op) => write!(f, "i{}", binop_name(*op)),
+            Opcode::IntUnary(UnOp::Neg) => write!(f, "ineg"),
+            Opcode::IntUnary(UnOp::Not) => write!(f, "inot"),
+            Opcode::IntCmp => write!(f, "icmp"),
+            Opcode::FpBinary(op) => write!(f, "f{}", binop_name(*op)),
+            Opcode::FpUnary(UnOp::Neg) => write!(f, "fneg"),
+            Opcode::FpUnary(UnOp::Not) => write!(f, "fnot"),
+            Opcode::FpCmp => write!(f, "fcmp"),
+            Opcode::Load => write!(f, "load"),
+            Opcode::Store => write!(f, "store"),
+            Opcode::Alloca => write!(f, "alloca"),
+            Opcode::Gep => write!(f, "gep"),
+            Opcode::Select => write!(f, "select"),
+            Opcode::Cast => write!(f, "cast"),
+            Opcode::Call => write!(f, "call"),
+            Opcode::CallLib(lc) => write!(f, "call @{lc}"),
+            Opcode::Phi => write!(f, "phi"),
+        }
+    }
+}
+
+fn binop_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Rem => "rem",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn muldiv_costed_separately() {
+        assert_eq!(Opcode::IntBinary(BinOp::Mul).class(), InstrClass::IntMulDiv);
+        assert_eq!(Opcode::IntBinary(BinOp::Add).class(), InstrClass::IntAlu);
+        assert_eq!(Opcode::FpBinary(BinOp::Div).class(), InstrClass::FpMulDiv);
+        assert_eq!(Opcode::FpBinary(BinOp::Sub).class(), InstrClass::FpAlu);
+    }
+
+    #[test]
+    fn density_predicates_are_disjoint_for_arith() {
+        let int = Opcode::IntBinary(BinOp::Add);
+        let fp = Opcode::FpBinary(BinOp::Add);
+        assert!(int.is_int_arith() && !int.is_fp_arith() && !int.is_mem());
+        assert!(fp.is_fp_arith() && !fp.is_int_arith() && !fp.is_mem());
+    }
+
+    #[test]
+    fn libcall_classification_flows_through() {
+        assert!(Opcode::CallLib(LibCall::ReadFile).is_io());
+        assert!(Opcode::CallLib(LibCall::MutexLock).is_lock());
+        assert!(Opcode::CallLib(LibCall::MathF64).is_fp_arith());
+        assert!(Opcode::CallLib(LibCall::Memcpy).is_mem());
+        assert_eq!(
+            Opcode::CallLib(LibCall::BarrierWait).class(),
+            InstrClass::CallOverhead
+        );
+    }
+
+    #[test]
+    fn gep_counts_as_int_arith_like_llvm() {
+        assert!(Opcode::Gep.is_int_arith());
+        assert_eq!(Opcode::Gep.class(), InstrClass::IntAlu);
+    }
+}

@@ -1,0 +1,194 @@
+//! Textual IR printer (LLVM-assembly flavoured), for debugging workloads
+//! and inspecting what instrumentation passes inserted.
+
+use crate::block::{BranchBehavior, Terminator};
+use crate::function::Function;
+use crate::instruction::{CmpPred, Constant, Instr, InstrKind, Value};
+use crate::module::Module;
+use std::fmt::Write;
+
+/// Render a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; module {}", m.name);
+    if let Some(e) = m.entry {
+        let _ = writeln!(out, "; entry @{}", m.function(e).name);
+    }
+    for (_, f) in m.iter() {
+        out.push('\n');
+        out.push_str(&print_function(f));
+    }
+    out
+}
+
+/// Render one function.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{t} %arg{i}"))
+        .collect();
+    let _ = writeln!(
+        out,
+        "define {} @{}({}){} {{",
+        f.ret_ty,
+        f.name,
+        params.join(", "),
+        if f.mangled { " ; mangled" } else { "" }
+    );
+    for b in &f.blocks {
+        let _ = writeln!(out, "{}:  ; {}", b.id, b.label);
+        for ins in &b.instrs {
+            let _ = writeln!(out, "  {}", fmt_instr(ins));
+        }
+        let _ = writeln!(out, "  {}", fmt_term(&b.term));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn fmt_value(v: &Value) -> String {
+    match v {
+        Value::Const(Constant::Int(i)) => format!("{i}"),
+        Value::Const(Constant::Float(x)) => format!("{x:?}"),
+        Value::Const(Constant::FuncAddr(f)) => format!("{f}"),
+        Value::Reg(id) => format!("{id}"),
+        Value::Arg(i) => format!("%arg{i}"),
+    }
+}
+
+fn fmt_pred(p: CmpPred) -> &'static str {
+    match p {
+        CmpPred::Eq => "eq",
+        CmpPred::Ne => "ne",
+        CmpPred::Lt => "lt",
+        CmpPred::Le => "le",
+        CmpPred::Gt => "gt",
+        CmpPred::Ge => "ge",
+    }
+}
+
+fn fmt_instr(ins: &Instr) -> String {
+    let lhs = match ins.result {
+        Some(r) => format!("{r} = "),
+        None => String::new(),
+    };
+    let body = match &ins.kind {
+        InstrKind::Binary { ty, lhs: a, rhs: b, .. } => {
+            format!("{} {ty} {}, {}", ins.opcode(), fmt_value(a), fmt_value(b))
+        }
+        InstrKind::Unary { ty, operand, .. } => {
+            format!("{} {ty} {}", ins.opcode(), fmt_value(operand))
+        }
+        InstrKind::Cmp { pred, ty, lhs: a, rhs: b } => format!(
+            "{} {} {ty} {}, {}",
+            ins.opcode(),
+            fmt_pred(*pred),
+            fmt_value(a),
+            fmt_value(b)
+        ),
+        InstrKind::Load { ty } => format!("load {ty}"),
+        InstrKind::Store { ty, value } => format!("store {ty} {}", fmt_value(value)),
+        InstrKind::Alloca { ty, count } => format!("alloca {ty} x {count}"),
+        InstrKind::Gep { base, offset } => {
+            format!("gep {}, {}", fmt_value(base), fmt_value(offset))
+        }
+        InstrKind::Select { cond, a, b } => format!(
+            "select {}, {}, {}",
+            fmt_value(cond),
+            fmt_value(a),
+            fmt_value(b)
+        ),
+        InstrKind::Cast { from, to, value, .. } => {
+            format!("cast {} : {from} -> {to}", fmt_value(value))
+        }
+        InstrKind::Call { callee, args } => format!(
+            "call {callee}({})",
+            args.iter().map(fmt_value).collect::<Vec<_>>().join(", ")
+        ),
+        InstrKind::CallLib { callee, args } => format!(
+            "call @{callee}({})",
+            args.iter().map(fmt_value).collect::<Vec<_>>().join(", ")
+        ),
+        InstrKind::Phi { incomings } => {
+            let parts: Vec<String> = incomings
+                .iter()
+                .map(|(b, v)| format!("[{b}, {}]", fmt_value(v)))
+                .collect();
+            format!("phi {}", parts.join(", "))
+        }
+    };
+    format!("{lhs}{body}")
+}
+
+fn fmt_term(t: &Terminator) -> String {
+    match t {
+        Terminator::Br { target } => format!("br {target}"),
+        Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+            behavior,
+        } => {
+            let beh = match behavior {
+                BranchBehavior::Prob(p) => format!("p={p}"),
+                BranchBehavior::Counted(n) => format!("count={n}"),
+            };
+            format!(
+                "condbr {} ? {then_bb} : {else_bb}  ; {beh}",
+                fmt_value(cond)
+            )
+        }
+        Terminator::Ret { value: Some(v) } => format!("ret {}", fmt_value(v)),
+        Terminator::Ret { value: None } => "ret void".to_string(),
+        Terminator::Unreachable => "unreachable".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::libcall::LibCall;
+    use crate::types::Ty;
+
+    #[test]
+    fn printed_function_mentions_blocks_and_calls() {
+        let mut b = FunctionBuilder::new("kernel", Ty::Void);
+        b.counted_loop(16, |b| {
+            let x = b.load(Ty::F64);
+            b.fmul(Ty::F64, x, x);
+        });
+        b.call_lib(LibCall::BarrierWait, &[crate::Value::int(0)]);
+        b.ret(None);
+        let text = print_function(&b.finish());
+        assert!(text.contains("define void @kernel()"));
+        assert!(text.contains("bb0:"));
+        assert!(text.contains("load f64"));
+        assert!(text.contains("call @barrier_wait(0)"));
+        assert!(text.contains("count=16"));
+        assert!(text.contains("ret void"));
+    }
+
+    #[test]
+    fn printed_module_lists_entry() {
+        let mut m = Module::new("demo");
+        let mut b = FunctionBuilder::new("main", Ty::Void);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        let text = print_module(&m);
+        assert!(text.contains("; module demo"));
+        assert!(text.contains("; entry @main"));
+    }
+
+    #[test]
+    fn mangled_marker_printed() {
+        let mut b = FunctionBuilder::new("cxx", Ty::Void);
+        b.mangled();
+        b.ret(None);
+        assert!(print_function(&b.finish()).contains("; mangled"));
+    }
+}

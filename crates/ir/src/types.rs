@@ -1,0 +1,102 @@
+//! Value types carried by IR instructions.
+
+use std::fmt;
+
+/// The scalar types of the IR.
+///
+/// Deliberately small: the Astro feature miner only distinguishes *integer*
+/// from *floating-point* operations (`Int-Dens` vs `FP-Dens`, §3.1.1), so a
+/// handful of scalar widths plus a pointer type is all the analyses need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Ty {
+    /// No value (function return type only).
+    Void,
+    /// Single-bit boolean, the result type of comparisons.
+    I1,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// Machine pointer.
+    Ptr,
+}
+
+impl Ty {
+    /// Is this an integer type (including booleans and pointers)?
+    #[inline]
+    pub fn is_int(self) -> bool {
+        matches!(self, Ty::I1 | Ty::I32 | Ty::I64 | Ty::Ptr)
+    }
+
+    /// Is this a floating-point type?
+    #[inline]
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::F32 | Ty::F64)
+    }
+
+    /// Size of a value of this type in bytes (0 for `Void`).
+    #[inline]
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            Ty::Void => 0,
+            Ty::I1 => 1,
+            Ty::I32 | Ty::F32 => 4,
+            Ty::I64 | Ty::F64 | Ty::Ptr => 8,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::Void => "void",
+            Ty::I1 => "i1",
+            Ty::I32 => "i32",
+            Ty::I64 => "i64",
+            Ty::F32 => "f32",
+            Ty::F64 => "f64",
+            Ty::Ptr => "ptr",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_float_partition() {
+        for ty in [Ty::I1, Ty::I32, Ty::I64, Ty::Ptr] {
+            assert!(ty.is_int());
+            assert!(!ty.is_float());
+        }
+        for ty in [Ty::F32, Ty::F64] {
+            assert!(ty.is_float());
+            assert!(!ty.is_int());
+        }
+        assert!(!Ty::Void.is_int());
+        assert!(!Ty::Void.is_float());
+    }
+
+    #[test]
+    fn sizes_match_widths() {
+        assert_eq!(Ty::Void.size_bytes(), 0);
+        assert_eq!(Ty::I1.size_bytes(), 1);
+        assert_eq!(Ty::I32.size_bytes(), 4);
+        assert_eq!(Ty::F32.size_bytes(), 4);
+        assert_eq!(Ty::I64.size_bytes(), 8);
+        assert_eq!(Ty::F64.size_bytes(), 8);
+        assert_eq!(Ty::Ptr.size_bytes(), 8);
+    }
+
+    #[test]
+    fn display_is_lowercase_mnemonic() {
+        assert_eq!(Ty::F64.to_string(), "f64");
+        assert_eq!(Ty::Ptr.to_string(), "ptr");
+    }
+}

@@ -1,0 +1,78 @@
+//! Instruction visitors: the traversal skeleton shared by compiler passes.
+
+use crate::block::BlockId;
+use crate::function::Function;
+use crate::instruction::Instr;
+use crate::module::Module;
+
+/// Visit every instruction of a function together with its block and the
+/// block's loop depth — the shape the feature miner needs.
+pub fn for_each_instr_with_depth<F>(f: &Function, mut visit: F)
+where
+    F: FnMut(BlockId, u32, &Instr),
+{
+    let loops = crate::loops::LoopForest::new(f);
+    for b in &f.blocks {
+        let depth = loops.depth_of(b.id);
+        for ins in &b.instrs {
+            visit(b.id, depth, ins);
+        }
+    }
+}
+
+/// Visit every instruction of every function in the module.
+pub fn for_each_instr_in_module<F>(m: &Module, mut visit: F)
+where
+    F: FnMut(&Function, BlockId, &Instr),
+{
+    for (_, f) in m.iter() {
+        for b in &f.blocks {
+            for ins in &b.instrs {
+                visit(f, b.id, ins);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Ty;
+
+    #[test]
+    fn depth_aware_visit_sees_loop_bodies_at_depth() {
+        let mut b = FunctionBuilder::new("f", Ty::Void);
+        b.load(Ty::I64); // depth 0
+        b.counted_loop(4, |b| {
+            b.load(Ty::I64); // depth 1
+            b.counted_loop(4, |b| {
+                b.load(Ty::I64); // depth 2
+            });
+        });
+        b.ret(None);
+        let f = b.finish();
+        let mut seen = Vec::new();
+        for_each_instr_with_depth(&f, |_, d, ins| {
+            if matches!(ins.opcode(), crate::Opcode::Load) {
+                seen.push(d);
+            }
+        });
+        seen.sort();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn module_visit_counts_all_functions() {
+        let mut m = Module::new("m");
+        for name in ["a", "b", "c"] {
+            let mut b = FunctionBuilder::new(name, Ty::Void);
+            b.load(Ty::I32);
+            b.ret(None);
+            m.add_function(b.finish());
+        }
+        let mut count = 0;
+        for_each_instr_in_module(&m, |_, _, _| count += 1);
+        assert_eq!(count, 3);
+    }
+}

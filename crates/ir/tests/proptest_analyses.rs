@@ -1,0 +1,159 @@
+//! Property tests for the IR analyses: dominators and natural loops must
+//! satisfy their defining invariants on arbitrary structured programs.
+
+use astro_ir::{
+    BlockId, Cfg, DomTree, FunctionBuilder, LoopForest, Module, Ty, Value,
+};
+use proptest::prelude::*;
+
+/// A little recipe language for random structured functions: the builder
+/// helpers guarantee reducible CFGs, matching the workloads this repo
+/// actually constructs.
+#[derive(Clone, Debug)]
+enum Shape {
+    Straight(u8),
+    Loop(u8, Vec<Shape>),
+    If(Vec<Shape>, Vec<Shape>),
+}
+
+fn shape_strategy(depth: u32) -> impl Strategy<Value = Shape> {
+    let leaf = (1u8..5).prop_map(Shape::Straight);
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            (1u8..8, prop::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(n, body)| Shape::Loop(n, body)),
+            (
+                prop::collection::vec(inner.clone(), 1..3),
+                prop::collection::vec(inner, 1..3)
+            )
+                .prop_map(|(t, e)| Shape::If(t, e)),
+        ]
+    })
+}
+
+fn emit(b: &mut FunctionBuilder, s: &Shape) {
+    match s {
+        Shape::Straight(n) => {
+            for _ in 0..*n {
+                let x = b.load(Ty::F64);
+                b.fmul(Ty::F64, x, x);
+            }
+        }
+        Shape::Loop(n, body) => {
+            b.counted_loop(*n as u64, |b| {
+                for s in body {
+                    emit(b, s);
+                }
+            });
+        }
+        Shape::If(t, e) => {
+            b.if_else(
+                0.5,
+                |b| {
+                    for s in t {
+                        emit(b, s);
+                    }
+                },
+                |b| {
+                    for s in e {
+                        emit(b, s);
+                    }
+                },
+            );
+        }
+    }
+}
+
+fn build(shapes: &[Shape]) -> astro_ir::Function {
+    let mut b = FunctionBuilder::new("f", Ty::Void);
+    for s in shapes {
+        emit(&mut b, s);
+    }
+    b.store(Ty::I64, Value::int(0));
+    b.ret(None);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated structured functions always verify.
+    #[test]
+    fn structured_functions_verify(shapes in prop::collection::vec(shape_strategy(3), 1..4)) {
+        let f = build(&shapes);
+        let mut m = Module::new("m");
+        let id = m.add_function(f);
+        m.set_entry(id);
+        prop_assert_eq!(m.verify(), Ok(()));
+    }
+
+    /// The entry dominates every reachable block, and every idom edge
+    /// points to a strict dominator.
+    #[test]
+    fn dominator_invariants(shapes in prop::collection::vec(shape_strategy(3), 1..4)) {
+        let f = build(&shapes);
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&cfg);
+        for &b in &cfg.rpo {
+            prop_assert!(dom.dominates(cfg.entry(), b));
+            if b != cfg.entry() {
+                let idom = dom.idom(b).expect("reachable blocks have idoms");
+                prop_assert!(idom != b, "idom must be strict for non-entry");
+                prop_assert!(dom.dominates(idom, b));
+                // The idom dominates every predecessor path: check that each
+                // predecessor is dominated by idom or is the idom itself.
+                for &p in &cfg.preds[b.0 as usize] {
+                    if cfg.is_reachable(p) && !dom.dominates(b, p) {
+                        prop_assert!(dom.dominates(idom, p));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Loop invariants: headers dominate their bodies; bodies are closed
+    /// under predecessors (minus the header); nesting depths are
+    /// consistent with parent links.
+    #[test]
+    fn loop_invariants(shapes in prop::collection::vec(shape_strategy(3), 1..4)) {
+        let f = build(&shapes);
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&cfg);
+        let lf = LoopForest::from_analyses(&cfg, &dom);
+        for l in &lf.loops {
+            for &b in &l.blocks {
+                prop_assert!(dom.dominates(l.header, b),
+                    "header {} must dominate body block {}", l.header, b);
+            }
+            // Depth = 1 + parent chain length.
+            let mut d = 1;
+            let mut p = l.parent;
+            while let Some(pid) = p {
+                d += 1;
+                p = lf.loops[pid.0 as usize].parent;
+            }
+            prop_assert_eq!(l.depth, d);
+            // Parent loop contains this loop's blocks entirely.
+            if let Some(pid) = l.parent {
+                let parent = &lf.loops[pid.0 as usize];
+                for &b in &l.blocks {
+                    prop_assert!(parent.blocks.contains(&b));
+                }
+            }
+        }
+    }
+
+    /// RPO is a permutation of the reachable blocks, entry first.
+    #[test]
+    fn rpo_is_permutation(shapes in prop::collection::vec(shape_strategy(3), 1..4)) {
+        let f = build(&shapes);
+        let cfg = Cfg::new(&f);
+        prop_assert_eq!(cfg.rpo[0], cfg.entry());
+        let mut sorted: Vec<BlockId> = cfg.rpo.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), cfg.rpo.len(), "no duplicates in RPO");
+        // Builder-generated structured code leaves no unreachable blocks.
+        prop_assert_eq!(cfg.rpo.len(), f.blocks.len());
+    }
+}

@@ -1,0 +1,53 @@
+//! Encoding helpers for turning discrete state components into network
+//! inputs.
+
+/// Write a one-hot encoding of `index` (out of `n`) into `out`.
+///
+/// # Panics
+/// Panics if `index >= n`.
+pub fn one_hot(out: &mut Vec<f64>, index: usize, n: usize) {
+    assert!(index < n, "one_hot: {index} out of {n}");
+    let start = out.len();
+    out.resize(start + n, 0.0);
+    out[start + index] = 1.0;
+}
+
+/// Concatenate several one-hot fields into a fresh vector.
+pub fn concat_one_hots(fields: &[(usize, usize)]) -> Vec<f64> {
+    let total: usize = fields.iter().map(|&(_, n)| n).sum();
+    let mut out = Vec::with_capacity(total);
+    for &(idx, n) in fields {
+        one_hot(&mut out, idx, n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_sets_single_position() {
+        let mut v = Vec::new();
+        one_hot(&mut v, 2, 5);
+        assert_eq!(v, vec![0.0, 0.0, 1.0, 0.0, 0.0]);
+        one_hot(&mut v, 0, 2);
+        assert_eq!(v.len(), 7);
+        assert_eq!(v[5], 1.0);
+    }
+
+    #[test]
+    fn concat_builds_astro_state_shape() {
+        // 24 configs ⊕ 4 program phases ⊕ 4 counters × 3 buckets = 40.
+        let v = concat_one_hots(&[(5, 24), (2, 4), (1, 3), (0, 3), (2, 3), (1, 3)]);
+        assert_eq!(v.len(), 40);
+        assert_eq!(v.iter().filter(|&&x| x == 1.0).count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_rejected() {
+        let mut v = Vec::new();
+        one_hot(&mut v, 3, 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! # astro-rl — the reinforcement-learning substrate
+//!
+//! A from-scratch implementation of everything §3.2.2 of the paper needs:
+//! a dense multi-layer neural network with backpropagation ([`nn`]),
+//! gradient-descent optimisers (SGD with momentum, Adam), an experience
+//! replay buffer ([`replay`]), and Q-learning agents — both the
+//! NN-backed agent the paper uses ([`qlearn`]) and a tabular baseline
+//! for ablations ([`tabular`]).
+//!
+//! No external ML dependency is used; gradient correctness is
+//! property-tested against numerical differentiation.
+//!
+//! Terminology note: the paper overloads γ — its *reward* uses
+//! `MIPS^γ/Watt` (a design exponent), while Q-learning's future-reward
+//! factor is a different constant. Here the latter is always called
+//! `discount` to avoid confusion; the reward exponent lives in
+//! `astro-core`.
+
+pub mod encoding;
+pub mod nn;
+pub mod qlearn;
+pub mod replay;
+pub mod tabular;
+pub mod tensor;
+
+pub use encoding::one_hot;
+pub use nn::{Activation, DenseLayer, Mlp, Optimizer};
+pub use qlearn::{QAgent, QConfig};
+pub use replay::{Experience, ReplayBuffer};
+pub use tabular::TabularQ;
+pub use tensor::Matrix;

@@ -1,0 +1,498 @@
+//! Dense multi-layer networks with backpropagation.
+//!
+//! This is the "multi-layer Neural Network (NN)" of §3.2.2: input = an
+//! encoded state, output = one estimated reward per action, trained by
+//! gradient descent on the difference between predicted and observed
+//! rewards. The implementation is a plain fully-connected MLP — small
+//! enough to run thousands of updates per second inside the actuation
+//! loop, which is the regime the paper operates in.
+
+use crate::tensor::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Activation functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// max(0, x) — default hidden activation.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// f(x) = x — output layers of regression heads.
+    Identity,
+}
+
+impl Activation {
+    #[inline]
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the pre-activation `x`.
+    #[inline]
+    fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// Gradient-descent flavours.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Optimizer {
+    /// Stochastic gradient descent with momentum.
+    Sgd {
+        /// Learning rate.
+        lr: f64,
+        /// Momentum coefficient (0 = vanilla SGD).
+        momentum: f64,
+    },
+    /// Adam (Kingma & Ba).
+    Adam {
+        /// Learning rate.
+        lr: f64,
+        /// First-moment decay.
+        beta1: f64,
+        /// Second-moment decay.
+        beta2: f64,
+        /// Numerical floor.
+        eps: f64,
+    },
+}
+
+impl Optimizer {
+    /// Sensible defaults for the Astro actuator.
+    pub fn default_sgd() -> Self {
+        Optimizer::Sgd {
+            lr: 0.01,
+            momentum: 0.9,
+        }
+    }
+
+    /// Adam with standard constants.
+    pub fn default_adam() -> Self {
+        Optimizer::Adam {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// One fully-connected layer with its gradient and optimiser state.
+#[derive(Clone, Debug)]
+pub struct DenseLayer {
+    /// Weights, `out × in`.
+    pub w: Matrix,
+    /// Biases, length `out`.
+    pub b: Vec<f64>,
+    /// Activation applied after the affine map.
+    pub act: Activation,
+    // Forward caches.
+    last_input: Vec<f64>,
+    last_pre: Vec<f64>,
+    // Gradient accumulators.
+    gw: Matrix,
+    gb: Vec<f64>,
+    // Optimiser state (momentum / Adam moments).
+    vw: Matrix,
+    vb: Vec<f64>,
+    mw: Matrix,
+    mb: Vec<f64>,
+    t: u64,
+}
+
+impl DenseLayer {
+    /// He/Xavier-style initialisation scaled by fan-in.
+    pub fn new(inputs: usize, outputs: usize, act: Activation, rng: &mut SmallRng) -> Self {
+        let scale = (2.0 / inputs as f64).sqrt();
+        let w = Matrix::from_fn(outputs, inputs, |_, _| (rng.gen::<f64>() * 2.0 - 1.0) * scale);
+        DenseLayer {
+            w,
+            b: vec![0.0; outputs],
+            act,
+            last_input: vec![0.0; inputs],
+            last_pre: vec![0.0; outputs],
+            gw: Matrix::zeros(outputs, inputs),
+            gb: vec![0.0; outputs],
+            vw: Matrix::zeros(outputs, inputs),
+            vb: vec![0.0; outputs],
+            mw: Matrix::zeros(outputs, inputs),
+            mb: vec![0.0; outputs],
+            t: 0,
+        }
+    }
+
+    fn forward(&mut self, x: &[f64], train: bool) -> Vec<f64> {
+        let mut z = self.w.matvec(x);
+        for (zi, bi) in z.iter_mut().zip(&self.b) {
+            *zi += bi;
+        }
+        if train {
+            self.last_input.copy_from_slice(x);
+            self.last_pre.copy_from_slice(&z);
+        }
+        z.iter().map(|&v| self.act.apply(v)).collect()
+    }
+
+    fn forward_inference(&self, x: &[f64]) -> Vec<f64> {
+        let mut z = self.w.matvec(x);
+        for (zi, bi) in z.iter_mut().zip(&self.b) {
+            *zi += bi;
+        }
+        z.iter().map(|&v| self.act.apply(v)).collect()
+    }
+
+    /// Backprop: given ∂L/∂output, accumulate parameter grads and return
+    /// ∂L/∂input.
+    fn backward(&mut self, grad_out: &[f64]) -> Vec<f64> {
+        // δ = grad_out ⊙ act'(z)
+        let delta: Vec<f64> = grad_out
+            .iter()
+            .zip(&self.last_pre)
+            .map(|(&g, &z)| g * self.act.derivative(z))
+            .collect();
+        self.gw.add_outer(1.0, &delta, &self.last_input);
+        for (gb, &d) in self.gb.iter_mut().zip(&delta) {
+            *gb += d;
+        }
+        self.w.matvec_t(&delta)
+    }
+
+    fn apply(&mut self, opt: Optimizer, batch_scale: f64) {
+        self.t += 1;
+        match opt {
+            Optimizer::Sgd { lr, momentum } => {
+                self.vw.zip_apply(&self.gw, |v, g| {
+                    *v = momentum * *v - lr * g * batch_scale;
+                });
+                let vw = self.vw.clone();
+                self.w.zip_apply(&vw, |w, v| *w += v);
+                for ((vb, &gb), b) in self.vb.iter_mut().zip(&self.gb).zip(&mut self.b) {
+                    *vb = momentum * *vb - lr * gb * batch_scale;
+                    *b += *vb;
+                }
+            }
+            Optimizer::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
+                let t = self.t as f64;
+                let bc1 = 1.0 - beta1.powf(t);
+                let bc2 = 1.0 - beta2.powf(t);
+                for i in 0..self.w.data.len() {
+                    let g = self.gw.data[i] * batch_scale;
+                    self.mw.data[i] = beta1 * self.mw.data[i] + (1.0 - beta1) * g;
+                    self.vw.data[i] = beta2 * self.vw.data[i] + (1.0 - beta2) * g * g;
+                    let mhat = self.mw.data[i] / bc1;
+                    let vhat = self.vw.data[i] / bc2;
+                    self.w.data[i] -= lr * mhat / (vhat.sqrt() + eps);
+                }
+                for i in 0..self.b.len() {
+                    let g = self.gb[i] * batch_scale;
+                    self.mb[i] = beta1 * self.mb[i] + (1.0 - beta1) * g;
+                    self.vb[i] = beta2 * self.vb[i] + (1.0 - beta2) * g * g;
+                    let mhat = self.mb[i] / bc1;
+                    let vhat = self.vb[i] / bc2;
+                    self.b[i] -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            }
+        }
+        self.gw.clear();
+        self.gb.fill(0.0);
+    }
+
+    fn zero_grads(&mut self) {
+        self.gw.clear();
+        self.gb.fill(0.0);
+    }
+}
+
+/// A fully-connected multi-layer perceptron.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+}
+
+impl Mlp {
+    /// `sizes = [in, h1, …, out]`; hidden layers use `hidden_act`, the
+    /// output layer is linear (regression head).
+    pub fn new(sizes: &[usize], hidden_act: Activation, seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = sizes.len() - 1;
+        let layers = (0..n)
+            .map(|i| {
+                let act = if i + 1 == n {
+                    Activation::Identity
+                } else {
+                    hidden_act
+                };
+                DenseLayer::new(sizes[i], sizes[i + 1], act, &mut rng)
+            })
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].w.cols
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().unwrap().w.rows
+    }
+
+    /// Forward pass caching intermediates for a later [`Mlp::backward`].
+    pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        for l in &mut self.layers {
+            cur = l.forward(&cur, true);
+        }
+        cur
+    }
+
+    /// Forward pass without caches (action selection, target networks).
+    pub fn forward_inference(&self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        for l in &self.layers {
+            cur = l.forward_inference(&cur);
+        }
+        cur
+    }
+
+    /// Accumulate gradients for ∂L/∂output `grad_out` (w.r.t. the most
+    /// recent [`Mlp::forward`]).
+    pub fn backward(&mut self, grad_out: &[f64]) {
+        let mut g = grad_out.to_vec();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+    }
+
+    /// Apply accumulated gradients (scaled by `1/batch`) and reset them.
+    pub fn step(&mut self, opt: Optimizer, batch: usize) {
+        let scale = 1.0 / batch.max(1) as f64;
+        for l in &mut self.layers {
+            l.apply(opt, scale);
+        }
+    }
+
+    /// Drop any accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grads();
+        }
+    }
+
+    /// One MSE regression step on a single (x, target) pair; returns the
+    /// loss before the update.
+    pub fn train_mse(&mut self, x: &[f64], target: &[f64], opt: Optimizer) -> f64 {
+        let y = self.forward(x);
+        let grad: Vec<f64> = y
+            .iter()
+            .zip(target)
+            .map(|(&yi, &ti)| 2.0 * (yi - ti))
+            .collect();
+        let loss: f64 = y
+            .iter()
+            .zip(target)
+            .map(|(&yi, &ti)| (yi - ti) * (yi - ti))
+            .sum();
+        self.backward(&grad);
+        self.step(opt, 1);
+        loss
+    }
+
+    /// Copy all parameters from `other` (target-network sync).
+    pub fn copy_params_from(&mut self, other: &Mlp) {
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            a.w = b.w.clone();
+            a.b = b.b.clone();
+        }
+    }
+
+    /// Flatten all parameters (testing / diagnostics).
+    pub fn params(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for l in &self.layers {
+            out.extend_from_slice(&l.w.data);
+            out.extend_from_slice(&l.b);
+        }
+        out
+    }
+
+    /// Overwrite all parameters from a flat slice (inverse of
+    /// [`Mlp::params`]).
+    pub fn set_params(&mut self, flat: &[f64]) {
+        let mut i = 0;
+        for l in &mut self.layers {
+            let nw = l.w.data.len();
+            l.w.data.copy_from_slice(&flat[i..i + nw]);
+            i += nw;
+            let nb = l.b.len();
+            l.b.copy_from_slice(&flat[i..i + nb]);
+            i += nb;
+        }
+        assert_eq!(i, flat.len(), "parameter count mismatch");
+    }
+
+    /// Flatten all accumulated gradients in [`Mlp::params`] order.
+    pub fn grads(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for l in &self.layers {
+            out.extend_from_slice(&l.gw.data);
+            out.extend_from_slice(&l.gb);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mut net = Mlp::new(&[4, 8, 3], Activation::Relu, 1);
+        assert_eq!(net.input_dim(), 4);
+        assert_eq!(net.output_dim(), 3);
+        let y = net.forward(&[0.1, -0.2, 0.3, 0.4]);
+        assert_eq!(y.len(), 3);
+        let y2 = net.forward_inference(&[0.1, -0.2, 0.3, 0.4]);
+        assert_eq!(y, y2, "train and inference forwards agree");
+    }
+
+    #[test]
+    fn learns_a_linear_map() {
+        // y = [x0 + x1, x0 − x1] is representable; SGD should fit it.
+        let mut net = Mlp::new(&[2, 16, 2], Activation::Tanh, 7);
+        let opt = Optimizer::Adam {
+            lr: 3e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..8000 {
+            let x = [rng.gen::<f64>() * 2.0 - 1.0, rng.gen::<f64>() * 2.0 - 1.0];
+            let t = [x[0] + x[1], x[0] - x[1]];
+            net.train_mse(&x, &t, opt);
+        }
+        let mut worst = 0.0f64;
+        for _ in 0..100 {
+            let x = [rng.gen::<f64>() * 2.0 - 1.0, rng.gen::<f64>() * 2.0 - 1.0];
+            let y = net.forward_inference(&x);
+            worst = worst.max((y[0] - (x[0] + x[1])).abs());
+            worst = worst.max((y[1] - (x[0] - x[1])).abs());
+        }
+        assert!(worst < 0.1, "worst-case error {worst}");
+    }
+
+    #[test]
+    fn target_sync_copies_everything() {
+        let mut a = Mlp::new(&[3, 5, 2], Activation::Relu, 1);
+        let mut b = Mlp::new(&[3, 5, 2], Activation::Relu, 2);
+        assert_ne!(a.params(), b.params());
+        b.copy_params_from(&a);
+        assert_eq!(a.params(), b.params());
+        // Training `a` afterwards must not affect `b`.
+        a.train_mse(&[1.0, 2.0, 3.0], &[0.0, 0.0], Optimizer::default_sgd());
+        assert_ne!(a.params(), b.params());
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let mut net = Mlp::new(&[2, 4, 1], Activation::Relu, 5);
+        let p = net.params();
+        let mut q = p.clone();
+        for v in &mut q {
+            *v += 0.5;
+        }
+        net.set_params(&q);
+        assert_eq!(net.params(), q);
+        net.set_params(&p);
+        assert_eq!(net.params(), p);
+    }
+
+    #[test]
+    fn gradient_matches_numerical() {
+        // Central-difference check of backprop on a small net.
+        let mut net = Mlp::new(&[3, 6, 4, 2], Activation::Tanh, 11);
+        let x = [0.3, -0.5, 0.9];
+        let target = [0.2, -0.1];
+        let loss_fn = |net: &Mlp, x: &[f64], t: &[f64]| -> f64 {
+            let y = net.forward_inference(x);
+            y.iter().zip(t).map(|(&a, &b)| (a - b) * (a - b)).sum()
+        };
+        // Analytic gradients.
+        net.zero_grads();
+        let y = net.forward(&x);
+        let grad: Vec<f64> = y
+            .iter()
+            .zip(&target)
+            .map(|(&a, &b)| 2.0 * (a - b))
+            .collect();
+        net.backward(&grad);
+        let analytic = net.grads();
+        // Numerical gradients.
+        let p0 = net.params();
+        let h = 1e-6;
+        let mut max_rel = 0.0f64;
+        for i in 0..p0.len() {
+            let mut p = p0.clone();
+            p[i] += h;
+            net.set_params(&p);
+            let lp = loss_fn(&net, &x, &target);
+            p[i] -= 2.0 * h;
+            net.set_params(&p);
+            let lm = loss_fn(&net, &x, &target);
+            let num = (lp - lm) / (2.0 * h);
+            let denom = num.abs().max(analytic[i].abs()).max(1e-8);
+            max_rel = max_rel.max((num - analytic[i]).abs() / denom);
+        }
+        assert!(max_rel < 1e-4, "max relative gradient error {max_rel}");
+    }
+
+    #[test]
+    fn relu_kills_negative_gradients() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(-3.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(3.0), 1.0);
+    }
+
+    #[test]
+    fn deterministic_init_by_seed() {
+        let a = Mlp::new(&[4, 8, 2], Activation::Relu, 42);
+        let b = Mlp::new(&[4, 8, 2], Activation::Relu, 42);
+        let c = Mlp::new(&[4, 8, 2], Activation::Relu, 43);
+        assert_eq!(a.params(), b.params());
+        assert_ne!(a.params(), c.params());
+    }
+}

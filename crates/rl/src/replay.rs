@@ -1,0 +1,125 @@
+//! Experience replay: the "Experience" store of Figure 7.
+//!
+//! The actuator pushes `(state, action, reward, next state)` tuples; the
+//! learner samples minibatches uniformly. A bounded ring buffer keeps
+//! memory constant over arbitrarily long runs.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One transition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Experience {
+    /// Encoded state at checkpoint `i−1`.
+    pub state: Vec<f64>,
+    /// Action taken (configuration index chosen).
+    pub action: usize,
+    /// Reward observed after the action.
+    pub reward: f64,
+    /// Encoded state at checkpoint `i`.
+    pub next_state: Vec<f64>,
+    /// True when `next_state` ended the episode (program finished).
+    pub terminal: bool,
+}
+
+/// Bounded uniform-sampling replay buffer.
+#[derive(Clone, Debug)]
+pub struct ReplayBuffer {
+    buf: Vec<Experience>,
+    capacity: usize,
+    next: usize,
+}
+
+impl ReplayBuffer {
+    /// Buffer holding at most `capacity` transitions.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        ReplayBuffer {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+        }
+    }
+
+    /// Store a transition, evicting the oldest once full.
+    pub fn push(&mut self, e: Experience) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(e);
+        } else {
+            self.buf[self.next] = e;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Sample `n` transitions uniformly with replacement.
+    pub fn sample<'a>(&'a self, n: usize, rng: &mut SmallRng) -> Vec<&'a Experience> {
+        assert!(!self.is_empty(), "cannot sample an empty buffer");
+        (0..n)
+            .map(|_| &self.buf[rng.gen_range(0..self.buf.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn exp(tag: f64) -> Experience {
+        Experience {
+            state: vec![tag],
+            action: 0,
+            reward: tag,
+            next_state: vec![tag + 1.0],
+            terminal: false,
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut rb = ReplayBuffer::new(3);
+        for i in 0..5 {
+            rb.push(exp(i as f64));
+        }
+        assert_eq!(rb.len(), 3);
+        // Oldest (0, 1) evicted; rewards present are {2, 3, 4}.
+        let rewards: Vec<f64> = rb.buf.iter().map(|e| e.reward).collect();
+        assert!(rewards.contains(&2.0));
+        assert!(rewards.contains(&3.0));
+        assert!(rewards.contains(&4.0));
+    }
+
+    #[test]
+    fn sampling_uniform_ish() {
+        let mut rb = ReplayBuffer::new(4);
+        for i in 0..4 {
+            rb.push(exp(i as f64));
+        }
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for e in rb.sample(4000, &mut rng) {
+            counts[e.reward as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700, "uniform-ish sampling, got {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn sampling_empty_panics() {
+        let rb = ReplayBuffer::new(2);
+        let mut rng = SmallRng::seed_from_u64(0);
+        rb.sample(1, &mut rng);
+    }
+}

@@ -1,0 +1,120 @@
+//! # astro-workloads — synthetic Parsec & Rodinia programs
+//!
+//! The paper evaluates Astro on Parsec and Rodinia benchmarks. Those C
+//! programs are not available to this reproduction, so each is replaced
+//! by a synthetic program in the Astro IR whose *scheduling-relevant*
+//! structure mirrors the original's published characterisation:
+//! instruction mix (integer vs floating point vs memory), working-set
+//! size and access pattern, parallelism degree and scaling behaviour,
+//! synchronisation style (barriers per timestep, lock-protected critical
+//! sections, pipeline hand-offs) and I/O phases. Absolute durations are
+//! scaled down (milliseconds instead of seconds) so exhaustive
+//! 24-configuration sweeps stay tractable; checkpoint intervals scale
+//! with them (see EXPERIMENTS.md).
+//!
+//! Every builder takes an [`InputSize`] mirroring Parsec's input classes
+//! (`simsmall` is what Figure 1 uses) and returns a verified
+//! [`astro_ir::Module`].
+
+pub mod matmul;
+pub mod parsec;
+pub mod rodinia;
+pub mod spec;
+
+pub use spec::InputSize;
+
+use astro_ir::Module;
+
+/// A named workload builder.
+#[derive(Clone, Copy)]
+pub struct Workload {
+    /// Canonical (paper) name.
+    pub name: &'static str,
+    /// Suite it mimics.
+    pub suite: &'static str,
+    /// Builder.
+    pub build: fn(InputSize) -> Module,
+}
+
+/// Every workload in the repository, in a stable order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload { name: "matmul-demo", suite: "demo", build: matmul::build },
+        Workload { name: "blackscholes", suite: "parsec", build: parsec::blackscholes::build },
+        Workload { name: "bodytrack", suite: "parsec", build: parsec::bodytrack::build },
+        Workload { name: "facesim", suite: "parsec", build: parsec::facesim::build },
+        Workload { name: "ferret", suite: "parsec", build: parsec::ferret::build },
+        Workload { name: "fluidanimate", suite: "parsec", build: parsec::fluidanimate::build },
+        Workload { name: "freqmine", suite: "parsec", build: parsec::freqmine::build },
+        Workload { name: "streamcluster", suite: "parsec", build: parsec::streamcluster::build },
+        Workload { name: "swaptions", suite: "parsec", build: parsec::swaptions::build },
+        Workload { name: "vips", suite: "parsec", build: parsec::vips::build },
+        Workload { name: "bfs", suite: "rodinia", build: rodinia::bfs::build },
+        Workload { name: "cfd", suite: "rodinia", build: rodinia::cfd::build },
+        Workload { name: "hotspot", suite: "rodinia", build: rodinia::hotspot::build },
+        Workload { name: "hotspot3d", suite: "rodinia", build: rodinia::hotspot3d::build },
+        Workload { name: "particlefilter", suite: "rodinia", build: rodinia::particlefilter::build },
+        Workload { name: "sradv2", suite: "rodinia", build: rodinia::sradv2::build },
+    ]
+}
+
+/// Look a workload up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// The seven benchmarks of Figure 10 / RQ4, paper order.
+pub fn figure10_set() -> Vec<Workload> {
+    ["hotspot3d", "cfd", "hotspot", "sradv2", "particlefilter", "bfs", "swaptions"]
+        .iter()
+        .map(|n| by_name(n).expect("known workload"))
+        .collect()
+}
+
+/// The seven PARSEC applications of Figure 4.
+pub fn figure4_set() -> Vec<Workload> {
+    ["blackscholes", "bodytrack", "facesim", "ferret", "streamcluster", "vips", "freqmine"]
+        .iter()
+        .map(|n| by_name(n).expect("known workload"))
+        .collect()
+}
+
+/// The eight benchmarks of Figure 11 (code size).
+pub fn figure11_set() -> Vec<Workload> {
+    ["hotspot3d", "cfd", "hotspot", "particlefilter", "swaptions", "bfs", "fluidanimate", "sradv2"]
+        .iter()
+        .map(|n| by_name(n).expect("known workload"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_verify() {
+        for w in all() {
+            let m = (w.build)(InputSize::Test);
+            assert_eq!(m.verify(), Ok(()), "{} must verify", w.name);
+            assert!(m.entry.is_some());
+        }
+    }
+
+    #[test]
+    fn registry_lookup() {
+        assert!(by_name("freqmine").is_some());
+        assert!(by_name("nonexistent").is_none());
+        assert_eq!(figure10_set().len(), 7);
+        assert_eq!(figure4_set().len(), 7);
+        assert_eq!(figure11_set().len(), 8);
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = all().iter().map(|w| w.name).collect();
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+}

@@ -1,0 +1,62 @@
+//! blackscholes — option pricing with the Black–Scholes PDE.
+//!
+//! Characterisation carried over: the smallest PARSEC workload;
+//! embarrassingly parallel, FP-dominated (lots of `exp`/`log`/`sqrt`
+//! libm traffic), tiny cache-resident working set, no synchronisation
+//! inside the pricing loop. Low total work means fixed small
+//! configurations already serve it well (its Figure 4 position).
+
+use crate::spec::{fp_montecarlo_iter, spawn_join, InputSize};
+use astro_ir::{FunctionBuilder, LibCall, MemBehavior, Module, Ty};
+
+const THREADS: u32 = 8;
+
+/// Build blackscholes.
+pub fn build(size: InputSize) -> Module {
+    let options = size.iters(16_000);
+    let mut m = Module::new("blackscholes");
+
+    let mut price = FunctionBuilder::new("BlkSchlsEqEuroNoDiv", Ty::Void);
+    price.mem_behavior(MemBehavior::streaming(size.bytes(256 * 1024)));
+    price.counted_loop(options, |b| {
+        // CNDF evaluations: libm + multiply chains.
+        fp_montecarlo_iter(b);
+        fp_montecarlo_iter(b);
+        let s = b.load(Ty::F64);
+        let x = b.fmul(Ty::F64, s, s);
+        b.store(Ty::F64, x);
+    });
+    price.ret(None);
+    let price_fn = m.add_function(price.finish());
+
+    let mut w = FunctionBuilder::new("worker", Ty::Void);
+    // The real benchmark reprices the portfolio NUM_RUNS times.
+    w.counted_loop(5, |b| {
+        b.call(price_fn, &[]);
+    });
+    w.ret(None);
+    let worker = m.add_function(w.finish());
+
+    let mut main = FunctionBuilder::new("main", Ty::Void);
+    main.call_lib(LibCall::ReadFile, &[]);
+    spawn_join(&mut main, worker, THREADS);
+    main.call_lib(LibCall::WriteFile, &[]);
+    main.ret(None);
+    crate::spec::finish(m, main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_compiler::{extract_function_features, PhaseMap, ProgramPhase};
+
+    #[test]
+    fn fp_bound_pricing_kernel() {
+        let m = build(InputSize::Test);
+        let pm = PhaseMap::compute(&m);
+        let f = m.function_by_name("BlkSchlsEqEuroNoDiv").unwrap();
+        assert_eq!(pm.phase(f), ProgramPhase::CpuBound);
+        let fv = extract_function_features(m.function(f));
+        assert!(fv.fp_dens > fv.int_dens);
+    }
+}

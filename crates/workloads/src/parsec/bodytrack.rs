@@ -1,0 +1,87 @@
+//! bodytrack — computer-vision body tracking (annealed particle filter
+//! over camera images).
+//!
+//! Characterisation carried over: frame-iterated mix of integer image
+//! processing (edge maps) and FP likelihood evaluation; medium working
+//! set; a barrier per annealing layer; per-frame image loads from disk.
+//! The phase alternation (I/O → int → fp) makes it a mid-field citizen
+//! of Figure 4.
+
+use crate::spec::{barrier, fp_stencil_iter, int_chase_iter, spawn_join, InputSize};
+use astro_ir::{FunctionBuilder, LibCall, MemBehavior, Module, Ty, Value};
+
+const THREADS: u32 = 6;
+
+/// Build bodytrack.
+pub fn build(size: InputSize) -> Module {
+    let frames = size.iters(4);
+    let particles = size.iters(2_500);
+    let mut m = Module::new("bodytrack");
+
+    // Edge-map computation: integer pixel work, streaming rows.
+    let mut edge = FunctionBuilder::new("GradientMagThreshold", Ty::Void);
+    edge.mem_behavior(MemBehavior::streaming(size.bytes(4 * 1024 * 1024)));
+    edge.counted_loop(particles, |b| {
+        let p = b.load(Ty::I32);
+        let gx = b.isub(Ty::I32, p, Value::int(1));
+        let gy = b.iadd(Ty::I32, p, Value::int(1));
+        let g2 = b.imul(Ty::I32, gx, gx);
+        let h2 = b.imul(Ty::I32, gy, gy);
+        let s = b.iadd(Ty::I32, g2, h2);
+        b.store(Ty::I32, s);
+    });
+    edge.ret(None);
+    let edge_fn = m.add_function(edge.finish());
+
+    // Likelihood: FP per-particle evaluation.
+    let mut like = FunctionBuilder::new("ImageErrorEdge", Ty::Void);
+    like.mem_behavior(MemBehavior::random(size.bytes(2 * 1024 * 1024)));
+    like.counted_loop(particles, |b| {
+        fp_stencil_iter(b);
+        b.call_lib(LibCall::MathF64, &[]);
+    });
+    like.ret(None);
+    let like_fn = m.add_function(like.finish());
+
+    let mut w = FunctionBuilder::new("worker", Ty::Void);
+    w.counted_loop(frames, |b| {
+        b.call(edge_fn, &[]);
+        barrier(b, 30, THREADS);
+        // Annealing layers.
+        b.counted_loop(3, |b| {
+            b.call(like_fn, &[]);
+            barrier(b, 31, THREADS);
+            int_chase_iter(b); // resample bookkeeping
+        });
+    });
+    w.ret(None);
+    let worker = m.add_function(w.finish());
+
+    let mut main = FunctionBuilder::new("main", Ty::Void);
+    main.counted_loop(frames, |b| {
+        b.call_lib(LibCall::ReadFile, &[]); // camera images
+    });
+    spawn_join(&mut main, worker, THREADS);
+    main.call_lib(LibCall::WriteFile, &[]);
+    main.ret(None);
+    crate::spec::finish(m, main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_compiler::{extract_function_features, PhaseMap, ProgramPhase};
+
+    #[test]
+    fn mixed_kernels_classified() {
+        let m = build(InputSize::Test);
+        let pm = PhaseMap::compute(&m);
+        let p = |n: &str| pm.phase(m.function_by_name(n).unwrap());
+        assert_eq!(p("GradientMagThreshold"), ProgramPhase::CpuBound);
+        assert_eq!(p("worker"), ProgramPhase::Blocked);
+        let fv = extract_function_features(
+            m.function(m.function_by_name("GradientMagThreshold").unwrap()),
+        );
+        assert!(fv.int_dens > fv.fp_dens, "edge maps are integer work");
+    }
+}

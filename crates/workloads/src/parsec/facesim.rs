@@ -1,0 +1,86 @@
+//! facesim — physics simulation of a human face model.
+//!
+//! Characterisation carried over: heavyweight FP (finite-element force
+//! computation, iterative solver), the largest working set in PARSEC's
+//! animation group, strided sparse-matrix access, barriers between
+//! solver stages, static partitioning across threads.
+
+use crate::spec::{barrier, fp_stencil_iter, spawn_join, InputSize};
+use astro_ir::{FunctionBuilder, LibCall, MemBehavior, Module, Ty, Value};
+
+const THREADS: u32 = 8;
+
+/// Build facesim.
+pub fn build(size: InputSize) -> Module {
+    let frames = size.iters(3);
+    let elements = size.iters(5_000);
+    let mut m = Module::new("facesim");
+
+    // Element force kernel: dense FP with large strided state.
+    let mut force = FunctionBuilder::new("Update_Position_Based_State", Ty::Void);
+    force.mem_behavior(MemBehavior::strided(size.bytes(24 * 1024 * 1024), 96));
+    force.counted_loop(elements, |b| {
+        fp_stencil_iter(b);
+        fp_stencil_iter(b);
+        fp_stencil_iter(b);
+        let d = b.load(Ty::F64);
+        let inv = b.fdiv(Ty::F64, Value::float(1.0), d);
+        // Stress tensor arithmetic: FP-dense, register-resident.
+        let s1 = b.fmul(Ty::F64, inv, inv);
+        let s2 = b.fadd(Ty::F64, s1, inv);
+        let s3 = b.fmul(Ty::F64, s2, s1);
+        b.fadd(Ty::F64, s3, s2);
+    });
+    force.ret(None);
+    let force_fn = m.add_function(force.finish());
+
+    // Conjugate-gradient step: FP dot products over streamed vectors.
+    let mut cg = FunctionBuilder::new("CG_Iteration", Ty::Void);
+    cg.mem_behavior(MemBehavior::streaming(size.bytes(16 * 1024 * 1024)));
+    cg.counted_loop(elements / 2, |b| {
+        let a = b.load(Ty::F64);
+        let x = b.load(Ty::F64);
+        let p = b.fmul(Ty::F64, a, x);
+        let acc = b.fadd(Ty::F64, p, p);
+        b.fmul(Ty::F64, acc, Value::float(0.99)); // preconditioner scale
+    });
+    cg.ret(None);
+    let cg_fn = m.add_function(cg.finish());
+
+    let mut w = FunctionBuilder::new("worker", Ty::Void);
+    w.counted_loop(frames, |b| {
+        b.call(force_fn, &[]);
+        barrier(b, 40, THREADS);
+        b.counted_loop(4, |b| {
+            b.call(cg_fn, &[]);
+            barrier(b, 41, THREADS);
+        });
+    });
+    w.ret(None);
+    let worker = m.add_function(w.finish());
+
+    let mut main = FunctionBuilder::new("main", Ty::Void);
+    main.call_lib(LibCall::ReadFile, &[]); // face mesh
+    spawn_join(&mut main, worker, THREADS);
+    main.call_lib(LibCall::WriteFile, &[]);
+    main.ret(None);
+    crate::spec::finish(m, main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_compiler::{extract_function_features, PhaseMap, ProgramPhase};
+
+    #[test]
+    fn solver_kernels_fp_bound() {
+        let m = build(InputSize::Test);
+        let pm = PhaseMap::compute(&m);
+        for name in ["Update_Position_Based_State", "CG_Iteration"] {
+            let f = m.function_by_name(name).unwrap();
+            assert_eq!(pm.phase(f), ProgramPhase::CpuBound, "{name}");
+            let fv = extract_function_features(m.function(f));
+            assert!(fv.fp_dens > fv.int_dens, "{name} is FP work");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! ferret — content-based image similarity search.
+//!
+//! Characterisation carried over: a software *pipeline* (segment →
+//! extract → index → rank) with lock-protected queues between stages;
+//! mixed integer (indexing, hashing) and FP (feature extraction,
+//! ranking) stages; per-query image loads. The queue locks create the
+//! lock-contention phases the `Locks-Dens` feature exists for.
+
+use crate::spec::{critical, fp_stencil_iter, int_chase_iter, spawn_join, InputSize};
+use astro_ir::{FunctionBuilder, LibCall, MemBehavior, Module, Ty};
+
+const THREADS: u32 = 4; // one per pipeline stage in the real layout
+
+/// Build ferret.
+pub fn build(size: InputSize) -> Module {
+    let queries = size.iters(120);
+    let mut m = Module::new("ferret");
+
+    // Queue hand-off: small critical section moving a work item.
+    let mut deq = FunctionBuilder::new("queue_dequeue", Ty::Void);
+    critical(&mut deq, 50, |b| {
+        // Pop the head pointer; the section is dominated by the lock
+        // itself, as in the real hand-off.
+        b.load(Ty::I64);
+    });
+    deq.ret(None);
+    let dequeue = m.add_function(deq.finish());
+
+    // Feature extraction: FP over the image.
+    let mut extract = FunctionBuilder::new("image_extract_helper", Ty::Void);
+    extract.mem_behavior(MemBehavior::streaming(size.bytes(2 * 1024 * 1024)));
+    extract.counted_loop(size.iters(600), |b| {
+        fp_stencil_iter(b);
+        b.call_lib(LibCall::MathF64, &[]);
+    });
+    extract.ret(None);
+    let extract_fn = m.add_function(extract.finish());
+
+    // Index probe: integer hashing over a big table.
+    let mut probe = FunctionBuilder::new("cass_table_query", Ty::Void);
+    probe.mem_behavior(MemBehavior::random(size.bytes(16 * 1024 * 1024)));
+    probe.counted_loop(size.iters(800), |b| {
+        int_chase_iter(b);
+    });
+    probe.ret(None);
+    let probe_fn = m.add_function(probe.finish());
+
+    // Rank: FP distance computations on candidates.
+    let mut rank = FunctionBuilder::new("LSH_query_rank", Ty::Void);
+    rank.mem_behavior(MemBehavior::strided(size.bytes(1024 * 1024), 40));
+    rank.counted_loop(size.iters(400), |b| {
+        fp_stencil_iter(b);
+        fp_stencil_iter(b);
+    });
+    rank.ret(None);
+    let rank_fn = m.add_function(rank.finish());
+
+    // Each worker drains queries through the whole pipeline (thread-per-
+    // stage collapsed to thread-per-item: same lock/compute interleaving
+    // at the granularity the monitor sees).
+    let mut w = FunctionBuilder::new("worker", Ty::Void);
+    w.counted_loop(queries / THREADS as u64, |b| {
+        b.call(dequeue, &[]);
+        b.call(extract_fn, &[]);
+        b.call(dequeue, &[]);
+        b.call(probe_fn, &[]);
+        b.call(dequeue, &[]);
+        b.call(rank_fn, &[]);
+    });
+    w.ret(None);
+    let worker = m.add_function(w.finish());
+
+    let mut main = FunctionBuilder::new("main", Ty::Void);
+    main.counted_loop(queries / 8, |b| {
+        b.call_lib(LibCall::ReadFile, &[]); // query images
+    });
+    spawn_join(&mut main, worker, THREADS);
+    main.call_lib(LibCall::WriteFile, &[]);
+    main.ret(None);
+    crate::spec::finish(m, main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_compiler::{extract_function_features, PhaseMap, ProgramPhase};
+
+    #[test]
+    fn queue_handoff_is_lock_dense() {
+        let m = build(InputSize::Test);
+        let pm = PhaseMap::compute(&m);
+        let deq = m.function_by_name("queue_dequeue").unwrap();
+        let fv = extract_function_features(m.function(deq));
+        assert!(fv.locks_dens > 0.3, "got {}", fv.locks_dens);
+        assert_eq!(pm.phase(deq), ProgramPhase::Blocked);
+    }
+
+    #[test]
+    fn stages_have_distinct_mixes() {
+        let m = build(InputSize::Test);
+        let fv = |n: &str| {
+            extract_function_features(m.function(m.function_by_name(n).unwrap()))
+        };
+        assert!(fv("image_extract_helper").fp_dens > fv("cass_table_query").fp_dens);
+        assert!(fv("cass_table_query").int_dens > fv("LSH_query_rank").int_dens);
+    }
+}

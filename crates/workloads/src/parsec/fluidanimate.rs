@@ -1,0 +1,111 @@
+//! fluidanimate — SPH fluid dynamics; the trace-generation program of
+//! §4.1 ("we have produced them only for fluidanimate" / "We used
+//! FluidAnimate to obtain the initial learning parameters").
+//!
+//! Characterisation carried over: timestep-iterated data-parallel
+//! phases with barriers between them; fine-grained locking on cell
+//! lists (the paper's RQ2 observation — "4b4L tends to slowdown
+//! programs at critical sections, due to an excess of conflicts between
+//! threads" — needs these locks to reproduce); FP-dominant force
+//! computation over strided neighbour arrays; a memory-bound grid
+//! rebuild phase. The phase diversity is what gives adaptive policies
+//! room to beat any fixed configuration.
+
+use crate::spec::{barrier, critical, fp_stencil_iter, spawn_join, InputSize};
+use astro_ir::{FunctionBuilder, MemBehavior, Module, Ty, Value};
+
+const THREADS: u32 = 8;
+
+/// Build fluidanimate.
+pub fn build(size: InputSize) -> Module {
+    let timesteps = size.iters(12);
+    let particles_per_thread = size.iters(3_000);
+    let mut m = Module::new("fluidanimate");
+
+    // Force computation: FP stencil over neighbours, strided.
+    let mut forces = FunctionBuilder::new("ComputeForces", Ty::Void);
+    forces.mem_behavior(MemBehavior::strided(size.bytes(6 * 1024 * 1024), 48));
+    forces.counted_loop(particles_per_thread, |b| {
+        fp_stencil_iter(b);
+        fp_stencil_iter(b);
+        let d = b.load(Ty::F64);
+        let r = b.fdiv(Ty::F64, Value::float(1.0), d);
+        b.fmul(Ty::F64, r, r);
+    });
+    forces.ret(None);
+    let compute_forces = m.add_function(forces.finish());
+
+    // Cell-list rebuild: memory-bound, random insertion, lock-protected
+    // bins (the critical sections that throttle 4L4B).
+    let mut rebuild = FunctionBuilder::new("RebuildGrid", Ty::Void);
+    rebuild.mem_behavior(MemBehavior::random(size.bytes(8 * 1024 * 1024)));
+    rebuild.counted_loop(particles_per_thread / 6, |b| {
+        let x = b.load(Ty::I64);
+        let c = b.iadd(Ty::I64, x, Value::int(1));
+        b.store(Ty::I64, c);
+        critical(b, 1, |b| {
+            let h = b.load(Ty::I64);
+            b.store(Ty::I64, h);
+        });
+    });
+    rebuild.ret(None);
+    let rebuild_grid = m.add_function(rebuild.finish());
+
+    // Worker: timestep loop alternating the phases with barriers.
+    let mut w = FunctionBuilder::new("AdvanceFrame", Ty::Void);
+    w.counted_loop(timesteps, |b| {
+        b.call(rebuild_grid, &[]);
+        barrier(b, 10, THREADS);
+        b.call(compute_forces, &[]);
+        barrier(b, 11, THREADS);
+        // Position integration: light FP pass.
+        b.counted_loop(particles_per_thread / 4, |b| {
+            fp_stencil_iter(b);
+        });
+        barrier(b, 12, THREADS);
+    });
+    w.ret(None);
+    let worker = m.add_function(w.finish());
+
+    let mut main = FunctionBuilder::new("main", Ty::Void);
+    main.call_lib(astro_ir::LibCall::ReadFile, &[]); // load particle data
+    spawn_join(&mut main, worker, THREADS);
+    main.call_lib(astro_ir::LibCall::WriteFile, &[]); // write frame
+    main.ret(None);
+    crate::spec::finish(m, main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_compiler::{PhaseMap, ProgramPhase};
+
+    #[test]
+    fn kernel_phases() {
+        let m = build(InputSize::Test);
+        let pm = PhaseMap::compute(&m);
+        let p = |n: &str| pm.phase(m.function_by_name(n).unwrap());
+        assert_eq!(p("ComputeForces"), ProgramPhase::CpuBound);
+        assert_eq!(p("AdvanceFrame"), ProgramPhase::Blocked, "barriers dominate");
+    }
+
+    #[test]
+    fn runs_on_the_machine() {
+        use astro_exec::machine::{Machine, MachineParams};
+        use astro_exec::program::compile;
+        let m = build(InputSize::Test);
+        let prog = compile(&m).unwrap();
+        let board = astro_hw::boards::BoardSpec::odroid_xu4();
+        let machine = Machine::new(&board, MachineParams::default());
+        let mut sched = astro_exec::sched::gts::GtsScheduler::default();
+        let mut hooks = astro_exec::runtime::NullHooks;
+        let r = machine.run(
+            &prog,
+            &mut sched,
+            &mut hooks,
+            astro_hw::config::HwConfig::new(4, 4),
+        );
+        assert!(!r.timed_out);
+        assert!(r.instructions > 10_000);
+    }
+}

@@ -1,0 +1,85 @@
+//! freqmine — FP-growth frequent itemset mining.
+//!
+//! Characterisation carried over: integer-dominated tree construction
+//! and traversal over a large, irregular working set; embarrassingly
+//! parallel over transaction partitions with rare synchronisation.
+//! Figure 1's observation — "Freqmine shows more parallelism than
+//! Streamcluster; therefore, it benefits more from a larger number of
+//! cores" — and its Pareto frontier (0L4B fastest, 4L0B most
+//! energy-efficient) follow from this shape: scalable integer work runs
+//! fine on many LITTLE cores but faster on four bigs.
+
+use crate::spec::{int_chase_iter, spawn_join, InputSize};
+use astro_ir::{FunctionBuilder, LibCall, MemBehavior, Module, Ty, Value};
+
+const THREADS: u32 = 8;
+
+/// Build freqmine.
+pub fn build(size: InputSize) -> Module {
+    let transactions = size.iters(40_000);
+    let mut m = Module::new("freqmine");
+
+    // FP-tree construction: integer hashing + pointer chasing.
+    let mut grow = FunctionBuilder::new("BuildTree", Ty::Void);
+    grow.mem_behavior(MemBehavior::random(size.bytes(12 * 1024 * 1024)));
+    grow.counted_loop(transactions / 2, |b| {
+        int_chase_iter(b);
+        let h = b.load(Ty::I64);
+        let x = b.xor(Ty::I64, h, Value::int(0x9E3779B9));
+        let y = b.shl(Ty::I64, x, Value::int(3));
+        b.store(Ty::I64, y);
+    });
+    grow.ret(None);
+    let build_tree = m.add_function(grow.finish());
+
+    // Mining: conditional-pattern traversal, integer compares dominate.
+    let mut mine = FunctionBuilder::new("MinePatterns", Ty::Void);
+    mine.mem_behavior(MemBehavior::random(size.bytes(8 * 1024 * 1024)));
+    mine.counted_loop(transactions, |b| {
+        int_chase_iter(b);
+        int_chase_iter(b);
+        let c = b.load(Ty::I64);
+        b.and(Ty::I64, c, Value::int(0xFFFF));
+    });
+    mine.ret(None);
+    let mine_patterns = m.add_function(mine.finish());
+
+    let mut w = FunctionBuilder::new("worker", Ty::Void);
+    w.call(build_tree, &[]);
+    w.call(mine_patterns, &[]);
+    w.ret(None);
+    let worker = m.add_function(w.finish());
+
+    let mut main = FunctionBuilder::new("main", Ty::Void);
+    main.call_lib(LibCall::ReadFile, &[]); // transaction database
+    spawn_join(&mut main, worker, THREADS);
+    main.call_lib(LibCall::WriteFile, &[]); // frequent itemsets
+    main.ret(None);
+    crate::spec::finish(m, main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_compiler::{extract_function_features, PhaseMap, ProgramPhase};
+
+    #[test]
+    fn integer_dominated_kernels() {
+        let m = build(InputSize::Test);
+        let pm = PhaseMap::compute(&m);
+        let mine = m.function_by_name("MinePatterns").unwrap();
+        assert_eq!(pm.phase(mine), ProgramPhase::CpuBound);
+        let fv = extract_function_features(m.function(mine));
+        assert!(fv.int_dens > fv.fp_dens, "mining is integer work");
+    }
+
+    #[test]
+    fn no_locks_no_barriers() {
+        let m = build(InputSize::Test);
+        for (_, f) in m.iter() {
+            let fv = extract_function_features(f);
+            assert_eq!(fv.locks_dens, 0.0, "{} must be lock-free", f.name);
+            assert!(!fv.barrier, "{} must be barrier-free", f.name);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Synthetic PARSEC benchmarks.
+//!
+//! Characterisations follow Bienia et al., "The PARSEC Benchmark Suite:
+//! Characterization and Architectural Implications" (PACT'08): each
+//! module's doc comment states the properties carried over.
+
+pub mod blackscholes;
+pub mod bodytrack;
+pub mod facesim;
+pub mod ferret;
+pub mod fluidanimate;
+pub mod freqmine;
+pub mod streamcluster;
+pub mod swaptions;
+pub mod vips;

@@ -1,0 +1,96 @@
+//! streamcluster — online clustering of streaming points.
+//!
+//! Characterisation carried over: memory-bandwidth-bound distance
+//! computations over streaming data, very frequent barriers (the real
+//! program barriers inside `pgain` many times per point batch), and
+//! famously poor parallel scaling. This is why Figure 1 finds tiny
+//! configurations best for it — "the best energy configuration is 0L1B
+//! (this is also the most time efficient configuration)": extra cores
+//! mostly wait at barriers and stream the same saturated memory.
+
+use crate::spec::{barrier, spawn_join, InputSize};
+use astro_ir::{FunctionBuilder, LibCall, MemBehavior, Module, Ty, Value};
+
+const THREADS: u32 = 4;
+
+/// Build streamcluster.
+pub fn build(size: InputSize) -> Module {
+    let batches = size.iters(24);
+    let points_per_batch = size.iters(1_200);
+    let mut m = Module::new("streamcluster");
+
+    // Distance kernel: stream two f32 vectors, accumulate — bandwidth
+    // bound (two loads per flop pair over a DRAM-sized set).
+    let mut dist = FunctionBuilder::new("dist", Ty::Void);
+    dist.mem_behavior(MemBehavior::streaming(size.bytes(24 * 1024 * 1024)));
+    dist.counted_loop(points_per_batch, |b| {
+        let a = b.load(Ty::F32);
+        let c = b.load(Ty::F32);
+        let d = b.fsub(Ty::F32, a, c);
+        let sq = b.fmul(Ty::F32, d, d);
+        b.store(Ty::F32, sq);
+        let a2 = b.load(Ty::F32);
+        let c2 = b.load(Ty::F32);
+        b.fsub(Ty::F32, a2, c2);
+    });
+    dist.ret(None);
+    let dist_fn = m.add_function(dist.finish());
+
+    // pgain: distances bracketed by *many* barriers — the scaling
+    // killer.
+    let mut pgain = FunctionBuilder::new("pgain", Ty::Void);
+    pgain.counted_loop(4, |b| {
+        b.call(dist_fn, &[]);
+        barrier(b, 20, THREADS);
+        // Serial-ish reduction step: tiny integer work.
+        b.counted_loop(32, |b| {
+            let x = b.load(Ty::I64);
+            b.iadd(Ty::I64, x, Value::int(1));
+        });
+        barrier(b, 21, THREADS);
+    });
+    pgain.ret(None);
+    let pgain_fn = m.add_function(pgain.finish());
+
+    let mut w = FunctionBuilder::new("worker", Ty::Void);
+    w.counted_loop(batches, |b| {
+        b.call(pgain_fn, &[]);
+        barrier(b, 22, THREADS);
+    });
+    w.ret(None);
+    let worker = m.add_function(w.finish());
+
+    let mut main = FunctionBuilder::new("main", Ty::Void);
+    main.call_lib(LibCall::ReadFile, &[]);
+    spawn_join(&mut main, worker, THREADS);
+    main.call_lib(LibCall::WriteFile, &[]);
+    main.ret(None);
+    crate::spec::finish(m, main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_compiler::{extract_function_features, PhaseMap, ProgramPhase};
+
+    #[test]
+    fn memory_bound_distance_kernel() {
+        let m = build(InputSize::Test);
+        let fv = extract_function_features(m.function(m.function_by_name("dist").unwrap()));
+        assert!(fv.mem_dens > 0.4, "dist streams memory, got {}", fv.mem_dens);
+    }
+
+    #[test]
+    fn barrier_heavy_control() {
+        let m = build(InputSize::Test);
+        let pm = PhaseMap::compute(&m);
+        assert_eq!(
+            pm.phase(m.function_by_name("pgain").unwrap()),
+            ProgramPhase::Blocked
+        );
+        assert_eq!(
+            pm.phase(m.function_by_name("worker").unwrap()),
+            ProgramPhase::Blocked
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! swaptions — Monte-Carlo pricing of interest-rate swaptions
+//! (Heath–Jarrow–Morton framework).
+//!
+//! Characterisation carried over: pure FP Monte-Carlo simulation with
+//! a modest per-thread working set, static work partitioning and no
+//! synchronisation until the final join. §4.2 notes "the Static version
+//! of Astro tends to avoid using the high-frequency cores, a fact that
+//! leads to slower runtime, but also to less power dissipation" — a
+//! clean compute kernel where the time/energy trade is a pure choice of
+//! cluster, which is exactly what this shape produces.
+
+use crate::spec::{fp_montecarlo_iter, fp_stencil_iter, spawn_join, InputSize};
+use astro_ir::{FunctionBuilder, LibCall, MemBehavior, Module, Ty};
+
+const THREADS: u32 = 8;
+
+/// Build swaptions.
+pub fn build(size: InputSize) -> Module {
+    let trials = size.iters(30_000);
+    let mut m = Module::new("swaptions");
+
+    let mut sim = FunctionBuilder::new("HJM_SimPath_Forward_Blocking", Ty::Void);
+    sim.mem_behavior(MemBehavior::strided(size.bytes(512 * 1024), 32));
+    sim.counted_loop(trials, |b| {
+        fp_montecarlo_iter(b);
+        fp_stencil_iter(b);
+        fp_montecarlo_iter(b);
+    });
+    sim.ret(None);
+    let sim_fn = m.add_function(sim.finish());
+
+    let mut w = FunctionBuilder::new("worker", Ty::Void);
+    w.call(sim_fn, &[]);
+    w.ret(None);
+    let worker = m.add_function(w.finish());
+
+    let mut main = FunctionBuilder::new("main", Ty::Void);
+    main.call_lib(LibCall::ReadFile, &[]);
+    spawn_join(&mut main, worker, THREADS);
+    main.call_lib(LibCall::PrintStr, &[]);
+    main.ret(None);
+    crate::spec::finish(m, main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_compiler::{extract_function_features, PhaseMap, ProgramPhase};
+
+    #[test]
+    fn montecarlo_kernel_is_cpu_bound() {
+        let m = build(InputSize::Test);
+        let pm = PhaseMap::compute(&m);
+        let f = m.function_by_name("HJM_SimPath_Forward_Blocking").unwrap();
+        assert_eq!(pm.phase(f), ProgramPhase::CpuBound);
+        let fv = extract_function_features(m.function(f));
+        assert!(fv.fp_dens > 0.4, "got {}", fv.fp_dens);
+        assert_eq!(fv.locks_dens, 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! vips — image transformation pipeline (VASARI image processing).
+//!
+//! Characterisation carried over: demand-driven image pipeline streaming
+//! tile rows through affine/convolution stages; integer-dominated pixel
+//! arithmetic with bandwidth-bound behaviour on large images; output
+//! written tile by tile.
+
+use crate::spec::{spawn_join, InputSize};
+use astro_ir::{FunctionBuilder, LibCall, MemBehavior, Module, Ty, Value};
+
+const THREADS: u32 = 8;
+
+/// Build vips.
+pub fn build(size: InputSize) -> Module {
+    let tiles = size.iters(60);
+    let pixels_per_tile = size.iters(1_800);
+    let mut m = Module::new("vips");
+
+    // Convolution stage: integer MACs over streamed tile rows.
+    let mut conv = FunctionBuilder::new("conv_gen", Ty::Void);
+    conv.mem_behavior(MemBehavior::streaming(size.bytes(20 * 1024 * 1024)));
+    conv.counted_loop(pixels_per_tile, |b| {
+        let p0 = b.load(Ty::I32);
+        let p1 = b.load(Ty::I32);
+        let w0 = b.imul(Ty::I32, p0, Value::int(3));
+        let w1 = b.imul(Ty::I32, p1, Value::int(5));
+        let s = b.iadd(Ty::I32, w0, w1);
+        let sh = b.shr(Ty::I32, s, Value::int(3));
+        b.store(Ty::I32, sh);
+    });
+    conv.ret(None);
+    let conv_fn = m.add_function(conv.finish());
+
+    // Affine resample: mixed int index math + FP interpolation.
+    let mut affine = FunctionBuilder::new("affine_gen", Ty::Void);
+    affine.mem_behavior(MemBehavior::strided(size.bytes(12 * 1024 * 1024), 28));
+    affine.counted_loop(pixels_per_tile / 2, |b| {
+        let x = b.load(Ty::F32);
+        let y = b.load(Ty::F32);
+        let dx = b.fsub(Ty::F32, x, y);
+        let w = b.fmul(Ty::F32, dx, dx);
+        b.store(Ty::F32, w);
+        let i = b.iadd(Ty::I64, Value::int(0), Value::int(4));
+        b.gep(i, Value::int(16));
+    });
+    affine.ret(None);
+    let affine_fn = m.add_function(affine.finish());
+
+    let mut w = FunctionBuilder::new("worker", Ty::Void);
+    w.counted_loop(tiles / THREADS as u64, |b| {
+        b.call(conv_fn, &[]);
+        b.call(affine_fn, &[]);
+    });
+    w.ret(None);
+    let worker = m.add_function(w.finish());
+
+    let mut main = FunctionBuilder::new("main", Ty::Void);
+    main.call_lib(LibCall::ReadFile, &[]); // source image
+    spawn_join(&mut main, worker, THREADS);
+    main.counted_loop(tiles / 16, |b| {
+        b.call_lib(LibCall::WriteFile, &[]); // tiles out
+    });
+    main.ret(None);
+    crate::spec::finish(m, main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_compiler::{extract_function_features, PhaseMap, ProgramPhase};
+
+    #[test]
+    fn pixel_stages_classified_cpu() {
+        let m = build(InputSize::Test);
+        let pm = PhaseMap::compute(&m);
+        assert_eq!(
+            pm.phase(m.function_by_name("conv_gen").unwrap()),
+            ProgramPhase::CpuBound
+        );
+    }
+
+    #[test]
+    fn convolution_is_integer_pixel_math() {
+        let m = build(InputSize::Test);
+        let fv = extract_function_features(m.function(m.function_by_name("conv_gen").unwrap()));
+        assert!(fv.int_dens > 0.4);
+        assert_eq!(fv.fp_dens, 0.0);
+    }
+}

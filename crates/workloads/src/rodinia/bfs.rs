@@ -1,0 +1,100 @@
+//! bfs — breadth-first search over a large random graph.
+//!
+//! Characterisation carried over: irregular, integer-only frontier
+//! expansion with data-dependent branches; random accesses over an
+//! adjacency structure far larger than the caches; a barrier per BFS
+//! level; memory latency (not bandwidth or FP) is the bottleneck, so
+//! big cores' deep out-of-order windows help much less than their clock
+//! suggests — the classic case where LITTLE cores are competitive.
+
+use crate::spec::{barrier, int_chase_iter, spawn_join, InputSize};
+use astro_ir::{FunctionBuilder, LibCall, MemBehavior, Module, Ty, Value};
+
+const THREADS: u32 = 8;
+
+/// Build bfs.
+pub fn build(size: InputSize) -> Module {
+    let levels = size.iters(10);
+    let nodes_per_level = size.iters(3_000);
+    let mut m = Module::new("bfs");
+
+    // Frontier expansion: pointer chasing with unpredictable branches.
+    let mut expand = FunctionBuilder::new("bfs_kernel", Ty::Void);
+    expand.mem_behavior(MemBehavior::random(size.bytes(40 * 1024 * 1024)));
+    expand.counted_loop(nodes_per_level, |b| {
+        int_chase_iter(b);
+        // Visited check: a genuinely data-dependent branch.
+        b.if_else(
+            0.35,
+            |b| {
+                // Unvisited: mark and enqueue.
+                let v = b.load(Ty::I64);
+                let nv = b.or(Ty::I64, v, Value::int(1));
+                b.store(Ty::I64, nv);
+            },
+            |b| {
+                b.iadd(Ty::I64, Value::int(0), Value::int(1));
+            },
+        );
+    });
+    // A variable-trip cleanup loop (frontier compaction).
+    expand.prob_loop(0.9, |b| {
+        let x = b.load(Ty::I64);
+        b.store(Ty::I64, x);
+    });
+    expand.ret(None);
+    let expand_fn = m.add_function(expand.finish());
+
+    let mut w = FunctionBuilder::new("worker", Ty::Void);
+    w.counted_loop(levels, |b| {
+        b.call(expand_fn, &[]);
+        barrier(b, 90, THREADS);
+    });
+    w.ret(None);
+    let worker = m.add_function(w.finish());
+
+    let mut main = FunctionBuilder::new("main", Ty::Void);
+    main.call_lib(LibCall::ReadFile, &[]); // graph
+    spawn_join(&mut main, worker, THREADS);
+    main.call_lib(LibCall::WriteFile, &[]);
+    main.ret(None);
+    crate::spec::finish(m, main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_compiler::{extract_function_features, PhaseMap, ProgramPhase};
+    use astro_ir::BranchBehavior;
+
+    #[test]
+    fn integer_only_irregular_kernel() {
+        let m = build(InputSize::Test);
+        let f = m.function_by_name("bfs_kernel").unwrap();
+        let fv = extract_function_features(m.function(f));
+        assert_eq!(fv.fp_dens, 0.0, "BFS has no floating point");
+        assert!(fv.int_dens > 0.3);
+        assert!(matches!(
+            m.function(f).mem.pattern,
+            astro_ir::MemPattern::Random
+        ));
+        let pm = PhaseMap::compute(&m);
+        assert_eq!(pm.phase(f), ProgramPhase::CpuBound);
+    }
+
+    #[test]
+    fn has_probabilistic_branches() {
+        let m = build(InputSize::Test);
+        let f = m.function(m.function_by_name("bfs_kernel").unwrap());
+        let has_prob = f.blocks.iter().any(|b| {
+            matches!(
+                b.term,
+                astro_ir::Terminator::CondBr {
+                    behavior: BranchBehavior::Prob(_),
+                    ..
+                }
+            )
+        });
+        assert!(has_prob, "BFS branches must be data-dependent");
+    }
+}

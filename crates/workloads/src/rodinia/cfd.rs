@@ -1,0 +1,89 @@
+//! cfd — computational fluid dynamics (Euler equation solver on an
+//! unstructured grid, Rodinia's `euler3d_cpu`).
+//!
+//! Characterisation carried over: the heaviest FP benchmark in the
+//! Figure 10 set (flux computation with division and sqrt per edge);
+//! unstructured-mesh gather/scatter → random access over a large set;
+//! Runge–Kutta steps separated by barriers; very regular work per
+//! iteration (the paper's "more regular (kernel-like) applications,
+//! such as CFD" where hybrid wins).
+
+use crate::spec::{barrier, spawn_join, InputSize};
+use astro_ir::{FunctionBuilder, LibCall, MemBehavior, Module, Ty, Value};
+
+const THREADS: u32 = 8;
+
+/// Build cfd.
+pub fn build(size: InputSize) -> Module {
+    let rk_iters = size.iters(18);
+    let edges_per_thread = size.iters(4_500);
+    let mut m = Module::new("cfd");
+
+    // Flux kernel: FP-dense with gathers over the unstructured mesh.
+    let mut flux = FunctionBuilder::new("compute_flux", Ty::Void);
+    flux.mem_behavior(MemBehavior::random(size.bytes(32 * 1024 * 1024)));
+    flux.counted_loop(edges_per_thread, |b| {
+        let rho = b.load(Ty::F64);
+        let e = b.load(Ty::F64);
+        let p = b.fmul(Ty::F64, rho, e);
+        let q = b.fdiv(Ty::F64, p, Value::float(1.4));
+        b.call_lib(LibCall::MathF64, &[]); // sqrt for the speed of sound
+        let f = b.fadd(Ty::F64, q, p);
+        b.store(Ty::F64, f);
+    });
+    flux.ret(None);
+    let flux_fn = m.add_function(flux.finish());
+
+    // Time-step update: streaming FP axpy.
+    let mut update = FunctionBuilder::new("time_step", Ty::Void);
+    update.mem_behavior(MemBehavior::streaming(size.bytes(16 * 1024 * 1024)));
+    update.counted_loop(edges_per_thread / 2, |b| {
+        let v = b.load(Ty::F64);
+        let dv = b.load(Ty::F64);
+        let s = b.fmul(Ty::F64, dv, Value::float(0.05));
+        let nv = b.fadd(Ty::F64, v, s);
+        b.store(Ty::F64, nv);
+    });
+    update.ret(None);
+    let update_fn = m.add_function(update.finish());
+
+    let mut w = FunctionBuilder::new("worker", Ty::Void);
+    w.counted_loop(rk_iters, |b| {
+        // Three RK sub-steps per iteration.
+        b.counted_loop(3, |b| {
+            b.call(flux_fn, &[]);
+            barrier(b, 70, THREADS);
+            b.call(update_fn, &[]);
+            barrier(b, 71, THREADS);
+        });
+    });
+    w.ret(None);
+    let worker = m.add_function(w.finish());
+
+    let mut main = FunctionBuilder::new("main", Ty::Void);
+    main.call_lib(LibCall::ReadFile, &[]); // mesh
+    spawn_join(&mut main, worker, THREADS);
+    main.call_lib(LibCall::WriteFile, &[]);
+    main.ret(None);
+    crate::spec::finish(m, main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_compiler::{extract_function_features, PhaseMap, ProgramPhase};
+
+    #[test]
+    fn flux_kernel_fp_dense_random_memory() {
+        let m = build(InputSize::Test);
+        let pm = PhaseMap::compute(&m);
+        let f = m.function_by_name("compute_flux").unwrap();
+        assert_eq!(pm.phase(f), ProgramPhase::CpuBound);
+        let fv = extract_function_features(m.function(f));
+        assert!(fv.fp_dens > 0.3, "got {}", fv.fp_dens);
+        assert!(matches!(
+            m.function(f).mem.pattern,
+            astro_ir::MemPattern::Random
+        ));
+    }
+}

@@ -1,0 +1,77 @@
+//! hotspot — thermal simulation of a processor die (2-D transient
+//! stencil).
+//!
+//! Characterisation carried over: iterative 5-point FP stencil over a
+//! grid that fits the L2 but not L1; one barrier per time step; perfect
+//! static partitioning (rows per thread). Paper §4.2 groups it with the
+//! "more regular (kernel-like) applications" where the hybrid version
+//! tends to win.
+
+use crate::spec::{barrier, spawn_join, InputSize};
+use astro_ir::{FunctionBuilder, LibCall, MemBehavior, Module, Ty, Value};
+
+const THREADS: u32 = 8;
+
+/// Build hotspot.
+pub fn build(size: InputSize) -> Module {
+    let steps = size.iters(20);
+    let cells_per_thread = size.iters(4_000);
+    let mut m = Module::new("hotspot");
+
+    let mut kernel = FunctionBuilder::new("single_iteration", Ty::Void);
+    kernel.mem_behavior(MemBehavior::strided(size.bytes(3 * 1024 * 1024), 24));
+    kernel.counted_loop(cells_per_thread, |b| {
+        // 5-point stencil: centre + 4 neighbours.
+        let c = b.load(Ty::F64);
+        let n = b.load(Ty::F64);
+        let s = b.load(Ty::F64);
+        let sum1 = b.fadd(Ty::F64, n, s);
+        let scaled = b.fmul(Ty::F64, sum1, Value::float(0.25));
+        let t = b.fadd(Ty::F64, c, scaled);
+        b.store(Ty::F64, t);
+    });
+    kernel.ret(None);
+    let kernel_fn = m.add_function(kernel.finish());
+
+    let mut w = FunctionBuilder::new("worker", Ty::Void);
+    w.counted_loop(steps, |b| {
+        b.call(kernel_fn, &[]);
+        barrier(b, 60, THREADS);
+    });
+    w.ret(None);
+    let worker = m.add_function(w.finish());
+
+    let mut main = FunctionBuilder::new("main", Ty::Void);
+    main.call_lib(LibCall::ReadFile, &[]); // power + temperature grids
+    main.call_lib(LibCall::ReadFile, &[]);
+    spawn_join(&mut main, worker, THREADS);
+    main.call_lib(LibCall::WriteFile, &[]);
+    main.ret(None);
+    crate::spec::finish(m, main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_compiler::{extract_function_features, PhaseMap, ProgramPhase};
+
+    #[test]
+    fn stencil_is_fp_with_memory() {
+        let m = build(InputSize::Test);
+        let pm = PhaseMap::compute(&m);
+        let f = m.function_by_name("single_iteration").unwrap();
+        assert_eq!(pm.phase(f), ProgramPhase::CpuBound);
+        let fv = extract_function_features(m.function(f));
+        assert!(fv.fp_dens > 0.0 && fv.mem_dens > 0.0);
+    }
+
+    #[test]
+    fn timestep_loop_is_barrier_synchronised() {
+        let m = build(InputSize::Test);
+        let pm = PhaseMap::compute(&m);
+        assert_eq!(
+            pm.phase(m.function_by_name("worker").unwrap()),
+            ProgramPhase::Blocked
+        );
+    }
+}

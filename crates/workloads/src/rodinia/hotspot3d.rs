@@ -1,0 +1,67 @@
+//! hotspot3D — 3-D extension of the thermal stencil.
+//!
+//! Characterisation carried over: 7-point stencil over a volume that
+//! exceeds the L2 (z-planes evict each other), so it is markedly more
+//! memory-bound than 2-D hotspot; per-step barriers; regular
+//! partitioning.
+
+use crate::spec::{barrier, spawn_join, InputSize};
+use astro_ir::{FunctionBuilder, LibCall, MemBehavior, Module, Ty, Value};
+
+const THREADS: u32 = 8;
+
+/// Build hotspot3D.
+pub fn build(size: InputSize) -> Module {
+    let steps = size.iters(12);
+    let cells_per_thread = size.iters(5_000);
+    let mut m = Module::new("hotspot3d");
+
+    let mut kernel = FunctionBuilder::new("hotspot_kernel_3d", Ty::Void);
+    // Stride of one z-plane: defeats spatial locality at L1.
+    kernel.mem_behavior(MemBehavior::strided(size.bytes(48 * 1024 * 1024), 4096));
+    kernel.counted_loop(cells_per_thread, |b| {
+        let c = b.load(Ty::F64);
+        let up = b.load(Ty::F64);
+        let dn = b.load(Ty::F64);
+        let v = b.fadd(Ty::F64, up, dn);
+        let w = b.fmul(Ty::F64, v, Value::float(0.125));
+        let t = b.fadd(Ty::F64, c, w);
+        b.store(Ty::F64, t);
+    });
+    kernel.ret(None);
+    let kernel_fn = m.add_function(kernel.finish());
+
+    let mut w = FunctionBuilder::new("worker", Ty::Void);
+    w.counted_loop(steps, |b| {
+        b.call(kernel_fn, &[]);
+        barrier(b, 61, THREADS);
+    });
+    w.ret(None);
+    let worker = m.add_function(w.finish());
+
+    let mut main = FunctionBuilder::new("main", Ty::Void);
+    main.call_lib(LibCall::ReadFile, &[]);
+    spawn_join(&mut main, worker, THREADS);
+    main.call_lib(LibCall::WriteFile, &[]);
+    main.ret(None);
+    crate::spec::finish(m, main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_compiler::extract_function_features;
+
+    #[test]
+    fn plane_stride_and_big_working_set() {
+        let m = build(InputSize::SimSmall);
+        let f = m.function(m.function_by_name("hotspot_kernel_3d").unwrap());
+        match f.mem.pattern {
+            astro_ir::MemPattern::Strided { stride } => assert!(stride >= 4096),
+            p => panic!("expected strided, got {p:?}"),
+        }
+        assert!(f.mem.working_set > 8 * 1024 * 1024);
+        let fv = extract_function_features(f);
+        assert!(fv.mem_dens > 0.3);
+    }
+}

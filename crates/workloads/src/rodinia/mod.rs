@@ -1,0 +1,12 @@
+//! Synthetic Rodinia benchmarks.
+//!
+//! Characterisations follow Che et al., "Rodinia: A Benchmark Suite for
+//! Heterogeneous Computing" (IISWC'09), OpenMP variants (the paper runs
+//! the CPU versions on the Odroid).
+
+pub mod bfs;
+pub mod cfd;
+pub mod hotspot;
+pub mod hotspot3d;
+pub mod particlefilter;
+pub mod sradv2;

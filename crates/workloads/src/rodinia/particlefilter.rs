@@ -1,0 +1,128 @@
+//! particlefilter — visual object tracking with a particle filter.
+//!
+//! Characterisation carried over: each frame runs *very different*
+//! sub-phases back to back — FP likelihood evaluation, a lock-guarded
+//! weight normalisation (reduction), and an integer, random-access
+//! resampling scan. This is the paper's poster child for hybrid
+//! scheduling (§3.3/§4.2): "In ParticleFilter the static version was
+//! penalized for a wrong scheduling decision: it stays in 1b2L, and the
+//! lack of runtime information prevents it from fixing this choice",
+//! while "the flexibility of hybrid instrumentation paid off in terms
+//! of energy and speed". The phase diversity below (same *static* phase
+//! classification for kernels whose *dynamic* behaviour differs) is
+//! what creates that trap.
+
+use crate::spec::{barrier, critical, fp_montecarlo_iter, spawn_join, InputSize};
+use astro_ir::{FunctionBuilder, LibCall, MemBehavior, Module, Ty, Value};
+
+const THREADS: u32 = 8;
+
+/// Build particlefilter.
+pub fn build(size: InputSize) -> Module {
+    let frames = size.iters(8);
+    let particles = size.iters(2_000);
+    let mut m = Module::new("particlefilter");
+
+    // Likelihood: FP with libm, cache-friendly — looks CPU bound and is.
+    let mut like = FunctionBuilder::new("likelihood", Ty::Void);
+    like.mem_behavior(MemBehavior::streaming(size.bytes(512 * 1024)));
+    like.counted_loop(particles, |b| {
+        fp_montecarlo_iter(b);
+        let w = b.load(Ty::F64);
+        let nw = b.fmul(Ty::F64, w, w);
+        b.store(Ty::F64, nw);
+    });
+    like.ret(None);
+    let like_fn = m.add_function(like.finish());
+
+    // Weight normalisation: short critical sections accumulate the sum.
+    let mut norm = FunctionBuilder::new("normalize_weights", Ty::Void);
+    norm.counted_loop(particles / 50, |b| {
+        critical(b, 100, |b| {
+            let s = b.load(Ty::F64);
+            let w = b.load(Ty::F64);
+            let ns = b.fadd(Ty::F64, s, w);
+            b.store(Ty::F64, ns);
+        });
+    });
+    norm.ret(None);
+    let norm_fn = m.add_function(norm.finish());
+
+    // Resampling: integer binary search over the CDF, random access over
+    // a big index array — *classified* CPU bound like `likelihood`, but
+    // dynamically memory-latency bound. Same static phase, different
+    // hardware phase: the static schedule must pick one configuration
+    // for both; hybrid can tell them apart.
+    let mut resample = FunctionBuilder::new("resample", Ty::Void);
+    resample.mem_behavior(MemBehavior::random(size.bytes(24 * 1024 * 1024)));
+    resample.counted_loop(particles, |b| {
+        let u = b.load(Ty::I64);
+        let mid = b.shr(Ty::I64, u, Value::int(1));
+        let c = b.load(Ty::I64);
+        let cmp = b.iadd(Ty::I64, mid, c);
+        b.store(Ty::I64, cmp);
+        let x = b.load(Ty::I64);
+        b.xor(Ty::I64, x, Value::int(0x5DEECE66));
+    });
+    resample.ret(None);
+    let resample_fn = m.add_function(resample.finish());
+
+    let mut w = FunctionBuilder::new("worker", Ty::Void);
+    w.counted_loop(frames, |b| {
+        b.call(like_fn, &[]);
+        barrier(b, 101, THREADS);
+        b.call(norm_fn, &[]);
+        barrier(b, 102, THREADS);
+        b.call(resample_fn, &[]);
+        barrier(b, 103, THREADS);
+    });
+    w.ret(None);
+    let worker = m.add_function(w.finish());
+
+    let mut main = FunctionBuilder::new("main", Ty::Void);
+    main.counted_loop(frames / 2, |b| {
+        b.call_lib(LibCall::ReadFile, &[]); // video frames
+    });
+    spawn_join(&mut main, worker, THREADS);
+    main.call_lib(LibCall::WriteFile, &[]);
+    main.ret(None);
+    crate::spec::finish(m, main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_compiler::{extract_function_features, PhaseMap, ProgramPhase};
+
+    #[test]
+    fn likelihood_and_resample_share_static_phase() {
+        // The hybrid-vs-static trap: statically indistinguishable…
+        let m = build(InputSize::Test);
+        let pm = PhaseMap::compute(&m);
+        let p = |n: &str| pm.phase(m.function_by_name(n).unwrap());
+        assert_eq!(p("likelihood"), ProgramPhase::CpuBound);
+        assert_eq!(p("resample"), ProgramPhase::CpuBound);
+    }
+
+    #[test]
+    fn but_dynamically_different() {
+        // …yet dynamically different: FP vs int, cache-resident vs
+        // DRAM-random.
+        let m = build(InputSize::Test);
+        let like = m.function(m.function_by_name("likelihood").unwrap());
+        let resample = m.function(m.function_by_name("resample").unwrap());
+        let fv_like = extract_function_features(like);
+        let fv_res = extract_function_features(resample);
+        assert!(fv_like.fp_dens > 0.2 && fv_res.fp_dens == 0.0);
+        assert!(resample.mem.working_set > 10 * like.mem.working_set);
+    }
+
+    #[test]
+    fn normalisation_uses_locks() {
+        let m = build(InputSize::Test);
+        let fv = extract_function_features(
+            m.function(m.function_by_name("normalize_weights").unwrap()),
+        );
+        assert!(fv.locks_dens > 0.2);
+    }
+}

@@ -1,0 +1,90 @@
+//! srad_v2 — speckle-reducing anisotropic diffusion (ultrasound image
+//! denoising), Rodinia's two-kernel variant.
+//!
+//! Characterisation carried over: two FP stencil sweeps per iteration
+//! (gradient/diffusion-coefficient, then the update), each followed by
+//! a barrier; a tiny serial reduction (mean/variance of the ROI)
+//! between them; regular row partitioning; moderate working set.
+
+use crate::spec::{barrier, spawn_join, InputSize};
+use astro_ir::{FunctionBuilder, LibCall, MemBehavior, Module, Ty, Value};
+
+const THREADS: u32 = 8;
+
+/// Build srad_v2.
+pub fn build(size: InputSize) -> Module {
+    let iterations = size.iters(16);
+    let cells_per_thread = size.iters(3_500);
+    let mut m = Module::new("sradv2");
+
+    // Kernel 1: gradients + diffusion coefficient (divide-heavy).
+    let mut k1 = FunctionBuilder::new("srad_kernel1", Ty::Void);
+    k1.mem_behavior(MemBehavior::strided(size.bytes(6 * 1024 * 1024), 32));
+    k1.counted_loop(cells_per_thread, |b| {
+        let c = b.load(Ty::F64);
+        let n = b.load(Ty::F64);
+        let g = b.fsub(Ty::F64, n, c);
+        let g2 = b.fmul(Ty::F64, g, g);
+        let denom = b.fadd(Ty::F64, c, Value::float(1e-6));
+        let q = b.fdiv(Ty::F64, g2, denom);
+        b.store(Ty::F64, q);
+    });
+    k1.ret(None);
+    let k1_fn = m.add_function(k1.finish());
+
+    // Kernel 2: the diffusion update.
+    let mut k2 = FunctionBuilder::new("srad_kernel2", Ty::Void);
+    k2.mem_behavior(MemBehavior::strided(size.bytes(6 * 1024 * 1024), 32));
+    k2.counted_loop(cells_per_thread, |b| {
+        let c = b.load(Ty::F64);
+        let d = b.load(Ty::F64);
+        let upd = b.fmul(Ty::F64, d, Value::float(0.2));
+        let v = b.fadd(Ty::F64, c, upd);
+        b.store(Ty::F64, v);
+    });
+    k2.ret(None);
+    let k2_fn = m.add_function(k2.finish());
+
+    // Serial ROI statistics between sweeps: small integer/FP mix.
+    let mut stats = FunctionBuilder::new("roi_statistics", Ty::Void);
+    stats.counted_loop(64, |b| {
+        let x = b.load(Ty::F64);
+        b.fadd(Ty::F64, x, x);
+    });
+    stats.ret(None);
+    let stats_fn = m.add_function(stats.finish());
+
+    let mut w = FunctionBuilder::new("worker", Ty::Void);
+    w.counted_loop(iterations, |b| {
+        b.call(stats_fn, &[]);
+        b.call(k1_fn, &[]);
+        barrier(b, 80, THREADS);
+        b.call(k2_fn, &[]);
+        barrier(b, 81, THREADS);
+    });
+    w.ret(None);
+    let worker = m.add_function(w.finish());
+
+    let mut main = FunctionBuilder::new("main", Ty::Void);
+    main.call_lib(LibCall::ReadFile, &[]); // image
+    spawn_join(&mut main, worker, THREADS);
+    main.call_lib(LibCall::WriteFile, &[]);
+    main.ret(None);
+    crate::spec::finish(m, main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_compiler::{PhaseMap, ProgramPhase};
+
+    #[test]
+    fn two_kernels_cpu_bound_worker_blocked() {
+        let m = build(InputSize::Test);
+        let pm = PhaseMap::compute(&m);
+        let p = |n: &str| pm.phase(m.function_by_name(n).unwrap());
+        assert_eq!(p("srad_kernel1"), ProgramPhase::CpuBound);
+        assert_eq!(p("srad_kernel2"), ProgramPhase::CpuBound);
+        assert_eq!(p("worker"), ProgramPhase::Blocked);
+    }
+}

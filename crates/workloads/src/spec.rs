@@ -1,0 +1,161 @@
+//! Shared workload-construction helpers.
+
+use astro_ir::{FunctionBuilder, FunctionId, LibCall, Module, Ty, Value};
+
+/// Input classes, mirroring Parsec's (`simsmall` is Figure 1's input).
+/// Scales iteration counts; working sets scale with the square root so
+/// memory behaviour changes more gently than compute, as in the real
+/// suites.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InputSize {
+    /// Tiny inputs for unit tests.
+    Test,
+    /// Parsec `simsmall`.
+    SimSmall,
+    /// Parsec `simmedium`.
+    SimMedium,
+    /// Parsec `simlarge`.
+    SimLarge,
+}
+
+impl InputSize {
+    /// Multiplier on iteration counts.
+    pub fn compute_scale(self) -> f64 {
+        match self {
+            InputSize::Test => 0.05,
+            InputSize::SimSmall => 1.0,
+            InputSize::SimMedium => 4.0,
+            InputSize::SimLarge => 16.0,
+        }
+    }
+
+    /// Multiplier on working sets.
+    pub fn mem_scale(self) -> f64 {
+        self.compute_scale().sqrt().max(0.25)
+    }
+
+    /// Scale an iteration count.
+    pub fn iters(self, base: u64) -> u64 {
+        ((base as f64 * self.compute_scale()) as u64).max(1)
+    }
+
+    /// Scale a working-set size in bytes.
+    pub fn bytes(self, base: u64) -> u64 {
+        ((base as f64 * self.mem_scale()) as u64).max(4096)
+    }
+}
+
+/// Spawn `n` copies of `worker` from the current position and join them.
+pub fn spawn_join(b: &mut FunctionBuilder, worker: FunctionId, n: u32) {
+    for _ in 0..n {
+        b.call_lib(LibCall::ThreadSpawn, &[Value::func(worker)]);
+    }
+    b.call_lib(LibCall::ThreadJoin, &[]);
+}
+
+/// Emit a barrier among `participants` threads with the given id.
+pub fn barrier(b: &mut FunctionBuilder, id: i64, participants: u32) {
+    b.call_lib(
+        LibCall::BarrierWait,
+        &[Value::int(id), Value::int(participants as i64)],
+    );
+}
+
+/// A critical section protected by mutex `id` containing `body`.
+pub fn critical(b: &mut FunctionBuilder, id: i64, body: impl FnOnce(&mut FunctionBuilder)) {
+    b.call_lib(LibCall::MutexLock, &[Value::int(id)]);
+    body(b);
+    b.call_lib(LibCall::MutexUnlock, &[Value::int(id)]);
+}
+
+/// One iteration of double-precision stencil arithmetic: two loads, a
+/// multiply-add chain, one store. The bread and butter of HPC kernels.
+pub fn fp_stencil_iter(b: &mut FunctionBuilder) {
+    let a = b.load(Ty::F64);
+    let c = b.load(Ty::F64);
+    let p = b.fmul(Ty::F64, a, c);
+    let s = b.fadd(Ty::F64, p, a);
+    b.store(Ty::F64, s);
+}
+
+/// One iteration of integer pointer-chasing work: load, address
+/// arithmetic, compare, store — graph/tree traversal flavour.
+pub fn int_chase_iter(b: &mut FunctionBuilder) {
+    let x = b.load(Ty::I64);
+    let g = b.gep(x, Value::int(8));
+    let y = b.iadd(Ty::I64, x, Value::int(1));
+    b.cmp(astro_ir::CmpPred::Lt, Ty::I64, g, y);
+    b.store(Ty::I64, y);
+}
+
+/// Monte-Carlo flavoured FP iteration: a libm call plus multiplies, no
+/// memory traffic — the Swaptions/Blackscholes inner loop.
+pub fn fp_montecarlo_iter(b: &mut FunctionBuilder) {
+    let x = b.call_lib(LibCall::MathF64, &[]);
+    let y = b.fmul(Ty::F64, x, Value::float(0.5));
+    let z = b.fmul(Ty::F64, y, y);
+    b.fadd(Ty::F64, z, y);
+}
+
+/// Finish a module: add `main`, set entry, verify, return.
+pub fn finish(mut module: Module, main: FunctionBuilder) -> Module {
+    let id = module.add_function(main.finish());
+    module.set_entry(id);
+    module
+        .verify()
+        .unwrap_or_else(|e| panic!("workload {} failed to verify: {e}", module.name));
+    module
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_monotone() {
+        let sizes = [
+            InputSize::Test,
+            InputSize::SimSmall,
+            InputSize::SimMedium,
+            InputSize::SimLarge,
+        ];
+        for w in sizes.windows(2) {
+            assert!(w[0].compute_scale() < w[1].compute_scale());
+            assert!(w[0].mem_scale() <= w[1].mem_scale());
+        }
+    }
+
+    #[test]
+    fn iter_scaling_floors_at_one() {
+        assert_eq!(InputSize::Test.iters(2), 1);
+        assert_eq!(InputSize::SimSmall.iters(1000), 1000);
+        assert_eq!(InputSize::SimLarge.iters(1000), 16_000);
+    }
+
+    #[test]
+    fn byte_scaling_floors_at_page() {
+        assert_eq!(InputSize::Test.bytes(64), 4096);
+    }
+
+    #[test]
+    fn helpers_compose_into_valid_functions() {
+        let mut m = Module::new("helpers");
+        let mut w = FunctionBuilder::new("worker", Ty::Void);
+        w.counted_loop(4, |b| {
+            fp_stencil_iter(b);
+            int_chase_iter(b);
+            fp_montecarlo_iter(b);
+        });
+        critical(&mut w, 0, |b| {
+            b.store(Ty::I64, Value::int(1));
+        });
+        barrier(&mut w, 1, 2);
+        w.ret(None);
+        let worker = m.add_function(w.finish());
+        let mut main = FunctionBuilder::new("main", Ty::Void);
+        spawn_join(&mut main, worker, 2);
+        main.ret(None);
+        let built = finish(m, main);
+        assert_eq!(built.verify(), Ok(()));
+    }
+}

@@ -1,0 +1,44 @@
+//! Reproduce the Figure 1 methodology on any workload: run it under
+//! every hardware configuration of the Odroid XU4 and print the
+//! energy/time landscape with its Pareto-optimal points.
+//!
+//! Run with: `cargo run --release --example explore_configs [workload]`
+
+use astro::core::pipeline::{AstroPipeline, PipelineConfig};
+use astro::hw::boards::BoardSpec;
+use astro::workloads::{by_name, InputSize};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "freqmine".into());
+    let workload = by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}; available:");
+        for w in astro::workloads::all() {
+            eprintln!("  {} ({})", w.name, w.suite);
+        }
+        std::process::exit(1);
+    });
+
+    let board = BoardSpec::odroid_xu4();
+    let pipe = AstroPipeline::new(&board, PipelineConfig::default());
+    let module = (workload.build)(InputSize::SimSmall);
+    println!("config  wall(s)    cpu(s)     energy(J)");
+    let mut best_t = (f64::INFINITY, String::new());
+    let mut best_e = (f64::INFINITY, String::new());
+    for cfg in board.config_space().all() {
+        let r = pipe.run_fixed(&module, cfg, 42);
+        println!(
+            "{:<7} {:<10.6} {:<10.6} {:<10.6}",
+            cfg.label(),
+            r.wall_time_s,
+            r.cpu_time_s,
+            r.energy_j
+        );
+        if r.wall_time_s < best_t.0 {
+            best_t = (r.wall_time_s, cfg.label());
+        }
+        if r.energy_j < best_e.0 {
+            best_e = (r.energy_j, cfg.label());
+        }
+    }
+    println!("\nbest wall time: {}   best energy: {}", best_t.1, best_e.1);
+}

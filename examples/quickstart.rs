@@ -1,0 +1,50 @@
+//! Quickstart: build a tiny parallel program in the Astro IR, run it on
+//! the simulated Odroid XU4 under the GTS scheduler, and print what the
+//! paper's Monitor would see.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use astro::exec::machine::{Machine, MachineParams};
+use astro::exec::program::compile;
+use astro::exec::runtime::NullHooks;
+use astro::exec::sched::gts::GtsScheduler;
+use astro::hw::boards::BoardSpec;
+use astro::hw::config::HwConfig;
+use astro::ir::{FunctionBuilder, LibCall, Module, Ty, Value};
+
+fn main() {
+    // A 4-worker floating-point kernel with a final barrier.
+    let mut module = Module::new("quickstart");
+    let mut w = FunctionBuilder::new("worker", Ty::Void);
+    w.counted_loop(200_000, |b| {
+        let x = b.fmul(Ty::F64, Value::float(1.5), Value::float(2.5));
+        b.fadd(Ty::F64, x, x);
+    });
+    w.call_lib(LibCall::BarrierWait, &[Value::int(0), Value::int(4)]);
+    w.ret(None);
+    let worker = module.add_function(w.finish());
+
+    let mut main_fn = FunctionBuilder::new("main", Ty::Void);
+    for _ in 0..4 {
+        main_fn.call_lib(LibCall::ThreadSpawn, &[Value::func(worker)]);
+    }
+    main_fn.call_lib(LibCall::ThreadJoin, &[]);
+    main_fn.ret(None);
+    let main_id = module.add_function(main_fn.finish());
+    module.set_entry(main_id);
+
+    let program = compile(&module).expect("module compiles");
+    let board = BoardSpec::odroid_xu4();
+    let machine = Machine::new(&board, MachineParams::default());
+    let mut sched = GtsScheduler::default();
+    let mut hooks = NullHooks;
+    let result = machine.run(&program, &mut sched, &mut hooks, HwConfig::new(4, 4));
+
+    println!("program  : {}", module.name);
+    println!("wall time: {:.6} s", result.wall_time_s);
+    println!("cpu time : {:.6} s (sum over cores)", result.cpu_time_s);
+    println!("energy   : {:.6} J", result.energy_j);
+    println!("avg power: {:.3} W", result.avg_power_w());
+    println!("instrs   : {}", result.instructions);
+    println!("migrations (GTS): {}", result.migrations);
+}

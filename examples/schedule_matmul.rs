@@ -1,0 +1,54 @@
+//! The full Astro pipeline on the paper's Figure 2 demo program: mine
+//! features, learn over episodes, synthesise schedules, emit the final
+//! static and hybrid binaries, and compare all three against GTS.
+//!
+//! Run with: `cargo run --release --example schedule_matmul`
+
+use astro::core::pipeline::{AstroPipeline, PipelineConfig};
+use astro::exec::machine::MachineParams;
+use astro::exec::time::SimTime;
+use astro::hw::boards::BoardSpec;
+use astro::workloads::{matmul, InputSize};
+use astro_compiler::ProgramPhase;
+
+fn main() {
+    let board = BoardSpec::odroid_xu4();
+    let pipe = AstroPipeline::new(
+        &board,
+        PipelineConfig {
+            machine: MachineParams {
+                checkpoint_interval: SimTime::from_micros(400.0),
+                min_config_dwell: SimTime::from_micros(800.0),
+                ..MachineParams::default()
+            },
+            episodes: 4,
+            ..Default::default()
+        },
+    );
+    let module = matmul::build(InputSize::SimSmall);
+
+    println!("training Astro on {} …", module.name);
+    let trained = pipe.train(&module);
+
+    println!("\nlearned static schedule (phase -> configuration):");
+    let space = board.config_space();
+    for phase in ProgramPhase::ALL {
+        let idx = trained.static_schedule.config_for_phase[phase.index()];
+        println!("  {:<10} -> {}", phase.to_string(), space.from_index(idx).label());
+    }
+
+    let static_mod = pipe.build_static(&module, &trained.static_schedule);
+    let hybrid_mod = pipe.build_hybrid(&module);
+
+    let gts = pipe.run_gts(&module, 1);
+    let st = pipe.run_static(&static_mod, 1);
+    let hy = pipe.run_hybrid(&hybrid_mod, &trained.hybrid_schedule, 1);
+
+    println!("\nsystem        time (s)   energy (J)  config changes");
+    for (name, r) in [("GTS", &gts), ("Astro static", &st), ("Astro hybrid", &hy)] {
+        println!(
+            "{name:<13} {:<10.5} {:<11.5} {}",
+            r.wall_time_s, r.energy_j, r.config_changes
+        );
+    }
+}

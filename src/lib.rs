@@ -1,0 +1,38 @@
+//! # Astro — compiler-assisted adaptive program scheduling for big.LITTLE
+//!
+//! Facade crate re-exporting the full Astro reproduction stack
+//! (Novaes, Petrucci, Gamatié & Quintão Pereira, PPoPP 2019,
+//! arXiv:1903.07038). See the README for an architecture overview and
+//! `DESIGN.md` for the per-experiment index.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`ir`] — miniature compiler IR (the LLVM substitute);
+//! * [`compiler`] — feature mining, phase classification, instrumentation
+//!   and final code generation passes;
+//! * [`hw`] — the big.LITTLE hardware model (configurations, caches,
+//!   power, performance counters);
+//! * [`exec`] — deterministic discrete-event execution engine plus OS
+//!   schedulers (GTS baseline);
+//! * [`rl`] — from-scratch Q-learning over a small neural network;
+//! * [`core`] — the Astro system itself: states, rewards, the
+//!   monitor–learn–adapt actuation loop, trace simulation, baselines and
+//!   schedule synthesis;
+//! * [`workloads`] — synthetic Parsec/Rodinia programs.
+
+pub use astro_compiler as compiler;
+pub use astro_core as core;
+pub use astro_exec as exec;
+pub use astro_hw as hw;
+pub use astro_ir as ir;
+pub use astro_rl as rl;
+pub use astro_workloads as workloads;
+
+/// Convenience prelude importing the names used by nearly every example.
+pub mod prelude {
+    pub use astro_compiler::{FeatureVector, ProgramPhase};
+    pub use astro_core::prelude::*;
+    pub use astro_exec::machine::Machine;
+    pub use astro_hw::config::HwConfig;
+    pub use astro_ir::{FunctionBuilder, LibCall, Module, Ty};
+}

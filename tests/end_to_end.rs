@@ -1,0 +1,146 @@
+//! Workspace-level integration tests: the full stack, IR → compiler →
+//! machine → learning → final binaries, across crates.
+
+use astro::compiler::{CodeSizeModel, PhaseMap};
+use astro::core::pipeline::{AstroPipeline, PipelineConfig};
+use astro::core::trace::record_traces;
+use astro::core::tracesim::{FixedPolicy, OracleTime, TraceSim};
+use astro::exec::machine::{Machine, MachineParams};
+use astro::exec::program::compile;
+use astro::exec::runtime::NullHooks;
+use astro::exec::sched::gts::GtsScheduler;
+use astro::exec::time::SimTime;
+use astro::hw::boards::BoardSpec;
+use astro::workloads::{all, by_name, InputSize};
+
+fn fast_params() -> MachineParams {
+    MachineParams {
+        checkpoint_interval: SimTime::from_micros(400.0),
+        balance_interval: SimTime::from_micros(100.0),
+        timeslice: SimTime::from_micros(400.0),
+        min_config_dwell: SimTime::from_micros(800.0),
+        ..MachineParams::default()
+    }
+}
+
+#[test]
+fn every_workload_runs_under_gts() {
+    let board = BoardSpec::odroid_xu4();
+    for w in all() {
+        let module = (w.build)(InputSize::Test);
+        let prog = compile(&module).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let machine = Machine::new(&board, fast_params());
+        let mut sched = GtsScheduler::default();
+        let mut hooks = NullHooks;
+        let r = machine.run(
+            &prog,
+            &mut sched,
+            &mut hooks,
+            board.config_space().full(),
+        );
+        assert!(!r.timed_out, "{} timed out", w.name);
+        assert!(r.energy_j > 0.0, "{} consumed no energy", w.name);
+        assert!(r.instructions > 1000, "{} did no work", w.name);
+    }
+}
+
+#[test]
+fn pipeline_end_to_end_on_particlefilter() {
+    let board = BoardSpec::odroid_xu4();
+    let pipe = AstroPipeline::new(
+        &board,
+        PipelineConfig {
+            machine: fast_params(),
+            episodes: 2,
+            model_seeds: 1,
+            ..Default::default()
+        },
+    );
+    let module = (by_name("particlefilter").unwrap().build)(InputSize::Test);
+    let trained = pipe.train(&module);
+
+    let static_mod = pipe.build_static(&module, &trained.static_schedule);
+    let hybrid_mod = pipe.build_hybrid(&module);
+    let g = pipe.run_gts(&module, 3);
+    let s = pipe.run_static(&static_mod, 3);
+    let h = pipe.run_hybrid(&hybrid_mod, &trained.hybrid_schedule, 3);
+
+    // All three executed the same program (instrumentation aside).
+    let base = g.instructions as f64;
+    assert!((s.instructions as f64 - base).abs() / base < 0.15);
+    assert!((h.instructions as f64 - base).abs() / base < 0.15);
+    // Schedule repair guarantees the static build is never a disaster.
+    assert!(s.wall_time_s < 3.0 * g.wall_time_s);
+}
+
+#[test]
+fn trace_recording_and_oracle_composition() {
+    let board = BoardSpec::odroid_xu4();
+    let module = (by_name("fluidanimate").unwrap().build)(InputSize::Test);
+    let ts = record_traces(&module, &board, &fast_params());
+    assert_eq!(ts.num_configs(), 24);
+    let sim = TraceSim::new(&ts);
+    let oracle = sim.run(&mut OracleTime, 23);
+    // The greedy time oracle is at least as fast as staying in any fixed
+    // configuration.
+    for cfg in [0usize, 4, 23] {
+        let fixed = sim.run(&mut FixedPolicy(cfg), cfg);
+        assert!(
+            oracle.time_s <= fixed.time_s + 1e-9,
+            "oracle {} vs fixed[{cfg}] {}",
+            oracle.time_s,
+            fixed.time_s
+        );
+    }
+}
+
+#[test]
+fn code_size_accounting_across_suite() {
+    let model = CodeSizeModel::default();
+    for w in all() {
+        let original = (w.build)(InputSize::Test);
+        let phases = PhaseMap::compute(&original);
+        let mut learning = original.clone();
+        astro::compiler::instrument_for_learning(&mut learning, &phases);
+        let bd = model.breakdown(&original, &learning, &learning);
+        assert!(bd.original < bd.learning, "{}", w.name);
+        assert!(bd.learning < bd.instrumented, "{}", w.name);
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_across_the_stack() {
+    let board = BoardSpec::odroid_xu4();
+    let run = || {
+        let module = (by_name("bfs").unwrap().build)(InputSize::Test);
+        let prog = compile(&module).unwrap();
+        let machine = Machine::new(&board, fast_params());
+        let mut sched = GtsScheduler::default();
+        let mut hooks = NullHooks;
+        machine.run(&prog, &mut sched, &mut hooks, board.config_space().full())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.wall_time_s, b.wall_time_s);
+    assert_eq!(a.energy_j, b.energy_j);
+    assert_eq!(a.instructions, b.instructions);
+}
+
+#[test]
+fn seeds_produce_sample_variance() {
+    let board = BoardSpec::odroid_xu4();
+    let pipe = AstroPipeline::new(
+        &board,
+        PipelineConfig {
+            machine: fast_params(),
+            ..Default::default()
+        },
+    );
+    let module = (by_name("hotspot").unwrap().build)(InputSize::Test);
+    let a = pipe.run_gts(&module, 1);
+    let b = pipe.run_gts(&module, 2);
+    assert!(
+        (a.wall_time_s - b.wall_time_s).abs() > 0.0,
+        "different seeds must jitter service times"
+    );
+}
