@@ -50,7 +50,11 @@ fn bench_qagent(c: &mut Criterion) {
         space.num_actions(),
     ));
     let reward = RewardParams::default();
-    let s = space.encode(3, astro_compiler::ProgramPhase::CpuBound, astro_hw::counters::HwPhase::from_index(40));
+    let s = space.encode(
+        3,
+        astro_compiler::ProgramPhase::CpuBound,
+        astro_hw::counters::HwPhase::from_index(40),
+    );
     c.bench_function("qagent_observe_and_learn", |b| {
         b.iter(|| {
             agent.observe(Experience {

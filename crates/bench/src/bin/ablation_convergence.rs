@@ -2,6 +2,10 @@
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let size = astro_bench::parse_size(&args);
-    let episodes = if astro_bench::quick_mode(&args) { 24 } else { 60 };
+    let episodes = if astro_bench::quick_mode(&args) {
+        24
+    } else {
+        60
+    };
     astro_bench::figs::ablation_convergence::run(size, episodes);
 }

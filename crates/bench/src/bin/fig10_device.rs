@@ -2,6 +2,10 @@
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let size = astro_bench::parse_size(&args);
-    let (episodes, samples) = if astro_bench::quick_mode(&args) { (3, 3) } else { (8, 5) };
+    let (episodes, samples) = if astro_bench::quick_mode(&args) {
+        (3, 3)
+    } else {
+        (8, 5)
+    };
     astro_bench::figs::fig10::run(size, episodes, samples);
 }

@@ -28,11 +28,7 @@ pub struct TabularTracePolicy {
 impl TabularTracePolicy {
     /// New tabular policy.
     pub fn new(space: AstroStateSpace, reward: RewardParams, seed: u64) -> Self {
-        let q = TabularQ::new(
-            space.num_states(),
-            space.num_actions(),
-            seed,
-        );
+        let q = TabularQ::new(space.num_states(), space.num_actions(), seed);
         TabularTracePolicy {
             q,
             space,
@@ -43,8 +39,11 @@ impl TabularTracePolicy {
     }
 
     fn state_of(&self, cfg: usize, rec: &TraceRecord) -> usize {
-        self.space
-            .state_index(cfg, rec.program_phase, HwPhase::from_index(rec.hw_phase_idx))
+        self.space.state_index(
+            cfg,
+            rec.program_phase,
+            HwPhase::from_index(rec.hw_phase_idx),
+        )
     }
 }
 

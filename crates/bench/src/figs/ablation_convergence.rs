@@ -60,7 +60,13 @@ pub fn run(size: InputSize, episodes: usize) {
     let astro = curve(&ts, StateView::PhaseAware, episodes, 31);
     let hipster = curve(&ts, StateView::PhaseBlind, episodes, 32);
 
-    let mut t = TextTable::new(&["episode", "Astro time (s)", "Hipster time (s)", "Astro reward", "Hipster reward"]);
+    let mut t = TextTable::new(&[
+        "episode",
+        "Astro time (s)",
+        "Hipster time (s)",
+        "Astro reward",
+        "Hipster reward",
+    ]);
     let step = (episodes / 12).max(1);
     for i in (0..episodes).step_by(step) {
         t.row(vec![

@@ -8,10 +8,10 @@
 //! an uninstrumented GTS run.
 
 use crate::table::TextTable;
+use astro_compiler::{instrument_for_learning, PhaseMap};
 use astro_core::actuator::AstroLearningHooks;
 use astro_core::reward::RewardParams;
 use astro_core::state::AstroStateSpace;
-use astro_compiler::{instrument_for_learning, PhaseMap};
 use astro_exec::machine::{Machine, MachineParams};
 use astro_exec::program::compile;
 use astro_exec::runtime::NullHooks;
@@ -41,14 +41,24 @@ pub fn run(size: InputSize) {
     let machine = Machine::new(&board, base_params);
     let mut gts = GtsScheduler::default();
     let mut null = NullHooks;
-    let baseline = machine.run(&plain_prog, &mut gts, &mut null, board.config_space().full());
+    let baseline = machine.run(
+        &plain_prog,
+        &mut gts,
+        &mut null,
+        board.config_space().full(),
+    );
     println!(
         "baseline (GTS, no instrumentation): {:.4}s, {:.4}J\n",
         baseline.wall_time_s, baseline.energy_j
     );
 
     let mut t = TextTable::new(&[
-        "interval", "checkpoints", "cfg changes", "time (s)", "overhead vs GTS", "energy (J)",
+        "interval",
+        "checkpoints",
+        "cfg changes",
+        "time (s)",
+        "overhead vs GTS",
+        "energy (J)",
     ]);
     for &us in &[100.0, 200.0, 400.0, 1000.0, 2000.0] {
         let params = MachineParams {
@@ -71,7 +81,10 @@ pub fn run(size: InputSize) {
             format!("{}", r.checkpoints.len()),
             format!("{}", r.config_changes),
             format!("{:.4}", r.wall_time_s),
-            format!("{:+.1}%", (r.wall_time_s / baseline.wall_time_s - 1.0) * 100.0),
+            format!(
+                "{:+.1}%",
+                (r.wall_time_s / baseline.wall_time_s - 1.0) * 100.0
+            ),
             format!("{:.4}", r.energy_j),
         ]);
     }

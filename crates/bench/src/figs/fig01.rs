@@ -88,7 +88,10 @@ pub fn run(size: InputSize, samples: usize) {
             .map(|(p, _)| p.config)
             .unwrap();
 
-        println!("--- {name} ({samples} samples/config, max CV {:.2}%) ---", max_cv * 100.0);
+        println!(
+            "--- {name} ({samples} samples/config, max CV {:.2}%) ---",
+            max_cv * 100.0
+        );
         let mut t = TextTable::new(&["config", "cpu-time (s)", "wall (s)", "energy (J)", "marks"]);
         for (p, wall) in points.iter().zip(&walls) {
             let mut marks = Vec::new();

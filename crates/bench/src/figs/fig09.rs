@@ -19,8 +19,8 @@ use astro_core::reward::RewardParams;
 use astro_core::state::AstroStateSpace;
 use astro_core::trace::{record_traces, TraceSet};
 use astro_core::tracesim::{
-    AstroTracePolicy, FixedPolicy, OracleEnergy, OracleTime, RandomPolicy, StateView,
-    TraceSim, TraceSimOutcome,
+    AstroTracePolicy, FixedPolicy, OracleEnergy, OracleTime, RandomPolicy, StateView, TraceSim,
+    TraceSimOutcome,
 };
 use astro_hw::boards::BoardSpec;
 use astro_hw::config::HwConfig;
@@ -139,7 +139,11 @@ pub fn run(size: InputSize, episodes: usize) {
             format!(
                 "{:.4}{}",
                 edp * 1e3,
-                if (edp - best_edp).abs() < 1e-12 { " *best*" } else { "" }
+                if (edp - best_edp).abs() < 1e-12 {
+                    " *best*"
+                } else {
+                    ""
+                }
             ),
             format!("{:.2}x", o.time_s / oracle_t.time_s),
             format!("{:.2}x", o.energy_j / oracle_e.energy_j),

@@ -83,7 +83,13 @@ pub fn run_benchmark(
 fn report(metric: &str, results: &[BenchResult], select: impl Fn(&BenchResult) -> &[Vec<f64>; 3]) {
     println!("--- {metric} (G = GTS, S = Astro static, H = Astro hybrid) ---");
     let mut t = TextTable::new(&[
-        "benchmark", "G mean±sd", "S mean±sd", "H mean±sd", "p(S vs G)", "p(H vs G)", "winner",
+        "benchmark",
+        "G mean±sd",
+        "S mean±sd",
+        "H mean±sd",
+        "p(S vs G)",
+        "p(H vs G)",
+        "winner",
     ]);
     let mut astro_wins = 0;
     for r in results {
@@ -134,11 +140,7 @@ pub fn run(size: InputSize, episodes: usize, samples: usize) {
     for r in &results {
         t.row(
             std::iter::once(r.name.clone())
-                .chain(
-                    r.static_table
-                        .iter()
-                        .map(|&i| space.from_index(i).label()),
-                )
+                .chain(r.static_table.iter().map(|&i| space.from_index(i).label()))
                 .collect(),
         );
     }

@@ -5,16 +5,20 @@
 //! near-constant increment dominated by the Astro runtime library.
 
 use crate::table::TextTable;
-use astro_compiler::{
-    instrument_for_learning, CodeSizeModel, CodegenMode, FinalCodegen, PhaseMap,
-};
+use astro_compiler::{instrument_for_learning, CodeSizeModel, CodegenMode, FinalCodegen, PhaseMap};
 use astro_workloads::InputSize;
 
 /// Run the Figure 11 experiment.
 pub fn run(size: InputSize) {
     println!("=== Figure 11: code size (KB) of original / learning / instrumented builds ===\n");
     let model = CodeSizeModel::default();
-    let mut t = TextTable::new(&["benchmark", "original", "learning", "instrumented", "lib share"]);
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "original",
+        "learning",
+        "instrumented",
+        "lib share",
+    ]);
     let mut lib_deltas = Vec::new();
     for w in astro_workloads::figure11_set() {
         let original = (w.build)(size);

@@ -76,10 +76,26 @@ mod tests {
 
     fn pts() -> Vec<ConfigPoint> {
         vec![
-            ConfigPoint { config: HwConfig::new(0, 4), time_s: 1.0, energy_j: 10.0 },
-            ConfigPoint { config: HwConfig::new(2, 2), time_s: 1.5, energy_j: 6.0 },
-            ConfigPoint { config: HwConfig::new(4, 0), time_s: 3.0, energy_j: 4.0 },
-            ConfigPoint { config: HwConfig::new(1, 1), time_s: 2.0, energy_j: 8.0 }, // dominated
+            ConfigPoint {
+                config: HwConfig::new(0, 4),
+                time_s: 1.0,
+                energy_j: 10.0,
+            },
+            ConfigPoint {
+                config: HwConfig::new(2, 2),
+                time_s: 1.5,
+                energy_j: 6.0,
+            },
+            ConfigPoint {
+                config: HwConfig::new(4, 0),
+                time_s: 3.0,
+                energy_j: 4.0,
+            },
+            ConfigPoint {
+                config: HwConfig::new(1, 1),
+                time_s: 2.0,
+                energy_j: 8.0,
+            }, // dominated
         ]
     }
 

@@ -1,13 +1,14 @@
 //! Parallel experiment driver: fans independent simulations out across
-//! OS threads with `crossbeam::scope`, aggregating into a
-//! `parking_lot`-guarded result vector.
+//! OS threads with `std::thread::scope`, aggregating into a
+//! mutex-guarded result vector.
 //!
 //! The simulator itself is single-threaded by design (determinism);
 //! parallelism lives here, across configurations/samples — which is
 //! also where the wall-clock time goes when regenerating Figure 1's
 //! 24-configuration sweeps.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Run `jobs(i)` for `i ∈ 0..n` across up to `threads` workers and
 /// return the results in index order.
@@ -21,24 +22,24 @@ where
 {
     assert!(threads > 0);
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
 
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads.min(n.max(1)) {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let out = job(i);
-                results.lock()[i] = Some(out);
+                results.lock().expect("result lock poisoned")[i] = Some(out);
             });
         }
-    })
-    .expect("experiment worker panicked");
+    });
 
     results
         .into_inner()
+        .expect("result lock poisoned")
         .into_iter()
         .map(|r| r.expect("every index produced"))
         .collect()

@@ -64,20 +64,118 @@ pub struct TaxonomyRow {
 /// The rows of Table 1, in paper order.
 pub fn table1() -> Vec<TaxonomyRow> {
     vec![
-        TaxonomyRow { work: "[24] Poesia et al.", level: Level::Compiler, source: true, auto: true, runtime: false, learn: true },
-        TaxonomyRow { work: "[2] Barik et al.", level: Level::Compiler, source: true, auto: true, runtime: true, learn: false },
-        TaxonomyRow { work: "[26] Rossbach et al.", level: Level::CompilerLibrary, source: true, auto: false, runtime: true, learn: false },
-        TaxonomyRow { work: "[16] Luk et al.", level: Level::CompilerLibrary, source: true, auto: false, runtime: true, learn: false },
-        TaxonomyRow { work: "[13] Joao et al.", level: Level::ArchitectureLibrary, source: true, auto: false, runtime: false, learn: false },
-        TaxonomyRow { work: "[17] Lukefahr et al.", level: Level::Architecture, source: false, auto: true, runtime: false, learn: false },
-        TaxonomyRow { work: "[30] Van Craeynest et al.", level: Level::Architecture, source: false, auto: true, runtime: false, learn: false },
-        TaxonomyRow { work: "[20] Nishtala et al. (Hipster)", level: Level::Os, source: false, auto: true, runtime: true, learn: true },
-        TaxonomyRow { work: "[22] Petrucci et al. (Octopus-Man)", level: Level::Os, source: false, auto: true, runtime: true, learn: false },
-        TaxonomyRow { work: "[1] Augonnet et al. (StarPU)", level: Level::Library, source: true, auto: false, runtime: false, learn: false },
-        TaxonomyRow { work: "[23] Piccoli et al.", level: Level::OsCompiler, source: true, auto: true, runtime: true, learn: false },
-        TaxonomyRow { work: "[29] Tang et al. (ReQoS)", level: Level::OsCompiler, source: true, auto: true, runtime: true, learn: false },
-        TaxonomyRow { work: "[8] Cong & Yuan", level: Level::OsCompiler, source: true, auto: true, runtime: true, learn: false },
-        TaxonomyRow { work: "Astro (this work)", level: Level::OsCompiler, source: true, auto: true, runtime: true, learn: true },
+        TaxonomyRow {
+            work: "[24] Poesia et al.",
+            level: Level::Compiler,
+            source: true,
+            auto: true,
+            runtime: false,
+            learn: true,
+        },
+        TaxonomyRow {
+            work: "[2] Barik et al.",
+            level: Level::Compiler,
+            source: true,
+            auto: true,
+            runtime: true,
+            learn: false,
+        },
+        TaxonomyRow {
+            work: "[26] Rossbach et al.",
+            level: Level::CompilerLibrary,
+            source: true,
+            auto: false,
+            runtime: true,
+            learn: false,
+        },
+        TaxonomyRow {
+            work: "[16] Luk et al.",
+            level: Level::CompilerLibrary,
+            source: true,
+            auto: false,
+            runtime: true,
+            learn: false,
+        },
+        TaxonomyRow {
+            work: "[13] Joao et al.",
+            level: Level::ArchitectureLibrary,
+            source: true,
+            auto: false,
+            runtime: false,
+            learn: false,
+        },
+        TaxonomyRow {
+            work: "[17] Lukefahr et al.",
+            level: Level::Architecture,
+            source: false,
+            auto: true,
+            runtime: false,
+            learn: false,
+        },
+        TaxonomyRow {
+            work: "[30] Van Craeynest et al.",
+            level: Level::Architecture,
+            source: false,
+            auto: true,
+            runtime: false,
+            learn: false,
+        },
+        TaxonomyRow {
+            work: "[20] Nishtala et al. (Hipster)",
+            level: Level::Os,
+            source: false,
+            auto: true,
+            runtime: true,
+            learn: true,
+        },
+        TaxonomyRow {
+            work: "[22] Petrucci et al. (Octopus-Man)",
+            level: Level::Os,
+            source: false,
+            auto: true,
+            runtime: true,
+            learn: false,
+        },
+        TaxonomyRow {
+            work: "[1] Augonnet et al. (StarPU)",
+            level: Level::Library,
+            source: true,
+            auto: false,
+            runtime: false,
+            learn: false,
+        },
+        TaxonomyRow {
+            work: "[23] Piccoli et al.",
+            level: Level::OsCompiler,
+            source: true,
+            auto: true,
+            runtime: true,
+            learn: false,
+        },
+        TaxonomyRow {
+            work: "[29] Tang et al. (ReQoS)",
+            level: Level::OsCompiler,
+            source: true,
+            auto: true,
+            runtime: true,
+            learn: false,
+        },
+        TaxonomyRow {
+            work: "[8] Cong & Yuan",
+            level: Level::OsCompiler,
+            source: true,
+            auto: true,
+            runtime: true,
+            learn: false,
+        },
+        TaxonomyRow {
+            work: "Astro (this work)",
+            level: Level::OsCompiler,
+            source: true,
+            auto: true,
+            runtime: true,
+            learn: true,
+        },
     ]
 }
 

@@ -167,10 +167,7 @@ mod tests {
         match &first.kind {
             InstrKind::CallLib { callee, args } => {
                 assert_eq!(*callee, LibCall::AstroSetConfig);
-                assert_eq!(
-                    args[0].as_const_int(),
-                    Some(table[phase.index()] as i64)
-                );
+                assert_eq!(args[0].as_const_int(), Some(table[phase.index()] as i64));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -206,9 +203,11 @@ mod tests {
         // Find the barrier; the instruction before must request config 5
         // (Blocked's table entry).
         for b in &f.blocks {
-            if let Some(pos) = b.instrs.iter().position(
-                |i| matches!(i.opcode(), Opcode::CallLib(LibCall::BarrierWait)),
-            ) {
+            if let Some(pos) = b
+                .instrs
+                .iter()
+                .position(|i| matches!(i.opcode(), Opcode::CallLib(LibCall::BarrierWait)))
+            {
                 match &b.instrs[pos - 1].kind {
                     InstrKind::CallLib { callee, args } => {
                         assert_eq!(*callee, LibCall::AstroSetConfig);

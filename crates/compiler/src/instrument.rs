@@ -125,7 +125,10 @@ mod tests {
             InstrKind::CallLib { callee, args } => {
                 assert_eq!(*callee, LibCall::AstroLogPhase);
                 // main sleeps → Blocked phase index 0.
-                assert_eq!(args[0].as_const_int(), Some(ProgramPhase::Blocked.index() as i64));
+                assert_eq!(
+                    args[0].as_const_int(),
+                    Some(ProgramPhase::Blocked.index() as i64)
+                );
             }
             other => panic!("expected log_phase, got {other:?}"),
         }

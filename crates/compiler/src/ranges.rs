@@ -30,7 +30,10 @@ impl RangeSet {
             assert!(w[0] < w[1], "range boundaries must be strictly increasing");
         }
         for &b in boundaries {
-            assert!(b > 0.0 && b.is_finite(), "boundaries must be positive finite");
+            assert!(
+                b > 0.0 && b.is_finite(),
+                "boundaries must be positive finite"
+            );
         }
         RangeSet {
             name: name.into(),
@@ -115,11 +118,7 @@ impl PhaseSpace {
     /// Phase index for the Example 3.4 space applied to a mined
     /// [`FeatureVector`].
     pub fn phase_of_features(&self, fv: &FeatureVector) -> usize {
-        self.phase_of(&[
-            fv.arith_density,
-            fv.nesting_factor as f64,
-            fv.io_weight,
-        ])
+        self.phase_of(&[fv.arith_density, fv.nesting_factor as f64, fv.io_weight])
     }
 
     /// The dimensions.

@@ -100,8 +100,7 @@ impl RuntimeHooks for AstroLearningHooks {
             .encode(sample.config_idx, sample.program_phase, sample.hw_phase);
         let r = self.reward.reward(sample.mips, sample.watts);
         self.reward_log.push(r);
-        self.visits
-            [sample.program_phase.index() * HwPhase::COUNT + sample.hw_phase.index()] += 1;
+        self.visits[sample.program_phase.index() * HwPhase::COUNT + sample.hw_phase.index()] += 1;
 
         if !self.frozen {
             if let Some((state, action)) = self.pending.take() {
@@ -170,7 +169,11 @@ mod tests {
         let mut h = hooks();
         let before = h.agent.steps();
         h.on_checkpoint(&sample(3, 1500.0, 2.0));
-        assert_eq!(h.agent.steps(), before, "first checkpoint has no transition yet");
+        assert_eq!(
+            h.agent.steps(),
+            before,
+            "first checkpoint has no transition yet"
+        );
         h.on_checkpoint(&sample(5, 900.0, 1.0));
         assert_eq!(h.agent.steps(), before + 1);
         h.on_checkpoint(&sample(7, 1100.0, 1.5));
@@ -209,6 +212,9 @@ mod tests {
             h.visit_count(ProgramPhase::CpuBound, HwPhase::from_index(0)),
             2
         );
-        assert_eq!(h.visit_count(ProgramPhase::Blocked, HwPhase::from_index(0)), 0);
+        assert_eq!(
+            h.visit_count(ProgramPhase::Blocked, HwPhase::from_index(0)),
+            0
+        );
     }
 }

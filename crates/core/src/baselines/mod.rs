@@ -1,7 +1,7 @@
 //! State-of-the-art baselines (RQ3): Hipster and Octopus-Man.
 //!
 //! "We tried to implement, on the simulator, two well-known schedulers
-//! for big.LITTLE architectures: Hipster [20] and Octopus-Man [22]."
+//! for big.LITTLE architectures: Hipster \[20\] and Octopus-Man \[22\]."
 //!
 //! * **Hipster** reuses Astro's whole learning stack — same network,
 //!   same reward ("both Hipster and Astro use the same reward

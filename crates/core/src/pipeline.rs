@@ -5,9 +5,7 @@ use crate::actuator::AstroLearningHooks;
 use crate::reward::RewardParams;
 use crate::schedule::{synthesise, HybridBinaryHooks, HybridSchedule, StaticSchedule};
 use crate::state::AstroStateSpace;
-use astro_compiler::{
-    instrument_for_learning, CodegenMode, FinalCodegen, PhaseMap,
-};
+use astro_compiler::{instrument_for_learning, CodegenMode, FinalCodegen, PhaseMap};
 use astro_exec::machine::{Machine, MachineParams};
 use astro_exec::program::compile;
 use astro_exec::result::RunResult;
@@ -151,9 +149,10 @@ impl<'a> AstroPipeline<'a> {
         instrument_for_learning(&mut learn_mod, &phases);
         let prog = compile(&learn_mod).expect("instrumented module compiles");
 
-        let mut qcfg = self.cfg.qconfig.clone().unwrap_or_else(|| {
-            QConfig::astro_default(space.encoding_dim(), space.num_actions())
-        });
+        let mut qcfg =
+            self.cfg.qconfig.clone().unwrap_or_else(|| {
+                QConfig::astro_default(space.encoding_dim(), space.num_actions())
+            });
         qcfg.seed = qcfg.seed.wrapping_add(seed_offset.wrapping_mul(1009));
         let agent = QAgent::new(qcfg);
         let mut hooks = AstroLearningHooks::new(space, self.cfg.reward, agent);
@@ -192,8 +191,11 @@ impl<'a> AstroPipeline<'a> {
         let phases = PhaseMap::compute(&m);
         // Hybrid instrumentation embeds phase indices; the table lives in
         // the runtime hooks.
-        FinalCodegen::new(CodegenMode::Hybrid, [0; astro_compiler::ProgramPhase::COUNT])
-            .run(&mut m, &phases);
+        FinalCodegen::new(
+            CodegenMode::Hybrid,
+            [0; astro_compiler::ProgramPhase::COUNT],
+        )
+        .run(&mut m, &phases);
         m
     }
 
@@ -207,7 +209,12 @@ impl<'a> AstroPipeline<'a> {
         let mut hooks = StaticBinaryHooks {
             space: self.board.config_space(),
         };
-        machine.run(&prog, &mut sched, &mut hooks, self.board.config_space().full())
+        machine.run(
+            &prog,
+            &mut sched,
+            &mut hooks,
+            self.board.config_space().full(),
+        )
     }
 
     /// Run a hybrid binary with a learned table.
@@ -226,7 +233,12 @@ impl<'a> AstroPipeline<'a> {
             schedule: schedule.clone(),
             space: self.space(),
         };
-        machine.run(&prog, &mut sched, &mut hooks, self.board.config_space().full())
+        machine.run(
+            &prog,
+            &mut sched,
+            &mut hooks,
+            self.board.config_space().full(),
+        )
     }
 
     /// Run the *original* program under GTS with all cores on — the
@@ -238,7 +250,12 @@ impl<'a> AstroPipeline<'a> {
         let machine = Machine::new(self.board, params);
         let mut sched = GtsScheduler::default();
         let mut hooks = NullHooks;
-        machine.run(&prog, &mut sched, &mut hooks, self.board.config_space().full())
+        machine.run(
+            &prog,
+            &mut sched,
+            &mut hooks,
+            self.board.config_space().full(),
+        )
     }
 
     /// Run the original program pinned to one fixed configuration — the

@@ -77,7 +77,10 @@ mod tests {
         assert!(perf.reward(2000.0, 2.0) > perf.reward(1000.0, 1.0) * 1.5);
         let a = energy.reward(2000.0, 2.0);
         let b = energy.reward(1000.0, 1.0);
-        assert!((a - b).abs() < 1e-9, "γ=1 is performance-per-watt: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-9,
+            "γ=1 is performance-per-watt: {a} vs {b}"
+        );
     }
 
     #[test]

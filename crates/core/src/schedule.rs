@@ -54,8 +54,7 @@ impl HybridSchedule {
         let mut table = vec![0usize; ProgramPhase::COUNT * HwPhase::COUNT];
         for phase in ProgramPhase::ALL {
             for hw in 0..HwPhase::COUNT {
-                table[phase.index() * HwPhase::COUNT + hw] =
-                    st.config_for_phase[phase.index()];
+                table[phase.index() * HwPhase::COUNT + hw] = st.config_for_phase[phase.index()];
             }
         }
         HybridSchedule {

@@ -259,11 +259,7 @@ mod tests {
         // are skipped deterministically).
         let lo = t.record_at(-0.5);
         assert!(
-            t.records
-                .iter()
-                .take_while(|r| r.instructions == 0)
-                .count()
-                < t.records.len(),
+            t.records.iter().take_while(|r| r.instructions == 0).count() < t.records.len(),
             "trace has work"
         );
         assert!(lo.instructions > 0 || t.records.iter().all(|r| r.instructions == 0));

@@ -260,7 +260,12 @@ pub struct AstroTracePolicy {
 
 impl AstroTracePolicy {
     /// New policy around an agent.
-    pub fn new(agent: QAgent, space: AstroStateSpace, reward: RewardParams, view: StateView) -> Self {
+    pub fn new(
+        agent: QAgent,
+        space: AstroStateSpace,
+        reward: RewardParams,
+        view: StateView,
+    ) -> Self {
         AstroTracePolicy {
             agent,
             space,

@@ -372,7 +372,10 @@ impl<'a> Sim<'a> {
         let view = self.view();
         let load = self.threads[tid.0 as usize].load;
         let core = scheduler.place(&view, tid, load);
-        debug_assert!(self.cores[core].enabled, "scheduler placed on disabled core");
+        debug_assert!(
+            self.cores[core].enabled,
+            "scheduler placed on disabled core"
+        );
         self.threads[tid.0 as usize].state = ThreadState::Runnable;
         self.cores[core].queue.push_back(tid);
         self.try_dispatch(core);
@@ -658,15 +661,13 @@ impl<'a> Sim<'a> {
                 }
             }
             LibCall::AstroLogPhase => {
-                let phase = ProgramPhase::from_index(
-                    (imms.first().copied().unwrap_or(3) as usize).min(3),
-                );
+                let phase =
+                    ProgramPhase::from_index((imms.first().copied().unwrap_or(3) as usize).min(3));
                 self.logged_phase = phase;
                 hooks.on_log_phase(self.now, phase);
-                if let (Some(probe), Some(frame)) = (
-                    &mut self.probe,
-                    self.threads[tid.0 as usize].stack.last(),
-                ) {
+                if let (Some(probe), Some(frame)) =
+                    (&mut self.probe, self.threads[tid.0 as usize].stack.last())
+                {
                     probe.set_tag(self.prog.func(frame.func).name.clone());
                 }
                 resume_after(self, p.intrinsic_cost, tid, core);
@@ -686,9 +687,8 @@ impl<'a> Sim<'a> {
                 resume_after(self, p.intrinsic_cost, tid, core);
             }
             LibCall::AstroHybridDecide => {
-                let phase = ProgramPhase::from_index(
-                    (imms.first().copied().unwrap_or(3) as usize).min(3),
-                );
+                let phase =
+                    ProgramPhase::from_index((imms.first().copied().unwrap_or(3) as usize).min(3));
                 let hw = HwPhase::from_delta(&self.rolling_delta());
                 if let Some(cfg) = hooks.on_hybrid_decide(self.now, phase, hw) {
                     self.request_config(scheduler, cfg);
@@ -732,10 +732,7 @@ impl<'a> Sim<'a> {
                 // see the core as occupied. Blocking calls release it below.
                 self.cores[core].running = Some(tid);
                 self.handle_call(scheduler, hooks, core, tid, callee, imms);
-                if matches!(
-                    self.threads[tid.0 as usize].state,
-                    ThreadState::Blocked(_)
-                ) {
+                if matches!(self.threads[tid.0 as usize].state, ThreadState::Blocked(_)) {
                     self.cores[core].running = None;
                     self.try_dispatch(core);
                 }

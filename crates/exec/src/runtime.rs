@@ -110,7 +110,11 @@ mod tests {
         let mut h = NullHooks;
         assert_eq!(h.on_set_config(SimTime::ZERO, 3), None);
         assert_eq!(
-            h.on_hybrid_decide(SimTime::ZERO, ProgramPhase::CpuBound, HwPhase::from_index(0)),
+            h.on_hybrid_decide(
+                SimTime::ZERO,
+                ProgramPhase::CpuBound,
+                HwPhase::from_index(0)
+            ),
             None
         );
     }
@@ -122,6 +126,10 @@ mod tests {
         };
         let cfg = h.on_set_config(SimTime::ZERO, 0).unwrap();
         assert_eq!(cfg.label(), "0L1B");
-        assert_eq!(h.on_set_config(SimTime::ZERO, 999), None, "bad index ignored");
+        assert_eq!(
+            h.on_set_config(SimTime::ZERO, 999),
+            None,
+            "bad index ignored"
+        );
     }
 }

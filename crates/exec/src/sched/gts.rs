@@ -58,13 +58,7 @@ impl OsScheduler for GtsScheduler {
             .expect("some core enabled")
     }
 
-    fn replace(
-        &mut self,
-        view: &SchedView,
-        _thread: ThreadId,
-        load: f64,
-        current: usize,
-    ) -> usize {
+    fn replace(&mut self, view: &SchedView, _thread: ThreadId, load: f64, current: usize) -> usize {
         if !view.enabled[current] {
             return view
                 .least_loaded(self.preferred_kind(load))

@@ -69,12 +69,15 @@ pub trait OsScheduler {
     /// A running thread finished a slice on `current`; keep it there or
     /// migrate? Called at slice granularity, which is how often real
     /// schedulers get to act on running tasks.
-    fn replace(&mut self, view: &SchedView, thread: ThreadId, load: f64, current: usize)
-        -> usize;
+    fn replace(&mut self, view: &SchedView, thread: ThreadId, load: f64, current: usize) -> usize;
 
     /// Periodic balance tick: relocate *queued* threads. Returns
     /// `(thread, new core)` pairs. Default: no-op.
-    fn balance(&mut self, _view: &SchedView, _queued: &[(ThreadId, usize, f64)]) -> Vec<(ThreadId, usize)> {
+    fn balance(
+        &mut self,
+        _view: &SchedView,
+        _queued: &[(ThreadId, usize, f64)],
+    ) -> Vec<(ThreadId, usize)> {
         Vec::new()
     }
 }

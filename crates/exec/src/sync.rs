@@ -29,7 +29,10 @@ impl BarrierTable {
     /// arrivals per release cycle.
     pub fn arrive(&mut self, id: i64, t: ThreadId, participants: u32) -> BarrierArrival {
         let entry = self.waiting.entry(id).or_default();
-        debug_assert!(!entry.contains(&t), "double arrival of {t:?} at barrier {id}");
+        debug_assert!(
+            !entry.contains(&t),
+            "double arrival of {t:?} at barrier {id}"
+        );
         if entry.len() + 1 >= participants.max(1) as usize {
             let released = std::mem::take(entry);
             BarrierArrival::Release(released)

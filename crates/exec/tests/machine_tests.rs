@@ -8,7 +8,7 @@ use astro_exec::sched::gts::GtsScheduler;
 use astro_exec::time::SimTime;
 use astro_hw::boards::BoardSpec;
 use astro_hw::config::HwConfig;
-use astro_ir::{FunctionBuilder, LibCall, MemBehavior, Module, Ty, Value};
+use astro_ir::{FunctionBuilder, LibCall, Module, Ty, Value};
 
 fn params() -> MachineParams {
     MachineParams {
@@ -173,10 +173,7 @@ fn barrier_synchronises_workers() {
         b.iadd(Ty::I64, Value::int(1), Value::int(2));
     });
     // All workers meet at barrier 7 (participants = 3).
-    w.call_lib(
-        LibCall::BarrierWait,
-        &[Value::int(7), Value::int(n as i64)],
-    );
+    w.call_lib(LibCall::BarrierWait, &[Value::int(7), Value::int(n as i64)]);
     w.counted_loop(10_000, |b| {
         b.iadd(Ty::I64, Value::int(1), Value::int(2));
     });
@@ -273,10 +270,7 @@ fn config_change_hooks_respected() {
         done: bool,
     }
     impl RuntimeHooks for SwitchOnce {
-        fn on_checkpoint(
-            &mut self,
-            _s: &astro_exec::MonitorSample,
-        ) -> Option<HwConfig> {
+        fn on_checkpoint(&mut self, _s: &astro_exec::MonitorSample) -> Option<HwConfig> {
             if self.done {
                 None
             } else {
@@ -302,10 +296,7 @@ fn config_change_hooks_respected() {
 fn unavailable_config_rejected() {
     struct AskBig;
     impl RuntimeHooks for AskBig {
-        fn on_checkpoint(
-            &mut self,
-            _s: &astro_exec::MonitorSample,
-        ) -> Option<HwConfig> {
+        fn on_checkpoint(&mut self, _s: &astro_exec::MonitorSample) -> Option<HwConfig> {
             Some(HwConfig::new(0, 4)) // needs 4 bigs, only 2 available
         }
     }

@@ -118,7 +118,9 @@ impl ConfigSpace {
 
     /// All configurations in index order.
     pub fn all(self) -> Vec<HwConfig> {
-        (0..self.num_configs()).map(|i| self.from_index(i)).collect()
+        (0..self.num_configs())
+            .map(|i| self.from_index(i))
+            .collect()
     }
 
     /// The configuration with everything on.

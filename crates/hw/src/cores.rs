@@ -174,7 +174,10 @@ mod tests {
             / big.seconds_per_instr(InstrClass::IntAlu);
         let fp_ratio = little.seconds_per_instr(InstrClass::FpMulDiv)
             / big.seconds_per_instr(InstrClass::FpMulDiv);
-        assert!(fp_ratio > int_ratio * 1.5, "int {int_ratio:.2} vs fp {fp_ratio:.2}");
+        assert!(
+            fp_ratio > int_ratio * 1.5,
+            "int {int_ratio:.2} vs fp {fp_ratio:.2}"
+        );
     }
 
     #[test]

@@ -56,11 +56,7 @@ impl Governor {
                     levels.max()
                 } else if util < DOWN {
                     // Step down one level.
-                    let idx = levels
-                        .0
-                        .iter()
-                        .position(|&f| f >= current_ghz)
-                        .unwrap_or(0);
+                    let idx = levels.0.iter().position(|&f| f >= current_ghz).unwrap_or(0);
                     levels.0[idx.saturating_sub(1)]
                 } else {
                     current_ghz
@@ -77,10 +73,7 @@ mod tests {
     #[test]
     fn performance_pins_max() {
         let levels = FreqLevels::big_a15();
-        assert_eq!(
-            Governor::Performance.next_freq(&levels, 0.8, 0.0),
-            2.0
-        );
+        assert_eq!(Governor::Performance.next_freq(&levels, 0.8, 0.0), 2.0);
     }
 
     #[test]

@@ -8,9 +8,7 @@
 
 use crate::block::{BasicBlock, BlockId, BranchBehavior, Terminator};
 use crate::function::{Function, FunctionId, MemBehavior};
-use crate::instruction::{
-    BinOp, CastKind, CmpPred, Instr, InstrKind, UnOp, Value, ValueId,
-};
+use crate::instruction::{BinOp, CastKind, CmpPred, Instr, InstrKind, UnOp, Value, ValueId};
 use crate::libcall::LibCall;
 use crate::types::Ty;
 
@@ -75,10 +73,7 @@ impl FunctionBuilder {
             None
         };
         let cur = self.current;
-        self.func
-            .block_mut(cur)
-            .instrs
-            .push(Instr { result, kind });
+        self.func.block_mut(cur).instrs.push(Instr { result, kind });
         result
     }
 
@@ -156,7 +151,14 @@ impl FunctionBuilder {
     /// Negate.
     pub fn neg(&mut self, ty: Ty, v: Value) -> Value {
         let id = self
-            .push(InstrKind::Unary { op: UnOp::Neg, ty, operand: v }, true)
+            .push(
+                InstrKind::Unary {
+                    op: UnOp::Neg,
+                    ty,
+                    operand: v,
+                },
+                true,
+            )
             .unwrap();
         Value::Reg(id)
     }
@@ -164,7 +166,15 @@ impl FunctionBuilder {
     /// Compare; result is `i1`.
     pub fn cmp(&mut self, pred: CmpPred, ty: Ty, l: Value, r: Value) -> Value {
         let id = self
-            .push(InstrKind::Cmp { pred, ty, lhs: l, rhs: r }, true)
+            .push(
+                InstrKind::Cmp {
+                    pred,
+                    ty,
+                    lhs: l,
+                    rhs: r,
+                },
+                true,
+            )
             .unwrap();
         Value::Reg(id)
     }
@@ -202,7 +212,15 @@ impl FunctionBuilder {
     /// Type conversion.
     pub fn cast(&mut self, kind: CastKind, from: Ty, to: Ty, v: Value) -> Value {
         let id = self
-            .push(InstrKind::Cast { kind, from, to, value: v }, true)
+            .push(
+                InstrKind::Cast {
+                    kind,
+                    from,
+                    to,
+                    value: v,
+                },
+                true,
+            )
             .unwrap();
         Value::Reg(id)
     }
@@ -211,7 +229,10 @@ impl FunctionBuilder {
     pub fn call(&mut self, callee: FunctionId, args: &[Value]) -> Value {
         let id = self
             .push(
-                InstrKind::Call { callee, args: args.to_vec() },
+                InstrKind::Call {
+                    callee,
+                    args: args.to_vec(),
+                },
                 true,
             )
             .unwrap();
@@ -222,7 +243,10 @@ impl FunctionBuilder {
     pub fn call_lib(&mut self, callee: LibCall, args: &[Value]) -> Value {
         let id = self
             .push(
-                InstrKind::CallLib { callee, args: args.to_vec() },
+                InstrKind::CallLib {
+                    callee,
+                    args: args.to_vec(),
+                },
                 true,
             )
             .unwrap();
@@ -281,7 +305,10 @@ impl FunctionBuilder {
     /// Emit a loop whose back edge is taken with probability `p`
     /// (geometric trip count with mean `1/(1-p)`).
     pub fn prob_loop(&mut self, p: f64, body: impl FnOnce(&mut Self)) {
-        assert!((0.0..1.0).contains(&p), "back-edge probability must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "back-edge probability must be in [0,1)"
+        );
         self.loop_impl(BranchBehavior::Prob(p), body)
     }
 
@@ -370,7 +397,12 @@ mod tests {
         assert_eq!(f.blocks.len(), 3);
         let body = f.block(BlockId(1));
         match &body.term {
-            Terminator::CondBr { then_bb, else_bb, behavior, .. } => {
+            Terminator::CondBr {
+                then_bb,
+                else_bb,
+                behavior,
+                ..
+            } => {
                 assert_eq!(*then_bb, BlockId(1), "back edge targets the body");
                 assert_eq!(*else_bb, BlockId(2));
                 assert_eq!(*behavior, BranchBehavior::Counted(8));
@@ -393,8 +425,10 @@ mod tests {
         let f = b.finish();
         // entry, outer-body, outer-exit, inner-body, inner-exit
         assert_eq!(f.blocks.len(), 5);
-        f.clone(); // Function is Clone
-        assert!(f.instrs().any(|i| i.opcode() == Opcode::FpBinary(BinOp::Add)));
+        let _ = f.clone(); // Function is Clone
+        assert!(f
+            .instrs()
+            .any(|i| i.opcode() == Opcode::FpBinary(BinOp::Add)));
     }
 
     #[test]

@@ -122,7 +122,10 @@ mod tests {
         assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
         assert!(dom.dominates(BlockId(0), BlockId(3)));
         assert!(!dom.dominates(BlockId(1), BlockId(3)));
-        assert!(dom.dominates(BlockId(3), BlockId(3)), "dominance is reflexive");
+        assert!(
+            dom.dominates(BlockId(3), BlockId(3)),
+            "dominance is reflexive"
+        );
     }
 
     #[test]

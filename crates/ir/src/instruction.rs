@@ -172,11 +172,16 @@ pub enum InstrKind {
         value: Value,
     },
     /// `result? = call f(args…)` — direct call to another IR function.
-    Call { callee: FunctionId, args: Vec<Value> },
+    Call {
+        callee: FunctionId,
+        args: Vec<Value>,
+    },
     /// `result? = call lib(args…)` — call into the modelled runtime system.
     CallLib { callee: LibCall, args: Vec<Value> },
     /// `result = phi [(pred_block, value)…]` — SSA join.
-    Phi { incomings: Vec<(crate::BlockId, Value)> },
+    Phi {
+        incomings: Vec<(crate::BlockId, Value)>,
+    },
 }
 
 impl Instr {

@@ -64,9 +64,7 @@ pub use builder::FunctionBuilder;
 pub use cfg::Cfg;
 pub use dom::DomTree;
 pub use function::{Function, FunctionId, MemBehavior, MemPattern};
-pub use instruction::{
-    BinOp, CastKind, CmpPred, Constant, Instr, InstrKind, UnOp, Value, ValueId,
-};
+pub use instruction::{BinOp, CastKind, CmpPred, Constant, Instr, InstrKind, UnOp, Value, ValueId};
 pub use libcall::{BlockingKind, LibCall};
 pub use loops::{LoopForest, LoopId, LoopInfo};
 pub use module::Module;

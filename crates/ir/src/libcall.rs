@@ -167,9 +167,7 @@ impl LibCall {
     #[inline]
     pub fn blocking_kind(self) -> Option<BlockingKind> {
         match self {
-            LibCall::ReadFile | LibCall::WriteFile | LibCall::PrintStr => {
-                Some(BlockingKind::Io)
-            }
+            LibCall::ReadFile | LibCall::WriteFile | LibCall::PrintStr => Some(BlockingKind::Io),
             // Standard input waits for a *user*: an unbounded external
             // event, which is why Figure 8(a) wraps `read_user_data` in
             // `toggle_sleeping_state` — classified like a sleep.

@@ -109,10 +109,7 @@ impl LoopForest {
                 if i == j {
                     continue;
                 }
-                let contains = loops[j]
-                    .blocks
-                    .binary_search(&loops[i].header)
-                    .is_ok();
+                let contains = loops[j].blocks.binary_search(&loops[i].header).is_ok();
                 let strictly_larger = loops[j].blocks.len() > loops[i].blocks.len()
                     || (loops[j].blocks.len() == loops[i].blocks.len()
                         && loops[j].header != loops[i].header);

@@ -76,13 +76,20 @@ fn fmt_instr(ins: &Instr) -> String {
         None => String::new(),
     };
     let body = match &ins.kind {
-        InstrKind::Binary { ty, lhs: a, rhs: b, .. } => {
+        InstrKind::Binary {
+            ty, lhs: a, rhs: b, ..
+        } => {
             format!("{} {ty} {}, {}", ins.opcode(), fmt_value(a), fmt_value(b))
         }
         InstrKind::Unary { ty, operand, .. } => {
             format!("{} {ty} {}", ins.opcode(), fmt_value(operand))
         }
-        InstrKind::Cmp { pred, ty, lhs: a, rhs: b } => format!(
+        InstrKind::Cmp {
+            pred,
+            ty,
+            lhs: a,
+            rhs: b,
+        } => format!(
             "{} {} {ty} {}, {}",
             ins.opcode(),
             fmt_pred(*pred),
@@ -101,7 +108,9 @@ fn fmt_instr(ins: &Instr) -> String {
             fmt_value(a),
             fmt_value(b)
         ),
-        InstrKind::Cast { from, to, value, .. } => {
+        InstrKind::Cast {
+            from, to, value, ..
+        } => {
             format!("cast {} : {from} -> {to}", fmt_value(value))
         }
         InstrKind::Call { callee, args } => format!(

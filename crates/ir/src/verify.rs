@@ -18,9 +18,17 @@ pub enum VerifyError {
     /// block is reachable (builder bug in workload code).
     UnterminatedBlock { func: String, block: u32 },
     /// A branch targets a block id outside the function.
-    BadBranchTarget { func: String, block: u32, target: u32 },
+    BadBranchTarget {
+        func: String,
+        block: u32,
+        target: u32,
+    },
     /// An instruction references an SSA value never defined.
-    UndefinedValue { func: String, block: u32, value: u32 },
+    UndefinedValue {
+        func: String,
+        block: u32,
+        value: u32,
+    },
     /// An instruction references a parameter the function doesn't have.
     BadArgIndex { func: String, block: u32, arg: u32 },
     /// A direct call targets a function id outside the module.
@@ -41,7 +49,11 @@ impl fmt::Display for VerifyError {
             VerifyError::UnterminatedBlock { func, block } => {
                 write!(f, "{func}: bb{block} is reachable but unterminated")
             }
-            VerifyError::BadBranchTarget { func, block, target } => {
+            VerifyError::BadBranchTarget {
+                func,
+                block,
+                target,
+            } => {
                 write!(f, "{func}: bb{block} branches to nonexistent bb{target}")
             }
             VerifyError::UndefinedValue { func, block, value } => {
@@ -54,13 +66,22 @@ impl fmt::Display for VerifyError {
                 write!(f, "{func}: call to nonexistent function @f{callee}")
             }
             VerifyError::BadProbability { func, block, p } => {
-                write!(f, "{func}: bb{block} has branch probability {p} outside [0,1]")
+                write!(
+                    f,
+                    "{func}: bb{block} has branch probability {p} outside [0,1]"
+                )
             }
             VerifyError::SpawnWithoutTarget { func, block } => {
-                write!(f, "{func}: bb{block} thread_spawn without function-address argument")
+                write!(
+                    f,
+                    "{func}: bb{block} thread_spawn without function-address argument"
+                )
             }
             VerifyError::SpawnTargetHasParams { func, target } => {
-                write!(f, "{func}: thread_spawn target {target} must take no parameters")
+                write!(
+                    f,
+                    "{func}: thread_spawn target {target} must take no parameters"
+                )
             }
         }
     }
@@ -328,13 +349,21 @@ mod tests {
         let mut b = FunctionBuilder::new("main", Ty::Void);
         let t = b.new_block("t");
         let e = b.new_block("e");
-        let c = b.cmp(crate::CmpPred::Eq, Ty::I64, crate::Value::int(0), crate::Value::int(0));
+        let c = b.cmp(
+            crate::CmpPred::Eq,
+            Ty::I64,
+            crate::Value::int(0),
+            crate::Value::int(0),
+        );
         b.cond_br(c, t, e, crate::BranchBehavior::Prob(f64::NAN));
         b.switch_to(t);
         b.ret(None);
         b.switch_to(e);
         b.ret(None);
         let m = module_with(b.finish());
-        assert!(matches!(m.verify(), Err(VerifyError::BadProbability { .. })));
+        assert!(matches!(
+            m.verify(),
+            Err(VerifyError::BadProbability { .. })
+        ));
     }
 }

@@ -1,9 +1,7 @@
 //! Property tests for the IR analyses: dominators and natural loops must
 //! satisfy their defining invariants on arbitrary structured programs.
 
-use astro_ir::{
-    BlockId, Cfg, DomTree, FunctionBuilder, LoopForest, Module, Ty, Value,
-};
+use astro_ir::{BlockId, Cfg, DomTree, FunctionBuilder, LoopForest, Module, Ty, Value};
 use proptest::prelude::*;
 
 /// A little recipe language for random structured functions: the builder

@@ -129,7 +129,9 @@ impl DenseLayer {
     /// He/Xavier-style initialisation scaled by fan-in.
     pub fn new(inputs: usize, outputs: usize, act: Activation, rng: &mut SmallRng) -> Self {
         let scale = (2.0 / inputs as f64).sqrt();
-        let w = Matrix::from_fn(outputs, inputs, |_, _| (rng.gen::<f64>() * 2.0 - 1.0) * scale);
+        let w = Matrix::from_fn(outputs, inputs, |_, _| {
+            (rng.gen::<f64>() * 2.0 - 1.0) * scale
+        });
         DenseLayer {
             w,
             b: vec![0.0; outputs],

@@ -175,10 +175,7 @@ impl QAgent {
 
     /// Freeze the policy into a table: greedy action per provided state.
     /// Used to synthesise the static/hybrid schedules of §3.3.
-    pub fn extract_policy<'a>(
-        &self,
-        states: impl Iterator<Item = &'a [f64]>,
-    ) -> Vec<usize> {
+    pub fn extract_policy<'a>(&self, states: impl Iterator<Item = &'a [f64]>) -> Vec<usize> {
         states.map(|s| self.best_action(s)).collect()
     }
 }

@@ -39,22 +39,86 @@ pub struct Workload {
 /// Every workload in the repository, in a stable order.
 pub fn all() -> Vec<Workload> {
     vec![
-        Workload { name: "matmul-demo", suite: "demo", build: matmul::build },
-        Workload { name: "blackscholes", suite: "parsec", build: parsec::blackscholes::build },
-        Workload { name: "bodytrack", suite: "parsec", build: parsec::bodytrack::build },
-        Workload { name: "facesim", suite: "parsec", build: parsec::facesim::build },
-        Workload { name: "ferret", suite: "parsec", build: parsec::ferret::build },
-        Workload { name: "fluidanimate", suite: "parsec", build: parsec::fluidanimate::build },
-        Workload { name: "freqmine", suite: "parsec", build: parsec::freqmine::build },
-        Workload { name: "streamcluster", suite: "parsec", build: parsec::streamcluster::build },
-        Workload { name: "swaptions", suite: "parsec", build: parsec::swaptions::build },
-        Workload { name: "vips", suite: "parsec", build: parsec::vips::build },
-        Workload { name: "bfs", suite: "rodinia", build: rodinia::bfs::build },
-        Workload { name: "cfd", suite: "rodinia", build: rodinia::cfd::build },
-        Workload { name: "hotspot", suite: "rodinia", build: rodinia::hotspot::build },
-        Workload { name: "hotspot3d", suite: "rodinia", build: rodinia::hotspot3d::build },
-        Workload { name: "particlefilter", suite: "rodinia", build: rodinia::particlefilter::build },
-        Workload { name: "sradv2", suite: "rodinia", build: rodinia::sradv2::build },
+        Workload {
+            name: "matmul-demo",
+            suite: "demo",
+            build: matmul::build,
+        },
+        Workload {
+            name: "blackscholes",
+            suite: "parsec",
+            build: parsec::blackscholes::build,
+        },
+        Workload {
+            name: "bodytrack",
+            suite: "parsec",
+            build: parsec::bodytrack::build,
+        },
+        Workload {
+            name: "facesim",
+            suite: "parsec",
+            build: parsec::facesim::build,
+        },
+        Workload {
+            name: "ferret",
+            suite: "parsec",
+            build: parsec::ferret::build,
+        },
+        Workload {
+            name: "fluidanimate",
+            suite: "parsec",
+            build: parsec::fluidanimate::build,
+        },
+        Workload {
+            name: "freqmine",
+            suite: "parsec",
+            build: parsec::freqmine::build,
+        },
+        Workload {
+            name: "streamcluster",
+            suite: "parsec",
+            build: parsec::streamcluster::build,
+        },
+        Workload {
+            name: "swaptions",
+            suite: "parsec",
+            build: parsec::swaptions::build,
+        },
+        Workload {
+            name: "vips",
+            suite: "parsec",
+            build: parsec::vips::build,
+        },
+        Workload {
+            name: "bfs",
+            suite: "rodinia",
+            build: rodinia::bfs::build,
+        },
+        Workload {
+            name: "cfd",
+            suite: "rodinia",
+            build: rodinia::cfd::build,
+        },
+        Workload {
+            name: "hotspot",
+            suite: "rodinia",
+            build: rodinia::hotspot::build,
+        },
+        Workload {
+            name: "hotspot3d",
+            suite: "rodinia",
+            build: rodinia::hotspot3d::build,
+        },
+        Workload {
+            name: "particlefilter",
+            suite: "rodinia",
+            build: rodinia::particlefilter::build,
+        },
+        Workload {
+            name: "sradv2",
+            suite: "rodinia",
+            build: rodinia::sradv2::build,
+        },
     ]
 }
 
@@ -65,26 +129,51 @@ pub fn by_name(name: &str) -> Option<Workload> {
 
 /// The seven benchmarks of Figure 10 / RQ4, paper order.
 pub fn figure10_set() -> Vec<Workload> {
-    ["hotspot3d", "cfd", "hotspot", "sradv2", "particlefilter", "bfs", "swaptions"]
-        .iter()
-        .map(|n| by_name(n).expect("known workload"))
-        .collect()
+    [
+        "hotspot3d",
+        "cfd",
+        "hotspot",
+        "sradv2",
+        "particlefilter",
+        "bfs",
+        "swaptions",
+    ]
+    .iter()
+    .map(|n| by_name(n).expect("known workload"))
+    .collect()
 }
 
 /// The seven PARSEC applications of Figure 4.
 pub fn figure4_set() -> Vec<Workload> {
-    ["blackscholes", "bodytrack", "facesim", "ferret", "streamcluster", "vips", "freqmine"]
-        .iter()
-        .map(|n| by_name(n).expect("known workload"))
-        .collect()
+    [
+        "blackscholes",
+        "bodytrack",
+        "facesim",
+        "ferret",
+        "streamcluster",
+        "vips",
+        "freqmine",
+    ]
+    .iter()
+    .map(|n| by_name(n).expect("known workload"))
+    .collect()
 }
 
 /// The eight benchmarks of Figure 11 (code size).
 pub fn figure11_set() -> Vec<Workload> {
-    ["hotspot3d", "cfd", "hotspot", "particlefilter", "swaptions", "bfs", "fluidanimate", "sradv2"]
-        .iter()
-        .map(|n| by_name(n).expect("known workload"))
-        .collect()
+    [
+        "hotspot3d",
+        "cfd",
+        "hotspot",
+        "particlefilter",
+        "swaptions",
+        "bfs",
+        "fluidanimate",
+        "sradv2",
+    ]
+    .iter()
+    .map(|n| by_name(n).expect("known workload"))
+    .collect()
 }
 
 #[cfg(test)]

@@ -118,7 +118,11 @@ mod tests {
     fn scales_with_input() {
         let small = build(InputSize::SimSmall);
         let large = build(InputSize::SimLarge);
-        assert_eq!(small.total_instrs(), large.total_instrs(), "static size fixed");
+        assert_eq!(
+            small.total_instrs(),
+            large.total_instrs(),
+            "static size fixed"
+        );
         // Dynamic scaling is in the trip counts, checked via the printer.
         let text = astro_ir::printer::print_module(&large);
         assert!(text.contains("count="));

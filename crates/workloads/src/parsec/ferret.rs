@@ -98,9 +98,7 @@ mod tests {
     #[test]
     fn stages_have_distinct_mixes() {
         let m = build(InputSize::Test);
-        let fv = |n: &str| {
-            extract_function_features(m.function(m.function_by_name(n).unwrap()))
-        };
+        let fv = |n: &str| extract_function_features(m.function(m.function_by_name(n).unwrap()));
         assert!(fv("image_extract_helper").fp_dens > fv("cass_table_query").fp_dens);
         assert!(fv("cass_table_query").int_dens > fv("LSH_query_rank").int_dens);
     }

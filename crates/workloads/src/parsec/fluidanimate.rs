@@ -86,7 +86,11 @@ mod tests {
         let pm = PhaseMap::compute(&m);
         let p = |n: &str| pm.phase(m.function_by_name(n).unwrap());
         assert_eq!(p("ComputeForces"), ProgramPhase::CpuBound);
-        assert_eq!(p("AdvanceFrame"), ProgramPhase::Blocked, "barriers dominate");
+        assert_eq!(
+            p("AdvanceFrame"),
+            ProgramPhase::Blocked,
+            "barriers dominate"
+        );
     }
 
     #[test]

@@ -77,7 +77,11 @@ mod tests {
     fn memory_bound_distance_kernel() {
         let m = build(InputSize::Test);
         let fv = extract_function_features(m.function(m.function_by_name("dist").unwrap()));
-        assert!(fv.mem_dens > 0.4, "dist streams memory, got {}", fv.mem_dens);
+        assert!(
+            fv.mem_dens > 0.4,
+            "dist streams memory, got {}",
+            fv.mem_dens
+        );
     }
 
     #[test]

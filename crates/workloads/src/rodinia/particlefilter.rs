@@ -120,9 +120,8 @@ mod tests {
     #[test]
     fn normalisation_uses_locks() {
         let m = build(InputSize::Test);
-        let fv = extract_function_features(
-            m.function(m.function_by_name("normalize_weights").unwrap()),
-        );
+        let fv =
+            extract_function_features(m.function(m.function_by_name("normalize_weights").unwrap()));
         assert!(fv.locks_dens > 0.2);
     }
 }

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example custom_workload`
 
-use astro::compiler::{
-    extract_function_features, instrument_for_learning, PhaseMap,
-};
+use astro::compiler::{extract_function_features, instrument_for_learning, PhaseMap};
 use astro::ir::{printer, FunctionBuilder, LibCall, MemBehavior, Module, Ty, Value};
 
 fn main() {
@@ -50,7 +48,12 @@ fn main() {
         let fv = extract_function_features(f);
         println!(
             "{:<12} io={:.2} mem={:.2} int={:.2} fp={:.2} locks={:.2} -> {}",
-            f.name, fv.io_dens, fv.mem_dens, fv.int_dens, fv.fp_dens, fv.locks_dens,
+            f.name,
+            fv.io_dens,
+            fv.mem_dens,
+            fv.int_dens,
+            fv.fp_dens,
+            fv.locks_dens,
             phases.phase(id)
         );
     }

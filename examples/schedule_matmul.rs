@@ -34,7 +34,11 @@ fn main() {
     let space = board.config_space();
     for phase in ProgramPhase::ALL {
         let idx = trained.static_schedule.config_for_phase[phase.index()];
-        println!("  {:<10} -> {}", phase.to_string(), space.from_index(idx).label());
+        println!(
+            "  {:<10} -> {}",
+            phase.to_string(),
+            space.from_index(idx).label()
+        );
     }
 
     let static_mod = pipe.build_static(&module, &trained.static_schedule);

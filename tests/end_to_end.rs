@@ -32,12 +32,7 @@ fn every_workload_runs_under_gts() {
         let machine = Machine::new(&board, fast_params());
         let mut sched = GtsScheduler::default();
         let mut hooks = NullHooks;
-        let r = machine.run(
-            &prog,
-            &mut sched,
-            &mut hooks,
-            board.config_space().full(),
-        );
+        let r = machine.run(&prog, &mut sched, &mut hooks, board.config_space().full());
         assert!(!r.timed_out, "{} timed out", w.name);
         assert!(r.energy_j > 0.0, "{} consumed no energy", w.name);
         assert!(r.instructions > 1000, "{} did no work", w.name);

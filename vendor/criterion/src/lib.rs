@@ -1,0 +1,124 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this repository cannot reach crates.io, so
+//! the workspace vendors the subset of the criterion 0.5 API its
+//! benchmarks use: [`Criterion::bench_function`], [`Bencher::iter`], and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — calibrate an iteration count to
+//! roughly a fixed measurement window, take several samples, report the
+//! median ns/iter — with none of criterion's statistics, plots, or
+//! baseline storage. It is enough to compare hot paths release-to-release
+//! by eye, which is all the experiment harness needs offline.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+/// Re-exported so benches can use `criterion::black_box` like the real
+/// crate (the workspace's benches use `std::hint::black_box` directly,
+/// which this forwards to).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `body` `self.iters` times, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness entry point. Mirrors `criterion::Criterion`,
+/// restricted to `bench_function`.
+pub struct Criterion {
+    measurement_window: Duration,
+    samples: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_window: Duration::from_millis(200),
+            samples: 7,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `body` under the harness and prints `name: <median> ns/iter`.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration: grow the iteration count until one batch fills a
+        // share of the measurement window.
+        let mut iters = 1u64;
+        let per_sample = self.measurement_window / self.samples;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            body(&mut b);
+            if b.elapsed >= per_sample || iters >= 1 << 30 {
+                break;
+            }
+            // Aim directly for the target window from the observed rate.
+            let observed = b.elapsed.as_nanos().max(1) as u64;
+            let target = per_sample.as_nanos() as u64;
+            iters = (iters * target / observed).clamp(iters * 2, iters.saturating_mul(100));
+        }
+
+        let mut per_iter_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                body(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        println!(
+            "{name:<40} {median:>12.1} ns/iter  ({iters} iters x {} samples)",
+            self.samples
+        );
+        self
+    }
+}
+
+/// Groups benchmark functions, mirroring `criterion_group!`. Only the
+/// simple `criterion_group!(name, fn, ..)` form is supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

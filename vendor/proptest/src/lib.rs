@@ -1,0 +1,391 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment for this repository cannot reach crates.io, so
+//! the workspace vendors the subset of the proptest 1.x API its property
+//! tests use:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map` and
+//!   `prop_recursive`;
+//! * range and tuple strategies, [`Just`](strategy::Just),
+//!   [`collection::vec`], and the `prop_oneof!` union macro;
+//! * the `proptest!` test-harness macro with `#![proptest_config(..)]`,
+//!   `prop_assert!`, and `prop_assert_eq!`.
+//!
+//! Semantics differences from real proptest, all deliberate for an
+//! offline reproduction harness: failing cases are **not shrunk** (the
+//! panic message carries the generated input via `Debug` instead), there
+//! is no failure-persistence file, and generation is seeded
+//! deterministically per test so CI runs are exactly reproducible.
+
+use std::fmt;
+use std::rc::Rc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies. A thin wrapper so strategy code does not
+/// depend on the concrete generator.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Deterministic per-seed constructor used by the `proptest!` macro.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(seed))
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.0.gen_range(0..n)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn float_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.0.gen_range(lo..hi)
+    }
+
+    /// Uniform `i128` in `[lo, hi)` — the common integer path.
+    pub fn int_in(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo < hi);
+        let span = (hi - lo) as u128;
+        lo + (self.0.gen::<u64>() as u128 % span) as i128
+    }
+}
+
+/// Test-runner configuration. Only the number of cases is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// How many random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use super::*;
+
+    /// A reference-counted, type-erased strategy. All combinators in this
+    /// stub normalise to this representation; it is cheap to clone.
+    pub struct BoxedStrategy<T> {
+        sampler: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                sampler: Rc::clone(&self.sampler),
+            }
+        }
+    }
+
+    impl<T> BoxedStrategy<T> {
+        /// Wraps a sampling closure.
+        pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+            BoxedStrategy {
+                sampler: Rc::new(f),
+            }
+        }
+
+        /// Draws one value.
+        pub fn sample(&self, rng: &mut TestRng) -> T {
+            (self.sampler)(rng)
+        }
+    }
+
+    impl<T: fmt::Debug + 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.sample(rng)
+        }
+    }
+
+    /// A composable generator of random values of type `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking: a
+    /// strategy is just a pure function of the RNG.
+    pub trait Strategy: Clone + 'static {
+        /// The type of the generated values.
+        type Value: fmt::Debug;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+        {
+            BoxedStrategy::from_fn(move |rng| self.new_value(rng))
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: fmt::Debug, F>(self, f: F) -> BoxedStrategy<O>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O + 'static,
+        {
+            let inner = self.boxed();
+            BoxedStrategy::from_fn(move |rng| f(inner.sample(rng)))
+        }
+
+        /// Builds a recursive strategy: `recurse` receives a strategy for
+        /// the element type and returns a strategy for one more level of
+        /// structure. `depth` bounds the recursion; at each level the leaf
+        /// strategy stays in the mix so generated structures vary in
+        /// depth. `desired_size` and `expected_branch_size` are accepted
+        /// for API compatibility and ignored (no size-driven generation).
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+            R: Strategy<Value = Self::Value>,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut level = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(level).boxed();
+                let l = leaf.clone();
+                level = BoxedStrategy::from_fn(move |rng| {
+                    if rng.below(2) == 0 {
+                        l.sample(rng)
+                    } else {
+                        deeper.sample(rng)
+                    }
+                });
+            }
+            level
+        }
+    }
+
+    /// A strategy producing one fixed value, cloned per case.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug + 'static> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between equally-weighted alternative strategies.
+    /// `prop_oneof!` builds one of these.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T: fmt::Debug> Union<T> {
+        /// Builds a union over the given alternatives. Panics if empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T: fmt::Debug + 'static> Strategy for Union<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len());
+            self.options[i].sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.int_in(self.start as i128, self.end as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            rng.float_in(self.start, self.end)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $v:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A a)
+        (A a, B b)
+        (A a, B b, C c)
+        (A a, B b, C c, D d)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::strategy::{BoxedStrategy, Strategy};
+
+    /// A strategy for `Vec`s whose length is drawn from `len` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(
+        element: S,
+        len: std::ops::Range<usize>,
+    ) -> BoxedStrategy<Vec<S::Value>> {
+        let element = element.boxed();
+        BoxedStrategy::from_fn(move |rng| {
+            let n = rng.int_in(len.start as i128, len.end as i128) as usize;
+            (0..n).map(|_| element.sample(rng)).collect()
+        })
+    }
+}
+
+/// What everything in a `proptest!` body needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, TestRng};
+
+    /// The `prop::` namespace (`prop::collection::vec(..)` etc.).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body. Without shrinking the
+/// failure simply panics, carrying the formatted message; the macro
+/// harness prefixes the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests. Each `#[test] fn name(pat in strategy, ..)
+/// { body }` runs `cases` random cases (default 256, override with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`). As in real
+/// proptest, the `#[test]` attribute is written by the caller and passed
+/// through. On failure the generated inputs are printed before the panic
+/// propagates.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                // Seed derived from the test name: deterministic across
+                // runs, different across tests.
+                let seed = {
+                    let name = stringify!($name);
+                    let mut h = 0xcbf2_9ce4_8422_2325u64;
+                    for b in name.bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x100_0000_01b3);
+                    }
+                    h
+                };
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::TestRng::seed_from_u64(seed ^ ((case as u64) << 32 | 0x5bd1));
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(&$strategy, &mut rng);
+                    )+
+                    let run = || {
+                        $body
+                    };
+                    if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "proptest case {case} failed for {}:",
+                            stringify!($name),
+                        );
+                        $(
+                            eprintln!("  {} = {:?}", stringify!($arg), $arg);
+                        )+
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,52 @@
+//! Meta-tests for the proptest stand-in: strategies hit their ranges and
+//! the harness actually fails failing properties.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ranges_in_bounds(x in 1u8..5, f in -2.0..3.0f64, v in prop::collection::vec(0usize..7, 1..4)) {
+        prop_assert!((1..5).contains(&x));
+        prop_assert!((-2.0..3.0).contains(&f));
+        prop_assert!(!v.is_empty() && v.len() < 4);
+        prop_assert!(v.iter().all(|&e| e < 7));
+    }
+
+    #[test]
+    fn oneof_and_map_compose(y in prop_oneof![Just(1u8), Just(2u8)].prop_map(|n| n * 10)) {
+        prop_assert!(y == 10 || y == 20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn failing_property_fails(x in 0u8..10) {
+        prop_assert!(x < 5, "harness must surface violations, got {x}");
+    }
+}
+
+#[test]
+fn recursive_strategy_terminates() {
+    #[derive(Clone, Debug)]
+    enum Tree {
+        Leaf(u8),
+        Node(Vec<Tree>),
+    }
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+    let strat = (0u8..10)
+        .prop_map(Tree::Leaf)
+        .prop_recursive(3, 24, 4, |inner| {
+            prop::collection::vec(inner, 1..3).prop_map(Tree::Node)
+        });
+    let mut rng = TestRng::seed_from_u64(99);
+    for _ in 0..200 {
+        let t = proptest::strategy::Strategy::new_value(&strat, &mut rng);
+        assert!(depth(&t) <= 4, "depth bound respected: {t:?}");
+    }
+}

@@ -1,0 +1,245 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors the *subset* of the rand 0.8 API that the
+//! Astro crates actually use: the [`Rng`] and [`SeedableRng`] traits and
+//! [`rngs::SmallRng`], a small, fast, deterministic generator
+//! (xoshiro256++ seeded through splitmix64 — the same construction the
+//! real `SmallRng` uses on 64-bit targets).
+//!
+//! Determinism is a hard requirement of the execution engine (`astro-exec`
+//! promises that every simulation is a pure function of its seed), so the
+//! generator here is fully specified and has no global or thread-local
+//! state: there is deliberately no `thread_rng`.
+
+/// A source of random 32/64-bit words. Mirrors `rand_core::RngCore`.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A generator constructible from a seed. Mirrors `rand_core::SeedableRng`,
+/// restricted to the `seed_from_u64` entry point the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Deterministically builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the generator's full output
+/// range via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision, matching rand's
+    /// `Standard` distribution for `f64`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types samplable from a half-open `lo..hi` range via [`Rng::gen_range`].
+pub trait UniformSample: Sized + PartialOrd {
+    /// Draws a value uniformly from `[lo, hi)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range called with empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Debiased multiply-shift (Lemire); span is tiny in practice
+                // so a single widening multiply with rejection is enough.
+                let zone = u128::from(u64::MAX) + 1;
+                let reject_past = zone - zone % span;
+                loop {
+                    let x = u128::from(rng.next_u64());
+                    if x < reject_past {
+                        return (lo as i128 + (x % span) as i128) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformSample for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range called with empty range");
+        let unit = f64::sample(rng);
+        lo + unit * (hi - lo)
+    }
+}
+
+impl UniformSample for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range called with empty range");
+        let unit = f32::sample(rng);
+        lo + unit * (hi - lo)
+    }
+}
+
+/// The user-facing sampling interface. Mirrors `rand::Rng`, restricted to
+/// `gen`, `gen_range` over half-open ranges, and `gen_bool`.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its full-range distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from the half-open range `lo..hi`.
+    fn gen_range<T: UniformSample>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic PRNG: xoshiro256++ with splitmix64
+    /// seed expansion — the construction the real `SmallRng` uses on
+    /// 64-bit platforms. Not cryptographically secure; statistically
+    /// excellent and exactly reproducible across platforms.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::Rng;
+
+        #[test]
+        fn deterministic_across_instances() {
+            let mut a = SmallRng::seed_from_u64(42);
+            let mut b = SmallRng::seed_from_u64(42);
+            for _ in 0..100 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+
+        #[test]
+        fn unit_floats_in_range() {
+            let mut r = SmallRng::seed_from_u64(7);
+            for _ in 0..1000 {
+                let x: f64 = r.gen();
+                assert!((0.0..1.0).contains(&x));
+            }
+        }
+
+        #[test]
+        fn gen_range_respects_bounds() {
+            let mut r = SmallRng::seed_from_u64(9);
+            let mut seen = [false; 10];
+            for _ in 0..1000 {
+                let x = r.gen_range(0usize..10);
+                seen[x] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+            for _ in 0..1000 {
+                let f = r.gen_range(0.95..1.05f64);
+                assert!((0.95..1.05).contains(&f));
+            }
+        }
+    }
+}
