@@ -1,6 +1,6 @@
 //! Criterion micro-benchmarks for the hot components of the stack:
-//! the interpreter, the cache model, the Q-agent, and a whole-machine
-//! end-to-end run.
+//! the interpreter, the cache model, the Q-agent, a whole-machine
+//! end-to-end run, and the parallel experiment driver.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -89,5 +89,66 @@ fn bench_machine(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_nn, bench_cache, bench_qagent, bench_machine);
+/// The runner's previous implementation, kept as the benchmark baseline:
+/// workers pull one index at a time from a shared atomic and write each
+/// result under a shared mutex. The live implementation
+/// ([`astro_bench::runner::parallel_map`]) chunks the index space per
+/// worker instead, so cheap items no longer serialise on the lock.
+fn parallel_map_per_item_lock<T, F>(n: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n.max(1)) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = job(i);
+                results.lock().expect("result lock poisoned")[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("result lock poisoned")
+        .into_iter()
+        .map(|r| r.expect("every index produced"))
+        .collect()
+}
+
+fn bench_runner(c: &mut Criterion) {
+    use astro_bench::runner::parallel_map;
+    const N: usize = 8192;
+    const THREADS: usize = 4;
+    // A cheap item makes the coordination overhead the measured quantity.
+    let item = |i: usize| {
+        let mut acc = i as u64;
+        for _ in 0..32 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        acc
+    };
+    c.bench_function("parallel_map_chunked_8k_cheap_items", |b| {
+        b.iter(|| black_box(parallel_map(N, THREADS, item)))
+    });
+    c.bench_function("parallel_map_per_item_lock_8k_cheap_items", |b| {
+        b.iter(|| black_box(parallel_map_per_item_lock(N, THREADS, item)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_nn,
+    bench_cache,
+    bench_qagent,
+    bench_machine,
+    bench_runner
+);
 criterion_main!(benches);

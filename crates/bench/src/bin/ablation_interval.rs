@@ -1,5 +1,8 @@
-//! Ablation C: checkpoint interval vs overhead.
+//! Ablation C: checkpoint interval vs overhead. `--size`, `--seed`.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    astro_bench::figs::ablation_interval::run(astro_bench::parse_size(&args));
+    astro_bench::figs::ablation_interval::run(
+        astro_bench::parse_size(&args),
+        astro_bench::parse_seed(&args),
+    );
 }

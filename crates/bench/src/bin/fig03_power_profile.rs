@@ -1,5 +1,9 @@
-//! Regenerates Figure 3 (the matmul demo's power profile).
+//! Regenerates Figure 3 (the matmul demo's power profile). `--size`,
+//! `--seed`.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    astro_bench::figs::fig03::run(astro_bench::parse_size(&args));
+    astro_bench::figs::fig03::run(
+        astro_bench::parse_size(&args),
+        astro_bench::parse_seed(&args),
+    );
 }

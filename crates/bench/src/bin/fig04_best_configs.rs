@@ -2,6 +2,7 @@
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let size = astro_bench::parse_size(&args);
+    let seed = astro_bench::parse_seed(&args);
     let samples = if astro_bench::quick_mode(&args) { 1 } else { 3 };
-    astro_bench::figs::fig04::run(size, samples);
+    astro_bench::figs::fig04::run(size, samples, seed);
 }

@@ -2,10 +2,11 @@
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let size = astro_bench::parse_size(&args);
+    let seed = astro_bench::parse_seed(&args);
     let episodes = if astro_bench::quick_mode(&args) {
         20
     } else {
         80
     };
-    astro_bench::figs::fig09::run(size, episodes);
+    astro_bench::figs::fig09::run(size, episodes, seed);
 }

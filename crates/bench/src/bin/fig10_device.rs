@@ -2,10 +2,11 @@
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let size = astro_bench::parse_size(&args);
+    let seed = astro_bench::parse_seed(&args);
     let (episodes, samples) = if astro_bench::quick_mode(&args) {
         (3, 3)
     } else {
         (8, 5)
     };
-    astro_bench::figs::fig10::run(size, episodes, samples);
+    astro_bench::figs::fig10::run(size, episodes, samples, seed);
 }

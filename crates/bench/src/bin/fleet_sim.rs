@@ -1,0 +1,28 @@
+//! Fleet simulation: multi-board, multi-tenant co-scheduling with the
+//! shared policy cache. `--jobs <n>`, `--boards <n>`, `--seed <u64>`,
+//! `--quick`, `--size` (defaults to `test`: fleet runs are about
+//! queueing and placement, not per-job input scale).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let size = if args.iter().any(|a| a == "--size") {
+        astro_bench::parse_size(&args)
+    } else {
+        astro_workloads::InputSize::Test
+    };
+    let seed = astro_bench::parse_seed(&args);
+    let quick = astro_bench::quick_mode(&args);
+    let (default_jobs, default_boards) = if quick { (240, 16) } else { (1200, 20) };
+    let flag = |name: &str, default: usize| {
+        assert!(
+            args.last().map(String::as_str) != Some(name),
+            "{name} requires a value"
+        );
+        args.windows(2)
+            .find(|w| w[0] == name)
+            .map(|w| w[1].parse().expect("flag takes an unsigned integer"))
+            .unwrap_or(default)
+    };
+    let jobs = flag("--jobs", default_jobs);
+    let boards = flag("--boards", default_boards);
+    astro_bench::figs::fleet::run(size, jobs, boards, seed);
+}

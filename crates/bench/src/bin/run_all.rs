@@ -1,9 +1,12 @@
 //! Runs every experiment in sequence (use `--quick --size test` for a
 //! fast smoke pass; defaults regenerate everything at simsmall scale).
+//! `--seed <u64>` re-runs the whole suite in a different, equally
+//! deterministic random universe.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let size = astro_bench::parse_size(&args);
     let quick = astro_bench::quick_mode(&args);
+    let seed = astro_bench::parse_seed(&args);
     let (ep9, ep10, s10, s1) = if quick { (20, 3, 3, 1) } else { (80, 8, 5, 5) };
 
     astro_bench::figs::table1::run();
@@ -12,21 +15,28 @@ fn main() {
     println!();
     astro_bench::figs::fig11::run(size);
     println!();
-    astro_bench::figs::fig03::run(size);
+    astro_bench::figs::fig03::run(size, seed);
     println!();
-    astro_bench::figs::fig01::run(size, s1);
+    astro_bench::figs::fig01::run(size, s1, seed);
     println!();
-    astro_bench::figs::fig04::run(size, if quick { 1 } else { 3 });
+    astro_bench::figs::fig04::run(size, if quick { 1 } else { 3 }, seed);
     println!();
-    astro_bench::figs::fig09::run(size, ep9);
+    astro_bench::figs::fig09::run(size, ep9, seed);
     println!();
-    astro_bench::figs::fig10::run(size, ep10, s10);
+    astro_bench::figs::fig10::run(size, ep10, s10, seed);
     println!();
-    astro_bench::figs::ablation_convergence::run(size, if quick { 24 } else { 60 });
+    astro_bench::figs::ablation_convergence::run(size, if quick { 24 } else { 60 }, seed);
     println!();
-    astro_bench::figs::ablation_gamma::run(size, if quick { 20 } else { 50 });
+    astro_bench::figs::ablation_gamma::run(size, if quick { 20 } else { 50 }, seed);
     println!();
-    astro_bench::figs::ablation_interval::run(size);
+    astro_bench::figs::ablation_interval::run(size, seed);
     println!();
-    astro_bench::figs::ablation_agent::run(size, if quick { 20 } else { 60 });
+    astro_bench::figs::ablation_agent::run(size, if quick { 20 } else { 60 }, seed);
+    println!();
+    // The fleet experiment always runs at `test` scale: it measures
+    // queueing and placement over a thousand jobs, not per-job input
+    // scale (the `fleet_sim` binary takes `--jobs`/`--boards`/`--size`
+    // overrides).
+    let (fjobs, fboards) = if quick { (240, 16) } else { (1200, 20) };
+    astro_bench::figs::fleet::run(astro_workloads::InputSize::Test, fjobs, fboards, seed);
 }

@@ -85,16 +85,16 @@ impl TracePolicy for TabularTracePolicy {
 }
 
 /// Run the agent ablation.
-pub fn run(size: InputSize, episodes: usize) {
+pub fn run(size: InputSize, episodes: usize, seed: u64) {
     println!("=== Ablation D: neural-network vs tabular Q-learning ===\n");
-    let ts = fluidanimate_traces(size);
+    let ts = fluidanimate_traces(size, seed);
     let space = AstroStateSpace::ODROID_XU4;
     let sim = TraceSim::new(&ts);
     let start = ts.num_configs() - 1;
 
     // NN agent.
     let mut qcfg = QConfig::astro_default(space.encoding_dim(), space.num_actions());
-    qcfg.seed = 51;
+    qcfg.seed = seed.wrapping_add(51);
     qcfg.epsilon_decay_steps = (episodes as u64 * 30).max(200);
     let mut nn = AstroTracePolicy::new(
         QAgent::new(qcfg),
@@ -107,7 +107,7 @@ pub fn run(size: InputSize, episodes: usize) {
     let nn_out = sim.run(&mut nn, start);
 
     // Tabular agent.
-    let mut tab = TabularTracePolicy::new(space, RewardParams::default(), 52);
+    let mut tab = TabularTracePolicy::new(space, RewardParams::default(), seed.wrapping_add(52));
     tab.q.epsilon = 0.25;
     sim.train(&mut tab, start, episodes);
     tab.frozen = true;

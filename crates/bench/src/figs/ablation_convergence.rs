@@ -53,12 +53,12 @@ pub fn episodes_to_converge(curve: &[TraceSimOutcome], tol: f64) -> usize {
 }
 
 /// Run the convergence ablation.
-pub fn run(size: InputSize, episodes: usize) {
+pub fn run(size: InputSize, episodes: usize, seed: u64) {
     println!("=== Ablation A: convergence with vs without program phases ===\n");
-    let ts = fluidanimate_traces(size);
+    let ts = fluidanimate_traces(size, seed);
     println!("training (2 learners x {episodes} episodes)…\n");
-    let astro = curve(&ts, StateView::PhaseAware, episodes, 31);
-    let hipster = curve(&ts, StateView::PhaseBlind, episodes, 32);
+    let astro = curve(&ts, StateView::PhaseAware, episodes, seed.wrapping_add(31));
+    let hipster = curve(&ts, StateView::PhaseBlind, episodes, seed.wrapping_add(32));
 
     let mut t = TextTable::new(&[
         "episode",

@@ -12,9 +12,9 @@ use astro_rl::qlearn::{QAgent, QConfig};
 use astro_workloads::InputSize;
 
 /// Run the γ sweep.
-pub fn run(size: InputSize, episodes: usize) {
+pub fn run(size: InputSize, episodes: usize, seed: u64) {
     println!("=== Ablation B: reward exponent gamma sweep ===\n");
-    let ts = fluidanimate_traces(size);
+    let ts = fluidanimate_traces(size, seed);
     let space = AstroStateSpace::ODROID_XU4;
     let mut t = TextTable::new(&["gamma", "time (s)", "energy (J)", "E*T"]);
     for &gamma in &[0.5, 1.0, 1.5, 2.0, 3.0] {
@@ -23,7 +23,7 @@ pub fn run(size: InputSize, episodes: usize) {
             ..RewardParams::default()
         };
         let mut qcfg = QConfig::astro_default(space.encoding_dim(), space.num_actions());
-        qcfg.seed = 41 + (gamma * 10.0) as u64;
+        qcfg.seed = seed.wrapping_add(41 + (gamma * 10.0) as u64);
         qcfg.epsilon_decay_steps = (episodes as u64 * 30).max(200);
         let mut sim = TraceSim::new(&ts);
         sim.reward = reward;

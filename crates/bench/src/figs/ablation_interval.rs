@@ -23,7 +23,7 @@ use astro_rl::qlearn::{QAgent, QConfig};
 use astro_workloads::InputSize;
 
 /// Run the interval sweep.
-pub fn run(size: InputSize) {
+pub fn run(size: InputSize, seed: u64) {
     println!("=== Ablation C: checkpoint interval vs adaptation overhead ===\n");
     let board = BoardSpec::odroid_xu4();
     let module = (astro_workloads::by_name("cfd").unwrap().build)(size);
@@ -37,7 +37,7 @@ pub fn run(size: InputSize) {
     };
 
     // Baseline: uninstrumented program under GTS.
-    let base_params = crate::experiment_params();
+    let base_params = crate::experiment_params_seeded(seed);
     let machine = Machine::new(&board, base_params);
     let mut gts = GtsScheduler::default();
     let mut null = NullHooks;
@@ -67,7 +67,8 @@ pub fn run(size: InputSize) {
         };
         let machine = Machine::new(&board, params);
         let mut sched = AffinityScheduler;
-        let qcfg = QConfig::astro_default(space.encoding_dim(), space.num_actions());
+        let mut qcfg = QConfig::astro_default(space.encoding_dim(), space.num_actions());
+        qcfg.seed = qcfg.seed.wrapping_add(seed);
         let agent = QAgent::new(qcfg);
         let mut hooks = AstroLearningHooks::new(space, RewardParams::default(), agent);
         let r = machine.run(

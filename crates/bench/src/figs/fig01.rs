@@ -22,6 +22,7 @@ pub fn sweep(
     workload: &astro_workloads::Workload,
     size: InputSize,
     samples: usize,
+    seed: u64,
 ) -> (Vec<ConfigPoint>, Vec<f64>, f64) {
     let board = BoardSpec::odroid_xu4();
     let space = board.config_space();
@@ -33,7 +34,7 @@ pub fn sweep(
         let pipe = AstroPipeline::new(
             &board,
             PipelineConfig {
-                machine: crate::experiment_params(),
+                machine: crate::experiment_params_seeded(seed),
                 ..Default::default()
             },
         );
@@ -41,7 +42,7 @@ pub fn sweep(
         let mut walls = Vec::with_capacity(samples);
         let mut energies = Vec::with_capacity(samples);
         for s in 0..samples {
-            let r = pipe.run_fixed(&module, cfgs[i], 1000 + s as u64);
+            let r = pipe.run_fixed(&module, cfgs[i], seed.wrapping_add(1000 + s as u64));
             times.push(r.cpu_time_s);
             walls.push(r.wall_time_s);
             energies.push(r.energy_j);
@@ -73,11 +74,11 @@ pub fn sweep(
 }
 
 /// Run the Figure 1 experiment.
-pub fn run(size: InputSize, samples: usize) {
+pub fn run(size: InputSize, samples: usize, seed: u64) {
     println!("=== Figure 1: Energy vs processing time, all 24 configurations ===\n");
     for name in ["freqmine", "streamcluster"] {
         let w = astro_workloads::by_name(name).expect("workload");
-        let (points, walls, max_cv) = sweep(&w, size, samples);
+        let (points, walls, max_cv) = sweep(&w, size, samples, seed);
         let bt = best_time(&points);
         let be = best_energy(&points);
         let bedp = best_edp(&points);

@@ -17,7 +17,10 @@ use astro_hw::config::HwConfig;
 use astro_workloads::InputSize;
 
 /// Run the Figure 3 experiment; returns (tag, mean W, duration s) rows.
-pub fn profile(size: InputSize) -> (Vec<(String, f64, f64)>, Vec<astro_hw::energy::PowerSample>) {
+pub fn profile(
+    size: InputSize,
+    seed: u64,
+) -> (Vec<(String, f64, f64)>, Vec<astro_hw::energy::PowerSample>) {
     let board = BoardSpec::jetson_tk1();
     let mut module = astro_workloads::matmul::build(size);
     // Learning instrumentation provides the probe's event tags (the
@@ -28,7 +31,7 @@ pub fn profile(size: InputSize) -> (Vec<(String, f64, f64)>, Vec<astro_hw::energ
 
     let params = MachineParams {
         probe_rate_hz: Some(100_000.0), // 1 kHz scaled to ms-scale runs
-        ..crate::experiment_params()
+        ..crate::experiment_params_seeded(seed)
     };
     let machine = Machine::new(&board, params);
     let mut sched = AffinityScheduler;
@@ -57,9 +60,9 @@ pub fn profile(size: InputSize) -> (Vec<(String, f64, f64)>, Vec<astro_hw::energ
 }
 
 /// Run and print the Figure 3 experiment.
-pub fn run(size: InputSize) {
+pub fn run(size: InputSize, seed: u64) {
     println!("=== Figure 3: power profile of the matmul demo (Jetson TK1 model) ===\n");
-    let (rows, samples) = profile(size);
+    let (rows, samples) = profile(size, seed);
 
     println!("--- per-event power (the figure's annotated plateaus) ---");
     let mut t = TextTable::new(&["program event", "mean power (W)", "duration"]);

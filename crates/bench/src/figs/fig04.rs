@@ -11,12 +11,12 @@ use crate::table::TextTable;
 use astro_workloads::InputSize;
 
 /// Run the Figure 4 experiment.
-pub fn run(size: InputSize, samples: usize) {
+pub fn run(size: InputSize, samples: usize, seed: u64) {
     println!("=== Figure 4: best configurations under 1% / 5% slowdown budgets ===\n");
     let mut t = TextTable::new(&["application", "best (1% loss)", "best (5% loss)", "fastest"]);
     let mut distinct = std::collections::HashSet::new();
     for w in astro_workloads::figure4_set() {
-        let (points, _walls, _) = sweep(&w, size, samples);
+        let (points, _walls, _) = sweep(&w, size, samples, seed);
         let b1 = best_under_slowdown(&points, 0.01);
         let b5 = best_under_slowdown(&points, 0.05);
         let fastest = crate::pareto::best_time(&points);

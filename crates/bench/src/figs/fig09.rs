@@ -28,10 +28,14 @@ use astro_rl::qlearn::{QAgent, QConfig};
 use astro_workloads::InputSize;
 
 /// Record the fluidanimate trace set.
-pub fn fluidanimate_traces(size: InputSize) -> TraceSet {
+pub fn fluidanimate_traces(size: InputSize, seed: u64) -> TraceSet {
     let module = astro_workloads::by_name("fluidanimate").unwrap();
     let board = BoardSpec::odroid_xu4();
-    record_traces(&(module.build)(size), &board, &crate::experiment_params())
+    record_traces(
+        &(module.build)(size),
+        &board,
+        &crate::experiment_params_seeded(seed),
+    )
 }
 
 /// Train an Astro-style trace policy and return its frozen evaluation.
@@ -86,10 +90,10 @@ pub fn train_and_eval(
 }
 
 /// Run the Figure 9 experiment.
-pub fn run(size: InputSize, episodes: usize) {
+pub fn run(size: InputSize, episodes: usize, seed: u64) {
     println!("=== Figure 9: strategy comparison on fluidanimate traces ===\n");
     println!("recording traces for all 24 configurations…");
-    let ts = fluidanimate_traces(size);
+    let ts = fluidanimate_traces(size, seed);
     let sim = TraceSim::new(&ts);
     let space = BoardSpec::odroid_xu4().config_space();
     let full = space.index(HwConfig::new(4, 4));
@@ -100,11 +104,11 @@ pub fn run(size: InputSize, episodes: usize) {
     let fixed_1b = sim.run(&mut FixedPolicy(one_big), one_big);
     let oracle_e = sim.run(&mut OracleEnergy, start);
     let oracle_t = sim.run(&mut OracleTime, start);
-    let random = sim.run(&mut RandomPolicy::new(11), start);
+    let random = sim.run(&mut RandomPolicy::new(seed.wrapping_add(11)), start);
     let octopus = sim.run(&mut OctopusManPolicy::new(), start);
     println!("training Astro and Hipster ({episodes} episodes each)…\n");
-    let (astro, _) = train_and_eval(&ts, StateView::PhaseAware, episodes, 21);
-    let (hipster, _) = train_and_eval(&ts, StateView::PhaseBlind, episodes, 22);
+    let (astro, _) = train_and_eval(&ts, StateView::PhaseAware, episodes, seed.wrapping_add(21));
+    let (hipster, _) = train_and_eval(&ts, StateView::PhaseBlind, episodes, seed.wrapping_add(22));
 
     let rows: Vec<(&str, TraceSimOutcome)> = vec![
         ("4L4B (fixed)", fixed_full),

@@ -34,12 +34,13 @@ pub fn run_benchmark(
     size: InputSize,
     episodes: usize,
     samples: usize,
+    seed: u64,
 ) -> BenchResult {
     let board = BoardSpec::odroid_xu4();
     let pipe = AstroPipeline::new(
         &board,
         PipelineConfig {
-            machine: crate::experiment_params(),
+            machine: crate::experiment_params_seeded(seed),
             episodes,
             // Performance-emphasising setting for this substrate: the
             // simulated big cluster pays more energy per marginal speedup
@@ -61,10 +62,10 @@ pub fn run_benchmark(
     let mut times: [Vec<f64>; 3] = Default::default();
     let mut energies: [Vec<f64>; 3] = Default::default();
     for s in 0..samples {
-        let seed = 7000 + s as u64;
-        let g = pipe.run_gts(&module, seed);
-        let st = pipe.run_static(&static_mod, seed);
-        let hy = pipe.run_hybrid(&hybrid_mod, &trained.hybrid_schedule, seed);
+        let run_seed = seed.wrapping_add(7000 + s as u64);
+        let g = pipe.run_gts(&module, run_seed);
+        let st = pipe.run_static(&static_mod, run_seed);
+        let hy = pipe.run_hybrid(&hybrid_mod, &trained.hybrid_schedule, run_seed);
         times[0].push(g.wall_time_s);
         times[1].push(st.wall_time_s);
         times[2].push(hy.wall_time_s);
@@ -123,12 +124,12 @@ fn report(metric: &str, results: &[BenchResult], select: impl Fn(&BenchResult) -
 }
 
 /// Run the Figure 10 experiment.
-pub fn run(size: InputSize, episodes: usize, samples: usize) {
+pub fn run(size: InputSize, episodes: usize, samples: usize, seed: u64) {
     println!("=== Figure 10: GTS vs Astro static vs Astro hybrid, on-device ===");
     println!("({episodes} training episodes, {samples} samples per system)\n");
     let benchmarks = astro_workloads::figure10_set();
     let results = parallel_map(benchmarks.len(), default_threads(), |i| {
-        run_benchmark(&benchmarks[i], size, episodes, samples)
+        run_benchmark(&benchmarks[i], size, episodes, samples, seed)
     });
 
     report("time (seconds)", &results, |r| &r.times);

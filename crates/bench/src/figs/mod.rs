@@ -12,4 +12,5 @@ pub mod fig06;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11;
+pub mod fleet;
 pub mod table1;

@@ -33,6 +33,39 @@ pub fn experiment_params() -> MachineParams {
     }
 }
 
+/// [`experiment_params`] with a global seed offset folded in — the
+/// engine-side half of the `--seed` plumbing.
+pub fn experiment_params_seeded(seed: u64) -> MachineParams {
+    let mut p = experiment_params();
+    p.seed = p.seed.wrapping_add(seed);
+    p
+}
+
+/// Parse a `--seed <u64>` CLI argument (default 0).
+///
+/// The value is a *global offset* folded into every engine and learner
+/// seed an experiment uses: 0 reproduces the repository's published
+/// outputs exactly, any other value re-runs the same experiment in a
+/// fresh but equally deterministic random universe. Every stochastic
+/// figure binary and `run_all` accept it; purely static figures
+/// (Table 1, Figures 6 and 11) have nothing to seed.
+pub fn parse_seed(args: &[String]) -> u64 {
+    for w in args.windows(2) {
+        if w[0] == "--seed" {
+            return w[1]
+                .parse()
+                .unwrap_or_else(|_| panic!("--seed takes an unsigned integer, got {:?}", w[1]));
+        }
+    }
+    // A trailing `--seed` with no value must not silently mean "default
+    // universe" — the flag exists for reproducibility.
+    assert!(
+        args.last().map(String::as_str) != Some("--seed"),
+        "--seed requires a value"
+    );
+    0
+}
+
 /// Parse a `--size` CLI argument (defaults to simsmall).
 pub fn parse_size(args: &[String]) -> astro_workloads::InputSize {
     use astro_workloads::InputSize;

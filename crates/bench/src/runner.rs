@@ -1,16 +1,23 @@
 //! Parallel experiment driver: fans independent simulations out across
-//! OS threads with `std::thread::scope`, aggregating into a
-//! mutex-guarded result vector.
+//! OS threads with `std::thread::scope`.
 //!
 //! The simulator itself is single-threaded by design (determinism);
-//! parallelism lives here, across configurations/samples — which is
-//! also where the wall-clock time goes when regenerating Figure 1's
-//! 24-configuration sweeps.
+//! parallelism lives here, across configurations/samples/boards — which
+//! is also where the wall-clock time goes when regenerating Figure 1's
+//! 24-configuration sweeps or a fleet simulation's board fan-out.
+//!
+//! Work is split into one contiguous chunk per worker, each writing its
+//! own disjoint slice of the result vector — no shared index, no result
+//! lock, no per-item synchronisation at all. For the experiment
+//! workloads (items of comparable cost) static chunking matches dynamic
+//! work-stealing while dropping the per-item mutex traffic the previous
+//! implementation paid; `benches/micro.rs` keeps the comparison honest
+//! against a per-item-locking reference. The trade-off: a fan-out over
+//! *few items of very uneven cost* can leave workers idle behind an
+//! unlucky chunk — callers in that regime (fig10's seven benchmarks)
+//! get one item per worker anyway whenever `threads ≥ n`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Run `jobs(i)` for `i ∈ 0..n` across up to `threads` workers and
+/// Run `job(i)` for `i ∈ 0..n` across up to `threads` workers and
 /// return the results in index order.
 ///
 /// `job` must be `Sync` because multiple workers call it concurrently
@@ -21,25 +28,23 @@ where
     F: Fn(usize) -> T + Sync,
 {
     assert!(threads > 0);
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let workers = threads.min(n.max(1));
+    let chunk = n.div_ceil(workers).max(1);
 
     std::thread::scope(|s| {
-        for _ in 0..threads.min(n.max(1)) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for (w, slots) in results.chunks_mut(chunk).enumerate() {
+            let job = &job;
+            s.spawn(move || {
+                let base = w * chunk;
+                for (off, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(job(base + off));
                 }
-                let out = job(i);
-                results.lock().expect("result lock poisoned")[i] = Some(out);
             });
         }
     });
 
     results
-        .into_inner()
-        .expect("result lock poisoned")
         .into_iter()
         .map(|r| r.expect("every index produced"))
         .collect()
@@ -55,6 +60,7 @@ pub fn default_threads() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn results_in_index_order() {
@@ -78,5 +84,27 @@ mod tests {
     fn more_threads_than_jobs_ok() {
         let out = parallel_map(2, 16, |i| i);
         assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn uneven_chunks_cover_every_index() {
+        // 7 items over 3 workers → chunks of 3/3/1.
+        let out = parallel_map(7, 3, |i| i);
+        assert_eq!(out, (0..7).collect::<Vec<_>>());
+        // 10 items over 4 workers → 3/3/3/1.
+        let out = parallel_map(10, 4, |i| i + 100);
+        assert_eq!(out, (100..110).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_index_called_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = parallel_map(129, 8, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 129);
+        assert_eq!(out.len(), 129);
+        assert!(out.iter().enumerate().all(|(i, &x)| i == x));
     }
 }

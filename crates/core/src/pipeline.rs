@@ -16,6 +16,18 @@ use astro_hw::boards::BoardSpec;
 use astro_ir::Module;
 use astro_rl::qlearn::{QAgent, QConfig};
 
+/// Imprint a static schedule into a fresh copy of `module` — Figure 8b's
+/// final code generation. Board-independent (the schedule's indices were
+/// resolved against a board's configuration space when it was learned),
+/// so it is a free function consumers like the fleet layer can call
+/// without a pipeline.
+pub fn build_static(module: &Module, schedule: &StaticSchedule) -> Module {
+    let mut m = module.clone();
+    let phases = PhaseMap::compute(&m);
+    FinalCodegen::new(CodegenMode::Static, schedule.as_table()).run(&mut m, &phases);
+    m
+}
+
 /// Pipeline knobs.
 #[derive(Clone, Debug)]
 pub struct PipelineConfig {
@@ -86,6 +98,19 @@ impl<'a> AstroPipeline<'a> {
     /// synthesis. Trains [`PipelineConfig::model_seeds`] independent
     /// learners and keeps the one whose static build measures best.
     pub fn train(&self, module: &Module) -> TrainedAstro {
+        self.train_warm(module, None)
+    }
+
+    /// Like [`AstroPipeline::train`], but every candidate learner is
+    /// warm-started from `warm` (when its shape matches this board's
+    /// state space). A warm-started learner begins from another tenant's
+    /// converged policy, so far fewer episodes suffice to specialise or
+    /// refresh it — this is what a fleet-level shared policy cache calls.
+    pub fn train_warm(
+        &self,
+        module: &Module,
+        warm: Option<&astro_rl::qlearn::PolicySnapshot>,
+    ) -> TrainedAstro {
         let k = self.cfg.model_seeds.max(1);
         let score_of = |st: &StaticSchedule| {
             let static_mod = self.build_static(module, st);
@@ -96,7 +121,7 @@ impl<'a> AstroPipeline<'a> {
         };
         let mut best: Option<(f64, TrainedAstro)> = None;
         for i in 0..k {
-            let cand = self.train_once(module, i as u64);
+            let cand = self.train_once(module, i as u64, warm);
             let score = score_of(&cand.static_schedule);
             if best.as_ref().map(|(b, _)| score > *b).unwrap_or(true) {
                 best = Some((score, cand));
@@ -142,7 +167,12 @@ impl<'a> AstroPipeline<'a> {
         trained
     }
 
-    fn train_once(&self, module: &Module, seed_offset: u64) -> TrainedAstro {
+    fn train_once(
+        &self,
+        module: &Module,
+        seed_offset: u64,
+        warm: Option<&astro_rl::qlearn::PolicySnapshot>,
+    ) -> TrainedAstro {
         let space = self.space();
         let phases = PhaseMap::compute(module);
         let mut learn_mod = module.clone();
@@ -154,7 +184,18 @@ impl<'a> AstroPipeline<'a> {
                 QConfig::astro_default(space.encoding_dim(), space.num_actions())
             });
         qcfg.seed = qcfg.seed.wrapping_add(seed_offset.wrapping_mul(1009));
-        let agent = QAgent::new(qcfg);
+        let mut agent = QAgent::new(qcfg);
+        if let Some(snap) = warm {
+            // A mismatched snapshot (wrong board/state space) must fail
+            // loudly: silently training cold here would ship a policy
+            // trained with the caller's (short) warm-refresh budget.
+            assert!(
+                agent.restore(snap),
+                "warm snapshot shape ({}-dim, {} actions) does not match this board's state space",
+                snap.state_dim,
+                snap.num_actions
+            );
+        }
         let mut hooks = AstroLearningHooks::new(space, self.cfg.reward, agent);
 
         let mut learning_runs = Vec::with_capacity(self.cfg.episodes);
@@ -179,10 +220,7 @@ impl<'a> AstroPipeline<'a> {
 
     /// Emit the final *static* binary (Figure 8b).
     pub fn build_static(&self, module: &Module, schedule: &StaticSchedule) -> Module {
-        let mut m = module.clone();
-        let phases = PhaseMap::compute(&m);
-        FinalCodegen::new(CodegenMode::Static, schedule.as_table()).run(&mut m, &phases);
-        m
+        build_static(module, schedule)
     }
 
     /// Emit the final *hybrid* binary (Figure 8c).
@@ -356,6 +394,27 @@ mod tests {
         // All three executed the same program.
         let base = r_gts.instructions as f64;
         assert!((r_static.instructions as f64 - base).abs() / base < 0.1);
+    }
+
+    #[test]
+    fn warm_start_trains_from_a_snapshot() {
+        let board = BoardSpec::odroid_xu4();
+        let mut cfg = fast_cfg();
+        cfg.episodes = 2;
+        cfg.model_seeds = 1;
+        let pipe = AstroPipeline::new(&board, cfg.clone());
+        let module = two_phase_module();
+        let trained = pipe.train(&module);
+        let snap = trained.hooks.agent.snapshot();
+
+        // A warm refresh with a single episode still yields valid schedules.
+        cfg.episodes = 1;
+        let warm_pipe = AstroPipeline::new(&board, cfg);
+        let refreshed = warm_pipe.train_warm(&module, Some(&snap));
+        assert_eq!(refreshed.learning_runs.len(), 1);
+        for p in astro_compiler::ProgramPhase::ALL {
+            assert!(refreshed.static_schedule.config_for_phase[p.index()] < 24);
+        }
     }
 
     #[test]

@@ -134,6 +134,34 @@ impl<'a> Machine<'a> {
         let mut sim = Sim::new(self.board, &self.params, program, initial_config);
         sim.run(scheduler, hooks)
     }
+
+    /// Like [`Machine::run`], with the behavioural seed overridden for
+    /// this run only. Lets one machine be reused across many jobs (fleet
+    /// simulation), each run drawing its own service-time jitter, without
+    /// rebuilding parameters.
+    pub fn run_seeded(
+        &self,
+        program: &CompiledProgram,
+        scheduler: &mut dyn OsScheduler,
+        hooks: &mut dyn RuntimeHooks,
+        initial_config: HwConfig,
+        seed: u64,
+    ) -> RunResult {
+        let mut params = self.params;
+        params.seed = seed;
+        let mut sim = Sim::new(self.board, &params, program, initial_config);
+        sim.run(scheduler, hooks)
+    }
+
+    /// The board this machine simulates.
+    pub fn board(&self) -> &BoardSpec {
+        self.board
+    }
+
+    /// The engine parameters.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,171 @@
+//! Property tests for the OS schedulers: whatever the configuration and
+//! load, a thread must never land on a core that is off in the active
+//! configuration, and the periodic balance pass must relocate queued
+//! threads without losing or duplicating any.
+
+use astro_exec::sched::affinity::AffinityScheduler;
+use astro_exec::sched::gts::GtsScheduler;
+use astro_exec::sched::{OsScheduler, SchedView};
+use astro_exec::thread::ThreadId;
+use astro_hw::cores::CoreKind;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// An arbitrary board view: up to 4+4 cores, at least one enabled, with
+/// arbitrary queue depths and busy flags.
+fn view_strategy() -> impl Strategy<Value = SchedView> {
+    (
+        (
+            (0usize..5, 0usize..5),
+            prop::collection::vec(0usize..2, 0..9),
+        ),
+        (
+            prop::collection::vec(0usize..4, 0..9),
+            prop::collection::vec(0usize..2, 0..9),
+            0usize..8,
+        ),
+    )
+        .prop_map(|(((little, big), enabled), (queues, busy, force_on))| {
+            let (little, big) = if little + big == 0 {
+                (0, 1)
+            } else {
+                (little, big)
+            };
+            let n = little + big;
+            let mut enabled: Vec<bool> = (0..n).map(|c| enabled.get(c) == Some(&1)).collect();
+            if !enabled.iter().any(|&e| e) {
+                enabled[force_on % n] = true;
+            }
+            SchedView {
+                enabled,
+                kind: (0..n)
+                    .map(|c| {
+                        if c < little {
+                            CoreKind::Little
+                        } else {
+                            CoreKind::Big
+                        }
+                    })
+                    .collect(),
+                queue_len: (0..n)
+                    .map(|c| queues.get(c).copied().unwrap_or(0))
+                    .collect(),
+                busy: (0..n).map(|c| busy.get(c) == Some(&1)).collect(),
+            }
+        })
+}
+
+/// The queued-thread list the machine's balance tick would derive from a
+/// view: `queue_len[c]` distinct threads per core, with the given loads.
+fn queued_of(view: &SchedView, loads: &[f64]) -> Vec<(ThreadId, usize, f64)> {
+    let mut queued = Vec::new();
+    let mut tid = 0u32;
+    for (c, &len) in view.queue_len.iter().enumerate() {
+        for _ in 0..len {
+            let load = loads
+                .get(tid as usize % loads.len().max(1))
+                .copied()
+                .unwrap_or(0.5);
+            queued.push((ThreadId(tid), c, load));
+            tid += 1;
+        }
+    }
+    queued
+}
+
+/// Apply balance moves and return the resulting per-thread core map,
+/// asserting structural sanity along the way.
+fn apply_moves(
+    view: &SchedView,
+    queued: &[(ThreadId, usize, f64)],
+    moves: &[(ThreadId, usize)],
+) -> Vec<(ThreadId, usize)> {
+    let mut placement: Vec<(ThreadId, usize)> = queued.iter().map(|&(t, c, _)| (t, c)).collect();
+    let mut moved: BTreeSet<u32> = BTreeSet::new();
+    for &(tid, to) in moves {
+        assert!(to < view.enabled.len(), "move target out of range");
+        assert!(
+            view.enabled[to],
+            "balance moved {tid:?} to disabled core {to}"
+        );
+        assert!(
+            moved.insert(tid.0),
+            "thread {tid:?} moved twice in one tick"
+        );
+        let slot = placement
+            .iter_mut()
+            .find(|(t, _)| *t == tid)
+            .unwrap_or_else(|| panic!("balance moved unknown thread {tid:?}"));
+        slot.1 = to;
+    }
+    placement
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `place` and `replace` only ever answer enabled cores, for every
+    /// scheduler, load and starting core — including starts on cores the
+    /// configuration has just turned off.
+    #[test]
+    fn placement_respects_the_active_configuration(
+        view in view_strategy(),
+        load in 0.0..1.0f64,
+        current in 0usize..8,
+    ) {
+        let mut gts = GtsScheduler::default();
+        let mut aff = AffinityScheduler;
+        let schedulers: [&mut dyn OsScheduler; 2] = [&mut gts, &mut aff];
+        for s in schedulers {
+            let c = s.place(&view, ThreadId(0), load);
+            prop_assert!(c < view.enabled.len());
+            prop_assert!(view.enabled[c], "{} placed on disabled core {c}", s.name());
+
+            let current = current % view.enabled.len();
+            let r = s.replace(&view, ThreadId(0), load, current);
+            prop_assert!(r < view.enabled.len());
+            prop_assert!(view.enabled[r], "{} kept thread on disabled core {r}", s.name());
+        }
+    }
+
+    /// The balance tick is a permutation of placements: every live queued
+    /// thread survives exactly once, nobody is invented, and every move
+    /// lands on an enabled core.
+    #[test]
+    fn balance_preserves_the_set_of_live_threads(
+        view in view_strategy(),
+        loads in prop::collection::vec(0.0..1.0f64, 1..6),
+    ) {
+        let queued = queued_of(&view, &loads);
+        let before: BTreeSet<u32> = queued.iter().map(|(t, _, _)| t.0).collect();
+
+        let mut gts = GtsScheduler::default();
+        let mut aff = AffinityScheduler;
+        let schedulers: [&mut dyn OsScheduler; 2] = [&mut gts, &mut aff];
+        for s in schedulers {
+            let moves = s.balance(&view, &queued);
+            let placement = apply_moves(&view, &queued, &moves);
+            let after: BTreeSet<u32> = placement.iter().map(|(t, _)| t.0).collect();
+            prop_assert_eq!(&after, &before, "{} lost or duplicated threads", s.name());
+            prop_assert_eq!(placement.len(), queued.len());
+        }
+    }
+
+    /// GTS class contract on full boards: hot threads land on big cores,
+    /// light threads on LITTLE cores (when both clusters are enabled and
+    /// idle).
+    #[test]
+    fn gts_sends_load_to_the_matching_cluster(hot in 0.75..1.0f64, cold in 0.0..0.3f64) {
+        let view = SchedView {
+            enabled: vec![true; 8],
+            kind: (0..8)
+                .map(|c| if c < 4 { CoreKind::Little } else { CoreKind::Big })
+                .collect(),
+            queue_len: vec![0; 8],
+            busy: vec![false; 8],
+        };
+        let mut g = GtsScheduler::default();
+        prop_assert_eq!(view.kind[g.place(&view, ThreadId(0), hot)], CoreKind::Big);
+        prop_assert_eq!(view.kind[g.place(&view, ThreadId(1), cold)], CoreKind::Little);
+    }
+}

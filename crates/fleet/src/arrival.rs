@@ -1,0 +1,200 @@
+//! Deterministic, seed-driven arrival processes.
+//!
+//! Two regimes cover the evaluation space of datacenter co-scheduling
+//! work (Octopus-Man's latency-critical streams, Hipster's mixed QoS
+//! traffic): an open-loop Poisson process (independent tenants) and a
+//! bursty regime that replays coordinated traffic spikes — a trace-like
+//! pattern of Poisson burst starts, each releasing a volley of jobs.
+//! Same seed ⇒ byte-identical stream.
+
+use crate::job::{taxon_of, JobSpec, Taxon};
+use astro_workloads::{InputSize, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How jobs arrive over time.
+#[derive(Clone, Copy, Debug)]
+pub enum ArrivalProcess {
+    /// Open-loop Poisson: exponential inter-arrival times at `rate`
+    /// jobs per second.
+    Poisson {
+        /// Mean arrival rate, jobs per second.
+        rate_jobs_per_s: f64,
+    },
+    /// Bursty replay: burst starts form a Poisson process of rate
+    /// `rate / burst`, and each burst releases `burst` jobs spread
+    /// uniformly over `spread_s` seconds. The long-run rate matches the
+    /// Poisson regime; the short-run pressure does not.
+    Bursty {
+        /// Long-run mean arrival rate, jobs per second.
+        rate_jobs_per_s: f64,
+        /// Jobs per burst.
+        burst: usize,
+        /// Width of one burst, seconds.
+        spread_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Bursty { .. } => "bursty",
+        }
+    }
+
+    /// Generate `n` jobs drawn uniformly from `pool`, with arrival times
+    /// from this process and SLO tightness uniform in `slo_tightness`.
+    /// Everything is a pure function of `seed`.
+    pub fn generate(
+        &self,
+        n: usize,
+        pool: &[Workload],
+        size: InputSize,
+        slo_tightness: (f64, f64),
+        seed: u64,
+    ) -> Vec<JobSpec> {
+        assert!(!pool.is_empty(), "workload pool must not be empty");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xA1217_F1EE7);
+        // Classify each pool entry once (module construction is not free).
+        let taxa: Vec<Taxon> = pool.iter().map(|w| taxon_of(&(w.build)(size))).collect();
+
+        let mut arrivals = self.arrival_times(n, &mut rng);
+        arrivals.sort_by(f64::total_cmp);
+
+        arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival_s)| {
+                let k = rng.gen_range(0..pool.len());
+                let (lo, hi) = slo_tightness;
+                let slo = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+                JobSpec {
+                    id: i as u32,
+                    workload: pool[k],
+                    taxon: taxa[k],
+                    arrival_s,
+                    slo_tightness: slo,
+                    seed: seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64),
+                }
+            })
+            .collect()
+    }
+
+    fn arrival_times(&self, n: usize, rng: &mut SmallRng) -> Vec<f64> {
+        let mut times = Vec::with_capacity(n);
+        match *self {
+            ArrivalProcess::Poisson { rate_jobs_per_s } => {
+                assert!(rate_jobs_per_s > 0.0);
+                let mut t = 0.0;
+                for _ in 0..n {
+                    t += exponential(rng, rate_jobs_per_s);
+                    times.push(t);
+                }
+            }
+            ArrivalProcess::Bursty {
+                rate_jobs_per_s,
+                burst,
+                spread_s,
+            } => {
+                assert!(rate_jobs_per_s > 0.0 && burst > 0);
+                let burst_rate = rate_jobs_per_s / burst as f64;
+                let mut t = 0.0;
+                while times.len() < n {
+                    t += exponential(rng, burst_rate);
+                    for _ in 0..burst.min(n - times.len()) {
+                        times.push(t + rng.gen_range(0.0..spread_s.max(1e-9)));
+                    }
+                }
+            }
+        }
+        times
+    }
+}
+
+/// Exponential variate with the given rate, by inversion.
+fn exponential(rng: &mut SmallRng, rate: f64) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -(1.0 - u).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Vec<Workload> {
+        ["swaptions", "bfs"]
+            .iter()
+            .map(|n| astro_workloads::by_name(n).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let p = ArrivalProcess::Poisson {
+            rate_jobs_per_s: 100.0,
+        };
+        let a = p.generate(50, &pool(), InputSize::Test, (3.0, 6.0), 7);
+        let b = p.generate(50, &pool(), InputSize::Test, (3.0, 6.0), 7);
+        assert_eq!(a.len(), 50);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival_s, y.arrival_s);
+            assert_eq!(x.workload.name, y.workload.name);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.slo_tightness, y.slo_tightness);
+        }
+        let c = p.generate(50, &pool(), InputSize::Test, (3.0, 6.0), 8);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.arrival_s != y.arrival_s));
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_honoured() {
+        let p = ArrivalProcess::Poisson {
+            rate_jobs_per_s: 200.0,
+        };
+        let jobs = p.generate(400, &pool(), InputSize::Test, (4.0, 4.0), 3);
+        let span = jobs.last().unwrap().arrival_s;
+        let rate = 400.0 / span;
+        assert!((100.0..400.0).contains(&rate), "empirical rate {rate}");
+        // Arrivals are sorted.
+        assert!(jobs.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+    }
+
+    #[test]
+    fn bursty_clusters_arrivals() {
+        let burst = 10;
+        let p = ArrivalProcess::Bursty {
+            rate_jobs_per_s: 100.0,
+            burst,
+            spread_s: 0.001,
+        };
+        let jobs = p.generate(200, &pool(), InputSize::Test, (4.0, 4.0), 11);
+        assert_eq!(jobs.len(), 200);
+        assert!(jobs.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        // Most consecutive gaps are tiny (within a burst); a few are big.
+        let gaps: Vec<f64> = jobs
+            .windows(2)
+            .map(|w| w[1].arrival_s - w[0].arrival_s)
+            .collect();
+        let small = gaps.iter().filter(|&&g| g < 0.002).count();
+        assert!(
+            small > gaps.len() / 2,
+            "expected clustered arrivals, {small}/{} small gaps",
+            gaps.len()
+        );
+    }
+
+    #[test]
+    fn ids_are_stream_positions() {
+        let p = ArrivalProcess::Poisson {
+            rate_jobs_per_s: 50.0,
+        };
+        let jobs = p.generate(20, &pool(), InputSize::Test, (3.0, 5.0), 1);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id as usize, i);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! The shared policy cache: "compile once, schedule everywhere" at
+//! fleet scale.
+//!
+//! Astro's learned static schedule maps *program phases* to hardware
+//! configurations, so it is workload-agnostic within a taxonomy class:
+//! a policy trained on one CPU-heavy tenant transfers to every other
+//! CPU-heavy tenant on the same board architecture. The cache stores,
+//! per `(taxon, architecture)`, the synthesised schedule plus the
+//! Q-network snapshot it came from; hits skip training entirely, and
+//! entries past the staleness limit are refreshed by a short
+//! warm-started retraining (see [`astro_core::pipeline::AstroPipeline::train_warm`]).
+
+use crate::job::Taxon;
+use astro_core::schedule::StaticSchedule;
+use astro_rl::qlearn::PolicySnapshot;
+use std::collections::BTreeMap;
+
+/// Hit/miss/staleness accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered by a fresh entry (no training).
+    pub hits: u64,
+    /// Lookups with no entry (full training).
+    pub misses: u64,
+    /// Lookups whose entry had aged past the staleness limit and was
+    /// refreshed by a warm-started retraining.
+    pub stale_refreshes: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that needed no full training.
+    pub fn warm_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.stale_refreshes;
+        if total == 0 {
+            0.0
+        } else {
+            (self.hits + self.stale_refreshes) as f64 / total as f64
+        }
+    }
+}
+
+/// One cached policy.
+#[derive(Clone, Debug)]
+pub struct PolicyEntry {
+    /// The schedule final codegen imprints (indices in the entry's
+    /// architecture's configuration space).
+    pub schedule: StaticSchedule,
+    /// The Q-network that produced it, for warm-started refreshes.
+    pub snapshot: PolicySnapshot,
+    /// Bumped on every refresh; lets consumers invalidate derived state
+    /// (compiled static binaries, profiles).
+    pub version: u32,
+    /// Lookups served since the last (re)training.
+    pub uses: u32,
+}
+
+/// What a lookup tells the caller to do.
+#[derive(Clone, Debug)]
+pub enum CacheDecision {
+    /// Use this schedule as-is.
+    Hit(StaticSchedule, u32),
+    /// Entry exists but aged out: retrain warm-started from this
+    /// snapshot, then call [`PolicyCache::refresh`].
+    Stale(PolicySnapshot),
+    /// Nothing cached: train cold, then call [`PolicyCache::insert`].
+    Miss,
+}
+
+/// The fleet-wide policy cache.
+#[derive(Clone, Debug)]
+pub struct PolicyCache {
+    entries: BTreeMap<(Taxon, &'static str), PolicyEntry>,
+    /// Uses after which an entry must be refreshed before being served
+    /// again. `0` disables staleness (entries never expire).
+    pub staleness_limit: u32,
+    /// Accounting.
+    pub stats: CacheStats,
+}
+
+impl PolicyCache {
+    /// An empty cache with the given staleness limit.
+    pub fn new(staleness_limit: u32) -> Self {
+        PolicyCache {
+            entries: BTreeMap::new(),
+            staleness_limit,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look `(taxon, arch)` up, updating accounting. A `Hit` also counts
+    /// a use against the staleness limit.
+    pub fn lookup(&mut self, taxon: Taxon, arch: &'static str) -> CacheDecision {
+        match self.entries.get_mut(&(taxon, arch)) {
+            Some(e) if self.staleness_limit > 0 && e.uses >= self.staleness_limit => {
+                self.stats.stale_refreshes += 1;
+                CacheDecision::Stale(e.snapshot.clone())
+            }
+            Some(e) => {
+                e.uses += 1;
+                self.stats.hits += 1;
+                CacheDecision::Hit(e.schedule, e.version)
+            }
+            None => {
+                self.stats.misses += 1;
+                CacheDecision::Miss
+            }
+        }
+    }
+
+    /// Install a freshly trained policy after a `Miss`.
+    pub fn insert(
+        &mut self,
+        taxon: Taxon,
+        arch: &'static str,
+        schedule: StaticSchedule,
+        snapshot: PolicySnapshot,
+    ) {
+        self.entries.insert(
+            (taxon, arch),
+            PolicyEntry {
+                schedule,
+                snapshot,
+                version: 0,
+                uses: 1,
+            },
+        );
+    }
+
+    /// Replace a stale entry after a warm retraining; bumps the version.
+    pub fn refresh(
+        &mut self,
+        taxon: Taxon,
+        arch: &'static str,
+        schedule: StaticSchedule,
+        snapshot: PolicySnapshot,
+    ) {
+        let e = self
+            .entries
+            .get_mut(&(taxon, arch))
+            .expect("refresh of a missing entry");
+        e.schedule = schedule;
+        e.snapshot = snapshot;
+        e.version += 1;
+        e.uses = 1;
+    }
+
+    /// Is a fresh (non-stale) policy available for `(taxon, arch)`?
+    /// Read-only: no accounting.
+    pub fn is_warm(&self, taxon: Taxon, arch: &'static str) -> bool {
+        self.peek(taxon, arch)
+            .map(|e| self.staleness_limit == 0 || e.uses < self.staleness_limit)
+            .unwrap_or(false)
+    }
+
+    /// Read an entry without accounting or staleness handling (service
+    /// estimation, reporting).
+    pub fn peek(&self, taxon: Taxon, arch: &'static str) -> Option<&PolicyEntry> {
+        self.entries.get(&(taxon, arch))
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobClass;
+    use astro_compiler::ProgramPhase;
+
+    fn taxon(class: JobClass) -> Taxon {
+        Taxon {
+            class,
+            signature: 2,
+        }
+    }
+
+    fn schedule(c: usize) -> StaticSchedule {
+        StaticSchedule {
+            config_for_phase: [c; ProgramPhase::COUNT],
+        }
+    }
+
+    fn snapshot() -> PolicySnapshot {
+        PolicySnapshot {
+            state_dim: 2,
+            num_actions: 2,
+            params: vec![0.0; 10],
+        }
+    }
+
+    #[test]
+    fn miss_insert_hit_cycle() {
+        let mut c = PolicyCache::new(0);
+        assert!(matches!(
+            c.lookup(taxon(JobClass::CpuHeavy), "XU4"),
+            CacheDecision::Miss
+        ));
+        c.insert(taxon(JobClass::CpuHeavy), "XU4", schedule(3), snapshot());
+        match c.lookup(taxon(JobClass::CpuHeavy), "XU4") {
+            CacheDecision::Hit(s, v) => {
+                assert_eq!(s, schedule(3));
+                assert_eq!(v, 0);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        // Other classes and other architectures are separate keys.
+        assert!(matches!(
+            c.lookup(taxon(JobClass::MemIo), "XU4"),
+            CacheDecision::Miss
+        ));
+        assert!(matches!(
+            c.lookup(taxon(JobClass::CpuHeavy), "RK"),
+            CacheDecision::Miss
+        ));
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 3);
+    }
+
+    #[test]
+    fn staleness_forces_refresh_and_bumps_version() {
+        let mut c = PolicyCache::new(3);
+        c.lookup(taxon(JobClass::Mixed), "XU4"); // miss
+        c.insert(taxon(JobClass::Mixed), "XU4", schedule(1), snapshot());
+        // insert counted one use; two more hits reach the limit.
+        for _ in 0..2 {
+            assert!(matches!(
+                c.lookup(taxon(JobClass::Mixed), "XU4"),
+                CacheDecision::Hit(..)
+            ));
+        }
+        assert!(!c.is_warm(taxon(JobClass::Mixed), "XU4"));
+        match c.lookup(taxon(JobClass::Mixed), "XU4") {
+            CacheDecision::Stale(snap) => assert_eq!(snap.params.len(), 10),
+            other => panic!("expected stale, got {other:?}"),
+        }
+        c.refresh(taxon(JobClass::Mixed), "XU4", schedule(2), snapshot());
+        match c.lookup(taxon(JobClass::Mixed), "XU4") {
+            CacheDecision::Hit(s, v) => {
+                assert_eq!(s, schedule(2));
+                assert_eq!(v, 1);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(c.stats.stale_refreshes, 1);
+        assert!((c.stats.warm_rate() - 4.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_limit_never_goes_stale() {
+        let mut c = PolicyCache::new(0);
+        c.lookup(taxon(JobClass::CpuHeavy), "XU4");
+        c.insert(taxon(JobClass::CpuHeavy), "XU4", schedule(0), snapshot());
+        for _ in 0..100 {
+            assert!(matches!(
+                c.lookup(taxon(JobClass::CpuHeavy), "XU4"),
+                CacheDecision::Hit(..)
+            ));
+        }
+        assert!(c.is_warm(taxon(JobClass::CpuHeavy), "XU4"));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! The cluster model: N independent big.LITTLE boards.
+//!
+//! Boards do not share memory or caches — the fleet's unit of placement
+//! is a whole job on a whole board, like a rack of single-board
+//! computers behind a dispatcher. Heterogeneous clusters mix big-rich
+//! (Odroid XU4) and LITTLE-rich (RK3399) architectures so placement
+//! quality is observable.
+
+use astro_hw::boards::BoardSpec;
+
+/// A named fleet of boards.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// The boards, in dispatch index order.
+    pub boards: Vec<BoardSpec>,
+}
+
+impl ClusterSpec {
+    /// `n` identical boards.
+    pub fn homogeneous(n: usize, board: BoardSpec) -> Self {
+        ClusterSpec {
+            boards: (0..n).map(|_| board.clone()).collect(),
+        }
+    }
+
+    /// `n` boards alternating big-rich Odroid XU4 and LITTLE-rich
+    /// RK3399 (even indices are XU4s, so any prefix is ~half and half).
+    pub fn heterogeneous(n: usize) -> Self {
+        ClusterSpec {
+            boards: (0..n)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        BoardSpec::odroid_xu4()
+                    } else {
+                        BoardSpec::rk3399()
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of boards.
+    pub fn len(&self) -> usize {
+        self.boards.len()
+    }
+
+    /// Is the cluster empty?
+    pub fn is_empty(&self) -> bool {
+        self.boards.is_empty()
+    }
+
+    /// Stable architecture key of board `b` — policy-cache entries and
+    /// service profiles are shared between boards with equal keys.
+    pub fn arch_key(&self, b: usize) -> &'static str {
+        self.boards[b].name
+    }
+
+    /// Is board `b` big-rich (at least as many big as LITTLE cores)?
+    pub fn big_rich(&self, b: usize) -> bool {
+        self.boards[b].num_big >= self.boards[b].num_little
+    }
+
+    /// The distinct architecture keys present, in first-appearance order.
+    pub fn arch_keys(&self) -> Vec<&'static str> {
+        let mut keys: Vec<&'static str> = Vec::new();
+        for b in 0..self.len() {
+            if !keys.contains(&self.arch_key(b)) {
+                keys.push(self.arch_key(b));
+            }
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heterogeneous_mixes_architectures() {
+        let c = ClusterSpec::heterogeneous(6);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.arch_keys().len(), 2);
+        assert!(c.big_rich(0));
+        assert!(!c.big_rich(1));
+        // Boards sharing an arch share the key.
+        assert_eq!(c.arch_key(0), c.arch_key(2));
+        assert_ne!(c.arch_key(0), c.arch_key(1));
+    }
+
+    #[test]
+    fn homogeneous_has_one_key() {
+        let c = ClusterSpec::homogeneous(4, BoardSpec::odroid_xu4());
+        assert_eq!(c.arch_keys().len(), 1);
+        assert!(!c.is_empty());
+    }
+}

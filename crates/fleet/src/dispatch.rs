@@ -1,0 +1,277 @@
+//! Admission/dispatch: which board gets the next job.
+//!
+//! Dispatchers see the cluster, each board's estimated backlog (from
+//! profiled service times), per-board service/energy estimates for the
+//! job at hand, and whether the policy cache is warm for the job's class
+//! on each board. They never see the future of the arrival stream.
+
+use crate::cluster::ClusterSpec;
+use crate::job::JobSpec;
+
+/// What a dispatcher sees when placing one job.
+#[derive(Clone, Debug)]
+pub struct DispatchView<'a> {
+    /// The cluster.
+    pub cluster: &'a ClusterSpec,
+    /// The job's arrival time (the decision instant).
+    pub now_s: f64,
+    /// Per board: when its current backlog is estimated to drain.
+    pub est_busy_until_s: &'a [f64],
+    /// Per board: jobs already assigned.
+    pub assigned: &'a [usize],
+    /// Per board: estimated service time of *this* job there.
+    pub est_service_s: &'a [f64],
+    /// Per board: estimated energy of *this* job there, Joules.
+    pub est_energy_j: &'a [f64],
+    /// Per board: does the policy cache hold a fresh entry for this
+    /// job's taxon on the board's architecture?
+    pub warm: &'a [bool],
+}
+
+impl DispatchView<'_> {
+    /// Queueing delay a job dispatched now would see on board `b`.
+    pub fn backlog_s(&self, b: usize) -> f64 {
+        (self.est_busy_until_s[b] - self.now_s).max(0.0)
+    }
+
+    /// Estimated completion time of this job on board `b`.
+    pub fn est_finish_s(&self, b: usize) -> f64 {
+        self.now_s + self.backlog_s(b) + self.est_service_s[b]
+    }
+}
+
+/// Placement policy over whole boards.
+pub trait Dispatcher {
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Board index for `job`. Must be `< view.cluster.len()`.
+    fn pick(&mut self, view: &DispatchView, job: &JobSpec) -> usize;
+}
+
+/// Classic least-loaded: the board whose backlog drains first, blind to
+/// architecture and job class (queue length is all real front-ends see).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LeastLoaded;
+
+impl Dispatcher for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn pick(&mut self, view: &DispatchView, _job: &JobSpec) -> usize {
+        argmin(view.cluster.len(), |b| {
+            (view.backlog_s(b), view.assigned[b] as f64)
+        })
+    }
+}
+
+/// Energy-aware: among boards whose backlog is within one service time
+/// of the emptiest, take the one with the lowest predicted energy for
+/// this job. Trades a bounded amount of queueing for Joules.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EnergyAware;
+
+impl Dispatcher for EnergyAware {
+    fn name(&self) -> &'static str {
+        "energy-aware"
+    }
+
+    fn pick(&mut self, view: &DispatchView, _job: &JobSpec) -> usize {
+        let n = view.cluster.len();
+        let min_backlog = (0..n)
+            .map(|b| view.backlog_s(b))
+            .fold(f64::INFINITY, f64::min);
+        // Never empty: the minimum-backlog board always qualifies.
+        let feasible: Vec<usize> = (0..n)
+            .filter(|&b| view.backlog_s(b) <= min_backlog + view.est_service_s[b])
+            .collect();
+        *feasible
+            .iter()
+            .min_by(|&&a, &&b| {
+                (view.est_energy_j[a], view.est_finish_s(a), a)
+                    .partial_cmp(&(view.est_energy_j[b], view.est_finish_s(b), b))
+                    .expect("estimates are finite")
+            })
+            .expect("cluster is not empty")
+    }
+}
+
+/// Phase-aware: estimated-finish-greedy (backlog + this job's profiled
+/// service on each board, so workload↔architecture affinity is priced
+/// in), with the job's class steering ties — CPU-heavy jobs break
+/// towards big-rich boards, synchronisation/IO-dominated jobs towards
+/// LITTLE-rich ones — and warm policy-cache lines preferred within a
+/// tie. The class preference never buys real queueing: any board whose
+/// estimated finish is more than 2% of a service time behind the global
+/// best is out.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseAware;
+
+impl PhaseAware {
+    fn prefers_big(job: &JobSpec) -> Option<bool> {
+        use crate::job::JobClass::*;
+        match job.class() {
+            CpuHeavy => Some(true),
+            MemIo | Synchronised => Some(false),
+            Mixed => None,
+        }
+    }
+}
+
+impl Dispatcher for PhaseAware {
+    fn name(&self) -> &'static str {
+        "phase-aware"
+    }
+
+    fn pick(&mut self, view: &DispatchView, job: &JobSpec) -> usize {
+        let n = view.cluster.len();
+        let overall = argmin(n, |b| (view.est_finish_s(b), b as f64));
+        let tie_band = 0.02 * view.est_service_s[overall];
+        let ties: Vec<usize> = (0..n)
+            .filter(|&b| view.est_finish_s(b) <= view.est_finish_s(overall) + tie_band)
+            .collect();
+        let prefers_big = Self::prefers_big(job);
+        *ties
+            .iter()
+            .min_by(|&&a, &&b| {
+                let mismatch = |c: usize| match prefers_big {
+                    Some(big) => (view.cluster.big_rich(c) != big) as u8 as f64,
+                    None => 0.0,
+                };
+                let ka = (
+                    mismatch(a),
+                    !view.warm[a] as u8 as f64,
+                    view.est_finish_s(a),
+                    a as f64,
+                );
+                let kb = (
+                    mismatch(b),
+                    !view.warm[b] as u8 as f64,
+                    view.est_finish_s(b),
+                    b as f64,
+                );
+                ka.partial_cmp(&kb).expect("estimates are finite")
+            })
+            .expect("tie set contains the global best")
+    }
+}
+
+fn argmin(n: usize, key: impl Fn(usize) -> (f64, f64)) -> usize {
+    (0..n)
+        .min_by(|&a, &b| key(a).partial_cmp(&key(b)).expect("keys are finite"))
+        .expect("cluster is not empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobClass;
+
+    fn job(class: JobClass) -> JobSpec {
+        JobSpec {
+            id: 0,
+            workload: astro_workloads::by_name("swaptions").unwrap(),
+            taxon: crate::job::Taxon {
+                class,
+                signature: 2,
+            },
+            arrival_s: 10.0,
+            slo_tightness: 4.0,
+            seed: 1,
+        }
+    }
+
+    struct Fixture {
+        cluster: ClusterSpec,
+        busy: Vec<f64>,
+        assigned: Vec<usize>,
+        service: Vec<f64>,
+        energy: Vec<f64>,
+        warm: Vec<bool>,
+    }
+
+    impl Fixture {
+        // Board 0: XU4 (big-rich), board 1: RK3399 (LITTLE-rich), ...
+        fn new(n: usize) -> Self {
+            Fixture {
+                cluster: ClusterSpec::heterogeneous(n),
+                busy: vec![0.0; n],
+                assigned: vec![0; n],
+                service: vec![1.0; n],
+                energy: vec![1.0; n],
+                warm: vec![false; n],
+            }
+        }
+
+        fn view(&self) -> DispatchView<'_> {
+            DispatchView {
+                cluster: &self.cluster,
+                now_s: 10.0,
+                est_busy_until_s: &self.busy,
+                assigned: &self.assigned,
+                est_service_s: &self.service,
+                est_energy_j: &self.energy,
+                warm: &self.warm,
+            }
+        }
+    }
+
+    #[test]
+    fn least_loaded_tracks_backlog_only() {
+        let mut f = Fixture::new(4);
+        f.busy = vec![20.0, 14.0, 11.0, 30.0];
+        assert_eq!(LeastLoaded.pick(&f.view(), &job(JobClass::CpuHeavy)), 2);
+        // Past-empty boards tie at zero backlog; assignment count breaks it.
+        f.busy = vec![1.0, 2.0, 3.0, 4.0];
+        f.assigned = vec![5, 3, 9, 9];
+        assert_eq!(LeastLoaded.pick(&f.view(), &job(JobClass::MemIo)), 1);
+    }
+
+    #[test]
+    fn energy_aware_picks_cheapest_among_uncongested() {
+        let mut f = Fixture::new(4);
+        f.energy = vec![4.0, 1.5, 3.0, 2.0];
+        assert_eq!(EnergyAware.pick(&f.view(), &job(JobClass::Mixed)), 1);
+        // Congest the cheap board far beyond a service time: excluded.
+        f.busy[1] = 25.0;
+        assert_eq!(EnergyAware.pick(&f.view(), &job(JobClass::Mixed)), 3);
+    }
+
+    #[test]
+    fn phase_aware_matches_class_to_cluster_shape() {
+        let mut f = Fixture::new(4);
+        assert!(f
+            .cluster
+            .big_rich(PhaseAware.pick(&f.view(), &job(JobClass::CpuHeavy))));
+        assert!(!f
+            .cluster
+            .big_rich(PhaseAware.pick(&f.view(), &job(JobClass::Synchronised))));
+        // Warm boards win ties within the preferred side.
+        f.warm = vec![false, false, true, false];
+        assert_eq!(PhaseAware.pick(&f.view(), &job(JobClass::CpuHeavy)), 2);
+    }
+
+    #[test]
+    fn phase_aware_spills_under_congestion() {
+        let mut f = Fixture::new(4);
+        // Both big-rich boards (0, 2) deeply backlogged.
+        f.busy = vec![30.0, 10.0, 30.0, 10.0];
+        let pick = PhaseAware.pick(&f.view(), &job(JobClass::CpuHeavy));
+        assert!(!f.cluster.big_rich(pick), "should spill to LITTLE-rich");
+    }
+
+    #[test]
+    fn picks_are_always_in_range() {
+        let f = Fixture::new(5);
+        for class in JobClass::ALL {
+            for d in [
+                &mut LeastLoaded as &mut dyn Dispatcher,
+                &mut EnergyAware,
+                &mut PhaseAware,
+            ] {
+                assert!(d.pick(&f.view(), &job(class)) < 5);
+            }
+        }
+    }
+}

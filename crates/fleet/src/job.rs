@@ -1,0 +1,277 @@
+//! Jobs and the workload taxonomy the shared policy cache is keyed by.
+//!
+//! A job is one tenant's request to run one workload once. Its *class*
+//! is derived from the same compile-time phase mining the Astro pipeline
+//! performs (§3.1): the dominant program phase across the module's
+//! functions. Because Astro's static schedules map *phases* (not
+//! functions) to configurations, a schedule learned for one workload of
+//! a class transfers to every other workload of that class on the same
+//! board architecture — which is exactly what lets the fleet cache
+//! policies across tenants.
+
+use astro_compiler::{PhaseMap, ProgramPhase};
+use astro_ir::Module;
+use astro_workloads::Workload;
+use std::fmt;
+
+/// Coarse workload classes, one per dominant program phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum JobClass {
+    /// Mostly compute kernels (CPU-bound functions dominate).
+    CpuHeavy,
+    /// Memory/file traffic dominates.
+    MemIo,
+    /// Barrier/lock/pipeline structure dominates.
+    Synchronised,
+    /// No dominant phase.
+    Mixed,
+}
+
+impl JobClass {
+    /// All classes, stable order.
+    pub const ALL: [JobClass; 4] = [
+        JobClass::CpuHeavy,
+        JobClass::MemIo,
+        JobClass::Synchronised,
+        JobClass::Mixed,
+    ];
+
+    /// Stable key fragment for cache keys and reports.
+    pub fn key(self) -> &'static str {
+        match self {
+            JobClass::CpuHeavy => "cpu",
+            JobClass::MemIo => "memio",
+            JobClass::Synchronised => "sync",
+            JobClass::Mixed => "mixed",
+        }
+    }
+}
+
+impl fmt::Display for JobClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// The policy-cache key: the coarse class (what dispatchers steer on)
+/// plus a bucketed phase-histogram signature (what schedules must fit).
+/// Two workloads share a taxon exactly when their mined phase structure
+/// is bucket-identical — close enough for a phase-indexed schedule to
+/// transfer between them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Taxon {
+    /// Dominant-phase class.
+    pub class: JobClass,
+    /// Packed base-3 buckets of the Blocked/IoBound/CpuBound function
+    /// shares (0 = none, 1 = minority, 2 = majority).
+    pub signature: u8,
+}
+
+impl Taxon {
+    /// Stable key string for reports (`cpu/021` style).
+    pub fn key(self) -> String {
+        format!(
+            "{}/{}{}{}",
+            self.class.key(),
+            self.signature / 9,
+            (self.signature / 3) % 3,
+            self.signature % 3
+        )
+    }
+}
+
+fn bucket(n: usize, total: usize) -> u8 {
+    if n == 0 {
+        0
+    } else if 2 * n <= total {
+        1
+    } else {
+        2
+    }
+}
+
+/// Compute a module's taxonomy: dominant mined phase → class, bucketed
+/// phase shares → signature. `Other` functions are ignored for the
+/// dominant unless nothing else exists; ties break in
+/// [`ProgramPhase::index`] order (Blocked < IoBound < CpuBound), keeping
+/// the result deterministic.
+pub fn taxon_of(m: &Module) -> Taxon {
+    let hist = PhaseMap::compute(m).histogram();
+    let informative = [
+        (ProgramPhase::Blocked, JobClass::Synchronised),
+        (ProgramPhase::IoBound, JobClass::MemIo),
+        (ProgramPhase::CpuBound, JobClass::CpuHeavy),
+    ];
+    let mut best: Option<(usize, JobClass)> = None;
+    for (phase, class) in informative {
+        let n = hist[phase.index()];
+        if n > 0 && best.map(|(b, _)| n > b).unwrap_or(true) {
+            best = Some((n, class));
+        }
+    }
+    let class = best.map(|(_, c)| c).unwrap_or(JobClass::Mixed);
+    let total: usize = hist.iter().sum();
+    let signature = bucket(hist[ProgramPhase::Blocked.index()], total) * 9
+        + bucket(hist[ProgramPhase::IoBound.index()], total) * 3
+        + bucket(hist[ProgramPhase::CpuBound.index()], total);
+    Taxon { class, signature }
+}
+
+/// A module's coarse class (see [`taxon_of`]).
+pub fn classify_module(m: &Module) -> JobClass {
+    taxon_of(m).class
+}
+
+/// One tenant job in the arrival stream.
+#[derive(Clone, Copy)]
+pub struct JobSpec {
+    /// Position in the stream (also the reporting order).
+    pub id: u32,
+    /// The program this tenant runs.
+    pub workload: Workload,
+    /// Full taxonomy (the policy-cache key; `taxon.class` is what
+    /// dispatchers steer on).
+    pub taxon: Taxon,
+    /// Arrival time, seconds since stream start.
+    pub arrival_s: f64,
+    /// SLO as a multiple of the workload's unloaded service time on the
+    /// fastest board architecture (the fleet resolves it to seconds once
+    /// profiles exist).
+    pub slo_tightness: f64,
+    /// Behavioural seed for this job's run.
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// The coarse class dispatchers steer on.
+    pub fn class(&self) -> JobClass {
+        self.taxon.class
+    }
+}
+
+impl fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobSpec")
+            .field("id", &self.id)
+            .field("workload", &self.workload.name)
+            .field("taxon", &self.taxon)
+            .field("arrival_s", &self.arrival_s)
+            .field("slo_tightness", &self.slo_tightness)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+/// What happened to one job.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// The job's stream id.
+    pub id: u32,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Taxonomy class.
+    pub class: JobClass,
+    /// Board the job ran on.
+    pub board: usize,
+    /// Arrival time, seconds.
+    pub arrival_s: f64,
+    /// Service start (arrival + queueing delay), seconds.
+    pub start_s: f64,
+    /// Completion time, seconds.
+    pub finish_s: f64,
+    /// Pure service time (includes any training charged to this job).
+    pub service_s: f64,
+    /// Energy the run consumed, Joules.
+    pub energy_j: f64,
+    /// Resolved latency SLO, seconds.
+    pub slo_s: f64,
+}
+
+impl JobOutcome {
+    /// End-to-end latency (queueing + service), seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.finish_s - self.arrival_s
+    }
+
+    /// Did the job meet its SLO?
+    pub fn slo_met(&self) -> bool {
+        self.latency_s() <= self.slo_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_ir::{FunctionBuilder, LibCall, Ty, Value};
+
+    fn cpu_module() -> Module {
+        let mut m = Module::new("cpu");
+        let mut k = FunctionBuilder::new("kernel", Ty::Void);
+        k.counted_loop(10_000, |b| {
+            let x = b.fmul(Ty::F64, Value::float(1.5), Value::float(0.5));
+            b.fadd(Ty::F64, x, x);
+        });
+        k.ret(None);
+        let kernel = m.add_function(k.finish());
+        let mut main = FunctionBuilder::new("main", Ty::Void);
+        main.call(kernel, &[]);
+        main.ret(None);
+        let id = m.add_function(main.finish());
+        m.set_entry(id);
+        m
+    }
+
+    fn io_module() -> Module {
+        let mut m = Module::new("io");
+        let mut k = FunctionBuilder::new("emit", Ty::Void);
+        // Straight-line so loop bookkeeping does not dilute the densities.
+        for _ in 0..8 {
+            k.call_lib(LibCall::WriteFile, &[]);
+            k.load(Ty::I64);
+        }
+        k.ret(None);
+        let emit = m.add_function(k.finish());
+        let mut main = FunctionBuilder::new("main", Ty::Void);
+        main.call(emit, &[]);
+        main.ret(None);
+        let id = m.add_function(main.finish());
+        m.set_entry(id);
+        m
+    }
+
+    #[test]
+    fn classification_follows_dominant_phase() {
+        assert_eq!(classify_module(&cpu_module()), JobClass::CpuHeavy);
+        assert_eq!(classify_module(&io_module()), JobClass::MemIo);
+    }
+
+    #[test]
+    fn every_workload_classifies() {
+        use astro_workloads::InputSize;
+        for w in astro_workloads::all() {
+            let m = (w.build)(InputSize::Test);
+            // Any class is fine; the call must be deterministic.
+            let a = classify_module(&m);
+            let b = classify_module(&m);
+            assert_eq!(a, b, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn outcome_latency_and_slo() {
+        let o = JobOutcome {
+            id: 0,
+            workload: "x",
+            class: JobClass::Mixed,
+            board: 0,
+            arrival_s: 1.0,
+            start_s: 2.0,
+            finish_s: 4.0,
+            service_s: 2.0,
+            energy_j: 0.5,
+            slo_s: 2.5,
+        };
+        assert!((o.latency_s() - 3.0).abs() < 1e-12);
+        assert!(!o.slo_met());
+    }
+}

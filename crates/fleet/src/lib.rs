@@ -1,0 +1,33 @@
+//! # astro-fleet — multi-board, multi-tenant co-scheduling
+//!
+//! The paper's pipeline learns a schedule for one program on one board.
+//! This crate is the fleet layer above it: many tenant jobs arriving
+//! over time ([`arrival`]), co-scheduled across a cluster of independent
+//! big.LITTLE boards ([`cluster`]) by an admission/dispatch policy
+//! ([`dispatch`]), each job executed through `astro-exec` ([`sim`]),
+//! with learned Astro policies shared and warm-started across tenants
+//! through a taxonomy-keyed policy cache ([`cache`]) — the regime
+//! Octopus-Man (Petrucci et al., HPCA'15) targets for datacenter QoS,
+//! with Astro's "compile once, schedule everywhere" story supplying the
+//! per-job policies. [`metrics`] aggregates throughput, latency
+//! percentiles vs SLO, cluster energy and per-board utilisation.
+//!
+//! Everything is seed-deterministic: the same cluster, parameters and
+//! job stream produce byte-identical outcomes regardless of how board
+//! execution is mapped onto OS threads.
+
+pub mod arrival;
+pub mod cache;
+pub mod cluster;
+pub mod dispatch;
+pub mod job;
+pub mod metrics;
+pub mod sim;
+
+pub use arrival::ArrivalProcess;
+pub use cache::{CacheDecision, CacheStats, PolicyCache, PolicyEntry};
+pub use cluster::ClusterSpec;
+pub use dispatch::{DispatchView, Dispatcher, EnergyAware, LeastLoaded, PhaseAware};
+pub use job::{classify_module, taxon_of, JobClass, JobOutcome, JobSpec, Taxon};
+pub use metrics::{percentile, FleetMetrics, FleetOutcome};
+pub use sim::{serial_map, BoardRun, FleetParams, FleetSim, PolicyMode};

@@ -1,0 +1,172 @@
+//! Fleet-level metrics: throughput, latency percentiles vs SLO,
+//! cluster-wide energy, per-board utilisation.
+
+use crate::cache::CacheStats;
+use crate::job::JobOutcome;
+
+/// Nearest-rank percentile of an ascending-sorted slice (`q` in 0..100).
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Aggregated fleet statistics for one scenario.
+#[derive(Clone, Debug)]
+pub struct FleetMetrics {
+    /// Jobs completed.
+    pub jobs: usize,
+    /// Last completion time, seconds.
+    pub makespan_s: f64,
+    /// Jobs per second of makespan.
+    pub throughput_jps: f64,
+    /// Mean end-to-end latency, seconds.
+    pub mean_latency_s: f64,
+    /// Median latency.
+    pub p50_s: f64,
+    /// 95th-percentile latency.
+    pub p95_s: f64,
+    /// 99th-percentile latency.
+    pub p99_s: f64,
+    /// Jobs that missed their SLO.
+    pub slo_misses: usize,
+    /// Energy of all job runs plus any training charged, Joules.
+    pub total_energy_j: f64,
+    /// Per-board busy fraction of the makespan.
+    pub board_util: Vec<f64>,
+}
+
+impl FleetMetrics {
+    /// Aggregate outcomes (any order) plus per-board busy seconds.
+    /// `extra_energy_j` covers energy spent outside job runs (training).
+    pub fn from_outcomes(
+        outcomes: &[JobOutcome],
+        board_busy_s: &[f64],
+        extra_energy_j: f64,
+    ) -> Self {
+        let jobs = outcomes.len();
+        let makespan_s = outcomes.iter().map(|o| o.finish_s).fold(0.0, f64::max);
+        let mut latencies: Vec<f64> = outcomes.iter().map(|o| o.latency_s()).collect();
+        latencies.sort_by(f64::total_cmp);
+        let mean_latency_s = if jobs == 0 {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / jobs as f64
+        };
+        let total_energy_j = outcomes.iter().map(|o| o.energy_j).sum::<f64>() + extra_energy_j;
+        FleetMetrics {
+            jobs,
+            makespan_s,
+            throughput_jps: if makespan_s > 0.0 {
+                jobs as f64 / makespan_s
+            } else {
+                0.0
+            },
+            mean_latency_s,
+            p50_s: percentile(&latencies, 50.0),
+            p95_s: percentile(&latencies, 95.0),
+            p99_s: percentile(&latencies, 99.0),
+            slo_misses: outcomes.iter().filter(|o| !o.slo_met()).count(),
+            total_energy_j,
+            board_util: board_busy_s
+                .iter()
+                .map(|&b| {
+                    if makespan_s > 0.0 {
+                        b / makespan_s
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// SLO miss rate in [0, 1].
+    pub fn slo_miss_rate(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.slo_misses as f64 / self.jobs as f64
+        }
+    }
+
+    /// Mean board utilisation.
+    pub fn mean_util(&self) -> f64 {
+        if self.board_util.is_empty() {
+            0.0
+        } else {
+            self.board_util.iter().sum::<f64>() / self.board_util.len() as f64
+        }
+    }
+}
+
+/// Everything one scenario produces.
+#[derive(Clone, Debug)]
+pub struct FleetOutcome {
+    /// The aggregate metrics.
+    pub metrics: FleetMetrics,
+    /// Per-job records, in stream (id) order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Policy-cache accounting at the end of the run.
+    pub cache: CacheStats,
+    /// Jobs whose cached schedule was rejected by the admission latency
+    /// guard (they ran their stock binary instead).
+    pub guard_bypasses: u64,
+    /// Wall time spent in asynchronous (re)training, seconds (off the
+    /// serving path, so not part of any job's latency).
+    pub train_time_s: f64,
+    /// Energy spent in (re)training, Joules (already in `metrics`).
+    pub train_energy_j: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobClass;
+
+    fn outcome(id: u32, arrival: f64, start: f64, finish: f64, energy: f64) -> JobOutcome {
+        JobOutcome {
+            id,
+            workload: "w",
+            class: JobClass::Mixed,
+            board: 0,
+            arrival_s: arrival,
+            start_s: start,
+            finish_s: finish,
+            service_s: finish - start,
+            energy_j: energy,
+            slo_s: 1.5,
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&xs, 50.0), 5.0);
+        assert_eq!(percentile(&xs, 95.0), 10.0);
+        assert_eq!(percentile(&xs, 99.0), 10.0);
+        assert_eq!(percentile(&xs, 10.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[3.0], 99.0), 3.0);
+    }
+
+    #[test]
+    fn aggregation_counts_and_energy() {
+        let outs = vec![
+            outcome(0, 0.0, 0.0, 1.0, 2.0), // latency 1.0, meets 1.5 SLO
+            outcome(1, 0.5, 1.0, 2.5, 3.0), // latency 2.0, misses
+        ];
+        let m = FleetMetrics::from_outcomes(&outs, &[1.0, 1.5], 0.5);
+        assert_eq!(m.jobs, 2);
+        assert_eq!(m.makespan_s, 2.5);
+        assert_eq!(m.slo_misses, 1);
+        assert!((m.slo_miss_rate() - 0.5).abs() < 1e-12);
+        assert!((m.total_energy_j - 5.5).abs() < 1e-12);
+        assert!((m.mean_latency_s - 1.5).abs() < 1e-12);
+        assert!((m.board_util[0] - 0.4).abs() < 1e-12);
+        assert!((m.mean_util() - 0.5).abs() < 1e-12);
+        assert!((m.throughput_jps - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,642 @@
+//! The fleet simulator: admission → dispatch → per-board execution →
+//! aggregation.
+//!
+//! The run is split into three deterministic stages so board execution
+//! can be fanned out across OS threads without the thread count ever
+//! touching the results:
+//!
+//! 1. **Admission/dispatch** (sequential, virtual time): each arriving
+//!    job is placed on a board using *profiled* service estimates — one
+//!    real engine run per distinct (workload, architecture, policy
+//!    version), memoised — and, in warm mode, resolves its policy
+//!    against the shared [`PolicyCache`] (training on misses, refreshing
+//!    stale entries warm-started from the cached snapshot).
+//! 2. **Execution** (parallel across boards): every board replays its
+//!    assigned job sequence through `astro-exec`, reusing one
+//!    [`Machine`] for all of its jobs; job `i` starts at
+//!    `max(arrival_i, finish_{i-1})`.
+//! 3. **Aggregation** (sequential, index order): outcomes are merged in
+//!    job-id order into [`FleetMetrics`].
+//!
+//! Same cluster + params + job stream ⇒ byte-identical outcome,
+//! regardless of how stage 2 is mapped.
+
+use crate::cache::{CacheDecision, PolicyCache};
+use crate::cluster::ClusterSpec;
+use crate::dispatch::{DispatchView, Dispatcher};
+use crate::job::{JobOutcome, JobSpec};
+use crate::metrics::{FleetMetrics, FleetOutcome};
+use astro_core::pipeline::{build_static, AstroPipeline, PipelineConfig, TrainedAstro};
+use astro_core::schedule::StaticSchedule;
+use astro_exec::machine::{Machine, MachineParams};
+use astro_exec::program::{compile, CompiledProgram};
+use astro_exec::runtime::{NullHooks, StaticBinaryHooks};
+use astro_exec::sched::affinity::AffinityScheduler;
+use astro_exec::sched::gts::GtsScheduler;
+use astro_exec::time::SimTime;
+use astro_hw::boards::BoardSpec;
+use astro_workloads::{InputSize, Workload};
+use std::collections::BTreeMap;
+
+/// How jobs are executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyMode {
+    /// Every job runs its original binary under GTS with all cores on —
+    /// the fleet without Astro.
+    Cold,
+    /// Jobs run Astro static binaries; schedules come from the shared
+    /// policy cache (training on miss, warm refresh on staleness).
+    Warm,
+}
+
+impl PolicyMode {
+    /// Label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyMode::Cold => "cold",
+            PolicyMode::Warm => "warm",
+        }
+    }
+}
+
+/// Fleet-level knobs.
+#[derive(Clone, Debug)]
+pub struct FleetParams {
+    /// Input class every job runs.
+    pub size: InputSize,
+    /// Engine parameters for job and profile runs.
+    pub machine: MachineParams,
+    /// Training configuration for cache misses.
+    pub train: PipelineConfig,
+    /// Episodes for warm-started staleness refreshes (≤ `train.episodes`
+    /// is the point: the snapshot already encodes the policy).
+    pub refresh_episodes: usize,
+    /// Admission latency guard: a cached schedule is applied to a job
+    /// only when its profiled service time on the chosen board is within
+    /// this factor of the stock (cold) binary's. Class-keyed policies
+    /// transfer across workloads of a class; the guard bounds the
+    /// latency tax when the transfer is poor (the job then runs its
+    /// stock binary and only the class's well-transferring siblings keep
+    /// the energy win). The default of 1.01 admits schedules that
+    /// profile as time-neutral (within profiling noise) or faster;
+    /// `f64::INFINITY` disables the guard.
+    pub latency_guard: f64,
+    /// Base seed (profiles and training derive from it).
+    pub seed: u64,
+}
+
+impl FleetParams {
+    /// Millisecond-scale defaults matching the experiment harness: the
+    /// 500 ms monitor of §3.2.1 scaled to the synthetic workloads'
+    /// runtimes.
+    pub fn new(seed: u64) -> Self {
+        let machine = MachineParams {
+            checkpoint_interval: SimTime::from_micros(400.0),
+            balance_interval: SimTime::from_micros(100.0),
+            timeslice: SimTime::from_micros(400.0),
+            min_config_dwell: SimTime::from_micros(800.0),
+            seed,
+            ..MachineParams::default()
+        };
+        FleetParams {
+            size: InputSize::Test,
+            machine,
+            train: PipelineConfig {
+                machine,
+                episodes: 4,
+                model_seeds: 1,
+                ..PipelineConfig::default()
+            },
+            refresh_episodes: 2,
+            latency_guard: 1.01,
+            seed,
+        }
+    }
+}
+
+/// One board's executed job sequence (stage 2 output).
+#[derive(Clone, Debug)]
+pub struct BoardRun {
+    /// Board index.
+    pub board: usize,
+    /// Outcomes in execution order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Total service seconds.
+    pub busy_s: f64,
+}
+
+/// Run `f(0..n)` sequentially — the trivial stage-2 mapper. Experiment
+/// harnesses substitute a parallel mapper (`astro-bench`'s
+/// `parallel_map`) with the same contract: results in index order.
+pub fn serial_map(n: usize, f: &(dyn Fn(usize) -> BoardRun + Sync)) -> Vec<BoardRun> {
+    (0..n).map(f).collect()
+}
+
+/// One job as placed by stage 1.
+#[derive(Clone)]
+struct Assignment {
+    job: JobSpec,
+    slo_s: f64,
+    /// `Some((schedule, version))` in warm mode.
+    schedule: Option<(StaticSchedule, u32)>,
+}
+
+/// Memoised (workload, architecture, policy-version) service profiles.
+/// Version [`ProfileTable::COLD`] is the GTS/original-binary profile.
+struct ProfileTable {
+    map: BTreeMap<(&'static str, &'static str, u64), (f64, f64)>,
+}
+
+impl ProfileTable {
+    const COLD: u64 = u64::MAX;
+
+    fn new() -> Self {
+        ProfileTable {
+            map: BTreeMap::new(),
+        }
+    }
+}
+
+/// The fleet simulator, bound to a cluster.
+pub struct FleetSim<'a> {
+    /// The boards.
+    pub cluster: &'a ClusterSpec,
+    /// Knobs.
+    pub params: FleetParams,
+}
+
+impl<'a> FleetSim<'a> {
+    /// A simulator over `cluster`.
+    pub fn new(cluster: &'a ClusterSpec, params: FleetParams) -> Self {
+        assert!(!cluster.is_empty(), "fleet needs at least one board");
+        FleetSim { cluster, params }
+    }
+
+    /// Run `jobs` (arrival order) under `dispatcher` and `mode`, mapping
+    /// board execution with [`serial_map`].
+    pub fn run(
+        &self,
+        jobs: &[JobSpec],
+        dispatcher: &mut dyn Dispatcher,
+        cache: &mut PolicyCache,
+        mode: PolicyMode,
+    ) -> FleetOutcome {
+        self.run_with(jobs, dispatcher, cache, mode, &serial_map)
+    }
+
+    /// Like [`FleetSim::run`], with a caller-supplied stage-2 mapper
+    /// (e.g. a parallel one). The mapper must return `f(i)` for
+    /// `i ∈ 0..n` in index order; any interleaving yields identical
+    /// results.
+    pub fn run_with(
+        &self,
+        jobs: &[JobSpec],
+        dispatcher: &mut dyn Dispatcher,
+        cache: &mut PolicyCache,
+        mode: PolicyMode,
+        pmap: &dyn Fn(usize, &(dyn Fn(usize) -> BoardRun + Sync)) -> Vec<BoardRun>,
+    ) -> FleetOutcome {
+        let n_boards = self.cluster.len();
+        let mut profiles = ProfileTable::new();
+        let mut est_busy = vec![0.0f64; n_boards];
+        let mut assigned = vec![0usize; n_boards];
+        let mut plan: Vec<Vec<Assignment>> = vec![Vec::new(); n_boards];
+        let mut train_time_s = 0.0;
+        let mut train_energy_j = 0.0;
+        let mut guard_bypasses = 0u64;
+
+        // Stage 1: admission + dispatch + policy resolution.
+        for job in jobs {
+            let slo_s = job.slo_tightness * self.best_cold_wall(&mut profiles, &job.workload);
+            let mut est_service = vec![0.0f64; n_boards];
+            let mut est_energy = vec![0.0f64; n_boards];
+            let mut warm = vec![false; n_boards];
+            for b in 0..n_boards {
+                let arch = self.cluster.arch_key(b);
+                let is_warm = mode == PolicyMode::Warm && cache.is_warm(job.taxon, arch);
+                let (wall, energy) = if is_warm {
+                    let e = cache.peek(job.taxon, arch).expect("warm entry exists");
+                    self.profile(
+                        &mut profiles,
+                        &job.workload,
+                        b,
+                        e.version as u64,
+                        Some(e.schedule),
+                    )
+                } else {
+                    self.profile(&mut profiles, &job.workload, b, ProfileTable::COLD, None)
+                };
+                est_service[b] = wall;
+                est_energy[b] = energy;
+                warm[b] = is_warm;
+            }
+            let view = DispatchView {
+                cluster: self.cluster,
+                now_s: job.arrival_s,
+                est_busy_until_s: &est_busy,
+                assigned: &assigned,
+                est_service_s: &est_service,
+                est_energy_j: &est_energy,
+                warm: &warm,
+            };
+            let b = dispatcher.pick(&view, job);
+            assert!(b < n_boards, "dispatcher picked board {b} of {n_boards}");
+
+            // Policy resolution. Training is *asynchronous*: like the
+            // paper's compile-time pipeline, it happens off the serving
+            // path (a policy server replaying the tenant's program), so
+            // the triggering job runs its stock binary and the artefact
+            // serves later arrivals. Its time and energy are still
+            // accounted against the fleet.
+            let schedule = match mode {
+                PolicyMode::Cold => None,
+                PolicyMode::Warm => {
+                    let arch = self.cluster.arch_key(b);
+                    match cache.lookup(job.taxon, arch) {
+                        CacheDecision::Hit(s, v) => Some((s, v)),
+                        CacheDecision::Stale(snap) => {
+                            let (trained, t, e) =
+                                self.train(job, b, Some(&snap), self.params.refresh_episodes);
+                            train_time_s += t;
+                            train_energy_j += e;
+                            let snapshot = trained.hooks.agent.snapshot();
+                            cache.refresh(job.taxon, arch, trained.static_schedule, snapshot);
+                            None
+                        }
+                        CacheDecision::Miss => {
+                            let (trained, t, e) =
+                                self.train(job, b, None, self.params.train.episodes);
+                            train_time_s += t;
+                            train_energy_j += e;
+                            let snapshot = trained.hooks.agent.snapshot();
+                            cache.insert(job.taxon, arch, trained.static_schedule, snapshot);
+                            None
+                        }
+                    }
+                }
+            };
+
+            // Admission latency guard: class policies transfer across a
+            // class's workloads, but not always gracefully; when this
+            // job's profiled service under the schedule regresses past
+            // the guard, it runs its stock binary instead.
+            let (schedule, svc_est) = match schedule {
+                None => (None, est_service[b]),
+                Some((st, v)) => {
+                    let (cold_wall, _) =
+                        self.profile(&mut profiles, &job.workload, b, ProfileTable::COLD, None);
+                    let (warm_wall, _) =
+                        self.profile(&mut profiles, &job.workload, b, v as u64, Some(st));
+                    if warm_wall > cold_wall * self.params.latency_guard {
+                        guard_bypasses += 1;
+                        (None, cold_wall)
+                    } else {
+                        (Some((st, v)), warm_wall)
+                    }
+                }
+            };
+
+            est_busy[b] = est_busy[b].max(job.arrival_s) + svc_est;
+            assigned[b] += 1;
+            plan[b].push(Assignment {
+                job: *job,
+                slo_s,
+                schedule,
+            });
+        }
+
+        // Stage 2: execute each board's sequence (parallelisable).
+        let plan = &plan;
+        let runs = pmap(n_boards, &|b| self.run_board(b, &plan[b]));
+        assert_eq!(runs.len(), n_boards, "mapper must cover every board");
+
+        // Stage 3: aggregate in deterministic order.
+        let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
+        let mut busy = vec![0.0f64; n_boards];
+        for r in &runs {
+            busy[r.board] = r.busy_s;
+            outcomes.extend(r.outcomes.iter().cloned());
+        }
+        outcomes.sort_by_key(|o| o.id);
+        let metrics = FleetMetrics::from_outcomes(&outcomes, &busy, train_energy_j);
+        FleetOutcome {
+            metrics,
+            outcomes,
+            cache: cache.stats,
+            guard_bypasses,
+            train_time_s,
+            train_energy_j,
+        }
+    }
+
+    // ---- stage-1 helpers ----------------------------------------------------
+
+    /// Unloaded cold service time on the fastest architecture (the SLO
+    /// reference point).
+    fn best_cold_wall(&self, profiles: &mut ProfileTable, w: &Workload) -> f64 {
+        let mut best = f64::INFINITY;
+        for key in self.cluster.arch_keys() {
+            let b = (0..self.cluster.len())
+                .find(|&b| self.cluster.arch_key(b) == key)
+                .expect("key came from the cluster");
+            let (wall, _) = self.profile(profiles, w, b, ProfileTable::COLD, None);
+            best = best.min(wall);
+        }
+        best
+    }
+
+    /// Profiled (wall, energy) of `w` on board `b` under the given
+    /// policy version: the mean of three engine runs at distinct seeds
+    /// (the ±5% service jitter would otherwise dominate guard decisions
+    /// near the boundary), memoised per distinct key.
+    fn profile(
+        &self,
+        profiles: &mut ProfileTable,
+        w: &Workload,
+        b: usize,
+        version: u64,
+        schedule: Option<StaticSchedule>,
+    ) -> (f64, f64) {
+        const PROFILE_SAMPLES: u64 = 3;
+        let arch = self.cluster.arch_key(b);
+        if let Some(&hit) = profiles.map.get(&(w.name, arch, version)) {
+            return hit;
+        }
+        let spec = &self.cluster.boards[b];
+        let base_seed = self
+            .params
+            .seed
+            .wrapping_add(fnv(w.name))
+            .wrapping_add(fnv(arch).rotate_left(17));
+        let machine = Machine::new(spec, self.params.machine);
+        let module = (w.build)(self.params.size);
+        let full = spec.config_space().full();
+        let mut wall = 0.0;
+        let mut energy = 0.0;
+        for k in 0..PROFILE_SAMPLES {
+            let seed = base_seed.wrapping_add(k.wrapping_mul(0x9E37_79B9));
+            let r = match schedule {
+                None => {
+                    let prog = compile(&module).expect("workload compiles");
+                    let mut sched = GtsScheduler::default();
+                    machine.run_seeded(&prog, &mut sched, &mut NullHooks, full, seed)
+                }
+                Some(st) => {
+                    let prog = compile(&build_static(&module, &st)).expect("static build compiles");
+                    let mut sched = AffinityScheduler;
+                    let mut hooks = StaticBinaryHooks {
+                        space: spec.config_space(),
+                    };
+                    machine.run_seeded(&prog, &mut sched, &mut hooks, full, seed)
+                }
+            };
+            wall += r.wall_time_s;
+            energy += r.energy_j;
+        }
+        let out = (
+            wall / PROFILE_SAMPLES as f64,
+            energy / PROFILE_SAMPLES as f64,
+        );
+        profiles.map.insert((w.name, arch, version), out);
+        out
+    }
+
+    /// (Re)train a policy for `job`'s class on board `b`'s architecture.
+    /// Returns the trained artefacts plus the wall time and energy of
+    /// the learning episodes (charged to the triggering job).
+    fn train(
+        &self,
+        job: &JobSpec,
+        b: usize,
+        warm: Option<&astro_rl::qlearn::PolicySnapshot>,
+        episodes: usize,
+    ) -> (TrainedAstro, f64, f64) {
+        let spec: &BoardSpec = &self.cluster.boards[b];
+        let mut cfg = self.params.train.clone();
+        cfg.episodes = episodes.max(1);
+        cfg.machine.seed = self
+            .params
+            .seed
+            .wrapping_add(fnv(&job.taxon.key()))
+            .wrapping_add(fnv(self.cluster.arch_key(b)).rotate_left(29));
+        let pipe = AstroPipeline::new(spec, cfg);
+        let module = (job.workload.build)(self.params.size);
+        let trained = pipe.train_warm(&module, warm);
+        let t: f64 = trained.learning_runs.iter().map(|r| r.wall_time_s).sum();
+        let e: f64 = trained.learning_runs.iter().map(|r| r.energy_j).sum();
+        (trained, t, e)
+    }
+
+    // ---- stage 2 ------------------------------------------------------------
+
+    /// Execute one board's assignment sequence, reusing a single
+    /// [`Machine`] across all of its jobs.
+    fn run_board(&self, b: usize, assignments: &[Assignment]) -> BoardRun {
+        let spec = &self.cluster.boards[b];
+        let machine = Machine::new(spec, self.params.machine);
+        let full = spec.config_space().full();
+        let mut cold_progs: BTreeMap<&'static str, CompiledProgram> = BTreeMap::new();
+        let mut warm_progs: BTreeMap<(&'static str, u32), CompiledProgram> = BTreeMap::new();
+
+        let mut free_at = 0.0f64;
+        let mut busy_s = 0.0f64;
+        let mut outcomes = Vec::with_capacity(assignments.len());
+        for a in assignments {
+            let w = &a.job.workload;
+            let r = match &a.schedule {
+                None => {
+                    // Stock binary under GTS (cold mode, cache misses
+                    // awaiting the async training, guard bypasses).
+                    let prog = cold_progs.entry(w.name).or_insert_with(|| {
+                        compile(&(w.build)(self.params.size)).expect("workload compiles")
+                    });
+                    let mut sched = GtsScheduler::default();
+                    machine.run_seeded(prog, &mut sched, &mut NullHooks, full, a.job.seed)
+                }
+                Some((st, version)) => {
+                    let prog = warm_progs.entry((w.name, *version)).or_insert_with(|| {
+                        let module = (w.build)(self.params.size);
+                        compile(&build_static(&module, st)).expect("static build compiles")
+                    });
+                    let mut sched = AffinityScheduler;
+                    let mut hooks = StaticBinaryHooks {
+                        space: spec.config_space(),
+                    };
+                    machine.run_seeded(prog, &mut sched, &mut hooks, full, a.job.seed)
+                }
+            };
+            let start = a.job.arrival_s.max(free_at);
+            let service = r.wall_time_s;
+            let finish = start + service;
+            free_at = finish;
+            busy_s += service;
+            outcomes.push(JobOutcome {
+                id: a.job.id,
+                workload: w.name,
+                class: a.job.class(),
+                board: b,
+                arrival_s: a.job.arrival_s,
+                start_s: start,
+                finish_s: finish,
+                service_s: service,
+                energy_j: r.energy_j,
+                slo_s: a.slo_s,
+            });
+        }
+        BoardRun {
+            board: b,
+            outcomes,
+            busy_s,
+        }
+    }
+}
+
+/// Deterministic string hash (FNV-1a): profile/training seeds must not
+/// depend on process-level hasher state.
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::ArrivalProcess;
+    use crate::dispatch::{LeastLoaded, PhaseAware};
+
+    fn jobs(n: usize, seed: u64) -> Vec<JobSpec> {
+        let pool: Vec<Workload> = ["swaptions", "bfs"]
+            .iter()
+            .map(|name| astro_workloads::by_name(name).unwrap())
+            .collect();
+        ArrivalProcess::Poisson {
+            rate_jobs_per_s: 2000.0,
+        }
+        .generate(n, &pool, InputSize::Test, (4.0, 8.0), seed)
+    }
+
+    #[test]
+    fn cold_fleet_completes_all_jobs_deterministically() {
+        let cluster = ClusterSpec::heterogeneous(2);
+        let sim = FleetSim::new(&cluster, FleetParams::new(5));
+        let stream = jobs(6, 3);
+        let mut cache = PolicyCache::new(0);
+        let a = sim.run(&stream, &mut LeastLoaded, &mut cache, PolicyMode::Cold);
+        let b = sim.run(&stream, &mut LeastLoaded, &mut cache, PolicyMode::Cold);
+
+        assert_eq!(a.outcomes.len(), 6);
+        for (i, o) in a.outcomes.iter().enumerate() {
+            assert_eq!(o.id as usize, i);
+            assert!(o.board < 2);
+            assert!(o.start_s >= o.arrival_s);
+            assert!(o.finish_s > o.start_s);
+            assert!(o.energy_j > 0.0);
+            assert!(o.slo_s > 0.0);
+        }
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.finish_s, y.finish_s);
+            assert_eq!(x.energy_j, y.energy_j);
+            assert_eq!(x.board, y.board);
+        }
+        assert!(a
+            .metrics
+            .board_util
+            .iter()
+            .all(|&u| (0.0..=1.0).contains(&u)));
+        assert_eq!(a.cache, crate::cache::CacheStats::default());
+        assert_eq!(a.train_time_s, 0.0);
+    }
+
+    #[test]
+    fn parallel_and_serial_mappers_agree() {
+        let cluster = ClusterSpec::heterogeneous(3);
+        let sim = FleetSim::new(&cluster, FleetParams::new(9));
+        let stream = jobs(6, 1);
+        let mut cache = PolicyCache::new(0);
+        let serial = sim.run(&stream, &mut LeastLoaded, &mut cache, PolicyMode::Cold);
+        // A deliberately out-of-order mapper with the index-order contract.
+        let reversed = |n: usize, f: &(dyn Fn(usize) -> BoardRun + Sync)| {
+            let mut v: Vec<BoardRun> = (0..n).rev().map(f).collect();
+            v.reverse();
+            v
+        };
+        let mapped = sim.run_with(
+            &stream,
+            &mut LeastLoaded,
+            &mut cache,
+            PolicyMode::Cold,
+            &reversed,
+        );
+        for (x, y) in serial.outcomes.iter().zip(&mapped.outcomes) {
+            assert_eq!(x.finish_s, y.finish_s);
+            assert_eq!(x.board, y.board);
+        }
+    }
+
+    #[test]
+    fn warm_mode_trains_once_then_hits() {
+        let cluster = ClusterSpec::homogeneous(2, BoardSpec::odroid_xu4());
+        let mut params = FleetParams::new(11);
+        params.train.episodes = 1;
+        let sim = FleetSim::new(&cluster, params);
+        // Single-workload pool → a single (class, arch) cache line.
+        let pool = vec![astro_workloads::by_name("swaptions").unwrap()];
+        let stream = ArrivalProcess::Poisson {
+            rate_jobs_per_s: 2000.0,
+        }
+        .generate(5, &pool, InputSize::Test, (6.0, 6.0), 2);
+        let mut cache = PolicyCache::new(0);
+        let out = sim.run(&stream, &mut PhaseAware, &mut cache, PolicyMode::Warm);
+
+        assert_eq!(out.cache.misses, 1, "one cold training");
+        assert_eq!(out.cache.hits, 4, "every later tenant reuses it");
+        assert!(out.train_time_s > 0.0);
+        assert!(out.train_energy_j > 0.0);
+        assert_eq!(cache.len(), 1);
+        // Training energy is accounted in the fleet total.
+        let job_energy: f64 = out.outcomes.iter().map(|o| o.energy_j).sum();
+        assert!(out.metrics.total_energy_j > job_energy);
+    }
+
+    #[test]
+    fn impossible_latency_guard_bypasses_every_schedule() {
+        let cluster = ClusterSpec::homogeneous(2, BoardSpec::odroid_xu4());
+        let mut params = FleetParams::new(11);
+        params.train.episodes = 1;
+        params.latency_guard = 0.0; // nothing can beat a zero budget
+        let sim = FleetSim::new(&cluster, params);
+        let pool = vec![astro_workloads::by_name("swaptions").unwrap()];
+        let stream = ArrivalProcess::Poisson {
+            rate_jobs_per_s: 2000.0,
+        }
+        .generate(4, &pool, InputSize::Test, (6.0, 6.0), 2);
+        let mut cache = PolicyCache::new(0);
+        let out = sim.run(&stream, &mut PhaseAware, &mut cache, PolicyMode::Warm);
+        // The miss job runs cold with no schedule to guard; the three
+        // hits all fail the impossible guard.
+        assert_eq!(out.guard_bypasses, 3);
+        assert_eq!(out.cache.misses, 1, "the class is still trained once");
+    }
+
+    #[test]
+    fn staleness_triggers_warm_refresh() {
+        let cluster = ClusterSpec::homogeneous(1, BoardSpec::odroid_xu4());
+        let mut params = FleetParams::new(21);
+        params.train.episodes = 1;
+        params.refresh_episodes = 1;
+        let sim = FleetSim::new(&cluster, params);
+        let pool = vec![astro_workloads::by_name("bfs").unwrap()];
+        let stream = ArrivalProcess::Poisson {
+            rate_jobs_per_s: 2000.0,
+        }
+        .generate(4, &pool, InputSize::Test, (6.0, 6.0), 2);
+        let mut cache = PolicyCache::new(2);
+        let out = sim.run(&stream, &mut LeastLoaded, &mut cache, PolicyMode::Warm);
+        assert_eq!(out.cache.misses, 1);
+        assert!(out.cache.stale_refreshes >= 1, "{:?}", out.cache);
+    }
+}

@@ -69,6 +69,33 @@ impl BoardSpec {
         }
     }
 
+    /// A Rockchip RK3399-class board (e.g. RockPro64): 4× Cortex-A53 @
+    /// 1.4 GHz + 2× Cortex-A72 @ 1.8 GHz. The LITTLE-rich complement to
+    /// the big-rich XU4 — heterogeneous fleets mix the two so dispatcher
+    /// quality (matching job phases to cluster shapes) becomes visible.
+    pub fn rk3399() -> Self {
+        BoardSpec {
+            name: "RK3399 (RockPro64)",
+            num_little: 4,
+            num_big: 2,
+            little: CoreSpec::little_a53(),
+            big: CoreSpec::big_a72(),
+            l1: CacheParams::L1_32K,
+            l2_little: CacheParams::L2_512K,
+            l2_big: CacheParams::L2_2M,
+            power: PowerModel {
+                big_peak_w: 1.15,
+                big_idle_w: 0.12,
+                little_peak_w: 0.28,
+                little_idle_w: 0.04,
+                big_uncore_w: 0.4,
+                little_uncore_w: 0.12,
+                stall_factor: 0.55,
+            },
+            migration_cost_s: 70e-6,
+        }
+    }
+
     /// The configuration space of this board.
     pub fn config_space(&self) -> ConfigSpace {
         ConfigSpace {
@@ -121,6 +148,16 @@ mod tests {
         let b = BoardSpec::jetson_tk1();
         assert_eq!(b.num_little, 1);
         assert_eq!(b.config_space().num_configs(), 9);
+    }
+
+    #[test]
+    fn rk3399_is_little_rich() {
+        let b = BoardSpec::rk3399();
+        assert_eq!(b.num_cores(), 6);
+        assert!(b.num_little > b.num_big);
+        assert_eq!(b.config_space().num_configs(), 14);
+        assert_eq!(b.core_kind(0), CoreKind::Little);
+        assert_eq!(b.core_kind(5), CoreKind::Big);
     }
 
     #[test]

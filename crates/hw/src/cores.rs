@@ -127,6 +127,48 @@ impl CoreSpec {
         }
     }
 
+    /// A Cortex-A72-like big core at 1.8 GHz (RK3399-class silicon):
+    /// slightly slower-clocked than the A15 but with a leaner front end —
+    /// marginally better CPI on integer ALU and control.
+    pub fn big_a72() -> Self {
+        CoreSpec {
+            kind: CoreKind::Big,
+            freq_ghz: 1.8,
+            cpi: CpiTable {
+                int_alu: 0.5,
+                int_muldiv: 2.8,
+                fp_alu: 0.65,
+                fp_muldiv: 2.0,
+                mem_l1: 0.6,
+                control: 0.85,
+                call: 2.4,
+            },
+            l2_hit_cycles: 12.0,
+            dram_cycles: 170.0,
+        }
+    }
+
+    /// A Cortex-A53-like LITTLE core at 1.4 GHz: in-order like the A7 but
+    /// dual-issue with a real FP pipeline, so the FP gap to the big
+    /// cluster is narrower than the A7's.
+    pub fn little_a53() -> Self {
+        CoreSpec {
+            kind: CoreKind::Little,
+            freq_ghz: 1.4,
+            cpi: CpiTable {
+                int_alu: 0.95,
+                int_muldiv: 6.0,
+                fp_alu: 1.8,
+                fp_muldiv: 6.0,
+                mem_l1: 1.05,
+                control: 1.3,
+                call: 3.2,
+            },
+            l2_hit_cycles: 10.0,
+            dram_cycles: 130.0,
+        }
+    }
+
     /// Seconds taken by one instruction of `class` hitting in L1.
     #[inline]
     pub fn seconds_per_instr(&self, class: InstrClass) -> f64 {
@@ -184,6 +226,26 @@ mod tests {
     fn frequencies_match_odroid_xu4() {
         assert_eq!(CoreSpec::big_a15().freq_ghz, 2.0);
         assert_eq!(CoreSpec::little_a7().freq_ghz, 1.4);
+    }
+
+    #[test]
+    fn rk3399_cores_keep_the_cluster_asymmetry() {
+        let big = CoreSpec::big_a72();
+        let little = CoreSpec::little_a53();
+        assert_eq!(big.kind, CoreKind::Big);
+        assert_eq!(little.kind, CoreKind::Little);
+        for class in [InstrClass::IntAlu, InstrClass::FpMulDiv, InstrClass::Mem] {
+            assert!(
+                big.seconds_per_instr(class) < little.seconds_per_instr(class),
+                "{class:?}: A72 must out-run the A53 in wall time"
+            );
+        }
+        // The A53's FP gap is narrower than the A7's (dual-issue VFP).
+        let a7_gap = CoreSpec::little_a7().seconds_per_instr(InstrClass::FpMulDiv)
+            / CoreSpec::big_a15().seconds_per_instr(InstrClass::FpMulDiv);
+        let a53_gap = little.seconds_per_instr(InstrClass::FpMulDiv)
+            / big.seconds_per_instr(InstrClass::FpMulDiv);
+        assert!(a53_gap < a7_gap);
     }
 
     #[test]

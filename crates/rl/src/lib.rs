@@ -25,7 +25,7 @@ pub mod tensor;
 
 pub use encoding::one_hot;
 pub use nn::{Activation, DenseLayer, Mlp, Optimizer};
-pub use qlearn::{QAgent, QConfig};
+pub use qlearn::{PolicySnapshot, QAgent, QConfig};
 pub use replay::{Experience, ReplayBuffer};
 pub use tabular::TabularQ;
 pub use tensor::Matrix;

@@ -67,6 +67,21 @@ impl QConfig {
     }
 }
 
+/// A frozen, transportable copy of a learned policy: the network
+/// parameters plus the dimensions they were trained for. Snapshots are
+/// what a shared policy cache stores and ships between tenants — a new
+/// agent warm-started from one begins where the previous tenant's
+/// training ended ("compile once, schedule everywhere" at fleet scale).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolicySnapshot {
+    /// Encoded state dimension the parameters expect.
+    pub state_dim: usize,
+    /// Number of actions the output layer covers.
+    pub num_actions: usize,
+    /// Flattened network parameters ([`crate::nn::Mlp::params`] order).
+    pub params: Vec<f64>,
+}
+
 /// ε-greedy Q-learning agent over an MLP.
 #[derive(Clone, Debug)]
 pub struct QAgent {
@@ -177,6 +192,32 @@ impl QAgent {
     /// Used to synthesise the static/hybrid schedules of §3.3.
     pub fn extract_policy<'a>(&self, states: impl Iterator<Item = &'a [f64]>) -> Vec<usize> {
         states.map(|s| self.best_action(s)).collect()
+    }
+
+    /// Export the current policy network for caching/warm starts.
+    pub fn snapshot(&self) -> PolicySnapshot {
+        PolicySnapshot {
+            state_dim: self.cfg.state_dim,
+            num_actions: self.cfg.num_actions,
+            params: self.net.params(),
+        }
+    }
+
+    /// Warm-start this agent from a snapshot: both the online and the
+    /// target network adopt the stored parameters (replay and step
+    /// counters are untouched, so ε continues from this agent's own
+    /// schedule). Returns `false` — leaving the agent unchanged — when
+    /// the snapshot's dimensions do not match this agent's.
+    pub fn restore(&mut self, snap: &PolicySnapshot) -> bool {
+        if snap.state_dim != self.cfg.state_dim
+            || snap.num_actions != self.cfg.num_actions
+            || snap.params.len() != self.net.params().len()
+        {
+            return false;
+        }
+        self.net.set_params(&snap.params);
+        self.target.copy_params_from(&self.net);
+        true
     }
 }
 
@@ -299,6 +340,33 @@ mod tests {
         let states: Vec<&[f64]> = vec![&sa, &sb];
         let policy = agent.extract_policy(states.into_iter());
         assert_eq!(policy, vec![1, 0]);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_the_policy() {
+        let trained = trained_agent(1500);
+        let snap = trained.snapshot();
+        let mut cfg = QConfig::astro_default(2, 2);
+        cfg.hidden = vec![16];
+        cfg.seed = 12345; // different init than the trained agent
+        let mut fresh = QAgent::new(cfg);
+        assert!(fresh.restore(&snap));
+        assert_eq!(
+            fresh.q_values(&toy_state(true)),
+            trained.q_values(&toy_state(true))
+        );
+        assert_eq!(fresh.best_action(&toy_state(true)), 1);
+        assert_eq!(fresh.best_action(&toy_state(false)), 0);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_shapes() {
+        let trained = trained_agent(300);
+        let snap = trained.snapshot();
+        let mut other = QAgent::new(QConfig::astro_default(3, 2));
+        let before = other.q_values(&[0.0, 1.0, 0.0]);
+        assert!(!other.restore(&snap));
+        assert_eq!(other.q_values(&[0.0, 1.0, 0.0]), before);
     }
 
     #[test]

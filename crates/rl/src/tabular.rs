@@ -69,6 +69,32 @@ impl TabularQ {
         }
     }
 
+    /// Number of states the table covers.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of actions per state.
+    pub fn num_actions(&self) -> usize {
+        self.num_actions
+    }
+
+    /// Export the dense Q-table (row-major `[state][action]`) for
+    /// caching/warm starts.
+    pub fn export_table(&self) -> Vec<f64> {
+        self.q.clone()
+    }
+
+    /// Warm-start this learner from an exported table. Returns `false` —
+    /// leaving the table unchanged — when the shape does not match.
+    pub fn import_table(&mut self, table: &[f64]) -> bool {
+        if table.len() != self.num_states * self.num_actions {
+            return false;
+        }
+        self.q.copy_from_slice(table);
+        true
+    }
+
     /// Classic update: `Q(s,a) += α (r + discount·max_a′ Q(s′,a′) − Q(s,a))`.
     pub fn update(&mut self, s: usize, a: usize, reward: f64, s_next: usize, terminal: bool) {
         let future = if terminal {
@@ -116,6 +142,24 @@ mod tests {
         t.alpha = 1.0;
         t.update(0, 0, 5.0, 0, true);
         assert_eq!(t.q(0, 0), 5.0);
+    }
+
+    #[test]
+    fn export_import_roundtrips_and_checks_shape() {
+        let mut a = TabularQ::new(2, 2, 5);
+        a.update(0, 1, 1.0, 1, false);
+        a.update(1, 0, 1.0, 0, false);
+        let table = a.export_table();
+        assert_eq!(table.len(), 4);
+
+        let mut b = TabularQ::new(2, 2, 77);
+        assert!(b.import_table(&table));
+        assert_eq!(b.q(0, 1), a.q(0, 1));
+        assert_eq!(b.best_action(0), a.best_action(0));
+
+        let mut wrong = TabularQ::new(3, 2, 0);
+        assert!(!wrong.import_table(&table));
+        assert_eq!(wrong.q(0, 0), 0.0);
     }
 
     #[test]

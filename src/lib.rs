@@ -18,11 +18,14 @@
 //! * [`core`] — the Astro system itself: states, rewards, the
 //!   monitor–learn–adapt actuation loop, trace simulation, baselines and
 //!   schedule synthesis;
-//! * [`workloads`] — synthetic Parsec/Rodinia programs.
+//! * [`workloads`] — synthetic Parsec/Rodinia programs;
+//! * [`fleet`] — multi-board, multi-tenant co-scheduling with a shared,
+//!   warm-starting policy cache.
 
 pub use astro_compiler as compiler;
 pub use astro_core as core;
 pub use astro_exec as exec;
+pub use astro_fleet as fleet;
 pub use astro_hw as hw;
 pub use astro_ir as ir;
 pub use astro_rl as rl;
