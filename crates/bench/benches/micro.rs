@@ -143,12 +143,66 @@ fn bench_runner(c: &mut Criterion) {
     });
 }
 
+/// Per-job cost of the two execution backends on the same request: the
+/// cycle-accurate `MachineExecutor` interprets the whole program, the
+/// calibrated `ReplayExecutor` composes the answer from recorded
+/// traces. The ratio is what lets `fleet_sim --backend replay` scale to
+/// 100k jobs (calibration — 24 engine runs here — is paid once, outside
+/// the measured loop).
+fn bench_executor(c: &mut Criterion) {
+    use astro_core::replay::ReplayExecutor;
+    use astro_exec::executor::{ExecPolicy, ExecRequest, Executor, MachineExecutor};
+
+    let board = BoardSpec::odroid_xu4();
+    let module = (astro_workloads::by_name("hotspot").unwrap().build)(InputSize::Test);
+    let prog = compile(&module).unwrap();
+    let params = MachineParams {
+        checkpoint_interval: SimTime::from_micros(400.0),
+        ..MachineParams::default()
+    };
+    let machine = MachineExecutor { params };
+    let replay = ReplayExecutor::from_machine(params);
+    replay.calibrate("hotspot", &module, &board);
+    let full = board.config_space().full();
+    let mut seed = 0u64;
+    c.bench_function("executor_machine_per_job_hotspot", |b| {
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(machine.execute(&ExecRequest {
+                workload: "hotspot",
+                module: &module,
+                program: &prog,
+                board: &board,
+                config: full,
+                policy: ExecPolicy::Gts,
+                seed,
+            }))
+        })
+    });
+    let mut seed = 0u64;
+    c.bench_function("executor_replay_per_job_hotspot", |b| {
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(replay.execute(&ExecRequest {
+                workload: "hotspot",
+                module: &module,
+                program: &prog,
+                board: &board,
+                config: full,
+                policy: ExecPolicy::Gts,
+                seed,
+            }))
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_nn,
     bench_cache,
     bench_qagent,
     bench_machine,
+    bench_executor,
     bench_runner
 );
 criterion_main!(benches);

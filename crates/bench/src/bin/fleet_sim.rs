@@ -1,7 +1,12 @@
 //! Fleet simulation: multi-board, multi-tenant co-scheduling with the
 //! shared policy cache. `--jobs <n>`, `--boards <n>`, `--seed <u64>`,
 //! `--quick`, `--size` (defaults to `test`: fleet runs are about
-//! queueing and placement, not per-job input scale).
+//! queueing and placement, not per-job input scale), and
+//! `--backend {machine,replay}` — `machine` (default) interprets every
+//! job cycle-accurately and reproduces published outputs
+//! byte-identically; `replay` calibrates per-configuration traces once
+//! per (workload, architecture) and then answers each job by trace
+//! composition, which is what makes `--jobs 100000` practical.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let size = if args.iter().any(|a| a == "--size") {
@@ -11,18 +16,9 @@ fn main() {
     };
     let seed = astro_bench::parse_seed(&args);
     let quick = astro_bench::quick_mode(&args);
+    let backend = astro_bench::parse_backend(&args, astro_exec::executor::BackendKind::Machine);
     let (default_jobs, default_boards) = if quick { (240, 16) } else { (1200, 20) };
-    let flag = |name: &str, default: usize| {
-        assert!(
-            args.last().map(String::as_str) != Some(name),
-            "{name} requires a value"
-        );
-        args.windows(2)
-            .find(|w| w[0] == name)
-            .map(|w| w[1].parse().expect("flag takes an unsigned integer"))
-            .unwrap_or(default)
-    };
-    let jobs = flag("--jobs", default_jobs);
-    let boards = flag("--boards", default_boards);
-    astro_bench::figs::fleet::run(size, jobs, boards, seed);
+    let jobs = astro_bench::parse_flag(&args, "--jobs", default_jobs);
+    let boards = astro_bench::parse_flag(&args, "--boards", default_boards);
+    astro_bench::figs::fleet::run_backend(size, jobs, boards, seed, backend);
 }

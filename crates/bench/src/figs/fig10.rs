@@ -64,7 +64,7 @@ pub fn run_benchmark(
     for s in 0..samples {
         let run_seed = seed.wrapping_add(7000 + s as u64);
         let g = pipe.run_gts(&module, run_seed);
-        let st = pipe.run_static(&static_mod, run_seed);
+        let st = pipe.run_static(&static_mod, &trained.static_schedule, run_seed);
         let hy = pipe.run_hybrid(&hybrid_mod, &trained.hybrid_schedule, run_seed);
         times[0].push(g.wall_time_s);
         times[1].push(st.wall_time_s);

@@ -19,8 +19,8 @@
 use crate::runner::{default_threads, parallel_map};
 use crate::table::TextTable;
 use astro_fleet::{
-    ArrivalProcess, BoardRun, ClusterSpec, Dispatcher, EnergyAware, FleetOutcome, FleetParams,
-    FleetSim, LeastLoaded, PhaseAware, PolicyCache, PolicyMode,
+    ArrivalProcess, BackendKind, BoardRun, ClusterSpec, Dispatcher, EnergyAware, FleetOutcome,
+    FleetParams, FleetSim, LeastLoaded, PhaseAware, PolicyCache, PolicyMode,
 };
 use astro_workloads::{InputSize, Workload};
 
@@ -44,28 +44,31 @@ pub fn tenant_pool() -> Vec<Workload> {
 
 /// Mean unloaded (cold, GTS) service time of the pool across the
 /// cluster's architectures — the arrival-rate calibration point.
-fn mean_cold_service_s(cluster: &ClusterSpec, pool: &[Workload], params: &FleetParams) -> f64 {
-    use astro_exec::machine::Machine;
+/// Always measured on the cycle-accurate backend (it is O(pool ×
+/// architectures), not O(jobs)), through the
+/// [`Executor`](astro_exec::executor::Executor) contract.
+pub fn mean_cold_service_s(cluster: &ClusterSpec, pool: &[Workload], params: &FleetParams) -> f64 {
+    use astro_exec::executor::{ExecPolicy, ExecRequest, Executor, MachineExecutor};
     use astro_exec::program::compile;
-    use astro_exec::runtime::NullHooks;
-    use astro_exec::sched::gts::GtsScheduler;
+    let exec = MachineExecutor {
+        params: params.machine,
+    };
     let mut total = 0.0;
     let mut n = 0usize;
     for key in cluster.arch_keys() {
-        let b = (0..cluster.len())
-            .find(|&b| cluster.arch_key(b) == key)
-            .expect("key from cluster");
-        let spec = &cluster.boards[b];
-        let machine = Machine::new(spec, params.machine);
+        let spec = cluster.representative_board(key);
         for w in pool {
-            let prog = compile(&(w.build)(params.size)).expect("workload compiles");
-            let mut sched = GtsScheduler::default();
-            let r = machine.run(
-                &prog,
-                &mut sched,
-                &mut NullHooks,
-                spec.config_space().full(),
-            );
+            let module = (w.build)(params.size);
+            let prog = compile(&module).expect("workload compiles");
+            let r = exec.execute(&ExecRequest {
+                workload: w.name,
+                module: &module,
+                program: &prog,
+                board: spec,
+                config: spec.config_space().full(),
+                policy: ExecPolicy::Gts,
+                seed: params.machine.seed,
+            });
             total += r.wall_time_s;
             n += 1;
         }
@@ -166,13 +169,34 @@ fn print_table(rows: &[(String, FleetOutcome)]) {
     t.print();
 }
 
-/// Run the fleet experiment.
+/// Run the fleet experiment on the default (cycle-accurate) backend.
 pub fn run(size: InputSize, n_jobs: usize, n_boards: usize, seed: u64) {
+    run_backend(size, n_jobs, n_boards, seed, BackendKind::Machine)
+}
+
+/// Run the fleet experiment on the given execution backend. The
+/// machine backend's output is byte-identical to [`run`]; the replay
+/// backend prints one extra calibration line and then the same tables,
+/// answered from composed traces.
+pub fn run_backend(
+    size: InputSize,
+    n_jobs: usize,
+    n_boards: usize,
+    seed: u64,
+    backend: BackendKind,
+) {
     println!("=== Fleet: {n_jobs} tenant jobs over {n_boards} boards (seed {seed}) ===\n");
     let cluster = ClusterSpec::heterogeneous(n_boards);
     let xu4 = (0..cluster.len()).filter(|&b| cluster.big_rich(b)).count();
     let mut params = FleetParams::new(seed);
     params.size = size;
+    params.backend = backend;
+    if backend != BackendKind::Machine {
+        println!(
+            "execution backend: {} (per-job runs answered by calibrated trace composition)\n",
+            backend.name()
+        );
+    }
     params.train.episodes = 4;
     params.refresh_episodes = 2;
     // Latency-SLO-leaning reward for the cached policies: tenants pay

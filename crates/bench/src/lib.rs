@@ -87,3 +87,41 @@ pub fn parse_size(args: &[String]) -> astro_workloads::InputSize {
 pub fn quick_mode(args: &[String]) -> bool {
     args.iter().any(|a| a == "--quick")
 }
+
+/// Parse an unsigned-integer `--<name> <n>` CLI argument (e.g.
+/// `--jobs`, `--boards`), defaulting when absent and rejecting a
+/// trailing flag with no value.
+pub fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
+    assert!(
+        args.last().map(String::as_str) != Some(name),
+        "{name} requires a value"
+    );
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].parse().expect("flag takes an unsigned integer"))
+        .unwrap_or(default)
+}
+
+/// Parse a `--backend {machine,replay}` CLI argument.
+///
+/// `machine` (the usual default) interprets every run on the
+/// cycle-accurate engine and reproduces published outputs
+/// byte-identically; `replay` answers job runs from calibrated trace
+/// sets (see `astro-core`'s `ReplayExecutor`), trading cycle accuracy
+/// for orders of magnitude in per-job throughput.
+pub fn parse_backend(
+    args: &[String],
+    default: astro_exec::executor::BackendKind,
+) -> astro_exec::executor::BackendKind {
+    for w in args.windows(2) {
+        if w[0] == "--backend" {
+            return astro_exec::executor::BackendKind::parse(&w[1])
+                .unwrap_or_else(|| panic!("--backend takes machine|replay, got {:?}", w[1]));
+        }
+    }
+    assert!(
+        args.last().map(String::as_str) != Some("--backend"),
+        "--backend requires a value"
+    );
+    default
+}

@@ -13,6 +13,11 @@
 //! * [`trace`] / [`tracesim`] — the trace-recording harness and
 //!   trace-driven simulator of §4.1 (oracles, fixed configurations,
 //!   random, and agent policies over recorded traces);
+//! * [`record`] / [`replay`] — §4.1 lifted onto the pluggable
+//!   [`Executor`](astro_exec::executor::Executor) contract: a recording
+//!   decorator that calibrates per-configuration trace sets through any
+//!   backend, and a replay backend answering runs by trace composition
+//!   (the fast tier the fleet's 100k-job simulations run on);
 //! * [`baselines`] — Hipster (same learner, no program phases) and
 //!   Octopus-Man (threshold ladder, no learning);
 //! * [`pipeline`] — end-to-end: mine features → instrument → learn over
@@ -24,6 +29,8 @@
 pub mod actuator;
 pub mod baselines;
 pub mod pipeline;
+pub mod record;
+pub mod replay;
 pub mod reward;
 pub mod schedule;
 pub mod spha;
@@ -33,6 +40,8 @@ pub mod tracesim;
 
 pub use actuator::AstroLearningHooks;
 pub use pipeline::{AstroPipeline, PipelineConfig, TrainedAstro};
+pub use record::RecordingExecutor;
+pub use replay::{ReplayExecutor, ReplayStats};
 pub use reward::RewardParams;
 pub use schedule::{HybridBinaryHooks, HybridSchedule, StaticSchedule};
 pub use spha::{SphaInstance, SphaVerdict};

@@ -6,12 +6,11 @@ use crate::reward::RewardParams;
 use crate::schedule::{synthesise, HybridBinaryHooks, HybridSchedule, StaticSchedule};
 use crate::state::AstroStateSpace;
 use astro_compiler::{instrument_for_learning, CodegenMode, FinalCodegen, PhaseMap};
+use astro_exec::executor::{ExecPolicy, ExecRequest, Executor, MachineExecutor};
 use astro_exec::machine::{Machine, MachineParams};
 use astro_exec::program::compile;
 use astro_exec::result::RunResult;
-use astro_exec::runtime::{NullHooks, StaticBinaryHooks};
 use astro_exec::sched::affinity::AffinityScheduler;
-use astro_exec::sched::gts::GtsScheduler;
 use astro_hw::boards::BoardSpec;
 use astro_ir::Module;
 use astro_rl::qlearn::{QAgent, QConfig};
@@ -114,7 +113,7 @@ impl<'a> AstroPipeline<'a> {
         let k = self.cfg.model_seeds.max(1);
         let score_of = |st: &StaticSchedule| {
             let static_mod = self.build_static(module, st);
-            let r = self.run_static(&static_mod, 0xE7A1);
+            let r = self.run_static(&static_mod, st, 0xE7A1);
             let mips = r.instructions as f64 / r.wall_time_s.max(1e-12) / 1e6;
             let watts = r.energy_j / r.wall_time_s.max(1e-12);
             self.cfg.reward.reward(mips, watts)
@@ -237,22 +236,32 @@ impl<'a> AstroPipeline<'a> {
         m
     }
 
-    /// Run a static binary (uses [`StaticBinaryHooks`]).
-    pub fn run_static(&self, static_module: &Module, seed: u64) -> RunResult {
+    /// Run a static binary built from `schedule` (routes through the
+    /// [`MachineExecutor`]'s static-table shape: affinity scheduling +
+    /// static-binary hooks). The schedule must be the one
+    /// [`AstroPipeline::build_static`] imprinted into `static_module` —
+    /// the machine tier executes the imprinted program, and the table
+    /// in the request keeps the [`ExecRequest`] contract honest for any
+    /// backend answering by composition.
+    pub fn run_static(
+        &self,
+        static_module: &Module,
+        schedule: &StaticSchedule,
+        seed: u64,
+    ) -> RunResult {
         let prog = compile(static_module).expect("static module compiles");
-        let mut params = self.cfg.machine;
-        params.seed = seed;
-        let machine = Machine::new(self.board, params);
-        let mut sched = AffinityScheduler;
-        let mut hooks = StaticBinaryHooks {
-            space: self.board.config_space(),
+        let exec = MachineExecutor {
+            params: self.cfg.machine,
         };
-        machine.run(
-            &prog,
-            &mut sched,
-            &mut hooks,
-            self.board.config_space().full(),
-        )
+        exec.execute(&ExecRequest {
+            workload: &static_module.name,
+            module: static_module,
+            program: &prog,
+            board: self.board,
+            config: self.board.config_space().full(),
+            policy: ExecPolicy::StaticTable(schedule.as_table()),
+            seed,
+        })
     }
 
     /// Run a hybrid binary with a learned table.
@@ -283,17 +292,18 @@ impl<'a> AstroPipeline<'a> {
     /// paper's baseline for Figure 10.
     pub fn run_gts(&self, module: &Module, seed: u64) -> RunResult {
         let prog = compile(module).expect("module compiles");
-        let mut params = self.cfg.machine;
-        params.seed = seed;
-        let machine = Machine::new(self.board, params);
-        let mut sched = GtsScheduler::default();
-        let mut hooks = NullHooks;
-        machine.run(
-            &prog,
-            &mut sched,
-            &mut hooks,
-            self.board.config_space().full(),
-        )
+        let exec = MachineExecutor {
+            params: self.cfg.machine,
+        };
+        exec.execute(&ExecRequest {
+            workload: &module.name,
+            module,
+            program: &prog,
+            board: self.board,
+            config: self.board.config_space().full(),
+            policy: ExecPolicy::Gts,
+            seed,
+        })
     }
 
     /// Run the original program pinned to one fixed configuration — the
@@ -305,12 +315,18 @@ impl<'a> AstroPipeline<'a> {
         seed: u64,
     ) -> RunResult {
         let prog = compile(module).expect("module compiles");
-        let mut params = self.cfg.machine;
-        params.seed = seed;
-        let machine = Machine::new(self.board, params);
-        let mut sched = AffinityScheduler;
-        let mut hooks = NullHooks;
-        machine.run(&prog, &mut sched, &mut hooks, config)
+        let exec = MachineExecutor {
+            params: self.cfg.machine,
+        };
+        exec.execute(&ExecRequest {
+            workload: &module.name,
+            module,
+            program: &prog,
+            board: self.board,
+            config,
+            policy: ExecPolicy::Pinned,
+            seed,
+        })
     }
 }
 
@@ -381,7 +397,7 @@ mod tests {
         let trained = pipe.train(&module);
 
         let static_mod = pipe.build_static(&module, &trained.static_schedule);
-        let r_static = pipe.run_static(&static_mod, 1);
+        let r_static = pipe.run_static(&static_mod, &trained.static_schedule, 1);
         assert!(!r_static.timed_out);
         assert!(r_static.instructions > 100_000);
 
@@ -428,7 +444,7 @@ mod tests {
             config_for_phase: [19, 19, 3, 19],
         };
         let static_mod = pipe.build_static(&module, &schedule);
-        let r = pipe.run_static(&static_mod, 2);
+        let r = pipe.run_static(&static_mod, &schedule, 2);
         assert!(
             r.config_changes >= 1,
             "phase transitions must actuate configuration changes"

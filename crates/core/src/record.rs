@@ -1,0 +1,183 @@
+//! The recording backend decorator: produce calibration [`TraceSet`]s
+//! from *any* inner [`Executor`].
+//!
+//! Calibration is §4.1's trace-generation step lifted onto the
+//! executor abstraction: the module is learning-instrumented (so every
+//! checkpoint carries a program phase), compiled once, and run pinned
+//! under every configuration of the board through the inner backend.
+//! Each run's monitor samples become one [`Trace`]; together they form
+//! the [`TraceSet`] a `ReplayExecutor` composes answers from.
+//!
+//! With a [`MachineExecutor`](astro_exec::executor::MachineExecutor)
+//! inside, this reproduces [`crate::trace::record_traces`] exactly —
+//! that function is now a thin wrapper over this type.
+
+use crate::trace::{Trace, TraceSet};
+use astro_compiler::{instrument_for_learning, PhaseMap};
+use astro_exec::executor::{ExecPolicy, ExecRequest, Executor};
+use astro_exec::program::compile;
+use astro_exec::result::RunResult;
+use astro_hw::boards::BoardSpec;
+use astro_ir::Module;
+
+/// Decorates an inner executor with trace recording.
+pub struct RecordingExecutor<'e> {
+    /// The backend the calibration runs go through.
+    pub inner: &'e dyn Executor,
+    /// Checkpoint interval of the inner backend's runs, seconds (the
+    /// trace's progress/time granularity).
+    pub interval_s: f64,
+    /// Behavioural seed for the calibration runs.
+    pub seed: u64,
+}
+
+impl<'e> RecordingExecutor<'e> {
+    /// A recorder over `inner`.
+    pub fn new(inner: &'e dyn Executor, interval_s: f64, seed: u64) -> Self {
+        RecordingExecutor {
+            inner,
+            interval_s,
+            seed,
+        }
+    }
+
+    /// Learning-instrument `module` and compile it — the binary every
+    /// calibration run executes (checkpoints must carry program phases).
+    fn instrumented(module: &Module) -> (Module, astro_exec::program::CompiledProgram) {
+        let mut instrumented = module.clone();
+        let phases = PhaseMap::compute(&instrumented);
+        instrument_for_learning(&mut instrumented, &phases);
+        let prog = compile(&instrumented).expect("instrumented module compiles");
+        (instrumented, prog)
+    }
+
+    /// Record `module` under every configuration of `board`: the
+    /// calibration sweep.
+    pub fn record(&self, module: &Module, board: &BoardSpec) -> TraceSet {
+        let (instrumented, prog) = Self::instrumented(module);
+        let space = board.config_space();
+        let mut traces = Vec::with_capacity(space.num_configs());
+        for idx in 0..space.num_configs() {
+            let r = self.inner.execute(&ExecRequest {
+                workload: &module.name,
+                module: &instrumented,
+                program: &prog,
+                board,
+                config: space.from_index(idx),
+                policy: ExecPolicy::Pinned,
+                seed: self.seed,
+            });
+            traces.push(Trace::from_run(idx, &r, self.interval_s));
+        }
+
+        let total_work = traces
+            .iter()
+            .map(|t| t.instructions)
+            .max()
+            .expect("at least one configuration");
+        TraceSet {
+            traces,
+            interval_s: self.interval_s,
+            total_work,
+        }
+    }
+
+    /// Record one GTS run (all cores on) of `module` on `board` — the
+    /// cold-tier reference the replay backend answers
+    /// [`ExecPolicy::Gts`] requests from. Kept separate from the pinned
+    /// sweep because the GTS-vs-affinity scheduling gap is part of what
+    /// fleet experiments measure: a stock binary under GTS is *not* the
+    /// same program as a pinned run at the full configuration.
+    pub fn record_gts_full(&self, module: &Module, board: &BoardSpec) -> Trace {
+        let (instrumented, prog) = Self::instrumented(module);
+        let space = board.config_space();
+        let full = space.full();
+        let r = self.inner.execute(&ExecRequest {
+            workload: &module.name,
+            module: &instrumented,
+            program: &prog,
+            board,
+            config: full,
+            policy: ExecPolicy::Gts,
+            seed: self.seed,
+        });
+        Trace::from_run(space.index(full), &r, self.interval_s)
+    }
+}
+
+impl Executor for RecordingExecutor<'_> {
+    fn name(&self) -> &'static str {
+        "recording"
+    }
+
+    /// Pass-through: a recorder placed in an executor slot behaves like
+    /// its inner backend (recording happens via [`RecordingExecutor::record`]).
+    fn execute(&self, req: &ExecRequest<'_>) -> RunResult {
+        self.inner.execute(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_exec::executor::MachineExecutor;
+    use astro_exec::machine::MachineParams;
+    use astro_exec::time::SimTime;
+    use astro_ir::{FunctionBuilder, Ty, Value};
+
+    fn tiny_module() -> Module {
+        let mut m = Module::new("tiny");
+        let mut b = FunctionBuilder::new("main", Ty::Void);
+        b.counted_loop(200_000, |b| {
+            let x = b.fmul(Ty::F64, Value::float(1.1), Value::float(2.2));
+            b.fadd(Ty::F64, x, x);
+        });
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        m
+    }
+
+    #[test]
+    fn recording_matches_record_traces() {
+        let board = BoardSpec::odroid_xu4();
+        let params = MachineParams {
+            checkpoint_interval: SimTime::from_micros(200.0),
+            ..MachineParams::default()
+        };
+        let via_fn = crate::trace::record_traces(&tiny_module(), &board, &params);
+        let inner = MachineExecutor { params };
+        let rec = RecordingExecutor::new(&inner, params.checkpoint_interval.as_secs(), params.seed);
+        let via_exec = rec.record(&tiny_module(), &board);
+        assert_eq!(via_fn.num_configs(), via_exec.num_configs());
+        assert_eq!(via_fn.total_work, via_exec.total_work);
+        for (a, b) in via_fn.traces.iter().zip(&via_exec.traces) {
+            assert_eq!(a.wall_time_s, b.wall_time_s);
+            assert_eq!(a.energy_j, b.energy_j);
+            assert_eq!(a.records.len(), b.records.len());
+        }
+    }
+
+    #[test]
+    fn recorder_passes_requests_through() {
+        let board = BoardSpec::odroid_xu4();
+        let params = MachineParams::default();
+        let module = tiny_module();
+        let prog = compile(&module).unwrap();
+        let inner = MachineExecutor { params };
+        let rec = RecordingExecutor::new(&inner, 0.5, 0);
+        let req = ExecRequest {
+            workload: "tiny",
+            module: &module,
+            program: &prog,
+            board: &board,
+            config: board.config_space().full(),
+            policy: ExecPolicy::Gts,
+            seed: 11,
+        };
+        let a = rec.execute(&req);
+        let b = inner.execute(&req);
+        assert_eq!(a.wall_time_s, b.wall_time_s);
+        assert_eq!(a.energy_j, b.energy_j);
+    }
+}

@@ -8,11 +8,11 @@
 //! by choosing, at each checkpoint, which configuration's trace to
 //! follow.
 
-use astro_compiler::{instrument_for_learning, PhaseMap, ProgramPhase};
-use astro_exec::machine::{Machine, MachineParams};
-use astro_exec::program::compile;
-use astro_exec::runtime::NullHooks;
-use astro_exec::sched::affinity::AffinityScheduler;
+use crate::record::RecordingExecutor;
+use astro_compiler::ProgramPhase;
+use astro_exec::executor::MachineExecutor;
+use astro_exec::machine::MachineParams;
+use astro_exec::result::RunResult;
 use astro_hw::boards::BoardSpec;
 use astro_ir::Module;
 
@@ -31,6 +31,24 @@ pub struct TraceRecord {
     pub program_phase: ProgramPhase,
     /// Hardware-phase index at the checkpoint.
     pub hw_phase_idx: usize,
+}
+
+impl TraceRecord {
+    /// The record's measured duration, seconds: MIPS was computed as
+    /// instructions / duration, so this inverts it exactly (the
+    /// checkpoint interval for full records, the measured residue for
+    /// the tail record); zero-work records carry no rate and fall back
+    /// to the nominal checkpoint `interval_s`. Every consumer that
+    /// times a record — composition, replay sample synthesis — must use
+    /// this one definition or composed timelines drift from composed
+    /// wall time.
+    pub fn duration_s(&self, interval_s: f64) -> f64 {
+        if self.mips > 0.0 {
+            self.instructions as f64 / (self.mips * 1e6)
+        } else {
+            interval_s
+        }
+    }
 }
 
 /// A full fixed-configuration run, checkpoint by checkpoint.
@@ -75,6 +93,50 @@ impl Trace {
             cum_instr,
         }
     }
+
+    /// Convert one engine run into a trace: one record per monitor
+    /// checkpoint, plus a tail record attributing the residue between
+    /// the last checkpoint and termination so the trace's totals match
+    /// the run's. `interval_s` is the checkpoint interval the run used.
+    pub fn from_run(config_idx: usize, r: &RunResult, interval_s: f64) -> Self {
+        let mut records: Vec<TraceRecord> = r
+            .checkpoints
+            .iter()
+            .map(|cp| TraceRecord {
+                instructions: cp.delta.instructions,
+                energy_j: cp.energy_delta_j,
+                mips: cp.mips,
+                watts: cp.watts,
+                program_phase: cp.program_phase,
+                hw_phase_idx: cp.hw_phase.index(),
+            })
+            .collect();
+        let cp_instr: u64 = records.iter().map(|rec| rec.instructions).sum();
+        let cp_energy: f64 = records.iter().map(|rec| rec.energy_j).sum();
+        let tail_instr = r.instructions.saturating_sub(cp_instr);
+        let tail_energy = (r.energy_j - cp_energy).max(0.0);
+        if tail_instr > 0 || records.is_empty() {
+            let tail_t = (r.wall_time_s - records.len() as f64 * interval_s).max(1e-9);
+            records.push(TraceRecord {
+                instructions: tail_instr,
+                energy_j: tail_energy,
+                mips: tail_instr as f64 / tail_t / 1e6,
+                watts: tail_energy / tail_t,
+                program_phase: records
+                    .last()
+                    .map(|rec| rec.program_phase)
+                    .unwrap_or(ProgramPhase::Other),
+                hw_phase_idx: records.last().map(|rec| rec.hw_phase_idx).unwrap_or(0),
+            });
+        }
+        Trace::new(
+            config_idx,
+            records,
+            r.wall_time_s,
+            r.energy_j,
+            r.instructions,
+        )
+    }
 }
 
 /// Traces for every configuration of a board.
@@ -105,73 +167,14 @@ impl TraceSet {
 /// Record traces of `module` under every configuration of `board`.
 ///
 /// The module is learning-instrumented first so checkpoints carry
-/// program phases, exactly like the binaries the paper traced.
+/// program phases, exactly like the binaries the paper traced. This is
+/// the cycle-accurate instantiation of [`RecordingExecutor`]: the
+/// calibration runs go through a [`MachineExecutor`] at the given
+/// parameters.
 pub fn record_traces(module: &Module, board: &BoardSpec, params: &MachineParams) -> TraceSet {
-    let mut instrumented = module.clone();
-    let phases = PhaseMap::compute(&instrumented);
-    instrument_for_learning(&mut instrumented, &phases);
-    let prog = compile(&instrumented).expect("instrumented module compiles");
-
-    let space = board.config_space();
-    let mut traces = Vec::with_capacity(space.num_configs());
-    for idx in 0..space.num_configs() {
-        let cfg = space.from_index(idx);
-        let machine = Machine::new(board, *params);
-        let mut sched = AffinityScheduler;
-        let mut hooks = NullHooks;
-        let r = machine.run(&prog, &mut sched, &mut hooks, cfg);
-        let interval_s = params.checkpoint_interval.as_secs();
-        let mut records: Vec<TraceRecord> = r
-            .checkpoints
-            .iter()
-            .map(|cp| TraceRecord {
-                instructions: cp.delta.instructions,
-                energy_j: cp.energy_delta_j,
-                mips: cp.mips,
-                watts: cp.watts,
-                program_phase: cp.program_phase,
-                hw_phase_idx: cp.hw_phase.index(),
-            })
-            .collect();
-        // Tail interval (between the last checkpoint and termination):
-        // attribute the residue so the trace's totals match the run.
-        let cp_instr: u64 = records.iter().map(|r| r.instructions).sum();
-        let cp_energy: f64 = records.iter().map(|r| r.energy_j).sum();
-        let tail_instr = r.instructions.saturating_sub(cp_instr);
-        let tail_energy = (r.energy_j - cp_energy).max(0.0);
-        if tail_instr > 0 || records.is_empty() {
-            let tail_t = (r.wall_time_s - records.len() as f64 * interval_s).max(1e-9);
-            records.push(TraceRecord {
-                instructions: tail_instr,
-                energy_j: tail_energy,
-                mips: tail_instr as f64 / tail_t / 1e6,
-                watts: tail_energy / tail_t,
-                program_phase: records
-                    .last()
-                    .map(|r| r.program_phase)
-                    .unwrap_or(ProgramPhase::Other),
-                hw_phase_idx: records.last().map(|r| r.hw_phase_idx).unwrap_or(0),
-            });
-        }
-        traces.push(Trace::new(
-            idx,
-            records,
-            r.wall_time_s,
-            r.energy_j,
-            r.instructions,
-        ));
-    }
-
-    let total_work = traces
-        .iter()
-        .map(|t| t.instructions)
-        .max()
-        .expect("at least one configuration");
-    TraceSet {
-        traces,
-        interval_s: params.checkpoint_interval.as_secs(),
-        total_work,
-    }
+    let inner = MachineExecutor { params: *params };
+    RecordingExecutor::new(&inner, params.checkpoint_interval.as_secs(), params.seed)
+        .record(module, board)
 }
 
 impl Trace {
@@ -189,6 +192,22 @@ impl Trace {
         let target = (frac.clamp(0.0, 1.0) * self.instructions as f64) as u64;
         // Last record whose starting progress is <= target (deterministic
         // under duplicate starts from zero-work intervals).
+        let idx = self.cum_instr.partition_point(|&c| c <= target).max(1) - 1;
+        &self.records[idx.min(n - 1)]
+    }
+
+    /// Like [`Trace::record_at`], with the instruction target *rounded*
+    /// to the nearest instruction instead of truncated. Record
+    /// boundaries reached through floating-point accumulation (a sum of
+    /// per-record fractions, as in `TraceSim::run_timed`) land one ulp
+    /// on either side of the exact boundary; truncation would re-read
+    /// the previous record and then skip ahead, rounding snaps back onto
+    /// the boundary. `record_at` keeps the truncating behaviour `run`'s
+    /// published Figure 9 semantics were built on.
+    pub fn record_at_rounded(&self, frac: f64) -> &TraceRecord {
+        let n = self.records.len();
+        debug_assert!(n > 0);
+        let target = (frac.clamp(0.0, 1.0) * self.instructions as f64).round() as u64;
         let idx = self.cum_instr.partition_point(|&c| c <= target).max(1) - 1;
         &self.records[idx.min(n - 1)]
     }

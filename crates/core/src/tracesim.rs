@@ -128,6 +128,176 @@ impl<'a> TraceSim<'a> {
         }
     }
 
+    /// Like [`TraceSim::run`], but calibrated for whole-run estimates:
+    /// each interval contributes the chosen record's *recorded* duration
+    /// (`instructions / MIPS`, i.e. the checkpoint interval for full
+    /// records and the measured residue for the tail record), and
+    /// progress advances on a *normalised* axis — a record moves the
+    /// composition forward by its share of its own trace's instruction
+    /// total. Traces of one program differ by a little scheduling noise
+    /// in total instructions; the shared-`total_work` axis `run` uses
+    /// double-counts records near the end of slightly-short traces
+    /// (harmless for §4.1's interval counting, a systematic few-percent
+    /// inflation for a wall-time estimate). On the normalised axis the
+    /// identity composition — a policy that never leaves one
+    /// configuration — walks each record exactly once and reproduces the
+    /// trace's recorded wall time and energy exactly.
+    ///
+    /// The composition rule — per-checkpoint choice at aligned progress,
+    /// switch-cost accounting — is `run`'s; `run` keeps §4.1's
+    /// quantised-interval semantics (what Figure 9 plots), `run_timed`
+    /// is what the replay execution backend answers requests with.
+    pub fn run_timed(&self, policy: &mut dyn TracePolicy, start_cfg: usize) -> TraceSimOutcome {
+        let interval = self.ts.interval_s;
+        let min_frac = 1.0 / (64.0 * self.ts.traces[0].records.len().max(1) as f64);
+
+        let mut frac = 0.0f64;
+        let mut time_s = 0.0;
+        let mut energy = 0.0;
+        let mut current = start_cfg;
+        let mut changes = 0usize;
+        let mut intervals = 0usize;
+        let mut reward_sum = 0.0;
+
+        // The epsilon absorbs the ulp-scale drift of summing per-record
+        // fractions; without it an exact walk ending at 1.0 − ulp would
+        // re-consume the final record.
+        while frac < 1.0 - 1e-9 {
+            let cfg = policy.choose(self.ts, frac, current);
+            let trace = self.ts.trace(cfg);
+            let rec = *trace.record_at_rounded(frac);
+            let mut dfrac = rec.instructions as f64 / trace.instructions.max(1) as f64;
+            if cfg != current {
+                dfrac *= 1.0 - self.switch_penalty;
+                changes += 1;
+            }
+            frac += dfrac.max(min_frac);
+            let dt = rec.duration_s(interval);
+            time_s += dt;
+            energy += rec.energy_j;
+            intervals += 1;
+            reward_sum += self.reward.reward(rec.mips, rec.watts);
+            policy.observe(self.ts, current, cfg, &rec, frac.min(1.0));
+            current = cfg;
+        }
+        policy.end_episode();
+
+        TraceSimOutcome {
+            time_s,
+            energy_j: energy,
+            intervals,
+            config_changes: changes,
+            mean_reward: reward_sum / intervals.max(1) as f64,
+        }
+    }
+
+    /// Compose a static phase → configuration table over the traces —
+    /// the replay backend's model of an Astro *static binary* run.
+    ///
+    /// The walk follows the `reference` trace (the configuration the
+    /// binary starts in) as the program timeline: a static binary
+    /// announces phases from its own instrumentation, and waiting time
+    /// does not contract when cores are hotplugged away. Per reference
+    /// interval, the table names the configuration; then
+    ///
+    /// * same configuration → the interval is taken verbatim;
+    /// * compute intervals → the interval's work is re-costed at the
+    ///   chosen configuration's measured pace and power at the same
+    ///   progress point (capped at 16× the reference duration against
+    ///   progress-alignment artefacts);
+    /// * blocked intervals (no work on either side) → the duration
+    ///   stays the reference's and only the power is the chosen
+    ///   configuration's — the §3.2 insight that idle width is pure
+    ///   waste;
+    /// * each configuration change stretches the interval by
+    ///   [`TraceSim::switch_penalty`] (hotplug + migration redo work).
+    ///
+    /// Returns the outcome plus the composed `(config, record)`
+    /// intervals (durations and energies already re-costed) for monitor
+    /// sample synthesis. The identity table reproduces the reference
+    /// trace exactly.
+    pub fn compose_table(
+        &self,
+        table: [usize; astro_compiler::ProgramPhase::COUNT],
+        reference: usize,
+    ) -> (TraceSimOutcome, Vec<(usize, TraceRecord)>) {
+        let n_cfg = self.ts.num_configs();
+        let reference = reference.min(n_cfg - 1);
+        let ref_trace = self.ts.trace(reference);
+        let total = ref_trace.instructions.max(1);
+        let interval = self.ts.interval_s;
+        let duration = |rec: &TraceRecord| rec.duration_s(interval);
+
+        let mut done = 0u64;
+        let mut current = reference;
+        let mut time_s = 0.0;
+        let mut energy = 0.0;
+        let mut changes = 0usize;
+        let mut reward_sum = 0.0;
+        let mut composed = Vec::with_capacity(ref_trace.records.len());
+        for rec in &ref_trace.records {
+            let frac = done as f64 / total as f64;
+            let cfg = table[rec.program_phase.index()].min(n_cfg - 1);
+            let dt_ref = duration(rec);
+            let (mut dt, e) = if cfg == reference {
+                (dt_ref, rec.energy_j)
+            } else {
+                let other = self.ts.trace(cfg).record_at_rounded(frac);
+                let dt_o = duration(other);
+                let watts_o = if dt_o > 0.0 {
+                    other.energy_j / dt_o
+                } else {
+                    other.watts
+                };
+                if rec.instructions == 0 || other.instructions == 0 {
+                    // Waiting: same duration, the chosen width's power.
+                    (dt_ref, watts_o * dt_ref)
+                } else {
+                    let per_work_t = dt_o / other.instructions as f64;
+                    let dt = (rec.instructions as f64 * per_work_t).min(16.0 * dt_ref);
+                    (dt, watts_o * dt)
+                }
+            };
+            if cfg != current {
+                changes += 1;
+                dt *= 1.0 + self.switch_penalty;
+            }
+            time_s += dt;
+            energy += e;
+            done += rec.instructions;
+            let mips = if dt > 0.0 {
+                rec.instructions as f64 / dt / 1e6
+            } else {
+                0.0
+            };
+            let watts = if dt > 0.0 { e / dt } else { 0.0 };
+            reward_sum += self.reward.reward(mips, watts);
+            composed.push((
+                cfg,
+                TraceRecord {
+                    instructions: rec.instructions,
+                    energy_j: e,
+                    mips,
+                    watts,
+                    program_phase: rec.program_phase,
+                    hw_phase_idx: rec.hw_phase_idx,
+                },
+            ));
+            current = cfg;
+        }
+        let intervals = composed.len();
+        (
+            TraceSimOutcome {
+                time_s,
+                energy_j: energy,
+                intervals,
+                config_changes: changes,
+                mean_reward: reward_sum / intervals.max(1) as f64,
+            },
+            composed,
+        )
+    }
+
     /// Run `episodes` training episodes, returning each outcome (the
     /// learning curve).
     pub fn train(
@@ -494,6 +664,58 @@ pub(crate) mod tests {
             astro.time_s,
             oracle.time_s
         );
+    }
+
+    #[test]
+    fn run_timed_fixed_recovers_trace_wall_time() {
+        let ts = synthetic_traces();
+        let sim = TraceSim::new(&ts);
+        for cfg in 0..4 {
+            let out = sim.run_timed(&mut FixedPolicy(cfg), cfg);
+            let trace = ts.trace(cfg);
+            // Walking a trace's own records end to end recovers its wall
+            // time (each record contributes its recorded duration).
+            assert!(
+                (out.time_s - trace.wall_time_s).abs() / trace.wall_time_s < 0.05,
+                "cfg {cfg}: composed {} vs recorded {}",
+                out.time_s,
+                trace.wall_time_s
+            );
+            assert!((out.energy_j - trace.energy_j).abs() / trace.energy_j < 0.05);
+        }
+    }
+
+    #[test]
+    fn compose_table_follows_phases_and_recosts_intervals() {
+        let ts = synthetic_traces();
+        let sim = TraceSim::new(&ts);
+        // CPU-bound → fast config 3, IO-bound (and everything else) →
+        // frugal config 0; composed over config 3's timeline.
+        let mut table = [0usize; ProgramPhase::COUNT];
+        table[ProgramPhase::CpuBound.index()] = 3;
+        let (out, composed) = sim.compose_table(table, 3);
+        assert!(out.config_changes > 0, "phases alternate, so must configs");
+        assert_eq!(composed.len(), out.intervals);
+        // The reference timeline gives exact phase boundaries: every
+        // composed CPU-bound interval ran on the fast config, every
+        // other interval on the frugal one.
+        for (cfg, rec) in &composed {
+            if rec.program_phase == ProgramPhase::CpuBound {
+                assert_eq!(*cfg, 3);
+            } else {
+                assert_eq!(*cfg, 0);
+            }
+        }
+        // The phase-matched composition beats all-frugal on time and
+        // all-fast on energy — the structure the table encodes.
+        let (slow, _) = sim.compose_table([0; ProgramPhase::COUNT], 0);
+        let (fast, _) = sim.compose_table([3; ProgramPhase::COUNT], 3);
+        assert!(out.time_s < slow.time_s);
+        assert!(out.energy_j < fast.energy_j);
+        // Identity compositions reproduce their reference trace exactly.
+        assert!((fast.time_s - ts.trace(3).wall_time_s).abs() < 1e-9);
+        assert!((fast.energy_j - ts.trace(3).energy_j).abs() < 1e-9);
+        assert_eq!(fast.config_changes, 0);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Fidelity and determinism contract of the replay execution backend.
+//!
+//! The stated tolerance: on the calibration workloads, a replayed
+//! answer for a calibrated (workload, configuration) pair stays within
+//! **25%** of the cycle-accurate `MachineExecutor` answer on wall time
+//! and energy (typical error is a few percent — the bound leaves room
+//! for the GTS-vs-affinity scheduling difference and the learning
+//! instrumentation the calibration binary carries). Determinism: the
+//! same request (including seed) is answered bit-identically, whatever
+//! thread or order asks.
+
+use astro_core::replay::ReplayExecutor;
+use astro_exec::executor::{ExecPolicy, ExecRequest, Executor, MachineExecutor};
+use astro_exec::machine::MachineParams;
+use astro_exec::program::{compile, CompiledProgram};
+use astro_exec::time::SimTime;
+use astro_hw::boards::BoardSpec;
+use astro_ir::Module;
+use astro_workloads::InputSize;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn fleet_like_params() -> MachineParams {
+    MachineParams {
+        checkpoint_interval: SimTime::from_micros(400.0),
+        balance_interval: SimTime::from_micros(100.0),
+        timeslice: SimTime::from_micros(400.0),
+        min_config_dwell: SimTime::from_micros(800.0),
+        ..MachineParams::default()
+    }
+}
+
+struct Fixture {
+    board: BoardSpec,
+    module: Module,
+    program: CompiledProgram,
+    machine: MachineExecutor,
+    replay: ReplayExecutor,
+}
+
+impl Fixture {
+    fn build(workload: &str) -> Fixture {
+        let board = BoardSpec::odroid_xu4();
+        let module = (astro_workloads::by_name(workload).unwrap().build)(InputSize::Test);
+        let program = compile(&module).expect("workload compiles");
+        let params = fleet_like_params();
+        let replay = ReplayExecutor::from_machine(params);
+        replay.calibrate(workload, &module, &board);
+        Fixture {
+            board,
+            module,
+            program,
+            machine: MachineExecutor { params },
+            replay,
+        }
+    }
+
+    fn request(
+        &self,
+        workload: &'static str,
+        policy: ExecPolicy,
+        cfg_idx: usize,
+        seed: u64,
+    ) -> ExecRequest<'_> {
+        ExecRequest {
+            workload,
+            module: &self.module,
+            program: &self.program,
+            board: &self.board,
+            config: self.board.config_space().from_index(cfg_idx),
+            policy,
+            seed,
+        }
+    }
+}
+
+fn swaptions() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| Fixture::build("swaptions"))
+}
+
+#[test]
+fn replay_within_tolerance_of_machine_on_calibration_workloads() {
+    for workload in ["swaptions", "bfs"] {
+        let fix = Fixture::build(workload);
+        let full_idx = fix
+            .board
+            .config_space()
+            .index(fix.board.config_space().full());
+        for (name, policy) in [("gts", ExecPolicy::Gts), ("pinned", ExecPolicy::Pinned)] {
+            let req = fix.request(workload, policy, full_idx, 42);
+            let fast = fix.replay.execute(&req);
+            let exact = fix.machine.execute(&req);
+            let dt = (fast.wall_time_s - exact.wall_time_s).abs() / exact.wall_time_s;
+            let de = (fast.energy_j - exact.energy_j).abs() / exact.energy_j;
+            assert!(
+                dt < 0.25,
+                "{workload}/{name}: wall {:.6} vs {:.6} ({:.1}% off)",
+                fast.wall_time_s,
+                exact.wall_time_s,
+                dt * 100.0
+            );
+            assert!(
+                de < 0.25,
+                "{workload}/{name}: energy {:.6} vs {:.6} ({:.1}% off)",
+                fast.energy_j,
+                exact.energy_j,
+                de * 100.0
+            );
+            assert!(!fast.checkpoints.is_empty(), "replay synthesises samples");
+        }
+    }
+}
+
+#[test]
+fn replay_answers_static_tables_with_switch_costs() {
+    let fix = swaptions();
+    let space = fix.board.config_space();
+    let full_idx = space.index(space.full());
+    // A schedule that downsizes Blocked/IoBound phases but keeps compute
+    // at full width — the shape trained policies converge to.
+    let mut table = [full_idx; astro_compiler::ProgramPhase::COUNT];
+    table[astro_compiler::ProgramPhase::Blocked.index()] = 0;
+    table[astro_compiler::ProgramPhase::IoBound.index()] = 0;
+    let warm =
+        fix.replay
+            .execute(&fix.request("swaptions", ExecPolicy::StaticTable(table), full_idx, 9));
+    let cold = fix
+        .replay
+        .execute(&fix.request("swaptions", ExecPolicy::Gts, full_idx, 9));
+    assert!(warm.wall_time_s > 0.0 && warm.energy_j > 0.0);
+    // A pure-compute trace may never leave the full config; if phases do
+    // alternate, switches must be accounted.
+    if warm.config_changes > 0 {
+        assert!(warm.wall_time_s.is_finite());
+    }
+    // The all-full table is the identity composition: it must sit within
+    // composition error of the cold (full-config) answer.
+    let identity = fix.replay.execute(&fix.request(
+        "swaptions",
+        ExecPolicy::StaticTable([full_idx; astro_compiler::ProgramPhase::COUNT]),
+        full_idx,
+        9,
+    ));
+    let dt = (identity.wall_time_s - cold.wall_time_s).abs() / cold.wall_time_s;
+    assert!(dt < 0.15, "identity composition {:.1}% off", dt * 100.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A replayed answer is a pure function of the request: byte-equal
+    /// across repeats for any seed, configuration and schedule table.
+    #[test]
+    fn replay_is_deterministic_per_seed(
+        seed in 0u64..u64::MAX,
+        cfg in 0usize..24,
+        table in prop::collection::vec(0usize..24, 4..5),
+    ) {
+        let fix = swaptions();
+        let tbl = [table[0], table[1], table[2], table[3]];
+        for policy in [ExecPolicy::Gts, ExecPolicy::StaticTable(tbl)] {
+            let req = fix.request("swaptions", policy, cfg, seed);
+            let a = fix.replay.execute(&req);
+            let b = fix.replay.execute(&req);
+            prop_assert_eq!(a.wall_time_s, b.wall_time_s);
+            prop_assert_eq!(a.energy_j, b.energy_j);
+            prop_assert_eq!(a.instructions, b.instructions);
+            prop_assert_eq!(a.config_changes, b.config_changes);
+            prop_assert!(a.wall_time_s.is_finite() && a.wall_time_s > 0.0);
+            prop_assert!(a.energy_j.is_finite() && a.energy_j > 0.0);
+        }
+    }
+}

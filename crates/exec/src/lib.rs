@@ -12,6 +12,9 @@
 //!   configuration-respecting affinity, random;
 //! * [`machine`] — the event loop: slices, blocking calls, checkpoints
 //!   (§3.2.1), balance ticks, power integration;
+//! * [`executor`] — the pluggable execution contract ([`Executor`]) and
+//!   the cycle-accurate [`MachineExecutor`] backend; trace-replay
+//!   backends live in `astro-core`;
 //! * [`runtime`] — the hook interface the Astro system implements
 //!   (`astro-core`), plus null/static-binary hooks;
 //! * [`result`] — run results (time, energy, counters, checkpoints).
@@ -21,6 +24,7 @@
 //! lets the experiment harness regenerate the paper's figures
 //! deterministically.
 
+pub mod executor;
 pub mod interp;
 pub mod machine;
 pub mod program;
@@ -31,6 +35,7 @@ pub mod sync;
 pub mod thread;
 pub mod time;
 
+pub use executor::{BackendKind, ExecPolicy, ExecRequest, Executor, MachineExecutor};
 pub use interp::{run_slice, SliceOutcome, StopReason};
 pub use machine::{Machine, MachineParams};
 pub use program::{compile, CallSite, CompiledProgram, Segment, WorkChunk};

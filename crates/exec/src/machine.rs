@@ -131,8 +131,7 @@ impl<'a> Machine<'a> {
         hooks: &mut dyn RuntimeHooks,
         initial_config: HwConfig,
     ) -> RunResult {
-        let mut sim = Sim::new(self.board, &self.params, program, initial_config);
-        sim.run(scheduler, hooks)
+        self.run_with_rng(program, scheduler, hooks, initial_config, self.params.seed)
     }
 
     /// Like [`Machine::run`], with the behavioural seed overridden for
@@ -140,6 +139,21 @@ impl<'a> Machine<'a> {
     /// simulation), each run drawing its own service-time jitter, without
     /// rebuilding parameters.
     pub fn run_seeded(
+        &self,
+        program: &CompiledProgram,
+        scheduler: &mut dyn OsScheduler,
+        hooks: &mut dyn RuntimeHooks,
+        initial_config: HwConfig,
+        seed: u64,
+    ) -> RunResult {
+        self.run_with_rng(program, scheduler, hooks, initial_config, seed)
+    }
+
+    /// The single internal entry point: every run rebuilds the board
+    /// state (cores, caches, counters, energy meter) from scratch and
+    /// seeds the behavioural RNG from `seed`, so [`Machine::run`] and
+    /// [`Machine::run_seeded`] cannot drift apart.
+    fn run_with_rng(
         &self,
         program: &CompiledProgram,
         scheduler: &mut dyn OsScheduler,

@@ -9,15 +9,28 @@
 //! Q-network snapshot it came from; hits skip training entirely, and
 //! entries past the staleness limit are refreshed by a short
 //! warm-started retraining (see [`astro_core::pipeline::AstroPipeline::train_warm`]).
+//!
+//! A bounded cache (`capacity > 0`) evicts least-recently-used lines.
+//! Because (re)training is *asynchronous* — the artefact lands after the
+//! triggering lookup — a refresh can arrive for a line that eviction
+//! already removed. That case is handled, not panicked on: the artefact
+//! is reinstalled as a fresh line whose version number *continues* from
+//! the evicted line's (saturating, never wrapping back to 0), so
+//! version-keyed consumer state (compiled static binaries, profiles)
+//! can never alias a stale schedule. The eviction traffic is returned in
+//! [`CacheStats`].
 
 use crate::job::Taxon;
 use astro_core::schedule::StaticSchedule;
 use astro_rl::qlearn::PolicySnapshot;
 use std::collections::BTreeMap;
 
-/// Hit/miss/staleness accounting.
+/// Hit/miss/staleness/eviction accounting. All counters saturate.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Total lookups served. Invariant:
+    /// `lookups == hits + misses + stale_refreshes`.
+    pub lookups: u64,
     /// Lookups answered by a fresh entry (no training).
     pub hits: u64,
     /// Lookups with no entry (full training).
@@ -25,6 +38,12 @@ pub struct CacheStats {
     /// Lookups whose entry had aged past the staleness limit and was
     /// refreshed by a warm-started retraining.
     pub stale_refreshes: u64,
+    /// Entries evicted to keep the cache within its capacity.
+    pub evictions: u64,
+    /// Refreshes that landed on an already-evicted line (the
+    /// asynchronous retraining outlived it) and were reinstalled as
+    /// fresh inserts.
+    pub evicted_refreshes: u64,
 }
 
 impl CacheStats {
@@ -47,11 +66,14 @@ pub struct PolicyEntry {
     pub schedule: StaticSchedule,
     /// The Q-network that produced it, for warm-started refreshes.
     pub snapshot: PolicySnapshot,
-    /// Bumped on every refresh; lets consumers invalidate derived state
-    /// (compiled static binaries, profiles).
+    /// Bumped (saturating) on every refresh; lets consumers invalidate
+    /// derived state (compiled static binaries, profiles). Never reused
+    /// across an evict/reinstall cycle of the same key.
     pub version: u32,
     /// Lookups served since the last (re)training.
     pub uses: u32,
+    /// LRU stamp: the cache clock at the last touch.
+    last_use: u64,
 }
 
 /// What a lookup tells the caller to do.
@@ -70,41 +92,94 @@ pub enum CacheDecision {
 #[derive(Clone, Debug)]
 pub struct PolicyCache {
     entries: BTreeMap<(Taxon, &'static str), PolicyEntry>,
+    /// Last version of keys whose line was evicted, so a reinstall
+    /// continues the numbering instead of restarting at 0.
+    retired_versions: BTreeMap<(Taxon, &'static str), u32>,
     /// Uses after which an entry must be refreshed before being served
     /// again. `0` disables staleness (entries never expire).
     pub staleness_limit: u32,
+    /// Maximum number of lines. `0` = unbounded.
+    pub capacity: usize,
+    /// Monotone LRU clock (saturating).
+    clock: u64,
     /// Accounting.
     pub stats: CacheStats,
 }
 
 impl PolicyCache {
-    /// An empty cache with the given staleness limit.
+    /// An unbounded cache with the given staleness limit.
     pub fn new(staleness_limit: u32) -> Self {
+        Self::with_capacity(staleness_limit, 0)
+    }
+
+    /// A cache holding at most `capacity` lines (`0` = unbounded),
+    /// evicting least-recently-used lines on overflow.
+    pub fn with_capacity(staleness_limit: u32, capacity: usize) -> Self {
         PolicyCache {
             entries: BTreeMap::new(),
+            retired_versions: BTreeMap::new(),
             staleness_limit,
+            capacity,
+            clock: 0,
             stats: CacheStats::default(),
         }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock = self.clock.saturating_add(1);
+        self.clock
     }
 
     /// Look `(taxon, arch)` up, updating accounting. A `Hit` also counts
     /// a use against the staleness limit.
     pub fn lookup(&mut self, taxon: Taxon, arch: &'static str) -> CacheDecision {
+        self.stats.lookups = self.stats.lookups.saturating_add(1);
+        let stamp = self.tick();
         match self.entries.get_mut(&(taxon, arch)) {
             Some(e) if self.staleness_limit > 0 && e.uses >= self.staleness_limit => {
-                self.stats.stale_refreshes += 1;
+                e.last_use = stamp;
+                self.stats.stale_refreshes = self.stats.stale_refreshes.saturating_add(1);
                 CacheDecision::Stale(e.snapshot.clone())
             }
             Some(e) => {
-                e.uses += 1;
-                self.stats.hits += 1;
+                e.uses = e.uses.saturating_add(1);
+                e.last_use = stamp;
+                self.stats.hits = self.stats.hits.saturating_add(1);
                 CacheDecision::Hit(e.schedule, e.version)
             }
             None => {
-                self.stats.misses += 1;
+                self.stats.misses = self.stats.misses.saturating_add(1);
                 CacheDecision::Miss
             }
         }
+    }
+
+    /// Evict the least-recently-used line (ties broken by key order) to
+    /// make room. Remembers its version for a possible reinstall.
+    fn evict_lru(&mut self) {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(key, e)| (e.last_use, *key))
+            .map(|(key, _)| *key);
+        if let Some(key) = victim {
+            let e = self.entries.remove(&key).expect("victim exists");
+            let retired = self.retired_versions.entry(key).or_insert(0);
+            *retired = (*retired).max(e.version);
+            self.stats.evictions = self.stats.evictions.saturating_add(1);
+        }
+    }
+
+    /// Version a (re)installed line should carry: one past the highest
+    /// version this key has ever shipped — whether that version is
+    /// retired (evicted) or still resident (an `insert` replacing a
+    /// live line) — saturating at `u32::MAX` rather than wrapping. A
+    /// reused version would alias consumers' version-keyed derived
+    /// state.
+    fn next_version(&self, key: &(Taxon, &'static str)) -> u32 {
+        let retired = self.retired_versions.get(key).map(|&v| v.saturating_add(1));
+        let resident = self.entries.get(key).map(|e| e.version.saturating_add(1));
+        retired.into_iter().chain(resident).max().unwrap_or(0)
     }
 
     /// Install a freshly trained policy after a `Miss`.
@@ -115,18 +190,32 @@ impl PolicyCache {
         schedule: StaticSchedule,
         snapshot: PolicySnapshot,
     ) {
+        let key = (taxon, arch);
+        if self.capacity > 0
+            && !self.entries.contains_key(&key)
+            && self.entries.len() >= self.capacity
+        {
+            self.evict_lru();
+        }
+        let version = self.next_version(&key);
+        let stamp = self.tick();
         self.entries.insert(
-            (taxon, arch),
+            key,
             PolicyEntry {
                 schedule,
                 snapshot,
-                version: 0,
+                version,
                 uses: 1,
+                last_use: stamp,
             },
         );
     }
 
-    /// Replace a stale entry after a warm retraining; bumps the version.
+    /// Replace a stale entry after a warm retraining; bumps the version
+    /// (saturating). If the line was evicted while the asynchronous
+    /// retraining ran, the artefact is reinstalled as a fresh line whose
+    /// version continues from the evicted one, and the event is counted
+    /// in [`CacheStats::evicted_refreshes`].
     pub fn refresh(
         &mut self,
         taxon: Taxon,
@@ -134,14 +223,20 @@ impl PolicyCache {
         schedule: StaticSchedule,
         snapshot: PolicySnapshot,
     ) {
-        let e = self
-            .entries
-            .get_mut(&(taxon, arch))
-            .expect("refresh of a missing entry");
-        e.schedule = schedule;
-        e.snapshot = snapshot;
-        e.version += 1;
-        e.uses = 1;
+        let stamp = self.tick();
+        match self.entries.get_mut(&(taxon, arch)) {
+            Some(e) => {
+                e.schedule = schedule;
+                e.snapshot = snapshot;
+                e.version = e.version.saturating_add(1);
+                e.uses = 1;
+                e.last_use = stamp;
+            }
+            None => {
+                self.stats.evicted_refreshes = self.stats.evicted_refreshes.saturating_add(1);
+                self.insert(taxon, arch, schedule, snapshot);
+            }
+        }
     }
 
     /// Is a fresh (non-stale) policy available for `(taxon, arch)`?
@@ -179,6 +274,13 @@ mod tests {
         Taxon {
             class,
             signature: 2,
+        }
+    }
+
+    fn sig_taxon(signature: u8) -> Taxon {
+        Taxon {
+            class: JobClass::Mixed,
+            signature,
         }
     }
 
@@ -222,6 +324,8 @@ mod tests {
         ));
         assert_eq!(c.stats.hits, 1);
         assert_eq!(c.stats.misses, 3);
+        assert_eq!(c.stats.lookups, 4);
+        assert_eq!(c.stats.evictions, 0);
     }
 
     #[test]
@@ -251,6 +355,10 @@ mod tests {
         }
         assert_eq!(c.stats.stale_refreshes, 1);
         assert!((c.stats.warm_rate() - 4.0 / 5.0).abs() < 1e-12);
+        assert_eq!(
+            c.stats.lookups,
+            c.stats.hits + c.stats.misses + c.stats.stale_refreshes
+        );
     }
 
     #[test]
@@ -266,5 +374,78 @@ mod tests {
         }
         assert!(c.is_warm(taxon(JobClass::CpuHeavy), "XU4"));
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_lru_and_counts_it() {
+        let mut c = PolicyCache::with_capacity(0, 2);
+        c.insert(sig_taxon(0), "XU4", schedule(0), snapshot());
+        c.insert(sig_taxon(1), "XU4", schedule(1), snapshot());
+        // Touch line 0 so line 1 is the LRU victim.
+        assert!(matches!(
+            c.lookup(sig_taxon(0), "XU4"),
+            CacheDecision::Hit(..)
+        ));
+        c.insert(sig_taxon(2), "XU4", schedule(2), snapshot());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats.evictions, 1);
+        assert!(c.peek(sig_taxon(1), "XU4").is_none(), "LRU line evicted");
+        assert!(c.peek(sig_taxon(0), "XU4").is_some());
+        assert!(c.peek(sig_taxon(2), "XU4").is_some());
+    }
+
+    #[test]
+    fn refresh_after_eviction_reinstalls_and_continues_versions() {
+        let mut c = PolicyCache::with_capacity(2, 1);
+        c.insert(sig_taxon(0), "XU4", schedule(0), snapshot());
+        c.lookup(sig_taxon(0), "XU4"); // second use → stale next time
+        match c.lookup(sig_taxon(0), "XU4") {
+            CacheDecision::Stale(_) => {}
+            other => panic!("expected stale, got {other:?}"),
+        }
+        // While the warm retraining runs asynchronously, capacity
+        // pressure replaces the line.
+        c.insert(sig_taxon(1), "XU4", schedule(1), snapshot());
+        assert_eq!(c.stats.evictions, 1);
+        assert!(c.peek(sig_taxon(0), "XU4").is_none());
+        // The refresh lands on the evicted line: reinstalled, version
+        // continues past the retired line's 0 (no restart, no wrap).
+        c.refresh(sig_taxon(0), "XU4", schedule(3), snapshot());
+        assert_eq!(c.stats.evicted_refreshes, 1);
+        assert_eq!(
+            c.stats.evictions, 2,
+            "the reinstall itself evicted the other line"
+        );
+        let e = c.peek(sig_taxon(0), "XU4").expect("reinstalled");
+        assert_eq!(e.version, 1, "version continues, never reused");
+        assert_eq!(e.schedule, schedule(3));
+    }
+
+    #[test]
+    fn insert_on_resident_key_never_reuses_a_version() {
+        let mut c = PolicyCache::new(0);
+        c.insert(sig_taxon(0), "XU4", schedule(0), snapshot());
+        for _ in 0..5 {
+            c.refresh(sig_taxon(0), "XU4", schedule(1), snapshot());
+        }
+        assert_eq!(c.peek(sig_taxon(0), "XU4").unwrap().version, 5);
+        // A fresh install over the live line must move past it, not
+        // restart at 0 (version 0 still keys consumers' derived state).
+        c.insert(sig_taxon(0), "XU4", schedule(2), snapshot());
+        assert_eq!(c.peek(sig_taxon(0), "XU4").unwrap().version, 6);
+    }
+
+    #[test]
+    fn version_saturates_instead_of_wrapping() {
+        let mut c = PolicyCache::new(0);
+        c.insert(sig_taxon(0), "XU4", schedule(0), snapshot());
+        // Force the version counter to the top, then refresh twice: it
+        // must pin at u32::MAX, not wrap to 0 (version 0 still keys live
+        // consumer state from the original install).
+        c.entries.get_mut(&(sig_taxon(0), "XU4")).unwrap().version = u32::MAX - 1;
+        c.refresh(sig_taxon(0), "XU4", schedule(1), snapshot());
+        assert_eq!(c.peek(sig_taxon(0), "XU4").unwrap().version, u32::MAX);
+        c.refresh(sig_taxon(0), "XU4", schedule(2), snapshot());
+        assert_eq!(c.peek(sig_taxon(0), "XU4").unwrap().version, u32::MAX);
     }
 }

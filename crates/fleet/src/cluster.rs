@@ -60,6 +60,21 @@ impl ClusterSpec {
         self.boards[b].num_big >= self.boards[b].num_little
     }
 
+    /// Index of the first board with architecture key `key`. Panics on
+    /// a key the cluster does not contain (keys come from
+    /// [`ClusterSpec::arch_keys`]).
+    pub fn representative_board_idx(&self, key: &str) -> usize {
+        (0..self.len())
+            .find(|&b| self.arch_key(b) == key)
+            .expect("architecture key not present in this cluster")
+    }
+
+    /// The first board with architecture key `key` (see
+    /// [`ClusterSpec::representative_board_idx`]).
+    pub fn representative_board(&self, key: &str) -> &BoardSpec {
+        &self.boards[self.representative_board_idx(key)]
+    }
+
     /// The distinct architecture keys present, in first-appearance order.
     pub fn arch_keys(&self) -> Vec<&'static str> {
         let mut keys: Vec<&'static str> = Vec::new();

@@ -15,6 +15,14 @@
 //! Everything is seed-deterministic: the same cluster, parameters and
 //! job stream produce byte-identical outcomes regardless of how board
 //! execution is mapped onto OS threads.
+//!
+//! Execution goes through the pluggable
+//! [`Executor`](astro_exec::executor::Executor) contract: the default
+//! [`BackendKind::Machine`] interprets every job cycle-accurately, while
+//! [`BackendKind::Replay`] calibrates per-configuration trace sets once
+//! per (workload, architecture) and then answers each job by trace
+//! composition — the fast tier that scales `fleet_sim` to hundreds of
+//! thousands of jobs.
 
 pub mod arrival;
 pub mod cache;
@@ -25,6 +33,7 @@ pub mod metrics;
 pub mod sim;
 
 pub use arrival::ArrivalProcess;
+pub use astro_exec::executor::BackendKind;
 pub use cache::{CacheDecision, CacheStats, PolicyCache, PolicyEntry};
 pub use cluster::ClusterSpec;
 pub use dispatch::{DispatchView, Dispatcher, EnergyAware, LeastLoaded, PhaseAware};

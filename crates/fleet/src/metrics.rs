@@ -119,6 +119,12 @@ pub struct FleetOutcome {
     pub train_time_s: f64,
     /// Energy spent in (re)training, Joules (already in `metrics`).
     pub train_energy_j: f64,
+    /// Label of the execution backend that served profile and job runs
+    /// (`"machine"` or `"replay"`).
+    pub backend: &'static str,
+    /// Trace-calibration sweeps the replay backend performed (0 under
+    /// the machine backend).
+    pub calibrations: u64,
 }
 
 #[cfg(test)]

@@ -7,16 +7,27 @@
 //!
 //! 1. **Admission/dispatch** (sequential, virtual time): each arriving
 //!    job is placed on a board using *profiled* service estimates — one
-//!    real engine run per distinct (workload, architecture, policy
+//!    executor run per distinct (workload, architecture, policy
 //!    version), memoised — and, in warm mode, resolves its policy
 //!    against the shared [`PolicyCache`] (training on misses, refreshing
 //!    stale entries warm-started from the cached snapshot).
 //! 2. **Execution** (parallel across boards): every board replays its
-//!    assigned job sequence through `astro-exec`, reusing one
-//!    [`Machine`] for all of its jobs; job `i` starts at
-//!    `max(arrival_i, finish_{i-1})`.
+//!    assigned job sequence through the run's [`Executor`] backend;
+//!    job `i` starts at `max(arrival_i, finish_{i-1})`.
 //! 3. **Aggregation** (sequential, index order): outcomes are merged in
 //!    job-id order into [`FleetMetrics`].
+//!
+//! **Backends.** Every job and profile run goes through one
+//! [`Executor`]. The default [`BackendKind::Machine`] interprets on the
+//! cycle-accurate engine and reproduces the published outputs
+//! byte-identically. [`BackendKind::Replay`] runs in
+//! *calibration-then-replay* mode: before stage 1, every distinct
+//! (workload, architecture) pair in the stream is calibrated once on
+//! the engine (a [`ReplayExecutor`] records per-configuration trace
+//! sets), after which each of the potentially hundreds of thousands of
+//! job runs is answered by trace composition in microseconds. Policy
+//! *training* (cache misses/refreshes) stays on the engine in both
+//! modes — learning episodes need live counter feedback.
 //!
 //! Same cluster + params + job stream ⇒ byte-identical outcome,
 //! regardless of how stage 2 is mapped.
@@ -27,14 +38,14 @@ use crate::dispatch::{DispatchView, Dispatcher};
 use crate::job::{JobOutcome, JobSpec};
 use crate::metrics::{FleetMetrics, FleetOutcome};
 use astro_core::pipeline::{build_static, AstroPipeline, PipelineConfig, TrainedAstro};
+use astro_core::replay::ReplayExecutor;
 use astro_core::schedule::StaticSchedule;
-use astro_exec::machine::{Machine, MachineParams};
+use astro_exec::executor::{BackendKind, ExecPolicy, ExecRequest, Executor, MachineExecutor};
+use astro_exec::machine::MachineParams;
 use astro_exec::program::{compile, CompiledProgram};
-use astro_exec::runtime::{NullHooks, StaticBinaryHooks};
-use astro_exec::sched::affinity::AffinityScheduler;
-use astro_exec::sched::gts::GtsScheduler;
 use astro_exec::time::SimTime;
 use astro_hw::boards::BoardSpec;
+use astro_ir::Module;
 use astro_workloads::{InputSize, Workload};
 use std::collections::BTreeMap;
 
@@ -66,6 +77,9 @@ pub struct FleetParams {
     pub size: InputSize,
     /// Engine parameters for job and profile runs.
     pub machine: MachineParams,
+    /// Execution backend serving profile and job runs (training always
+    /// uses the engine). Default: [`BackendKind::Machine`].
+    pub backend: BackendKind,
     /// Training configuration for cache misses.
     pub train: PipelineConfig,
     /// Episodes for warm-started staleness refreshes (≤ `train.episodes`
@@ -101,6 +115,7 @@ impl FleetParams {
         FleetParams {
             size: InputSize::Test,
             machine,
+            backend: BackendKind::Machine,
             train: PipelineConfig {
                 machine,
                 episodes: 4,
@@ -163,13 +178,26 @@ pub struct FleetSim<'a> {
     pub cluster: &'a ClusterSpec,
     /// Knobs.
     pub params: FleetParams,
+    /// The replay backend, when [`FleetParams::backend`] asks for one —
+    /// owned by the simulator so its calibration cache (a pure function
+    /// of (workload, architecture, engine parameters)) is shared across
+    /// every run of this simulator instead of re-recorded per scenario.
+    replay_exec: Option<ReplayExecutor>,
 }
 
 impl<'a> FleetSim<'a> {
     /// A simulator over `cluster`.
     pub fn new(cluster: &'a ClusterSpec, params: FleetParams) -> Self {
         assert!(!cluster.is_empty(), "fleet needs at least one board");
-        FleetSim { cluster, params }
+        let replay_exec = match params.backend {
+            BackendKind::Machine => None,
+            BackendKind::Replay => Some(ReplayExecutor::from_machine(params.machine)),
+        };
+        FleetSim {
+            cluster,
+            params,
+            replay_exec,
+        }
     }
 
     /// Run `jobs` (arrival order) under `dispatcher` and `mode`, mapping
@@ -197,6 +225,39 @@ impl<'a> FleetSim<'a> {
         pmap: &dyn Fn(usize, &(dyn Fn(usize) -> BoardRun + Sync)) -> Vec<BoardRun>,
     ) -> FleetOutcome {
         let n_boards = self.cluster.len();
+
+        // The execution backend every profile and job run goes through.
+        let machine_exec = MachineExecutor {
+            params: self.params.machine,
+        };
+        let exec: &dyn Executor = match &self.replay_exec {
+            Some(r) => r,
+            None => &machine_exec,
+        };
+
+        // Source modules, one per distinct workload in the stream (the
+        // executor contract carries them; replay calibrates from them).
+        let mut modules: BTreeMap<&'static str, Module> = BTreeMap::new();
+        for job in jobs {
+            modules
+                .entry(job.workload.name)
+                .or_insert_with(|| (job.workload.build)(self.params.size));
+        }
+
+        // Calibration-then-replay: record every (workload, architecture)
+        // trace set up front, in deterministic order, so stage 2 is pure
+        // composition no matter which thread touches a key first.
+        // Already-calibrated keys (earlier runs of this simulator) are
+        // cache hits.
+        if let Some(replay) = &self.replay_exec {
+            for key in self.cluster.arch_keys() {
+                let board = self.cluster.representative_board(key);
+                for (name, module) in &modules {
+                    replay.calibrate(name, module, board);
+                }
+            }
+        }
+
         let mut profiles = ProfileTable::new();
         let mut est_busy = vec![0.0f64; n_boards];
         let mut assigned = vec![0usize; n_boards];
@@ -207,7 +268,9 @@ impl<'a> FleetSim<'a> {
 
         // Stage 1: admission + dispatch + policy resolution.
         for job in jobs {
-            let slo_s = job.slo_tightness * self.best_cold_wall(&mut profiles, &job.workload);
+            let module = &modules[job.workload.name];
+            let slo_s =
+                job.slo_tightness * self.best_cold_wall(exec, &mut profiles, &job.workload, module);
             let mut est_service = vec![0.0f64; n_boards];
             let mut est_energy = vec![0.0f64; n_boards];
             let mut warm = vec![false; n_boards];
@@ -217,14 +280,24 @@ impl<'a> FleetSim<'a> {
                 let (wall, energy) = if is_warm {
                     let e = cache.peek(job.taxon, arch).expect("warm entry exists");
                     self.profile(
+                        exec,
                         &mut profiles,
                         &job.workload,
+                        module,
                         b,
                         e.version as u64,
                         Some(e.schedule),
                     )
                 } else {
-                    self.profile(&mut profiles, &job.workload, b, ProfileTable::COLD, None)
+                    self.profile(
+                        exec,
+                        &mut profiles,
+                        &job.workload,
+                        module,
+                        b,
+                        ProfileTable::COLD,
+                        None,
+                    )
                 };
                 est_service[b] = wall;
                 est_energy[b] = energy;
@@ -283,10 +356,24 @@ impl<'a> FleetSim<'a> {
             let (schedule, svc_est) = match schedule {
                 None => (None, est_service[b]),
                 Some((st, v)) => {
-                    let (cold_wall, _) =
-                        self.profile(&mut profiles, &job.workload, b, ProfileTable::COLD, None);
-                    let (warm_wall, _) =
-                        self.profile(&mut profiles, &job.workload, b, v as u64, Some(st));
+                    let (cold_wall, _) = self.profile(
+                        exec,
+                        &mut profiles,
+                        &job.workload,
+                        module,
+                        b,
+                        ProfileTable::COLD,
+                        None,
+                    );
+                    let (warm_wall, _) = self.profile(
+                        exec,
+                        &mut profiles,
+                        &job.workload,
+                        module,
+                        b,
+                        v as u64,
+                        Some(st),
+                    );
                     if warm_wall > cold_wall * self.params.latency_guard {
                         guard_bypasses += 1;
                         (None, cold_wall)
@@ -307,7 +394,8 @@ impl<'a> FleetSim<'a> {
 
         // Stage 2: execute each board's sequence (parallelisable).
         let plan = &plan;
-        let runs = pmap(n_boards, &|b| self.run_board(b, &plan[b]));
+        let modules = &modules;
+        let runs = pmap(n_boards, &|b| self.run_board(exec, b, &plan[b], modules));
         assert_eq!(runs.len(), n_boards, "mapper must cover every board");
 
         // Stage 3: aggregate in deterministic order.
@@ -326,6 +414,12 @@ impl<'a> FleetSim<'a> {
             guard_bypasses,
             train_time_s,
             train_energy_j,
+            backend: self.params.backend.name(),
+            calibrations: self
+                .replay_exec
+                .as_ref()
+                .map(|r| r.stats().calibrations)
+                .unwrap_or(0),
         }
     }
 
@@ -333,26 +427,33 @@ impl<'a> FleetSim<'a> {
 
     /// Unloaded cold service time on the fastest architecture (the SLO
     /// reference point).
-    fn best_cold_wall(&self, profiles: &mut ProfileTable, w: &Workload) -> f64 {
+    fn best_cold_wall(
+        &self,
+        exec: &dyn Executor,
+        profiles: &mut ProfileTable,
+        w: &Workload,
+        module: &Module,
+    ) -> f64 {
         let mut best = f64::INFINITY;
         for key in self.cluster.arch_keys() {
-            let b = (0..self.cluster.len())
-                .find(|&b| self.cluster.arch_key(b) == key)
-                .expect("key came from the cluster");
-            let (wall, _) = self.profile(profiles, w, b, ProfileTable::COLD, None);
+            let b = self.cluster.representative_board_idx(key);
+            let (wall, _) = self.profile(exec, profiles, w, module, b, ProfileTable::COLD, None);
             best = best.min(wall);
         }
         best
     }
 
     /// Profiled (wall, energy) of `w` on board `b` under the given
-    /// policy version: the mean of three engine runs at distinct seeds
+    /// policy version: the mean of three executor runs at distinct seeds
     /// (the ±5% service jitter would otherwise dominate guard decisions
     /// near the boundary), memoised per distinct key.
+    #[allow(clippy::too_many_arguments)]
     fn profile(
         &self,
+        exec: &dyn Executor,
         profiles: &mut ProfileTable,
         w: &Workload,
+        module: &Module,
         b: usize,
         version: u64,
         schedule: Option<StaticSchedule>,
@@ -368,28 +469,27 @@ impl<'a> FleetSim<'a> {
             .seed
             .wrapping_add(fnv(w.name))
             .wrapping_add(fnv(arch).rotate_left(17));
-        let machine = Machine::new(spec, self.params.machine);
-        let module = (w.build)(self.params.size);
         let full = spec.config_space().full();
+        let (program, policy) = match schedule {
+            None => (compile(module).expect("workload compiles"), ExecPolicy::Gts),
+            Some(st) => (
+                compile(&build_static(module, &st)).expect("static build compiles"),
+                ExecPolicy::StaticTable(st.as_table()),
+            ),
+        };
         let mut wall = 0.0;
         let mut energy = 0.0;
         for k in 0..PROFILE_SAMPLES {
             let seed = base_seed.wrapping_add(k.wrapping_mul(0x9E37_79B9));
-            let r = match schedule {
-                None => {
-                    let prog = compile(&module).expect("workload compiles");
-                    let mut sched = GtsScheduler::default();
-                    machine.run_seeded(&prog, &mut sched, &mut NullHooks, full, seed)
-                }
-                Some(st) => {
-                    let prog = compile(&build_static(&module, &st)).expect("static build compiles");
-                    let mut sched = AffinityScheduler;
-                    let mut hooks = StaticBinaryHooks {
-                        space: spec.config_space(),
-                    };
-                    machine.run_seeded(&prog, &mut sched, &mut hooks, full, seed)
-                }
-            };
+            let r = exec.execute(&ExecRequest {
+                workload: w.name,
+                module,
+                program: &program,
+                board: spec,
+                config: full,
+                policy,
+                seed,
+            });
             wall += r.wall_time_s;
             energy += r.energy_j;
         }
@@ -403,7 +503,9 @@ impl<'a> FleetSim<'a> {
 
     /// (Re)train a policy for `job`'s class on board `b`'s architecture.
     /// Returns the trained artefacts plus the wall time and energy of
-    /// the learning episodes (charged to the triggering job).
+    /// the learning episodes (charged to the triggering job). Always
+    /// runs on the cycle-accurate engine: learning needs live counter
+    /// feedback no trace can substitute.
     fn train(
         &self,
         job: &JobSpec,
@@ -429,11 +531,16 @@ impl<'a> FleetSim<'a> {
 
     // ---- stage 2 ------------------------------------------------------------
 
-    /// Execute one board's assignment sequence, reusing a single
-    /// [`Machine`] across all of its jobs.
-    fn run_board(&self, b: usize, assignments: &[Assignment]) -> BoardRun {
+    /// Execute one board's assignment sequence through the backend,
+    /// memoising compiled program variants per (workload, version).
+    fn run_board(
+        &self,
+        exec: &dyn Executor,
+        b: usize,
+        assignments: &[Assignment],
+        modules: &BTreeMap<&'static str, Module>,
+    ) -> BoardRun {
         let spec = &self.cluster.boards[b];
-        let machine = Machine::new(spec, self.params.machine);
         let full = spec.config_space().full();
         let mut cold_progs: BTreeMap<&'static str, CompiledProgram> = BTreeMap::new();
         let mut warm_progs: BTreeMap<(&'static str, u32), CompiledProgram> = BTreeMap::new();
@@ -443,26 +550,37 @@ impl<'a> FleetSim<'a> {
         let mut outcomes = Vec::with_capacity(assignments.len());
         for a in assignments {
             let w = &a.job.workload;
+            let module = &modules[w.name];
             let r = match &a.schedule {
                 None => {
                     // Stock binary under GTS (cold mode, cache misses
                     // awaiting the async training, guard bypasses).
-                    let prog = cold_progs.entry(w.name).or_insert_with(|| {
-                        compile(&(w.build)(self.params.size)).expect("workload compiles")
-                    });
-                    let mut sched = GtsScheduler::default();
-                    machine.run_seeded(prog, &mut sched, &mut NullHooks, full, a.job.seed)
+                    let prog = cold_progs
+                        .entry(w.name)
+                        .or_insert_with(|| compile(module).expect("workload compiles"));
+                    exec.execute(&ExecRequest {
+                        workload: w.name,
+                        module,
+                        program: prog,
+                        board: spec,
+                        config: full,
+                        policy: ExecPolicy::Gts,
+                        seed: a.job.seed,
+                    })
                 }
                 Some((st, version)) => {
                     let prog = warm_progs.entry((w.name, *version)).or_insert_with(|| {
-                        let module = (w.build)(self.params.size);
-                        compile(&build_static(&module, st)).expect("static build compiles")
+                        compile(&build_static(module, st)).expect("static build compiles")
                     });
-                    let mut sched = AffinityScheduler;
-                    let mut hooks = StaticBinaryHooks {
-                        space: spec.config_space(),
-                    };
-                    machine.run_seeded(prog, &mut sched, &mut hooks, full, a.job.seed)
+                    exec.execute(&ExecRequest {
+                        workload: w.name,
+                        module,
+                        program: prog,
+                        board: spec,
+                        config: full,
+                        policy: ExecPolicy::StaticTable(st.as_table()),
+                        seed: a.job.seed,
+                    })
                 }
             };
             let start = a.job.arrival_s.max(free_at);
@@ -549,6 +667,8 @@ mod tests {
             .all(|&u| (0.0..=1.0).contains(&u)));
         assert_eq!(a.cache, crate::cache::CacheStats::default());
         assert_eq!(a.train_time_s, 0.0);
+        assert_eq!(a.backend, "machine");
+        assert_eq!(a.calibrations, 0);
     }
 
     #[test]
@@ -638,5 +758,63 @@ mod tests {
         let out = sim.run(&stream, &mut LeastLoaded, &mut cache, PolicyMode::Warm);
         assert_eq!(out.cache.misses, 1);
         assert!(out.cache.stale_refreshes >= 1, "{:?}", out.cache);
+    }
+
+    #[test]
+    fn replay_backend_is_deterministic_and_completes() {
+        let cluster = ClusterSpec::heterogeneous(2);
+        let mut params = FleetParams::new(5);
+        params.backend = BackendKind::Replay;
+        let sim = FleetSim::new(&cluster, params);
+        let stream = jobs(8, 3);
+        let mut cache = PolicyCache::new(0);
+        let a = sim.run(&stream, &mut LeastLoaded, &mut cache, PolicyMode::Cold);
+        let b = sim.run(&stream, &mut LeastLoaded, &mut cache, PolicyMode::Cold);
+        assert_eq!(a.outcomes.len(), 8);
+        assert_eq!(a.backend, "replay");
+        // Two workloads × two architectures, calibrated once up front.
+        assert_eq!(a.calibrations, 4);
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.finish_s, y.finish_s);
+            assert_eq!(x.energy_j, y.energy_j);
+            assert_eq!(x.board, y.board);
+        }
+        for o in &a.outcomes {
+            assert!(o.service_s > 0.0 && o.energy_j > 0.0);
+        }
+    }
+
+    #[test]
+    fn replay_backend_tracks_machine_backend() {
+        // Same stream, both backends: totals must agree within the
+        // replay fidelity tolerance (each job within 25%; compare the
+        // aggregate, which averages the per-seed wobble out).
+        let cluster = ClusterSpec::heterogeneous(2);
+        let stream = jobs(8, 7);
+        let mut machine_params = FleetParams::new(5);
+        machine_params.backend = BackendKind::Machine;
+        let mut replay_params = FleetParams::new(5);
+        replay_params.backend = BackendKind::Replay;
+        let mut cache = PolicyCache::new(0);
+        let exact = FleetSim::new(&cluster, machine_params).run(
+            &stream,
+            &mut LeastLoaded,
+            &mut cache,
+            PolicyMode::Cold,
+        );
+        let mut cache = PolicyCache::new(0);
+        let fast = FleetSim::new(&cluster, replay_params).run(
+            &stream,
+            &mut LeastLoaded,
+            &mut cache,
+            PolicyMode::Cold,
+        );
+        let d_energy = (fast.metrics.total_energy_j - exact.metrics.total_energy_j).abs()
+            / exact.metrics.total_energy_j;
+        assert!(d_energy < 0.25, "energy {:.1}% off", d_energy * 100.0);
+        let exact_svc: f64 = exact.outcomes.iter().map(|o| o.service_s).sum();
+        let fast_svc: f64 = fast.outcomes.iter().map(|o| o.service_s).sum();
+        let d_svc = (fast_svc - exact_svc).abs() / exact_svc;
+        assert!(d_svc < 0.25, "service {:.1}% off", d_svc * 100.0);
     }
 }

@@ -1,0 +1,115 @@
+//! Property tests for the shared policy cache: whatever sequence of
+//! lookups, installs, refreshes and capacity-driven evictions a fleet
+//! run produces, the accounting must balance and version numbers must
+//! never run backwards (a reused version would alias consumers'
+//! version-keyed derived state — compiled static binaries, profiles).
+
+use astro_core::schedule::StaticSchedule;
+use astro_fleet::{CacheDecision, JobClass, PolicyCache, Taxon};
+use astro_rl::qlearn::PolicySnapshot;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn taxon_of(i: usize) -> Taxon {
+    Taxon {
+        class: JobClass::ALL[i % JobClass::ALL.len()],
+        signature: (i % 27) as u8,
+    }
+}
+
+const ARCHES: [&str; 2] = ["XU4", "RK3399"];
+
+fn schedule(c: usize) -> StaticSchedule {
+    StaticSchedule {
+        config_for_phase: [c % 24; astro_compiler::ProgramPhase::COUNT],
+    }
+}
+
+fn snapshot() -> PolicySnapshot {
+    PolicySnapshot {
+        state_dim: 2,
+        num_actions: 2,
+        params: vec![0.0; 4],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Drive the cache exactly as the fleet does — every lookup answered
+    /// by the matching install/refresh — through arbitrary key streams,
+    /// staleness limits and capacities, and check the invariants.
+    #[test]
+    fn accounting_balances_and_versions_never_regress(
+        keys in prop::collection::vec((0usize..10, 0usize..2), 1..120),
+        staleness in 0u32..4,
+        capacity in 0usize..6,
+    ) {
+        let mut cache = PolicyCache::with_capacity(staleness, capacity);
+        // Highest version ever observed per key.
+        let mut high_water: BTreeMap<(Taxon, &'static str), u32> = BTreeMap::new();
+        // A subset of refreshes lands "late": after further traffic has
+        // possibly evicted the line (the async-training race).
+        let mut pending: Vec<(Taxon, &'static str, usize)> = Vec::new();
+
+        for (step, &(k, a)) in keys.iter().enumerate() {
+            let (taxon, arch) = (taxon_of(k), ARCHES[a]);
+            match cache.lookup(taxon, arch) {
+                CacheDecision::Miss => cache.insert(taxon, arch, schedule(step), snapshot()),
+                CacheDecision::Stale(_) => {
+                    if step % 3 == 0 {
+                        pending.push((taxon, arch, step)); // lands later
+                    } else {
+                        cache.refresh(taxon, arch, schedule(step), snapshot());
+                    }
+                }
+                CacheDecision::Hit(..) => {
+                    // Occasionally force-reinstall over the live line
+                    // (an operator pushing a retrained policy): version
+                    // numbering must still move forward.
+                    if step % 11 == 10 {
+                        cache.insert(taxon, arch, schedule(step), snapshot());
+                    }
+                }
+            }
+            if step % 7 == 6 {
+                for (t, ar, s) in pending.drain(..) {
+                    cache.refresh(t, ar, schedule(s), snapshot());
+                }
+            }
+            // Invariant: the accounting always balances.
+            let st = cache.stats;
+            prop_assert_eq!(st.lookups, st.hits + st.misses + st.stale_refreshes);
+            // Invariant: capacity is respected.
+            if capacity > 0 {
+                prop_assert!(cache.len() <= capacity);
+            }
+            // Invariant: versions only move forward per key.
+            for i in 0..10 {
+                for arch in ARCHES {
+                    if let Some(e) = cache.peek(taxon_of(i), arch) {
+                        let hw = high_water.entry((taxon_of(i), arch)).or_insert(0);
+                        prop_assert!(
+                            e.version >= *hw,
+                            "version regressed: {} < {}",
+                            e.version,
+                            *hw
+                        );
+                        *hw = e.version;
+                    }
+                }
+            }
+            prop_assert!((0.0..=1.0).contains(&st.warm_rate()));
+        }
+        for (t, ar, s) in pending.drain(..) {
+            cache.refresh(t, ar, schedule(s), snapshot());
+        }
+        let st = cache.stats;
+        prop_assert_eq!(st.lookups, st.hits + st.misses + st.stale_refreshes);
+        // Evicted-refresh traffic is only possible on a bounded cache.
+        if capacity == 0 {
+            prop_assert_eq!(st.evictions, 0);
+            prop_assert_eq!(st.evicted_refreshes, 0);
+        }
+    }
+}

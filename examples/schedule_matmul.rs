@@ -45,7 +45,7 @@ fn main() {
     let hybrid_mod = pipe.build_hybrid(&module);
 
     let gts = pipe.run_gts(&module, 1);
-    let st = pipe.run_static(&static_mod, 1);
+    let st = pipe.run_static(&static_mod, &trained.static_schedule, 1);
     let hy = pipe.run_hybrid(&hybrid_mod, &trained.hybrid_schedule, 1);
 
     println!("\nsystem        time (s)   energy (J)  config changes");

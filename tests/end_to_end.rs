@@ -57,7 +57,7 @@ fn pipeline_end_to_end_on_particlefilter() {
     let static_mod = pipe.build_static(&module, &trained.static_schedule);
     let hybrid_mod = pipe.build_hybrid(&module);
     let g = pipe.run_gts(&module, 3);
-    let s = pipe.run_static(&static_mod, 3);
+    let s = pipe.run_static(&static_mod, &trained.static_schedule, 3);
     let h = pipe.run_hybrid(&hybrid_mod, &trained.hybrid_schedule, 3);
 
     // All three executed the same program (instrumentation aside).
