@@ -196,6 +196,36 @@ fn bench_executor(c: &mut Criterion) {
     });
 }
 
+/// Push/pop hot path of the fleet kernel's event queue: the per-event
+/// overhead every arrival, completion and monitor tick pays. A 100k-job
+/// kernel run processes ~200k events, so this cost bounds how much of
+/// the replay backend's per-job speedup the event loop can keep.
+fn bench_event_queue(c: &mut Criterion) {
+    use astro_fleet::{EventKind, EventQueue};
+
+    // Steady-state mix: the queue holds a window of pending events and
+    // each pop schedules a successor — the completion-follows-arrival
+    // pattern of a loaded fleet.
+    c.bench_function("event_queue_push_pop_steady_1k_window", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut t = 0.0f64;
+            for i in 0..1024u32 {
+                t += 0.37;
+                q.push(t, EventKind::Arrival(i));
+            }
+            for i in 0..8192u32 {
+                let ev = q.pop().expect("window never drains");
+                q.push(ev.time_s + 1.13, EventKind::Completion { board: i % 50 });
+            }
+            while let Some(ev) = q.pop() {
+                black_box(ev);
+            }
+            black_box(q.popped)
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_nn,
@@ -203,6 +233,7 @@ criterion_group!(
     bench_qagent,
     bench_machine,
     bench_executor,
-    bench_runner
+    bench_runner,
+    bench_event_queue
 );
 criterion_main!(benches);

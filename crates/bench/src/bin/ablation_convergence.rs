@@ -1,12 +1,5 @@
 //! Ablation A: convergence speed with vs without program phases.
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let size = astro_bench::parse_size(&args);
-    let seed = astro_bench::parse_seed(&args);
-    let episodes = if astro_bench::quick_mode(&args) {
-        24
-    } else {
-        60
-    };
-    astro_bench::figs::ablation_convergence::run(size, episodes, seed);
+    let cli = astro_bench::Cli::parse();
+    astro_bench::figs::ablation_convergence::run(cli.size(), cli.pick(24, 60), cli.seed());
 }

@@ -1,12 +1,5 @@
 //! Ablation B: the reward exponent gamma.
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let size = astro_bench::parse_size(&args);
-    let seed = astro_bench::parse_seed(&args);
-    let episodes = if astro_bench::quick_mode(&args) {
-        20
-    } else {
-        50
-    };
-    astro_bench::figs::ablation_gamma::run(size, episodes, seed);
+    let cli = astro_bench::Cli::parse();
+    astro_bench::figs::ablation_gamma::run(cli.size(), cli.pick(20, 50), cli.seed());
 }

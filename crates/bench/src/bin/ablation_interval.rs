@@ -1,8 +1,5 @@
 //! Ablation C: checkpoint interval vs overhead. `--size`, `--seed`.
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    astro_bench::figs::ablation_interval::run(
-        astro_bench::parse_size(&args),
-        astro_bench::parse_seed(&args),
-    );
+    let cli = astro_bench::Cli::parse();
+    astro_bench::figs::ablation_interval::run(cli.size(), cli.seed());
 }

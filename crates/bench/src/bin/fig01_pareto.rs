@@ -2,9 +2,6 @@
 //! configurations). `--size test|simsmall|simmedium|simlarge`, `--quick`,
 //! `--seed <u64>`.
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let size = astro_bench::parse_size(&args);
-    let seed = astro_bench::parse_seed(&args);
-    let samples = if astro_bench::quick_mode(&args) { 1 } else { 5 };
-    astro_bench::figs::fig01::run(size, samples, seed);
+    let cli = astro_bench::Cli::parse();
+    astro_bench::figs::fig01::run(cli.size(), cli.pick(1, 5), cli.seed());
 }

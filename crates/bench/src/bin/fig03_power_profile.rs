@@ -1,9 +1,6 @@
 //! Regenerates Figure 3 (the matmul demo's power profile). `--size`,
 //! `--seed`.
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    astro_bench::figs::fig03::run(
-        astro_bench::parse_size(&args),
-        astro_bench::parse_seed(&args),
-    );
+    let cli = astro_bench::Cli::parse();
+    astro_bench::figs::fig03::run(cli.size(), cli.seed());
 }

@@ -1,8 +1,5 @@
 //! Regenerates Figure 4 (best configurations under slowdown budgets).
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let size = astro_bench::parse_size(&args);
-    let seed = astro_bench::parse_seed(&args);
-    let samples = if astro_bench::quick_mode(&args) { 1 } else { 3 };
-    astro_bench::figs::fig04::run(size, samples, seed);
+    let cli = astro_bench::Cli::parse();
+    astro_bench::figs::fig04::run(cli.size(), cli.pick(1, 3), cli.seed());
 }

@@ -1,5 +1,4 @@
 //! Regenerates Figure 6 (feature-space mapping of the demo functions).
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    astro_bench::figs::fig06::run(astro_bench::parse_size(&args));
+    astro_bench::figs::fig06::run(astro_bench::Cli::parse().size());
 }

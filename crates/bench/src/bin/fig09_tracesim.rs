@@ -1,12 +1,5 @@
 //! Regenerates Figure 9 (trace-driven strategy comparison, RQ1–RQ3).
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let size = astro_bench::parse_size(&args);
-    let seed = astro_bench::parse_seed(&args);
-    let episodes = if astro_bench::quick_mode(&args) {
-        20
-    } else {
-        80
-    };
-    astro_bench::figs::fig09::run(size, episodes, seed);
+    let cli = astro_bench::Cli::parse();
+    astro_bench::figs::fig09::run(cli.size(), cli.pick(20, 80), cli.seed());
 }

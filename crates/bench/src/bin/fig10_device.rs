@@ -1,12 +1,6 @@
 //! Regenerates Figure 10 (GTS vs Astro static/hybrid on-device, RQ4).
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let size = astro_bench::parse_size(&args);
-    let seed = astro_bench::parse_seed(&args);
-    let (episodes, samples) = if astro_bench::quick_mode(&args) {
-        (3, 3)
-    } else {
-        (8, 5)
-    };
-    astro_bench::figs::fig10::run(size, episodes, samples, seed);
+    let cli = astro_bench::Cli::parse();
+    let (episodes, samples) = cli.pick((3, 3), (8, 5));
+    astro_bench::figs::fig10::run(cli.size(), episodes, samples, cli.seed());
 }

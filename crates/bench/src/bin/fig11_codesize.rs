@@ -1,5 +1,4 @@
 //! Regenerates Figure 11 (code-size growth, RQ5).
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    astro_bench::figs::fig11::run(astro_bench::parse_size(&args));
+    astro_bench::figs::fig11::run(astro_bench::Cli::parse().size());
 }

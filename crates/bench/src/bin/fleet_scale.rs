@@ -1,22 +1,18 @@
 //! Fleet scaling: per-job cost of the execution backends (machine vs
 //! calibrated trace replay) plus a 1k → 100k job sweep of the headline
-//! scenario pair. `--jobs <n>` caps the sweep (default 100000),
-//! `--boards <n>` (default 50), `--seed <u64>`, `--quick` (10k jobs,
-//! 20 boards — the CI smoke configuration), and
+//! scenario pair in both dispatch modes. `--jobs <n>` caps the sweep
+//! (default 100000), `--boards <n>` (default 50), `--seed <u64>`,
+//! `--quick` (10k jobs, 20 boards — the CI smoke configuration), and
 //! `--backend {machine,replay}` (default `replay`; `machine` makes the
 //! sweep cycle-accurate, which is only tractable at the low end).
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let size = if args.iter().any(|a| a == "--size") {
-        astro_bench::parse_size(&args)
-    } else {
-        astro_workloads::InputSize::Test
-    };
-    let seed = astro_bench::parse_seed(&args);
-    let quick = astro_bench::quick_mode(&args);
-    let backend = astro_bench::parse_backend(&args, astro_exec::executor::BackendKind::Replay);
-    let (default_jobs, default_boards) = if quick { (10_000, 20) } else { (100_000, 50) };
-    let jobs = astro_bench::parse_flag(&args, "--jobs", default_jobs);
-    let boards = astro_bench::parse_flag(&args, "--boards", default_boards);
-    astro_bench::figs::fleet_scale::run(size, jobs, boards, seed, backend);
+    let cli = astro_bench::Cli::parse();
+    let (jobs, boards) = cli.pick((10_000, 20), (100_000, 50));
+    astro_bench::figs::fleet_scale::run(
+        cli.size_or(astro_workloads::InputSize::Test),
+        cli.flag("--jobs", jobs),
+        cli.flag("--boards", boards),
+        cli.seed(),
+        cli.backend_or(astro_exec::executor::BackendKind::Replay),
+    );
 }

@@ -1,24 +1,20 @@
 //! Fleet simulation: multi-board, multi-tenant co-scheduling with the
-//! shared policy cache. `--jobs <n>`, `--boards <n>`, `--seed <u64>`,
-//! `--quick`, `--size` (defaults to `test`: fleet runs are about
-//! queueing and placement, not per-job input scale), and
-//! `--backend {machine,replay}` — `machine` (default) interprets every
-//! job cycle-accurately and reproduces published outputs
-//! byte-identically; `replay` calibrates per-configuration traces once
-//! per (workload, architecture) and then answers each job by trace
-//! composition, which is what makes `--jobs 100000` practical.
+//! shared policy cache, through the event-driven fleet kernel.
+//! `--jobs <n>`, `--boards <n>`, `--seed <u64>`, `--quick`, `--size`
+//! (defaults to `test`: fleet runs are about queueing and placement,
+//! not per-job input scale), and `--backend {machine,replay}` —
+//! `machine` (default) interprets every job cycle-accurately; `replay`
+//! calibrates per-configuration traces once per (workload,
+//! architecture) and then answers each job by trace composition, which
+//! is what makes `--jobs 100000` practical.
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let size = if args.iter().any(|a| a == "--size") {
-        astro_bench::parse_size(&args)
-    } else {
-        astro_workloads::InputSize::Test
-    };
-    let seed = astro_bench::parse_seed(&args);
-    let quick = astro_bench::quick_mode(&args);
-    let backend = astro_bench::parse_backend(&args, astro_exec::executor::BackendKind::Machine);
-    let (default_jobs, default_boards) = if quick { (240, 16) } else { (1200, 20) };
-    let jobs = astro_bench::parse_flag(&args, "--jobs", default_jobs);
-    let boards = astro_bench::parse_flag(&args, "--boards", default_boards);
-    astro_bench::figs::fleet::run_backend(size, jobs, boards, seed, backend);
+    let cli = astro_bench::Cli::parse();
+    let (jobs, boards) = cli.pick((240, 16), (1200, 20));
+    astro_bench::figs::fleet::run_backend(
+        cli.size_or(astro_workloads::InputSize::Test),
+        cli.flag("--jobs", jobs),
+        cli.flag("--boards", boards),
+        cli.seed(),
+        cli.backend_or(astro_exec::executor::BackendKind::Machine),
+    );
 }

@@ -3,11 +3,9 @@
 //! `--seed <u64>` re-runs the whole suite in a different, equally
 //! deterministic random universe.
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let size = astro_bench::parse_size(&args);
-    let quick = astro_bench::quick_mode(&args);
-    let seed = astro_bench::parse_seed(&args);
-    let (ep9, ep10, s10, s1) = if quick { (20, 3, 3, 1) } else { (80, 8, 5, 5) };
+    let cli = astro_bench::Cli::parse();
+    let size = cli.size();
+    let seed = cli.seed();
 
     astro_bench::figs::table1::run();
     println!();
@@ -17,26 +15,37 @@ fn main() {
     println!();
     astro_bench::figs::fig03::run(size, seed);
     println!();
-    astro_bench::figs::fig01::run(size, s1, seed);
+    astro_bench::figs::fig01::run(size, cli.pick(1, 5), seed);
     println!();
-    astro_bench::figs::fig04::run(size, if quick { 1 } else { 3 }, seed);
+    astro_bench::figs::fig04::run(size, cli.pick(1, 3), seed);
     println!();
-    astro_bench::figs::fig09::run(size, ep9, seed);
+    astro_bench::figs::fig09::run(size, cli.pick(20, 80), seed);
     println!();
-    astro_bench::figs::fig10::run(size, ep10, s10, seed);
+    astro_bench::figs::fig10::run(size, cli.pick(3, 8), cli.pick(3, 5), seed);
     println!();
-    astro_bench::figs::ablation_convergence::run(size, if quick { 24 } else { 60 }, seed);
+    astro_bench::figs::ablation_convergence::run(size, cli.pick(24, 60), seed);
     println!();
-    astro_bench::figs::ablation_gamma::run(size, if quick { 20 } else { 50 }, seed);
+    astro_bench::figs::ablation_gamma::run(size, cli.pick(20, 50), seed);
     println!();
     astro_bench::figs::ablation_interval::run(size, seed);
     println!();
-    astro_bench::figs::ablation_agent::run(size, if quick { 20 } else { 60 }, seed);
+    astro_bench::figs::ablation_agent::run(size, cli.pick(20, 60), seed);
     println!();
-    // The fleet experiment always runs at `test` scale: it measures
+    // The fleet experiments always run at `test` scale: they measure
     // queueing and placement over a thousand jobs, not per-job input
-    // scale (the `fleet_sim` binary takes `--jobs`/`--boards`/`--size`
-    // overrides).
-    let (fjobs, fboards) = if quick { (240, 16) } else { (1200, 20) };
+    // scale (the `fleet_sim`/`fleet_churn` binaries take
+    // `--jobs`/`--boards`/`--size` overrides).
+    let (fjobs, fboards) = cli.pick((240, 16), (1200, 20));
     astro_bench::figs::fleet::run(astro_workloads::InputSize::Test, fjobs, fboards, seed);
+    println!();
+    // Churn + preemption through the event kernel, on the replay
+    // backend so the batch stays fast.
+    let (cjobs, cboards) = cli.pick((2_000, 10), (10_000, 20));
+    astro_bench::figs::fleet_churn::run(
+        astro_workloads::InputSize::Test,
+        cjobs,
+        cboards,
+        seed,
+        astro_exec::executor::BackendKind::Replay,
+    );
 }

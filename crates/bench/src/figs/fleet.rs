@@ -1,26 +1,29 @@
 //! Fleet experiment: multi-board, multi-tenant co-scheduling with the
-//! shared policy cache.
+//! shared policy cache, driven by the discrete-event fleet kernel.
 //!
 //! A heterogeneous cluster (big-rich Odroid XU4s + LITTLE-rich RK3399s)
 //! serves an open-loop stream of tenant jobs drawn from the workload
 //! suite. Scenarios cross dispatchers (least-loaded, energy-aware,
 //! phase-aware) with policy modes (cold = original binaries under GTS
 //! with every core on; warm = Astro static binaries from the shared,
-//! taxonomy-keyed policy cache). Expected shape: the warm phase-aware
-//! fleet beats the cold least-loaded fleet on tail latency *and* total
-//! energy — placement quality cuts queueing on the matching cluster
-//! shape, and learned schedules stop paying idle power during blocked
-//! phases.
+//! taxonomy-keyed policy cache) and dispatch modes (`oracle` =
+//! batch-planner semantics through the kernel, the historical
+//! reference; `online` = live queue feedback). Expected shape: the warm
+//! phase-aware fleet beats the cold least-loaded fleet on tail latency
+//! *and* total energy — placement quality cuts queueing on the matching
+//! cluster shape, and learned schedules stop paying idle power during
+//! blocked phases.
 //!
-//! Board execution fans out through [`crate::runner::parallel_map`];
-//! results are independent of the worker count, so the printed tables
-//! are byte-identical for a given seed.
+//! Scenarios are independent (each owns its policy cache), so they fan
+//! out across OS threads via [`crate::runner::parallel_map`]; results
+//! are independent of the worker count, so the printed tables are
+//! byte-identical for a given seed.
 
 use crate::runner::{default_threads, parallel_map};
 use crate::table::TextTable;
 use astro_fleet::{
-    ArrivalProcess, BackendKind, BoardRun, ClusterSpec, Dispatcher, EnergyAware, FleetOutcome,
-    FleetParams, FleetSim, LeastLoaded, PhaseAware, PolicyCache, PolicyMode,
+    ArrivalProcess, BackendKind, ClusterSpec, Dispatcher, EnergyAware, FleetOutcome, FleetParams,
+    FleetSim, LeastLoaded, PhaseAware, PolicyCache, PolicyMode, Scenario,
 };
 use astro_workloads::{InputSize, Workload};
 
@@ -76,69 +79,129 @@ pub fn mean_cold_service_s(cluster: &ClusterSpec, pool: &[Workload], params: &Fl
     total / n as f64
 }
 
-struct Scenario {
-    label: &'static str,
-    dispatcher: Box<dyn Dispatcher>,
-    mode: PolicyMode,
+/// Which placement policy a scenario runs (dispatchers are stateful, so
+/// each run constructs its own from this tag).
+#[derive(Clone, Copy, Debug)]
+pub enum DispatcherKind {
+    /// [`LeastLoaded`].
+    LeastLoaded,
+    /// [`EnergyAware`].
+    EnergyAware,
+    /// [`PhaseAware`].
+    PhaseAware,
 }
 
-fn all_scenarios() -> Vec<Scenario> {
+impl DispatcherKind {
+    /// Label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatcherKind::LeastLoaded => "least-loaded",
+            DispatcherKind::EnergyAware => "energy-aware",
+            DispatcherKind::PhaseAware => "phase-aware",
+        }
+    }
+
+    /// A fresh dispatcher instance.
+    pub fn build(self) -> Box<dyn Dispatcher> {
+        match self {
+            DispatcherKind::LeastLoaded => Box::new(LeastLoaded),
+            DispatcherKind::EnergyAware => Box::new(EnergyAware),
+            DispatcherKind::PhaseAware => Box::new(PhaseAware),
+        }
+    }
+}
+
+/// One table row: a dispatcher crossed with a kernel scenario.
+pub struct Case {
+    /// Which dispatcher places jobs.
+    pub dispatcher: DispatcherKind,
+    /// Policy/dispatch mode, churn, preemption.
+    pub scenario: Scenario,
+}
+
+impl Case {
+    /// `dispatcher/policy/dispatch` row label.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.dispatcher.name(),
+            self.scenario.policy.name(),
+            self.scenario.dispatch.name()
+        )
+    }
+}
+
+/// Run `cases` over one job stream, fanning the (independent) scenarios
+/// out across OS threads. Each case gets a fresh policy cache: warm-up
+/// happens *within* the stream, so the miss/hit trajectory is part of
+/// the result.
+pub fn run_cases(
+    sim: &FleetSim,
+    jobs: &[astro_fleet::JobSpec],
+    staleness_limit: u32,
+    cases: &[Case],
+) -> Vec<(String, FleetOutcome)> {
+    parallel_map(cases.len(), default_threads(), |i| {
+        let case = &cases[i];
+        let mut dispatcher = case.dispatcher.build();
+        let mut cache = PolicyCache::new(staleness_limit);
+        let out = sim.run(jobs, dispatcher.as_mut(), &mut cache, &case.scenario);
+        (case.label(), out)
+    })
+}
+
+/// The finished case labelled `dispatcher/policy/dispatch` — headline
+/// comparisons select by identity, never by table position, so adding
+/// or reordering cases cannot silently compare the wrong scenarios.
+pub fn row<'a>(rows: &'a [(String, FleetOutcome)], label: &str) -> &'a FleetOutcome {
+    &rows
+        .iter()
+        .find(|(l, _)| l == label)
+        .unwrap_or_else(|| panic!("no case labelled {label:?}"))
+        .1
+}
+
+fn all_cases() -> Vec<Case> {
     vec![
-        Scenario {
-            label: "least-loaded",
-            dispatcher: Box::new(LeastLoaded),
-            mode: PolicyMode::Cold,
+        Case {
+            dispatcher: DispatcherKind::LeastLoaded,
+            scenario: Scenario::oracle(PolicyMode::Cold),
         },
-        Scenario {
-            label: "least-loaded",
-            dispatcher: Box::new(LeastLoaded),
-            mode: PolicyMode::Warm,
+        Case {
+            dispatcher: DispatcherKind::LeastLoaded,
+            scenario: Scenario::oracle(PolicyMode::Warm),
         },
-        Scenario {
-            label: "energy-aware",
-            dispatcher: Box::new(EnergyAware),
-            mode: PolicyMode::Warm,
+        Case {
+            dispatcher: DispatcherKind::EnergyAware,
+            scenario: Scenario::oracle(PolicyMode::Warm),
         },
-        Scenario {
-            label: "phase-aware",
-            dispatcher: Box::new(PhaseAware),
-            mode: PolicyMode::Cold,
+        Case {
+            dispatcher: DispatcherKind::PhaseAware,
+            scenario: Scenario::oracle(PolicyMode::Cold),
         },
-        Scenario {
-            label: "phase-aware",
-            dispatcher: Box::new(PhaseAware),
-            mode: PolicyMode::Warm,
+        Case {
+            dispatcher: DispatcherKind::PhaseAware,
+            scenario: Scenario::oracle(PolicyMode::Warm),
+        },
+        Case {
+            dispatcher: DispatcherKind::LeastLoaded,
+            scenario: Scenario::online(PolicyMode::Cold),
+        },
+        Case {
+            dispatcher: DispatcherKind::PhaseAware,
+            scenario: Scenario::online(PolicyMode::Warm),
         },
     ]
 }
 
-fn run_scenarios(
-    sim: &FleetSim,
-    jobs: &[astro_fleet::JobSpec],
-    staleness_limit: u32,
-    scenarios: Vec<Scenario>,
-) -> Vec<(String, FleetOutcome)> {
-    scenarios
-        .into_iter()
-        .map(|mut sc| {
-            // One fresh cache per scenario: warm-up happens *within* the
-            // stream, so the miss/hit trajectory is part of the result.
-            let mut cache = PolicyCache::new(staleness_limit);
-            let pmap = |n: usize, f: &(dyn Fn(usize) -> BoardRun + Sync)| {
-                parallel_map(n, default_threads(), f)
-            };
-            let out = sim.run_with(jobs, sc.dispatcher.as_mut(), &mut cache, sc.mode, &pmap);
-            (format!("{}/{}", sc.label, sc.mode.name()), out)
-        })
-        .collect()
-}
-
-fn print_table(rows: &[(String, FleetOutcome)]) {
+/// Print the standard fleet table for a set of finished cases.
+pub fn print_table(rows: &[(String, FleetOutcome)]) {
     let mut t = TextTable::new(&[
-        "dispatcher/policy",
+        "dispatcher/policy/mode",
         "p50 (ms)",
         "p95 (ms)",
         "p99 (ms)",
+        "p99/SLO",
         "SLO miss",
         "thr (job/s)",
         "energy (J)",
@@ -154,6 +217,7 @@ fn print_table(rows: &[(String, FleetOutcome)]) {
             format!("{:.3}", m.p50_s * 1e3),
             format!("{:.3}", m.p95_s * 1e3),
             format!("{:.3}", m.p99_s * 1e3),
+            format!("{:.2}", m.p99_slo_ratio),
             format!("{:.1}%", m.slo_miss_rate() * 100.0),
             format!("{:.1}", m.throughput_jps),
             format!("{:.4}", m.total_energy_j),
@@ -175,9 +239,9 @@ pub fn run(size: InputSize, n_jobs: usize, n_boards: usize, seed: u64) {
 }
 
 /// Run the fleet experiment on the given execution backend. The
-/// machine backend's output is byte-identical to [`run`]; the replay
-/// backend prints one extra calibration line and then the same tables,
-/// answered from composed traces.
+/// machine backend is cycle-accurate; the replay backend prints one
+/// extra calibration line and then the same tables, answered from
+/// composed traces.
 pub fn run_backend(
     size: InputSize,
     n_jobs: usize,
@@ -227,14 +291,14 @@ pub fn run_backend(
         rate_jobs_per_s: rate,
     }
     .generate(n_jobs, &pool, size, (4.0, 8.0), seed);
-    let rows = run_scenarios(&sim, &jobs, staleness_limit, all_scenarios());
+    let rows = run_cases(&sim, &jobs, staleness_limit, &all_cases());
     print_table(&rows);
 
-    let baseline = &rows[0].1.metrics; // least-loaded/cold
-    let headline = &rows[rows.len() - 1].1.metrics; // phase-aware/warm
+    let baseline = &row(&rows, "least-loaded/cold/oracle").metrics;
+    let headline = &row(&rows, "phase-aware/warm/oracle").metrics;
     println!(
-        "\nwarm phase-aware vs cold least-loaded:  p95 {:.2}x  p99 {:.2}x  energy {:.2}x  \
-         SLO misses {} -> {}  — {}",
+        "\nwarm phase-aware vs cold least-loaded (oracle):  p95 {:.2}x  p99 {:.2}x  \
+         energy {:.2}x  SLO misses {} -> {}  — {}",
         headline.p95_s / baseline.p95_s,
         headline.p99_s / baseline.p99_s,
         headline.total_energy_j / baseline.total_energy_j,
@@ -246,9 +310,16 @@ pub fn run_backend(
             "UNEXPECTED"
         }
     );
+    let online = &row(&rows, "phase-aware/warm/online").metrics;
+    println!(
+        "online  phase-aware/warm vs cold least-loaded (oracle):  p99 {:.2}x  p99/SLO {:.2} vs {:.2}",
+        online.p99_s / baseline.p99_s,
+        online.p99_slo_ratio,
+        baseline.p99_slo_ratio,
+    );
 
     // Per-architecture utilisation of the headline scenario.
-    let util = &rows[rows.len() - 1].1.metrics.board_util;
+    let util = &row(&rows, "phase-aware/warm/oracle").metrics.board_util;
     let arch_mean = |big_rich: bool| {
         let us: Vec<f64> = (0..cluster.len())
             .filter(|&b| cluster.big_rich(b) == big_rich)
@@ -270,23 +341,27 @@ pub fn run_backend(
         spread_s: mean_service * 0.5,
     }
     .generate(n_jobs / 2, &pool, size, (4.0, 8.0), seed ^ 0xB1257);
-    let headline_pair = vec![
-        Scenario {
-            label: "least-loaded",
-            dispatcher: Box::new(LeastLoaded),
-            mode: PolicyMode::Cold,
+    let burst_cases = vec![
+        Case {
+            dispatcher: DispatcherKind::LeastLoaded,
+            scenario: Scenario::oracle(PolicyMode::Cold),
         },
-        Scenario {
-            label: "phase-aware",
-            dispatcher: Box::new(PhaseAware),
-            mode: PolicyMode::Warm,
+        Case {
+            dispatcher: DispatcherKind::PhaseAware,
+            scenario: Scenario::oracle(PolicyMode::Warm),
+        },
+        Case {
+            dispatcher: DispatcherKind::PhaseAware,
+            scenario: Scenario::online(PolicyMode::Warm),
         },
     ];
-    let rows_b = run_scenarios(&sim, &bursty_jobs, staleness_limit, headline_pair);
+    let rows_b = run_cases(&sim, &bursty_jobs, staleness_limit, &burst_cases);
     print_table(&rows_b);
     println!(
-        "\nburst tail: p99 {:.3} ms (cold LL) vs {:.3} ms (warm PA)",
-        rows_b[0].1.metrics.p99_s * 1e3,
-        rows_b[1].1.metrics.p99_s * 1e3
+        "\nburst tail: p99 {:.3} ms (cold LL oracle) vs {:.3} ms (warm PA oracle) vs \
+         {:.3} ms (warm PA online)",
+        row(&rows_b, "least-loaded/cold/oracle").metrics.p99_s * 1e3,
+        row(&rows_b, "phase-aware/warm/oracle").metrics.p99_s * 1e3,
+        row(&rows_b, "phase-aware/warm/online").metrics.p99_s * 1e3
     );
 }

@@ -1,5 +1,5 @@
 //! Fleet scaling experiment: how far the calibrated trace-replay
-//! backend stretches the fleet simulator.
+//! backend stretches the event-driven fleet kernel.
 //!
 //! Two measurements:
 //!
@@ -10,23 +10,24 @@
 //!    (workload, architecture), is reported separately).
 //! 2. **Scale sweep** — the headline scenario pair of the fleet
 //!    experiment (cold least-loaded vs warm phase-aware) at 1k → 100k
-//!    jobs. The dispatcher ranking established at 1.2k jobs on the
-//!    machine backend — warm phase-aware at least as good on p95/p99
-//!    *and* energy — must survive both the backend swap and two orders
-//!    of magnitude of scale.
+//!    jobs, in both dispatch modes. The dispatcher ranking established
+//!    at 1.2k jobs on the machine backend — warm phase-aware at least
+//!    as good on p95/p99 *and* energy under `oracle` dispatch — must
+//!    survive the backend swap, the kernel swap and two orders of
+//!    magnitude of scale; the online rows show live queue feedback
+//!    holding the same shape.
 //!
 //! All printed metrics are seed-deterministic; only the wall-clock
 //! timing columns vary run to run.
 
-use crate::figs::fleet::{mean_cold_service_s, tenant_pool};
+use crate::figs::fleet::{mean_cold_service_s, tenant_pool, Case, DispatcherKind};
 use crate::runner::{default_threads, parallel_map};
 use crate::table::TextTable;
 use astro_core::replay::ReplayExecutor;
 use astro_exec::executor::{BackendKind, ExecPolicy, ExecRequest, Executor, MachineExecutor};
 use astro_exec::program::{compile, CompiledProgram};
 use astro_fleet::{
-    ArrivalProcess, BoardRun, ClusterSpec, FleetParams, FleetSim, JobSpec, LeastLoaded, PhaseAware,
-    PolicyCache, PolicyMode,
+    ArrivalProcess, ClusterSpec, FleetParams, FleetSim, JobSpec, PolicyCache, PolicyMode, Scenario,
 };
 use astro_ir::Module;
 use astro_workloads::InputSize;
@@ -146,10 +147,11 @@ pub fn run(size: InputSize, max_jobs: usize, n_boards: usize, seed: u64, backend
     let sim = FleetSim::new(&cluster, params.clone());
     let mut t = TextTable::new(&[
         "jobs",
-        "dispatcher/policy",
+        "dispatcher/policy/mode",
         "p50 (ms)",
         "p95 (ms)",
         "p99 (ms)",
+        "p99/SLO",
         "SLO miss",
         "energy (J)",
         "cache h/m/st",
@@ -163,25 +165,45 @@ pub fn run(size: InputSize, max_jobs: usize, n_boards: usize, seed: u64, backend
         }
         .generate(n, &pool, size, (4.0, 8.0), seed);
         let staleness = (n / 4).max(8) as u32;
-        let pmap = |nb: usize, f: &(dyn Fn(usize) -> BoardRun + Sync)| {
-            parallel_map(nb, default_threads(), f)
-        };
-        let mut run_one = |label: &str, mode: PolicyMode, phase_aware: bool| {
-            let mut cache = PolicyCache::new(staleness);
-            let t0 = Instant::now();
-            let out = if phase_aware {
-                sim.run_with(&stream, &mut PhaseAware, &mut cache, mode, &pmap)
-            } else {
-                sim.run_with(&stream, &mut LeastLoaded, &mut cache, mode, &pmap)
-            };
-            let wall = t0.elapsed().as_secs_f64();
-            let m = out.metrics.clone();
+        let cases = vec![
+            Case {
+                dispatcher: DispatcherKind::LeastLoaded,
+                scenario: Scenario::oracle(PolicyMode::Cold),
+            },
+            Case {
+                dispatcher: DispatcherKind::PhaseAware,
+                scenario: Scenario::oracle(PolicyMode::Warm),
+            },
+            Case {
+                dispatcher: DispatcherKind::LeastLoaded,
+                scenario: Scenario::online(PolicyMode::Cold),
+            },
+            Case {
+                dispatcher: DispatcherKind::PhaseAware,
+                scenario: Scenario::online(PolicyMode::Warm),
+            },
+        ];
+        // Like `run_cases`, but timing each scenario inside its own
+        // closure so the wall column reports per-scenario cost even
+        // though the cases run concurrently.
+        let rows: Vec<(String, astro_fleet::FleetOutcome, f64)> =
+            parallel_map(cases.len(), default_threads(), |i| {
+                let case = &cases[i];
+                let mut dispatcher = case.dispatcher.build();
+                let mut cache = PolicyCache::new(staleness);
+                let t0 = Instant::now();
+                let out = sim.run(&stream, dispatcher.as_mut(), &mut cache, &case.scenario);
+                (case.label(), out, t0.elapsed().as_secs_f64())
+            });
+        for (label, out, wall) in &rows {
+            let m = &out.metrics;
             t.row(vec![
                 format!("{n}"),
-                format!("{label}/{}", mode.name()),
+                label.clone(),
                 format!("{:.3}", m.p50_s * 1e3),
                 format!("{:.3}", m.p95_s * 1e3),
                 format!("{:.3}", m.p99_s * 1e3),
+                format!("{:.2}", m.p99_slo_ratio),
                 format!("{:.1}%", m.slo_miss_rate() * 100.0),
                 format!("{:.4}", m.total_energy_j),
                 format!(
@@ -191,24 +213,31 @@ pub fn run(size: InputSize, max_jobs: usize, n_boards: usize, seed: u64, backend
                 format!("{}", out.calibrations),
                 format!("{wall:.2}"),
             ]);
-            out
+        }
+        let metrics_of = |label: &str| {
+            rows.iter()
+                .find(|(l, _, _)| l == label)
+                .unwrap_or_else(|| panic!("no case labelled {label:?}"))
+                .1
+                .metrics
+                .clone()
         };
-        let cold = run_one("least-loaded", PolicyMode::Cold, false);
-        let warm = run_one("phase-aware", PolicyMode::Warm, true);
-        let ok = warm.metrics.p95_s <= cold.metrics.p95_s
-            && warm.metrics.p99_s <= cold.metrics.p99_s
-            && warm.metrics.total_energy_j <= cold.metrics.total_energy_j;
+        let cold = metrics_of("least-loaded/cold/oracle");
+        let warm = metrics_of("phase-aware/warm/oracle");
+        let ok = warm.p95_s <= cold.p95_s
+            && warm.p99_s <= cold.p99_s
+            && warm.total_energy_j <= cold.total_energy_j;
         rankings.push((n, cold, warm, ok));
     }
     t.print();
     println!();
     for (n, cold, warm, ok) in &rankings {
         println!(
-            "{n} jobs:  warm phase-aware vs cold least-loaded  p95 {:.2}x  p99 {:.2}x  \
+            "{n} jobs (oracle):  warm phase-aware vs cold least-loaded  p95 {:.2}x  p99 {:.2}x  \
              energy {:.2}x  — {}",
-            warm.metrics.p95_s / cold.metrics.p95_s,
-            warm.metrics.p99_s / cold.metrics.p99_s,
-            warm.metrics.total_energy_j / cold.metrics.total_energy_j,
+            warm.p95_s / cold.p95_s,
+            warm.p99_s / cold.p99_s,
+            warm.total_energy_j / cold.total_energy_j,
             if *ok {
                 "OK (ranking preserved)"
             } else {

@@ -1,21 +1,24 @@
 //! # astro-bench — the experiment harness
 //!
 //! One binary per table/figure of the paper (see `src/bin/`), plus the
-//! shared machinery: statistics ([`stats`]), table rendering
-//! ([`table`]), Pareto/best-configuration analysis ([`pareto`]), the
-//! Table 1 taxonomy ([`taxonomy`]) and a parallel sample runner
-//! ([`runner`]).
+//! shared machinery: the CLI grammar every binary speaks ([`cli`]),
+//! statistics ([`stats`]), table rendering ([`table`]),
+//! Pareto/best-configuration analysis ([`pareto`]), the Table 1
+//! taxonomy ([`taxonomy`]) and a parallel sample runner ([`runner`]).
 //!
 //! Every binary prints the rows/series the corresponding figure plots.
 //! Absolute values are simulator units; EXPERIMENTS.md records the
 //! paper-vs-measured comparison for each.
 
+pub mod cli;
 pub mod figs;
 pub mod pareto;
 pub mod runner;
 pub mod stats;
 pub mod table;
 pub mod taxonomy;
+
+pub use cli::Cli;
 
 use astro_exec::machine::MachineParams;
 use astro_exec::time::SimTime;
@@ -39,89 +42,4 @@ pub fn experiment_params_seeded(seed: u64) -> MachineParams {
     let mut p = experiment_params();
     p.seed = p.seed.wrapping_add(seed);
     p
-}
-
-/// Parse a `--seed <u64>` CLI argument (default 0).
-///
-/// The value is a *global offset* folded into every engine and learner
-/// seed an experiment uses: 0 reproduces the repository's published
-/// outputs exactly, any other value re-runs the same experiment in a
-/// fresh but equally deterministic random universe. Every stochastic
-/// figure binary and `run_all` accept it; purely static figures
-/// (Table 1, Figures 6 and 11) have nothing to seed.
-pub fn parse_seed(args: &[String]) -> u64 {
-    for w in args.windows(2) {
-        if w[0] == "--seed" {
-            return w[1]
-                .parse()
-                .unwrap_or_else(|_| panic!("--seed takes an unsigned integer, got {:?}", w[1]));
-        }
-    }
-    // A trailing `--seed` with no value must not silently mean "default
-    // universe" — the flag exists for reproducibility.
-    assert!(
-        args.last().map(String::as_str) != Some("--seed"),
-        "--seed requires a value"
-    );
-    0
-}
-
-/// Parse a `--size` CLI argument (defaults to simsmall).
-pub fn parse_size(args: &[String]) -> astro_workloads::InputSize {
-    use astro_workloads::InputSize;
-    for w in args.windows(2) {
-        if w[0] == "--size" {
-            return match w[1].as_str() {
-                "test" => InputSize::Test,
-                "simsmall" => InputSize::SimSmall,
-                "simmedium" => InputSize::SimMedium,
-                "simlarge" => InputSize::SimLarge,
-                other => panic!("unknown size {other}"),
-            };
-        }
-    }
-    InputSize::SimSmall
-}
-
-/// Is `--quick` present (reduced samples/episodes for smoke runs)?
-pub fn quick_mode(args: &[String]) -> bool {
-    args.iter().any(|a| a == "--quick")
-}
-
-/// Parse an unsigned-integer `--<name> <n>` CLI argument (e.g.
-/// `--jobs`, `--boards`), defaulting when absent and rejecting a
-/// trailing flag with no value.
-pub fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
-    assert!(
-        args.last().map(String::as_str) != Some(name),
-        "{name} requires a value"
-    );
-    args.windows(2)
-        .find(|w| w[0] == name)
-        .map(|w| w[1].parse().expect("flag takes an unsigned integer"))
-        .unwrap_or(default)
-}
-
-/// Parse a `--backend {machine,replay}` CLI argument.
-///
-/// `machine` (the usual default) interprets every run on the
-/// cycle-accurate engine and reproduces published outputs
-/// byte-identically; `replay` answers job runs from calibrated trace
-/// sets (see `astro-core`'s `ReplayExecutor`), trading cycle accuracy
-/// for orders of magnitude in per-job throughput.
-pub fn parse_backend(
-    args: &[String],
-    default: astro_exec::executor::BackendKind,
-) -> astro_exec::executor::BackendKind {
-    for w in args.windows(2) {
-        if w[0] == "--backend" {
-            return astro_exec::executor::BackendKind::parse(&w[1])
-                .unwrap_or_else(|| panic!("--backend takes machine|replay, got {:?}", w[1]));
-        }
-    }
-    assert!(
-        args.last().map(String::as_str) != Some("--backend"),
-        "--backend requires a value"
-    );
-    default
 }

@@ -1,42 +1,33 @@
 //! Admission/dispatch: which board gets the next job.
 //!
-//! Dispatchers see the cluster, each board's estimated backlog (from
-//! profiled service times), per-board service/energy estimates for the
-//! job at hand, and whether the policy cache is warm for the job's class
-//! on each board. They never see the future of the arrival stream.
+//! Dispatchers are invoked by the event kernel *at arrival time* with
+//! the live [`ClusterState`] — per-board liveness, queue depth, backlog
+//! estimate (oracle accumulator or online observation, per
+//! [`DispatchMode`](crate::state::DispatchMode)), in-flight taxa and
+//! utilisation — plus this job's per-board profiled estimates
+//! ([`JobEstimates`]). They never see the future of the arrival stream,
+//! and they must place the job on a board that is currently up.
 
-use crate::cluster::ClusterSpec;
 use crate::job::JobSpec;
+use crate::state::ClusterState;
 
-/// What a dispatcher sees when placing one job.
+/// Per-board profiled estimates for the job being placed.
 #[derive(Clone, Debug)]
-pub struct DispatchView<'a> {
-    /// The cluster.
-    pub cluster: &'a ClusterSpec,
-    /// The job's arrival time (the decision instant).
-    pub now_s: f64,
-    /// Per board: when its current backlog is estimated to drain.
-    pub est_busy_until_s: &'a [f64],
-    /// Per board: jobs already assigned.
-    pub assigned: &'a [usize],
-    /// Per board: estimated service time of *this* job there.
-    pub est_service_s: &'a [f64],
-    /// Per board: estimated energy of *this* job there, Joules.
-    pub est_energy_j: &'a [f64],
+pub struct JobEstimates {
+    /// Estimated service time of *this* job on each board, seconds.
+    pub service_s: Vec<f64>,
+    /// Estimated energy of *this* job on each board, Joules.
+    pub energy_j: Vec<f64>,
     /// Per board: does the policy cache hold a fresh entry for this
     /// job's taxon on the board's architecture?
-    pub warm: &'a [bool],
+    pub warm: Vec<bool>,
 }
 
-impl DispatchView<'_> {
-    /// Queueing delay a job dispatched now would see on board `b`.
-    pub fn backlog_s(&self, b: usize) -> f64 {
-        (self.est_busy_until_s[b] - self.now_s).max(0.0)
-    }
-
-    /// Estimated completion time of this job on board `b`.
-    pub fn est_finish_s(&self, b: usize) -> f64 {
-        self.now_s + self.backlog_s(b) + self.est_service_s[b]
+impl JobEstimates {
+    /// Estimated completion time of this job on board `b` given the
+    /// state's backlog estimate.
+    pub fn est_finish_s(&self, state: &ClusterState, b: usize) -> f64 {
+        state.now_s + state.backlog_s(b) + self.service_s[b]
     }
 }
 
@@ -45,12 +36,23 @@ pub trait Dispatcher {
     /// Name for reports.
     fn name(&self) -> &'static str;
 
-    /// Board index for `job`. Must be `< view.cluster.len()`.
-    fn pick(&mut self, view: &DispatchView, job: &JobSpec) -> usize;
+    /// Board index for `job`. Must be `< state.len()` and name a board
+    /// that is up (the kernel asserts both).
+    fn pick(&mut self, state: &ClusterState, job: &JobSpec, est: &JobEstimates) -> usize;
 }
 
-/// Classic least-loaded: the board whose backlog drains first, blind to
-/// architecture and job class (queue length is all real front-ends see).
+/// Smallest-key board among the live ones. Panics when no board is up —
+/// the kernel drops jobs before consulting a dispatcher in that case.
+fn argmin_up(state: &ClusterState, key: impl Fn(usize) -> (f64, f64)) -> usize {
+    state
+        .up_boards()
+        .min_by(|&a, &b| key(a).partial_cmp(&key(b)).expect("keys are finite"))
+        .expect("at least one board is up")
+}
+
+/// Classic least-loaded: the live board whose backlog drains first,
+/// blind to architecture and job class (queue length is all real
+/// front-ends see).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LeastLoaded;
 
@@ -59,16 +61,14 @@ impl Dispatcher for LeastLoaded {
         "least-loaded"
     }
 
-    fn pick(&mut self, view: &DispatchView, _job: &JobSpec) -> usize {
-        argmin(view.cluster.len(), |b| {
-            (view.backlog_s(b), view.assigned[b] as f64)
-        })
+    fn pick(&mut self, state: &ClusterState, _job: &JobSpec, _est: &JobEstimates) -> usize {
+        argmin_up(state, |b| (state.backlog_s(b), state.dispatched(b) as f64))
     }
 }
 
-/// Energy-aware: among boards whose backlog is within one service time
-/// of the emptiest, take the one with the lowest predicted energy for
-/// this job. Trades a bounded amount of queueing for Joules.
+/// Energy-aware: among live boards whose backlog is within one service
+/// time of the emptiest, take the one with the lowest predicted energy
+/// for this job. Trades a bounded amount of queueing for Joules.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EnergyAware;
 
@@ -77,23 +77,24 @@ impl Dispatcher for EnergyAware {
         "energy-aware"
     }
 
-    fn pick(&mut self, view: &DispatchView, _job: &JobSpec) -> usize {
-        let n = view.cluster.len();
-        let min_backlog = (0..n)
-            .map(|b| view.backlog_s(b))
+    fn pick(&mut self, state: &ClusterState, _job: &JobSpec, est: &JobEstimates) -> usize {
+        let min_backlog = state
+            .up_boards()
+            .map(|b| state.backlog_s(b))
             .fold(f64::INFINITY, f64::min);
-        // Never empty: the minimum-backlog board always qualifies.
-        let feasible: Vec<usize> = (0..n)
-            .filter(|&b| view.backlog_s(b) <= min_backlog + view.est_service_s[b])
+        // Never empty: the minimum-backlog live board always qualifies.
+        let feasible: Vec<usize> = state
+            .up_boards()
+            .filter(|&b| state.backlog_s(b) <= min_backlog + est.service_s[b])
             .collect();
         *feasible
             .iter()
             .min_by(|&&a, &&b| {
-                (view.est_energy_j[a], view.est_finish_s(a), a)
-                    .partial_cmp(&(view.est_energy_j[b], view.est_finish_s(b), b))
+                (est.energy_j[a], est.est_finish_s(state, a), a)
+                    .partial_cmp(&(est.energy_j[b], est.est_finish_s(state, b), b))
                     .expect("estimates are finite")
             })
-            .expect("cluster is not empty")
+            .expect("some board is up")
     }
 }
 
@@ -124,31 +125,31 @@ impl Dispatcher for PhaseAware {
         "phase-aware"
     }
 
-    fn pick(&mut self, view: &DispatchView, job: &JobSpec) -> usize {
-        let n = view.cluster.len();
-        let overall = argmin(n, |b| (view.est_finish_s(b), b as f64));
-        let tie_band = 0.02 * view.est_service_s[overall];
-        let ties: Vec<usize> = (0..n)
-            .filter(|&b| view.est_finish_s(b) <= view.est_finish_s(overall) + tie_band)
+    fn pick(&mut self, state: &ClusterState, job: &JobSpec, est: &JobEstimates) -> usize {
+        let overall = argmin_up(state, |b| (est.est_finish_s(state, b), b as f64));
+        let tie_band = 0.02 * est.service_s[overall];
+        let ties: Vec<usize> = state
+            .up_boards()
+            .filter(|&b| est.est_finish_s(state, b) <= est.est_finish_s(state, overall) + tie_band)
             .collect();
         let prefers_big = Self::prefers_big(job);
         *ties
             .iter()
             .min_by(|&&a, &&b| {
                 let mismatch = |c: usize| match prefers_big {
-                    Some(big) => (view.cluster.big_rich(c) != big) as u8 as f64,
+                    Some(big) => (state.spec.big_rich(c) != big) as u8 as f64,
                     None => 0.0,
                 };
                 let ka = (
                     mismatch(a),
-                    !view.warm[a] as u8 as f64,
-                    view.est_finish_s(a),
+                    !est.warm[a] as u8 as f64,
+                    est.est_finish_s(state, a),
                     a as f64,
                 );
                 let kb = (
                     mismatch(b),
-                    !view.warm[b] as u8 as f64,
-                    view.est_finish_s(b),
+                    !est.warm[b] as u8 as f64,
+                    est.est_finish_s(state, b),
                     b as f64,
                 );
                 ka.partial_cmp(&kb).expect("estimates are finite")
@@ -157,16 +158,12 @@ impl Dispatcher for PhaseAware {
     }
 }
 
-fn argmin(n: usize, key: impl Fn(usize) -> (f64, f64)) -> usize {
-    (0..n)
-        .min_by(|&a, &b| key(a).partial_cmp(&key(b)).expect("keys are finite"))
-        .expect("cluster is not empty")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cluster::ClusterSpec;
     use crate::job::JobClass;
+    use crate::state::DispatchMode;
 
     fn job(class: JobClass) -> JobSpec {
         JobSpec {
@@ -185,10 +182,9 @@ mod tests {
     struct Fixture {
         cluster: ClusterSpec,
         busy: Vec<f64>,
-        assigned: Vec<usize>,
-        service: Vec<f64>,
-        energy: Vec<f64>,
-        warm: Vec<bool>,
+        dispatched: Vec<usize>,
+        down: Vec<usize>,
+        est: JobEstimates,
     }
 
     impl Fixture {
@@ -197,23 +193,27 @@ mod tests {
             Fixture {
                 cluster: ClusterSpec::heterogeneous(n),
                 busy: vec![0.0; n],
-                assigned: vec![0; n],
-                service: vec![1.0; n],
-                energy: vec![1.0; n],
-                warm: vec![false; n],
+                dispatched: vec![0; n],
+                down: Vec::new(),
+                est: JobEstimates {
+                    service_s: vec![1.0; n],
+                    energy_j: vec![1.0; n],
+                    warm: vec![false; n],
+                },
             }
         }
 
-        fn view(&self) -> DispatchView<'_> {
-            DispatchView {
-                cluster: &self.cluster,
-                now_s: 10.0,
-                est_busy_until_s: &self.busy,
-                assigned: &self.assigned,
-                est_service_s: &self.service,
-                est_energy_j: &self.energy,
-                warm: &self.warm,
+        fn state(&self) -> ClusterState<'_> {
+            let mut st = ClusterState::new(&self.cluster, DispatchMode::Oracle);
+            st.now_s = 10.0;
+            for b in 0..self.cluster.len() {
+                st.boards[b].oracle_busy_until_s = self.busy[b];
+                st.boards[b].dispatched = self.dispatched[b];
             }
+            for &b in &self.down {
+                st.boards[b].up = false;
+            }
+            st
         }
     }
 
@@ -221,21 +221,48 @@ mod tests {
     fn least_loaded_tracks_backlog_only() {
         let mut f = Fixture::new(4);
         f.busy = vec![20.0, 14.0, 11.0, 30.0];
-        assert_eq!(LeastLoaded.pick(&f.view(), &job(JobClass::CpuHeavy)), 2);
-        // Past-empty boards tie at zero backlog; assignment count breaks it.
+        assert_eq!(
+            LeastLoaded.pick(&f.state(), &job(JobClass::CpuHeavy), &f.est),
+            2
+        );
+        // Past-empty boards tie at zero backlog; dispatch count breaks it.
         f.busy = vec![1.0, 2.0, 3.0, 4.0];
-        f.assigned = vec![5, 3, 9, 9];
-        assert_eq!(LeastLoaded.pick(&f.view(), &job(JobClass::MemIo)), 1);
+        f.dispatched = vec![5, 3, 9, 9];
+        assert_eq!(
+            LeastLoaded.pick(&f.state(), &job(JobClass::MemIo), &f.est),
+            1
+        );
+    }
+
+    #[test]
+    fn down_boards_are_never_picked() {
+        let mut f = Fixture::new(4);
+        f.busy = vec![0.0, 50.0, 50.0, 50.0];
+        f.down = vec![0]; // the obviously best board is down
+        for d in [
+            &mut LeastLoaded as &mut dyn Dispatcher,
+            &mut EnergyAware,
+            &mut PhaseAware,
+        ] {
+            let pick = d.pick(&f.state(), &job(JobClass::CpuHeavy), &f.est);
+            assert_ne!(pick, 0, "{} picked a down board", d.name());
+        }
     }
 
     #[test]
     fn energy_aware_picks_cheapest_among_uncongested() {
         let mut f = Fixture::new(4);
-        f.energy = vec![4.0, 1.5, 3.0, 2.0];
-        assert_eq!(EnergyAware.pick(&f.view(), &job(JobClass::Mixed)), 1);
+        f.est.energy_j = vec![4.0, 1.5, 3.0, 2.0];
+        assert_eq!(
+            EnergyAware.pick(&f.state(), &job(JobClass::Mixed), &f.est),
+            1
+        );
         // Congest the cheap board far beyond a service time: excluded.
         f.busy[1] = 25.0;
-        assert_eq!(EnergyAware.pick(&f.view(), &job(JobClass::Mixed)), 3);
+        assert_eq!(
+            EnergyAware.pick(&f.state(), &job(JobClass::Mixed), &f.est),
+            3
+        );
     }
 
     #[test]
@@ -243,13 +270,18 @@ mod tests {
         let mut f = Fixture::new(4);
         assert!(f
             .cluster
-            .big_rich(PhaseAware.pick(&f.view(), &job(JobClass::CpuHeavy))));
-        assert!(!f
-            .cluster
-            .big_rich(PhaseAware.pick(&f.view(), &job(JobClass::Synchronised))));
+            .big_rich(PhaseAware.pick(&f.state(), &job(JobClass::CpuHeavy), &f.est)));
+        assert!(!f.cluster.big_rich(PhaseAware.pick(
+            &f.state(),
+            &job(JobClass::Synchronised),
+            &f.est
+        )));
         // Warm boards win ties within the preferred side.
-        f.warm = vec![false, false, true, false];
-        assert_eq!(PhaseAware.pick(&f.view(), &job(JobClass::CpuHeavy)), 2);
+        f.est.warm = vec![false, false, true, false];
+        assert_eq!(
+            PhaseAware.pick(&f.state(), &job(JobClass::CpuHeavy), &f.est),
+            2
+        );
     }
 
     #[test]
@@ -257,20 +289,23 @@ mod tests {
         let mut f = Fixture::new(4);
         // Both big-rich boards (0, 2) deeply backlogged.
         f.busy = vec![30.0, 10.0, 30.0, 10.0];
-        let pick = PhaseAware.pick(&f.view(), &job(JobClass::CpuHeavy));
+        let pick = PhaseAware.pick(&f.state(), &job(JobClass::CpuHeavy), &f.est);
         assert!(!f.cluster.big_rich(pick), "should spill to LITTLE-rich");
     }
 
     #[test]
-    fn picks_are_always_in_range() {
-        let f = Fixture::new(5);
+    fn picks_are_always_in_range_and_up() {
+        let mut f = Fixture::new(5);
+        f.down = vec![1, 3];
         for class in JobClass::ALL {
             for d in [
                 &mut LeastLoaded as &mut dyn Dispatcher,
                 &mut EnergyAware,
                 &mut PhaseAware,
             ] {
-                assert!(d.pick(&f.view(), &job(class)) < 5);
+                let pick = d.pick(&f.state(), &job(class), &f.est);
+                assert!(pick < 5);
+                assert!(f.state().up(pick));
             }
         }
     }

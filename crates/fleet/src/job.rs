@@ -185,6 +185,9 @@ pub struct JobOutcome {
     pub energy_j: f64,
     /// Resolved latency SLO, seconds.
     pub slo_s: f64,
+    /// Times the job was migrated before starting (preemptive
+    /// redispatch + churn redistribution).
+    pub migrations: u32,
 }
 
 impl JobOutcome {
@@ -270,6 +273,7 @@ mod tests {
             service_s: 2.0,
             energy_j: 0.5,
             slo_s: 2.5,
+            migrations: 0,
         };
         assert!((o.latency_s() - 3.0).abs() < 1e-12);
         assert!(!o.slo_met());

@@ -1,0 +1,1048 @@
+//! The discrete-event fleet kernel: a virtual-clock event queue driving
+//! online dispatch, preemptive redispatch and board churn.
+//!
+//! Earlier revisions planned every placement in one sequential batch
+//! pass and only then executed boards. The kernel replaces that with a
+//! single event loop over a monotone virtual clock:
+//!
+//! * **Arrival** — the dispatcher is invoked *now*, against the live
+//!   [`ClusterState`] (queue depths, in-flight taxa, liveness,
+//!   backlog per [`DispatchMode`]); the job's policy is resolved
+//!   against the shared cache and the admission latency guard, then the
+//!   job is queued (or started, if its board is idle).
+//! * **Completion** — the board's in-flight outcome is recorded and the
+//!   next queued job starts; its true finish time comes from one
+//!   [`Executor`] run, so the replay
+//!   backend scales the loop to hundreds of thousands of jobs.
+//! * **MonitorTick** — with preemption enabled, queued jobs predicted
+//!   to miss their SLO are migrated to a board predicted to meet it,
+//!   paying [`Scenario::migration_cost_s`].
+//! * **BoardDown / BoardUp** — churn: a departing board drains its
+//!   in-flight job but its queue is redistributed through the
+//!   dispatcher (or dropped when no board is up); a returning board
+//!   starts attracting arrivals again.
+//!
+//! Everything stays seed-deterministic: events at equal timestamps pop
+//! in push order, and every service time is a pure function of the
+//! request. [`DispatchMode::Oracle`] reproduces the batch planner's
+//! placements through this same loop, so historical comparisons stay
+//! meaningful; [`DispatchMode::Online`] is the live-feedback upgrade.
+
+use crate::cache::{CacheDecision, PolicyCache};
+use crate::dispatch::{Dispatcher, JobEstimates};
+use crate::job::{JobOutcome, JobSpec};
+use crate::metrics::{FleetMetrics, FleetOutcome};
+use crate::sim::{FleetSim, PolicyMode, ProfileTable};
+use crate::state::{ClusterState, DispatchMode, InFlight, QueuedJob};
+use astro_core::pipeline::build_static;
+use astro_exec::executor::{ExecPolicy, ExecRequest, Executor, MachineExecutor};
+use astro_exec::program::{compile, CompiledProgram};
+use astro_ir::Module;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// What happens at an event's timestamp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Job `jobs[i]` enters the system.
+    Arrival(u32),
+    /// The board's in-flight job finishes.
+    Completion {
+        /// Board index.
+        board: u32,
+    },
+    /// Periodic observation point (preemption scans run here).
+    MonitorTick,
+    /// Board churn: the board stops accepting work and its queue is
+    /// redistributed (the in-flight job drains).
+    BoardDown(u32),
+    /// Board churn: the board is available again.
+    BoardUp(u32),
+}
+
+/// One scheduled event.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Virtual timestamp, seconds.
+    pub time_s: f64,
+    /// Push order — the deterministic tie-breaker at equal timestamps.
+    pub seq: u64,
+    /// What to do.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_s.total_cmp(&other.time_s) == Ordering::Equal && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    /// Min-first: earliest timestamp, then earliest push.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time_s
+            .total_cmp(&self.time_s)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The kernel's pending-event queue: a binary heap popping the earliest
+/// timestamp first, ties broken by push order so the loop is
+/// deterministic whatever the float values.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+    /// Events ever pushed.
+    pub pushed: u64,
+    /// Events ever popped.
+    pub popped: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule `kind` at `time_s`.
+    pub fn push(&mut self, time_s: f64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed += 1;
+        self.heap.push(Event { time_s, seq, kind });
+    }
+
+    /// Earliest event, earliest push first at equal times.
+    pub fn pop(&mut self) -> Option<Event> {
+        let ev = self.heap.pop();
+        if ev.is_some() {
+            self.popped += 1;
+        }
+        ev
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is anything pending?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// One board leaving or (re)joining the fleet mid-run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnEvent {
+    /// When, seconds.
+    pub time_s: f64,
+    /// Which board.
+    pub board: usize,
+    /// `true` = joins, `false` = leaves.
+    pub up: bool,
+}
+
+/// What one kernel run does beyond dispatching: mode, churn schedule,
+/// preemptive redispatch.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Cold stock binaries vs warm cached Astro policies.
+    pub policy: PolicyMode,
+    /// Which backlog estimate dispatchers observe.
+    pub dispatch: DispatchMode,
+    /// Board up/down schedule (empty = stable fleet).
+    pub churn: Vec<ChurnEvent>,
+    /// Migrate queued jobs predicted to miss their SLO at monitor ticks.
+    /// Requires [`DispatchMode::Online`] and a positive tick interval.
+    pub preemption: bool,
+    /// Monitor tick period, seconds (`0` = no ticks).
+    pub monitor_interval_s: f64,
+    /// Service-time penalty each migration/redistribution pays (state
+    /// transfer), seconds.
+    pub migration_cost_s: f64,
+    /// Preemptive migrations allowed per job (churn redistribution is
+    /// not capped — a down board's queue must go somewhere).
+    pub max_migrations: u32,
+}
+
+impl Scenario {
+    /// Batch-equivalent semantics: oracle estimates, stable fleet, no
+    /// preemption — the configuration that reproduces the three-stage
+    /// planner's placements through the event kernel.
+    pub fn oracle(policy: PolicyMode) -> Self {
+        Scenario {
+            policy,
+            dispatch: DispatchMode::Oracle,
+            churn: Vec::new(),
+            preemption: false,
+            monitor_interval_s: 0.0,
+            migration_cost_s: 0.0,
+            max_migrations: 2,
+        }
+    }
+
+    /// Live dispatch against observable cluster state.
+    pub fn online(policy: PolicyMode) -> Self {
+        Scenario {
+            dispatch: DispatchMode::Online,
+            ..Scenario::oracle(policy)
+        }
+    }
+
+    /// Add a board churn schedule.
+    pub fn with_churn(mut self, churn: Vec<ChurnEvent>) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Enable deadline-driven preemptive redispatch: scan every
+    /// `interval_s`, migrate at cost `cost_s`, at most `max_migrations`
+    /// times per job.
+    pub fn with_preemption(mut self, interval_s: f64, cost_s: f64, max_migrations: u32) -> Self {
+        assert!(
+            interval_s > 0.0,
+            "preemption needs a positive tick interval"
+        );
+        self.preemption = true;
+        self.monitor_interval_s = interval_s;
+        self.migration_cost_s = cost_s;
+        self.max_migrations = max_migrations;
+        self
+    }
+
+    /// Set the migration cost without enabling preemption (churn
+    /// redistribution pays it too).
+    pub fn with_migration_cost(mut self, cost_s: f64) -> Self {
+        self.migration_cost_s = cost_s;
+        self
+    }
+
+    /// `policy/dispatch` label for reports.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.policy.name(), self.dispatch.name())
+    }
+}
+
+/// Event accounting for one kernel run. Invariant at exit:
+/// `arrivals == completions + dropped`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Events processed.
+    pub events: u64,
+    /// Arrival events.
+    pub arrivals: u64,
+    /// Completion events.
+    pub completions: u64,
+    /// Jobs dropped because no board was up to take them.
+    pub dropped: u64,
+    /// Preemptive (SLO-driven) migrations.
+    pub migrations: u64,
+    /// Churn-driven queue redistributions.
+    pub redistributions: u64,
+    /// Monitor ticks processed.
+    pub ticks: u64,
+    /// Boards taken down.
+    pub board_downs: u64,
+    /// Boards brought (back) up.
+    pub board_ups: u64,
+}
+
+/// Key for the compiled static-binary memo: (workload, architecture,
+/// policy version). A workload maps to exactly one taxon, and versions
+/// are per (taxon, architecture), so the key never aliases schedules.
+type WarmKey = (&'static str, &'static str, u32);
+
+impl FleetSim<'_> {
+    /// The event loop. Public API is [`FleetSim::run`].
+    pub(crate) fn run_kernel(
+        &self,
+        jobs: &[JobSpec],
+        dispatcher: &mut dyn Dispatcher,
+        cache: &mut PolicyCache,
+        scenario: &Scenario,
+    ) -> FleetOutcome {
+        let n_boards = self.cluster.len();
+        assert!(
+            !scenario.preemption
+                || (scenario.dispatch == DispatchMode::Online && scenario.monitor_interval_s > 0.0),
+            "preemption requires online dispatch and a positive monitor interval"
+        );
+        for ev in &scenario.churn {
+            assert!(
+                ev.board < n_boards,
+                "churn event names board {} of {n_boards}",
+                ev.board
+            );
+            assert!(ev.time_s >= 0.0, "churn events cannot predate the run");
+        }
+
+        // The execution backend every profile and job run goes through.
+        let machine_exec = MachineExecutor {
+            params: self.params.machine,
+        };
+        let exec: &dyn Executor = match &self.replay_exec {
+            Some(r) => r,
+            None => &machine_exec,
+        };
+
+        // Source modules, one per distinct workload in the stream.
+        let mut modules: BTreeMap<&'static str, Module> = BTreeMap::new();
+        for job in jobs {
+            modules
+                .entry(job.workload.name)
+                .or_insert_with(|| (job.workload.build)(self.params.size));
+        }
+
+        // Calibration-then-replay: record every (workload, architecture)
+        // trace set up front, in deterministic order (earlier runs of
+        // this simulator are cache hits).
+        if let Some(replay) = &self.replay_exec {
+            for key in self.cluster.arch_keys() {
+                let board = self.cluster.representative_board(key);
+                for (name, module) in &modules {
+                    replay.calibrate(name, module, board);
+                }
+            }
+        }
+
+        let mut profiles = ProfileTable::new();
+        let mut state = ClusterState::new(self.cluster, scenario.dispatch);
+        let mut queue = EventQueue::new();
+        let mut stats = KernelStats::default();
+        let mut train_time_s = 0.0;
+        let mut train_energy_j = 0.0;
+        let mut guard_bypasses = 0u64;
+        let mut cold_progs: BTreeMap<&'static str, CompiledProgram> = BTreeMap::new();
+        let mut warm_progs: BTreeMap<WarmKey, CompiledProgram> = BTreeMap::new();
+        let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
+        let mut dropped: Vec<u32> = Vec::new();
+
+        // Seed the queue: churn first (so a down-at-t beats an arrival
+        // at the same t), then arrivals, then the first monitor tick.
+        for ev in &scenario.churn {
+            queue.push(
+                ev.time_s,
+                if ev.up {
+                    EventKind::BoardUp(ev.board as u32)
+                } else {
+                    EventKind::BoardDown(ev.board as u32)
+                },
+            );
+        }
+        for (i, job) in jobs.iter().enumerate() {
+            queue.push(job.arrival_s, EventKind::Arrival(i as u32));
+        }
+        if scenario.monitor_interval_s > 0.0 {
+            queue.push(scenario.monitor_interval_s, EventKind::MonitorTick);
+        }
+
+        // Jobs not yet completed or dropped.
+        let mut open = jobs.len();
+
+        while let Some(ev) = queue.pop() {
+            debug_assert!(
+                ev.time_s >= state.now_s - 1e-9,
+                "virtual clock ran backwards: {} -> {}",
+                state.now_s,
+                ev.time_s
+            );
+            state.now_s = state.now_s.max(ev.time_s);
+            stats.events += 1;
+
+            match ev.kind {
+                EventKind::Arrival(i) => {
+                    stats.arrivals += 1;
+                    let job = jobs[i as usize];
+                    if !state.any_up() {
+                        dropped.push(job.id);
+                        stats.dropped += 1;
+                        open -= 1;
+                        continue;
+                    }
+                    let (est, slo_s) =
+                        self.estimates(exec, &mut profiles, cache, scenario.policy, &job, &modules);
+                    let b = dispatcher.pick(&state, &job, &est);
+                    assert!(b < n_boards, "dispatcher picked board {b} of {n_boards}");
+                    assert!(state.up(b), "dispatcher picked down board {b}");
+
+                    // Policy resolution (training on miss/staleness) and
+                    // admission latency guard.
+                    let module = &modules[job.workload.name];
+                    let (schedule, svc_est) = self.resolve_with_training(
+                        exec,
+                        &mut profiles,
+                        cache,
+                        scenario.policy,
+                        &job,
+                        module,
+                        b,
+                        est.service_s[b],
+                        &mut train_time_s,
+                        &mut train_energy_j,
+                        &mut guard_bypasses,
+                    );
+
+                    // Oracle accumulator: batch stage-1 semantics.
+                    let acc = &mut state.boards[b].oracle_busy_until_s;
+                    *acc = acc.max(job.arrival_s) + svc_est;
+                    state.boards[b].dispatched += 1;
+
+                    let qj = QueuedJob {
+                        job,
+                        slo_s,
+                        schedule,
+                        sched_arch: self.cluster.arch_key(b),
+                        est_service_s: svc_est,
+                        penalty_s: 0.0,
+                        migrations: 0,
+                    };
+                    self.enqueue_or_start(
+                        exec,
+                        &mut state,
+                        &mut queue,
+                        &mut cold_progs,
+                        &mut warm_progs,
+                        &modules,
+                        b,
+                        qj,
+                    );
+                }
+
+                EventKind::Completion { board } => {
+                    stats.completions += 1;
+                    open -= 1;
+                    let b = board as usize;
+                    let fin = state.boards[b]
+                        .in_flight
+                        .take()
+                        .expect("completion event for an idle board");
+                    state.boards[b].completed += 1;
+                    outcomes.push(fin.outcome);
+                    if let Some(next) = state.boards[b].queue.pop_front() {
+                        self.start_job(
+                            exec,
+                            &mut state,
+                            &mut queue,
+                            &mut cold_progs,
+                            &mut warm_progs,
+                            &modules,
+                            b,
+                            next,
+                        );
+                    }
+                }
+
+                EventKind::MonitorTick => {
+                    stats.ticks += 1;
+                    if scenario.preemption {
+                        self.preempt_scan(
+                            exec,
+                            &mut profiles,
+                            cache,
+                            scenario,
+                            &mut state,
+                            &mut queue,
+                            &mut cold_progs,
+                            &mut warm_progs,
+                            &modules,
+                            &mut stats,
+                            &mut guard_bypasses,
+                        );
+                    }
+                    if open > 0 {
+                        queue.push(
+                            state.now_s + scenario.monitor_interval_s,
+                            EventKind::MonitorTick,
+                        );
+                    }
+                }
+
+                EventKind::BoardDown(b) => {
+                    stats.board_downs += 1;
+                    let b = b as usize;
+                    state.boards[b].up = false;
+                    // The in-flight job drains; queued work is
+                    // redistributed (or dropped when nowhere is up).
+                    let orphans: Vec<QueuedJob> = state.boards[b].queue.drain(..).collect();
+                    for qj in orphans {
+                        if !state.any_up() {
+                            dropped.push(qj.job.id);
+                            stats.dropped += 1;
+                            open -= 1;
+                            continue;
+                        }
+                        stats.redistributions += 1;
+                        self.redispatch(
+                            exec,
+                            &mut profiles,
+                            cache,
+                            scenario,
+                            dispatcher,
+                            &mut state,
+                            &mut queue,
+                            &mut cold_progs,
+                            &mut warm_progs,
+                            &modules,
+                            qj,
+                            &mut guard_bypasses,
+                        );
+                    }
+                }
+
+                EventKind::BoardUp(b) => {
+                    stats.board_ups += 1;
+                    state.boards[b as usize].up = true;
+                }
+            }
+        }
+
+        assert_eq!(open, 0, "kernel exited with open jobs");
+        assert_eq!(
+            stats.arrivals,
+            stats.completions + stats.dropped,
+            "event accounting out of balance: {stats:?}"
+        );
+        debug_assert!(state
+            .boards
+            .iter()
+            .all(|s| s.queue.is_empty() && s.in_flight.is_none()));
+
+        outcomes.sort_by_key(|o| o.id);
+        dropped.sort_unstable();
+        let busy: Vec<f64> = state.boards.iter().map(|s| s.busy_s).collect();
+        let metrics = FleetMetrics::from_outcomes(&outcomes, &busy, train_energy_j);
+        FleetOutcome {
+            metrics,
+            outcomes,
+            cache: cache.stats,
+            guard_bypasses,
+            train_time_s,
+            train_energy_j,
+            backend: self.params.backend.name(),
+            calibrations: self
+                .replay_exec
+                .as_ref()
+                .map(|r| r.stats().calibrations)
+                .unwrap_or(0),
+            dispatch: scenario.dispatch.name(),
+            dropped,
+            kernel: stats,
+        }
+    }
+
+    // ---- admission ----------------------------------------------------------
+
+    /// Per-board profiled estimates for `job` plus its resolved SLO.
+    /// Read-only on the cache (peeks, no accounting).
+    fn estimates(
+        &self,
+        exec: &dyn Executor,
+        profiles: &mut ProfileTable,
+        cache: &PolicyCache,
+        policy: PolicyMode,
+        job: &JobSpec,
+        modules: &BTreeMap<&'static str, Module>,
+    ) -> (JobEstimates, f64) {
+        let n_boards = self.cluster.len();
+        let module = &modules[job.workload.name];
+        let slo_s = job.slo_tightness * self.best_cold_wall(exec, profiles, &job.workload, module);
+        let mut est = JobEstimates {
+            service_s: vec![0.0; n_boards],
+            energy_j: vec![0.0; n_boards],
+            warm: vec![false; n_boards],
+        };
+        for b in 0..n_boards {
+            let arch = self.cluster.arch_key(b);
+            let (wall, energy) = self.estimate_on(exec, profiles, cache, policy, job, module, b);
+            est.service_s[b] = wall;
+            est.energy_j[b] = energy;
+            est.warm[b] = policy == PolicyMode::Warm && cache.is_warm(job.taxon, arch);
+        }
+        (est, slo_s)
+    }
+
+    /// Arrival-path policy resolution: full cache lookup (training on
+    /// miss, warm refresh on staleness — asynchronous, off the serving
+    /// path, so the triggering job runs its stock binary), then the
+    /// admission latency guard. Returns the schedule to run and the
+    /// guarded service estimate on board `b`.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_with_training(
+        &self,
+        exec: &dyn Executor,
+        profiles: &mut ProfileTable,
+        cache: &mut PolicyCache,
+        policy: PolicyMode,
+        job: &JobSpec,
+        module: &Module,
+        b: usize,
+        cold_est: f64,
+        train_time_s: &mut f64,
+        train_energy_j: &mut f64,
+        guard_bypasses: &mut u64,
+    ) -> (Option<(astro_core::schedule::StaticSchedule, u32)>, f64) {
+        let schedule = match policy {
+            PolicyMode::Cold => None,
+            PolicyMode::Warm => {
+                let arch = self.cluster.arch_key(b);
+                match cache.lookup(job.taxon, arch) {
+                    CacheDecision::Hit(s, v) => Some((s, v)),
+                    CacheDecision::Stale(snap) => {
+                        let (trained, t, e) =
+                            self.train(job, b, Some(&snap), self.params.refresh_episodes);
+                        *train_time_s += t;
+                        *train_energy_j += e;
+                        let snapshot = trained.hooks.agent.snapshot();
+                        cache.refresh(job.taxon, arch, trained.static_schedule, snapshot);
+                        None
+                    }
+                    CacheDecision::Miss => {
+                        let (trained, t, e) = self.train(job, b, None, self.params.train.episodes);
+                        *train_time_s += t;
+                        *train_energy_j += e;
+                        let snapshot = trained.hooks.agent.snapshot();
+                        cache.insert(job.taxon, arch, trained.static_schedule, snapshot);
+                        None
+                    }
+                }
+            }
+        };
+        self.apply_guard(
+            exec,
+            profiles,
+            job,
+            module,
+            b,
+            schedule,
+            cold_est,
+            guard_bypasses,
+        )
+    }
+
+    /// Admission latency guard: when the schedule's profiled service on
+    /// board `b` regresses past the guard factor, the job runs its
+    /// stock binary instead.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_guard(
+        &self,
+        exec: &dyn Executor,
+        profiles: &mut ProfileTable,
+        job: &JobSpec,
+        module: &Module,
+        b: usize,
+        schedule: Option<(astro_core::schedule::StaticSchedule, u32)>,
+        cold_est: f64,
+        guard_bypasses: &mut u64,
+    ) -> (Option<(astro_core::schedule::StaticSchedule, u32)>, f64) {
+        match schedule {
+            None => (None, cold_est),
+            Some((st, v)) => {
+                let (cold_wall, _) = self.profile(
+                    exec,
+                    profiles,
+                    &job.workload,
+                    module,
+                    b,
+                    ProfileTable::COLD,
+                    None,
+                );
+                let (warm_wall, _) =
+                    self.profile(exec, profiles, &job.workload, module, b, v as u64, Some(st));
+                if warm_wall > cold_wall * self.params.latency_guard {
+                    *guard_bypasses += 1;
+                    (None, cold_wall)
+                } else {
+                    (Some((st, v)), warm_wall)
+                }
+            }
+        }
+    }
+
+    // ---- execution ----------------------------------------------------------
+
+    /// Queue `qj` on board `b`, starting it immediately when idle.
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_or_start(
+        &self,
+        exec: &dyn Executor,
+        state: &mut ClusterState,
+        queue: &mut EventQueue,
+        cold_progs: &mut BTreeMap<&'static str, CompiledProgram>,
+        warm_progs: &mut BTreeMap<WarmKey, CompiledProgram>,
+        modules: &BTreeMap<&'static str, Module>,
+        b: usize,
+        qj: QueuedJob,
+    ) {
+        if state.boards[b].in_flight.is_none() {
+            self.start_job(exec, state, queue, cold_progs, warm_progs, modules, b, qj);
+        } else {
+            state.boards[b].queue.push_back(qj);
+        }
+    }
+
+    /// Begin service of `qj` on idle board `b` *now*: one executor run
+    /// fixes the true finish time, the completion event is scheduled,
+    /// and dispatchers see only the profiled estimate until then.
+    #[allow(clippy::too_many_arguments)]
+    fn start_job(
+        &self,
+        exec: &dyn Executor,
+        state: &mut ClusterState,
+        queue: &mut EventQueue,
+        cold_progs: &mut BTreeMap<&'static str, CompiledProgram>,
+        warm_progs: &mut BTreeMap<WarmKey, CompiledProgram>,
+        modules: &BTreeMap<&'static str, Module>,
+        b: usize,
+        qj: QueuedJob,
+    ) {
+        debug_assert!(state.boards[b].in_flight.is_none());
+        let spec = &self.cluster.boards[b];
+        let w = &qj.job.workload;
+        let module = &modules[w.name];
+        let full = spec.config_space().full();
+        let r = match &qj.schedule {
+            None => {
+                // Stock binary under GTS (cold mode, cache misses
+                // awaiting the async training, guard bypasses).
+                let prog = cold_progs
+                    .entry(w.name)
+                    .or_insert_with(|| compile(module).expect("workload compiles"));
+                exec.execute(&ExecRequest {
+                    workload: w.name,
+                    module,
+                    program: prog,
+                    board: spec,
+                    config: full,
+                    policy: ExecPolicy::Gts,
+                    seed: qj.job.seed,
+                })
+            }
+            Some((st, version)) => {
+                let prog = warm_progs
+                    .entry((w.name, qj.sched_arch, *version))
+                    .or_insert_with(|| {
+                        compile(&build_static(module, st)).expect("static build compiles")
+                    });
+                exec.execute(&ExecRequest {
+                    workload: w.name,
+                    module,
+                    program: prog,
+                    board: spec,
+                    config: full,
+                    policy: ExecPolicy::StaticTable(st.as_table()),
+                    seed: qj.job.seed,
+                })
+            }
+        };
+        let start = state.now_s;
+        let service = r.wall_time_s + qj.penalty_s;
+        let finish = start + service;
+        state.boards[b].busy_s += service;
+        state.boards[b].in_flight = Some(InFlight {
+            id: qj.job.id,
+            taxon: qj.job.taxon,
+            start_s: start,
+            est_finish_s: start + qj.est_total_s(),
+            outcome: JobOutcome {
+                id: qj.job.id,
+                workload: w.name,
+                class: qj.job.class(),
+                board: b,
+                arrival_s: qj.job.arrival_s,
+                start_s: start,
+                finish_s: finish,
+                service_s: service,
+                energy_j: r.energy_j,
+                slo_s: qj.slo_s,
+                migrations: qj.migrations,
+            },
+        });
+        queue.push(finish, EventKind::Completion { board: b as u32 });
+    }
+
+    // ---- migration ----------------------------------------------------------
+
+    /// Re-resolve a migrating job's schedule for the target board
+    /// without training (there is no time to train on the migration
+    /// path): a fresh cache line for the target architecture applies
+    /// (guard permitting), anything else runs the stock binary.
+    #[allow(clippy::too_many_arguments)]
+    fn migrate_onto(
+        &self,
+        exec: &dyn Executor,
+        profiles: &mut ProfileTable,
+        cache: &PolicyCache,
+        scenario: &Scenario,
+        mut qj: QueuedJob,
+        target: usize,
+        guard_bypasses: &mut u64,
+        modules: &BTreeMap<&'static str, Module>,
+    ) -> QueuedJob {
+        let arch = self.cluster.arch_key(target);
+        let module = &modules[qj.job.workload.name];
+        let schedule = if scenario.policy == PolicyMode::Warm && qj.sched_arch == arch {
+            qj.schedule
+        } else if scenario.policy == PolicyMode::Warm && cache.is_warm(qj.job.taxon, arch) {
+            let e = cache.peek(qj.job.taxon, arch).expect("warm entry exists");
+            Some((e.schedule, e.version))
+        } else {
+            None
+        };
+        let (cold_wall, _) = self.profile(
+            exec,
+            profiles,
+            &qj.job.workload,
+            module,
+            target,
+            ProfileTable::COLD,
+            None,
+        );
+        let (schedule, svc_est) = self.apply_guard(
+            exec,
+            profiles,
+            &qj.job,
+            module,
+            target,
+            schedule,
+            cold_wall,
+            guard_bypasses,
+        );
+        qj.schedule = schedule;
+        qj.sched_arch = arch;
+        qj.est_service_s = svc_est;
+        qj.penalty_s += scenario.migration_cost_s;
+        qj.migrations += 1;
+        qj
+    }
+
+    /// Churn redistribution: place an orphaned queued job through the
+    /// dispatcher (over the boards still up), paying the migration cost.
+    #[allow(clippy::too_many_arguments)]
+    fn redispatch(
+        &self,
+        exec: &dyn Executor,
+        profiles: &mut ProfileTable,
+        cache: &mut PolicyCache,
+        scenario: &Scenario,
+        dispatcher: &mut dyn Dispatcher,
+        state: &mut ClusterState,
+        queue: &mut EventQueue,
+        cold_progs: &mut BTreeMap<&'static str, CompiledProgram>,
+        warm_progs: &mut BTreeMap<WarmKey, CompiledProgram>,
+        modules: &BTreeMap<&'static str, Module>,
+        qj: QueuedJob,
+        guard_bypasses: &mut u64,
+    ) -> usize {
+        let (est, _) = self.estimates(exec, profiles, cache, scenario.policy, &qj.job, modules);
+        let b = dispatcher.pick(state, &qj.job, &est);
+        assert!(state.up(b), "dispatcher picked down board {b}");
+        let qj = self.migrate_onto(
+            exec,
+            profiles,
+            cache,
+            scenario,
+            qj,
+            b,
+            guard_bypasses,
+            modules,
+        );
+        // Oracle accumulators track redistributed work too (the oracle
+        // still books what it re-plans, it just never observes reality).
+        let acc = &mut state.boards[b].oracle_busy_until_s;
+        *acc = acc.max(state.now_s) + qj.est_total_s();
+        state.boards[b].dispatched += 1;
+        self.enqueue_or_start(exec, state, queue, cold_progs, warm_progs, modules, b, qj);
+        b
+    }
+
+    /// Preemptive redispatch scan: walk every live board's queue in
+    /// order, predict each queued job's finish from observable state,
+    /// and migrate predicted SLO-missers to a board predicted to *meet*
+    /// the deadline (never a sideways bounce — a migration must turn a
+    /// predicted miss into a predicted hit).
+    #[allow(clippy::too_many_arguments)]
+    fn preempt_scan(
+        &self,
+        exec: &dyn Executor,
+        profiles: &mut ProfileTable,
+        cache: &mut PolicyCache,
+        scenario: &Scenario,
+        state: &mut ClusterState,
+        queue: &mut EventQueue,
+        cold_progs: &mut BTreeMap<&'static str, CompiledProgram>,
+        warm_progs: &mut BTreeMap<WarmKey, CompiledProgram>,
+        modules: &BTreeMap<&'static str, Module>,
+        stats: &mut KernelStats,
+        guard_bypasses: &mut u64,
+    ) {
+        let n_boards = self.cluster.len();
+        for b in 0..n_boards {
+            if !state.up(b) || state.boards[b].queue.is_empty() {
+                continue;
+            }
+            let mut t_avail = match &state.boards[b].in_flight {
+                Some(f) => f.est_finish_s.max(state.now_s),
+                None => state.now_s,
+            };
+            let mut kept = std::collections::VecDeque::new();
+            while let Some(qj) = state.boards[b].queue.pop_front() {
+                let pred_finish = t_avail + qj.est_total_s();
+                let deadline = qj.job.arrival_s + qj.slo_s;
+                let target = if pred_finish > deadline && qj.migrations < scenario.max_migrations {
+                    // Best alternative: lowest predicted finish among
+                    // the other live boards, by observable estimates.
+                    let module = &modules[qj.job.workload.name];
+                    let mut best: Option<(f64, usize)> = None;
+                    for b2 in state.up_boards().filter(|&b2| b2 != b) {
+                        let (wall, _) = self.estimate_on(
+                            exec,
+                            profiles,
+                            cache,
+                            scenario.policy,
+                            &qj.job,
+                            module,
+                            b2,
+                        );
+                        // The job keeps its already-accumulated penalty
+                        // on the target board, so the prediction must
+                        // carry it — or a re-migration could be
+                        // approved that is itself predicted to miss.
+                        let alt = state.online_busy_until_s(b2).max(state.now_s)
+                            + qj.penalty_s
+                            + scenario.migration_cost_s
+                            + wall;
+                        if best.map(|(t, _)| alt < t).unwrap_or(true) {
+                            best = Some((alt, b2));
+                        }
+                    }
+                    best.filter(|&(alt_finish, _)| alt_finish <= deadline)
+                } else {
+                    None
+                };
+                match target {
+                    Some((_, b2)) => {
+                        let qj2 = self.migrate_onto(
+                            exec,
+                            profiles,
+                            cache,
+                            scenario,
+                            qj,
+                            b2,
+                            guard_bypasses,
+                            modules,
+                        );
+                        state.boards[b2].dispatched += 1;
+                        self.enqueue_or_start(
+                            exec, state, queue, cold_progs, warm_progs, modules, b2, qj2,
+                        );
+                        stats.migrations += 1;
+                    }
+                    None => {
+                        t_avail = pred_finish;
+                        kept.push_back(qj);
+                    }
+                }
+            }
+            state.boards[b].queue = kept;
+        }
+    }
+
+    /// Observable (wall, energy) estimate of `job` on board `b` under
+    /// the schedule it would run there (fresh cache line or stock
+    /// binary). The single source of the policy-estimate rule: both
+    /// arrival-time dispatch estimates and preemption-scan predictions
+    /// go through here, so they can never disagree.
+    #[allow(clippy::too_many_arguments)]
+    fn estimate_on(
+        &self,
+        exec: &dyn Executor,
+        profiles: &mut ProfileTable,
+        cache: &PolicyCache,
+        policy: PolicyMode,
+        job: &JobSpec,
+        module: &Module,
+        b: usize,
+    ) -> (f64, f64) {
+        let arch = self.cluster.arch_key(b);
+        if policy == PolicyMode::Warm && cache.is_warm(job.taxon, arch) {
+            let e = cache.peek(job.taxon, arch).expect("warm entry exists");
+            self.profile(
+                exec,
+                profiles,
+                &job.workload,
+                module,
+                b,
+                e.version as u64,
+                Some(e.schedule),
+            )
+        } else {
+            self.profile(
+                exec,
+                profiles,
+                &job.workload,
+                module,
+                b,
+                ProfileTable::COLD,
+                None,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_queue_orders_by_time_then_push() {
+        let mut q = EventQueue::new();
+        q.push(2.0, EventKind::MonitorTick);
+        q.push(1.0, EventKind::Arrival(0));
+        q.push(1.0, EventKind::Completion { board: 3 });
+        q.push(0.5, EventKind::BoardDown(1));
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop().unwrap().kind, EventKind::BoardDown(1));
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        // Equal timestamps pop in push order.
+        assert_eq!(a.kind, EventKind::Arrival(0));
+        assert_eq!(b.kind, EventKind::Completion { board: 3 });
+        assert!(a.seq < b.seq);
+        assert_eq!(q.pop().unwrap().kind, EventKind::MonitorTick);
+        assert!(q.pop().is_none());
+        assert_eq!(q.pushed, 4);
+        assert_eq!(q.popped, 4);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn scenario_builders_compose() {
+        let s = Scenario::online(PolicyMode::Warm)
+            .with_churn(vec![ChurnEvent {
+                time_s: 1.0,
+                board: 0,
+                up: false,
+            }])
+            .with_preemption(0.5, 0.01, 3);
+        assert_eq!(s.dispatch, DispatchMode::Online);
+        assert!(s.preemption);
+        assert_eq!(s.max_migrations, 3);
+        assert_eq!(s.churn.len(), 1);
+        assert_eq!(s.label(), "warm/online");
+        let o = Scenario::oracle(PolicyMode::Cold);
+        assert_eq!(o.dispatch, DispatchMode::Oracle);
+        assert!(!o.preemption);
+        assert_eq!(o.label(), "cold/oracle");
+    }
+}

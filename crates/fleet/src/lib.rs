@@ -4,24 +4,32 @@
 //! This crate is the fleet layer above it: many tenant jobs arriving
 //! over time ([`arrival`]), co-scheduled across a cluster of independent
 //! big.LITTLE boards ([`cluster`]) by an admission/dispatch policy
-//! ([`dispatch`]), each job executed through `astro-exec` ([`sim`]),
-//! with learned Astro policies shared and warm-started across tenants
-//! through a taxonomy-keyed policy cache ([`cache`]) — the regime
-//! Octopus-Man (Petrucci et al., HPCA'15) targets for datacenter QoS,
-//! with Astro's "compile once, schedule everywhere" story supplying the
-//! per-job policies. [`metrics`] aggregates throughput, latency
-//! percentiles vs SLO, cluster energy and per-board utilisation.
+//! ([`dispatch`]) invoked *at arrival time* by a discrete-event kernel
+//! ([`kernel`]) against live, observable cluster state ([`state`]) —
+//! per-board queues, in-flight taxa, liveness, utilisation. Learned
+//! Astro policies are shared and warm-started across tenants through a
+//! taxonomy-keyed policy cache ([`cache`]); [`metrics`] aggregates
+//! throughput, latency percentiles vs SLO, cluster energy and per-board
+//! utilisation.
 //!
-//! Everything is seed-deterministic: the same cluster, parameters and
-//! job stream produce byte-identical outcomes regardless of how board
-//! execution is mapped onto OS threads.
+//! The kernel expresses what a batch planner cannot: **online
+//! dispatch** with live queue feedback ([`DispatchMode::Online`]),
+//! **preemptive redispatch** (queued jobs predicted to miss their SLO
+//! migrate at monitor ticks, paying a configurable cost) and **board
+//! churn** (boards leave/join mid-run; queued work is redistributed or
+//! explicitly dropped). [`DispatchMode::Oracle`] reproduces the earlier
+//! three-stage batch semantics through the same loop, so historical
+//! comparisons stay meaningful.
+//!
+//! Everything is seed-deterministic: the same cluster, parameters, job
+//! stream and [`Scenario`] produce byte-identical outcomes.
 //!
 //! Execution goes through the pluggable
 //! [`Executor`](astro_exec::executor::Executor) contract: the default
 //! [`BackendKind::Machine`] interprets every job cycle-accurately, while
 //! [`BackendKind::Replay`] calibrates per-configuration trace sets once
 //! per (workload, architecture) and then answers each job by trace
-//! composition — the fast tier that scales `fleet_sim` to hundreds of
+//! composition — the fast tier that scales the kernel to hundreds of
 //! thousands of jobs.
 
 pub mod arrival;
@@ -29,14 +37,18 @@ pub mod cache;
 pub mod cluster;
 pub mod dispatch;
 pub mod job;
+pub mod kernel;
 pub mod metrics;
 pub mod sim;
+pub mod state;
 
 pub use arrival::ArrivalProcess;
 pub use astro_exec::executor::BackendKind;
 pub use cache::{CacheDecision, CacheStats, PolicyCache, PolicyEntry};
 pub use cluster::ClusterSpec;
-pub use dispatch::{DispatchView, Dispatcher, EnergyAware, LeastLoaded, PhaseAware};
+pub use dispatch::{Dispatcher, EnergyAware, JobEstimates, LeastLoaded, PhaseAware};
 pub use job::{classify_module, taxon_of, JobClass, JobOutcome, JobSpec, Taxon};
+pub use kernel::{ChurnEvent, Event, EventKind, EventQueue, KernelStats, Scenario};
 pub use metrics::{percentile, FleetMetrics, FleetOutcome};
-pub use sim::{serial_map, BoardRun, FleetParams, FleetSim, PolicyMode};
+pub use sim::{chunked_map, serial_map, FleetParams, FleetSim, PolicyMode};
+pub use state::{BoardState, ClusterState, DispatchMode, InFlight, QueuedJob};

@@ -32,6 +32,10 @@ pub struct FleetMetrics {
     pub p99_s: f64,
     /// Jobs that missed their SLO.
     pub slo_misses: usize,
+    /// 99th percentile of per-job latency *as a fraction of its SLO* —
+    /// the "p99 vs SLO" headline: `< 1` means even the tail meets its
+    /// deadline, `2` means the p99 job blew its budget twice over.
+    pub p99_slo_ratio: f64,
     /// Energy of all job runs plus any training charged, Joules.
     pub total_energy_j: f64,
     /// Per-board busy fraction of the makespan.
@@ -56,6 +60,17 @@ impl FleetMetrics {
             latencies.iter().sum::<f64>() / jobs as f64
         };
         let total_energy_j = outcomes.iter().map(|o| o.energy_j).sum::<f64>() + extra_energy_j;
+        let mut slo_ratios: Vec<f64> = outcomes
+            .iter()
+            .map(|o| {
+                if o.slo_s > 0.0 {
+                    o.latency_s() / o.slo_s
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        slo_ratios.sort_by(f64::total_cmp);
         FleetMetrics {
             jobs,
             makespan_s,
@@ -69,6 +84,7 @@ impl FleetMetrics {
             p95_s: percentile(&latencies, 95.0),
             p99_s: percentile(&latencies, 99.0),
             slo_misses: outcomes.iter().filter(|o| !o.slo_met()).count(),
+            p99_slo_ratio: percentile(&slo_ratios, 99.0),
             total_energy_j,
             board_util: board_busy_s
                 .iter()
@@ -125,6 +141,13 @@ pub struct FleetOutcome {
     /// Trace-calibration sweeps the replay backend performed (0 under
     /// the machine backend).
     pub calibrations: u64,
+    /// Dispatch mode label (`"oracle"` or `"online"`).
+    pub dispatch: &'static str,
+    /// Stream ids of jobs dropped because no board was up to take them
+    /// (board churn), ascending. Dropped jobs have no [`JobOutcome`].
+    pub dropped: Vec<u32>,
+    /// Event-kernel accounting for the run.
+    pub kernel: crate::kernel::KernelStats,
 }
 
 #[cfg(test)]
@@ -144,6 +167,7 @@ mod tests {
             service_s: finish - start,
             energy_j: energy,
             slo_s: 1.5,
+            migrations: 0,
         }
     }
 
@@ -174,5 +198,7 @@ mod tests {
         assert!((m.board_util[0] - 0.4).abs() < 1e-12);
         assert!((m.mean_util() - 0.5).abs() < 1e-12);
         assert!((m.throughput_jps - 0.8).abs() < 1e-12);
+        // p99 of {1.0/1.5, 2.0/1.5}: nearest-rank lands on the worst.
+        assert!((m.p99_slo_ratio - 2.0 / 1.5).abs() < 1e-12);
     }
 }

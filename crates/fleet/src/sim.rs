@@ -1,48 +1,42 @@
-//! The fleet simulator: admission → dispatch → per-board execution →
-//! aggregation.
+//! The fleet simulator: parameters, profiling/training machinery, and
+//! the public entry point over the discrete-event kernel.
 //!
-//! The run is split into three deterministic stages so board execution
-//! can be fanned out across OS threads without the thread count ever
-//! touching the results:
-//!
-//! 1. **Admission/dispatch** (sequential, virtual time): each arriving
-//!    job is placed on a board using *profiled* service estimates — one
-//!    executor run per distinct (workload, architecture, policy
-//!    version), memoised — and, in warm mode, resolves its policy
-//!    against the shared [`PolicyCache`] (training on misses, refreshing
-//!    stale entries warm-started from the cached snapshot).
-//! 2. **Execution** (parallel across boards): every board replays its
-//!    assigned job sequence through the run's [`Executor`] backend;
-//!    job `i` starts at `max(arrival_i, finish_{i-1})`.
-//! 3. **Aggregation** (sequential, index order): outcomes are merged in
-//!    job-id order into [`FleetMetrics`].
+//! Earlier revisions ran a three-stage batch (plan every placement
+//! sequentially → execute boards in parallel → aggregate). That shape
+//! could not express anything that *reacts* during the run — live
+//! queue feedback, SLO-driven migration, board churn — so placement now
+//! happens inside the event loop of [`crate::kernel`], per arrival,
+//! against observable [`ClusterState`](crate::state::ClusterState).
+//! [`Scenario::oracle`] reproduces the batch planner's placements
+//! through the kernel (profiled-estimate accumulators, stable fleet),
+//! keeping historical comparisons meaningful; [`Scenario::online`]
+//! opens the new capabilities.
 //!
 //! **Backends.** Every job and profile run goes through one
 //! [`Executor`]. The default [`BackendKind::Machine`] interprets on the
-//! cycle-accurate engine and reproduces the published outputs
-//! byte-identically. [`BackendKind::Replay`] runs in
-//! *calibration-then-replay* mode: before stage 1, every distinct
-//! (workload, architecture) pair in the stream is calibrated once on
-//! the engine (a [`ReplayExecutor`] records per-configuration trace
-//! sets), after which each of the potentially hundreds of thousands of
-//! job runs is answered by trace composition in microseconds. Policy
-//! *training* (cache misses/refreshes) stays on the engine in both
-//! modes — learning episodes need live counter feedback.
+//! cycle-accurate engine. [`BackendKind::Replay`] runs in
+//! *calibration-then-replay* mode: every distinct (workload,
+//! architecture) pair is calibrated once up front, after which each of
+//! the potentially hundreds of thousands of job runs is answered by
+//! trace composition in microseconds. Policy *training* (cache
+//! misses/refreshes) stays on the engine in both modes — learning
+//! episodes need live counter feedback.
 //!
-//! Same cluster + params + job stream ⇒ byte-identical outcome,
-//! regardless of how stage 2 is mapped.
+//! Same cluster + params + job stream + scenario ⇒ byte-identical
+//! outcome.
 
-use crate::cache::{CacheDecision, PolicyCache};
+use crate::cache::PolicyCache;
 use crate::cluster::ClusterSpec;
-use crate::dispatch::{DispatchView, Dispatcher};
-use crate::job::{JobOutcome, JobSpec};
-use crate::metrics::{FleetMetrics, FleetOutcome};
+use crate::dispatch::Dispatcher;
+use crate::job::JobSpec;
+use crate::kernel::Scenario;
+use crate::metrics::FleetOutcome;
 use astro_core::pipeline::{build_static, AstroPipeline, PipelineConfig, TrainedAstro};
 use astro_core::replay::ReplayExecutor;
 use astro_core::schedule::StaticSchedule;
-use astro_exec::executor::{BackendKind, ExecPolicy, ExecRequest, Executor, MachineExecutor};
+use astro_exec::executor::{BackendKind, ExecPolicy, ExecRequest, Executor};
 use astro_exec::machine::MachineParams;
-use astro_exec::program::{compile, CompiledProgram};
+use astro_exec::program::compile;
 use astro_exec::time::SimTime;
 use astro_hw::boards::BoardSpec;
 use astro_ir::Module;
@@ -129,43 +123,58 @@ impl FleetParams {
     }
 }
 
-/// One board's executed job sequence (stage 2 output).
-#[derive(Clone, Debug)]
-pub struct BoardRun {
-    /// Board index.
-    pub board: usize,
-    /// Outcomes in execution order.
-    pub outcomes: Vec<JobOutcome>,
-    /// Total service seconds.
-    pub busy_s: f64,
+/// Run `f(0..n)` across up to `workers` OS threads and return the
+/// results in index order. One contiguous chunk per worker, no shared
+/// index, no result lock; `workers == 1` degenerates to a plain
+/// sequential map, so serial and parallel callers share one code path
+/// and one contract: results identical whatever the worker count.
+pub fn chunked_map<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(workers > 0, "chunked_map needs at least one worker");
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let workers = workers.min(n.max(1));
+    let chunk = n.div_ceil(workers).max(1);
+
+    std::thread::scope(|s| {
+        for (w, slots) in results.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                let base = w * chunk;
+                for (off, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(base + off));
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every index produced"))
+        .collect()
 }
 
-/// Run `f(0..n)` sequentially — the trivial stage-2 mapper. Experiment
-/// harnesses substitute a parallel mapper (`astro-bench`'s
-/// `parallel_map`) with the same contract: results in index order.
-pub fn serial_map(n: usize, f: &(dyn Fn(usize) -> BoardRun + Sync)) -> Vec<BoardRun> {
-    (0..n).map(f).collect()
-}
-
-/// One job as placed by stage 1.
-#[derive(Clone)]
-struct Assignment {
-    job: JobSpec,
-    slo_s: f64,
-    /// `Some((schedule, version))` in warm mode.
-    schedule: Option<(StaticSchedule, u32)>,
+/// [`chunked_map`] with one worker — the sequential mapper.
+pub fn serial_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    chunked_map(n, 1, f)
 }
 
 /// Memoised (workload, architecture, policy-version) service profiles.
 /// Version [`ProfileTable::COLD`] is the GTS/original-binary profile.
-struct ProfileTable {
+pub(crate) struct ProfileTable {
     map: BTreeMap<(&'static str, &'static str, u64), (f64, f64)>,
 }
 
 impl ProfileTable {
-    const COLD: u64 = u64::MAX;
+    pub(crate) const COLD: u64 = u64::MAX;
 
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         ProfileTable {
             map: BTreeMap::new(),
         }
@@ -182,7 +191,7 @@ pub struct FleetSim<'a> {
     /// owned by the simulator so its calibration cache (a pure function
     /// of (workload, architecture, engine parameters)) is shared across
     /// every run of this simulator instead of re-recorded per scenario.
-    replay_exec: Option<ReplayExecutor>,
+    pub(crate) replay_exec: Option<ReplayExecutor>,
 }
 
 impl<'a> FleetSim<'a> {
@@ -200,234 +209,24 @@ impl<'a> FleetSim<'a> {
         }
     }
 
-    /// Run `jobs` (arrival order) under `dispatcher` and `mode`, mapping
-    /// board execution with [`serial_map`].
+    /// Run `jobs` (arrival order) under `dispatcher` and `scenario`
+    /// through the event kernel. Deterministic: same inputs ⇒
+    /// byte-identical [`FleetOutcome`].
     pub fn run(
         &self,
         jobs: &[JobSpec],
         dispatcher: &mut dyn Dispatcher,
         cache: &mut PolicyCache,
-        mode: PolicyMode,
+        scenario: &Scenario,
     ) -> FleetOutcome {
-        self.run_with(jobs, dispatcher, cache, mode, &serial_map)
+        self.run_kernel(jobs, dispatcher, cache, scenario)
     }
 
-    /// Like [`FleetSim::run`], with a caller-supplied stage-2 mapper
-    /// (e.g. a parallel one). The mapper must return `f(i)` for
-    /// `i ∈ 0..n` in index order; any interleaving yields identical
-    /// results.
-    pub fn run_with(
-        &self,
-        jobs: &[JobSpec],
-        dispatcher: &mut dyn Dispatcher,
-        cache: &mut PolicyCache,
-        mode: PolicyMode,
-        pmap: &dyn Fn(usize, &(dyn Fn(usize) -> BoardRun + Sync)) -> Vec<BoardRun>,
-    ) -> FleetOutcome {
-        let n_boards = self.cluster.len();
-
-        // The execution backend every profile and job run goes through.
-        let machine_exec = MachineExecutor {
-            params: self.params.machine,
-        };
-        let exec: &dyn Executor = match &self.replay_exec {
-            Some(r) => r,
-            None => &machine_exec,
-        };
-
-        // Source modules, one per distinct workload in the stream (the
-        // executor contract carries them; replay calibrates from them).
-        let mut modules: BTreeMap<&'static str, Module> = BTreeMap::new();
-        for job in jobs {
-            modules
-                .entry(job.workload.name)
-                .or_insert_with(|| (job.workload.build)(self.params.size));
-        }
-
-        // Calibration-then-replay: record every (workload, architecture)
-        // trace set up front, in deterministic order, so stage 2 is pure
-        // composition no matter which thread touches a key first.
-        // Already-calibrated keys (earlier runs of this simulator) are
-        // cache hits.
-        if let Some(replay) = &self.replay_exec {
-            for key in self.cluster.arch_keys() {
-                let board = self.cluster.representative_board(key);
-                for (name, module) in &modules {
-                    replay.calibrate(name, module, board);
-                }
-            }
-        }
-
-        let mut profiles = ProfileTable::new();
-        let mut est_busy = vec![0.0f64; n_boards];
-        let mut assigned = vec![0usize; n_boards];
-        let mut plan: Vec<Vec<Assignment>> = vec![Vec::new(); n_boards];
-        let mut train_time_s = 0.0;
-        let mut train_energy_j = 0.0;
-        let mut guard_bypasses = 0u64;
-
-        // Stage 1: admission + dispatch + policy resolution.
-        for job in jobs {
-            let module = &modules[job.workload.name];
-            let slo_s =
-                job.slo_tightness * self.best_cold_wall(exec, &mut profiles, &job.workload, module);
-            let mut est_service = vec![0.0f64; n_boards];
-            let mut est_energy = vec![0.0f64; n_boards];
-            let mut warm = vec![false; n_boards];
-            for b in 0..n_boards {
-                let arch = self.cluster.arch_key(b);
-                let is_warm = mode == PolicyMode::Warm && cache.is_warm(job.taxon, arch);
-                let (wall, energy) = if is_warm {
-                    let e = cache.peek(job.taxon, arch).expect("warm entry exists");
-                    self.profile(
-                        exec,
-                        &mut profiles,
-                        &job.workload,
-                        module,
-                        b,
-                        e.version as u64,
-                        Some(e.schedule),
-                    )
-                } else {
-                    self.profile(
-                        exec,
-                        &mut profiles,
-                        &job.workload,
-                        module,
-                        b,
-                        ProfileTable::COLD,
-                        None,
-                    )
-                };
-                est_service[b] = wall;
-                est_energy[b] = energy;
-                warm[b] = is_warm;
-            }
-            let view = DispatchView {
-                cluster: self.cluster,
-                now_s: job.arrival_s,
-                est_busy_until_s: &est_busy,
-                assigned: &assigned,
-                est_service_s: &est_service,
-                est_energy_j: &est_energy,
-                warm: &warm,
-            };
-            let b = dispatcher.pick(&view, job);
-            assert!(b < n_boards, "dispatcher picked board {b} of {n_boards}");
-
-            // Policy resolution. Training is *asynchronous*: like the
-            // paper's compile-time pipeline, it happens off the serving
-            // path (a policy server replaying the tenant's program), so
-            // the triggering job runs its stock binary and the artefact
-            // serves later arrivals. Its time and energy are still
-            // accounted against the fleet.
-            let schedule = match mode {
-                PolicyMode::Cold => None,
-                PolicyMode::Warm => {
-                    let arch = self.cluster.arch_key(b);
-                    match cache.lookup(job.taxon, arch) {
-                        CacheDecision::Hit(s, v) => Some((s, v)),
-                        CacheDecision::Stale(snap) => {
-                            let (trained, t, e) =
-                                self.train(job, b, Some(&snap), self.params.refresh_episodes);
-                            train_time_s += t;
-                            train_energy_j += e;
-                            let snapshot = trained.hooks.agent.snapshot();
-                            cache.refresh(job.taxon, arch, trained.static_schedule, snapshot);
-                            None
-                        }
-                        CacheDecision::Miss => {
-                            let (trained, t, e) =
-                                self.train(job, b, None, self.params.train.episodes);
-                            train_time_s += t;
-                            train_energy_j += e;
-                            let snapshot = trained.hooks.agent.snapshot();
-                            cache.insert(job.taxon, arch, trained.static_schedule, snapshot);
-                            None
-                        }
-                    }
-                }
-            };
-
-            // Admission latency guard: class policies transfer across a
-            // class's workloads, but not always gracefully; when this
-            // job's profiled service under the schedule regresses past
-            // the guard, it runs its stock binary instead.
-            let (schedule, svc_est) = match schedule {
-                None => (None, est_service[b]),
-                Some((st, v)) => {
-                    let (cold_wall, _) = self.profile(
-                        exec,
-                        &mut profiles,
-                        &job.workload,
-                        module,
-                        b,
-                        ProfileTable::COLD,
-                        None,
-                    );
-                    let (warm_wall, _) = self.profile(
-                        exec,
-                        &mut profiles,
-                        &job.workload,
-                        module,
-                        b,
-                        v as u64,
-                        Some(st),
-                    );
-                    if warm_wall > cold_wall * self.params.latency_guard {
-                        guard_bypasses += 1;
-                        (None, cold_wall)
-                    } else {
-                        (Some((st, v)), warm_wall)
-                    }
-                }
-            };
-
-            est_busy[b] = est_busy[b].max(job.arrival_s) + svc_est;
-            assigned[b] += 1;
-            plan[b].push(Assignment {
-                job: *job,
-                slo_s,
-                schedule,
-            });
-        }
-
-        // Stage 2: execute each board's sequence (parallelisable).
-        let plan = &plan;
-        let modules = &modules;
-        let runs = pmap(n_boards, &|b| self.run_board(exec, b, &plan[b], modules));
-        assert_eq!(runs.len(), n_boards, "mapper must cover every board");
-
-        // Stage 3: aggregate in deterministic order.
-        let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
-        let mut busy = vec![0.0f64; n_boards];
-        for r in &runs {
-            busy[r.board] = r.busy_s;
-            outcomes.extend(r.outcomes.iter().cloned());
-        }
-        outcomes.sort_by_key(|o| o.id);
-        let metrics = FleetMetrics::from_outcomes(&outcomes, &busy, train_energy_j);
-        FleetOutcome {
-            metrics,
-            outcomes,
-            cache: cache.stats,
-            guard_bypasses,
-            train_time_s,
-            train_energy_j,
-            backend: self.params.backend.name(),
-            calibrations: self
-                .replay_exec
-                .as_ref()
-                .map(|r| r.stats().calibrations)
-                .unwrap_or(0),
-        }
-    }
-
-    // ---- stage-1 helpers ----------------------------------------------------
+    // ---- profiling & training (kernel callbacks) ----------------------------
 
     /// Unloaded cold service time on the fastest architecture (the SLO
     /// reference point).
-    fn best_cold_wall(
+    pub(crate) fn best_cold_wall(
         &self,
         exec: &dyn Executor,
         profiles: &mut ProfileTable,
@@ -448,7 +247,7 @@ impl<'a> FleetSim<'a> {
     /// (the ±5% service jitter would otherwise dominate guard decisions
     /// near the boundary), memoised per distinct key.
     #[allow(clippy::too_many_arguments)]
-    fn profile(
+    pub(crate) fn profile(
         &self,
         exec: &dyn Executor,
         profiles: &mut ProfileTable,
@@ -506,7 +305,7 @@ impl<'a> FleetSim<'a> {
     /// the learning episodes (charged to the triggering job). Always
     /// runs on the cycle-accurate engine: learning needs live counter
     /// feedback no trace can substitute.
-    fn train(
+    pub(crate) fn train(
         &self,
         job: &JobSpec,
         b: usize,
@@ -528,85 +327,6 @@ impl<'a> FleetSim<'a> {
         let e: f64 = trained.learning_runs.iter().map(|r| r.energy_j).sum();
         (trained, t, e)
     }
-
-    // ---- stage 2 ------------------------------------------------------------
-
-    /// Execute one board's assignment sequence through the backend,
-    /// memoising compiled program variants per (workload, version).
-    fn run_board(
-        &self,
-        exec: &dyn Executor,
-        b: usize,
-        assignments: &[Assignment],
-        modules: &BTreeMap<&'static str, Module>,
-    ) -> BoardRun {
-        let spec = &self.cluster.boards[b];
-        let full = spec.config_space().full();
-        let mut cold_progs: BTreeMap<&'static str, CompiledProgram> = BTreeMap::new();
-        let mut warm_progs: BTreeMap<(&'static str, u32), CompiledProgram> = BTreeMap::new();
-
-        let mut free_at = 0.0f64;
-        let mut busy_s = 0.0f64;
-        let mut outcomes = Vec::with_capacity(assignments.len());
-        for a in assignments {
-            let w = &a.job.workload;
-            let module = &modules[w.name];
-            let r = match &a.schedule {
-                None => {
-                    // Stock binary under GTS (cold mode, cache misses
-                    // awaiting the async training, guard bypasses).
-                    let prog = cold_progs
-                        .entry(w.name)
-                        .or_insert_with(|| compile(module).expect("workload compiles"));
-                    exec.execute(&ExecRequest {
-                        workload: w.name,
-                        module,
-                        program: prog,
-                        board: spec,
-                        config: full,
-                        policy: ExecPolicy::Gts,
-                        seed: a.job.seed,
-                    })
-                }
-                Some((st, version)) => {
-                    let prog = warm_progs.entry((w.name, *version)).or_insert_with(|| {
-                        compile(&build_static(module, st)).expect("static build compiles")
-                    });
-                    exec.execute(&ExecRequest {
-                        workload: w.name,
-                        module,
-                        program: prog,
-                        board: spec,
-                        config: full,
-                        policy: ExecPolicy::StaticTable(st.as_table()),
-                        seed: a.job.seed,
-                    })
-                }
-            };
-            let start = a.job.arrival_s.max(free_at);
-            let service = r.wall_time_s;
-            let finish = start + service;
-            free_at = finish;
-            busy_s += service;
-            outcomes.push(JobOutcome {
-                id: a.job.id,
-                workload: w.name,
-                class: a.job.class(),
-                board: b,
-                arrival_s: a.job.arrival_s,
-                start_s: start,
-                finish_s: finish,
-                service_s: service,
-                energy_j: r.energy_j,
-                slo_s: a.slo_s,
-            });
-        }
-        BoardRun {
-            board: b,
-            outcomes,
-            busy_s,
-        }
-    }
 }
 
 /// Deterministic string hash (FNV-1a): profile/training seeds must not
@@ -625,6 +345,7 @@ mod tests {
     use super::*;
     use crate::arrival::ArrivalProcess;
     use crate::dispatch::{LeastLoaded, PhaseAware};
+    use crate::kernel::ChurnEvent;
 
     fn jobs(n: usize, seed: u64) -> Vec<JobSpec> {
         let pool: Vec<Workload> = ["swaptions", "bfs"]
@@ -643,8 +364,9 @@ mod tests {
         let sim = FleetSim::new(&cluster, FleetParams::new(5));
         let stream = jobs(6, 3);
         let mut cache = PolicyCache::new(0);
-        let a = sim.run(&stream, &mut LeastLoaded, &mut cache, PolicyMode::Cold);
-        let b = sim.run(&stream, &mut LeastLoaded, &mut cache, PolicyMode::Cold);
+        let sc = Scenario::oracle(PolicyMode::Cold);
+        let a = sim.run(&stream, &mut LeastLoaded, &mut cache, &sc);
+        let b = sim.run(&stream, &mut LeastLoaded, &mut cache, &sc);
 
         assert_eq!(a.outcomes.len(), 6);
         for (i, o) in a.outcomes.iter().enumerate() {
@@ -654,6 +376,7 @@ mod tests {
             assert!(o.finish_s > o.start_s);
             assert!(o.energy_j > 0.0);
             assert!(o.slo_s > 0.0);
+            assert_eq!(o.migrations, 0);
         }
         for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
             assert_eq!(x.finish_s, y.finish_s);
@@ -668,33 +391,39 @@ mod tests {
         assert_eq!(a.cache, crate::cache::CacheStats::default());
         assert_eq!(a.train_time_s, 0.0);
         assert_eq!(a.backend, "machine");
+        assert_eq!(a.dispatch, "oracle");
         assert_eq!(a.calibrations, 0);
+        assert!(a.dropped.is_empty());
+        assert_eq!(a.kernel.arrivals, 6);
+        assert_eq!(a.kernel.completions, 6);
+        assert_eq!(a.kernel.dropped, 0);
     }
 
     #[test]
-    fn parallel_and_serial_mappers_agree() {
+    fn online_mode_completes_and_is_deterministic() {
         let cluster = ClusterSpec::heterogeneous(3);
         let sim = FleetSim::new(&cluster, FleetParams::new(9));
-        let stream = jobs(6, 1);
+        let stream = jobs(8, 1);
         let mut cache = PolicyCache::new(0);
-        let serial = sim.run(&stream, &mut LeastLoaded, &mut cache, PolicyMode::Cold);
-        // A deliberately out-of-order mapper with the index-order contract.
-        let reversed = |n: usize, f: &(dyn Fn(usize) -> BoardRun + Sync)| {
-            let mut v: Vec<BoardRun> = (0..n).rev().map(f).collect();
-            v.reverse();
-            v
-        };
-        let mapped = sim.run_with(
-            &stream,
-            &mut LeastLoaded,
-            &mut cache,
-            PolicyMode::Cold,
-            &reversed,
-        );
-        for (x, y) in serial.outcomes.iter().zip(&mapped.outcomes) {
+        let sc = Scenario::online(PolicyMode::Cold);
+        let a = sim.run(&stream, &mut LeastLoaded, &mut cache, &sc);
+        let b = sim.run(&stream, &mut LeastLoaded, &mut cache, &sc);
+        assert_eq!(a.outcomes.len(), 8);
+        assert_eq!(a.dispatch, "online");
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
             assert_eq!(x.finish_s, y.finish_s);
             assert_eq!(x.board, y.board);
         }
+        // Online and oracle may place differently, but both complete
+        // the stream and balance their event accounting.
+        let oracle = sim.run(
+            &stream,
+            &mut LeastLoaded,
+            &mut cache,
+            &Scenario::oracle(PolicyMode::Cold),
+        );
+        assert_eq!(oracle.outcomes.len(), a.outcomes.len());
+        assert_eq!(a.kernel.arrivals, a.kernel.completions + a.kernel.dropped);
     }
 
     #[test]
@@ -710,7 +439,12 @@ mod tests {
         }
         .generate(5, &pool, InputSize::Test, (6.0, 6.0), 2);
         let mut cache = PolicyCache::new(0);
-        let out = sim.run(&stream, &mut PhaseAware, &mut cache, PolicyMode::Warm);
+        let out = sim.run(
+            &stream,
+            &mut PhaseAware,
+            &mut cache,
+            &Scenario::oracle(PolicyMode::Warm),
+        );
 
         assert_eq!(out.cache.misses, 1, "one cold training");
         assert_eq!(out.cache.hits, 4, "every later tenant reuses it");
@@ -735,7 +469,12 @@ mod tests {
         }
         .generate(4, &pool, InputSize::Test, (6.0, 6.0), 2);
         let mut cache = PolicyCache::new(0);
-        let out = sim.run(&stream, &mut PhaseAware, &mut cache, PolicyMode::Warm);
+        let out = sim.run(
+            &stream,
+            &mut PhaseAware,
+            &mut cache,
+            &Scenario::oracle(PolicyMode::Warm),
+        );
         // The miss job runs cold with no schedule to guard; the three
         // hits all fail the impossible guard.
         assert_eq!(out.guard_bypasses, 3);
@@ -755,7 +494,12 @@ mod tests {
         }
         .generate(4, &pool, InputSize::Test, (6.0, 6.0), 2);
         let mut cache = PolicyCache::new(2);
-        let out = sim.run(&stream, &mut LeastLoaded, &mut cache, PolicyMode::Warm);
+        let out = sim.run(
+            &stream,
+            &mut LeastLoaded,
+            &mut cache,
+            &Scenario::oracle(PolicyMode::Warm),
+        );
         assert_eq!(out.cache.misses, 1);
         assert!(out.cache.stale_refreshes >= 1, "{:?}", out.cache);
     }
@@ -768,8 +512,9 @@ mod tests {
         let sim = FleetSim::new(&cluster, params);
         let stream = jobs(8, 3);
         let mut cache = PolicyCache::new(0);
-        let a = sim.run(&stream, &mut LeastLoaded, &mut cache, PolicyMode::Cold);
-        let b = sim.run(&stream, &mut LeastLoaded, &mut cache, PolicyMode::Cold);
+        let sc = Scenario::oracle(PolicyMode::Cold);
+        let a = sim.run(&stream, &mut LeastLoaded, &mut cache, &sc);
+        let b = sim.run(&stream, &mut LeastLoaded, &mut cache, &sc);
         assert_eq!(a.outcomes.len(), 8);
         assert_eq!(a.backend, "replay");
         // Two workloads × two architectures, calibrated once up front.
@@ -795,20 +540,13 @@ mod tests {
         machine_params.backend = BackendKind::Machine;
         let mut replay_params = FleetParams::new(5);
         replay_params.backend = BackendKind::Replay;
+        let sc = Scenario::oracle(PolicyMode::Cold);
         let mut cache = PolicyCache::new(0);
-        let exact = FleetSim::new(&cluster, machine_params).run(
-            &stream,
-            &mut LeastLoaded,
-            &mut cache,
-            PolicyMode::Cold,
-        );
+        let exact =
+            FleetSim::new(&cluster, machine_params).run(&stream, &mut LeastLoaded, &mut cache, &sc);
         let mut cache = PolicyCache::new(0);
-        let fast = FleetSim::new(&cluster, replay_params).run(
-            &stream,
-            &mut LeastLoaded,
-            &mut cache,
-            PolicyMode::Cold,
-        );
+        let fast =
+            FleetSim::new(&cluster, replay_params).run(&stream, &mut LeastLoaded, &mut cache, &sc);
         let d_energy = (fast.metrics.total_energy_j - exact.metrics.total_energy_j).abs()
             / exact.metrics.total_energy_j;
         assert!(d_energy < 0.25, "energy {:.1}% off", d_energy * 100.0);
@@ -816,5 +554,145 @@ mod tests {
         let fast_svc: f64 = fast.outcomes.iter().map(|o| o.service_s).sum();
         let d_svc = (fast_svc - exact_svc).abs() / exact_svc;
         assert!(d_svc < 0.25, "service {:.1}% off", d_svc * 100.0);
+    }
+
+    #[test]
+    fn board_churn_redistributes_queued_work() {
+        let cluster = ClusterSpec::heterogeneous(3);
+        let sim = FleetSim::new(&cluster, FleetParams::new(7));
+        let stream = jobs(10, 5);
+        let mid = stream[stream.len() / 2].arrival_s;
+        let late = stream.last().unwrap().arrival_s;
+        let sc = Scenario::online(PolicyMode::Cold)
+            .with_migration_cost(1e-6)
+            .with_churn(vec![
+                ChurnEvent {
+                    time_s: mid,
+                    board: 0,
+                    up: false,
+                },
+                ChurnEvent {
+                    time_s: late * 2.0 + 1.0,
+                    board: 0,
+                    up: true,
+                },
+            ]);
+        let mut cache = PolicyCache::new(0);
+        let out = sim.run(&stream, &mut LeastLoaded, &mut cache, &sc);
+        // Other boards stayed up: nothing may be dropped.
+        assert_eq!(out.outcomes.len(), 10);
+        assert!(out.dropped.is_empty());
+        assert_eq!(out.kernel.board_downs, 1);
+        assert_eq!(out.kernel.board_ups, 1);
+        // Jobs arriving after the outage never land on board 0.
+        for o in &out.outcomes {
+            if o.arrival_s > mid {
+                assert_ne!(o.board, 0, "job {} placed on a down board", o.id);
+            }
+        }
+        // Determinism under churn.
+        let again = sim.run(&stream, &mut LeastLoaded, &mut cache, &sc);
+        for (x, y) in out.outcomes.iter().zip(&again.outcomes) {
+            assert_eq!(x.finish_s, y.finish_s);
+            assert_eq!(x.board, y.board);
+        }
+    }
+
+    #[test]
+    fn whole_fleet_down_drops_arrivals() {
+        let cluster = ClusterSpec::heterogeneous(2);
+        let sim = FleetSim::new(&cluster, FleetParams::new(3));
+        let stream = jobs(6, 4);
+        let mid = stream[3].arrival_s;
+        // Every board goes down just before job 3 arrives, forever.
+        let sc = Scenario::online(PolicyMode::Cold).with_churn(vec![
+            ChurnEvent {
+                time_s: mid - 1e-9,
+                board: 0,
+                up: false,
+            },
+            ChurnEvent {
+                time_s: mid - 1e-9,
+                board: 1,
+                up: false,
+            },
+        ]);
+        let mut cache = PolicyCache::new(0);
+        let out = sim.run(&stream, &mut LeastLoaded, &mut cache, &sc);
+        assert!(!out.dropped.is_empty(), "late arrivals must be dropped");
+        assert_eq!(
+            out.outcomes.len() + out.dropped.len(),
+            6,
+            "every job completes or is explicitly dropped"
+        );
+        assert_eq!(
+            out.kernel.arrivals,
+            out.kernel.completions + out.kernel.dropped
+        );
+    }
+
+    #[test]
+    fn preemption_rescues_predicted_slo_misses() {
+        // One fast big-rich board and one slow LITTLE-rich board; a
+        // dispatcher that piles everything onto the slow board. The
+        // monitor must migrate queued jobs onto the idle fast board.
+        struct Pessimal;
+        impl Dispatcher for Pessimal {
+            fn name(&self) -> &'static str {
+                "pessimal"
+            }
+            fn pick(
+                &mut self,
+                state: &crate::state::ClusterState,
+                _job: &JobSpec,
+                _est: &crate::dispatch::JobEstimates,
+            ) -> usize {
+                state.up_boards().last().expect("a board is up")
+            }
+        }
+        let cluster = ClusterSpec::heterogeneous(2); // board 1: RK3399
+        let sim = FleetSim::new(&cluster, FleetParams::new(13));
+        let pool = vec![astro_workloads::by_name("swaptions").unwrap()];
+        // A tight burst with tight SLOs: queueing on one board must
+        // blow the deadline for the tail of the queue.
+        let stream = ArrivalProcess::Bursty {
+            rate_jobs_per_s: 20000.0,
+            burst: 8,
+            spread_s: 1e-5,
+        }
+        .generate(8, &pool, InputSize::Test, (2.0, 2.0), 6);
+        let sc = Scenario::online(PolicyMode::Cold).with_preemption(2e-4, 1e-6, 2);
+        let mut cache = PolicyCache::new(0);
+        let out = sim.run(&stream, &mut Pessimal, &mut cache, &sc);
+        assert_eq!(out.outcomes.len(), 8);
+        assert!(
+            out.kernel.migrations > 0,
+            "monitor should have migrated queued SLO-missers: {:?}",
+            out.kernel
+        );
+        assert!(
+            out.outcomes.iter().any(|o| o.board == 0),
+            "migrations should land work on the idle fast board"
+        );
+        // Against the same dispatcher without preemption, the rescued
+        // fleet meets at least as many SLOs.
+        let mut cache = PolicyCache::new(0);
+        let no_preempt = sim.run(
+            &stream,
+            &mut Pessimal,
+            &mut cache,
+            &Scenario::online(PolicyMode::Cold),
+        );
+        assert!(out.metrics.slo_misses <= no_preempt.metrics.slo_misses);
+    }
+
+    #[test]
+    fn chunked_map_matches_serial_map() {
+        let f = |i: usize| i * 3 + 1;
+        let serial = serial_map(17, f);
+        for workers in [1, 2, 3, 8, 32] {
+            assert_eq!(chunked_map(17, workers, f), serial);
+        }
+        assert!(chunked_map::<usize, _>(0, 4, f).is_empty());
     }
 }

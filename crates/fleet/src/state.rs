@@ -1,0 +1,323 @@
+//! Live cluster state: what the event kernel maintains and what online
+//! dispatchers observe.
+//!
+//! The batch simulator of earlier revisions handed dispatchers a
+//! precomputed view (estimated backlogs accumulated during a single
+//! sequential planning pass). The event kernel instead exposes *this*
+//! structure — per-board queues, the in-flight job, liveness, and
+//! utilisation so far — updated by arrival/completion/churn events as
+//! they happen. [`DispatchMode`] selects which backlog estimate a
+//! dispatcher sees:
+//!
+//! * [`DispatchMode::Oracle`] reproduces the batch semantics: each
+//!   board's backlog is a write-only accumulator of profiled service
+//!   estimates, never corrected by completions. Same cluster, params
+//!   and stream ⇒ the same placements the three-stage batch produced.
+//! * [`DispatchMode::Online`] derives the backlog from live state: the
+//!   in-flight job's *profiled* remaining time (observable — the kernel
+//!   never leaks the true completion instant it has already scheduled)
+//!   plus the profiled service of everything queued. Completed work
+//!   drops out immediately, so the estimate tracks reality through
+//!   bursts, estimate error and board churn.
+
+use crate::cluster::ClusterSpec;
+use crate::job::{JobOutcome, JobSpec, Taxon};
+use astro_core::schedule::StaticSchedule;
+use std::collections::VecDeque;
+
+/// What backlog estimate dispatchers observe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Batch-equivalent: profiled-estimate accumulators, blind to
+    /// completions and churn (the earlier three-stage semantics).
+    Oracle,
+    /// Live: backlog recomputed from the actual queue and in-flight
+    /// state at every decision.
+    Online,
+}
+
+impl DispatchMode {
+    /// Label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchMode::Oracle => "oracle",
+            DispatchMode::Online => "online",
+        }
+    }
+}
+
+/// A job the kernel has dispatched to a board but not yet started.
+#[derive(Clone, Debug)]
+pub struct QueuedJob {
+    /// The job.
+    pub job: JobSpec,
+    /// Resolved latency SLO, seconds.
+    pub slo_s: f64,
+    /// `Some((schedule, version))` when a cached Astro policy applies.
+    pub schedule: Option<(StaticSchedule, u32)>,
+    /// Architecture key the schedule was resolved for (a migration to a
+    /// different architecture must re-resolve or run cold).
+    pub sched_arch: &'static str,
+    /// Profiled service estimate on the board currently queuing it
+    /// (excludes migration penalties).
+    pub est_service_s: f64,
+    /// Accumulated migration cost, added to the real service time.
+    pub penalty_s: f64,
+    /// Times this job has been migrated (preemption + churn).
+    pub migrations: u32,
+}
+
+impl QueuedJob {
+    /// Estimated service including accumulated migration penalties.
+    pub fn est_total_s(&self) -> f64 {
+        self.est_service_s + self.penalty_s
+    }
+}
+
+/// The job a board is currently executing. The true completion time is
+/// kernel-private (a scheduled event); dispatchers only see the
+/// profiled estimate.
+#[derive(Clone, Debug)]
+pub struct InFlight {
+    /// Stream id.
+    pub id: u32,
+    /// Taxonomy of the running job (observable co-location signal).
+    pub taxon: Taxon,
+    /// When service began, seconds.
+    pub start_s: f64,
+    /// `start + profiled estimate` — the observable finish prediction.
+    pub est_finish_s: f64,
+    /// The resolved outcome, revealed at the completion event.
+    pub(crate) outcome: JobOutcome,
+}
+
+/// One board's live state.
+#[derive(Clone, Debug)]
+pub struct BoardState {
+    /// Is the board accepting and executing work?
+    pub up: bool,
+    /// Dispatched-but-not-started jobs, FIFO.
+    pub queue: VecDeque<QueuedJob>,
+    /// The job in service, if any.
+    pub in_flight: Option<InFlight>,
+    /// Jobs ever dispatched here (including later migrated away).
+    pub dispatched: usize,
+    /// Jobs completed here.
+    pub completed: usize,
+    /// Accumulated service seconds.
+    pub busy_s: f64,
+    /// Oracle-mode backlog accumulator (batch stage-1 semantics).
+    pub(crate) oracle_busy_until_s: f64,
+}
+
+impl BoardState {
+    fn new() -> Self {
+        BoardState {
+            up: true,
+            queue: VecDeque::new(),
+            in_flight: None,
+            dispatched: 0,
+            completed: 0,
+            busy_s: 0.0,
+            oracle_busy_until_s: 0.0,
+        }
+    }
+}
+
+/// The cluster as the kernel and dispatchers see it at one instant.
+#[derive(Clone, Debug)]
+pub struct ClusterState<'a> {
+    /// The static board specs.
+    pub spec: &'a ClusterSpec,
+    /// Which backlog estimate [`ClusterState::est_busy_until_s`] serves.
+    pub mode: DispatchMode,
+    /// The virtual clock, seconds.
+    pub now_s: f64,
+    /// Per-board live state, dispatch index order.
+    pub boards: Vec<BoardState>,
+}
+
+impl<'a> ClusterState<'a> {
+    /// Fresh state: every board up, idle and empty at time zero.
+    pub fn new(spec: &'a ClusterSpec, mode: DispatchMode) -> Self {
+        ClusterState {
+            spec,
+            mode,
+            now_s: 0.0,
+            boards: (0..spec.len()).map(|_| BoardState::new()).collect(),
+        }
+    }
+
+    /// Number of boards (up or down).
+    pub fn len(&self) -> usize {
+        self.boards.len()
+    }
+
+    /// Is the cluster empty of boards entirely?
+    pub fn is_empty(&self) -> bool {
+        self.boards.is_empty()
+    }
+
+    /// Is board `b` currently up?
+    pub fn up(&self, b: usize) -> bool {
+        self.boards[b].up
+    }
+
+    /// Indices of the boards currently up, ascending.
+    pub fn up_boards(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).filter(|&b| self.boards[b].up)
+    }
+
+    /// Is any board up?
+    pub fn any_up(&self) -> bool {
+        self.boards.iter().any(|b| b.up)
+    }
+
+    /// Dispatched-but-not-started jobs on board `b`.
+    pub fn queue_depth(&self, b: usize) -> usize {
+        self.boards[b].queue.len()
+    }
+
+    /// Taxonomy of the job board `b` is executing, if any.
+    pub fn in_flight_taxon(&self, b: usize) -> Option<Taxon> {
+        self.boards[b].in_flight.as_ref().map(|f| f.taxon)
+    }
+
+    /// Taxa queued on board `b`, queue order.
+    pub fn queued_taxa(&self, b: usize) -> Vec<Taxon> {
+        self.boards[b].queue.iter().map(|q| q.job.taxon).collect()
+    }
+
+    /// Jobs ever dispatched to board `b`.
+    pub fn dispatched(&self, b: usize) -> usize {
+        self.boards[b].dispatched
+    }
+
+    /// Fraction of elapsed virtual time board `b` spent serving.
+    pub fn utilisation(&self, b: usize) -> f64 {
+        if self.now_s > 0.0 {
+            self.boards[b].busy_s / self.now_s
+        } else {
+            0.0
+        }
+    }
+
+    /// When board `b`'s backlog is estimated to drain, per the mode:
+    /// oracle = the batch accumulator; online = observable in-flight
+    /// remaining plus queued profiled service.
+    pub fn est_busy_until_s(&self, b: usize) -> f64 {
+        match self.mode {
+            DispatchMode::Oracle => self.boards[b].oracle_busy_until_s,
+            DispatchMode::Online => self.online_busy_until_s(b),
+        }
+    }
+
+    /// The live estimate, regardless of mode (what preemption scans and
+    /// churn redistribution always use — they are online capabilities).
+    pub fn online_busy_until_s(&self, b: usize) -> f64 {
+        let s = &self.boards[b];
+        let mut t = match &s.in_flight {
+            Some(f) => f.est_finish_s.max(self.now_s),
+            None => self.now_s,
+        };
+        for q in &s.queue {
+            t += q.est_total_s();
+        }
+        t
+    }
+
+    /// Queueing delay a job dispatched now would see on board `b`.
+    pub fn backlog_s(&self, b: usize) -> f64 {
+        (self.est_busy_until_s(b) - self.now_s).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobClass;
+
+    fn qj(est: f64, penalty: f64) -> QueuedJob {
+        QueuedJob {
+            job: JobSpec {
+                id: 0,
+                workload: astro_workloads::by_name("swaptions").unwrap(),
+                taxon: Taxon {
+                    class: JobClass::Mixed,
+                    signature: 0,
+                },
+                arrival_s: 0.0,
+                slo_tightness: 4.0,
+                seed: 1,
+            },
+            slo_s: 1.0,
+            schedule: None,
+            sched_arch: "odroid-xu4",
+            est_service_s: est,
+            penalty_s: penalty,
+            migrations: 0,
+        }
+    }
+
+    #[test]
+    fn online_backlog_tracks_queue_and_in_flight() {
+        let spec = ClusterSpec::heterogeneous(2);
+        let mut st = ClusterState::new(&spec, DispatchMode::Online);
+        st.now_s = 10.0;
+        assert_eq!(st.backlog_s(0), 0.0);
+        st.boards[0].queue.push_back(qj(2.0, 0.5));
+        st.boards[0].queue.push_back(qj(1.0, 0.0));
+        // Idle board: backlog is the queued estimates (incl. penalties).
+        assert!((st.backlog_s(0) - 3.5).abs() < 1e-12);
+        assert_eq!(st.queue_depth(0), 2);
+        assert_eq!(st.queued_taxa(0).len(), 2);
+        // A stale in-flight estimate clamps to now.
+        st.boards[0].in_flight = Some(InFlight {
+            id: 9,
+            taxon: qj(1.0, 0.0).job.taxon,
+            start_s: 5.0,
+            est_finish_s: 8.0, // already past
+            outcome: crate::job::JobOutcome {
+                id: 9,
+                workload: "w",
+                class: JobClass::Mixed,
+                board: 0,
+                arrival_s: 0.0,
+                start_s: 5.0,
+                finish_s: 12.0,
+                service_s: 7.0,
+                energy_j: 1.0,
+                slo_s: 1.0,
+                migrations: 0,
+            },
+        });
+        assert!((st.backlog_s(0) - 3.5).abs() < 1e-12);
+        assert!(st.in_flight_taxon(0).is_some());
+    }
+
+    #[test]
+    fn oracle_backlog_is_the_accumulator() {
+        let spec = ClusterSpec::heterogeneous(2);
+        let mut st = ClusterState::new(&spec, DispatchMode::Oracle);
+        st.now_s = 4.0;
+        st.boards[1].oracle_busy_until_s = 9.0;
+        assert!((st.backlog_s(1) - 5.0).abs() < 1e-12);
+        // Queue contents do not move the oracle estimate.
+        st.boards[1].queue.push_back(qj(100.0, 0.0));
+        assert!((st.backlog_s(1) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn liveness_and_utilisation() {
+        let spec = ClusterSpec::heterogeneous(3);
+        let mut st = ClusterState::new(&spec, DispatchMode::Online);
+        assert!(st.any_up());
+        assert_eq!(st.up_boards().count(), 3);
+        st.boards[1].up = false;
+        assert_eq!(st.up_boards().collect::<Vec<_>>(), vec![0, 2]);
+        st.now_s = 10.0;
+        st.boards[0].busy_s = 2.5;
+        assert!((st.utilisation(0) - 0.25).abs() < 1e-12);
+        assert_eq!(st.utilisation(2), 0.0);
+    }
+}
