@@ -1,0 +1,23 @@
+//! Fleet million: the sharded kernel's scale ceiling — 1M jobs over
+//! 500 boards by default, run at `--shards 1` and `--shards <k>` with
+//! a bitwise equality check and a wall-clock comparison.
+//! `--jobs <n>`, `--boards <n>`, `--shards <k>` (default 8),
+//! `--workers <n>` (OS threads for shard advances; default: the
+//! machine's parallelism), `--seed <u64>`, `--quick` (50k jobs, 100
+//! boards, 4 shards — the CI smoke configuration), `--size` (defaults
+//! to `test`) and `--backend {machine,replay}` (default `replay` — a
+//! million cycle-accurate jobs is not a figure, it is a heat source).
+//! Count flags reject 0 up front.
+fn main() {
+    let cli = astro_bench::Cli::parse();
+    let (jobs, boards, shards) = cli.pick((50_000, 100, 4), (1_000_000, 500, 8));
+    astro_bench::figs::fleet_million::run(
+        cli.size_or(astro_workloads::InputSize::Test),
+        cli.count_flag("--jobs", jobs),
+        cli.count_flag("--boards", boards),
+        cli.seed(),
+        cli.backend_or(astro_exec::executor::BackendKind::Replay),
+        cli.count_flag("--shards", shards),
+        cli.flag("--workers", 0),
+    );
+}

@@ -12,8 +12,8 @@ fn main() {
     let (jobs, boards) = cli.pick((240, 16), (1200, 20));
     astro_bench::figs::fleet::run_backend(
         cli.size_or(astro_workloads::InputSize::Test),
-        cli.flag("--jobs", jobs),
-        cli.flag("--boards", boards),
+        cli.count_flag("--jobs", jobs),
+        cli.count_flag("--boards", boards),
         cli.seed(),
         cli.backend_or(astro_exec::executor::BackendKind::Machine),
     );

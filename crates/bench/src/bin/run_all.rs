@@ -39,7 +39,8 @@ fn main() {
     astro_bench::figs::fleet::run(astro_workloads::InputSize::Test, fjobs, fboards, seed);
     println!();
     // Churn + preemption through the event kernel, on the replay
-    // backend so the batch stays fast.
+    // backend so the batch stays fast. Shards = 2 exercises the
+    // sharded plane; the numbers are identical to shards = 1.
     let (cjobs, cboards) = cli.pick((2_000, 10), (10_000, 20));
     astro_bench::figs::fleet_churn::run(
         astro_workloads::InputSize::Test,
@@ -47,5 +48,6 @@ fn main() {
         cboards,
         seed,
         astro_exec::executor::BackendKind::Replay,
+        2,
     );
 }

@@ -118,6 +118,17 @@ impl Cli {
             })
             .unwrap_or(default)
     }
+
+    /// A *count* flag: like [`Cli::flag`] but rejects `0` with a clear
+    /// error at parse time. Use for flags where zero would only blow
+    /// up later and further from the user's mistake — `--jobs 0` has
+    /// no stream to simulate, `--boards 0` no fleet, `--shards 0` no
+    /// event queue to own the boards.
+    pub fn count_flag(&self, name: &str, default: usize) -> usize {
+        let n = self.flag(name, default);
+        assert!(n >= 1, "{name} must be at least 1, got 0");
+        n
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +188,24 @@ mod tests {
     #[should_panic(expected = "--jobs requires a value")]
     fn trailing_flag_is_an_error() {
         cli(&["--jobs"]).flag("--jobs", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "--shards must be at least 1")]
+    fn zero_shards_is_an_error() {
+        cli(&["--shards", "0"]).count_flag("--shards", 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "--jobs must be at least 1")]
+    fn zero_jobs_is_an_error() {
+        cli(&["--jobs", "0"]).count_flag("--jobs", 1200);
+    }
+
+    #[test]
+    fn count_flag_accepts_positive_values_and_defaults() {
+        assert_eq!(cli(&["--boards", "3"]).count_flag("--boards", 50), 3);
+        assert_eq!(cli(&[]).count_flag("--boards", 50), 50);
     }
 
     #[test]

@@ -120,14 +120,11 @@ pub struct Case {
 }
 
 impl Case {
-    /// `dispatcher/policy/dispatch` row label.
+    /// `dispatcher/policy/dispatch` row label (`+fb` when the
+    /// observed-service feedback layer is on — see
+    /// [`Scenario::label`]).
     pub fn label(&self) -> String {
-        format!(
-            "{}/{}/{}",
-            self.dispatcher.name(),
-            self.scenario.policy.name(),
-            self.scenario.dispatch.name()
-        )
+        format!("{}/{}", self.dispatcher.name(), self.scenario.label())
     }
 }
 

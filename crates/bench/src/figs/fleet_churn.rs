@@ -48,17 +48,28 @@ fn churn_waves(n_boards: usize) -> (Vec<usize>, Vec<usize>) {
 
 /// Run the churn experiment: `n_jobs` over `n_boards` with a mid-run
 /// outage of ~30% of the fleet, comparing oracle/online dispatch with
-/// and without preemptive redispatch.
-pub fn run(size: InputSize, n_jobs: usize, n_boards: usize, seed: u64, backend: BackendKind) {
+/// and without preemptive redispatch, plus the observed-service
+/// feedback layer on top of the headline. `shards` selects the
+/// kernel's execution-plane partition (results are identical for any
+/// value; 1 is the sequential reference).
+pub fn run(
+    size: InputSize,
+    n_jobs: usize,
+    n_boards: usize,
+    seed: u64,
+    backend: BackendKind,
+    shards: usize,
+) {
     println!(
         "=== Fleet churn: {n_jobs} tenant jobs over {n_boards} boards with a mid-run \
-         outage (seed {seed}, backend {}) ===\n",
+         outage (seed {seed}, backend {}, shards {shards}) ===\n",
         backend.name()
     );
     let cluster = ClusterSpec::heterogeneous(n_boards);
     let mut params = FleetParams::new(seed);
     params.size = size;
     params.backend = backend;
+    params.shards = shards;
     params.train.episodes = 4;
     params.refresh_episodes = 2;
     params.train.reward.gamma = 6.0;
@@ -131,6 +142,16 @@ pub fn run(size: InputSize, n_jobs: usize, n_boards: usize, seed: u64, backend: 
                 .with_churn(churn.clone())
                 .with_preemption(monitor, migration_cost, 2),
         },
+        // The headline plus the observed-service feedback layer:
+        // completions correct the profiled estimates every later
+        // dispatch and preemption prediction prices from.
+        Case {
+            dispatcher: DispatcherKind::PhaseAware,
+            scenario: Scenario::online(PolicyMode::Warm)
+                .with_churn(churn.clone())
+                .with_preemption(monitor, migration_cost, 2)
+                .with_feedback(),
+        },
     ];
 
     let sim = FleetSim::new(&cluster, params.clone());
@@ -144,9 +165,15 @@ pub fn run(size: InputSize, n_jobs: usize, n_boards: usize, seed: u64, backend: 
     for (label, out) in &rows {
         let k = &out.kernel;
         println!(
-            "  {label:<32} events {:>8}  migrations {:>5}  redistributed {:>5}  dropped {:>4}  \
-             ticks {:>6}",
-            k.events, k.migrations, k.redistributions, k.dropped, k.ticks
+            "  {label:<32} events {:>8}  migrations {:>5}  redistributed {:>5}  dropped {:>4} \
+             (no-board {:>3} / cap {:>3})  ticks {:>6}",
+            k.events,
+            k.migrations,
+            k.redistributions,
+            k.dropped,
+            k.dropped_no_board,
+            k.dropped_migration_cap,
+            k.ticks
         );
     }
 
@@ -168,6 +195,31 @@ pub fn run(size: InputSize, n_jobs: usize, n_boards: usize, seed: u64, backend: 
         } else {
             "UNEXPECTED"
         }
+    );
+
+    // The feedback layer must never make the headline worse than the
+    // cold baseline on the tail-vs-deadline headline metric.
+    let fed = row(&rows, "phase-aware/warm/online+fb");
+    let fb = &fed.metrics.feedback;
+    println!(
+        "with observed-service feedback:  p99/SLO {:.2} (vs {:.2} without, {:.2} cold baseline)  \
+         SLO miss {:.1}%  — {}",
+        fed.metrics.p99_slo_ratio,
+        headline.metrics.p99_slo_ratio,
+        baseline.metrics.p99_slo_ratio,
+        fed.metrics.slo_miss_rate() * 100.0,
+        if fed.metrics.p99_slo_ratio <= baseline.metrics.p99_slo_ratio {
+            "OK (no worse than cold on p99-vs-SLO)"
+        } else {
+            "UNEXPECTED"
+        }
+    );
+    println!(
+        "feedback accounting: {} samples;  mispredict rate {:.1}%;  \
+         mean |obs-pred|/pred {:.1}%",
+        fb.samples,
+        fb.mispredict_rate() * 100.0,
+        fb.mean_abs_rel_err() * 100.0
     );
     println!("total wall time: {wall:.2} s for {} scenarios", rows.len());
 }

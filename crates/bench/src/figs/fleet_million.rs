@@ -1,0 +1,207 @@
+//! Fleet scale ceiling: one million tenant jobs over five hundred
+//! boards through the sharded kernel, with observed-service feedback
+//! closing the dispatch loop.
+//!
+//! This is the figure the sharded kernel exists for. The PR 4 kernel
+//! funnelled every board's events through one heap, so wall-clock
+//! grew with board count; the sharded kernel partitions board state
+//! into `K` shards advanced between control events and merged at
+//! barriers, and its per-arrival estimate work is O(architectures)
+//! instead of O(boards). The figure runs the same scenario twice —
+//! `--shards 1` (the PR 4 single-loop kernel, byte-for-byte) and
+//! `--shards K` — then:
+//!
+//! * verifies the two runs are **byte-identical** (shard count is an
+//!   execution strategy, not a semantics knob), via a bitwise
+//!   fingerprint over every outcome;
+//! * reports the wall-clock ratio. On a multi-core host the shard
+//!   advances fan out across OS threads; on a single-core host the
+//!   ratio is ~1x by construction — the printed worker count says
+//!   which regime you are looking at;
+//! * reports the feedback layer's mispredict accounting: how wrong
+//!   profiled estimates were against observed service, and how much
+//!   of that error the EWMA correction absorbed.
+//!
+//! All printed simulation metrics are seed-deterministic; wall-clock
+//! timing, the speedup ratio and the "fanned out" advance counter
+//! (which depends on the worker budget, i.e. the host's core count)
+//! vary with the machine.
+
+use crate::figs::fleet::{mean_cold_service_s, tenant_pool};
+use astro_fleet::{
+    ArrivalProcess, BackendKind, ClusterSpec, FleetOutcome, FleetParams, FleetSim, PhaseAware,
+    PolicyCache, PolicyMode, Scenario,
+};
+use astro_workloads::InputSize;
+use std::time::Instant;
+
+/// Bitwise fingerprint of a run: FNV-1a over every outcome's
+/// placement and float timeline bits, so a single last-ulp divergence
+/// anywhere in a million jobs changes the digest.
+fn fingerprint(out: &FleetOutcome) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut fold = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    for o in &out.outcomes {
+        fold(o.id as u64);
+        fold(o.board as u64);
+        fold(o.start_s.to_bits());
+        fold(o.finish_s.to_bits());
+        fold(o.energy_j.to_bits());
+        fold(o.migrations as u64);
+    }
+    for d in &out.dropped {
+        fold(d.id as u64);
+        fold(d.reason as u64);
+    }
+    h
+}
+
+/// Run the million-job experiment: `n_jobs` over `n_boards` on
+/// `backend`, comparing `--shards 1` against `--shards <shards>` for
+/// wall clock and byte equality. `workers` caps the OS threads shard
+/// advances may use (0 = the machine's available parallelism).
+pub fn run(
+    size: InputSize,
+    n_jobs: usize,
+    n_boards: usize,
+    seed: u64,
+    backend: BackendKind,
+    shards: usize,
+    workers: usize,
+) {
+    let workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        workers
+    };
+    println!(
+        "=== Fleet million: {n_jobs} tenant jobs over {n_boards} boards, sharded kernel \
+         (seed {seed}, backend {}, shards {shards}, workers {workers}) ===\n",
+        backend.name()
+    );
+    let cluster = ClusterSpec::heterogeneous(n_boards);
+    let mut params = FleetParams::new(seed);
+    params.size = size;
+    params.backend = backend;
+    params.train.episodes = 4;
+    params.refresh_episodes = 2;
+    params.train.reward.gamma = 6.0;
+    params.shard_workers = workers;
+    let pool = tenant_pool();
+
+    let mean_service = mean_cold_service_s(&cluster, &pool, &params);
+    let rate = 0.85 * n_boards as f64 / mean_service;
+    println!(
+        "cluster: {n_boards} boards (alternating XU4/RK3399);  mean unloaded service {:.3} ms;  \
+         arrival rate {:.1} jobs/s (target utilisation 0.85)",
+        mean_service * 1e3,
+        rate
+    );
+
+    let t0 = Instant::now();
+    let jobs = ArrivalProcess::Poisson {
+        rate_jobs_per_s: rate,
+    }
+    .generate(n_jobs, &pool, size, (4.0, 8.0), seed);
+    println!(
+        "stream: {n_jobs} jobs generated in {:.2} s;  horizon {:.2} s of virtual time\n",
+        t0.elapsed().as_secs_f64(),
+        jobs.last().map(|j| j.arrival_s).unwrap_or(0.0)
+    );
+
+    // The headline scenario: warm policies, online dispatch, and the
+    // observed-service feedback loop closed.
+    let scenario = Scenario::online(PolicyMode::Warm).with_feedback();
+    let staleness = (n_jobs / 4).max(8) as u32;
+
+    let run_with = |k: usize| -> (FleetOutcome, f64) {
+        let mut p = params.clone();
+        p.shards = k;
+        let sim = FleetSim::new(&cluster, p);
+        let mut cache = PolicyCache::new(staleness);
+        let t0 = Instant::now();
+        let out = sim.run(&jobs, &mut PhaseAware, &mut cache, &scenario);
+        (out, t0.elapsed().as_secs_f64())
+    };
+
+    let (base, wall_1) = run_with(1);
+    println!(
+        "shards 1   (the PR 4 single-loop kernel): {wall_1:>6.2} s wall  \
+         ({:.1} k jobs/s of simulation throughput)",
+        n_jobs as f64 / wall_1 / 1e3
+    );
+    let (sharded, wall_k) = run_with(shards);
+    let k = sharded.kernel;
+    println!(
+        "shards {:<3} ({} advances, {} fanned out, {} messages): {wall_k:>6.2} s wall  \
+         ({:.1} k jobs/s)",
+        k.shards,
+        k.advances,
+        k.par_advances,
+        k.messages,
+        n_jobs as f64 / wall_k / 1e3
+    );
+    println!(
+        "speedup vs shards 1: {:.2}x  (workers {workers}; ~1x expected on a single-core host)\n",
+        wall_1 / wall_k
+    );
+
+    let identical = fingerprint(&base) == fingerprint(&sharded);
+    println!(
+        "byte-determinism: shards 1 vs shards {} outcomes {}",
+        k.shards,
+        if identical {
+            "IDENTICAL (bitwise fingerprint match)"
+        } else {
+            "DIVERGED — sharding bug"
+        }
+    );
+    assert!(
+        identical,
+        "sharded kernel diverged from the sequential kernel"
+    );
+
+    let m = &sharded.metrics;
+    println!(
+        "\nphase-aware/warm/online+fb over {} completed jobs:  p50 {:.3} ms  p95 {:.3} ms  \
+         p99 {:.3} ms  p99/SLO {:.2}  SLO miss {:.1}%  energy {:.1} J  mean util {:.2}",
+        m.jobs,
+        m.p50_s * 1e3,
+        m.p95_s * 1e3,
+        m.p99_s * 1e3,
+        m.p99_slo_ratio,
+        m.slo_miss_rate() * 100.0,
+        m.total_energy_j,
+        m.mean_util()
+    );
+    println!(
+        "policy cache: {} hits / {} misses / {} refreshes;  calibrations {};  \
+         guard bypasses {}",
+        sharded.cache.hits,
+        sharded.cache.misses,
+        sharded.cache.stale_refreshes,
+        sharded.calibrations,
+        sharded.guard_bypasses
+    );
+    let fb = &m.feedback;
+    println!(
+        "observed-service feedback: {} samples;  mispredict rate {:.1}% (band 25%);  \
+         mean |observed-predicted|/predicted {:.1}%;  {} rejected",
+        fb.samples,
+        fb.mispredict_rate() * 100.0,
+        fb.mean_abs_rel_err() * 100.0,
+        fb.rejected
+    );
+    println!(
+        "kernel: {} events;  {} arrivals;  {} completions;  dropped {} \
+         (no-board-up {}, migration-cap {})",
+        k.events, k.arrivals, k.completions, k.dropped, k.dropped_no_board, k.dropped_migration_cap
+    );
+}

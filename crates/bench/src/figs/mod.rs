@@ -14,5 +14,6 @@ pub mod fig10;
 pub mod fig11;
 pub mod fleet;
 pub mod fleet_churn;
+pub mod fleet_million;
 pub mod fleet_scale;
 pub mod table1;

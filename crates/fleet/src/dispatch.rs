@@ -11,7 +11,13 @@
 use crate::job::JobSpec;
 use crate::state::ClusterState;
 
-/// Per-board profiled estimates for the job being placed.
+/// Per-board estimates for the job being placed. Values are profiled
+/// per *architecture* and fanned out to boards by the kernel; when the
+/// scenario enables observed-service feedback
+/// ([`Scenario::with_feedback`](crate::kernel::Scenario::with_feedback)),
+/// service estimates already carry the learned per-(taxon,
+/// architecture) correction, so every dispatcher prices decisions off
+/// what the fleet has actually observed.
 #[derive(Clone, Debug)]
 pub struct JobEstimates {
     /// Estimated service time of *this* job on each board, seconds.
@@ -24,6 +30,17 @@ pub struct JobEstimates {
 }
 
 impl JobEstimates {
+    /// An all-zero scratch sized for `n_boards` boards. The kernel
+    /// allocates one per run and refills it in place per arrival, so
+    /// estimating costs no allocation however many jobs stream through.
+    pub fn zeroed(n_boards: usize) -> Self {
+        JobEstimates {
+            service_s: vec![0.0; n_boards],
+            energy_j: vec![0.0; n_boards],
+            warm: vec![false; n_boards],
+        }
+    }
+
     /// Estimated completion time of this job on board `b` given the
     /// state's backlog estimate.
     pub fn est_finish_s(&self, state: &ClusterState, b: usize) -> f64 {
@@ -128,9 +145,14 @@ impl Dispatcher for PhaseAware {
     fn pick(&mut self, state: &ClusterState, job: &JobSpec, est: &JobEstimates) -> usize {
         let overall = argmin_up(state, |b| (est.est_finish_s(state, b), b as f64));
         let tie_band = 0.02 * est.service_s[overall];
+        // Hoisted out of the filter: the best finish is a pure function
+        // of (state, overall), and backlog estimates walk the board's
+        // queue — recomputing it per candidate made every arrival
+        // O(boards^2) on large clusters.
+        let best_finish = est.est_finish_s(state, overall);
         let ties: Vec<usize> = state
             .up_boards()
-            .filter(|&b| est.est_finish_s(state, b) <= est.est_finish_s(state, overall) + tie_band)
+            .filter(|&b| est.est_finish_s(state, b) <= best_finish + tie_band)
             .collect();
         let prefers_big = Self::prefers_big(job);
         *ties

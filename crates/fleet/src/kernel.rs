@@ -1,42 +1,53 @@
-//! The discrete-event fleet kernel: a virtual-clock event queue driving
-//! online dispatch, preemptive redispatch and board churn.
+//! The discrete-event fleet kernel: a virtual-clock event loop driving
+//! online dispatch, preemptive redispatch and board churn, executed
+//! over a sharded state plane.
 //!
 //! Earlier revisions planned every placement in one sequential batch
-//! pass and only then executed boards. The kernel replaces that with a
-//! single event loop over a monotone virtual clock:
+//! pass and only then executed boards; PR 4 replaced that with a
+//! single event loop over a monotone virtual clock, and this revision
+//! splits that loop into two planes so board count stops being a
+//! sequential bottleneck:
 //!
-//! * **Arrival** — the dispatcher is invoked *now*, against the live
-//!   [`ClusterState`] (queue depths, in-flight taxa, liveness,
-//!   backlog per [`DispatchMode`]); the job's policy is resolved
-//!   against the shared cache and the admission latency guard, then the
-//!   job is queued (or started, if its board is idle).
-//! * **Completion** — the board's in-flight outcome is recorded and the
-//!   next queued job starts; its true finish time comes from one
-//!   [`Executor`] run, so the replay
-//!   backend scales the loop to hundreds of thousands of jobs.
-//! * **MonitorTick** — with preemption enabled, queued jobs predicted
-//!   to miss their SLO are migrated to a board predicted to meet it,
-//!   paying [`Scenario::migration_cost_s`].
-//! * **BoardDown / BoardUp** — churn: a departing board drains its
-//!   in-flight job but its queue is redistributed through the
-//!   dispatcher (or dropped when no board is up); a returning board
-//!   starts attracting arrivals again.
+//! * **The control plane** (this module) owns every decision that
+//!   reads global state: [`EventKind::Arrival`] (dispatcher invoked
+//!   *now* against the live [`ClusterState`]),
+//!   [`EventKind::MonitorTick`] (preemptive redispatch of predicted
+//!   SLO-missers), and [`EventKind::BoardDown`] /
+//!   [`EventKind::BoardUp`] churn. It runs sequentially, in one
+//!   deterministic (time, seed-order) sequence, because online
+//!   dispatch observes every board at once.
+//! * **The execution plane** ([`crate::shard`]) owns everything that
+//!   is board-local: [`EventKind::Completion`] chains — a board
+//!   finishing a job and starting its next — partitioned into
+//!   [`crate::shard::ShardSet`] shards that advance independently
+//!   between control timestamps and fold back at a barrier merge.
+//!   Placements are routed to shards as typed
+//!   [`crate::shard::ShardMsg`] values.
 //!
-//! Everything stays seed-deterministic: events at equal timestamps pop
-//! in push order, and every service time is a pure function of the
-//! request. [`DispatchMode::Oracle`] reproduces the batch planner's
-//! placements through this same loop, so historical comparisons stay
-//! meaningful; [`DispatchMode::Online`] is the live-feedback upgrade.
+//! Everything stays seed-deterministic *and shard-count-invariant*:
+//! events at equal timestamps keep the sequential kernel's order
+//! except same-time completions on different boards, which commute;
+//! every service time is a pure function of the request; and
+//! order-sensitive feedback observations are merged in (time, id)
+//! order at the barrier. `shards = 1` *is* the PR 4 kernel,
+//! byte-for-byte. [`DispatchMode::Oracle`] reproduces the original
+//! batch planner's placements through this same loop, so historical
+//! comparisons stay meaningful; [`DispatchMode::Online`] is the
+//! live-feedback upgrade, and [`Scenario::with_feedback`] closes the
+//! loop further by correcting profiled estimates with observed
+//! service times.
 
 use crate::cache::{CacheDecision, PolicyCache};
 use crate::dispatch::{Dispatcher, JobEstimates};
+use crate::feedback::ServiceFeedback;
 use crate::job::{JobOutcome, JobSpec};
 use crate::metrics::{FleetMetrics, FleetOutcome};
+use crate::shard::{AdvanceCtx, AdvanceDelta, ProgramSet, ShardMsg, ShardSet};
 use crate::sim::{FleetSim, PolicyMode, ProfileTable};
-use crate::state::{ClusterState, DispatchMode, InFlight, QueuedJob};
+use crate::state::{ClusterState, DispatchMode, DropReason, DroppedJob, QueuedJob};
 use astro_core::pipeline::build_static;
-use astro_exec::executor::{ExecPolicy, ExecRequest, Executor, MachineExecutor};
-use astro_exec::program::{compile, CompiledProgram};
+use astro_exec::executor::{Executor, MachineExecutor};
+use astro_exec::program::compile;
 use astro_ir::Module;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -95,9 +106,11 @@ impl Ord for Event {
     }
 }
 
-/// The kernel's pending-event queue: a binary heap popping the earliest
-/// timestamp first, ties broken by push order so the loop is
-/// deterministic whatever the float values.
+/// A pending-event queue: a binary heap popping the earliest timestamp
+/// first, ties broken by push order so processing is deterministic
+/// whatever the float values. The control plane keeps one for churn
+/// and monitor ticks; every shard keeps one for its boards'
+/// completions.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Event>,
@@ -131,6 +144,19 @@ impl EventQueue {
         ev
     }
 
+    /// The earliest pending event, without popping it.
+    pub fn peek(&self) -> Option<&Event> {
+        self.heap.peek()
+    }
+
+    /// Pop the earliest event only if it is strictly before `to_s`.
+    pub fn pop_before(&mut self, to_s: f64) -> Option<Event> {
+        match self.heap.peek() {
+            Some(ev) if ev.time_s < to_s => self.pop(),
+            _ => None,
+        }
+    }
+
     /// Pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -154,7 +180,7 @@ pub struct ChurnEvent {
 }
 
 /// What one kernel run does beyond dispatching: mode, churn schedule,
-/// preemptive redispatch.
+/// preemptive redispatch, observed-service feedback.
 #[derive(Clone, Debug)]
 pub struct Scenario {
     /// Cold stock binaries vs warm cached Astro policies.
@@ -171,9 +197,23 @@ pub struct Scenario {
     /// Service-time penalty each migration/redistribution pays (state
     /// transfer), seconds.
     pub migration_cost_s: f64,
-    /// Preemptive migrations allowed per job (churn redistribution is
-    /// not capped — a down board's queue must go somewhere).
+    /// Total migrations allowed per job before the preemption scan
+    /// stops considering it. The counter it gates
+    /// ([`QueuedJob::migrations`](crate::state::QueuedJob)) includes
+    /// churn redistributions as well as preemptive moves — the PR 4
+    /// semantics, preserved bit-for-bit.
     pub max_migrations: u32,
+    /// Churn redistributions allowed per job before it is dropped with
+    /// [`DropReason::MigrationCap`]. Counted by its own
+    /// [`QueuedJob::redispatches`](crate::state::QueuedJob) counter,
+    /// so preemptive migrations never consume this cap. The default
+    /// (`u32::MAX`) reproduces the uncapped PR 4 behaviour: a down
+    /// board's queue must go somewhere.
+    pub max_redispatches: u32,
+    /// Feed observed service times from completions back into
+    /// dispatch-time estimates through the per-(taxon, architecture)
+    /// EWMA layer ([`ServiceFeedback`]).
+    pub feedback: bool,
 }
 
 impl Scenario {
@@ -189,6 +229,8 @@ impl Scenario {
             monitor_interval_s: 0.0,
             migration_cost_s: 0.0,
             max_migrations: 2,
+            max_redispatches: u32::MAX,
+            feedback: false,
         }
     }
 
@@ -228,14 +270,39 @@ impl Scenario {
         self
     }
 
-    /// `policy/dispatch` label for reports.
+    /// Cap churn redistributions per job: a job orphaned by board
+    /// churn more than `cap` times is dropped with
+    /// [`DropReason::MigrationCap`] instead of bouncing forever.
+    pub fn with_redispatch_cap(mut self, cap: u32) -> Self {
+        self.max_redispatches = cap;
+        self
+    }
+
+    /// Enable the observed-service feedback layer: completions teach a
+    /// per-(taxon, architecture) EWMA correction that dispatch-time
+    /// estimates — and therefore the phase-aware and energy-aware
+    /// dispatchers, backlog predictions and preemption scans — consult
+    /// on every subsequent decision.
+    pub fn with_feedback(mut self) -> Self {
+        self.feedback = true;
+        self
+    }
+
+    /// `policy/dispatch` label for reports (`+fb` when the feedback
+    /// layer is on).
     pub fn label(&self) -> String {
-        format!("{}/{}", self.policy.name(), self.dispatch.name())
+        format!(
+            "{}/{}{}",
+            self.policy.name(),
+            self.dispatch.name(),
+            if self.feedback { "+fb" } else { "" }
+        )
     }
 }
 
 /// Event accounting for one kernel run. Invariant at exit:
-/// `arrivals == completions + dropped`.
+/// `arrivals == completions + dropped` and
+/// `dropped == dropped_no_board + dropped_migration_cap`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// Events processed.
@@ -244,8 +311,13 @@ pub struct KernelStats {
     pub arrivals: u64,
     /// Completion events.
     pub completions: u64,
-    /// Jobs dropped because no board was up to take them.
+    /// Jobs dropped (all reasons).
     pub dropped: u64,
+    /// Jobs dropped because no board was up to take them.
+    pub dropped_no_board: u64,
+    /// Jobs dropped because churn redistributed them past
+    /// [`Scenario::max_redispatches`].
+    pub dropped_migration_cap: u64,
     /// Preemptive (SLO-driven) migrations.
     pub migrations: u64,
     /// Churn-driven queue redistributions.
@@ -256,12 +328,83 @@ pub struct KernelStats {
     pub board_downs: u64,
     /// Boards brought (back) up.
     pub board_ups: u64,
+    /// Shards the execution plane was partitioned into.
+    pub shards: u32,
+    /// Typed messages delivered to shards (placements, migrations,
+    /// redistributions).
+    pub messages: u64,
+    /// Barrier advances of the execution plane.
+    pub advances: u64,
+    /// Advances that fanned shards out across OS threads.
+    pub par_advances: u64,
 }
 
-/// Key for the compiled static-binary memo: (workload, architecture,
-/// policy version). A workload maps to exactly one taxon, and versions
-/// are per (taxon, architecture), so the key never aliases schedules.
-type WarmKey = (&'static str, &'static str, u32);
+/// Board-architecture lookup tables, computed once per run so the
+/// per-arrival estimate work is O(architectures), not O(boards).
+struct ArchMap {
+    /// Distinct architecture keys, first-appearance order.
+    keys: Vec<&'static str>,
+    /// Architecture index of every board.
+    of_board: Vec<usize>,
+    /// A representative board index per architecture.
+    representative: Vec<usize>,
+}
+
+impl ArchMap {
+    fn new(cluster: &crate::cluster::ClusterSpec) -> Self {
+        let keys = cluster.arch_keys();
+        let of_board = (0..cluster.len())
+            .map(|b| {
+                keys.iter()
+                    .position(|&k| k == cluster.arch_key(b))
+                    .expect("every board's arch is in arch_keys")
+            })
+            .collect();
+        let representative = keys
+            .iter()
+            .map(|k| cluster.representative_board_idx(k))
+            .collect();
+        ArchMap {
+            keys,
+            of_board,
+            representative,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+/// Per-run scratch for estimate construction, refilled in place per
+/// arrival so estimating allocates nothing however many jobs stream
+/// through. The per-architecture arrays are sized to the cluster's
+/// distinct architecture count — any number of architectures works.
+struct EstScratch {
+    /// Per-board estimates handed to dispatchers (feedback-corrected).
+    est: JobEstimates,
+    /// Uncorrected per-architecture profiled walls — what policy
+    /// resolution and the admission guard reason about.
+    base_s: Vec<f64>,
+    /// Corrected per-architecture service estimates.
+    service_s: Vec<f64>,
+    /// Per-architecture energy estimates.
+    energy_j: Vec<f64>,
+    /// Per-architecture warm-cache bits.
+    warm: Vec<bool>,
+}
+
+impl EstScratch {
+    fn new(n_boards: usize, n_arches: usize) -> Self {
+        EstScratch {
+            est: JobEstimates::zeroed(n_boards),
+            base_s: vec![0.0; n_arches],
+            service_s: vec![0.0; n_arches],
+            energy_j: vec![0.0; n_arches],
+            warm: vec![false; n_arches],
+        }
+    }
+}
 
 impl FleetSim<'_> {
     /// The event loop. Public API is [`FleetSim::run`].
@@ -316,22 +459,42 @@ impl FleetSim<'_> {
             }
         }
 
+        // Stock binaries compiled up front; static builds are compiled
+        // by the control plane at dispatch/migration time. Either way
+        // the shards only ever read the memo.
+        let mut progs = ProgramSet::default();
+        for (name, module) in &modules {
+            progs
+                .cold
+                .insert(name, compile(module).expect("workload compiles"));
+        }
+
+        let arches = ArchMap::new(self.cluster);
         let mut profiles = ProfileTable::new();
         let mut state = ClusterState::new(self.cluster, scenario.dispatch);
-        let mut queue = EventQueue::new();
-        let mut stats = KernelStats::default();
+        let mut shards = ShardSet::new(n_boards, self.params.shards);
+        let workers = self.params.shard_workers.max(1);
+        let mut stats = KernelStats {
+            shards: shards.len() as u32,
+            ..KernelStats::default()
+        };
+        let mut feedback = scenario.feedback.then(ServiceFeedback::default);
         let mut train_time_s = 0.0;
         let mut train_energy_j = 0.0;
         let mut guard_bypasses = 0u64;
-        let mut cold_progs: BTreeMap<&'static str, CompiledProgram> = BTreeMap::new();
-        let mut warm_progs: BTreeMap<WarmKey, CompiledProgram> = BTreeMap::new();
         let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
-        let mut dropped: Vec<u32> = Vec::new();
+        let mut dropped: Vec<DroppedJob> = Vec::new();
+        // Per-arrival scratch, refilled in place (no per-event allocs).
+        let mut scratch = EstScratch::new(n_boards, arches.len());
 
-        // Seed the queue: churn first (so a down-at-t beats an arrival
-        // at the same t), then arrivals, then the first monitor tick.
+        // The control queue: churn first (so a down-at-t beats an
+        // arrival at the same t), then the first monitor tick. Arrivals
+        // are consumed from the (sorted) stream through a cursor, which
+        // preserves the same tie order the sequential kernel's seeding
+        // produced: churn < arrival < tick at equal timestamps.
+        let mut ctrl = EventQueue::new();
         for ev in &scenario.churn {
-            queue.push(
+            ctrl.push(
                 ev.time_s,
                 if ev.up {
                     EventKind::BoardUp(ev.board as u32)
@@ -340,46 +503,115 @@ impl FleetSim<'_> {
                 },
             );
         }
-        for (i, job) in jobs.iter().enumerate() {
-            queue.push(job.arrival_s, EventKind::Arrival(i as u32));
-        }
         if scenario.monitor_interval_s > 0.0 {
-            queue.push(scenario.monitor_interval_s, EventKind::MonitorTick);
+            ctrl.push(scenario.monitor_interval_s, EventKind::MonitorTick);
         }
+        let mut next_arrival = 0usize;
 
         // Jobs not yet completed or dropped.
         let mut open = jobs.len();
 
-        while let Some(ev) = queue.pop() {
+        loop {
+            // The next control event: the earlier of the arrival cursor
+            // and the control queue, ties resolved churn < arrival < tick
+            // (the order the sequential kernel's seeding produced).
+            let arrival_t = jobs.get(next_arrival).map(|j| j.arrival_s);
+            let queued = ctrl.peek().copied();
+            let take_ctrl = match (arrival_t, &queued) {
+                (None, None) => false,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (Some(ta), Some(e)) => {
+                    e.time_s < ta
+                        || (e.time_s == ta
+                            && matches!(e.kind, EventKind::BoardDown(_) | EventKind::BoardUp(_)))
+                }
+            };
+            let ctl = if take_ctrl {
+                ctrl.pop().map(|e| (e.time_s, e.kind))
+            } else if let Some(ta) = arrival_t {
+                let i = next_arrival;
+                next_arrival += 1;
+                Some((ta, EventKind::Arrival(i as u32)))
+            } else {
+                None
+            };
+
+            let Some((time_s, kind)) = ctl else {
+                // No control left: drain every shard's completion chain.
+                let delta = shards.advance_all(
+                    &mut state.boards,
+                    f64::INFINITY,
+                    workers,
+                    &AdvanceCtx {
+                        exec,
+                        progs: &progs,
+                        modules: &modules,
+                        specs: &self.cluster.boards,
+                        collect_observations: feedback.is_some(),
+                    },
+                );
+                fold_delta(delta, &mut stats, &mut open, &mut outcomes, &mut feedback);
+                break;
+            };
+
+            // Barrier: every completion strictly before this control
+            // event is folded in before the decision reads any state.
+            let delta = shards.advance_all(
+                &mut state.boards,
+                time_s,
+                workers,
+                &AdvanceCtx {
+                    exec,
+                    progs: &progs,
+                    modules: &modules,
+                    specs: &self.cluster.boards,
+                    collect_observations: feedback.is_some(),
+                },
+            );
+            fold_delta(delta, &mut stats, &mut open, &mut outcomes, &mut feedback);
             debug_assert!(
-                ev.time_s >= state.now_s - 1e-9,
+                time_s >= state.now_s - 1e-9,
                 "virtual clock ran backwards: {} -> {}",
                 state.now_s,
-                ev.time_s
+                time_s
             );
-            state.now_s = state.now_s.max(ev.time_s);
+            state.now_s = state.now_s.max(time_s);
             stats.events += 1;
 
-            match ev.kind {
+            match kind {
                 EventKind::Arrival(i) => {
                     stats.arrivals += 1;
                     let job = jobs[i as usize];
                     if !state.any_up() {
-                        dropped.push(job.id);
+                        dropped.push(DroppedJob {
+                            id: job.id,
+                            reason: DropReason::NoBoardUp,
+                        });
                         stats.dropped += 1;
+                        stats.dropped_no_board += 1;
                         open -= 1;
                         continue;
                     }
-                    let (est, slo_s) =
-                        self.estimates(exec, &mut profiles, cache, scenario.policy, &job, &modules);
-                    let b = dispatcher.pick(&state, &job, &est);
+                    let slo_s = self.estimates_into(
+                        exec,
+                        &mut profiles,
+                        cache,
+                        scenario.policy,
+                        &job,
+                        &modules,
+                        &arches,
+                        feedback.as_ref(),
+                        &mut scratch,
+                    );
+                    let b = dispatcher.pick(&state, &job, &scratch.est);
                     assert!(b < n_boards, "dispatcher picked board {b} of {n_boards}");
                     assert!(state.up(b), "dispatcher picked down board {b}");
 
                     // Policy resolution (training on miss/staleness) and
                     // admission latency guard.
                     let module = &modules[job.workload.name];
-                    let (schedule, svc_est) = self.resolve_with_training(
+                    let (schedule, profiled_s) = self.resolve_with_training(
                         exec,
                         &mut profiles,
                         cache,
@@ -387,10 +619,17 @@ impl FleetSim<'_> {
                         &job,
                         module,
                         b,
-                        est.service_s[b],
+                        scratch.base_s[arches.of_board[b]],
                         &mut train_time_s,
                         &mut train_energy_j,
                         &mut guard_bypasses,
+                    );
+                    ensure_static_build(&mut progs, module, &job, &schedule, &arches, b);
+                    let svc_est = corrected(
+                        profiled_s,
+                        feedback.as_ref(),
+                        &job,
+                        arches.keys[arches.of_board[b]],
                     );
 
                     // Oracle accumulator: batch stage-1 semantics.
@@ -404,43 +643,23 @@ impl FleetSim<'_> {
                         schedule,
                         sched_arch: self.cluster.arch_key(b),
                         est_service_s: svc_est,
+                        profiled_s,
                         penalty_s: 0.0,
                         migrations: 0,
+                        redispatches: 0,
                     };
-                    self.enqueue_or_start(
-                        exec,
-                        &mut state,
-                        &mut queue,
-                        &mut cold_progs,
-                        &mut warm_progs,
-                        &modules,
-                        b,
-                        qj,
-                    );
-                }
-
-                EventKind::Completion { board } => {
-                    stats.completions += 1;
-                    open -= 1;
-                    let b = board as usize;
-                    let fin = state.boards[b]
-                        .in_flight
-                        .take()
-                        .expect("completion event for an idle board");
-                    state.boards[b].completed += 1;
-                    outcomes.push(fin.outcome);
-                    if let Some(next) = state.boards[b].queue.pop_front() {
-                        self.start_job(
+                    shards.deliver(
+                        &mut state.boards,
+                        ShardMsg::Enqueue { board: b, job: qj },
+                        state.now_s,
+                        &AdvanceCtx {
                             exec,
-                            &mut state,
-                            &mut queue,
-                            &mut cold_progs,
-                            &mut warm_progs,
-                            &modules,
-                            b,
-                            next,
-                        );
-                    }
+                            progs: &progs,
+                            modules: &modules,
+                            specs: &self.cluster.boards,
+                            collect_observations: feedback.is_some(),
+                        },
+                    );
                 }
 
                 EventKind::MonitorTick => {
@@ -452,16 +671,17 @@ impl FleetSim<'_> {
                             cache,
                             scenario,
                             &mut state,
-                            &mut queue,
-                            &mut cold_progs,
-                            &mut warm_progs,
+                            &mut shards,
+                            &mut progs,
                             &modules,
+                            &arches,
+                            feedback.as_ref(),
                             &mut stats,
                             &mut guard_bypasses,
                         );
                     }
                     if open > 0 {
-                        queue.push(
+                        ctrl.push(
                             state.now_s + scenario.monitor_interval_s,
                             EventKind::MonitorTick,
                         );
@@ -473,12 +693,27 @@ impl FleetSim<'_> {
                     let b = b as usize;
                     state.boards[b].up = false;
                     // The in-flight job drains; queued work is
-                    // redistributed (or dropped when nowhere is up).
+                    // redistributed (or dropped when nowhere is up or
+                    // the redispatch cap is exhausted).
                     let orphans: Vec<QueuedJob> = state.boards[b].queue.drain(..).collect();
                     for qj in orphans {
                         if !state.any_up() {
-                            dropped.push(qj.job.id);
+                            dropped.push(DroppedJob {
+                                id: qj.job.id,
+                                reason: DropReason::NoBoardUp,
+                            });
                             stats.dropped += 1;
+                            stats.dropped_no_board += 1;
+                            open -= 1;
+                            continue;
+                        }
+                        if qj.redispatches >= scenario.max_redispatches {
+                            dropped.push(DroppedJob {
+                                id: qj.job.id,
+                                reason: DropReason::MigrationCap,
+                            });
+                            stats.dropped += 1;
+                            stats.dropped_migration_cap += 1;
                             open -= 1;
                             continue;
                         }
@@ -490,12 +725,14 @@ impl FleetSim<'_> {
                             scenario,
                             dispatcher,
                             &mut state,
-                            &mut queue,
-                            &mut cold_progs,
-                            &mut warm_progs,
+                            &mut shards,
+                            &mut progs,
                             &modules,
+                            &arches,
+                            feedback.as_ref(),
                             qj,
                             &mut guard_bypasses,
+                            &mut scratch,
                         );
                     }
                 }
@@ -504,14 +741,26 @@ impl FleetSim<'_> {
                     stats.board_ups += 1;
                     state.boards[b as usize].up = true;
                 }
+
+                EventKind::Completion { .. } => {
+                    unreachable!("completions live on shard queues, not the control queue")
+                }
             }
         }
 
+        stats.messages = shards.messages;
+        stats.advances = shards.advances;
+        stats.par_advances = shards.par_advances;
         assert_eq!(open, 0, "kernel exited with open jobs");
         assert_eq!(
             stats.arrivals,
             stats.completions + stats.dropped,
             "event accounting out of balance: {stats:?}"
+        );
+        assert_eq!(
+            stats.dropped,
+            stats.dropped_no_board + stats.dropped_migration_cap,
+            "per-reason drop accounting out of balance: {stats:?}"
         );
         debug_assert!(state
             .boards
@@ -519,9 +768,12 @@ impl FleetSim<'_> {
             .all(|s| s.queue.is_empty() && s.in_flight.is_none()));
 
         outcomes.sort_by_key(|o| o.id);
-        dropped.sort_unstable();
+        dropped.sort_by_key(|d| d.id);
         let busy: Vec<f64> = state.boards.iter().map(|s| s.busy_s).collect();
-        let metrics = FleetMetrics::from_outcomes(&outcomes, &busy, train_energy_j);
+        let mut metrics = FleetMetrics::from_outcomes(&outcomes, &busy, train_energy_j);
+        if let Some(fb) = &feedback {
+            metrics.feedback = fb.stats;
+        }
         FleetOutcome {
             metrics,
             outcomes,
@@ -543,9 +795,14 @@ impl FleetSim<'_> {
 
     // ---- admission ----------------------------------------------------------
 
-    /// Per-board profiled estimates for `job` plus its resolved SLO.
-    /// Read-only on the cache (peeks, no accounting).
-    fn estimates(
+    /// Refill `scratch` with per-board estimates for `job` (and the
+    /// uncorrected per-architecture profiled walls); returns the
+    /// resolved SLO. Profiled values are computed once per
+    /// *architecture* and fanned out to boards, so an arrival costs
+    /// O(architectures) profile lookups however many boards the
+    /// cluster has. Read-only on the cache (peeks, no accounting).
+    #[allow(clippy::too_many_arguments)]
+    fn estimates_into(
         &self,
         exec: &dyn Executor,
         profiles: &mut ProfileTable,
@@ -553,30 +810,44 @@ impl FleetSim<'_> {
         policy: PolicyMode,
         job: &JobSpec,
         modules: &BTreeMap<&'static str, Module>,
-    ) -> (JobEstimates, f64) {
-        let n_boards = self.cluster.len();
+        arches: &ArchMap,
+        feedback: Option<&ServiceFeedback>,
+        scratch: &mut EstScratch,
+    ) -> f64 {
         let module = &modules[job.workload.name];
         let slo_s = job.slo_tightness * self.best_cold_wall(exec, profiles, &job.workload, module);
-        let mut est = JobEstimates {
-            service_s: vec![0.0; n_boards],
-            energy_j: vec![0.0; n_boards],
-            warm: vec![false; n_boards],
-        };
-        for b in 0..n_boards {
-            let arch = self.cluster.arch_key(b);
-            let (wall, energy) = self.estimate_on(exec, profiles, cache, policy, job, module, b);
-            est.service_s[b] = wall;
-            est.energy_j[b] = energy;
-            est.warm[b] = policy == PolicyMode::Warm && cache.is_warm(job.taxon, arch);
+        debug_assert_eq!(scratch.base_s.len(), arches.len());
+        for a in 0..arches.len() {
+            let arch = arches.keys[a];
+            let (wall, energy) = self.estimate_on(
+                exec,
+                profiles,
+                cache,
+                policy,
+                job,
+                module,
+                arches.representative[a],
+            );
+            scratch.base_s[a] = wall;
+            scratch.service_s[a] = corrected(wall, feedback, job, arch);
+            scratch.energy_j[a] = energy;
+            scratch.warm[a] = policy == PolicyMode::Warm && cache.is_warm(job.taxon, arch);
         }
-        (est, slo_s)
+        for b in 0..arches.of_board.len() {
+            let a = arches.of_board[b];
+            scratch.est.service_s[b] = scratch.service_s[a];
+            scratch.est.energy_j[b] = scratch.energy_j[a];
+            scratch.est.warm[b] = scratch.warm[a];
+        }
+        slo_s
     }
 
     /// Arrival-path policy resolution: full cache lookup (training on
     /// miss, warm refresh on staleness — asynchronous, off the serving
     /// path, so the triggering job runs its stock binary), then the
     /// admission latency guard. Returns the schedule to run and the
-    /// guarded service estimate on board `b`.
+    /// guarded *uncorrected* profiled service estimate on board `b`
+    /// (the feedback correction, if any, is applied by the caller).
     #[allow(clippy::too_many_arguments)]
     fn resolve_with_training(
         &self,
@@ -669,108 +940,6 @@ impl FleetSim<'_> {
         }
     }
 
-    // ---- execution ----------------------------------------------------------
-
-    /// Queue `qj` on board `b`, starting it immediately when idle.
-    #[allow(clippy::too_many_arguments)]
-    fn enqueue_or_start(
-        &self,
-        exec: &dyn Executor,
-        state: &mut ClusterState,
-        queue: &mut EventQueue,
-        cold_progs: &mut BTreeMap<&'static str, CompiledProgram>,
-        warm_progs: &mut BTreeMap<WarmKey, CompiledProgram>,
-        modules: &BTreeMap<&'static str, Module>,
-        b: usize,
-        qj: QueuedJob,
-    ) {
-        if state.boards[b].in_flight.is_none() {
-            self.start_job(exec, state, queue, cold_progs, warm_progs, modules, b, qj);
-        } else {
-            state.boards[b].queue.push_back(qj);
-        }
-    }
-
-    /// Begin service of `qj` on idle board `b` *now*: one executor run
-    /// fixes the true finish time, the completion event is scheduled,
-    /// and dispatchers see only the profiled estimate until then.
-    #[allow(clippy::too_many_arguments)]
-    fn start_job(
-        &self,
-        exec: &dyn Executor,
-        state: &mut ClusterState,
-        queue: &mut EventQueue,
-        cold_progs: &mut BTreeMap<&'static str, CompiledProgram>,
-        warm_progs: &mut BTreeMap<WarmKey, CompiledProgram>,
-        modules: &BTreeMap<&'static str, Module>,
-        b: usize,
-        qj: QueuedJob,
-    ) {
-        debug_assert!(state.boards[b].in_flight.is_none());
-        let spec = &self.cluster.boards[b];
-        let w = &qj.job.workload;
-        let module = &modules[w.name];
-        let full = spec.config_space().full();
-        let r = match &qj.schedule {
-            None => {
-                // Stock binary under GTS (cold mode, cache misses
-                // awaiting the async training, guard bypasses).
-                let prog = cold_progs
-                    .entry(w.name)
-                    .or_insert_with(|| compile(module).expect("workload compiles"));
-                exec.execute(&ExecRequest {
-                    workload: w.name,
-                    module,
-                    program: prog,
-                    board: spec,
-                    config: full,
-                    policy: ExecPolicy::Gts,
-                    seed: qj.job.seed,
-                })
-            }
-            Some((st, version)) => {
-                let prog = warm_progs
-                    .entry((w.name, qj.sched_arch, *version))
-                    .or_insert_with(|| {
-                        compile(&build_static(module, st)).expect("static build compiles")
-                    });
-                exec.execute(&ExecRequest {
-                    workload: w.name,
-                    module,
-                    program: prog,
-                    board: spec,
-                    config: full,
-                    policy: ExecPolicy::StaticTable(st.as_table()),
-                    seed: qj.job.seed,
-                })
-            }
-        };
-        let start = state.now_s;
-        let service = r.wall_time_s + qj.penalty_s;
-        let finish = start + service;
-        state.boards[b].busy_s += service;
-        state.boards[b].in_flight = Some(InFlight {
-            id: qj.job.id,
-            taxon: qj.job.taxon,
-            start_s: start,
-            est_finish_s: start + qj.est_total_s(),
-            outcome: JobOutcome {
-                id: qj.job.id,
-                workload: w.name,
-                class: qj.job.class(),
-                board: b,
-                arrival_s: qj.job.arrival_s,
-                start_s: start,
-                finish_s: finish,
-                service_s: service,
-                energy_j: r.energy_j,
-                slo_s: qj.slo_s,
-                migrations: qj.migrations,
-            },
-        });
-        queue.push(finish, EventKind::Completion { board: b as u32 });
-    }
-
     // ---- migration ----------------------------------------------------------
 
     /// Re-resolve a migrating job's schedule for the target board
@@ -788,6 +957,7 @@ impl FleetSim<'_> {
         target: usize,
         guard_bypasses: &mut u64,
         modules: &BTreeMap<&'static str, Module>,
+        feedback: Option<&ServiceFeedback>,
     ) -> QueuedJob {
         let arch = self.cluster.arch_key(target);
         let module = &modules[qj.job.workload.name];
@@ -808,7 +978,7 @@ impl FleetSim<'_> {
             ProfileTable::COLD,
             None,
         );
-        let (schedule, svc_est) = self.apply_guard(
+        let (schedule, profiled_s) = self.apply_guard(
             exec,
             profiles,
             &qj.job,
@@ -820,7 +990,8 @@ impl FleetSim<'_> {
         );
         qj.schedule = schedule;
         qj.sched_arch = arch;
-        qj.est_service_s = svc_est;
+        qj.profiled_s = profiled_s;
+        qj.est_service_s = corrected(profiled_s, feedback, &qj.job, arch);
         qj.penalty_s += scenario.migration_cost_s;
         qj.migrations += 1;
         qj
@@ -837,17 +1008,29 @@ impl FleetSim<'_> {
         scenario: &Scenario,
         dispatcher: &mut dyn Dispatcher,
         state: &mut ClusterState,
-        queue: &mut EventQueue,
-        cold_progs: &mut BTreeMap<&'static str, CompiledProgram>,
-        warm_progs: &mut BTreeMap<WarmKey, CompiledProgram>,
+        shards: &mut ShardSet,
+        progs: &mut ProgramSet,
         modules: &BTreeMap<&'static str, Module>,
+        arches: &ArchMap,
+        feedback: Option<&ServiceFeedback>,
         qj: QueuedJob,
         guard_bypasses: &mut u64,
+        scratch: &mut EstScratch,
     ) -> usize {
-        let (est, _) = self.estimates(exec, profiles, cache, scenario.policy, &qj.job, modules);
-        let b = dispatcher.pick(state, &qj.job, &est);
+        self.estimates_into(
+            exec,
+            profiles,
+            cache,
+            scenario.policy,
+            &qj.job,
+            modules,
+            arches,
+            feedback,
+            scratch,
+        );
+        let b = dispatcher.pick(state, &qj.job, &scratch.est);
         assert!(state.up(b), "dispatcher picked down board {b}");
-        let qj = self.migrate_onto(
+        let mut qj = self.migrate_onto(
             exec,
             profiles,
             cache,
@@ -856,13 +1039,30 @@ impl FleetSim<'_> {
             b,
             guard_bypasses,
             modules,
+            feedback,
         );
+        // Churn redistributions are capped by their own counter —
+        // preemptive migrations (max_migrations) do not consume it.
+        qj.redispatches += 1;
+        let module = &modules[qj.job.workload.name];
+        ensure_static_build(progs, module, &qj.job, &qj.schedule, arches, b);
         // Oracle accumulators track redistributed work too (the oracle
         // still books what it re-plans, it just never observes reality).
         let acc = &mut state.boards[b].oracle_busy_until_s;
         *acc = acc.max(state.now_s) + qj.est_total_s();
         state.boards[b].dispatched += 1;
-        self.enqueue_or_start(exec, state, queue, cold_progs, warm_progs, modules, b, qj);
+        shards.deliver(
+            &mut state.boards,
+            ShardMsg::Enqueue { board: b, job: qj },
+            state.now_s,
+            &AdvanceCtx {
+                exec,
+                progs,
+                modules,
+                specs: &self.cluster.boards,
+                collect_observations: feedback.is_some(),
+            },
+        );
         b
     }
 
@@ -879,10 +1079,11 @@ impl FleetSim<'_> {
         cache: &mut PolicyCache,
         scenario: &Scenario,
         state: &mut ClusterState,
-        queue: &mut EventQueue,
-        cold_progs: &mut BTreeMap<&'static str, CompiledProgram>,
-        warm_progs: &mut BTreeMap<WarmKey, CompiledProgram>,
+        shards: &mut ShardSet,
+        progs: &mut ProgramSet,
         modules: &BTreeMap<&'static str, Module>,
+        arches: &ArchMap,
+        feedback: Option<&ServiceFeedback>,
         stats: &mut KernelStats,
         guard_bypasses: &mut u64,
     ) {
@@ -914,6 +1115,8 @@ impl FleetSim<'_> {
                             module,
                             b2,
                         );
+                        let wall =
+                            corrected(wall, feedback, &qj.job, arches.keys[arches.of_board[b2]]);
                         // The job keeps its already-accumulated penalty
                         // on the target board, so the prediction must
                         // carry it — or a re-migration could be
@@ -941,10 +1144,25 @@ impl FleetSim<'_> {
                             b2,
                             guard_bypasses,
                             modules,
+                            feedback,
                         );
+                        let module = &modules[qj2.job.workload.name];
+                        ensure_static_build(progs, module, &qj2.job, &qj2.schedule, arches, b2);
                         state.boards[b2].dispatched += 1;
-                        self.enqueue_or_start(
-                            exec, state, queue, cold_progs, warm_progs, modules, b2, qj2,
+                        shards.deliver(
+                            &mut state.boards,
+                            ShardMsg::Enqueue {
+                                board: b2,
+                                job: qj2,
+                            },
+                            state.now_s,
+                            &AdvanceCtx {
+                                exec,
+                                progs,
+                                modules,
+                                specs: &self.cluster.boards,
+                                collect_observations: feedback.is_some(),
+                            },
                         );
                         stats.migrations += 1;
                     }
@@ -960,9 +1178,10 @@ impl FleetSim<'_> {
 
     /// Observable (wall, energy) estimate of `job` on board `b` under
     /// the schedule it would run there (fresh cache line or stock
-    /// binary). The single source of the policy-estimate rule: both
-    /// arrival-time dispatch estimates and preemption-scan predictions
-    /// go through here, so they can never disagree.
+    /// binary), *uncorrected* — callers fold the feedback correction
+    /// in via [`corrected`]. The single source of the policy-estimate
+    /// rule: both arrival-time dispatch estimates and preemption-scan
+    /// predictions go through here, so they can never disagree.
     #[allow(clippy::too_many_arguments)]
     fn estimate_on(
         &self,
@@ -1000,6 +1219,63 @@ impl FleetSim<'_> {
     }
 }
 
+/// Apply the feedback correction to an uncorrected estimate (identity
+/// when the layer is disabled — bit-for-bit, not just numerically).
+fn corrected(
+    wall_s: f64,
+    feedback: Option<&ServiceFeedback>,
+    job: &JobSpec,
+    arch: &'static str,
+) -> f64 {
+    match feedback {
+        Some(fb) => wall_s * fb.correction(job.taxon, arch),
+        None => wall_s,
+    }
+}
+
+/// Make sure the static build a queued job will run is compiled into
+/// the program memo before the job reaches a shard (shards only read).
+fn ensure_static_build(
+    progs: &mut ProgramSet,
+    module: &Module,
+    job: &JobSpec,
+    schedule: &Option<(astro_core::schedule::StaticSchedule, u32)>,
+    arches: &ArchMap,
+    b: usize,
+) {
+    if let Some((st, version)) = schedule {
+        let key = (job.workload.name, arches.keys[arches.of_board[b]], *version);
+        progs
+            .warm
+            .entry(key)
+            .or_insert_with(|| compile(&build_static(module, st)).expect("static build compiles"));
+    }
+}
+
+/// Fold one barrier merge into the run accounting: completions become
+/// events, outcomes accumulate, and feedback observations are applied
+/// in (completion time, job id) order so the learned state is
+/// identical for every shard count.
+fn fold_delta(
+    delta: AdvanceDelta,
+    stats: &mut KernelStats,
+    open: &mut usize,
+    outcomes: &mut Vec<JobOutcome>,
+    feedback: &mut Option<ServiceFeedback>,
+) {
+    stats.events += delta.completions;
+    stats.completions += delta.completions;
+    *open -= delta.completions as usize;
+    outcomes.extend(delta.outcomes);
+    if let Some(fb) = feedback {
+        let mut obs = delta.observations;
+        obs.sort_by(|x, y| x.finish_s.total_cmp(&y.finish_s).then(x.id.cmp(&y.id)));
+        for o in obs {
+            fb.observe(o.taxon, o.arch, o.profiled_s, o.observed_s);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1027,6 +1303,25 @@ mod tests {
     }
 
     #[test]
+    fn pop_before_is_strict() {
+        let mut q = EventQueue::new();
+        q.push(1.0, EventKind::Completion { board: 0 });
+        q.push(2.0, EventKind::Completion { board: 1 });
+        assert!(q.pop_before(1.0).is_none(), "strictly-before must exclude");
+        assert_eq!(
+            q.pop_before(1.5).unwrap().kind,
+            EventKind::Completion { board: 0 }
+        );
+        assert!(q.pop_before(1.5).is_none());
+        assert_eq!(q.peek().unwrap().time_s, 2.0);
+        assert_eq!(
+            q.pop_before(f64::INFINITY).unwrap().kind,
+            EventKind::Completion { board: 1 }
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn scenario_builders_compose() {
         let s = Scenario::online(PolicyMode::Warm)
             .with_churn(vec![ChurnEvent {
@@ -1038,11 +1333,19 @@ mod tests {
         assert_eq!(s.dispatch, DispatchMode::Online);
         assert!(s.preemption);
         assert_eq!(s.max_migrations, 3);
+        assert_eq!(s.max_redispatches, u32::MAX);
+        assert!(!s.feedback);
         assert_eq!(s.churn.len(), 1);
         assert_eq!(s.label(), "warm/online");
         let o = Scenario::oracle(PolicyMode::Cold);
         assert_eq!(o.dispatch, DispatchMode::Oracle);
         assert!(!o.preemption);
         assert_eq!(o.label(), "cold/oracle");
+        let f = Scenario::online(PolicyMode::Warm)
+            .with_feedback()
+            .with_redispatch_cap(3);
+        assert!(f.feedback);
+        assert_eq!(f.max_redispatches, 3);
+        assert_eq!(f.label(), "warm/online+fb");
     }
 }

@@ -24,21 +24,38 @@
 //! Everything is seed-deterministic: the same cluster, parameters, job
 //! stream and [`Scenario`] produce byte-identical outcomes.
 //!
+//! The kernel's state is **sharded** ([`shard`]): boards are
+//! partitioned into contiguous shards, each owning its slice of board
+//! state and its own completion event queue, advanced independently
+//! between control events and folded back at a barrier merge — so
+//! board count is no longer a sequential bottleneck and results stay
+//! byte-identical for *every* shard count (`shards = 1` is the PR 4
+//! single-loop kernel, byte-for-byte). On top of the kernel,
+//! completion events feed observed service times into a
+//! per-(taxonomy, architecture) EWMA correction layer ([`feedback`])
+//! that dispatchers consult on every subsequent decision — the
+//! paper's "observed, not assumed, costs" principle applied at fleet
+//! scale.
+//!
 //! Execution goes through the pluggable
 //! [`Executor`](astro_exec::executor::Executor) contract: the default
 //! [`BackendKind::Machine`] interprets every job cycle-accurately, while
 //! [`BackendKind::Replay`] calibrates per-configuration trace sets once
 //! per (workload, architecture) and then answers each job by trace
-//! composition — the fast tier that scales the kernel to hundreds of
-//! thousands of jobs.
+//! composition — the fast tier that scales the kernel to a million
+//! jobs over hundreds of boards (see the `fleet_million` figure).
+
+#![warn(missing_docs)]
 
 pub mod arrival;
 pub mod cache;
 pub mod cluster;
 pub mod dispatch;
+pub mod feedback;
 pub mod job;
 pub mod kernel;
 pub mod metrics;
+pub mod shard;
 pub mod sim;
 pub mod state;
 
@@ -47,8 +64,12 @@ pub use astro_exec::executor::BackendKind;
 pub use cache::{CacheDecision, CacheStats, PolicyCache, PolicyEntry};
 pub use cluster::ClusterSpec;
 pub use dispatch::{Dispatcher, EnergyAware, JobEstimates, LeastLoaded, PhaseAware};
+pub use feedback::{FeedbackStats, ServiceFeedback};
 pub use job::{classify_module, taxon_of, JobClass, JobOutcome, JobSpec, Taxon};
 pub use kernel::{ChurnEvent, Event, EventKind, EventQueue, KernelStats, Scenario};
 pub use metrics::{percentile, FleetMetrics, FleetOutcome};
+pub use shard::{ShardMsg, ShardSet};
 pub use sim::{chunked_map, serial_map, FleetParams, FleetSim, PolicyMode};
-pub use state::{BoardState, ClusterState, DispatchMode, InFlight, QueuedJob};
+pub use state::{
+    BoardState, ClusterState, DispatchMode, DropReason, DroppedJob, InFlight, QueuedJob,
+};

@@ -1,8 +1,11 @@
 //! Fleet-level metrics: throughput, latency percentiles vs SLO,
-//! cluster-wide energy, per-board utilisation.
+//! cluster-wide energy, per-board utilisation, and observed-service
+//! mispredict accounting.
 
 use crate::cache::CacheStats;
+use crate::feedback::FeedbackStats;
 use crate::job::JobOutcome;
+use crate::state::DroppedJob;
 
 /// Nearest-rank percentile of an ascending-sorted slice (`q` in 0..100).
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -40,6 +43,10 @@ pub struct FleetMetrics {
     pub total_energy_j: f64,
     /// Per-board busy fraction of the makespan.
     pub board_util: Vec<f64>,
+    /// Observed-service feedback accounting (all-zero when the
+    /// scenario ran without the feedback layer): samples folded,
+    /// rejected observations, mispredicts and mean prediction error.
+    pub feedback: FeedbackStats,
 }
 
 impl FleetMetrics {
@@ -86,6 +93,7 @@ impl FleetMetrics {
             slo_misses: outcomes.iter().filter(|o| !o.slo_met()).count(),
             p99_slo_ratio: percentile(&slo_ratios, 99.0),
             total_energy_j,
+            feedback: FeedbackStats::default(),
             board_util: board_busy_s
                 .iter()
                 .map(|&b| {
@@ -143,10 +151,13 @@ pub struct FleetOutcome {
     pub calibrations: u64,
     /// Dispatch mode label (`"oracle"` or `"online"`).
     pub dispatch: &'static str,
-    /// Stream ids of jobs dropped because no board was up to take them
-    /// (board churn), ascending. Dropped jobs have no [`JobOutcome`].
-    pub dropped: Vec<u32>,
-    /// Event-kernel accounting for the run.
+    /// Jobs the kernel dropped instead of completing, ascending by
+    /// stream id, each tagged with its
+    /// [`DropReason`](crate::state::DropReason) (no board up vs
+    /// redispatch cap). Dropped jobs have no [`JobOutcome`].
+    pub dropped: Vec<DroppedJob>,
+    /// Event-kernel accounting for the run (including shard-plane
+    /// counters: shards, messages, advances).
     pub kernel: crate::kernel::KernelStats,
 }
 

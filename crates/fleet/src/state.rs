@@ -46,6 +46,38 @@ impl DispatchMode {
     }
 }
 
+/// Why the kernel dropped a job instead of completing it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DropReason {
+    /// No board was up to take the job (arrival or churn
+    /// redistribution with the whole fleet down).
+    NoBoardUp,
+    /// The job exhausted the scenario's churn-redispatch cap
+    /// ([`Scenario::max_redispatches`](crate::kernel::Scenario)) while
+    /// its board was down.
+    MigrationCap,
+}
+
+impl DropReason {
+    /// Stable label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::NoBoardUp => "no-board-up",
+            DropReason::MigrationCap => "migration-cap",
+        }
+    }
+}
+
+/// One dropped job: which, and why. Dropped jobs have no
+/// [`JobOutcome`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DroppedJob {
+    /// The job's stream id.
+    pub id: u32,
+    /// Why it was dropped.
+    pub reason: DropReason,
+}
+
 /// A job the kernel has dispatched to a board but not yet started.
 #[derive(Clone, Debug)]
 pub struct QueuedJob {
@@ -58,13 +90,25 @@ pub struct QueuedJob {
     /// Architecture key the schedule was resolved for (a migration to a
     /// different architecture must re-resolve or run cold).
     pub sched_arch: &'static str,
-    /// Profiled service estimate on the board currently queuing it
-    /// (excludes migration penalties).
+    /// Service estimate on the board currently queuing it (excludes
+    /// migration penalties). With observed-service feedback enabled
+    /// this is the profiled estimate times the learned correction;
+    /// otherwise it equals [`QueuedJob::profiled_s`].
     pub est_service_s: f64,
+    /// Uncorrected profiled service estimate — the reference the
+    /// feedback layer compares observed service against.
+    pub profiled_s: f64,
     /// Accumulated migration cost, added to the real service time.
     pub penalty_s: f64,
     /// Times this job has been migrated (preemption + churn).
     pub migrations: u32,
+    /// Times this job was redistributed by board *churn* specifically —
+    /// the counter [`Scenario::max_redispatches`](crate::kernel::Scenario)
+    /// caps. Preemptive migrations do not count here (though both
+    /// kinds of move count towards the total in
+    /// [`QueuedJob::migrations`], which is what `max_migrations`
+    /// gates — the PR 4 semantics).
+    pub redispatches: u32,
 }
 
 impl QueuedJob {
@@ -85,8 +129,15 @@ pub struct InFlight {
     pub taxon: Taxon,
     /// When service began, seconds.
     pub start_s: f64,
-    /// `start + profiled estimate` — the observable finish prediction.
+    /// `start + estimate` — the observable finish prediction.
     pub est_finish_s: f64,
+    /// Uncorrected profiled service estimate, carried so the
+    /// completion event can feed the observed/profiled ratio to the
+    /// feedback layer.
+    pub profiled_s: f64,
+    /// True service time of the run itself, excluding migration
+    /// penalties — what the feedback layer observes.
+    pub raw_service_s: f64,
     /// The resolved outcome, revealed at the completion event.
     pub(crate) outcome: JobOutcome,
 }
@@ -254,8 +305,10 @@ mod tests {
             schedule: None,
             sched_arch: "odroid-xu4",
             est_service_s: est,
+            profiled_s: est,
             penalty_s: penalty,
             migrations: 0,
+            redispatches: 0,
         }
     }
 
@@ -277,6 +330,8 @@ mod tests {
             taxon: qj(1.0, 0.0).job.taxon,
             start_s: 5.0,
             est_finish_s: 8.0, // already past
+            profiled_s: 3.0,
+            raw_service_s: 7.0,
             outcome: crate::job::JobOutcome {
                 id: 9,
                 workload: "w",

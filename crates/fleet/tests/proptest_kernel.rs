@@ -71,8 +71,8 @@ proptest! {
         // Every arrival ends as exactly one completion or one drop.
         prop_assert_eq!(out.outcomes.len() + out.dropped.len(), n_jobs);
         let mut seen: BTreeSet<u32> = out.outcomes.iter().map(|o| o.id).collect();
-        for id in &out.dropped {
-            prop_assert!(seen.insert(*id), "job {id} both completed and dropped");
+        for d in &out.dropped {
+            prop_assert!(seen.insert(d.id), "job {} both completed and dropped", d.id);
         }
         prop_assert_eq!(seen.len(), n_jobs);
 

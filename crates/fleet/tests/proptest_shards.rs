@@ -1,0 +1,214 @@
+//! Property tests for the sharded kernel: partitioning the board
+//! state into K shards is an implementation strategy, not a semantics
+//! change — a fixed scenario must produce byte-identical outcomes for
+//! every shard count, including the degenerate `K = 1` (the PR 4
+//! single-loop kernel) and a count that does not divide the board
+//! count evenly.
+
+use astro_fleet::{
+    ArrivalProcess, ChurnEvent, ClusterSpec, FleetOutcome, FleetParams, FleetSim, LeastLoaded,
+    PolicyCache, PolicyMode, Scenario,
+};
+use astro_workloads::{InputSize, Workload};
+use proptest::prelude::*;
+
+fn pool() -> Vec<Workload> {
+    ["swaptions", "bfs"]
+        .iter()
+        .map(|n| astro_workloads::by_name(n).unwrap())
+        .collect()
+}
+
+/// Bitwise fingerprint of everything a scenario observes: per-job
+/// placements, float timelines (compared through `to_bits`, so even a
+/// last-ulp drift fails), drops with reasons, and the event counters.
+fn fingerprint(out: &FleetOutcome) -> Vec<u64> {
+    let mut fp = Vec::new();
+    for o in &out.outcomes {
+        fp.push(o.id as u64);
+        fp.push(o.board as u64);
+        fp.push(o.start_s.to_bits());
+        fp.push(o.finish_s.to_bits());
+        fp.push(o.service_s.to_bits());
+        fp.push(o.energy_j.to_bits());
+        fp.push(o.slo_s.to_bits());
+        fp.push(o.migrations as u64);
+    }
+    for d in &out.dropped {
+        fp.push(d.id as u64);
+        fp.push(d.reason as u64);
+    }
+    let k = &out.kernel;
+    fp.extend([
+        k.events,
+        k.arrivals,
+        k.completions,
+        k.dropped,
+        k.dropped_no_board,
+        k.dropped_migration_cap,
+        k.migrations,
+        k.redistributions,
+        k.ticks,
+    ]);
+    fp.push(out.metrics.p99_s.to_bits());
+    fp.push(out.metrics.total_energy_j.to_bits());
+    fp.push(out.metrics.feedback.samples);
+    fp.push(out.metrics.feedback.mispredicts);
+    fp
+}
+
+/// The multi-threaded advance branch only engages past
+/// `PAR_MIN_PENDING` pending completions, and pending is bounded by
+/// the board count — so small-cluster tests always take the serial
+/// branch. This test builds a cluster big enough (300 boards, a
+/// near-simultaneous burst filling every board) that the fan-out
+/// genuinely runs, asserts it ran (`par_advances > 0`), and checks
+/// the result is byte-identical to the all-serial execution.
+#[test]
+fn threaded_advance_branch_runs_and_matches_serial() {
+    let cluster = ClusterSpec::heterogeneous(300);
+    let jobs = ArrivalProcess::Bursty {
+        rate_jobs_per_s: 2_000_000.0,
+        burst: 64,
+        spread_s: 1e-7,
+    }
+    .generate(600, &pool(), InputSize::Test, (4.0, 8.0), 11);
+    let scenario = Scenario::online(PolicyMode::Cold);
+
+    let run = |workers: usize| {
+        let mut params = FleetParams::new(11);
+        params.backend = astro_fleet::BackendKind::Replay;
+        params.shards = 4;
+        params.shard_workers = workers;
+        let sim = FleetSim::new(&cluster, params);
+        let mut cache = PolicyCache::new(0);
+        sim.run(&jobs, &mut LeastLoaded, &mut cache, &scenario)
+    };
+
+    let serial = run(1);
+    let threaded = run(4);
+    assert_eq!(serial.kernel.par_advances, 0, "workers=1 must stay serial");
+    assert!(
+        threaded.kernel.par_advances > 0,
+        "300 busy boards must cross the fan-out threshold: {:?}",
+        threaded.kernel
+    );
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&threaded),
+        "threaded shard advance diverged from serial"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// One scenario, four shard counts (including a count that leaves
+    /// a ragged final chunk and one larger than some clusters): all
+    /// byte-identical. Exercises churn, preemption, the feedback
+    /// layer and the redispatch cap across the shard boundary.
+    #[test]
+    fn outcomes_are_byte_identical_across_shard_counts(
+        n_jobs in 4usize..14,
+        n_boards in 2usize..6,
+        rate in 200.0f64..20_000.0,
+        online_bit in 0u8..2,
+        preempt_bit in 0u8..2,
+        feedback_bit in 0u8..2,
+        cap_pick in 0u8..3,
+        // Churn times on an integer grid strictly inside the horizon,
+        // so churn never ties with an arrival timestamp (same-time
+        // control ordering is pinned separately; this test is about
+        // shard invariance).
+        churn_raw in prop::collection::vec((0usize..6, 0u8..2, 1u32..96), 0..5),
+        seed in 0u64..200,
+    ) {
+        let online = online_bit == 1;
+        let cap = [0u32, 1, u32::MAX][cap_pick as usize];
+        let cluster = ClusterSpec::heterogeneous(n_boards);
+        let jobs = ArrivalProcess::Poisson { rate_jobs_per_s: rate }
+            .generate(n_jobs, &pool(), InputSize::Test, (2.0, 8.0), seed);
+        let horizon = jobs.last().unwrap().arrival_s;
+        let churn: Vec<ChurnEvent> = churn_raw
+            .iter()
+            .map(|&(b, up, grid)| ChurnEvent {
+                time_s: grid as f64 / 97.0 * horizon,
+                board: b % n_boards,
+                up: up == 1,
+            })
+            .collect();
+        let mut scenario = if online {
+            Scenario::online(PolicyMode::Cold)
+        } else {
+            Scenario::oracle(PolicyMode::Cold)
+        }
+        .with_migration_cost(1e-6)
+        .with_redispatch_cap(cap)
+        .with_churn(churn);
+        if preempt_bit == 1 && online {
+            scenario = scenario.with_preemption(0.3 / rate * n_boards as f64, 1e-6, 2);
+        }
+        if feedback_bit == 1 {
+            scenario = scenario.with_feedback();
+        }
+
+        let mut reference: Option<(usize, Vec<u64>)> = None;
+        for shards in [1usize, 2, 4, 7] {
+            let mut params = FleetParams::new(seed);
+            params.shards = shards;
+            let sim = FleetSim::new(&cluster, params);
+            let mut cache = PolicyCache::new(0);
+            let out = sim.run(&jobs, &mut LeastLoaded, &mut cache, &scenario);
+            let k = out.kernel.shards as usize;
+            prop_assert!(
+                k >= 1 && k <= shards.min(n_boards),
+                "shard count must clamp into [1, min(requested, boards)]: got {k}"
+            );
+            let fp = fingerprint(&out);
+            match &reference {
+                None => reference = Some((shards, fp)),
+                Some((k0, fp0)) => prop_assert_eq!(
+                    fp0,
+                    &fp,
+                    "shards={} and shards={} disagree (seed {}, {} jobs, {} boards)",
+                    k0,
+                    shards,
+                    seed,
+                    n_jobs,
+                    n_boards
+                ),
+            }
+        }
+    }
+
+    /// The redispatch cap drops per-reason: with cap 0 every churn
+    /// orphan is dropped with the migration-cap reason (never
+    /// silently completed, never misfiled as no-board-up while other
+    /// boards are up), and accounting balances.
+    #[test]
+    fn redispatch_cap_drops_are_reported_per_reason(
+        n_jobs in 6usize..14,
+        seed in 0u64..100,
+    ) {
+        let cluster = ClusterSpec::heterogeneous(3);
+        let sim = FleetSim::new(&cluster, FleetParams::new(seed));
+        // High rate so board 0's queue is busy when it goes down.
+        let jobs = ArrivalProcess::Poisson { rate_jobs_per_s: 50_000.0 }
+            .generate(n_jobs, &pool(), InputSize::Test, (2.0, 6.0), seed);
+        let horizon = jobs.last().unwrap().arrival_s;
+        let scenario = Scenario::online(PolicyMode::Cold)
+            .with_redispatch_cap(0)
+            .with_churn(vec![ChurnEvent { time_s: horizon * 0.5, board: 0, up: false }]);
+        let mut cache = PolicyCache::new(0);
+        let out = sim.run(&jobs, &mut LeastLoaded, &mut cache, &scenario);
+        let k = &out.kernel;
+        prop_assert_eq!(k.redistributions, 0, "cap 0 forbids redistribution");
+        prop_assert_eq!(k.dropped, k.dropped_no_board + k.dropped_migration_cap);
+        prop_assert_eq!(k.dropped_no_board, 0, "boards 1..3 stayed up");
+        prop_assert_eq!(
+            out.dropped.iter().filter(|d| d.reason == astro_fleet::DropReason::MigrationCap).count() as u64,
+            k.dropped_migration_cap
+        );
+        prop_assert_eq!(out.outcomes.len() + out.dropped.len(), n_jobs);
+    }
+}
