@@ -1,0 +1,22 @@
+//! Fleet chaos: correlated rack outages, overlapping thermal
+//! throttles, a dispatch blackout, misprofiled estimates and
+//! flash-crowd/diurnal traffic, all against the same seeded stream —
+//! the adversarial regime the adaptive stack must degrade gracefully
+//! in (the verdict line asserts it). `--jobs <n>`, `--boards <n>`,
+//! `--shards <k>` (default 1; any value gives identical numbers),
+//! `--seed <u64>`, `--quick` (10k jobs, 20 boards — the CI smoke
+//! configuration), `--size` (defaults to `test`) and
+//! `--backend {machine,replay}` (default `replay`). Count flags
+//! reject 0 up front.
+fn main() {
+    let cli = astro_bench::Cli::parse();
+    let (jobs, boards) = cli.pick((10_000, 20), (100_000, 50));
+    astro_bench::figs::fleet_chaos::run(
+        cli.size_or(astro_workloads::InputSize::Test),
+        cli.count_flag("--jobs", jobs),
+        cli.count_flag("--boards", boards),
+        cli.seed(),
+        cli.backend_or(astro_exec::executor::BackendKind::Replay),
+        cli.count_flag("--shards", 1),
+    );
+}

@@ -13,6 +13,7 @@ pub mod fig09;
 pub mod fig10;
 pub mod fig11;
 pub mod fleet;
+pub mod fleet_chaos;
 pub mod fleet_churn;
 pub mod fleet_million;
 pub mod fleet_scale;

@@ -7,6 +7,7 @@
 //! pattern of Poisson burst starts, each releasing a volley of jobs.
 //! Same seed ⇒ byte-identical stream.
 
+use crate::chaos::{traffic_breakpoints, TrafficClause};
 use crate::job::{taxon_of, JobSpec, Taxon};
 use astro_workloads::{InputSize, Workload};
 use rand::rngs::SmallRng;
@@ -82,6 +83,70 @@ impl ArrivalProcess {
                 }
             })
             .collect()
+    }
+
+    /// [`generate`](Self::generate), then warp arrival times through a
+    /// set of chaos [`TrafficClause`]s (flash crowds, diurnal swell).
+    ///
+    /// The warp is an inverse-CDF redistribution over the piecewise-
+    /// constant intensity the clauses describe: job count, stream order,
+    /// per-job workload/SLO/seed draws and the horizon (last arrival)
+    /// are all preserved — only *when* each job lands moves, with
+    /// proportionally more of the stream concentrated where the
+    /// intensity multiplier is high. With no clauses the stream is
+    /// byte-identical to [`generate`](Self::generate)'s.
+    pub fn generate_shaped(
+        &self,
+        n: usize,
+        pool: &[Workload],
+        size: InputSize,
+        slo_tightness: (f64, f64),
+        seed: u64,
+        traffic: &[TrafficClause],
+    ) -> Vec<JobSpec> {
+        let mut jobs = self.generate(n, pool, size, slo_tightness, seed);
+        if traffic.is_empty() || jobs.is_empty() {
+            return jobs;
+        }
+        let horizon = jobs.last().unwrap().arrival_s;
+        if horizon <= 0.0 {
+            return jobs;
+        }
+        // Piecewise-constant multiplier m(u) over horizon fraction
+        // u ∈ [0, 1], as (start, multiplier) segments; cumulative
+        // weight table W so W[j] = ∫₀^{segs[j].0} m.
+        let segs = traffic_breakpoints(traffic);
+        let mut cum = Vec::with_capacity(segs.len() + 1);
+        cum.push(0.0);
+        for j in 0..segs.len() {
+            let end = if j + 1 < segs.len() {
+                segs[j + 1].0
+            } else {
+                1.0
+            };
+            cum.push(cum[j] + segs[j].1 * (end - segs[j].0));
+        }
+        let total = *cum.last().unwrap();
+        // Each original time maps through W⁻¹: the fraction of jobs a
+        // window [a, b] receives becomes (W(b) − W(a)) / W(1). Times
+        // are sorted and the map is monotone, so one forward pointer
+        // suffices and the stream stays sorted.
+        let mut j = 0;
+        for job in &mut jobs {
+            let target = (job.arrival_s / horizon).clamp(0.0, 1.0) * total;
+            if target >= total {
+                // The stream's last arrival defines the horizon; pin it
+                // exactly rather than round-tripping through W⁻¹.
+                job.arrival_s = horizon;
+                continue;
+            }
+            while j + 1 < segs.len() && cum[j + 1] <= target {
+                j += 1;
+            }
+            let q = segs[j].0 + (target - cum[j]) / segs[j].1;
+            job.arrival_s = (q * horizon).min(horizon);
+        }
+        jobs
     }
 
     fn arrival_times(&self, n: usize, rng: &mut SmallRng) -> Vec<f64> {
@@ -185,6 +250,87 @@ mod tests {
             "expected clustered arrivals, {small}/{} small gaps",
             gaps.len()
         );
+    }
+
+    #[test]
+    fn shaped_with_no_traffic_is_bit_identical() {
+        let p = ArrivalProcess::Poisson {
+            rate_jobs_per_s: 120.0,
+        };
+        let plain = p.generate(80, &pool(), InputSize::Test, (3.0, 6.0), 5);
+        let shaped = p.generate_shaped(80, &pool(), InputSize::Test, (3.0, 6.0), 5, &[]);
+        for (a, b) in plain.iter().zip(&shaped) {
+            assert_eq!(a.arrival_s.to_bits(), b.arrival_s.to_bits());
+            assert_eq!(a.seed, b.seed);
+        }
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_the_window() {
+        let p = ArrivalProcess::Poisson {
+            rate_jobs_per_s: 120.0,
+        };
+        let traffic = [TrafficClause::FlashCrowd {
+            from_frac: 0.4,
+            to_frac: 0.6,
+            factor: 6.0,
+        }];
+        let jobs = p.generate_shaped(500, &pool(), InputSize::Test, (3.0, 6.0), 5, &traffic);
+        let plain = p.generate(500, &pool(), InputSize::Test, (3.0, 6.0), 5);
+        let horizon = plain.last().unwrap().arrival_s;
+        assert_eq!(jobs.len(), 500);
+        // Horizon, order and per-job draws survive the warp.
+        assert_eq!(
+            jobs.last().unwrap().arrival_s.to_bits(),
+            horizon.to_bits(),
+            "warp must preserve the horizon"
+        );
+        assert!(jobs.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        for (a, b) in plain.iter().zip(&jobs) {
+            assert_eq!(a.workload.name, b.workload.name);
+            assert_eq!(a.seed, b.seed);
+        }
+        // The 20% window should hold far more than 20% of the stream:
+        // with factor 6 the expected share is 1.2 / (0.8 + 1.2) = 60%.
+        let in_window = jobs
+            .iter()
+            .filter(|j| {
+                let u = j.arrival_s / horizon;
+                (0.4..0.6).contains(&u)
+            })
+            .count();
+        assert!(
+            in_window > 200,
+            "flash window holds {in_window}/500 jobs, expected ~300"
+        );
+    }
+
+    #[test]
+    fn diurnal_preserves_count_horizon_and_order() {
+        let p = ArrivalProcess::Bursty {
+            rate_jobs_per_s: 150.0,
+            burst: 8,
+            spread_s: 0.01,
+        };
+        let traffic = [TrafficClause::Diurnal {
+            cycles: 2.0,
+            depth: 0.7,
+            steps: 16,
+        }];
+        let jobs = p.generate_shaped(300, &pool(), InputSize::Test, (3.0, 6.0), 9, &traffic);
+        let plain = p.generate(300, &pool(), InputSize::Test, (3.0, 6.0), 9);
+        assert_eq!(jobs.len(), 300);
+        assert!(jobs.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert!(jobs.iter().all(|j| j.arrival_s >= 0.0));
+        assert_eq!(
+            jobs.last().unwrap().arrival_s.to_bits(),
+            plain.last().unwrap().arrival_s.to_bits()
+        );
+        // The swell actually moved something.
+        assert!(plain
+            .iter()
+            .zip(&jobs)
+            .any(|(a, b)| a.arrival_s.to_bits() != b.arrival_s.to_bits()));
     }
 
     #[test]

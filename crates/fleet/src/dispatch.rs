@@ -6,7 +6,9 @@
 //! [`DispatchMode`](crate::state::DispatchMode)), in-flight taxa and
 //! utilisation — plus this job's per-board profiled estimates
 //! ([`JobEstimates`]). They never see the future of the arrival stream,
-//! and they must place the job on a board that is currently up.
+//! and they must place the job on a board that is currently *placeable*
+//! — up and not blacked out by an active chaos clause (see
+//! [`ClusterState::placeable`]).
 
 use crate::job::JobSpec;
 use crate::state::ClusterState;
@@ -54,17 +56,18 @@ pub trait Dispatcher {
     fn name(&self) -> &'static str;
 
     /// Board index for `job`. Must be `< state.len()` and name a board
-    /// that is up (the kernel asserts both).
+    /// that is placeable (the kernel asserts both).
     fn pick(&mut self, state: &ClusterState, job: &JobSpec, est: &JobEstimates) -> usize;
 }
 
-/// Smallest-key board among the live ones. Panics when no board is up —
-/// the kernel drops jobs before consulting a dispatcher in that case.
-fn argmin_up(state: &ClusterState, key: impl Fn(usize) -> (f64, f64)) -> usize {
+/// Smallest-key board among the placeable ones. Panics when no board is
+/// placeable — the kernel drops jobs before consulting a dispatcher in
+/// that case.
+fn argmin_placeable(state: &ClusterState, key: impl Fn(usize) -> (f64, f64)) -> usize {
     state
-        .up_boards()
+        .placeable_boards()
         .min_by(|&a, &b| key(a).partial_cmp(&key(b)).expect("keys are finite"))
-        .expect("at least one board is up")
+        .expect("at least one board is placeable")
 }
 
 /// Classic least-loaded: the live board whose backlog drains first,
@@ -79,7 +82,7 @@ impl Dispatcher for LeastLoaded {
     }
 
     fn pick(&mut self, state: &ClusterState, _job: &JobSpec, _est: &JobEstimates) -> usize {
-        argmin_up(state, |b| (state.backlog_s(b), state.dispatched(b) as f64))
+        argmin_placeable(state, |b| (state.backlog_s(b), state.dispatched(b) as f64))
     }
 }
 
@@ -96,12 +99,12 @@ impl Dispatcher for EnergyAware {
 
     fn pick(&mut self, state: &ClusterState, _job: &JobSpec, est: &JobEstimates) -> usize {
         let min_backlog = state
-            .up_boards()
+            .placeable_boards()
             .map(|b| state.backlog_s(b))
             .fold(f64::INFINITY, f64::min);
-        // Never empty: the minimum-backlog live board always qualifies.
+        // Never empty: the minimum-backlog placeable board qualifies.
         let feasible: Vec<usize> = state
-            .up_boards()
+            .placeable_boards()
             .filter(|&b| state.backlog_s(b) <= min_backlog + est.service_s[b])
             .collect();
         *feasible
@@ -143,7 +146,7 @@ impl Dispatcher for PhaseAware {
     }
 
     fn pick(&mut self, state: &ClusterState, job: &JobSpec, est: &JobEstimates) -> usize {
-        let overall = argmin_up(state, |b| (est.est_finish_s(state, b), b as f64));
+        let overall = argmin_placeable(state, |b| (est.est_finish_s(state, b), b as f64));
         let tie_band = 0.02 * est.service_s[overall];
         // Hoisted out of the filter: the best finish is a pure function
         // of (state, overall), and backlog estimates walk the board's
@@ -151,7 +154,7 @@ impl Dispatcher for PhaseAware {
         // O(boards^2) on large clusters.
         let best_finish = est.est_finish_s(state, overall);
         let ties: Vec<usize> = state
-            .up_boards()
+            .placeable_boards()
             .filter(|&b| est.est_finish_s(state, b) <= best_finish + tie_band)
             .collect();
         let prefers_big = Self::prefers_big(job);
@@ -206,6 +209,7 @@ mod tests {
         busy: Vec<f64>,
         dispatched: Vec<usize>,
         down: Vec<usize>,
+        blackout: Vec<usize>,
         est: JobEstimates,
     }
 
@@ -217,6 +221,7 @@ mod tests {
                 busy: vec![0.0; n],
                 dispatched: vec![0; n],
                 down: Vec::new(),
+                blackout: Vec::new(),
                 est: JobEstimates {
                     service_s: vec![1.0; n],
                     energy_j: vec![1.0; n],
@@ -234,6 +239,9 @@ mod tests {
             }
             for &b in &self.down {
                 st.boards[b].up = false;
+            }
+            for &b in &self.blackout {
+                st.boards[b].blackouts += 1;
             }
             st
         }
@@ -268,6 +276,22 @@ mod tests {
         ] {
             let pick = d.pick(&f.state(), &job(JobClass::CpuHeavy), &f.est);
             assert_ne!(pick, 0, "{} picked a down board", d.name());
+        }
+    }
+
+    #[test]
+    fn blacked_out_boards_are_never_picked() {
+        let mut f = Fixture::new(4);
+        f.busy = vec![0.0, 50.0, 50.0, 50.0];
+        f.blackout = vec![0]; // best board is up but unplaceable
+        for d in [
+            &mut LeastLoaded as &mut dyn Dispatcher,
+            &mut EnergyAware,
+            &mut PhaseAware,
+        ] {
+            let pick = d.pick(&f.state(), &job(JobClass::CpuHeavy), &f.est);
+            assert_ne!(pick, 0, "{} picked a blacked-out board", d.name());
+            assert!(f.state().placeable(pick));
         }
     }
 

@@ -38,6 +38,7 @@
 //! service times.
 
 use crate::cache::{CacheDecision, PolicyCache};
+use crate::chaos::{ChaosSchedule, ChaosStats, CompiledChaos};
 use crate::dispatch::{Dispatcher, JobEstimates};
 use crate::feedback::ServiceFeedback;
 use crate::job::{JobOutcome, JobSpec};
@@ -69,6 +70,54 @@ pub enum EventKind {
     BoardDown(u32),
     /// Board churn: the board is available again.
     BoardUp(u32),
+    /// Chaos: a thermal-throttle window opens on the board. The clause
+    /// index resolves the factor in the compiled schedule (kept out of
+    /// the event so [`EventKind`] stays `Copy + Eq`).
+    ThrottleStart {
+        /// Board index.
+        board: u32,
+        /// Index into the scenario's chaos clauses.
+        clause: u32,
+    },
+    /// Chaos: the matching throttle window closes.
+    ThrottleEnd {
+        /// Board index.
+        board: u32,
+        /// Index into the scenario's chaos clauses.
+        clause: u32,
+    },
+    /// Chaos: a dispatch-blackout window opens on the board (it keeps
+    /// executing but accepts no new placements).
+    BlackoutStart {
+        /// Board index.
+        board: u32,
+        /// Index into the scenario's chaos clauses.
+        clause: u32,
+    },
+    /// Chaos: the matching blackout window closes.
+    BlackoutEnd {
+        /// Board index.
+        board: u32,
+        /// Index into the scenario's chaos clauses.
+        clause: u32,
+    },
+}
+
+impl EventKind {
+    /// Is this a fleet *state change* (churn or chaos window edge)?
+    /// State changes beat arrivals at equal timestamps — the pinned
+    /// control tie order churn < chaos < arrival < monitor tick.
+    fn is_state_change(self) -> bool {
+        matches!(
+            self,
+            EventKind::BoardDown(_)
+                | EventKind::BoardUp(_)
+                | EventKind::ThrottleStart { .. }
+                | EventKind::ThrottleEnd { .. }
+                | EventKind::BlackoutStart { .. }
+                | EventKind::BlackoutEnd { .. }
+        )
+    }
 }
 
 /// One scheduled event.
@@ -214,6 +263,10 @@ pub struct Scenario {
     /// dispatch-time estimates through the per-(taxon, architecture)
     /// EWMA layer ([`ServiceFeedback`]).
     pub feedback: bool,
+    /// Adversarial chaos clauses compiled into the control-plane event
+    /// stream (empty = no chaos; the no-chaos paths are bit-for-bit
+    /// the PR 5 kernel — the golden tests pin this).
+    pub chaos: ChaosSchedule,
 }
 
 impl Scenario {
@@ -231,6 +284,7 @@ impl Scenario {
             max_migrations: 2,
             max_redispatches: u32::MAX,
             feedback: false,
+            chaos: ChaosSchedule::default(),
         }
     }
 
@@ -275,6 +329,16 @@ impl Scenario {
     /// [`DropReason::MigrationCap`] instead of bouncing forever.
     pub fn with_redispatch_cap(mut self, cap: u32) -> Self {
         self.max_redispatches = cap;
+        self
+    }
+
+    /// Attach a chaos schedule: its clauses are validated against the
+    /// churn schedule at run start and compiled into the control-plane
+    /// event stream (see [`crate::chaos`]). Traffic clauses are *not*
+    /// applied here — shape the job stream with
+    /// [`ArrivalProcess::generate_shaped`](crate::arrival::ArrivalProcess::generate_shaped).
+    pub fn with_chaos(mut self, chaos: ChaosSchedule) -> Self {
+        self.chaos = chaos;
         self
     }
 
@@ -324,10 +388,14 @@ pub struct KernelStats {
     pub redistributions: u64,
     /// Monitor ticks processed.
     pub ticks: u64,
-    /// Boards taken down.
+    /// Boards taken down (scenario churn and chaos rack outages both
+    /// land here — outages *are* churn events).
     pub board_downs: u64,
     /// Boards brought (back) up.
     pub board_ups: u64,
+    /// Chaos throttle/blackout window-edge events processed (rack
+    /// outages count as board downs/ups instead).
+    pub chaos_events: u64,
     /// Shards the execution plane was partitioned into.
     pub shards: u32,
     /// Typed messages delivered to shards (placements, migrations,
@@ -430,6 +498,52 @@ impl FleetSim<'_> {
             assert!(ev.time_s >= 0.0, "churn events cannot predate the run");
         }
 
+        // Compile the chaos schedule (validating clause shapes), then
+        // reject inconsistent liveness sequences outright: replaying
+        // the merged churn + rack-outage events in their exact pop
+        // order (time, then push order — churn before chaos), a
+        // BoardUp for a board that is already up, or a BoardDown for
+        // one already down, is a schedule bug, not a scenario. It used
+        // to be silently absorbed (`up = true` is idempotent), which
+        // let e.g. a mistyped board index skew every later decision
+        // without a trace.
+        let chaos = scenario.chaos.compile(n_boards);
+        let mut chaos_stats = chaos.stats.clone();
+        {
+            let mut seq: Vec<(f64, bool, usize)> = scenario
+                .churn
+                .iter()
+                .map(|ev| (ev.time_s, ev.up, ev.board))
+                .collect();
+            for (t, kind) in &chaos.events {
+                match kind {
+                    EventKind::BoardDown(b) => seq.push((*t, false, *b as usize)),
+                    EventKind::BoardUp(b) => seq.push((*t, true, *b as usize)),
+                    _ => {}
+                }
+            }
+            // Stable sort: equal timestamps keep push order, exactly
+            // as the control queue will pop them.
+            seq.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut up = vec![true; n_boards];
+            for (t, to_up, b) in seq {
+                if to_up {
+                    assert!(
+                        !up[b],
+                        "inconsistent churn/chaos schedule: board {b} is brought up at {t} s \
+                         without a preceding BoardDown"
+                    );
+                } else {
+                    assert!(
+                        up[b],
+                        "inconsistent churn/chaos schedule: board {b} is taken down at {t} s \
+                         while already down"
+                    );
+                }
+                up[b] = to_up;
+            }
+        }
+
         // The execution backend every profile and job run goes through.
         let machine_exec = MachineExecutor {
             params: self.params.machine,
@@ -488,10 +602,12 @@ impl FleetSim<'_> {
         let mut scratch = EstScratch::new(n_boards, arches.len());
 
         // The control queue: churn first (so a down-at-t beats an
-        // arrival at the same t), then the first monitor tick. Arrivals
-        // are consumed from the (sorted) stream through a cursor, which
+        // arrival at the same t), then the compiled chaos events in
+        // clause order, then the first monitor tick. Arrivals are
+        // consumed from the (sorted) stream through a cursor, which
         // preserves the same tie order the sequential kernel's seeding
-        // produced: churn < arrival < tick at equal timestamps.
+        // produced — pinned: churn < chaos < arrival < tick at equal
+        // timestamps (within churn and within chaos, push order).
         let mut ctrl = EventQueue::new();
         for ev in &scenario.churn {
             ctrl.push(
@@ -502,6 +618,9 @@ impl FleetSim<'_> {
                     EventKind::BoardDown(ev.board as u32)
                 },
             );
+        }
+        for &(t, kind) in &chaos.events {
+            ctrl.push(t, kind);
         }
         if scenario.monitor_interval_s > 0.0 {
             ctrl.push(scenario.monitor_interval_s, EventKind::MonitorTick);
@@ -522,9 +641,7 @@ impl FleetSim<'_> {
                 (None, Some(_)) => true,
                 (Some(_), None) => false,
                 (Some(ta), Some(e)) => {
-                    e.time_s < ta
-                        || (e.time_s == ta
-                            && matches!(e.kind, EventKind::BoardDown(_) | EventKind::BoardUp(_)))
+                    e.time_s < ta || (e.time_s == ta && e.kind.is_state_change())
                 }
             };
             let ctl = if take_ctrl {
@@ -583,7 +700,14 @@ impl FleetSim<'_> {
                 EventKind::Arrival(i) => {
                     stats.arrivals += 1;
                     let job = jobs[i as usize];
-                    if !state.any_up() {
+                    if !state.any_placeable() {
+                        // Whole fleet down — or every up board under a
+                        // dispatch blackout. Both route through the
+                        // existing no-board-up drop path; the chaos
+                        // accounting distinguishes them.
+                        if state.any_up() {
+                            chaos_stats.blackout_drops += 1;
+                        }
                         dropped.push(DroppedJob {
                             id: job.id,
                             reason: DropReason::NoBoardUp,
@@ -604,9 +728,21 @@ impl FleetSim<'_> {
                         feedback.as_ref(),
                         &mut scratch,
                     );
+                    // Mis-profiled taxa: corrupt what the dispatcher
+                    // and admission see (never the SLO — deadlines are
+                    // contracts, not estimates).
+                    let mf = chaos.misprofile_factor(job.class(), time_s, Some(&mut chaos_stats));
+                    if mf != 1.0 {
+                        for s in &mut scratch.est.service_s {
+                            *s *= mf;
+                        }
+                    }
                     let b = dispatcher.pick(&state, &job, &scratch.est);
                     assert!(b < n_boards, "dispatcher picked board {b} of {n_boards}");
-                    assert!(state.up(b), "dispatcher picked down board {b}");
+                    assert!(
+                        state.placeable(b),
+                        "dispatcher picked down or blacked-out board {b}"
+                    );
 
                     // Policy resolution (training on miss/staleness) and
                     // admission latency guard.
@@ -625,6 +761,11 @@ impl FleetSim<'_> {
                         &mut guard_bypasses,
                     );
                     ensure_static_build(&mut progs, module, &job, &schedule, &arches, b);
+                    // The corrupted profiled estimate is what the job
+                    // is admitted with — and what the feedback layer
+                    // later compares observed service against, which
+                    // is exactly how the EWMA learns the 1/mf repair.
+                    let profiled_s = profiled_s * mf;
                     let svc_est = corrected(
                         profiled_s,
                         feedback.as_ref(),
@@ -676,6 +817,7 @@ impl FleetSim<'_> {
                             &modules,
                             &arches,
                             feedback.as_ref(),
+                            &chaos,
                             &mut stats,
                             &mut guard_bypasses,
                         );
@@ -697,7 +839,10 @@ impl FleetSim<'_> {
                     // the redispatch cap is exhausted).
                     let orphans: Vec<QueuedJob> = state.boards[b].queue.drain(..).collect();
                     for qj in orphans {
-                        if !state.any_up() {
+                        if !state.any_placeable() {
+                            if state.any_up() {
+                                chaos_stats.blackout_drops += 1;
+                            }
                             dropped.push(DroppedJob {
                                 id: qj.job.id,
                                 reason: DropReason::NoBoardUp,
@@ -730,9 +875,11 @@ impl FleetSim<'_> {
                             &modules,
                             &arches,
                             feedback.as_ref(),
+                            &chaos,
                             qj,
                             &mut guard_bypasses,
                             &mut scratch,
+                            &mut chaos_stats,
                         );
                     }
                 }
@@ -740,6 +887,40 @@ impl FleetSim<'_> {
                 EventKind::BoardUp(b) => {
                     stats.board_ups += 1;
                     state.boards[b as usize].up = true;
+                }
+
+                EventKind::ThrottleStart { board, clause } => {
+                    stats.chaos_events += 1;
+                    chaos_stats.clauses[clause as usize].events += 1;
+                    let bs = &mut state.boards[board as usize];
+                    bs.throttles.push((clause, chaos.factors[clause as usize]));
+                    bs.recompute_slowdown();
+                    // Throttle windows apply whether or not the board
+                    // is up — a board going down mid-throttle comes
+                    // back at whatever speed its open windows dictate.
+                    chaos_stats.max_slowdown = chaos_stats.max_slowdown.max(bs.slowdown);
+                }
+
+                EventKind::ThrottleEnd { board, clause } => {
+                    stats.chaos_events += 1;
+                    chaos_stats.clauses[clause as usize].events += 1;
+                    let bs = &mut state.boards[board as usize];
+                    bs.throttles.retain(|&(c, _)| c != clause);
+                    bs.recompute_slowdown();
+                }
+
+                EventKind::BlackoutStart { board, clause } => {
+                    stats.chaos_events += 1;
+                    chaos_stats.clauses[clause as usize].events += 1;
+                    state.boards[board as usize].blackouts += 1;
+                }
+
+                EventKind::BlackoutEnd { board, clause } => {
+                    stats.chaos_events += 1;
+                    chaos_stats.clauses[clause as usize].events += 1;
+                    let bs = &mut state.boards[board as usize];
+                    debug_assert!(bs.blackouts > 0, "unbalanced blackout window");
+                    bs.blackouts -= 1;
                 }
 
                 EventKind::Completion { .. } => {
@@ -769,6 +950,7 @@ impl FleetSim<'_> {
 
         outcomes.sort_by_key(|o| o.id);
         dropped.sort_by_key(|d| d.id);
+        chaos_stats.throttled_starts = state.boards.iter().map(|s| s.throttled_starts).sum();
         let busy: Vec<f64> = state.boards.iter().map(|s| s.busy_s).collect();
         let mut metrics = FleetMetrics::from_outcomes(&outcomes, &busy, train_energy_j);
         if let Some(fb) = &feedback {
@@ -790,6 +972,7 @@ impl FleetSim<'_> {
             dispatch: scenario.dispatch.name(),
             dropped,
             kernel: stats,
+            chaos: chaos_stats,
         }
     }
 
@@ -946,6 +1129,10 @@ impl FleetSim<'_> {
     /// without training (there is no time to train on the migration
     /// path): a fresh cache line for the target architecture applies
     /// (guard permitting), anything else runs the stock binary.
+    /// `misprofile` is the chaos estimate-corruption factor active at
+    /// migration time (1.0 when none): it scales the profiled estimate
+    /// the same way it scaled the arrival-time estimate, so feedback
+    /// sees a consistently corrupted signal it can learn to repair.
     #[allow(clippy::too_many_arguments)]
     fn migrate_onto(
         &self,
@@ -958,6 +1145,7 @@ impl FleetSim<'_> {
         guard_bypasses: &mut u64,
         modules: &BTreeMap<&'static str, Module>,
         feedback: Option<&ServiceFeedback>,
+        misprofile: f64,
     ) -> QueuedJob {
         let arch = self.cluster.arch_key(target);
         let module = &modules[qj.job.workload.name];
@@ -990,6 +1178,7 @@ impl FleetSim<'_> {
         );
         qj.schedule = schedule;
         qj.sched_arch = arch;
+        let profiled_s = profiled_s * misprofile;
         qj.profiled_s = profiled_s;
         qj.est_service_s = corrected(profiled_s, feedback, &qj.job, arch);
         qj.penalty_s += scenario.migration_cost_s;
@@ -1013,9 +1202,11 @@ impl FleetSim<'_> {
         modules: &BTreeMap<&'static str, Module>,
         arches: &ArchMap,
         feedback: Option<&ServiceFeedback>,
+        chaos: &CompiledChaos,
         qj: QueuedJob,
         guard_bypasses: &mut u64,
         scratch: &mut EstScratch,
+        chaos_stats: &mut ChaosStats,
     ) -> usize {
         self.estimates_into(
             exec,
@@ -1028,8 +1219,19 @@ impl FleetSim<'_> {
             feedback,
             scratch,
         );
+        // A redispatch is a fresh admission: an active misprofile
+        // window corrupts its estimates exactly like an arrival's.
+        let mf = chaos.misprofile_factor(qj.job.class(), state.now_s, Some(chaos_stats));
+        if mf != 1.0 {
+            for s in &mut scratch.est.service_s {
+                *s *= mf;
+            }
+        }
         let b = dispatcher.pick(state, &qj.job, &scratch.est);
-        assert!(state.up(b), "dispatcher picked down board {b}");
+        assert!(
+            state.placeable(b),
+            "dispatcher picked down or blacked-out board {b}"
+        );
         let mut qj = self.migrate_onto(
             exec,
             profiles,
@@ -1040,6 +1242,7 @@ impl FleetSim<'_> {
             guard_bypasses,
             modules,
             feedback,
+            mf,
         );
         // Churn redistributions are capped by their own counter —
         // preemptive migrations (max_migrations) do not consume it.
@@ -1084,6 +1287,7 @@ impl FleetSim<'_> {
         modules: &BTreeMap<&'static str, Module>,
         arches: &ArchMap,
         feedback: Option<&ServiceFeedback>,
+        chaos: &CompiledChaos,
         stats: &mut KernelStats,
         guard_bypasses: &mut u64,
     ) {
@@ -1100,12 +1304,18 @@ impl FleetSim<'_> {
             while let Some(qj) = state.boards[b].queue.pop_front() {
                 let pred_finish = t_avail + qj.est_total_s();
                 let deadline = qj.job.arrival_s + qj.slo_s;
+                // Any active misprofile window corrupts the scan's
+                // predictions too (the scan sees the same lie arrivals
+                // do); not charged to clause stats — predictions are
+                // not admissions.
+                let mf = chaos.misprofile_factor(qj.job.class(), state.now_s, None);
                 let target = if pred_finish > deadline && qj.migrations < scenario.max_migrations {
                     // Best alternative: lowest predicted finish among
-                    // the other live boards, by observable estimates.
+                    // the other placeable boards, by observable
+                    // estimates.
                     let module = &modules[qj.job.workload.name];
                     let mut best: Option<(f64, usize)> = None;
-                    for b2 in state.up_boards().filter(|&b2| b2 != b) {
+                    for b2 in state.placeable_boards().filter(|&b2| b2 != b) {
                         let (wall, _) = self.estimate_on(
                             exec,
                             profiles,
@@ -1115,8 +1325,12 @@ impl FleetSim<'_> {
                             module,
                             b2,
                         );
-                        let wall =
-                            corrected(wall, feedback, &qj.job, arches.keys[arches.of_board[b2]]);
+                        let wall = corrected(
+                            wall * mf,
+                            feedback,
+                            &qj.job,
+                            arches.keys[arches.of_board[b2]],
+                        );
                         // The job keeps its already-accumulated penalty
                         // on the target board, so the prediction must
                         // carry it — or a re-migration could be
@@ -1145,6 +1359,7 @@ impl FleetSim<'_> {
                             guard_bypasses,
                             modules,
                             feedback,
+                            mf,
                         );
                         let module = &modules[qj2.job.workload.name];
                         ensure_static_build(progs, module, &qj2.job, &qj2.schedule, arches, b2);

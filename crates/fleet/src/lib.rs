@@ -49,6 +49,7 @@
 
 pub mod arrival;
 pub mod cache;
+pub mod chaos;
 pub mod cluster;
 pub mod dispatch;
 pub mod feedback;
@@ -62,6 +63,7 @@ pub mod state;
 pub use arrival::ArrivalProcess;
 pub use astro_exec::executor::BackendKind;
 pub use cache::{CacheDecision, CacheStats, PolicyCache, PolicyEntry};
+pub use chaos::{ChaosClause, ChaosSchedule, ChaosStats, ClauseStats, TrafficClause, MAX_SLOWDOWN};
 pub use cluster::ClusterSpec;
 pub use dispatch::{Dispatcher, EnergyAware, JobEstimates, LeastLoaded, PhaseAware};
 pub use feedback::{FeedbackStats, ServiceFeedback};

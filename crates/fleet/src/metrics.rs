@@ -159,6 +159,9 @@ pub struct FleetOutcome {
     /// Event-kernel accounting for the run (including shard-plane
     /// counters: shards, messages, advances).
     pub kernel: crate::kernel::KernelStats,
+    /// Per-chaos-clause accounting (empty when the scenario carries no
+    /// [`ChaosSchedule`](crate::chaos::ChaosSchedule)).
+    pub chaos: crate::chaos::ChaosStats,
 }
 
 #[cfg(test)]

@@ -392,7 +392,15 @@ pub(crate) fn start_on(
             })
         }
     };
-    let service = r.wall_time_s + job.penalty_s;
+    // A chaos throttle stretches real execution (DVFS-style: the work
+    // takes longer at the capped clock) but not the migration penalty,
+    // which models data movement off-board. slowdown is 1.0 outside
+    // throttle windows, and `x * 1.0` is bitwise identity, so the
+    // no-chaos path is unchanged to the last bit.
+    if bs.slowdown > 1.0 {
+        bs.throttled_starts += 1;
+    }
+    let service = r.wall_time_s * bs.slowdown + job.penalty_s;
     let finish = now_s + service;
     bs.busy_s += service;
     bs.in_flight = Some(InFlight {
@@ -401,7 +409,7 @@ pub(crate) fn start_on(
         start_s: now_s,
         est_finish_s: now_s + job.est_total_s(),
         profiled_s: job.profiled_s,
-        raw_service_s: r.wall_time_s,
+        raw_service_s: r.wall_time_s * bs.slowdown,
         outcome: JobOutcome {
             id: job.job.id,
             workload: w.name,

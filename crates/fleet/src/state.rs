@@ -157,6 +157,21 @@ pub struct BoardState {
     pub completed: usize,
     /// Accumulated service seconds.
     pub busy_s: f64,
+    /// Composed thermal-throttle slowdown applied to the service time
+    /// of every job *started* while it holds (1.0 = full speed). Only
+    /// control-plane chaos events change it, so it is constant between
+    /// control timestamps — the shard-invariance requirement.
+    pub slowdown: f64,
+    /// Active throttle windows as `(clause index, factor)`, insertion
+    /// order; [`BoardState::recompute_slowdown`] folds them.
+    pub(crate) throttles: Vec<(u32, f64)>,
+    /// Overlapping dispatch-blackout windows currently covering the
+    /// board (0 = placeable whenever up).
+    pub(crate) blackouts: u32,
+    /// Jobs that began service here with `slowdown > 1` (chaos
+    /// accounting, summed into
+    /// [`ChaosStats`](crate::chaos::ChaosStats) at run end).
+    pub(crate) throttled_starts: u64,
     /// Oracle-mode backlog accumulator (batch stage-1 semantics).
     pub(crate) oracle_busy_until_s: f64,
 }
@@ -170,8 +185,27 @@ impl BoardState {
             dispatched: 0,
             completed: 0,
             busy_s: 0.0,
+            slowdown: 1.0,
+            throttles: Vec::new(),
+            blackouts: 0,
+            throttled_starts: 0,
             oracle_busy_until_s: 0.0,
         }
+    }
+
+    /// Refold the composed slowdown from the active throttle windows:
+    /// overlapping windows compose *multiplicatively* (two 2x
+    /// throttles make a 4x slowdown), clamped to
+    /// [`MAX_SLOWDOWN`](crate::chaos::MAX_SLOWDOWN). Recomputed from
+    /// the window list on every change — never divided back out — so
+    /// a window closing mid-overlap restores the exact product of
+    /// what remains, bit-for-bit.
+    pub(crate) fn recompute_slowdown(&mut self) {
+        let mut s = 1.0;
+        for &(_, f) in &self.throttles {
+            s *= f;
+        }
+        self.slowdown = s.clamp(1.0, crate::chaos::MAX_SLOWDOWN);
     }
 }
 
@@ -222,6 +256,24 @@ impl<'a> ClusterState<'a> {
     /// Is any board up?
     pub fn any_up(&self) -> bool {
         self.boards.iter().any(|b| b.up)
+    }
+
+    /// May the dispatcher place new work on board `b`? Up *and* not
+    /// under a chaos dispatch blackout. A blacked-out board keeps
+    /// executing its queue — it is only closed to new placements.
+    pub fn placeable(&self, b: usize) -> bool {
+        let s = &self.boards[b];
+        s.up && s.blackouts == 0
+    }
+
+    /// Indices of the boards new work may be placed on, ascending.
+    pub fn placeable_boards(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).filter(|&b| self.placeable(b))
+    }
+
+    /// Can new work be placed anywhere?
+    pub fn any_placeable(&self) -> bool {
+        (0..self.len()).any(|b| self.placeable(b))
     }
 
     /// Dispatched-but-not-started jobs on board `b`.
@@ -360,6 +412,53 @@ mod tests {
         // Queue contents do not move the oracle estimate.
         st.boards[1].queue.push_back(qj(100.0, 0.0));
         assert!((st.backlog_s(1) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_composes_multiplicatively_and_clamps() {
+        let spec = ClusterSpec::heterogeneous(1);
+        let mut st = ClusterState::new(&spec, DispatchMode::Online);
+        let b = &mut st.boards[0];
+        assert_eq!(b.slowdown, 1.0);
+        b.throttles.push((0, 3.0));
+        b.recompute_slowdown();
+        assert_eq!(b.slowdown, 3.0);
+        // Overlapping windows compose multiplicatively.
+        b.throttles.push((1, 4.0));
+        b.recompute_slowdown();
+        assert_eq!(b.slowdown, 12.0);
+        // A pathological stack clamps at MAX_SLOWDOWN.
+        b.throttles.push((2, 100.0));
+        b.recompute_slowdown();
+        assert_eq!(b.slowdown, crate::chaos::MAX_SLOWDOWN);
+        // Windows close in any order; the fold restores the exact
+        // product of what remains.
+        b.throttles.retain(|&(c, _)| c != 2);
+        b.recompute_slowdown();
+        assert_eq!(b.slowdown, 12.0);
+        b.throttles.clear();
+        b.recompute_slowdown();
+        assert_eq!(b.slowdown, 1.0);
+    }
+
+    #[test]
+    fn blackouts_gate_placement_but_not_liveness() {
+        let spec = ClusterSpec::heterogeneous(3);
+        let mut st = ClusterState::new(&spec, DispatchMode::Online);
+        assert!(st.any_placeable());
+        st.boards[0].blackouts = 1;
+        st.boards[1].up = false;
+        assert!(st.up(0), "blacked-out board stays up");
+        assert!(!st.placeable(0));
+        assert!(!st.placeable(1), "down board is never placeable");
+        assert_eq!(st.placeable_boards().collect::<Vec<_>>(), vec![2]);
+        // Overlapping blackouts: both must end before placement.
+        st.boards[2].blackouts = 2;
+        assert!(!st.any_placeable());
+        st.boards[2].blackouts = 1;
+        assert!(!st.any_placeable());
+        st.boards[2].blackouts = 0;
+        assert!(st.any_placeable());
     }
 
     #[test]

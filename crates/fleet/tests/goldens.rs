@@ -1,0 +1,165 @@
+//! Golden-output regression tests: frozen fingerprints of three
+//! no-chaos kernel configurations shaped like the `fleet_sim`,
+//! `fleet_churn` and `fleet_million` figures (miniaturised so they run
+//! in test time). The chaos engine threads a slowdown multiplier and
+//! placeability checks through the hot path; these goldens prove the
+//! no-chaos path stays bit-for-bit unchanged — here and in every
+//! future PR. If a change legitimately alters kernel semantics, the
+//! constants must be re-derived and the change called out in review.
+
+use astro_fleet::{
+    ArrivalProcess, BackendKind, ChurnEvent, ClusterSpec, FleetOutcome, FleetParams, FleetSim,
+    LeastLoaded, PhaseAware, PolicyCache, PolicyMode, Scenario,
+};
+use astro_workloads::{InputSize, Workload};
+
+fn pool() -> Vec<Workload> {
+    ["swaptions", "bfs", "streamcluster"]
+        .iter()
+        .map(|n| astro_workloads::by_name(n).unwrap())
+        .collect()
+}
+
+/// FNV-1a over every observable bit of the run: per-job placements and
+/// float timelines (`to_bits`), drops with reasons, kernel counters
+/// and aggregate metrics. One flipped bit anywhere flips the digest.
+fn fingerprint(out: &FleetOutcome) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for o in &out.outcomes {
+        eat(o.id as u64);
+        eat(o.board as u64);
+        eat(o.start_s.to_bits());
+        eat(o.finish_s.to_bits());
+        eat(o.service_s.to_bits());
+        eat(o.energy_j.to_bits());
+        eat(o.slo_s.to_bits());
+        eat(o.migrations as u64);
+    }
+    for d in &out.dropped {
+        eat(d.id as u64);
+        eat(d.reason as u64);
+    }
+    let k = &out.kernel;
+    for x in [
+        k.events,
+        k.arrivals,
+        k.completions,
+        k.dropped,
+        k.dropped_no_board,
+        k.dropped_migration_cap,
+        k.migrations,
+        k.redistributions,
+        k.ticks,
+        k.board_downs,
+        k.board_ups,
+        k.chaos_events,
+    ] {
+        eat(x);
+    }
+    eat(out.metrics.p50_s.to_bits());
+    eat(out.metrics.p99_s.to_bits());
+    eat(out.metrics.total_energy_j.to_bits());
+    eat(out.metrics.slo_miss_rate().to_bits());
+    eat(out.metrics.feedback.samples);
+    h
+}
+
+/// `fleet_sim` shape: steady Poisson stream over a small
+/// heterogeneous fleet, oracle and online dispatch, machine backend.
+#[test]
+fn golden_fleet_sim_shape() {
+    let cluster = ClusterSpec::heterogeneous(8);
+    let jobs = ArrivalProcess::Poisson {
+        rate_jobs_per_s: 4000.0,
+    }
+    .generate(200, &pool(), InputSize::Test, (3.0, 8.0), 42);
+
+    let mut digests = Vec::new();
+    for scenario in [
+        Scenario::oracle(PolicyMode::Cold),
+        Scenario::online(PolicyMode::Warm).with_feedback(),
+    ] {
+        let sim = FleetSim::new(&cluster, FleetParams::new(42));
+        let mut cache = PolicyCache::new(4);
+        let out = sim.run(&jobs, &mut PhaseAware, &mut cache, &scenario);
+        digests.push(fingerprint(&out));
+    }
+    assert_eq!(
+        digests,
+        [0xe12c_4fad_b74e_37ee, 0x66ee_eddf_bf7f_7328],
+        "fleet_sim-shaped no-chaos runs drifted from the golden bits"
+    );
+}
+
+/// `fleet_churn` shape: online + feedback + preemption with churn
+/// waves (two boards die, one comes back), redispatch accounting on.
+#[test]
+fn golden_fleet_churn_shape() {
+    let cluster = ClusterSpec::heterogeneous(10);
+    let jobs = ArrivalProcess::Poisson {
+        rate_jobs_per_s: 6000.0,
+    }
+    .generate(150, &pool(), InputSize::Test, (2.0, 6.0), 7);
+    let horizon = jobs.last().unwrap().arrival_s;
+    let churn = vec![
+        ChurnEvent {
+            time_s: 0.3 * horizon,
+            board: 0,
+            up: false,
+        },
+        ChurnEvent {
+            time_s: 0.35 * horizon,
+            board: 5,
+            up: false,
+        },
+        ChurnEvent {
+            time_s: 0.7 * horizon,
+            board: 0,
+            up: true,
+        },
+    ];
+    let scenario = Scenario::online(PolicyMode::Warm)
+        .with_feedback()
+        .with_migration_cost(1e-5)
+        .with_preemption(horizon / 20.0, 1e-5, 2)
+        .with_churn(churn);
+    let sim = FleetSim::new(&cluster, FleetParams::new(7));
+    let mut cache = PolicyCache::new(4);
+    let out = sim.run(&jobs, &mut LeastLoaded, &mut cache, &scenario);
+    assert_eq!(
+        fingerprint(&out),
+        0xa234_f6dd_e4ef_df03,
+        "fleet_churn-shaped no-chaos run drifted from the golden bits"
+    );
+}
+
+/// `fleet_million` shape: replay backend, sharded execution plane,
+/// bursty arrivals over a wider fleet.
+#[test]
+fn golden_fleet_million_shape() {
+    let cluster = ClusterSpec::heterogeneous(40);
+    let jobs = ArrivalProcess::Bursty {
+        rate_jobs_per_s: 50_000.0,
+        burst: 16,
+        spread_s: 1e-4,
+    }
+    .generate(300, &pool(), InputSize::Test, (3.0, 8.0), 13);
+    let scenario = Scenario::online(PolicyMode::Warm).with_feedback();
+    let mut params = FleetParams::new(13);
+    params.backend = BackendKind::Replay;
+    params.shards = 4;
+    let sim = FleetSim::new(&cluster, params);
+    let mut cache = PolicyCache::new(4);
+    let out = sim.run(&jobs, &mut LeastLoaded, &mut cache, &scenario);
+    assert_eq!(
+        fingerprint(&out),
+        0x4561_9a90_8856_156e,
+        "fleet_million-shaped no-chaos run drifted from the golden bits"
+    );
+}

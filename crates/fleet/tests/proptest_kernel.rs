@@ -35,7 +35,7 @@ proptest! {
         online_bit in 0u8..2,
         preempt_bit in 0u8..2,
         churn_raw in prop::collection::vec(
-            (0usize..4, 0u8..2, 0.0f64..1.5),
+            (0usize..4, 0.0f64..1.2, 0.0f64..0.5, 0u8..2),
             0..6,
         ),
         seed in 0u64..200,
@@ -46,14 +46,29 @@ proptest! {
         let jobs = ArrivalProcess::Poisson { rate_jobs_per_s: rate }
             .generate(n_jobs, &pool(), InputSize::Test, (2.0, 8.0), seed);
         let horizon = jobs.last().unwrap().arrival_s;
-        let churn: Vec<ChurnEvent> = churn_raw
-            .iter()
-            .map(|&(b, up, frac)| ChurnEvent {
-                time_s: frac * horizon,
-                board: b % n_boards,
-                up: up == 1,
-            })
-            .collect();
+        // One down→(maybe up) window per board: the kernel rejects
+        // inconsistent schedules (a board downed twice, or brought up
+        // while up), so the generator produces only coherent liveness
+        // stories — arbitrary in timing, boards touched, and whether
+        // the board ever returns.
+        let mut touched = [false; 4];
+        let mut churn: Vec<ChurnEvent> = Vec::new();
+        for &(b, down_frac, dur_frac, return_bit) in &churn_raw {
+            let b = b % n_boards;
+            if touched[b] {
+                continue;
+            }
+            touched[b] = true;
+            let t_down = down_frac * horizon;
+            churn.push(ChurnEvent { time_s: t_down, board: b, up: false });
+            if return_bit == 1 {
+                churn.push(ChurnEvent {
+                    time_s: t_down + dur_frac * horizon,
+                    board: b,
+                    up: true,
+                });
+            }
+        }
         let mut scenario = if online {
             Scenario::online(PolicyMode::Cold)
         } else {
@@ -84,9 +99,11 @@ proptest! {
         prop_assert_eq!(k.arrivals, k.completions + k.dropped);
         prop_assert_eq!(
             k.events,
-            k.arrivals + k.completions + k.ticks + k.board_downs + k.board_ups,
+            k.arrivals + k.completions + k.ticks + k.board_downs + k.board_ups
+                + k.chaos_events,
             "every processed event must be counted exactly once: {k:?}"
         );
+        prop_assert_eq!(k.chaos_events, 0, "no chaos schedule, no chaos events");
         let downs = scenario.churn.iter().filter(|c| !c.up).count() as u64;
         let ups = scenario.churn.iter().filter(|c| c.up).count() as u64;
         prop_assert_eq!(k.board_downs, downs);

@@ -116,11 +116,12 @@ proptest! {
         preempt_bit in 0u8..2,
         feedback_bit in 0u8..2,
         cap_pick in 0u8..3,
-        // Churn times on an integer grid strictly inside the horizon,
+        // Churn windows on an integer grid strictly inside the horizon,
         // so churn never ties with an arrival timestamp (same-time
         // control ordering is pinned separately; this test is about
-        // shard invariance).
-        churn_raw in prop::collection::vec((0usize..6, 0u8..2, 1u32..96), 0..5),
+        // shard invariance). One down→(maybe up) window per board: the
+        // kernel rejects inconsistent liveness schedules.
+        churn_raw in prop::collection::vec((0usize..6, 1u32..80, 1u32..16, 0u8..2), 0..5),
         seed in 0u64..200,
     ) {
         let online = online_bit == 1;
@@ -129,14 +130,27 @@ proptest! {
         let jobs = ArrivalProcess::Poisson { rate_jobs_per_s: rate }
             .generate(n_jobs, &pool(), InputSize::Test, (2.0, 8.0), seed);
         let horizon = jobs.last().unwrap().arrival_s;
-        let churn: Vec<ChurnEvent> = churn_raw
-            .iter()
-            .map(|&(b, up, grid)| ChurnEvent {
-                time_s: grid as f64 / 97.0 * horizon,
-                board: b % n_boards,
-                up: up == 1,
-            })
-            .collect();
+        let mut touched = [false; 6];
+        let mut churn: Vec<ChurnEvent> = Vec::new();
+        for &(b, down_grid, dur_grid, return_bit) in &churn_raw {
+            let b = b % n_boards;
+            if touched[b] {
+                continue;
+            }
+            touched[b] = true;
+            churn.push(ChurnEvent {
+                time_s: down_grid as f64 / 97.0 * horizon,
+                board: b,
+                up: false,
+            });
+            if return_bit == 1 {
+                churn.push(ChurnEvent {
+                    time_s: (down_grid + dur_grid) as f64 / 97.0 * horizon,
+                    board: b,
+                    up: true,
+                });
+            }
+        }
         let mut scenario = if online {
             Scenario::online(PolicyMode::Cold)
         } else {
