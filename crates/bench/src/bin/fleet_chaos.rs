@@ -10,6 +10,7 @@
 //! reject 0 up front.
 fn main() {
     let cli = astro_bench::Cli::parse();
+    cli.reject_tracing("fleet_chaos");
     let (jobs, boards) = cli.pick((10_000, 20), (100_000, 50));
     astro_bench::figs::fleet_chaos::run(
         cli.size_or(astro_workloads::InputSize::Test),

@@ -10,6 +10,7 @@
 //! flags reject 0 up front.
 fn main() {
     let cli = astro_bench::Cli::parse();
+    cli.reject_tracing("fleet_churn");
     let (jobs, boards) = cli.pick((10_000, 20), (100_000, 50));
     astro_bench::figs::fleet_churn::run(
         cli.size_or(astro_workloads::InputSize::Test),

@@ -7,9 +7,20 @@
 //! boards, 4 shards — the CI smoke configuration), `--size` (defaults
 //! to `test`) and `--backend {machine,replay}` (default `replay` — a
 //! million cycle-accurate jobs is not a figure, it is a heat source).
+//! `--trace-level {off,ticks,spans,full}` (default `ticks`) sets the
+//! flight-recorder depth of the telemetry-overhead leg; `--perf-gate`
+//! turns the printed PR 6 baseline comparison into a hard assertion
+//! (CI passes it at `--quick`, the configuration the baseline was
+//! recorded under). This binary measures overhead rather than
+//! emitting a trace file — use `fleet_trace` for `--trace <path>`.
 //! Count flags reject 0 up front.
 fn main() {
     let cli = astro_bench::Cli::parse();
+    assert!(
+        cli.trace_path().is_none(),
+        "fleet_million does not support --trace; it measures telemetry overhead \
+         (--trace-level) — use fleet_trace to emit a trace file"
+    );
     let (jobs, boards, shards) = cli.pick((50_000, 100, 4), (1_000_000, 500, 8));
     astro_bench::figs::fleet_million::run(
         cli.size_or(astro_workloads::InputSize::Test),
@@ -19,5 +30,7 @@ fn main() {
         cli.backend_or(astro_exec::executor::BackendKind::Replay),
         cli.count_flag("--shards", shards),
         cli.flag("--workers", 0),
+        cli.trace_level().unwrap_or(astro_fleet::TraceLevel::Ticks),
+        cli.has("--perf-gate"),
     );
 }

@@ -9,6 +9,7 @@
 //! tractable at the low end). Count flags reject 0 up front.
 fn main() {
     let cli = astro_bench::Cli::parse();
+    cli.reject_tracing("fleet_scale");
     let (jobs, boards) = cli.pick((10_000, 20), (100_000, 50));
     astro_bench::figs::fleet_scale::run(
         cli.size_or(astro_workloads::InputSize::Test),

@@ -9,6 +9,7 @@
 //! is what makes `--jobs 100000` practical.
 fn main() {
     let cli = astro_bench::Cli::parse();
+    cli.reject_tracing("fleet_sim");
     let (jobs, boards) = cli.pick((240, 16), (1200, 20));
     astro_bench::figs::fleet::run_backend(
         cli.size_or(astro_workloads::InputSize::Test),

@@ -50,4 +50,18 @@ fn main() {
         astro_exec::executor::BackendKind::Replay,
         2,
     );
+    println!();
+    // The flight recorder over the same churn shape plus chaos
+    // windows: emits the Perfetto timeline and verifies tracing is
+    // outcome-invariant (fingerprints identical on vs off).
+    astro_bench::figs::fleet_trace::run(
+        astro_workloads::InputSize::Test,
+        cjobs,
+        cboards,
+        seed,
+        astro_exec::executor::BackendKind::Replay,
+        2,
+        astro_fleet::TraceLevel::Full,
+        &std::env::temp_dir().join("fleet_trace.json"),
+    );
 }

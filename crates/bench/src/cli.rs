@@ -19,6 +19,7 @@
 //!   default — the flags exist for reproducibility.
 
 use astro_exec::executor::BackendKind;
+use astro_fleet::TraceLevel;
 use astro_workloads::InputSize;
 
 /// Parsed command line of a figure binary.
@@ -86,7 +87,12 @@ impl Cli {
 
     /// Is `--quick` present (reduced samples/episodes for smoke runs)?
     pub fn quick(&self) -> bool {
-        self.args.iter().any(|a| a == "--quick")
+        self.has("--quick")
+    }
+
+    /// Is a boolean `--<name>` flag present (e.g. `--perf-gate`)?
+    pub fn has(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
     }
 
     /// `quick` in `--quick` mode, else `full` — the per-binary
@@ -128,6 +134,33 @@ impl Cli {
         let n = self.flag(name, default);
         assert!(n >= 1, "{name} must be at least 1, got 0");
         n
+    }
+
+    /// `--trace <path>`: where to write the Chrome-trace JSON, `None`
+    /// when the flag is absent.
+    pub fn trace_path(&self) -> Option<&str> {
+        self.value_of("--trace")
+    }
+
+    /// `--trace-level {off,ticks,spans,full}`: flight-recorder depth,
+    /// `None` when the flag is absent (binaries choose their default).
+    pub fn trace_level(&self) -> Option<TraceLevel> {
+        self.value_of("--trace-level").map(|v| {
+            TraceLevel::parse(v)
+                .unwrap_or_else(|| panic!("--trace-level takes off|ticks|spans|full, got {v:?}"))
+        })
+    }
+
+    /// Reject `--trace`/`--trace-level` outright. Binaries that don't
+    /// thread a flight recorder call this so the flags fail loud
+    /// instead of being silently ignored — a trace the user asked for
+    /// and never got is worse than an error.
+    pub fn reject_tracing(&self, binary: &str) {
+        assert!(
+            self.trace_path().is_none() && self.trace_level().is_none(),
+            "{binary} does not support --trace/--trace-level; use fleet_trace \
+             (or fleet_million, which accepts --trace-level for overhead measurement)"
+        );
     }
 }
 
@@ -218,5 +251,47 @@ mod tests {
     #[should_panic(expected = "--backend takes machine|replay")]
     fn bad_backend_is_an_error() {
         cli(&["--backend", "warp"]).backend_or(BackendKind::Machine);
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let c = cli(&["--trace", "/tmp/trace.json", "--trace-level", "spans"]);
+        assert_eq!(c.trace_path(), Some("/tmp/trace.json"));
+        assert_eq!(c.trace_level(), Some(TraceLevel::Spans));
+        let d = cli(&[]);
+        assert_eq!(d.trace_path(), None);
+        assert_eq!(d.trace_level(), None);
+        d.reject_tracing("fleet_sim"); // absent flags pass the rejection
+        for (v, l) in [
+            ("off", TraceLevel::Off),
+            ("ticks", TraceLevel::Ticks),
+            ("full", TraceLevel::Full),
+        ] {
+            assert_eq!(cli(&["--trace-level", v]).trace_level(), Some(l));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "--trace requires a value")]
+    fn trailing_trace_is_an_error() {
+        cli(&["--trace"]).trace_path();
+    }
+
+    #[test]
+    #[should_panic(expected = "--trace-level requires a value")]
+    fn trailing_trace_level_is_an_error() {
+        cli(&["--trace-level"]).trace_level();
+    }
+
+    #[test]
+    #[should_panic(expected = "--trace-level takes off|ticks|spans|full")]
+    fn bad_trace_level_is_an_error() {
+        cli(&["--trace-level", "verbose"]).trace_level();
+    }
+
+    #[test]
+    #[should_panic(expected = "fleet_scale does not support --trace/--trace-level")]
+    fn tracing_is_rejected_by_non_tracing_binaries() {
+        cli(&["--trace", "/tmp/t.json"]).reject_tracing("fleet_scale");
     }
 }

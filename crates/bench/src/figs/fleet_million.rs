@@ -29,11 +29,21 @@
 
 use crate::figs::fleet::{mean_cold_service_s, tenant_pool};
 use astro_fleet::{
-    ArrivalProcess, BackendKind, ClusterSpec, FleetOutcome, FleetParams, FleetSim, PhaseAware,
-    PolicyCache, PolicyMode, Scenario,
+    ArrivalProcess, BackendKind, ClusterSpec, FleetOutcome, FleetParams, FleetSim, FlightRecorder,
+    PhaseAware, PolicyCache, PolicyMode, Scenario, TraceLevel,
 };
 use astro_workloads::InputSize;
 use std::time::Instant;
+
+/// Telemetry-off simulation throughput recorded for PR 6 in
+/// `BENCH_fleet.json` under the CI configuration (`--quick --shards 4`:
+/// 50k jobs, 100 boards, replay backend). The perf gate holds this
+/// figure's hot path to within [`PERF_GATE_TOLERANCE`] of it.
+const PR6_QUICK_BASELINE_JPS: f64 = 42_300.0;
+
+/// Allowed fractional regression against [`PR6_QUICK_BASELINE_JPS`]
+/// before the `--perf-gate` verdict fails the run.
+const PERF_GATE_TOLERANCE: f64 = 0.02;
 
 /// Bitwise fingerprint of a run: FNV-1a over every outcome's
 /// placement and float timeline bits, so a single last-ulp divergence
@@ -63,8 +73,14 @@ fn fingerprint(out: &FleetOutcome) -> u64 {
 
 /// Run the million-job experiment: `n_jobs` over `n_boards` on
 /// `backend`, comparing `--shards 1` against `--shards <shards>` for
-/// wall clock and byte equality. `workers` caps the OS threads shard
-/// advances may use (0 = the machine's available parallelism).
+/// wall clock and byte equality, then a third leg with the flight
+/// recorder on at `trace_level` to price the telemetry overhead
+/// (fingerprint-checked against the untraced run). `workers` caps the
+/// OS threads shard advances may use (0 = the machine's available
+/// parallelism). `perf_gate` turns the printed baseline comparison
+/// into a hard assertion — CI passes it with the `--quick`
+/// configuration the recorded baseline was measured at.
+#[allow(clippy::too_many_arguments)]
 pub fn run(
     size: InputSize,
     n_jobs: usize,
@@ -73,6 +89,8 @@ pub fn run(
     backend: BackendKind,
     shards: usize,
     workers: usize,
+    trace_level: TraceLevel,
+    perf_gate: bool,
 ) {
     let workers = if workers == 0 {
         std::thread::available_parallelism()
@@ -167,6 +185,69 @@ pub fn run(
         identical,
         "sharded kernel diverged from the sequential kernel"
     );
+
+    // Telemetry leg: the same sharded configuration with the flight
+    // recorder on. At `ticks` (the default) this prices the streaming
+    // digests and per-tick gauge walk without retaining per-job trace
+    // events — the right level for a million-job run; `--trace-level
+    // full` would hold millions of spans in memory.
+    let mut p = params.clone();
+    p.shards = shards;
+    let tsim = FleetSim::new(&cluster, p);
+    let mut cache = PolicyCache::new(staleness);
+    let mut recorder = FlightRecorder::new(trace_level);
+    let t0 = Instant::now();
+    let traced = tsim.run_traced(&jobs, &mut PhaseAware, &mut cache, &scenario, &mut recorder);
+    let wall_t = t0.elapsed().as_secs_f64();
+    let telemetry_identical = fingerprint(&sharded) == fingerprint(&traced);
+    println!(
+        "telemetry '{}' ({} windows, {} digest samples): {wall_t:>6.2} s wall  ({:.1} k jobs/s; \
+         {:+.1}% vs telemetry off);  outcomes {}",
+        recorder.level().name(),
+        recorder.windows().len(),
+        recorder.latency_digest().count(),
+        n_jobs as f64 / wall_t / 1e3,
+        (wall_t / wall_k - 1.0) * 100.0,
+        if telemetry_identical {
+            "IDENTICAL with tracing on"
+        } else {
+            "DIVERGED — telemetry perturbed the simulation"
+        }
+    );
+    assert!(
+        telemetry_identical,
+        "telemetry must never perturb the simulation"
+    );
+
+    // The perf gate (ROADMAP: hold the hot path): the telemetry-off
+    // sharded leg vs the throughput recorded in BENCH_fleet.json.
+    // Advisory outside `--perf-gate` (and only meaningful at the
+    // `--quick` configuration the baseline was measured under).
+    let jps_off = n_jobs as f64 / wall_k;
+    let floor = PR6_QUICK_BASELINE_JPS * (1.0 - PERF_GATE_TOLERANCE);
+    println!(
+        "perf gate: telemetry-off throughput {:.0} jobs/s vs PR 6 baseline {:.0} \
+         ({:+.1}%; floor {:.0}) — {}",
+        jps_off,
+        PR6_QUICK_BASELINE_JPS,
+        (jps_off / PR6_QUICK_BASELINE_JPS - 1.0) * 100.0,
+        floor,
+        if !perf_gate {
+            "advisory (pass --perf-gate at --quick to enforce)"
+        } else if jps_off >= floor {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    if perf_gate {
+        assert!(
+            jps_off >= floor,
+            "perf gate: {jps_off:.0} jobs/s is more than {:.0}% below the PR 6 baseline \
+             {PR6_QUICK_BASELINE_JPS:.0}",
+            PERF_GATE_TOLERANCE * 100.0
+        );
+    }
 
     let m = &sharded.metrics;
     println!(

@@ -17,4 +17,5 @@ pub mod fleet_chaos;
 pub mod fleet_churn;
 pub mod fleet_million;
 pub mod fleet_scale;
+pub mod fleet_trace;
 pub mod table1;

@@ -48,6 +48,15 @@ impl ArrivalProcess {
     /// Generate `n` jobs drawn uniformly from `pool`, with arrival times
     /// from this process and SLO tightness uniform in `slo_tightness`.
     /// Everything is a pure function of `seed`.
+    ///
+    /// # Panics
+    ///
+    /// The tightness range must be positive and finite: every job's SLO
+    /// is `tightness × best-cold-wall`, and a non-positive SLO would
+    /// otherwise flow through the metrics layer as a ratio of 0.0 —
+    /// silently sorting as the *best* p99 latency/SLO ratio in the
+    /// fleet. Rejected here, at stream construction, in the same spirit
+    /// as the kernel's churn/chaos schedule validation.
     pub fn generate(
         &self,
         n: usize,
@@ -57,6 +66,13 @@ impl ArrivalProcess {
         seed: u64,
     ) -> Vec<JobSpec> {
         assert!(!pool.is_empty(), "workload pool must not be empty");
+        let (lo, hi) = slo_tightness;
+        assert!(
+            lo > 0.0 && lo.is_finite() && hi.is_finite() && hi >= lo,
+            "invalid arrival stream: SLO tightness range ({lo}, {hi}) must be positive, \
+             finite and ordered — a job with slo_s <= 0 can never meet its deadline and \
+             would corrupt the SLO-ratio metrics"
+        );
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xA1217_F1EE7);
         // Classify each pool entry once (module construction is not free).
         let taxa: Vec<Taxon> = pool.iter().map(|w| taxon_of(&(w.build)(size))).collect();
@@ -331,6 +347,26 @@ mod tests {
             .iter()
             .zip(&jobs)
             .any(|(a, b)| a.arrival_s.to_bits() != b.arrival_s.to_bits()));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid arrival stream: SLO tightness range (0, 4)")]
+    fn non_positive_slo_tightness_is_rejected() {
+        let p = ArrivalProcess::Poisson {
+            rate_jobs_per_s: 50.0,
+        };
+        // tightness 0 would generate jobs with slo_s == 0 — deadlines
+        // that can never be met but used to score a perfect SLO ratio.
+        p.generate(10, &pool(), InputSize::Test, (0.0, 4.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid arrival stream: SLO tightness range (3, inf)")]
+    fn non_finite_slo_tightness_is_rejected() {
+        let p = ArrivalProcess::Poisson {
+            rate_jobs_per_s: 50.0,
+        };
+        p.generate(10, &pool(), InputSize::Test, (3.0, f64::INFINITY), 1);
     }
 
     #[test]

@@ -9,6 +9,14 @@
 //! and they must place the job on a board that is currently *placeable*
 //! — up and not blacked out by an active chaos clause (see
 //! [`ClusterState::placeable`]).
+//!
+//! Every decision made here is observable after the fact: when a
+//! [`FlightRecorder`](crate::telemetry::FlightRecorder) rides along at
+//! [`TraceLevel::Full`](crate::telemetry::TraceLevel), the kernel
+//! records each placement (job, workload, chosen board, corrected
+//! service estimate) as a control-plane span — dispatchers themselves
+//! stay telemetry-free, so a policy can never behave differently just
+//! because someone is watching.
 
 use crate::job::JobSpec;
 use crate::state::ClusterState;

@@ -170,6 +170,17 @@ impl ServiceFeedback {
     pub fn is_empty(&self) -> bool {
         self.cells.is_empty()
     }
+
+    /// Mean EWMA correction ratio over the learned cells (1.0 when
+    /// nothing has been learned) — the flight recorder samples this at
+    /// monitor ticks as a convergence gauge: it drifts away from 1.0
+    /// while the layer is absorbing a bias and settles once learned.
+    pub fn mean_correction(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 1.0;
+        }
+        self.cells.values().map(|c| c.ratio).sum::<f64>() / self.cells.len() as f64
+    }
 }
 
 impl Default for ServiceFeedback {

@@ -46,6 +46,7 @@ use crate::metrics::{FleetMetrics, FleetOutcome};
 use crate::shard::{AdvanceCtx, AdvanceDelta, ProgramSet, ShardMsg, ShardSet};
 use crate::sim::{FleetSim, PolicyMode, ProfileTable};
 use crate::state::{ClusterState, DispatchMode, DropReason, DroppedJob, QueuedJob};
+use crate::telemetry::{CompletionRecord, FlightRecorder, WindowSample};
 use astro_core::pipeline::build_static;
 use astro_exec::executor::{Executor, MachineExecutor};
 use astro_exec::program::compile;
@@ -475,13 +476,19 @@ impl EstScratch {
 }
 
 impl FleetSim<'_> {
-    /// The event loop. Public API is [`FleetSim::run`].
+    /// The event loop. Public API is [`FleetSim::run`] /
+    /// [`FleetSim::run_traced`]. `telemetry` is the flight recorder:
+    /// every hook reads kernel state and writes only recorder state, so
+    /// the returned outcome is byte-identical whatever the trace level
+    /// (including [`crate::telemetry::TraceLevel::Off`], where each
+    /// hook is one predicted-false branch).
     pub(crate) fn run_kernel(
         &self,
         jobs: &[JobSpec],
         dispatcher: &mut dyn Dispatcher,
         cache: &mut PolicyCache,
         scenario: &Scenario,
+        telemetry: &mut FlightRecorder,
     ) -> FleetOutcome {
         let n_boards = self.cluster.len();
         assert!(
@@ -630,6 +637,10 @@ impl FleetSim<'_> {
         // Jobs not yet completed or dropped.
         let mut open = jobs.len();
 
+        // Wall-clock phase profiling (machine time, recorder-gated —
+        // the off path never reads the OS clock).
+        let wall_run = telemetry.stopwatch();
+
         loop {
             // The next control event: the earlier of the arrival cursor
             // and the control queue, ties resolved churn < arrival < tick
@@ -656,6 +667,8 @@ impl FleetSim<'_> {
 
             let Some((time_s, kind)) = ctl else {
                 // No control left: drain every shard's completion chain.
+                let from_s = state.now_s;
+                let wall = telemetry.stopwatch();
                 let delta = shards.advance_all(
                     &mut state.boards,
                     f64::INFINITY,
@@ -668,12 +681,28 @@ impl FleetSim<'_> {
                         collect_observations: feedback.is_some(),
                     },
                 );
-                fold_delta(delta, &mut stats, &mut open, &mut outcomes, &mut feedback);
+                telemetry.lap_advance(wall);
+                let parallel = shards.last_parallel;
+                let wall = telemetry.stopwatch();
+                fold_delta(
+                    delta,
+                    &mut stats,
+                    &mut open,
+                    &mut outcomes,
+                    &mut feedback,
+                    telemetry,
+                    from_s,
+                    f64::INFINITY,
+                    parallel,
+                );
+                telemetry.lap_merge(wall);
                 break;
             };
 
             // Barrier: every completion strictly before this control
             // event is folded in before the decision reads any state.
+            let from_s = state.now_s;
+            let wall = telemetry.stopwatch();
             let delta = shards.advance_all(
                 &mut state.boards,
                 time_s,
@@ -686,7 +715,21 @@ impl FleetSim<'_> {
                     collect_observations: feedback.is_some(),
                 },
             );
-            fold_delta(delta, &mut stats, &mut open, &mut outcomes, &mut feedback);
+            telemetry.lap_advance(wall);
+            let parallel = shards.last_parallel;
+            let wall = telemetry.stopwatch();
+            fold_delta(
+                delta,
+                &mut stats,
+                &mut open,
+                &mut outcomes,
+                &mut feedback,
+                telemetry,
+                from_s,
+                time_s,
+                parallel,
+            );
+            telemetry.lap_merge(wall);
             debug_assert!(
                 time_s >= state.now_s - 1e-9,
                 "virtual clock ran backwards: {} -> {}",
@@ -715,6 +758,7 @@ impl FleetSim<'_> {
                         stats.dropped += 1;
                         stats.dropped_no_board += 1;
                         open -= 1;
+                        telemetry.on_drop(time_s, job.id, DropReason::NoBoardUp.name());
                         continue;
                     }
                     let slo_s = self.estimates_into(
@@ -801,11 +845,13 @@ impl FleetSim<'_> {
                             collect_observations: feedback.is_some(),
                         },
                     );
+                    telemetry.on_dispatch(time_s, job.id, job.workload.name, b, svc_est);
                 }
 
                 EventKind::MonitorTick => {
                     stats.ticks += 1;
                     if scenario.preemption {
+                        let migrated_before = stats.migrations;
                         self.preempt_scan(
                             exec,
                             &mut profiles,
@@ -821,6 +867,65 @@ impl FleetSim<'_> {
                             &mut stats,
                             &mut guard_bypasses,
                         );
+                        telemetry.on_preempt_scan(time_s, stats.migrations - migrated_before);
+                    }
+                    // Sample the fleet's gauges for the recorder. Gated
+                    // on the level so the gauge walk costs nothing when
+                    // telemetry is off; reads state only, so it cannot
+                    // perturb the run either way.
+                    if telemetry.wants_ticks() {
+                        let nb = state.boards.len();
+                        let mut mean_util = 0.0;
+                        let mut queue_depth = 0u64;
+                        let mut backlog_s = 0.0;
+                        let mut boards_up = 0u32;
+                        let mut boards_placeable = 0u32;
+                        let mut throttled = 0u32;
+                        let mut blacked_out = 0u32;
+                        for b in 0..nb {
+                            mean_util += state.utilisation(b);
+                            queue_depth += state.queue_depth(b) as u64;
+                            backlog_s += state.backlog_s(b);
+                            if state.up(b) {
+                                boards_up += 1;
+                            }
+                            if state.placeable(b) {
+                                boards_placeable += 1;
+                            }
+                            if !state.boards[b].throttles.is_empty() {
+                                throttled += 1;
+                            }
+                            if state.boards[b].blackouts > 0 {
+                                blacked_out += 1;
+                            }
+                        }
+                        let (p50_s, p95_s, p99_s) = telemetry.latency_so_far();
+                        let (fb_err, fb_samples, fb_corr) = match &feedback {
+                            Some(fb) => (
+                                fb.stats.mean_abs_rel_err(),
+                                fb.stats.samples,
+                                fb.mean_correction(),
+                            ),
+                            None => (0.0, 0, 1.0),
+                        };
+                        telemetry.on_tick(WindowSample {
+                            t_s: time_s,
+                            completions: telemetry.completions(),
+                            p50_s,
+                            p95_s,
+                            p99_s,
+                            slo_miss_rate: telemetry.slo_miss_rate(),
+                            mean_util: mean_util / nb as f64,
+                            queue_depth,
+                            backlog_s,
+                            boards_up,
+                            boards_placeable,
+                            throttled,
+                            blacked_out,
+                            feedback_mean_abs_rel_err: fb_err,
+                            feedback_samples: fb_samples,
+                            feedback_mean_correction: fb_corr,
+                        });
                     }
                     if open > 0 {
                         ctrl.push(
@@ -833,6 +938,7 @@ impl FleetSim<'_> {
                 EventKind::BoardDown(b) => {
                     stats.board_downs += 1;
                     let b = b as usize;
+                    telemetry.on_churn(time_s, b, false);
                     state.boards[b].up = false;
                     // The in-flight job drains; queued work is
                     // redistributed (or dropped when nowhere is up or
@@ -850,6 +956,7 @@ impl FleetSim<'_> {
                             stats.dropped += 1;
                             stats.dropped_no_board += 1;
                             open -= 1;
+                            telemetry.on_drop(time_s, qj.job.id, DropReason::NoBoardUp.name());
                             continue;
                         }
                         if qj.redispatches >= scenario.max_redispatches {
@@ -860,6 +967,7 @@ impl FleetSim<'_> {
                             stats.dropped += 1;
                             stats.dropped_migration_cap += 1;
                             open -= 1;
+                            telemetry.on_drop(time_s, qj.job.id, DropReason::MigrationCap.name());
                             continue;
                         }
                         stats.redistributions += 1;
@@ -886,12 +994,19 @@ impl FleetSim<'_> {
 
                 EventKind::BoardUp(b) => {
                     stats.board_ups += 1;
+                    telemetry.on_churn(time_s, b as usize, true);
                     state.boards[b as usize].up = true;
                 }
 
                 EventKind::ThrottleStart { board, clause } => {
                     stats.chaos_events += 1;
                     chaos_stats.clauses[clause as usize].events += 1;
+                    telemetry.on_chaos(
+                        time_s,
+                        "throttle start",
+                        &chaos_stats.clauses[clause as usize].label,
+                        board as usize,
+                    );
                     let bs = &mut state.boards[board as usize];
                     bs.throttles.push((clause, chaos.factors[clause as usize]));
                     bs.recompute_slowdown();
@@ -904,6 +1019,12 @@ impl FleetSim<'_> {
                 EventKind::ThrottleEnd { board, clause } => {
                     stats.chaos_events += 1;
                     chaos_stats.clauses[clause as usize].events += 1;
+                    telemetry.on_chaos(
+                        time_s,
+                        "throttle end",
+                        &chaos_stats.clauses[clause as usize].label,
+                        board as usize,
+                    );
                     let bs = &mut state.boards[board as usize];
                     bs.throttles.retain(|&(c, _)| c != clause);
                     bs.recompute_slowdown();
@@ -912,12 +1033,24 @@ impl FleetSim<'_> {
                 EventKind::BlackoutStart { board, clause } => {
                     stats.chaos_events += 1;
                     chaos_stats.clauses[clause as usize].events += 1;
+                    telemetry.on_chaos(
+                        time_s,
+                        "blackout start",
+                        &chaos_stats.clauses[clause as usize].label,
+                        board as usize,
+                    );
                     state.boards[board as usize].blackouts += 1;
                 }
 
                 EventKind::BlackoutEnd { board, clause } => {
                     stats.chaos_events += 1;
                     chaos_stats.clauses[clause as usize].events += 1;
+                    telemetry.on_chaos(
+                        time_s,
+                        "blackout end",
+                        &chaos_stats.clauses[clause as usize].label,
+                        board as usize,
+                    );
                     let bs = &mut state.boards[board as usize];
                     debug_assert!(bs.blackouts > 0, "unbalanced blackout window");
                     bs.blackouts -= 1;
@@ -929,6 +1062,7 @@ impl FleetSim<'_> {
             }
         }
 
+        telemetry.lap_total(wall_run);
         stats.messages = shards.messages;
         stats.advances = shards.advances;
         stats.par_advances = shards.par_advances;
@@ -1471,16 +1605,44 @@ fn ensure_static_build(
 /// events, outcomes accumulate, and feedback observations are applied
 /// in (completion time, job id) order so the learned state is
 /// identical for every shard count.
+///
+/// The flight recorder observes the merge here too — and *only* here
+/// for completion-derived telemetry: its records are sorted by the same
+/// (finish time, id) key before the hook fires, so the recorded stream
+/// is pinned for every shard count, and successive advance windows
+/// `[from_s, to_s)` are disjoint and increasing, making the whole trace
+/// monotone in sim time.
+#[allow(clippy::too_many_arguments)]
 fn fold_delta(
     delta: AdvanceDelta,
     stats: &mut KernelStats,
     open: &mut usize,
     outcomes: &mut Vec<JobOutcome>,
     feedback: &mut Option<ServiceFeedback>,
+    telemetry: &mut FlightRecorder,
+    from_s: f64,
+    to_s: f64,
+    parallel: bool,
 ) {
     stats.events += delta.completions;
     stats.completions += delta.completions;
     *open -= delta.completions as usize;
+    if telemetry.enabled() && !delta.outcomes.is_empty() {
+        let mut recs: Vec<CompletionRecord> = delta
+            .outcomes
+            .iter()
+            .map(|o| CompletionRecord {
+                finish_s: o.finish_s,
+                latency_s: o.latency_s(),
+                slo_s: o.slo_s,
+                id: o.id,
+                board: o.board,
+                workload: o.workload,
+            })
+            .collect();
+        recs.sort_by(|a, b| a.finish_s.total_cmp(&b.finish_s).then(a.id.cmp(&b.id)));
+        telemetry.on_window(from_s, to_s, parallel, &recs);
+    }
     outcomes.extend(delta.outcomes);
     if let Some(fb) = feedback {
         let mut obs = delta.observations;

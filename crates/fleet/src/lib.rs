@@ -37,6 +37,13 @@
 //! paper's "observed, not assumed, costs" principle applied at fleet
 //! scale.
 //!
+//! The kernel carries a deterministic flight recorder ([`telemetry`]):
+//! structured Chrome-trace spans, streaming quantile digests and
+//! per-tick gauge windows over *sim* time, plus wall-clock phase
+//! profiling — zero-cost when off, and guaranteed never to perturb
+//! outcomes (fingerprints are byte-identical with tracing on or off
+//! for every shard count).
+//!
 //! Execution goes through the pluggable
 //! [`Executor`](astro_exec::executor::Executor) contract: the default
 //! [`BackendKind::Machine`] interprets every job cycle-accurately, while
@@ -59,6 +66,7 @@ pub mod metrics;
 pub mod shard;
 pub mod sim;
 pub mod state;
+pub mod telemetry;
 
 pub use arrival::ArrivalProcess;
 pub use astro_exec::executor::BackendKind;
@@ -74,4 +82,8 @@ pub use shard::{ShardMsg, ShardSet};
 pub use sim::{chunked_map, serial_map, FleetParams, FleetSim, PolicyMode};
 pub use state::{
     BoardState, ClusterState, DispatchMode, DropReason, DroppedJob, InFlight, QueuedJob,
+};
+pub use telemetry::{
+    validate_json, FlightRecorder, PhaseProfile, QuantileDigest, TraceEvent, TraceLevel,
+    WindowSample, DIGEST_GROWTH,
 };

@@ -67,13 +67,18 @@ impl FleetMetrics {
             latencies.iter().sum::<f64>() / jobs as f64
         };
         let total_energy_j = outcomes.iter().map(|o| o.energy_j).sum::<f64>() + extra_energy_j;
+        // A non-positive SLO is a deadline that can never be met: it
+        // must sort as the *worst* ratio in the fleet, not silently map
+        // to 0.0 (which used to score it as the best). Arrival-stream
+        // construction rejects non-positive tightness outright, so this
+        // arm only fires for hand-built outcomes — and now fails loud.
         let mut slo_ratios: Vec<f64> = outcomes
             .iter()
             .map(|o| {
                 if o.slo_s > 0.0 {
                     o.latency_s() / o.slo_s
                 } else {
-                    0.0
+                    f64::INFINITY
                 }
             })
             .collect();
@@ -214,5 +219,20 @@ mod tests {
         assert!((m.throughput_jps - 0.8).abs() < 1e-12);
         // p99 of {1.0/1.5, 2.0/1.5}: nearest-rank lands on the worst.
         assert!((m.p99_slo_ratio - 2.0 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_positive_slo_sorts_as_worst_ratio_not_best() {
+        let mut bad = outcome(0, 0.0, 0.0, 1.0, 1.0);
+        bad.slo_s = 0.0; // impossible deadline
+        let good = outcome(1, 0.0, 0.0, 1.0, 1.0); // ratio 1.0/1.5
+        let m = FleetMetrics::from_outcomes(&[bad, good], &[1.0], 0.0);
+        assert!(
+            m.p99_slo_ratio.is_infinite(),
+            "an impossible deadline must dominate the p99 ratio, got {}",
+            m.p99_slo_ratio
+        );
+        // And it still counts as a miss in the rate.
+        assert_eq!(m.slo_misses, 1);
     }
 }

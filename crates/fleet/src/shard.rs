@@ -162,6 +162,10 @@ pub struct ShardSet {
     pub par_advances: u64,
     /// [`ShardMsg`]s delivered to shards.
     pub messages: u64,
+    /// Did the most recent `advance_all` fan out across OS threads?
+    /// Read by the flight recorder to label advance spans; purely
+    /// descriptive — the merge result is identical either way.
+    pub last_parallel: bool,
 }
 
 /// Minimum pending completion events (summed over shards) before a
@@ -181,6 +185,7 @@ impl ShardSet {
             advances: 0,
             par_advances: 0,
             messages: 0,
+            last_parallel: false,
         }
     }
 
@@ -251,6 +256,7 @@ impl ShardSet {
         ctx: &AdvanceCtx<'_>,
     ) -> AdvanceDelta {
         self.advances += 1;
+        self.last_parallel = false;
         // Fast path: nothing pending strictly before the horizon on
         // any shard — the common case between back-to-back arrivals.
         if self.earliest_s >= to_s {
@@ -260,6 +266,7 @@ impl ShardSet {
         let mut merged = AdvanceDelta::default();
         if workers > 1 && self.queues.len() > 1 && self.pending() >= PAR_MIN_PENDING {
             self.par_advances += 1;
+            self.last_parallel = true;
             let deltas: Vec<AdvanceDelta> = std::thread::scope(|scope| {
                 let handles: Vec<_> = boards
                     .chunks_mut(chunk)

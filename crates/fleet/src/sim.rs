@@ -237,7 +237,25 @@ impl<'a> FleetSim<'a> {
         cache: &mut PolicyCache,
         scenario: &Scenario,
     ) -> FleetOutcome {
-        self.run_kernel(jobs, dispatcher, cache, scenario)
+        let mut off = crate::telemetry::FlightRecorder::off();
+        self.run_kernel(jobs, dispatcher, cache, scenario, &mut off)
+    }
+
+    /// [`FleetSim::run`] with a live flight recorder: `telemetry`
+    /// collects trace events, streaming digests, window samples and
+    /// wall-clock phase timings as the kernel runs. Telemetry never
+    /// perturbs the simulation — the returned [`FleetOutcome`] is
+    /// byte-identical to an untraced run of the same inputs for every
+    /// shard count (pinned by the `proptest_telemetry` suite).
+    pub fn run_traced(
+        &self,
+        jobs: &[JobSpec],
+        dispatcher: &mut dyn Dispatcher,
+        cache: &mut PolicyCache,
+        scenario: &Scenario,
+        telemetry: &mut crate::telemetry::FlightRecorder,
+    ) -> FleetOutcome {
+        self.run_kernel(jobs, dispatcher, cache, scenario, telemetry)
     }
 
     // ---- profiling & training (kernel callbacks) ----------------------------
