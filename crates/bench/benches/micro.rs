@@ -302,6 +302,153 @@ fn bench_shard_window(c: &mut Criterion) {
     });
 }
 
+/// The arrival-time hot path the PR 8 rewrite holds flat: one
+/// dispatcher decision over a dense 500-board fleet. `PhaseAware::pick`
+/// walks every placeable board twice (finish-time argmin, then the
+/// tie-band scan) against the per-board estimate arrays, with zero
+/// allocation — the scratch vector inside the dispatcher is reused
+/// across calls. A 1M-job run makes this decision a million times, so
+/// ns here are seconds there.
+fn bench_dispatch_pick(c: &mut Criterion) {
+    use astro_fleet::{
+        ClusterSpec, ClusterState, DispatchMode, Dispatcher, JobClass, JobEstimates, JobSpec,
+        PhaseAware, Taxon,
+    };
+
+    const N: usize = 500;
+    let cluster = ClusterSpec::heterogeneous(N);
+    let mut state = ClusterState::new(&cluster, DispatchMode::Oracle);
+    state.now_s = 10.0;
+    // Non-degenerate per-board estimates: a deterministic spread so the
+    // argmin and the tie-band scan both do real comparisons.
+    let mut est = JobEstimates::zeroed(N);
+    for b in 0..N {
+        let x = ((b as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) as f64 / 16777216.0;
+        est.service_s[b] = 0.5 + x;
+        est.energy_j[b] = 1.0 + x * 3.0;
+        est.warm[b] = b % 3 == 0;
+    }
+    let job = JobSpec {
+        id: 0,
+        workload: astro_workloads::by_name("swaptions").unwrap(),
+        taxon: Taxon {
+            class: JobClass::CpuHeavy,
+            signature: 2,
+        },
+        arrival_s: 10.0,
+        slo_tightness: 4.0,
+        seed: 1,
+    };
+    let mut dispatcher = PhaseAware::default();
+    c.bench_function("dispatch_pick_dense_500_boards", |b| {
+        b.iter(|| black_box(dispatcher.pick(black_box(&state), black_box(&job), black_box(&est))))
+    });
+}
+
+/// A window of calibration-cache lookups through one
+/// [`ReplaySession`](astro_core::replay::ReplaySession) snapshot — the
+/// batched form the fleet kernel uses per control window. The session
+/// pays the executor's rwlock once at construction; every scalar
+/// estimate inside the window then answers lock-free from the
+/// snapshot. The per-lookup cost here bounds the per-arrival estimate
+/// cost of the whole fleet (one lookup per architecture per arrival).
+fn bench_replay_session(c: &mut Criterion) {
+    use astro_core::replay::ReplayExecutor;
+    use astro_exec::executor::{ExecPolicy, ExecRequest, Executor};
+
+    let board = BoardSpec::odroid_xu4();
+    let module = (astro_workloads::by_name("hotspot").unwrap().build)(InputSize::Test);
+    let prog = compile(&module).unwrap();
+    let params = MachineParams {
+        checkpoint_interval: SimTime::from_micros(400.0),
+        ..MachineParams::default()
+    };
+    let replay = ReplayExecutor::from_machine(params);
+    replay.calibrate("hotspot", &module, &board);
+    let full = board.config_space().full();
+    let session = replay.session();
+    let mut seed = 0u64;
+    c.bench_function("replay_batched_lookup_window", |b| {
+        b.iter(|| {
+            // One control window's worth of scalar estimates (64
+            // arrivals), all through the same snapshot.
+            let mut acc = 0.0f64;
+            for _ in 0..64 {
+                seed = seed.wrapping_add(1);
+                let (wall, energy) = session.execute_scalar(&ExecRequest {
+                    workload: "hotspot",
+                    module: &module,
+                    program: &prog,
+                    board: &board,
+                    config: full,
+                    policy: ExecPolicy::Gts,
+                    seed,
+                });
+                acc += wall + energy;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// The board queue arena under the completion-follows-arrival pattern:
+/// enqueue extends the busy-until memo in place (no queue walk), pop
+/// invalidates it (epoch bump, no walk either). This is the per-job
+/// floor of the execution plane — every job crosses one enqueue and
+/// one pop whatever the dispatcher or scenario does.
+fn bench_arena_queue(c: &mut Criterion) {
+    use astro_fleet::{BoardState, ClusterSpec, ClusterState, DispatchMode, QueuedJob};
+
+    let spec = ClusterSpec::heterogeneous(1);
+    let proto = {
+        let job = astro_fleet::JobSpec {
+            id: 0,
+            workload: astro_workloads::by_name("swaptions").unwrap(),
+            taxon: astro_fleet::Taxon {
+                class: astro_fleet::JobClass::CpuHeavy,
+                signature: 2,
+            },
+            arrival_s: 0.0,
+            slo_tightness: 4.0,
+            seed: 1,
+        };
+        QueuedJob {
+            job,
+            slo_s: 4.0,
+            schedule: None,
+            sched_arch: "xu4",
+            est_service_s: 0.7,
+            profiled_s: 0.7,
+            penalty_s: 0.0,
+            migrations: 0,
+            redispatches: 0,
+        }
+    };
+    c.bench_function("arena_enqueue_dequeue", |b| {
+        b.iter(|| {
+            let mut state = ClusterState::new(&spec, DispatchMode::Online);
+            let bs: &mut BoardState = &mut state.boards[0];
+            // Steady state: hold a 32-deep queue, then stream 256
+            // enqueue/pop pairs through it.
+            for i in 0..32u32 {
+                let mut q = proto.clone();
+                q.job.id = i;
+                bs.enqueue(q);
+            }
+            for i in 32..288u32 {
+                let mut q = proto.clone();
+                q.job.id = i;
+                bs.enqueue(q);
+                black_box(bs.pop_next());
+            }
+            while let Some(q) = bs.pop_next() {
+                black_box(q);
+            }
+            black_box(bs.queue_len())
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_nn,
@@ -311,6 +458,9 @@ criterion_group!(
     bench_executor,
     bench_runner,
     bench_event_queue,
-    bench_shard_window
+    bench_shard_window,
+    bench_dispatch_pick,
+    bench_replay_session,
+    bench_arena_queue
 );
 criterion_main!(benches);

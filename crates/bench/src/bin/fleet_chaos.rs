@@ -6,7 +6,10 @@
 //! `--shards <k>` (default 1; any value gives identical numbers),
 //! `--seed <u64>`, `--quick` (10k jobs, 20 boards — the CI smoke
 //! configuration), `--size` (defaults to `test`) and
-//! `--backend {machine,replay}` (default `replay`). Count flags
+//! `--backend {machine,replay}` (default `replay`). `--perf-gate`
+//! turns the printed wall-throughput comparison against the PR 8
+//! baseline into a hard assertion (CI passes it at `--quick`, the
+//! configuration the baseline was recorded under). Count flags
 //! reject 0 up front.
 fn main() {
     let cli = astro_bench::Cli::parse();
@@ -19,5 +22,6 @@ fn main() {
         cli.seed(),
         cli.backend_or(astro_exec::executor::BackendKind::Replay),
         cli.count_flag("--shards", 1),
+        cli.has("--perf-gate"),
     );
 }

@@ -4,12 +4,14 @@
 //! `--jobs <n>`, `--boards <n>`, `--shards <k>` (default 8),
 //! `--workers <n>` (OS threads for shard advances; default: the
 //! machine's parallelism), `--seed <u64>`, `--quick` (50k jobs, 100
-//! boards, 4 shards — the CI smoke configuration), `--size` (defaults
-//! to `test`) and `--backend {machine,replay}` (default `replay` — a
-//! million cycle-accurate jobs is not a figure, it is a heat source).
+//! boards, 4 shards — the CI smoke configuration), `--jumbo` (10M
+//! jobs, 5000 boards, 8 shards — the post-hot-path scale ceiling; a
+//! few minutes of wall clock), `--size` (defaults to `test`) and
+//! `--backend {machine,replay}` (default `replay` — a million
+//! cycle-accurate jobs is not a figure, it is a heat source).
 //! `--trace-level {off,ticks,spans,full}` (default `ticks`) sets the
 //! flight-recorder depth of the telemetry-overhead leg; `--perf-gate`
-//! turns the printed PR 6 baseline comparison into a hard assertion
+//! turns the printed PR 8 baseline comparison into a hard assertion
 //! (CI passes it at `--quick`, the configuration the baseline was
 //! recorded under). This binary measures overhead rather than
 //! emitting a trace file — use `fleet_trace` for `--trace <path>`.
@@ -21,7 +23,12 @@ fn main() {
         "fleet_million does not support --trace; it measures telemetry overhead \
          (--trace-level) — use fleet_trace to emit a trace file"
     );
-    let (jobs, boards, shards) = cli.pick((50_000, 100, 4), (1_000_000, 500, 8));
+    let (jobs, boards, shards) = if cli.has("--jumbo") {
+        assert!(!cli.quick(), "--quick and --jumbo are mutually exclusive");
+        (10_000_000, 5_000, 8)
+    } else {
+        cli.pick((50_000, 100, 4), (1_000_000, 500, 8))
+    };
     astro_bench::figs::fleet_million::run(
         cli.size_or(astro_workloads::InputSize::Test),
         cli.count_flag("--jobs", jobs),

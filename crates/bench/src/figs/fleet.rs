@@ -105,8 +105,8 @@ impl DispatcherKind {
     pub fn build(self) -> Box<dyn Dispatcher> {
         match self {
             DispatcherKind::LeastLoaded => Box::new(LeastLoaded),
-            DispatcherKind::EnergyAware => Box::new(EnergyAware),
-            DispatcherKind::PhaseAware => Box::new(PhaseAware),
+            DispatcherKind::EnergyAware => Box::new(EnergyAware::default()),
+            DispatcherKind::PhaseAware => Box::new(PhaseAware::default()),
         }
     }
 }

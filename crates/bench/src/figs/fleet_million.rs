@@ -35,15 +35,19 @@ use astro_fleet::{
 use astro_workloads::InputSize;
 use std::time::Instant;
 
-/// Telemetry-off simulation throughput recorded for PR 6 in
+/// Telemetry-off simulation throughput recorded for PR 8 in
 /// `BENCH_fleet.json` under the CI configuration (`--quick --shards 4`:
 /// 50k jobs, 100 boards, replay backend). The perf gate holds this
 /// figure's hot path to within [`PERF_GATE_TOLERANCE`] of it.
-const PR6_QUICK_BASELINE_JPS: f64 = 42_300.0;
+const PR8_QUICK_BASELINE_JPS: f64 = 350_000.0;
 
-/// Allowed fractional regression against [`PR6_QUICK_BASELINE_JPS`]
-/// before the `--perf-gate` verdict fails the run.
-const PERF_GATE_TOLERANCE: f64 = 0.02;
+/// Allowed fractional regression against [`PR8_QUICK_BASELINE_JPS`]
+/// before the `--perf-gate` verdict fails the run. Wider than the 2%
+/// band the PR 7 gate used: at ~0.14 s of wall per quick leg the
+/// single-core CI container's scheduling jitter alone is worth several
+/// percent, and the gate exists to catch hot-path regressions (which
+/// historically cost 2-10x, not 10%), not to flake on timer noise.
+const PERF_GATE_TOLERANCE: f64 = 0.10;
 
 /// Bitwise fingerprint of a run: FNV-1a over every outcome's
 /// placement and float timeline bits, so a single last-ulp divergence
@@ -139,13 +143,22 @@ pub fn run(
     let scenario = Scenario::online(PolicyMode::Warm).with_feedback();
     let staleness = (n_jobs / 4).max(8) as u32;
 
+    // One replay backend shared by every leg: calibrations are a pure
+    // function of (workload, architecture, engine parameters), all
+    // identical across legs here, so sharing is bit-neutral — the
+    // first leg records them once and later legs measure the actual
+    // hot path instead of re-recording traces.
+    let shared_replay = FleetSim::new(&cluster, params.clone()).replay_handle();
     let run_with = |k: usize| -> (FleetOutcome, f64) {
         let mut p = params.clone();
         p.shards = k;
-        let sim = FleetSim::new(&cluster, p);
+        let sim = match &shared_replay {
+            Some(r) => FleetSim::with_replay(&cluster, p, r.clone()),
+            None => FleetSim::new(&cluster, p),
+        };
         let mut cache = PolicyCache::new(staleness);
         let t0 = Instant::now();
-        let out = sim.run(&jobs, &mut PhaseAware, &mut cache, &scenario);
+        let out = sim.run(&jobs, &mut PhaseAware::default(), &mut cache, &scenario);
         (out, t0.elapsed().as_secs_f64())
     };
 
@@ -193,11 +206,20 @@ pub fn run(
     // full` would hold millions of spans in memory.
     let mut p = params.clone();
     p.shards = shards;
-    let tsim = FleetSim::new(&cluster, p);
+    let tsim = match &shared_replay {
+        Some(r) => FleetSim::with_replay(&cluster, p, r.clone()),
+        None => FleetSim::new(&cluster, p),
+    };
     let mut cache = PolicyCache::new(staleness);
     let mut recorder = FlightRecorder::new(trace_level);
     let t0 = Instant::now();
-    let traced = tsim.run_traced(&jobs, &mut PhaseAware, &mut cache, &scenario, &mut recorder);
+    let traced = tsim.run_traced(
+        &jobs,
+        &mut PhaseAware::default(),
+        &mut cache,
+        &scenario,
+        &mut recorder,
+    );
     let wall_t = t0.elapsed().as_secs_f64();
     let telemetry_identical = fingerprint(&sharded) == fingerprint(&traced);
     println!(
@@ -224,13 +246,13 @@ pub fn run(
     // Advisory outside `--perf-gate` (and only meaningful at the
     // `--quick` configuration the baseline was measured under).
     let jps_off = n_jobs as f64 / wall_k;
-    let floor = PR6_QUICK_BASELINE_JPS * (1.0 - PERF_GATE_TOLERANCE);
+    let floor = PR8_QUICK_BASELINE_JPS * (1.0 - PERF_GATE_TOLERANCE);
     println!(
-        "perf gate: telemetry-off throughput {:.0} jobs/s vs PR 6 baseline {:.0} \
+        "perf gate: telemetry-off throughput {:.0} jobs/s vs PR 8 baseline {:.0} \
          ({:+.1}%; floor {:.0}) — {}",
         jps_off,
-        PR6_QUICK_BASELINE_JPS,
-        (jps_off / PR6_QUICK_BASELINE_JPS - 1.0) * 100.0,
+        PR8_QUICK_BASELINE_JPS,
+        (jps_off / PR8_QUICK_BASELINE_JPS - 1.0) * 100.0,
         floor,
         if !perf_gate {
             "advisory (pass --perf-gate at --quick to enforce)"
@@ -243,8 +265,8 @@ pub fn run(
     if perf_gate {
         assert!(
             jps_off >= floor,
-            "perf gate: {jps_off:.0} jobs/s is more than {:.0}% below the PR 6 baseline \
-             {PR6_QUICK_BASELINE_JPS:.0}",
+            "perf gate: {jps_off:.0} jobs/s is more than {:.0}% below the PR 8 baseline \
+             {PR8_QUICK_BASELINE_JPS:.0}",
             PERF_GATE_TOLERANCE * 100.0
         );
     }

@@ -116,6 +116,18 @@ pub trait Executor: Send + Sync {
     /// Answer one request. Same request (including seed) ⇒ identical
     /// [`RunResult`], whatever thread asks.
     fn execute(&self, req: &ExecRequest<'_>) -> RunResult;
+
+    /// Answer one request with only its `(wall_time_s, energy_j)`
+    /// totals — the two numbers throughput-bound callers (the fleet
+    /// kernel's dispatch and shard paths) actually consume. Must
+    /// return bitwise the same totals [`Executor::execute`] would;
+    /// backends whose full [`RunResult`] is expensive to materialise
+    /// (checkpoint vectors, power samples) override this with a path
+    /// that skips the assembly.
+    fn execute_scalar(&self, req: &ExecRequest<'_>) -> (f64, f64) {
+        let r = self.execute(req);
+        (r.wall_time_s, r.energy_j)
+    }
 }
 
 /// The cycle-accurate backend: a thin adapter putting [`Machine`]

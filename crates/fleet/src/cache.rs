@@ -242,9 +242,17 @@ impl PolicyCache {
     /// Is a fresh (non-stale) policy available for `(taxon, arch)`?
     /// Read-only: no accounting.
     pub fn is_warm(&self, taxon: Taxon, arch: &'static str) -> bool {
-        self.peek(taxon, arch)
-            .map(|e| self.staleness_limit == 0 || e.uses < self.staleness_limit)
-            .unwrap_or(false)
+        self.warm_peek(taxon, arch).is_some()
+    }
+
+    /// Fresh-entry read: `Some` exactly when [`PolicyCache::is_warm`],
+    /// with the entry itself. One map probe where `is_warm` followed by
+    /// `peek` costs two — the arrival estimate path probes this once
+    /// per architecture per job. Read-only: no accounting.
+    pub fn warm_peek(&self, taxon: Taxon, arch: &'static str) -> Option<&PolicyEntry> {
+        self.entries
+            .get(&(taxon, arch))
+            .filter(|e| self.staleness_limit == 0 || e.uses < self.staleness_limit)
     }
 
     /// Read an entry without accounting or staleness handling (service

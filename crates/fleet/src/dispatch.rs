@@ -97,8 +97,17 @@ impl Dispatcher for LeastLoaded {
 /// Energy-aware: among live boards whose backlog is within one service
 /// time of the emptiest, take the one with the lowest predicted energy
 /// for this job. Trades a bounded amount of queueing for Joules.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct EnergyAware;
+///
+/// Holds a reusable backlog scratch so a pick allocates nothing: the
+/// first pass captures every placeable board's backlog (and the fleet
+/// minimum), the second takes the argmin over the feasible set reading
+/// the captured values back. Construct with [`EnergyAware::default`].
+#[derive(Clone, Debug, Default)]
+pub struct EnergyAware {
+    /// Backlog estimate per board from the current pick's first pass.
+    /// Entries for unplaceable boards are stale and never read.
+    backlog: Vec<f64>,
+}
 
 impl Dispatcher for EnergyAware {
     fn name(&self) -> &'static str {
@@ -106,23 +115,29 @@ impl Dispatcher for EnergyAware {
     }
 
     fn pick(&mut self, state: &ClusterState, _job: &JobSpec, est: &JobEstimates) -> usize {
-        let min_backlog = state
-            .placeable_boards()
-            .map(|b| state.backlog_s(b))
-            .fold(f64::INFINITY, f64::min);
+        if self.backlog.len() != state.len() {
+            self.backlog.resize(state.len(), 0.0);
+        }
+        let mut min_backlog = f64::INFINITY;
+        for b in state.placeable_boards() {
+            let bl = state.backlog_s(b);
+            self.backlog[b] = bl;
+            min_backlog = min_backlog.min(bl);
+        }
         // Never empty: the minimum-backlog placeable board qualifies.
-        let feasible: Vec<usize> = state
-            .placeable_boards()
-            .filter(|&b| state.backlog_s(b) <= min_backlog + est.service_s[b])
-            .collect();
-        *feasible
-            .iter()
-            .min_by(|&&a, &&b| {
-                (est.energy_j[a], est.est_finish_s(state, a), a)
-                    .partial_cmp(&(est.energy_j[b], est.est_finish_s(state, b), b))
-                    .expect("estimates are finite")
-            })
-            .expect("some board is up")
+        // The key ends in `b`, so keys are unique and this argmin picks
+        // the same board the old sort-free min-by did.
+        let mut best: Option<(f64, f64, usize)> = None;
+        for b in state.placeable_boards() {
+            let bl = self.backlog[b];
+            if bl <= min_backlog + est.service_s[b] {
+                let key = (est.energy_j[b], state.now_s + bl + est.service_s[b], b);
+                if best.map(|k| key < k).unwrap_or(true) {
+                    best = Some(key);
+                }
+            }
+        }
+        best.expect("some board is up").2
     }
 }
 
@@ -134,8 +149,18 @@ impl Dispatcher for EnergyAware {
 /// tie. The class preference never buys real queueing: any board whose
 /// estimated finish is more than 2% of a service time behind the global
 /// best is out.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct PhaseAware;
+///
+/// Holds a reusable finish-estimate scratch so a pick allocates
+/// nothing: the first pass computes every placeable board's estimated
+/// finish once (finding the global best as it goes), the tie pass
+/// reads the captured values back instead of re-walking board queues.
+/// Construct with [`PhaseAware::default`].
+#[derive(Clone, Debug, Default)]
+pub struct PhaseAware {
+    /// Estimated finish per board from the current pick's first pass.
+    /// Entries for unplaceable boards are stale and never read.
+    finish: Vec<f64>,
+}
 
 impl PhaseAware {
     fn prefers_big(job: &JobSpec) -> Option<bool> {
@@ -154,40 +179,43 @@ impl Dispatcher for PhaseAware {
     }
 
     fn pick(&mut self, state: &ClusterState, job: &JobSpec, est: &JobEstimates) -> usize {
-        let overall = argmin_placeable(state, |b| (est.est_finish_s(state, b), b as f64));
+        if self.finish.len() != state.len() {
+            self.finish.resize(state.len(), 0.0);
+        }
+        // Pass 1: estimated finish per placeable board, captured once —
+        // the tie pass reads these back instead of re-deriving backlog.
+        // Strict `<` keeps the lowest-indexed board on equal finishes,
+        // matching the old (finish, b) lexicographic argmin.
+        let mut overall = usize::MAX;
+        let mut best_finish = f64::INFINITY;
+        for b in state.placeable_boards() {
+            let f = est.est_finish_s(state, b);
+            self.finish[b] = f;
+            if f < best_finish {
+                best_finish = f;
+                overall = b;
+            }
+        }
+        assert!(overall != usize::MAX, "at least one board is placeable");
         let tie_band = 0.02 * est.service_s[overall];
-        // Hoisted out of the filter: the best finish is a pure function
-        // of (state, overall), and backlog estimates walk the board's
-        // queue — recomputing it per candidate made every arrival
-        // O(boards^2) on large clusters.
-        let best_finish = est.est_finish_s(state, overall);
-        let ties: Vec<usize> = state
-            .placeable_boards()
-            .filter(|&b| est.est_finish_s(state, b) <= best_finish + tie_band)
-            .collect();
         let prefers_big = Self::prefers_big(job);
-        *ties
-            .iter()
-            .min_by(|&&a, &&b| {
-                let mismatch = |c: usize| match prefers_big {
-                    Some(big) => (state.spec.big_rich(c) != big) as u8 as f64,
+        // Pass 2: argmin over the tie band. The key ends in `b`, so
+        // keys are unique and this matches the old min-by exactly.
+        let mut best: Option<((f64, f64, f64, f64), usize)> = None;
+        for b in state.placeable_boards() {
+            let f = self.finish[b];
+            if f <= best_finish + tie_band {
+                let mismatch = match prefers_big {
+                    Some(big) => (state.spec.big_rich(b) != big) as u8 as f64,
                     None => 0.0,
                 };
-                let ka = (
-                    mismatch(a),
-                    !est.warm[a] as u8 as f64,
-                    est.est_finish_s(state, a),
-                    a as f64,
-                );
-                let kb = (
-                    mismatch(b),
-                    !est.warm[b] as u8 as f64,
-                    est.est_finish_s(state, b),
-                    b as f64,
-                );
-                ka.partial_cmp(&kb).expect("estimates are finite")
-            })
-            .expect("tie set contains the global best")
+                let key = (mismatch, !est.warm[b] as u8 as f64, f, b as f64);
+                if best.map(|(k, _)| key < k).unwrap_or(true) {
+                    best = Some((key, b));
+                }
+            }
+        }
+        best.expect("tie set contains the global best").1
     }
 }
 
@@ -246,10 +274,10 @@ mod tests {
                 st.boards[b].dispatched = self.dispatched[b];
             }
             for &b in &self.down {
-                st.boards[b].up = false;
+                st.set_up(b, false);
             }
             for &b in &self.blackout {
-                st.boards[b].blackouts += 1;
+                st.add_blackout(b);
             }
             st
         }
@@ -279,8 +307,8 @@ mod tests {
         f.down = vec![0]; // the obviously best board is down
         for d in [
             &mut LeastLoaded as &mut dyn Dispatcher,
-            &mut EnergyAware,
-            &mut PhaseAware,
+            &mut EnergyAware::default(),
+            &mut PhaseAware::default(),
         ] {
             let pick = d.pick(&f.state(), &job(JobClass::CpuHeavy), &f.est);
             assert_ne!(pick, 0, "{} picked a down board", d.name());
@@ -294,8 +322,8 @@ mod tests {
         f.blackout = vec![0]; // best board is up but unplaceable
         for d in [
             &mut LeastLoaded as &mut dyn Dispatcher,
-            &mut EnergyAware,
-            &mut PhaseAware,
+            &mut EnergyAware::default(),
+            &mut PhaseAware::default(),
         ] {
             let pick = d.pick(&f.state(), &job(JobClass::CpuHeavy), &f.est);
             assert_ne!(pick, 0, "{} picked a blacked-out board", d.name());
@@ -308,13 +336,13 @@ mod tests {
         let mut f = Fixture::new(4);
         f.est.energy_j = vec![4.0, 1.5, 3.0, 2.0];
         assert_eq!(
-            EnergyAware.pick(&f.state(), &job(JobClass::Mixed), &f.est),
+            EnergyAware::default().pick(&f.state(), &job(JobClass::Mixed), &f.est),
             1
         );
         // Congest the cheap board far beyond a service time: excluded.
         f.busy[1] = 25.0;
         assert_eq!(
-            EnergyAware.pick(&f.state(), &job(JobClass::Mixed), &f.est),
+            EnergyAware::default().pick(&f.state(), &job(JobClass::Mixed), &f.est),
             3
         );
     }
@@ -322,10 +350,12 @@ mod tests {
     #[test]
     fn phase_aware_matches_class_to_cluster_shape() {
         let mut f = Fixture::new(4);
-        assert!(f
-            .cluster
-            .big_rich(PhaseAware.pick(&f.state(), &job(JobClass::CpuHeavy), &f.est)));
-        assert!(!f.cluster.big_rich(PhaseAware.pick(
+        assert!(f.cluster.big_rich(PhaseAware::default().pick(
+            &f.state(),
+            &job(JobClass::CpuHeavy),
+            &f.est
+        )));
+        assert!(!f.cluster.big_rich(PhaseAware::default().pick(
             &f.state(),
             &job(JobClass::Synchronised),
             &f.est
@@ -333,7 +363,7 @@ mod tests {
         // Warm boards win ties within the preferred side.
         f.est.warm = vec![false, false, true, false];
         assert_eq!(
-            PhaseAware.pick(&f.state(), &job(JobClass::CpuHeavy), &f.est),
+            PhaseAware::default().pick(&f.state(), &job(JobClass::CpuHeavy), &f.est),
             2
         );
     }
@@ -343,8 +373,121 @@ mod tests {
         let mut f = Fixture::new(4);
         // Both big-rich boards (0, 2) deeply backlogged.
         f.busy = vec![30.0, 10.0, 30.0, 10.0];
-        let pick = PhaseAware.pick(&f.state(), &job(JobClass::CpuHeavy), &f.est);
+        let pick = PhaseAware::default().pick(&f.state(), &job(JobClass::CpuHeavy), &f.est);
         assert!(!f.cluster.big_rich(pick), "should spill to LITTLE-rich");
+    }
+
+    /// The pre-scratch energy-aware pick, verbatim: collect the
+    /// feasible set into a Vec, then min-by over it. Kept as the
+    /// reference the allocation-free rewrite must match pick-for-pick.
+    fn energy_aware_ref(state: &ClusterState, est: &JobEstimates) -> usize {
+        let min_backlog = state
+            .placeable_boards()
+            .map(|b| state.backlog_s(b))
+            .fold(f64::INFINITY, f64::min);
+        let feasible: Vec<usize> = state
+            .placeable_boards()
+            .filter(|&b| state.backlog_s(b) <= min_backlog + est.service_s[b])
+            .collect();
+        *feasible
+            .iter()
+            .min_by(|&&a, &&b| {
+                (est.energy_j[a], est.est_finish_s(state, a), a)
+                    .partial_cmp(&(est.energy_j[b], est.est_finish_s(state, b), b))
+                    .expect("estimates are finite")
+            })
+            .expect("some board is up")
+    }
+
+    /// The pre-scratch phase-aware pick, verbatim: argmin over an
+    /// iterator min-by, then a collected tie Vec.
+    fn phase_aware_ref(state: &ClusterState, job: &JobSpec, est: &JobEstimates) -> usize {
+        let overall = argmin_placeable(state, |b| (est.est_finish_s(state, b), b as f64));
+        let tie_band = 0.02 * est.service_s[overall];
+        let best_finish = est.est_finish_s(state, overall);
+        let ties: Vec<usize> = state
+            .placeable_boards()
+            .filter(|&b| est.est_finish_s(state, b) <= best_finish + tie_band)
+            .collect();
+        let prefers_big = PhaseAware::prefers_big(job);
+        *ties
+            .iter()
+            .min_by(|&&a, &&b| {
+                let mismatch = |c: usize| match prefers_big {
+                    Some(big) => (state.spec.big_rich(c) != big) as u8 as f64,
+                    None => 0.0,
+                };
+                let ka = (
+                    mismatch(a),
+                    !est.warm[a] as u8 as f64,
+                    est.est_finish_s(state, a),
+                    a as f64,
+                );
+                let kb = (
+                    mismatch(b),
+                    !est.warm[b] as u8 as f64,
+                    est.est_finish_s(state, b),
+                    b as f64,
+                );
+                ka.partial_cmp(&kb).expect("estimates are finite")
+            })
+            .expect("tie set contains the global best")
+    }
+
+    /// The allocation-free rewrites must agree with the old collecting
+    /// implementations on every pick — including engineered exact
+    /// finish-time ties, where only the board-index tail of the key
+    /// separates candidates. Sweeps seeded pseudo-random fixtures with
+    /// clustered values so ties and tie-band edges actually occur.
+    #[test]
+    fn scratch_dispatchers_match_reference_picks() {
+        let mut lcg = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            // xorshift64*: deterministic, dependency-free.
+            lcg ^= lcg >> 12;
+            lcg ^= lcg << 25;
+            lcg ^= lcg >> 27;
+            lcg.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let mut checked = 0usize;
+        for case in 0..400 {
+            let n = 1 + (next() % 12) as usize;
+            let mut f = Fixture::new(n);
+            for b in 0..n {
+                // Quantised so distinct boards often collide exactly.
+                f.busy[b] = (next() % 4) as f64 * 5.0;
+                f.dispatched[b] = (next() % 3) as usize;
+                f.est.service_s[b] = 1.0 + (next() % 3) as f64;
+                f.est.energy_j[b] = (next() % 4) as f64;
+                f.est.warm[b] = next() % 2 == 0;
+                if next() % 5 == 0 {
+                    f.down.push(b);
+                } else if next() % 5 == 0 {
+                    f.blackout.push(b);
+                }
+            }
+            let st = f.state();
+            if !st.any_placeable() {
+                continue;
+            }
+            let mut energy = EnergyAware::default();
+            let mut phase = PhaseAware::default();
+            for class in JobClass::ALL {
+                let j = job(class);
+                assert_eq!(
+                    energy.pick(&st, &j, &f.est),
+                    energy_aware_ref(&st, &f.est),
+                    "energy-aware diverged (case {case}, class {class:?})"
+                );
+                assert_eq!(
+                    phase.pick(&st, &j, &f.est),
+                    phase_aware_ref(&st, &j, &f.est),
+                    "phase-aware diverged (case {case}, class {class:?})"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 1000, "sweep degenerated: only {checked} picks");
     }
 
     #[test]
@@ -354,8 +497,8 @@ mod tests {
         for class in JobClass::ALL {
             for d in [
                 &mut LeastLoaded as &mut dyn Dispatcher,
-                &mut EnergyAware,
-                &mut PhaseAware,
+                &mut EnergyAware::default(),
+                &mut PhaseAware::default(),
             ] {
                 let pick = d.pick(&f.state(), &job(class), &f.est);
                 assert!(pick < 5);

@@ -551,15 +551,6 @@ impl FleetSim<'_> {
             }
         }
 
-        // The execution backend every profile and job run goes through.
-        let machine_exec = MachineExecutor {
-            params: self.params.machine,
-        };
-        let exec: &dyn Executor = match &self.replay_exec {
-            Some(r) => r,
-            None => &machine_exec,
-        };
-
         // Source modules, one per distinct workload in the stream.
         let mut modules: BTreeMap<&'static str, Module> = BTreeMap::new();
         for job in jobs {
@@ -580,14 +571,28 @@ impl FleetSim<'_> {
             }
         }
 
+        // The execution backend every profile and job run goes through.
+        // On the replay backend this is a calibration-cache *session*
+        // snapshotted after the pre-pass above: one rwlock acquisition
+        // for the whole run, answered lock-free per job thereafter.
+        let machine_exec = MachineExecutor {
+            params: self.params.machine,
+        };
+        let session = self.replay_exec.as_ref().map(|r| r.session());
+        let exec: &dyn Executor = match &session {
+            Some(s) => s,
+            None => &machine_exec,
+        };
+
         // Stock binaries compiled up front; static builds are compiled
         // by the control plane at dispatch/migration time. Either way
         // the shards only ever read the memo.
         let mut progs = ProgramSet::default();
         for (name, module) in &modules {
-            progs
-                .cold
-                .insert(name, compile(module).expect("workload compiles"));
+            progs.cold.insert(
+                crate::sim::sk(name),
+                compile(module).expect("workload compiles"),
+            );
         }
 
         let arches = ArchMap::new(self.cluster);
@@ -761,13 +766,14 @@ impl FleetSim<'_> {
                         telemetry.on_drop(time_s, job.id, DropReason::NoBoardUp.name());
                         continue;
                     }
+                    let module = &modules[job.workload.name];
                     let slo_s = self.estimates_into(
                         exec,
                         &mut profiles,
                         cache,
                         scenario.policy,
                         &job,
-                        &modules,
+                        module,
                         &arches,
                         feedback.as_ref(),
                         &mut scratch,
@@ -790,7 +796,6 @@ impl FleetSim<'_> {
 
                     // Policy resolution (training on miss/staleness) and
                     // admission latency guard.
-                    let module = &modules[job.workload.name];
                     let (schedule, profiled_s) = self.resolve_with_training(
                         exec,
                         &mut profiles,
@@ -939,11 +944,11 @@ impl FleetSim<'_> {
                     stats.board_downs += 1;
                     let b = b as usize;
                     telemetry.on_churn(time_s, b, false);
-                    state.boards[b].up = false;
+                    state.set_up(b, false);
                     // The in-flight job drains; queued work is
                     // redistributed (or dropped when nowhere is up or
                     // the redispatch cap is exhausted).
-                    let orphans: Vec<QueuedJob> = state.boards[b].queue.drain(..).collect();
+                    let orphans = state.boards[b].take_queued();
                     for qj in orphans {
                         if !state.any_placeable() {
                             if state.any_up() {
@@ -995,7 +1000,7 @@ impl FleetSim<'_> {
                 EventKind::BoardUp(b) => {
                     stats.board_ups += 1;
                     telemetry.on_churn(time_s, b as usize, true);
-                    state.boards[b as usize].up = true;
+                    state.set_up(b as usize, true);
                 }
 
                 EventKind::ThrottleStart { board, clause } => {
@@ -1039,7 +1044,7 @@ impl FleetSim<'_> {
                         &chaos_stats.clauses[clause as usize].label,
                         board as usize,
                     );
-                    state.boards[board as usize].blackouts += 1;
+                    state.add_blackout(board as usize);
                 }
 
                 EventKind::BlackoutEnd { board, clause } => {
@@ -1051,9 +1056,7 @@ impl FleetSim<'_> {
                         &chaos_stats.clauses[clause as usize].label,
                         board as usize,
                     );
-                    let bs = &mut state.boards[board as usize];
-                    debug_assert!(bs.blackouts > 0, "unbalanced blackout window");
-                    bs.blackouts -= 1;
+                    state.remove_blackout(board as usize);
                 }
 
                 EventKind::Completion { .. } => {
@@ -1080,13 +1083,16 @@ impl FleetSim<'_> {
         debug_assert!(state
             .boards
             .iter()
-            .all(|s| s.queue.is_empty() && s.in_flight.is_none()));
+            .all(|s| s.queue_is_empty() && s.in_flight.is_none()));
 
         outcomes.sort_by_key(|o| o.id);
         dropped.sort_by_key(|d| d.id);
         chaos_stats.throttled_starts = state.boards.iter().map(|s| s.throttled_starts).sum();
-        let busy: Vec<f64> = state.boards.iter().map(|s| s.busy_s).collect();
-        let mut metrics = FleetMetrics::from_outcomes(&outcomes, &busy, train_energy_j);
+        let mut metrics = FleetMetrics::from_outcomes(
+            &outcomes,
+            state.boards.iter().map(|s| s.busy_s),
+            train_energy_j,
+        );
         if let Some(fb) = &feedback {
             metrics.feedback = fb.stats;
         }
@@ -1126,17 +1132,16 @@ impl FleetSim<'_> {
         cache: &PolicyCache,
         policy: PolicyMode,
         job: &JobSpec,
-        modules: &BTreeMap<&'static str, Module>,
+        module: &Module,
         arches: &ArchMap,
         feedback: Option<&ServiceFeedback>,
         scratch: &mut EstScratch,
     ) -> f64 {
-        let module = &modules[job.workload.name];
         let slo_s = job.slo_tightness * self.best_cold_wall(exec, profiles, &job.workload, module);
         debug_assert_eq!(scratch.base_s.len(), arches.len());
         for a in 0..arches.len() {
             let arch = arches.keys[a];
-            let (wall, energy) = self.estimate_on(
+            let (wall, energy, warm) = self.estimate_on(
                 exec,
                 profiles,
                 cache,
@@ -1148,7 +1153,7 @@ impl FleetSim<'_> {
             scratch.base_s[a] = wall;
             scratch.service_s[a] = corrected(wall, feedback, job, arch);
             scratch.energy_j[a] = energy;
-            scratch.warm[a] = policy == PolicyMode::Warm && cache.is_warm(job.taxon, arch);
+            scratch.warm[a] = warm;
         }
         for b in 0..arches.of_board.len() {
             let a = arches.of_board[b];
@@ -1236,22 +1241,47 @@ impl FleetSim<'_> {
         match schedule {
             None => (None, cold_est),
             Some((st, v)) => {
-                let (cold_wall, _) = self.profile(
-                    exec,
-                    profiles,
-                    &job.workload,
-                    module,
-                    b,
-                    ProfileTable::COLD,
-                    None,
-                );
-                let (warm_wall, _) =
-                    self.profile(exec, profiles, &job.workload, module, b, v as u64, Some(st));
-                if warm_wall > cold_wall * self.params.latency_guard {
-                    *guard_bypasses += 1;
-                    (None, cold_wall)
+                // The verdict is a pure function of two memoised
+                // profiles, so it is memoised per (workload, arch,
+                // version) — the bypass counter still ticks per
+                // arrival, exactly as the recomputing path did.
+                let arch = self.cluster.arch_key(b);
+                let key = (crate::sim::sk(job.workload.name), crate::sim::sk(arch), v);
+                let (admit, wall) = match profiles.guard.get(&key) {
+                    Some(&verdict) => verdict,
+                    None => {
+                        let (cold_wall, _) = self.profile(
+                            exec,
+                            profiles,
+                            &job.workload,
+                            module,
+                            b,
+                            ProfileTable::COLD,
+                            None,
+                        );
+                        let (warm_wall, _) = self.profile(
+                            exec,
+                            profiles,
+                            &job.workload,
+                            module,
+                            b,
+                            v as u64,
+                            Some(st),
+                        );
+                        let verdict = if warm_wall > cold_wall * self.params.latency_guard {
+                            (false, cold_wall)
+                        } else {
+                            (true, warm_wall)
+                        };
+                        profiles.guard.insert(key, verdict);
+                        verdict
+                    }
+                };
+                if admit {
+                    (Some((st, v)), wall)
                 } else {
-                    (Some((st, v)), warm_wall)
+                    *guard_bypasses += 1;
+                    (None, wall)
                 }
             }
         }
@@ -1348,7 +1378,7 @@ impl FleetSim<'_> {
             cache,
             scenario.policy,
             &qj.job,
-            modules,
+            &modules[qj.job.workload.name],
             arches,
             feedback,
             scratch,
@@ -1427,7 +1457,7 @@ impl FleetSim<'_> {
     ) {
         let n_boards = self.cluster.len();
         for b in 0..n_boards {
-            if !state.up(b) || state.boards[b].queue.is_empty() {
+            if !state.up(b) || state.boards[b].queue_is_empty() {
                 continue;
             }
             let mut t_avail = match &state.boards[b].in_flight {
@@ -1435,7 +1465,7 @@ impl FleetSim<'_> {
                 None => state.now_s,
             };
             let mut kept = std::collections::VecDeque::new();
-            while let Some(qj) = state.boards[b].queue.pop_front() {
+            while let Some(qj) = state.boards[b].pop_next() {
                 let pred_finish = t_avail + qj.est_total_s();
                 let deadline = qj.job.arrival_s + qj.slo_s;
                 // Any active misprofile window corrupts the scan's
@@ -1450,7 +1480,7 @@ impl FleetSim<'_> {
                     let module = &modules[qj.job.workload.name];
                     let mut best: Option<(f64, usize)> = None;
                     for b2 in state.placeable_boards().filter(|&b2| b2 != b) {
-                        let (wall, _) = self.estimate_on(
+                        let (wall, _, _) = self.estimate_on(
                             exec,
                             profiles,
                             cache,
@@ -1521,7 +1551,7 @@ impl FleetSim<'_> {
                     }
                 }
             }
-            state.boards[b].queue = kept;
+            state.boards[b].set_queued(kept);
         }
     }
 
@@ -1541,11 +1571,16 @@ impl FleetSim<'_> {
         job: &JobSpec,
         module: &Module,
         b: usize,
-    ) -> (f64, f64) {
+    ) -> (f64, f64, bool) {
         let arch = self.cluster.arch_key(b);
-        if policy == PolicyMode::Warm && cache.is_warm(job.taxon, arch) {
-            let e = cache.peek(job.taxon, arch).expect("warm entry exists");
-            self.profile(
+        // One probe answers both "is it warm?" and "which schedule?" —
+        // the estimate loop runs this per architecture per arrival.
+        let warm = match policy {
+            PolicyMode::Warm => cache.warm_peek(job.taxon, arch),
+            PolicyMode::Cold => None,
+        };
+        let (wall, energy) = match warm {
+            Some(e) => self.profile(
                 exec,
                 profiles,
                 &job.workload,
@@ -1553,9 +1588,8 @@ impl FleetSim<'_> {
                 b,
                 e.version as u64,
                 Some(e.schedule),
-            )
-        } else {
-            self.profile(
+            ),
+            None => self.profile(
                 exec,
                 profiles,
                 &job.workload,
@@ -1563,8 +1597,9 @@ impl FleetSim<'_> {
                 b,
                 ProfileTable::COLD,
                 None,
-            )
-        }
+            ),
+        };
+        (wall, energy, warm.is_some())
     }
 }
 
@@ -1593,7 +1628,11 @@ fn ensure_static_build(
     b: usize,
 ) {
     if let Some((st, version)) = schedule {
-        let key = (job.workload.name, arches.keys[arches.of_board[b]], *version);
+        let key = (
+            crate::sim::sk(job.workload.name),
+            crate::sim::sk(arches.keys[arches.of_board[b]]),
+            *version,
+        );
         progs
             .warm
             .entry(key)

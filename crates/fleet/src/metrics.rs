@@ -54,7 +54,7 @@ impl FleetMetrics {
     /// `extra_energy_j` covers energy spent outside job runs (training).
     pub fn from_outcomes(
         outcomes: &[JobOutcome],
-        board_busy_s: &[f64],
+        board_busy_s: impl IntoIterator<Item = f64>,
         extra_energy_j: f64,
     ) -> Self {
         let jobs = outcomes.len();
@@ -100,8 +100,8 @@ impl FleetMetrics {
             total_energy_j,
             feedback: FeedbackStats::default(),
             board_util: board_busy_s
-                .iter()
-                .map(|&b| {
+                .into_iter()
+                .map(|b| {
                     if makespan_s > 0.0 {
                         b / makespan_s
                     } else {
@@ -207,7 +207,7 @@ mod tests {
             outcome(0, 0.0, 0.0, 1.0, 2.0), // latency 1.0, meets 1.5 SLO
             outcome(1, 0.5, 1.0, 2.5, 3.0), // latency 2.0, misses
         ];
-        let m = FleetMetrics::from_outcomes(&outs, &[1.0, 1.5], 0.5);
+        let m = FleetMetrics::from_outcomes(&outs, [1.0, 1.5], 0.5);
         assert_eq!(m.jobs, 2);
         assert_eq!(m.makespan_s, 2.5);
         assert_eq!(m.slo_misses, 1);
@@ -226,7 +226,7 @@ mod tests {
         let mut bad = outcome(0, 0.0, 0.0, 1.0, 1.0);
         bad.slo_s = 0.0; // impossible deadline
         let good = outcome(1, 0.0, 0.0, 1.0, 1.0); // ratio 1.0/1.5
-        let m = FleetMetrics::from_outcomes(&[bad, good], &[1.0], 0.0);
+        let m = FleetMetrics::from_outcomes(&[bad, good], [1.0], 0.0);
         assert!(
             m.p99_slo_ratio.is_infinite(),
             "an impossible deadline must dominate the p99 ratio, got {}",

@@ -53,11 +53,17 @@ use astro_ir::Module;
 use std::collections::BTreeMap;
 
 /// Key of a compiled static-binary variant: (workload, architecture,
-/// policy version). A workload maps to exactly one taxon, and versions
-/// are per (taxon, architecture), so the key never aliases schedules.
-pub(crate) type WarmKey = (&'static str, &'static str, u32);
+/// policy version), the name strings reduced to their [`sk`] addresses.
+/// A workload maps to exactly one taxon, and versions are per (taxon,
+/// architecture), so the key never aliases schedules.
+///
+/// [`sk`]: crate::sim::sk
+pub(crate) type WarmKey = (usize, usize, u32);
 
-/// The compiled-program memo the shards execute from. Populated by the
+/// The compiled-program memo the shards execute from, keyed by
+/// [`sk`](crate::sim::sk) name addresses (probed per job start — the
+/// compiled values are pure functions of the named module and
+/// schedule, and the maps are never iterated). Populated by the
 /// control plane *at dispatch/migration time* (compilation is
 /// deterministic and memoised, so moving it off the start path changes
 /// no result); the advance phase only reads it, which is what lets
@@ -65,7 +71,7 @@ pub(crate) type WarmKey = (&'static str, &'static str, u32);
 #[derive(Default)]
 pub(crate) struct ProgramSet {
     /// Stock binaries, per workload (run under GTS).
-    pub cold: BTreeMap<&'static str, CompiledProgram>,
+    pub cold: BTreeMap<usize, CompiledProgram>,
     /// Astro static binaries, per (workload, architecture, version).
     pub warm: BTreeMap<WarmKey, CompiledProgram>,
 }
@@ -237,7 +243,7 @@ impl ShardSet {
                         self.earliest_s = self.earliest_s.min(ev.time_s);
                     }
                 } else {
-                    boards[board].queue.push_back(job);
+                    boards[board].enqueue(job);
                 }
             }
         }
@@ -339,7 +345,7 @@ fn advance_shard(
             });
         }
         delta.outcomes.push(fin.outcome);
-        if let Some(next) = bs.queue.pop_front() {
+        if let Some(next) = bs.pop_next() {
             start_on(b, bs, queue, time_s, next, ctx);
         }
     }
@@ -363,16 +369,19 @@ pub(crate) fn start_on(
     let w = &job.job.workload;
     let module = &ctx.modules[w.name];
     let full = spec.config_space().full();
-    let r = match &job.schedule {
+    // Only the run's (wall, energy) totals matter here, so the scalar
+    // executor path is used: on the replay backend it skips the whole
+    // checkpoint-vector assembly per job.
+    let (wall_time_s, energy_j) = match &job.schedule {
         None => {
             // Stock binary under GTS (cold mode, cache misses awaiting
             // the async training, guard bypasses).
             let prog = ctx
                 .progs
                 .cold
-                .get(w.name)
+                .get(&crate::sim::sk(w.name))
                 .expect("stock binary compiled at dispatch");
-            ctx.exec.execute(&ExecRequest {
+            ctx.exec.execute_scalar(&ExecRequest {
                 workload: w.name,
                 module,
                 program: prog,
@@ -386,9 +395,13 @@ pub(crate) fn start_on(
             let prog = ctx
                 .progs
                 .warm
-                .get(&(w.name, job.sched_arch, *version))
+                .get(&(
+                    crate::sim::sk(w.name),
+                    crate::sim::sk(job.sched_arch),
+                    *version,
+                ))
                 .expect("static binary compiled at dispatch");
-            ctx.exec.execute(&ExecRequest {
+            ctx.exec.execute_scalar(&ExecRequest {
                 workload: w.name,
                 module,
                 program: prog,
@@ -407,7 +420,7 @@ pub(crate) fn start_on(
     if bs.slowdown > 1.0 {
         bs.throttled_starts += 1;
     }
-    let service = r.wall_time_s * bs.slowdown + job.penalty_s;
+    let service = wall_time_s * bs.slowdown + job.penalty_s;
     let finish = now_s + service;
     bs.busy_s += service;
     bs.in_flight = Some(InFlight {
@@ -416,7 +429,7 @@ pub(crate) fn start_on(
         start_s: now_s,
         est_finish_s: now_s + job.est_total_s(),
         profiled_s: job.profiled_s,
-        raw_service_s: r.wall_time_s * bs.slowdown,
+        raw_service_s: wall_time_s * bs.slowdown,
         outcome: JobOutcome {
             id: job.job.id,
             workload: w.name,
@@ -426,7 +439,7 @@ pub(crate) fn start_on(
             start_s: now_s,
             finish_s: finish,
             service_s: service,
-            energy_j: r.energy_j,
+            energy_j,
             slo_s: job.slo_s,
             migrations: job.migrations,
         },

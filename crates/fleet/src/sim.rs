@@ -42,6 +42,7 @@ use astro_hw::boards::BoardSpec;
 use astro_ir::Module;
 use astro_workloads::{InputSize, Workload};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// How jobs are executed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -179,10 +180,34 @@ where
     chunked_map(n, 1, f)
 }
 
-/// Memoised (workload, architecture, policy-version) service profiles.
-/// Version [`ProfileTable::COLD`] is the GTS/original-binary profile.
+/// Address-identity key of a `&'static str`: workload and architecture
+/// names are interned statics, so the pointer identifies the string for
+/// the life of the process. Used to key the per-run memo tables below —
+/// every memoised value is a pure function of the string *contents*, so
+/// if two distinct addresses ever carried equal text the only effect
+/// would be a duplicated entry with a bit-identical value. The tables
+/// are probed on every arrival and never iterated, which is exactly the
+/// trade: integer key compares on the hot path, no semantic exposure to
+/// address layout.
+#[inline]
+pub(crate) fn sk(s: &'static str) -> usize {
+    s.as_ptr() as usize
+}
+
+/// Memoised (workload, architecture, policy-version) service profiles,
+/// keyed by [`sk`] addresses. Version [`ProfileTable::COLD`] is the
+/// GTS/original-binary profile.
 pub(crate) struct ProfileTable {
-    map: BTreeMap<(&'static str, &'static str, u64), (f64, f64)>,
+    map: BTreeMap<(usize, usize, u64), (f64, f64)>,
+    /// Per-workload unloaded best-architecture cold wall (the SLO
+    /// reference). Pure function of the profile map — memoised because
+    /// every arrival re-derives its SLO from it.
+    best_cold: BTreeMap<usize, f64>,
+    /// Admission-guard verdict per (workload, arch, policy version):
+    /// `(admit, guarded wall)`. Pure function of two memoised profiles,
+    /// so the memo is bit-neutral; it spares the arrival path both
+    /// profile probes once a (workload, arch, version) has been seen.
+    pub(crate) guard: BTreeMap<(usize, usize, u32), (bool, f64)>,
 }
 
 impl ProfileTable {
@@ -191,6 +216,8 @@ impl ProfileTable {
     pub(crate) fn new() -> Self {
         ProfileTable {
             map: BTreeMap::new(),
+            best_cold: BTreeMap::new(),
+            guard: BTreeMap::new(),
         }
     }
 }
@@ -205,7 +232,9 @@ pub struct FleetSim<'a> {
     /// owned by the simulator so its calibration cache (a pure function
     /// of (workload, architecture, engine parameters)) is shared across
     /// every run of this simulator instead of re-recorded per scenario.
-    pub(crate) replay_exec: Option<ReplayExecutor>,
+    /// Behind an `Arc` so harnesses comparing shard counts can hand one
+    /// warmed cache to every leg ([`FleetSim::replay_handle`]).
+    pub(crate) replay_exec: Option<Arc<ReplayExecutor>>,
 }
 
 impl<'a> FleetSim<'a> {
@@ -218,13 +247,37 @@ impl<'a> FleetSim<'a> {
         );
         let replay_exec = match params.backend {
             BackendKind::Machine => None,
-            BackendKind::Replay => Some(ReplayExecutor::from_machine(params.machine)),
+            BackendKind::Replay => Some(Arc::new(ReplayExecutor::from_machine(params.machine))),
         };
         FleetSim {
             cluster,
             params,
             replay_exec,
         }
+    }
+
+    /// This simulator's replay backend, when it has one. Hand the
+    /// handle to [`FleetSim::with_replay`] on another simulator to
+    /// share the warmed calibration cache — sound only when both run
+    /// the same machine parameters and input size (calibrations are
+    /// keyed by `(workload, architecture)` alone), and bit-neutral
+    /// because every cache entry is a pure function of those inputs.
+    pub fn replay_handle(&self) -> Option<Arc<ReplayExecutor>> {
+        self.replay_exec.clone()
+    }
+
+    /// A simulator over `cluster` adopting an existing replay backend
+    /// instead of building a cold one (see [`FleetSim::replay_handle`]
+    /// for when that is sound). Forces [`BackendKind::Replay`].
+    pub fn with_replay(
+        cluster: &'a ClusterSpec,
+        params: FleetParams,
+        exec: Arc<ReplayExecutor>,
+    ) -> Self {
+        let mut sim = FleetSim::new(cluster, params);
+        sim.params.backend = BackendKind::Replay;
+        sim.replay_exec = Some(exec);
+        sim
     }
 
     /// Run `jobs` (arrival order) under `dispatcher` and `scenario`
@@ -269,12 +322,16 @@ impl<'a> FleetSim<'a> {
         w: &Workload,
         module: &Module,
     ) -> f64 {
+        if let Some(&hit) = profiles.best_cold.get(&sk(w.name)) {
+            return hit;
+        }
         let mut best = f64::INFINITY;
         for key in self.cluster.arch_keys() {
             let b = self.cluster.representative_board_idx(key);
             let (wall, _) = self.profile(exec, profiles, w, module, b, ProfileTable::COLD, None);
             best = best.min(wall);
         }
+        profiles.best_cold.insert(sk(w.name), best);
         best
     }
 
@@ -295,7 +352,8 @@ impl<'a> FleetSim<'a> {
     ) -> (f64, f64) {
         const PROFILE_SAMPLES: u64 = 3;
         let arch = self.cluster.arch_key(b);
-        if let Some(&hit) = profiles.map.get(&(w.name, arch, version)) {
+        let key = (sk(w.name), sk(arch), version);
+        if let Some(&hit) = profiles.map.get(&key) {
             return hit;
         }
         let spec = &self.cluster.boards[b];
@@ -316,7 +374,7 @@ impl<'a> FleetSim<'a> {
         let mut energy = 0.0;
         for k in 0..PROFILE_SAMPLES {
             let seed = base_seed.wrapping_add(k.wrapping_mul(0x9E37_79B9));
-            let r = exec.execute(&ExecRequest {
+            let (wall_time_s, energy_j) = exec.execute_scalar(&ExecRequest {
                 workload: w.name,
                 module,
                 program: &program,
@@ -325,14 +383,14 @@ impl<'a> FleetSim<'a> {
                 policy,
                 seed,
             });
-            wall += r.wall_time_s;
-            energy += r.energy_j;
+            wall += wall_time_s;
+            energy += energy_j;
         }
         let out = (
             wall / PROFILE_SAMPLES as f64,
             energy / PROFILE_SAMPLES as f64,
         );
-        profiles.map.insert((w.name, arch, version), out);
+        profiles.map.insert(key, out);
         out
     }
 
@@ -477,7 +535,7 @@ mod tests {
         let mut cache = PolicyCache::new(0);
         let out = sim.run(
             &stream,
-            &mut PhaseAware,
+            &mut PhaseAware::default(),
             &mut cache,
             &Scenario::oracle(PolicyMode::Warm),
         );
@@ -507,7 +565,7 @@ mod tests {
         let mut cache = PolicyCache::new(0);
         let out = sim.run(
             &stream,
-            &mut PhaseAware,
+            &mut PhaseAware::default(),
             &mut cache,
             &Scenario::oracle(PolicyMode::Warm),
         );

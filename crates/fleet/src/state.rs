@@ -23,6 +23,7 @@
 use crate::cluster::ClusterSpec;
 use crate::job::{JobOutcome, JobSpec, Taxon};
 use astro_core::schedule::StaticSchedule;
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 /// What backlog estimate dispatchers observe.
@@ -113,6 +114,7 @@ pub struct QueuedJob {
 
 impl QueuedJob {
     /// Estimated service including accumulated migration penalties.
+    #[inline]
     pub fn est_total_s(&self) -> f64 {
         self.est_service_s + self.penalty_s
     }
@@ -143,12 +145,32 @@ pub struct InFlight {
 }
 
 /// One board's live state.
+///
+/// The dispatched-but-not-started queue is private: every mutation
+/// goes through [`BoardState::enqueue`] / [`BoardState::pop_next`] /
+/// `take_queued` / `set_queued` so the
+/// board's queue revision counter stays honest — the busy-until memo
+/// below is validated against it.
 #[derive(Clone, Debug)]
 pub struct BoardState {
-    /// Is the board accepting and executing work?
-    pub up: bool,
+    /// Is the board accepting and executing work? Writes go through
+    /// [`ClusterState::set_up`], which keeps the dense placeability
+    /// array in sync.
+    pub(crate) up: bool,
     /// Dispatched-but-not-started jobs, FIFO.
-    pub queue: VecDeque<QueuedJob>,
+    queue: VecDeque<QueuedJob>,
+    /// Bumped on every queue mutation; the busy-until memo is valid
+    /// only while its fill epoch equals this.
+    queue_epoch: u64,
+    /// Epoch `busy_until_from` last filled the memo at
+    /// (starts behind `queue_epoch`, i.e. invalid).
+    memo_epoch: Cell<u64>,
+    /// Bit pattern of the fold base the memo was filled from. The
+    /// base bakes in `now_s` and the in-flight estimate, so comparing
+    /// bits catches both moving between queries.
+    memo_base: Cell<u64>,
+    /// The memoised fold result.
+    memo_value: Cell<f64>,
     /// The job in service, if any.
     pub in_flight: Option<InFlight>,
     /// Jobs ever dispatched here (including later migrated away).
@@ -181,6 +203,10 @@ impl BoardState {
         BoardState {
             up: true,
             queue: VecDeque::new(),
+            queue_epoch: 1,
+            memo_epoch: Cell::new(0),
+            memo_base: Cell::new(0),
+            memo_value: Cell::new(0.0),
             in_flight: None,
             dispatched: 0,
             completed: 0,
@@ -191,6 +217,83 @@ impl BoardState {
             throttled_starts: 0,
             oracle_busy_until_s: 0.0,
         }
+    }
+
+    /// Dispatched-but-not-started jobs, queue order.
+    pub fn queued(&self) -> impl Iterator<Item = &QueuedJob> {
+        self.queue.iter()
+    }
+
+    /// Dispatched-but-not-started jobs on this board.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Is the dispatch queue empty?
+    #[inline]
+    pub fn queue_is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Append `job` to the queue. The busy-until memo extends in
+    /// place when it is live: the fold is left-to-right, and
+    /// appending one term to a left fold produces bitwise the fold
+    /// over the longer queue — so back-to-back arrivals on a busy
+    /// board never re-walk the queue. Public so harnesses (the
+    /// `arena_enqueue_dequeue` micro-benchmark) can exercise the
+    /// queue-arena hot path directly; both mutators keep the memo
+    /// bookkeeping consistent, so outside use cannot corrupt state.
+    pub fn enqueue(&mut self, job: QueuedJob) {
+        let memo_live = self.memo_epoch.get() == self.queue_epoch;
+        if memo_live {
+            self.memo_value
+                .set(self.memo_value.get() + job.est_total_s());
+        }
+        self.queue.push_back(job);
+        self.queue_epoch += 1;
+        if memo_live {
+            self.memo_epoch.set(self.queue_epoch);
+        }
+    }
+
+    /// Pop the next queued job (service order). Invalidates the
+    /// busy-until memo: removing the *front* term changes the fold's
+    /// shape, and re-associating floating-point sums is not bitwise
+    /// stable — the next query re-folds.
+    pub fn pop_next(&mut self) -> Option<QueuedJob> {
+        self.queue_epoch += 1;
+        self.queue.pop_front()
+    }
+
+    /// Take the whole queue (churn redispatch), leaving it empty.
+    pub(crate) fn take_queued(&mut self) -> VecDeque<QueuedJob> {
+        self.queue_epoch += 1;
+        std::mem::take(&mut self.queue)
+    }
+
+    /// Replace the queue wholesale (preemption rebuild).
+    pub(crate) fn set_queued(&mut self, queue: VecDeque<QueuedJob>) {
+        self.queue_epoch += 1;
+        self.queue = queue;
+    }
+
+    /// Left fold of the queued estimates from `base`, memoised per
+    /// `(queue epoch, base bits)`. A hit returns bitwise what the
+    /// re-fold would: the fold is a pure function of the base bits
+    /// and the queue contents, both pinned by the key.
+    #[inline]
+    fn busy_until_from(&self, base: f64) -> f64 {
+        if self.memo_epoch.get() == self.queue_epoch && self.memo_base.get() == base.to_bits() {
+            return self.memo_value.get();
+        }
+        let mut t = base;
+        for q in &self.queue {
+            t += q.est_total_s();
+        }
+        self.memo_base.set(base.to_bits());
+        self.memo_value.set(t);
+        self.memo_epoch.set(self.queue_epoch);
+        t
     }
 
     /// Refold the composed slowdown from the active throttle windows:
@@ -210,6 +313,12 @@ impl BoardState {
 }
 
 /// The cluster as the kernel and dispatchers see it at one instant.
+///
+/// Placeability — the one predicate every dispatcher scans per
+/// arrival — is mirrored into a dense `Vec<bool>` maintained at
+/// liveness/blackout edges, so the scan walks a flat byte array
+/// instead of striding through [`BoardState`] structs; a live count
+/// makes [`ClusterState::any_placeable`] O(1).
 #[derive(Clone, Debug)]
 pub struct ClusterState<'a> {
     /// The static board specs.
@@ -220,6 +329,11 @@ pub struct ClusterState<'a> {
     pub now_s: f64,
     /// Per-board live state, dispatch index order.
     pub boards: Vec<BoardState>,
+    /// Dense mirror of `up && blackouts == 0`, maintained by
+    /// [`ClusterState::set_up`] / the blackout mutators.
+    placeable: Vec<bool>,
+    /// How many entries of `placeable` are true.
+    n_placeable: usize,
 }
 
 impl<'a> ClusterState<'a> {
@@ -230,6 +344,41 @@ impl<'a> ClusterState<'a> {
             mode,
             now_s: 0.0,
             boards: (0..spec.len()).map(|_| BoardState::new()).collect(),
+            placeable: vec![true; spec.len()],
+            n_placeable: spec.len(),
+        }
+    }
+
+    /// Set board `b`'s liveness, keeping the placeability mirror in
+    /// sync. The only sanctioned way to flip `up`.
+    pub(crate) fn set_up(&mut self, b: usize, up: bool) {
+        self.boards[b].up = up;
+        self.refresh_placeable(b);
+    }
+
+    /// Open a dispatch-blackout window over board `b`.
+    pub(crate) fn add_blackout(&mut self, b: usize) {
+        self.boards[b].blackouts += 1;
+        self.refresh_placeable(b);
+    }
+
+    /// Close one dispatch-blackout window over board `b`.
+    pub(crate) fn remove_blackout(&mut self, b: usize) {
+        debug_assert!(self.boards[b].blackouts > 0, "unbalanced blackout window");
+        self.boards[b].blackouts -= 1;
+        self.refresh_placeable(b);
+    }
+
+    fn refresh_placeable(&mut self, b: usize) {
+        let s = &self.boards[b];
+        let now = s.up && s.blackouts == 0;
+        if now != self.placeable[b] {
+            self.placeable[b] = now;
+            if now {
+                self.n_placeable += 1;
+            } else {
+                self.n_placeable -= 1;
+            }
         }
     }
 
@@ -244,6 +393,7 @@ impl<'a> ClusterState<'a> {
     }
 
     /// Is board `b` currently up?
+    #[inline]
     pub fn up(&self, b: usize) -> bool {
         self.boards[b].up
     }
@@ -261,24 +411,29 @@ impl<'a> ClusterState<'a> {
     /// May the dispatcher place new work on board `b`? Up *and* not
     /// under a chaos dispatch blackout. A blacked-out board keeps
     /// executing its queue — it is only closed to new placements.
+    #[inline]
     pub fn placeable(&self, b: usize) -> bool {
-        let s = &self.boards[b];
-        s.up && s.blackouts == 0
+        self.placeable[b]
     }
 
-    /// Indices of the boards new work may be placed on, ascending.
+    /// Indices of the boards new work may be placed on, ascending —
+    /// a dense flat-array scan, the shape dispatchers walk per pick.
+    #[inline]
     pub fn placeable_boards(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.len()).filter(|&b| self.placeable(b))
+        self.placeable
+            .iter()
+            .enumerate()
+            .filter_map(|(b, &p)| p.then_some(b))
     }
 
-    /// Can new work be placed anywhere?
+    /// Can new work be placed anywhere? O(1): a maintained count.
     pub fn any_placeable(&self) -> bool {
-        (0..self.len()).any(|b| self.placeable(b))
+        self.n_placeable > 0
     }
 
     /// Dispatched-but-not-started jobs on board `b`.
     pub fn queue_depth(&self, b: usize) -> usize {
-        self.boards[b].queue.len()
+        self.boards[b].queue_len()
     }
 
     /// Taxonomy of the job board `b` is executing, if any.
@@ -288,7 +443,7 @@ impl<'a> ClusterState<'a> {
 
     /// Taxa queued on board `b`, queue order.
     pub fn queued_taxa(&self, b: usize) -> Vec<Taxon> {
-        self.boards[b].queue.iter().map(|q| q.job.taxon).collect()
+        self.boards[b].queued().map(|q| q.job.taxon).collect()
     }
 
     /// Jobs ever dispatched to board `b`.
@@ -308,6 +463,7 @@ impl<'a> ClusterState<'a> {
     /// When board `b`'s backlog is estimated to drain, per the mode:
     /// oracle = the batch accumulator; online = observable in-flight
     /// remaining plus queued profiled service.
+    #[inline]
     pub fn est_busy_until_s(&self, b: usize) -> f64 {
         match self.mode {
             DispatchMode::Oracle => self.boards[b].oracle_busy_until_s,
@@ -317,19 +473,25 @@ impl<'a> ClusterState<'a> {
 
     /// The live estimate, regardless of mode (what preemption scans and
     /// churn redistribution always use — they are online capabilities).
+    ///
+    /// Memoised per `(queue epoch, base bits)` on the board (see
+    /// `BoardState::busy_until_from`): dispatchers query every
+    /// board several times per pick against an unchanged clock and
+    /// queue, and at high utilisation the fold base — the in-flight
+    /// finish estimate — holds still across whole arrival bursts, so
+    /// the common case is O(1) instead of a queue walk.
+    #[inline]
     pub fn online_busy_until_s(&self, b: usize) -> f64 {
         let s = &self.boards[b];
-        let mut t = match &s.in_flight {
+        let base = match &s.in_flight {
             Some(f) => f.est_finish_s.max(self.now_s),
             None => self.now_s,
         };
-        for q in &s.queue {
-            t += q.est_total_s();
-        }
-        t
+        s.busy_until_from(base)
     }
 
     /// Queueing delay a job dispatched now would see on board `b`.
+    #[inline]
     pub fn backlog_s(&self, b: usize) -> f64 {
         (self.est_busy_until_s(b) - self.now_s).max(0.0)
     }
@@ -370,8 +532,8 @@ mod tests {
         let mut st = ClusterState::new(&spec, DispatchMode::Online);
         st.now_s = 10.0;
         assert_eq!(st.backlog_s(0), 0.0);
-        st.boards[0].queue.push_back(qj(2.0, 0.5));
-        st.boards[0].queue.push_back(qj(1.0, 0.0));
+        st.boards[0].enqueue(qj(2.0, 0.5));
+        st.boards[0].enqueue(qj(1.0, 0.0));
         // Idle board: backlog is the queued estimates (incl. penalties).
         assert!((st.backlog_s(0) - 3.5).abs() < 1e-12);
         assert_eq!(st.queue_depth(0), 2);
@@ -403,6 +565,49 @@ mod tests {
     }
 
     #[test]
+    fn busy_until_memo_is_bit_identical_and_invalidates() {
+        let spec = ClusterSpec::heterogeneous(1);
+        let mut st = ClusterState::new(&spec, DispatchMode::Online);
+        st.now_s = 3.0;
+        let terms = [qj(2.0, 0.1), qj(1.5, 0.0), qj(0.7, 0.2)];
+        let fold = |base: f64, jobs: &[QueuedJob]| {
+            let mut t = base;
+            for j in jobs {
+                t += j.est_total_s();
+            }
+            t
+        };
+        st.boards[0].enqueue(terms[0].clone());
+        st.boards[0].enqueue(terms[1].clone());
+        let first = st.online_busy_until_s(0); // fills the memo
+        assert_eq!(first.to_bits(), st.online_busy_until_s(0).to_bits());
+        assert_eq!(first.to_bits(), fold(3.0, &terms[..2]).to_bits());
+        // Appending extends the memo in place — bitwise the re-fold.
+        st.boards[0].enqueue(terms[2].clone());
+        assert_eq!(
+            st.online_busy_until_s(0).to_bits(),
+            fold(3.0, &terms).to_bits()
+        );
+        // A clock move changes the fold base: the memo must miss.
+        st.now_s = 4.0;
+        assert_eq!(
+            st.online_busy_until_s(0).to_bits(),
+            fold(4.0, &terms).to_bits()
+        );
+        // Popping the front re-shapes the fold: memo invalidated.
+        let popped = st.boards[0].pop_next().expect("queued");
+        assert_eq!(
+            popped.est_total_s().to_bits(),
+            terms[0].est_total_s().to_bits()
+        );
+        assert_eq!(
+            st.online_busy_until_s(0).to_bits(),
+            fold(4.0, &terms[1..]).to_bits()
+        );
+        assert_eq!(st.queue_depth(0), 2);
+    }
+
+    #[test]
     fn oracle_backlog_is_the_accumulator() {
         let spec = ClusterSpec::heterogeneous(2);
         let mut st = ClusterState::new(&spec, DispatchMode::Oracle);
@@ -410,7 +615,7 @@ mod tests {
         st.boards[1].oracle_busy_until_s = 9.0;
         assert!((st.backlog_s(1) - 5.0).abs() < 1e-12);
         // Queue contents do not move the oracle estimate.
-        st.boards[1].queue.push_back(qj(100.0, 0.0));
+        st.boards[1].enqueue(qj(100.0, 0.0));
         assert!((st.backlog_s(1) - 5.0).abs() < 1e-12);
     }
 
@@ -446,18 +651,19 @@ mod tests {
         let spec = ClusterSpec::heterogeneous(3);
         let mut st = ClusterState::new(&spec, DispatchMode::Online);
         assert!(st.any_placeable());
-        st.boards[0].blackouts = 1;
-        st.boards[1].up = false;
+        st.add_blackout(0);
+        st.set_up(1, false);
         assert!(st.up(0), "blacked-out board stays up");
         assert!(!st.placeable(0));
         assert!(!st.placeable(1), "down board is never placeable");
         assert_eq!(st.placeable_boards().collect::<Vec<_>>(), vec![2]);
         // Overlapping blackouts: both must end before placement.
-        st.boards[2].blackouts = 2;
+        st.add_blackout(2);
+        st.add_blackout(2);
         assert!(!st.any_placeable());
-        st.boards[2].blackouts = 1;
+        st.remove_blackout(2);
         assert!(!st.any_placeable());
-        st.boards[2].blackouts = 0;
+        st.remove_blackout(2);
         assert!(st.any_placeable());
     }
 
@@ -467,7 +673,7 @@ mod tests {
         let mut st = ClusterState::new(&spec, DispatchMode::Online);
         assert!(st.any_up());
         assert_eq!(st.up_boards().count(), 3);
-        st.boards[1].up = false;
+        st.set_up(1, false);
         assert_eq!(st.up_boards().collect::<Vec<_>>(), vec![0, 2]);
         st.now_s = 10.0;
         st.boards[0].busy_s = 2.5;

@@ -8,8 +8,9 @@
 //! constants must be re-derived and the change called out in review.
 
 use astro_fleet::{
-    ArrivalProcess, BackendKind, ChurnEvent, ClusterSpec, FleetOutcome, FleetParams, FleetSim,
-    LeastLoaded, PhaseAware, PolicyCache, PolicyMode, Scenario,
+    ArrivalProcess, BackendKind, ChaosSchedule, ChurnEvent, ClusterSpec, EnergyAware, FleetOutcome,
+    FleetParams, FleetSim, FlightRecorder, LeastLoaded, PhaseAware, PolicyCache, PolicyMode,
+    Scenario, TraceLevel,
 };
 use astro_workloads::{InputSize, Workload};
 
@@ -87,7 +88,7 @@ fn golden_fleet_sim_shape() {
     ] {
         let sim = FleetSim::new(&cluster, FleetParams::new(42));
         let mut cache = PolicyCache::new(4);
-        let out = sim.run(&jobs, &mut PhaseAware, &mut cache, &scenario);
+        let out = sim.run(&jobs, &mut PhaseAware::default(), &mut cache, &scenario);
         digests.push(fingerprint(&out));
     }
     assert_eq!(
@@ -162,4 +163,136 @@ fn golden_fleet_million_shape() {
         0x4561_9a90_8856_156e,
         "fleet_million-shaped no-chaos run drifted from the golden bits"
     );
+}
+
+/// The energy-optimising dispatcher under churn + feedback on the
+/// replay backend, run at every shard count the proptest suite covers
+/// (K ∈ {1, 2, 4, 7}) with the flight recorder off and fully on. The
+/// PR 8 rewrite replaced EnergyAware's per-pick Vec collects with a
+/// reusable scratch two-pass argmin; this golden freezes the rewritten
+/// decision sequence — all eight runs must reproduce the same digest.
+#[test]
+fn golden_energy_aware_shape() {
+    let cluster = ClusterSpec::heterogeneous(9);
+    let jobs = ArrivalProcess::Poisson {
+        rate_jobs_per_s: 5000.0,
+    }
+    .generate(200, &pool(), InputSize::Test, (2.0, 7.0), 31);
+    let horizon = jobs.last().unwrap().arrival_s;
+    let churn = vec![
+        ChurnEvent {
+            time_s: 0.4 * horizon,
+            board: 2,
+            up: false,
+        },
+        ChurnEvent {
+            time_s: 0.8 * horizon,
+            board: 2,
+            up: true,
+        },
+    ];
+    let scenario = Scenario::online(PolicyMode::Warm)
+        .with_feedback()
+        .with_migration_cost(1e-5)
+        .with_churn(churn);
+
+    const GOLDEN: u64 = 0xa3f3_7e31_4473_ecde;
+    for shards in [1usize, 2, 4, 7] {
+        for traced in [false, true] {
+            let mut params = FleetParams::new(31);
+            params.backend = BackendKind::Replay;
+            params.shards = shards;
+            let sim = FleetSim::new(&cluster, params);
+            let mut cache = PolicyCache::new(8);
+            let out = if traced {
+                let mut recorder = FlightRecorder::new(TraceLevel::Full);
+                sim.run_traced(
+                    &jobs,
+                    &mut EnergyAware::default(),
+                    &mut cache,
+                    &scenario,
+                    &mut recorder,
+                )
+            } else {
+                sim.run(&jobs, &mut EnergyAware::default(), &mut cache, &scenario)
+            };
+            assert_eq!(
+                fingerprint(&out),
+                GOLDEN,
+                "energy-aware run drifted from the golden bits \
+                 (shards {shards}, traced {traced}): got {:#018x}",
+                fingerprint(&out)
+            );
+        }
+    }
+}
+
+/// The adversarial composite: churn + chaos (outage, composed
+/// throttles, blackout, misprofile) + preemption + feedback on the
+/// replay backend, run at every shard count the proptest suite covers
+/// (K ∈ {1, 2, 4, 7}) with the flight recorder off and fully on. All
+/// eight runs must produce the same frozen digest — shard count and
+/// telemetry are execution knobs, never semantics.
+#[test]
+fn golden_chaos_storm_shape() {
+    let cluster = ClusterSpec::heterogeneous(12);
+    let jobs = ArrivalProcess::Poisson {
+        rate_jobs_per_s: 8000.0,
+    }
+    .generate(250, &pool(), InputSize::Test, (2.0, 6.0), 23);
+    let horizon = jobs.last().unwrap().arrival_s;
+    let chaos = ChaosSchedule::new()
+        .rack_outage(vec![0, 1], 0.30 * horizon, 0.50 * horizon)
+        .throttle(3, 3.0, 0.20 * horizon, 0.70 * horizon)
+        .throttle(3, 2.0, 0.40 * horizon, 0.60 * horizon)
+        .blackout(vec![4], 0.35 * horizon, 0.55 * horizon)
+        .misprofile(None, 0.25, 0.30 * horizon, 0.80 * horizon);
+    let churn = vec![
+        ChurnEvent {
+            time_s: 0.25 * horizon,
+            board: 6,
+            up: false,
+        },
+        ChurnEvent {
+            time_s: 0.75 * horizon,
+            board: 6,
+            up: true,
+        },
+    ];
+    let scenario = Scenario::online(PolicyMode::Warm)
+        .with_feedback()
+        .with_migration_cost(1e-5)
+        .with_preemption(horizon / 16.0, 1e-5, 2)
+        .with_churn(churn)
+        .with_chaos(chaos);
+
+    const GOLDEN: u64 = 0x67dc_76f5_6dd0_5eb0;
+    for shards in [1usize, 2, 4, 7] {
+        for traced in [false, true] {
+            let mut params = FleetParams::new(23);
+            params.backend = BackendKind::Replay;
+            params.shards = shards;
+            let sim = FleetSim::new(&cluster, params);
+            let mut cache = PolicyCache::new(8);
+            let out = if traced {
+                let mut recorder = FlightRecorder::new(TraceLevel::Full);
+                sim.run_traced(
+                    &jobs,
+                    &mut PhaseAware::default(),
+                    &mut cache,
+                    &scenario,
+                    &mut recorder,
+                )
+            } else {
+                sim.run(&jobs, &mut PhaseAware::default(), &mut cache, &scenario)
+            };
+            assert_eq!(
+                fingerprint(&out),
+                GOLDEN,
+                "chaos-storm run drifted from the golden bits \
+                 (shards {shards}, traced {traced}): got {:#018x}",
+                fingerprint(&out)
+            );
+        }
+    }
 }

@@ -6,8 +6,9 @@
 //! count evenly.
 
 use astro_fleet::{
-    ArrivalProcess, ChurnEvent, ClusterSpec, FleetOutcome, FleetParams, FleetSim, LeastLoaded,
-    PolicyCache, PolicyMode, Scenario,
+    ArrivalProcess, ChaosSchedule, ChurnEvent, ClusterSpec, Dispatcher, EnergyAware, FleetOutcome,
+    FleetParams, FleetSim, FlightRecorder, LeastLoaded, PhaseAware, PolicyCache, PolicyMode,
+    Scenario, TraceLevel,
 };
 use astro_workloads::{InputSize, Workload};
 use proptest::prelude::*;
@@ -105,8 +106,12 @@ proptest! {
 
     /// One scenario, four shard counts (including a count that leaves
     /// a ragged final chunk and one larger than some clusters): all
-    /// byte-identical. Exercises churn, preemption, the feedback
-    /// layer and the redispatch cap across the shard boundary.
+    /// byte-identical. Exercises churn, chaos (throttle + misprofile),
+    /// preemption, the feedback layer, the redispatch cap and all
+    /// three dispatchers (including the scratch-based EnergyAware and
+    /// PhaseAware rewrites) across the shard boundary, and re-runs one
+    /// shard count with the flight recorder on at a sampled depth to
+    /// prove telemetry never perturbs outcomes.
     #[test]
     fn outcomes_are_byte_identical_across_shard_counts(
         n_jobs in 4usize..14,
@@ -115,7 +120,11 @@ proptest! {
         online_bit in 0u8..2,
         preempt_bit in 0u8..2,
         feedback_bit in 0u8..2,
+        throttle_bit in 0u8..2,
+        misprofile_bit in 0u8..2,
         cap_pick in 0u8..3,
+        dispatcher_pick in 0u8..3,
+        trace_pick in 0u8..3,
         // Churn windows on an integer grid strictly inside the horizon,
         // so churn never ties with an arrival timestamp (same-time
         // control ordering is pinned separately; this test is about
@@ -165,6 +174,31 @@ proptest! {
         if feedback_bit == 1 {
             scenario = scenario.with_feedback();
         }
+        // Chaos clauses that never interact with churn liveness (the
+        // kernel rejects inconsistent liveness schedules, and churn
+        // boards are drawn randomly above): a throttle on board 0 and
+        // a fleet-wide misprofile window.
+        if throttle_bit == 1 || misprofile_bit == 1 {
+            let mut chaos = ChaosSchedule::new();
+            if throttle_bit == 1 {
+                chaos = chaos.throttle(0, 2.5, 0.20 * horizon, 0.80 * horizon);
+            }
+            if misprofile_bit == 1 {
+                chaos = chaos.misprofile(None, 0.3, 0.25 * horizon, 0.75 * horizon);
+            }
+            scenario = scenario.with_chaos(chaos);
+        }
+
+        // A fresh dispatcher per run: EnergyAware and PhaseAware carry
+        // reusable scratch, and byte-identity must hold regardless of
+        // what a previous run left in it.
+        let dispatcher = || -> Box<dyn Dispatcher> {
+            match dispatcher_pick {
+                0 => Box::new(LeastLoaded),
+                1 => Box::new(EnergyAware::default()),
+                _ => Box::new(PhaseAware::default()),
+            }
+        };
 
         let mut reference: Option<(usize, Vec<u64>)> = None;
         for shards in [1usize, 2, 4, 7] {
@@ -172,7 +206,7 @@ proptest! {
             params.shards = shards;
             let sim = FleetSim::new(&cluster, params);
             let mut cache = PolicyCache::new(0);
-            let out = sim.run(&jobs, &mut LeastLoaded, &mut cache, &scenario);
+            let out = sim.run(&jobs, &mut *dispatcher(), &mut cache, &scenario);
             let k = out.kernel.shards as usize;
             prop_assert!(
                 k >= 1 && k <= shards.min(n_boards),
@@ -193,6 +227,26 @@ proptest! {
                 ),
             }
         }
+
+        // Telemetry invariance: the ragged shard count again, flight
+        // recorder on at a sampled depth — byte-identical to the
+        // untraced runs at every level, not just Full.
+        let (_, ref_fp) = reference.unwrap();
+        let level = [TraceLevel::Ticks, TraceLevel::Spans, TraceLevel::Full][trace_pick as usize];
+        let mut params = FleetParams::new(seed);
+        params.shards = 7;
+        let sim = FleetSim::new(&cluster, params);
+        let mut cache = PolicyCache::new(0);
+        let mut recorder = FlightRecorder::new(level);
+        let traced =
+            sim.run_traced(&jobs, &mut *dispatcher(), &mut cache, &scenario, &mut recorder);
+        prop_assert_eq!(
+            &ref_fp,
+            &fingerprint(&traced),
+            "flight recorder at {:?} perturbed the simulation (seed {})",
+            level,
+            seed
+        );
     }
 
     /// The redispatch cap drops per-reason: with cap 0 every churn

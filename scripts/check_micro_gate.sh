@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Hot-path micro-benchmark gate: run the gated benchmarks in release
+# mode and fail if any median exceeds its committed ceiling
+# (crates/bench/benches/micro_thresholds.txt).
+#
+# The vendored criterion stand-in prints one line per benchmark:
+#   <name>  <median> ns/iter  (<iters> iters x <samples> samples)
+# and supports positional name filters, so only the gated benchmarks
+# run here. Usage: scripts/check_micro_gate.sh  (from the repo root).
+set -euo pipefail
+
+thresholds=crates/bench/benches/micro_thresholds.txt
+names=$(awk '!/^#/ && NF >= 2 { print $1 }' "$thresholds")
+
+# shellcheck disable=SC2086  # word-splitting the names is the point
+out=$(cargo bench -p astro-bench --bench micro -- $names)
+echo "$out"
+
+fail=0
+while read -r name ceiling; do
+    median=$(echo "$out" | awk -v n="$name" '$1 == n { print $2 }')
+    if [ -z "$median" ]; then
+        echo "GATE ERROR: benchmark '$name' produced no measurement" >&2
+        fail=1
+        continue
+    fi
+    if awk -v m="$median" -v c="$ceiling" 'BEGIN { exit !(m > c) }'; then
+        echo "GATE FAIL: $name median ${median} ns/iter exceeds ceiling ${ceiling}" >&2
+        fail=1
+    else
+        echo "gate ok:   $name median ${median} ns/iter <= ceiling ${ceiling}"
+    fi
+done <<< "$(awk '!/^#/ && NF >= 2 { print $1, $2 }' "$thresholds")"
+
+exit "$fail"

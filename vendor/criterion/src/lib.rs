@@ -41,10 +41,14 @@ impl Bencher {
 }
 
 /// The benchmark harness entry point. Mirrors `criterion::Criterion`,
-/// restricted to `bench_function`.
+/// restricted to `bench_function` plus the real harness's positional
+/// name filters: `cargo bench --bench micro -- dispatch_pick` runs
+/// only the benchmarks whose name contains one of the given
+/// substrings (flags such as cargo's own `--bench` are ignored).
 pub struct Criterion {
     measurement_window: Duration,
     samples: u32,
+    filters: Vec<String>,
 }
 
 impl Default for Criterion {
@@ -52,6 +56,10 @@ impl Default for Criterion {
         Criterion {
             measurement_window: Duration::from_millis(200),
             samples: 7,
+            filters: std::env::args()
+                .skip(1)
+                .filter(|a| !a.starts_with('-'))
+                .collect(),
         }
     }
 }
@@ -62,6 +70,9 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
+        if !self.filters.is_empty() && !self.filters.iter().any(|f| name.contains(f)) {
+            return self;
+        }
         // Calibration: grow the iteration count until one batch fills a
         // share of the measurement window.
         let mut iters = 1u64;
