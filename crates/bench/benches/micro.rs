@@ -345,6 +345,83 @@ fn bench_dispatch_pick(c: &mut Criterion) {
     });
 }
 
+/// The indexed pick at 10× the dense bench's fleet: one `PhaseAware`
+/// decision over 5000 boards with spread backlogs filed in the
+/// maintained dispatch index. Where the dense bench walks every board
+/// twice, this touches the per-architecture ordered-set heads plus the
+/// head equal-finish groups — O(log B) — so the number here should be
+/// flat in fleet size, not linear. Estimates are architecture-fanned
+/// (identical per arch class), matching the kernel's estimate path —
+/// the contract the indexed pick assumes.
+fn bench_dispatch_pick_indexed(c: &mut Criterion) {
+    use astro_fleet::{
+        ClusterSpec, ClusterState, DispatchMode, Dispatcher, JobClass, JobEstimates, JobSpec,
+        PhaseAware, Taxon,
+    };
+
+    const N: usize = 5000;
+    let cluster = ClusterSpec::heterogeneous(N);
+    let mut state = ClusterState::new(&cluster, DispatchMode::Oracle);
+    state.now_s = 10.0;
+    for b in 0..N {
+        let x = ((b as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) as f64 / 16777216.0;
+        state.seed_oracle_backlog(b, 10.0 + x * 30.0);
+    }
+    state.rebuild_dispatch_index();
+    let mut est = JobEstimates::zeroed(N);
+    for b in 0..N {
+        est.service_s[b] = [0.8, 1.2][b % 2];
+        est.energy_j[b] = [2.5, 1.0][b % 2];
+        est.warm[b] = b % 2 == 0;
+    }
+    let job = JobSpec {
+        id: 0,
+        workload: astro_workloads::by_name("swaptions").unwrap(),
+        taxon: Taxon {
+            class: JobClass::CpuHeavy,
+            signature: 2,
+        },
+        arrival_s: 10.0,
+        slo_tightness: 4.0,
+        seed: 1,
+    };
+    let mut dispatcher = PhaseAware::default();
+    c.bench_function("dispatch_pick_indexed_5000_boards", |b| {
+        b.iter(|| black_box(dispatcher.pick(black_box(&state), black_box(&job), black_box(&est))))
+    });
+}
+
+/// Index maintenance under churn: 64 board-local events per iteration,
+/// each moving one board's busy-until and re-filing it in the global
+/// and per-architecture ordered sets (a BTreeSet remove + insert pair
+/// each, O(log B)). This is the per-event overhead the index charges
+/// the kernel in exchange for O(log B) picks.
+fn bench_dispatch_index_repair(c: &mut Criterion) {
+    use astro_fleet::{ClusterSpec, ClusterState, DispatchMode};
+
+    const N: usize = 5000;
+    let cluster = ClusterSpec::heterogeneous(N);
+    let mut state = ClusterState::new(&cluster, DispatchMode::Oracle);
+    state.now_s = 10.0;
+    for b in 0..N {
+        let x = ((b as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) as f64 / 16777216.0;
+        state.seed_oracle_backlog(b, 10.0 + x * 30.0);
+    }
+    state.rebuild_dispatch_index();
+    let mut i = 0u64;
+    c.bench_function("dispatch_index_repair_5000_boards", |b| {
+        b.iter(|| {
+            for _ in 0..64 {
+                i = i.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let board = (i >> 32) as usize % N;
+                let x = (i >> 40) as f64 / 16777216.0;
+                state.seed_oracle_backlog(board, 10.0 + x * 30.0);
+            }
+            black_box(state.backlog_s(0))
+        })
+    });
+}
+
 /// A window of calibration-cache lookups through one
 /// [`ReplaySession`](astro_core::replay::ReplaySession) snapshot — the
 /// batched form the fleet kernel uses per control window. The session
@@ -460,6 +537,8 @@ criterion_group!(
     bench_event_queue,
     bench_shard_window,
     bench_dispatch_pick,
+    bench_dispatch_pick_indexed,
+    bench_dispatch_index_repair,
     bench_replay_session,
     bench_arena_queue
 );

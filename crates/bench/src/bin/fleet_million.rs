@@ -4,7 +4,10 @@
 //! `--jobs <n>`, `--boards <n>`, `--shards <k>` (default 8),
 //! `--workers <n>` (OS threads for shard advances; default: the
 //! machine's parallelism), `--seed <u64>`, `--quick` (50k jobs, 100
-//! boards, 4 shards — the CI smoke configuration), `--jumbo` (10M
+//! boards, 4 shards — the CI smoke configuration), `--gate` (200k
+//! jobs, 2000 boards, 8 shards — the CI mid leg that makes the
+//! indexed dispatch path earn its keep at a board count where a
+//! linear pick would dominate; under a minute), `--jumbo` (10M
 //! jobs, 5000 boards, 8 shards — the post-hot-path scale ceiling; a
 //! few minutes of wall clock), `--size` (defaults to `test`) and
 //! `--backend {machine,replay}` (default `replay` — a million
@@ -25,7 +28,14 @@ fn main() {
     );
     let (jobs, boards, shards) = if cli.has("--jumbo") {
         assert!(!cli.quick(), "--quick and --jumbo are mutually exclusive");
+        assert!(
+            !cli.has("--gate"),
+            "--gate and --jumbo are mutually exclusive"
+        );
         (10_000_000, 5_000, 8)
+    } else if cli.has("--gate") {
+        assert!(!cli.quick(), "--quick and --gate are mutually exclusive");
+        (200_000, 2_000, 8)
     } else {
         cli.pick((50_000, 100, 4), (1_000_000, 500, 8))
     };

@@ -41,13 +41,39 @@ use std::time::Instant;
 /// figure's hot path to within [`PERF_GATE_TOLERANCE`] of it.
 const PR8_QUICK_BASELINE_JPS: f64 = 350_000.0;
 
-/// Allowed fractional regression against [`PR8_QUICK_BASELINE_JPS`]
+/// Telemetry-off simulation throughput recorded for PR 9 in
+/// `BENCH_fleet.json` under the CI mid configuration (`--gate
+/// --shards 8`: 200k jobs, 2000 boards, replay backend). Before the
+/// indexed dispatch path this configuration was dominated by the
+/// O(boards) pick per arrival; the gate holds the O(log B) claim at a
+/// board count where backsliding to a linear pick would roughly halve
+/// the number.
+const PR9_GATE_BASELINE_JPS: f64 = 140_000.0;
+
+/// The `--gate` CI configuration (jobs, boards) —
+/// [`PR9_GATE_BASELINE_JPS`] was measured here, so the gate compares
+/// against it for exactly this shape and the quick baseline otherwise.
+const GATE_CONFIG: (usize, usize) = (200_000, 2_000);
+
+/// Allowed fractional regression for the `--gate` leg. Wider than
+/// [`PERF_GATE_TOLERANCE`]: the leg runs ~1.5 s of wall on the
+/// single-core CI container, where neighbour bursts are worth -35% on
+/// a bad sample, and the regression this gate exists to catch — the
+/// indexed pick backsliding into a linear scan — costs ~3x at 2000
+/// boards (to ~50k jobs/s, far below the floor this leaves).
+const GATE_TOLERANCE: f64 = 0.30;
+
+/// Allowed fractional regression against the selected baseline
 /// before the `--perf-gate` verdict fails the run. Wider than the 2%
 /// band the PR 7 gate used: at ~0.14 s of wall per quick leg the
 /// single-core CI container's scheduling jitter alone is worth several
 /// percent, and the gate exists to catch hot-path regressions (which
 /// historically cost 2-10x, not 10%), not to flake on timer noise.
-const PERF_GATE_TOLERANCE: f64 = 0.10;
+/// Re-widened from 10% for PR 9 after back-to-back idle-host samples
+/// of the *same binary* spanned 227-348k jobs/s (noisy-neighbour
+/// bursts worth -35%); the floor this leaves, ~227k, still sits far
+/// above what any historical hot-path regression would produce.
+const PERF_GATE_TOLERANCE: f64 = 0.35;
 
 /// Bitwise fingerprint of a run: FNV-1a over every outcome's
 /// placement and float timeline bits, so a single last-ulp divergence
@@ -243,19 +269,26 @@ pub fn run(
 
     // The perf gate (ROADMAP: hold the hot path): the telemetry-off
     // sharded leg vs the throughput recorded in BENCH_fleet.json.
-    // Advisory outside `--perf-gate` (and only meaningful at the
-    // `--quick` configuration the baseline was measured under).
+    // Advisory outside `--perf-gate`, and only meaningful at the two
+    // configurations a baseline was measured under: `--quick` (the PR
+    // 8 smoke floor) and `--gate` (the PR 9 mid leg that prices the
+    // indexed dispatch path at 2000 boards).
     let jps_off = n_jobs as f64 / wall_k;
-    let floor = PR8_QUICK_BASELINE_JPS * (1.0 - PERF_GATE_TOLERANCE);
+    let (baseline, baseline_name, tolerance) = if (n_jobs, n_boards) == GATE_CONFIG {
+        (PR9_GATE_BASELINE_JPS, "PR 9 gate", GATE_TOLERANCE)
+    } else {
+        (PR8_QUICK_BASELINE_JPS, "PR 8 quick", PERF_GATE_TOLERANCE)
+    };
+    let floor = baseline * (1.0 - tolerance);
     println!(
-        "perf gate: telemetry-off throughput {:.0} jobs/s vs PR 8 baseline {:.0} \
+        "perf gate: telemetry-off throughput {:.0} jobs/s vs {baseline_name} baseline {:.0} \
          ({:+.1}%; floor {:.0}) — {}",
         jps_off,
-        PR8_QUICK_BASELINE_JPS,
-        (jps_off / PR8_QUICK_BASELINE_JPS - 1.0) * 100.0,
+        baseline,
+        (jps_off / baseline - 1.0) * 100.0,
         floor,
         if !perf_gate {
-            "advisory (pass --perf-gate at --quick to enforce)"
+            "advisory (pass --perf-gate at --quick or --gate to enforce)"
         } else if jps_off >= floor {
             "PASS"
         } else {
@@ -265,9 +298,9 @@ pub fn run(
     if perf_gate {
         assert!(
             jps_off >= floor,
-            "perf gate: {jps_off:.0} jobs/s is more than {:.0}% below the PR 8 baseline \
-             {PR8_QUICK_BASELINE_JPS:.0}",
-            PERF_GATE_TOLERANCE * 100.0
+            "perf gate: {jps_off:.0} jobs/s is more than {:.0}% below the {baseline_name} \
+             baseline {baseline:.0}",
+            tolerance * 100.0
         );
     }
 

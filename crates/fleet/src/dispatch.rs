@@ -18,6 +18,7 @@
 //! stay telemetry-free, so a policy can never behave differently just
 //! because someone is watching.
 
+use crate::index::DispatchIndex;
 use crate::job::JobSpec;
 use crate::state::ClusterState;
 
@@ -84,13 +85,68 @@ fn argmin_placeable(state: &ClusterState, key: impl Fn(usize) -> (f64, f64)) -> 
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LeastLoaded;
 
+impl LeastLoaded {
+    /// The reference linear scan (the pre-index pick, verbatim).
+    fn pick_scan(&self, state: &ClusterState) -> usize {
+        argmin_placeable(state, |b| (state.backlog_s(b), state.dispatched(b) as f64))
+    }
+
+    /// Indexed pick: the scan's effective key is `(backlog, dispatched,
+    /// board)`, so the argmin is among (a) the zero-class champion —
+    /// the `(dispatched, board)`-least among boards whose backlog is
+    /// exactly zero, (b) the head equal-backlog group of the ordered
+    /// class (backlog order is busy-until order; equal backlogs are
+    /// contiguous because `x ↦ (x - now).max(0)` is monotone), and
+    /// (c) every stale board, evaluated exactly. Candidates are then
+    /// compared with the exact scan key.
+    fn pick_indexed(&self, state: &ClusterState, idx: &DispatchIndex) -> usize {
+        let mut best: Option<(f64, f64, usize)> = None;
+        let consider = |best: &mut Option<(f64, f64, usize)>, b: usize| {
+            let key = (state.backlog_s(b), state.dispatched(b) as f64, b);
+            if best.map(|k| key < k).unwrap_or(true) {
+                *best = Some(key);
+            }
+        };
+        if let Some(b) = idx.zero_min() {
+            consider(&mut best, b);
+        }
+        let mut it = idx.ordered_iter();
+        if let Some(b0) = it.next() {
+            let bl0 = state.backlog_s(b0);
+            consider(&mut best, b0);
+            for b in it {
+                if state.backlog_s(b) != bl0 {
+                    break;
+                }
+                consider(&mut best, b);
+            }
+        }
+        for b in idx.stale_iter() {
+            consider(&mut best, b);
+        }
+        best.expect("at least one board is placeable").2
+    }
+}
+
 impl Dispatcher for LeastLoaded {
     fn name(&self) -> &'static str {
         "least-loaded"
     }
 
     fn pick(&mut self, state: &ClusterState, _job: &JobSpec, _est: &JobEstimates) -> usize {
-        argmin_placeable(state, |b| (state.backlog_s(b), state.dispatched(b) as f64))
+        match state.dispatch_index() {
+            Some(idx) => {
+                let b = self.pick_indexed(state, idx);
+                #[cfg(feature = "pick_crosscheck")]
+                assert_eq!(
+                    b,
+                    self.pick_scan(state),
+                    "least-loaded indexed pick diverged from the reference scan"
+                );
+                b
+            }
+            None => self.pick_scan(state),
+        }
     }
 }
 
@@ -109,12 +165,65 @@ pub struct EnergyAware {
     backlog: Vec<f64>,
 }
 
-impl Dispatcher for EnergyAware {
-    fn name(&self) -> &'static str {
-        "energy-aware"
+impl EnergyAware {
+    /// Indexed pick. The scan's key over the feasible set (boards
+    /// within `min_backlog + service` of the fleet-minimum backlog) is
+    /// `(energy, now + backlog + service, board)`; estimates are
+    /// fanned per architecture class, so within a class the energy
+    /// term is constant and the finish term is monotone in backlog —
+    /// each class's winner is in the head equal-finish group of its
+    /// ordered set (or its lowest-indexed zero-class board, which is
+    /// always feasible since its backlog is zero). The fleet-minimum
+    /// backlog itself is an order-independent `f64::min` fold, so it
+    /// is reconstructed exactly from the class heads. Stale boards are
+    /// evaluated exactly; candidates compare with the exact scan key.
+    fn pick_indexed(&self, state: &ClusterState, est: &JobEstimates, idx: &DispatchIndex) -> usize {
+        let mut min_backlog = if idx.has_zero() { 0.0 } else { f64::INFINITY };
+        if let Some(b) = idx.ordered_iter().next() {
+            min_backlog = min_backlog.min(state.backlog_s(b));
+        }
+        for b in idx.stale_iter() {
+            min_backlog = min_backlog.min(state.backlog_s(b));
+        }
+        let mut best: Option<(f64, f64, usize)> = None;
+        let consider = |best: &mut Option<(f64, f64, usize)>, b: usize| {
+            let bl = state.backlog_s(b);
+            if bl <= min_backlog + est.service_s[b] {
+                let key = (est.energy_j[b], state.now_s + bl + est.service_s[b], b);
+                if best.map(|k| key < k).unwrap_or(true) {
+                    *best = Some(key);
+                }
+            }
+        };
+        for a in 0..idx.n_arch() {
+            if let Some(b) = idx.zero_min_arch(a) {
+                consider(&mut best, b);
+            }
+            let mut it = idx.ordered_iter_arch(a);
+            if let Some(b0) = it.next() {
+                let bl0 = state.backlog_s(b0);
+                // Backlog is non-decreasing along the class order:
+                // when the head is infeasible, so is every later board.
+                if bl0 <= min_backlog + est.service_s[b0] {
+                    let f0 = state.now_s + bl0 + est.service_s[b0];
+                    consider(&mut best, b0);
+                    for b in it {
+                        if state.now_s + state.backlog_s(b) + est.service_s[b] != f0 {
+                            break;
+                        }
+                        consider(&mut best, b);
+                    }
+                }
+            }
+        }
+        for b in idx.stale_iter() {
+            consider(&mut best, b);
+        }
+        best.expect("some board is up").2
     }
 
-    fn pick(&mut self, state: &ClusterState, _job: &JobSpec, est: &JobEstimates) -> usize {
+    /// The reference linear scan (the pre-index pick, verbatim).
+    fn pick_scan(&mut self, state: &ClusterState, est: &JobEstimates) -> usize {
         if self.backlog.len() != state.len() {
             self.backlog.resize(state.len(), 0.0);
         }
@@ -141,6 +250,28 @@ impl Dispatcher for EnergyAware {
     }
 }
 
+impl Dispatcher for EnergyAware {
+    fn name(&self) -> &'static str {
+        "energy-aware"
+    }
+
+    fn pick(&mut self, state: &ClusterState, _job: &JobSpec, est: &JobEstimates) -> usize {
+        match state.dispatch_index() {
+            Some(idx) => {
+                let b = self.pick_indexed(state, est, idx);
+                #[cfg(feature = "pick_crosscheck")]
+                assert_eq!(
+                    b,
+                    self.pick_scan(state, est),
+                    "energy-aware indexed pick diverged from the reference scan"
+                );
+                b
+            }
+            None => self.pick_scan(state, est),
+        }
+    }
+}
+
 /// Phase-aware: estimated-finish-greedy (backlog + this job's profiled
 /// service on each board, so workload↔architecture affinity is priced
 /// in), with the job's class steering ties — CPU-heavy jobs break
@@ -160,6 +291,9 @@ pub struct PhaseAware {
     /// Estimated finish per board from the current pick's first pass.
     /// Entries for unplaceable boards are stale and never read.
     finish: Vec<f64>,
+    /// Per-architecture-class `(finish, board)` champions from the
+    /// indexed pick's first pass, reused by its tie pass.
+    champ: Vec<Option<(f64, usize)>>,
 }
 
 impl PhaseAware {
@@ -171,14 +305,100 @@ impl PhaseAware {
             Mixed => None,
         }
     }
-}
 
-impl Dispatcher for PhaseAware {
-    fn name(&self) -> &'static str {
-        "phase-aware"
+    /// Indexed pick. Pass 1's effective key is `(finish, board)`;
+    /// estimates are fanned per architecture class, so within a class
+    /// the finish is monotone in backlog and the class champion is in
+    /// the head equal-finish group of its ordered set (or its
+    /// lowest-indexed zero-class board — zero backlogs tie on finish).
+    /// Pass 2's key `(mismatch, cold, finish, board)` is constant per
+    /// class in its first two terms, so each class's tie-band winner
+    /// is its pass-1 champion when that champion makes the band — no
+    /// other class member can. Stale boards are evaluated exactly in
+    /// both passes; all comparisons use the exact scan expressions.
+    fn pick_indexed(
+        &mut self,
+        state: &ClusterState,
+        job: &JobSpec,
+        est: &JobEstimates,
+        idx: &DispatchIndex,
+    ) -> usize {
+        let na = idx.n_arch();
+        if self.champ.len() != na {
+            self.champ.resize(na, None);
+        }
+        let mut overall: Option<(f64, usize)> = None;
+        for a in 0..na {
+            let mut c: Option<(f64, usize)> = None;
+            let consider = |c: &mut Option<(f64, usize)>, b: usize| {
+                let key = (est.est_finish_s(state, b), b);
+                if c.map(|k| key < k).unwrap_or(true) {
+                    *c = Some(key);
+                }
+            };
+            if let Some(b) = idx.zero_min_arch(a) {
+                consider(&mut c, b);
+            }
+            let mut it = idx.ordered_iter_arch(a);
+            if let Some(b0) = it.next() {
+                let f0 = est.est_finish_s(state, b0);
+                consider(&mut c, b0);
+                for b in it {
+                    if est.est_finish_s(state, b) != f0 {
+                        break;
+                    }
+                    consider(&mut c, b);
+                }
+            }
+            self.champ[a] = c;
+            if let Some(k) = c {
+                if overall.map(|o| k < o).unwrap_or(true) {
+                    overall = Some(k);
+                }
+            }
+        }
+        for b in idx.stale_iter() {
+            let k = (est.est_finish_s(state, b), b);
+            if overall.map(|o| k < o).unwrap_or(true) {
+                overall = Some(k);
+            }
+        }
+        let (best_finish, overall_b) = overall.expect("at least one board is placeable");
+        let tie_band = 0.02 * est.service_s[overall_b];
+        let thresh = best_finish + tie_band;
+        let prefers_big = Self::prefers_big(job);
+        let full_key = |b: usize, f: f64| {
+            let mismatch = match prefers_big {
+                Some(big) => (state.spec.big_rich(b) != big) as u8 as f64,
+                None => 0.0,
+            };
+            (mismatch, !est.warm[b] as u8 as f64, f, b as f64)
+        };
+        let mut best: Option<((f64, f64, f64, f64), usize)> = None;
+        for a in 0..na {
+            if let Some((f, b)) = self.champ[a] {
+                if f <= thresh {
+                    let key = full_key(b, f);
+                    if best.map(|(k, _)| key < k).unwrap_or(true) {
+                        best = Some((key, b));
+                    }
+                }
+            }
+        }
+        for b in idx.stale_iter() {
+            let f = est.est_finish_s(state, b);
+            if f <= thresh {
+                let key = full_key(b, f);
+                if best.map(|(k, _)| key < k).unwrap_or(true) {
+                    best = Some((key, b));
+                }
+            }
+        }
+        best.expect("tie set contains the global best").1
     }
 
-    fn pick(&mut self, state: &ClusterState, job: &JobSpec, est: &JobEstimates) -> usize {
+    /// The reference two-pass scan (the pre-index pick, verbatim).
+    fn pick_scan(&mut self, state: &ClusterState, job: &JobSpec, est: &JobEstimates) -> usize {
         if self.finish.len() != state.len() {
             self.finish.resize(state.len(), 0.0);
         }
@@ -216,6 +436,28 @@ impl Dispatcher for PhaseAware {
             }
         }
         best.expect("tie set contains the global best").1
+    }
+}
+
+impl Dispatcher for PhaseAware {
+    fn name(&self) -> &'static str {
+        "phase-aware"
+    }
+
+    fn pick(&mut self, state: &ClusterState, job: &JobSpec, est: &JobEstimates) -> usize {
+        match state.dispatch_index() {
+            Some(idx) => {
+                let b = self.pick_indexed(state, job, est, idx);
+                #[cfg(feature = "pick_crosscheck")]
+                assert_eq!(
+                    b,
+                    self.pick_scan(state, job, est),
+                    "phase-aware indexed pick diverged from the reference scan"
+                );
+                b
+            }
+            None => self.pick_scan(state, job, est),
+        }
     }
 }
 
@@ -488,6 +730,178 @@ mod tests {
             }
         }
         assert!(checked > 1000, "sweep degenerated: only {checked} picks");
+    }
+
+    /// Online-mode mutation churn against the maintained index: a long
+    /// seeded stream of enqueues, starts, completions, dispatch-count
+    /// bumps, liveness/blackout flips and clock advances — after every
+    /// step the indexed pick of each dispatcher must equal its
+    /// reference scan, bit for bit. Values are quantised to multiples
+    /// of 0.5 so exact busy-until ties, tie-band edges and clock
+    /// advances that land exactly on filed in-flight estimates all
+    /// occur, and boards are deliberately driven through every index
+    /// class (Zero, Ordered, Stale — an enqueue with no in-flight job
+    /// makes the busy-until clock-dependent).
+    #[test]
+    fn indexed_picks_match_scan_under_mutation_churn() {
+        use crate::job::Taxon;
+        use crate::state::{InFlight, QueuedJob};
+
+        fn qj(svc: f64) -> QueuedJob {
+            QueuedJob {
+                job: job(JobClass::CpuHeavy),
+                slo_s: 100.0,
+                schedule: None,
+                sched_arch: "",
+                est_service_s: svc,
+                profiled_s: svc,
+                penalty_s: 0.0,
+                migrations: 0,
+                redispatches: 0,
+            }
+        }
+        fn ifl(now: f64, svc: f64) -> InFlight {
+            InFlight {
+                id: 0,
+                taxon: Taxon {
+                    class: JobClass::CpuHeavy,
+                    signature: 2,
+                },
+                start_s: now,
+                est_finish_s: now + svc,
+                profiled_s: svc,
+                raw_service_s: svc,
+                outcome: crate::job::JobOutcome {
+                    id: 0,
+                    workload: "swaptions",
+                    class: JobClass::CpuHeavy,
+                    board: 0,
+                    arrival_s: 0.0,
+                    start_s: now,
+                    finish_s: now + svc,
+                    service_s: svc,
+                    energy_j: 1.0,
+                    slo_s: 100.0,
+                    migrations: 0,
+                },
+            }
+        }
+
+        let mut lcg = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            lcg ^= lcg >> 12;
+            lcg ^= lcg << 25;
+            lcg ^= lcg >> 27;
+            lcg.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let mut checked = 0usize;
+        for mode in [DispatchMode::Online, DispatchMode::Oracle] {
+            for case in 0..8 {
+                let n = 2 + (next() % 9) as usize;
+                let cluster = ClusterSpec::heterogeneous(n);
+                let mut st = ClusterState::new(&cluster, mode);
+                st.now_s = 10.0;
+                st.enable_dispatch_index();
+                // Estimates must be architecture-consistent (the kernel
+                // fans them per arch class): heterogeneous clusters
+                // alternate XU4 / RK3399 by board parity.
+                let arch_svc = [1.0 + (next() % 3) as f64 * 0.5, 1.0 + (next() % 3) as f64];
+                let arch_energy = [1.0 + (next() % 2) as f64, 1.0 + (next() % 2) as f64];
+                let est = JobEstimates {
+                    service_s: (0..n).map(|b| arch_svc[b % 2]).collect(),
+                    energy_j: (0..n).map(|b| arch_energy[b % 2]).collect(),
+                    warm: (0..n).map(|b| b % 2 == case % 2).collect(),
+                };
+                let mut blk = vec![false; n];
+                for _ in 0..250 {
+                    let b = (next() % n as u64) as usize;
+                    let svc = 0.5 + (next() % 4) as f64 * 0.5;
+                    match next() % 8 {
+                        0 => {
+                            st.boards[b].enqueue(qj(svc));
+                            st.refresh_dispatch_index(b);
+                        }
+                        1 => {
+                            st.boards[b].pop_next();
+                            st.refresh_dispatch_index(b);
+                        }
+                        2 if st.boards[b].in_flight.is_none() => {
+                            st.boards[b].in_flight = Some(ifl(st.now_s, svc));
+                            st.boards[b].dispatched += 1;
+                            st.refresh_dispatch_index(b);
+                        }
+                        3 => {
+                            // Completion: next queued job starts, as the
+                            // shard advance loop does.
+                            st.boards[b].in_flight = None;
+                            if let Some(q) = st.boards[b].pop_next() {
+                                let s = q.est_total_s();
+                                st.boards[b].in_flight = Some(ifl(st.now_s, s));
+                            }
+                            st.refresh_dispatch_index(b);
+                        }
+                        4 => {
+                            st.boards[b].dispatched += 1;
+                            st.refresh_dispatch_index(b);
+                        }
+                        5 => {
+                            let up = st.up(b);
+                            st.set_up(b, !up);
+                        }
+                        6 => {
+                            if blk[b] {
+                                st.remove_blackout(b);
+                            } else {
+                                st.add_blackout(b);
+                            }
+                            blk[b] = !blk[b];
+                        }
+                        _ => {
+                            if mode == DispatchMode::Oracle {
+                                st.boards[b].oracle_busy_until_s =
+                                    st.boards[b].oracle_busy_until_s.max(st.now_s) + svc;
+                                st.refresh_dispatch_index(b);
+                            }
+                            // Advances by multiples of 0.5 land exactly
+                            // on filed busy-until / in-flight values.
+                            let dt = (next() % 4) as f64 * 0.5;
+                            st.advance_now(st.now_s + dt);
+                        }
+                    }
+                    assert_eq!(
+                        st.dispatch_index().unwrap().filed(),
+                        st.placeable_boards().count(),
+                        "index filing out of sync with placeability ({mode:?}, case {case})"
+                    );
+                    if !st.any_placeable() {
+                        continue;
+                    }
+                    let j = job(JobClass::ALL[(next() % JobClass::ALL.len() as u64) as usize]);
+                    assert_eq!(
+                        LeastLoaded.pick(&st, &j, &est),
+                        LeastLoaded.pick_scan(&st),
+                        "least-loaded diverged ({mode:?}, case {case})"
+                    );
+                    let mut energy = EnergyAware::default();
+                    assert_eq!(
+                        energy.pick(&st, &j, &est),
+                        energy.pick_scan(&st, &est),
+                        "energy-aware diverged ({mode:?}, case {case})"
+                    );
+                    let mut phase = PhaseAware::default();
+                    assert_eq!(
+                        phase.pick(&st, &j, &est),
+                        phase.pick_scan(&st, &j, &est),
+                        "phase-aware diverged ({mode:?}, case {case})"
+                    );
+                    checked += 3;
+                }
+            }
+        }
+        assert!(
+            checked > 3000,
+            "churn sweep degenerated: only {checked} picks"
+        );
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Incrementally maintained argmin indexes over placeable boards.
+//!
+//! Every dispatcher key is a lexicographic tuple whose leading term
+//! derives from [`est_busy_until_s`](crate::state::ClusterState::est_busy_until_s)
+//! — an *absolute* sim-time value that changes only on board-local
+//! events (enqueue, pop, in-flight estimate update, completion,
+//! churn/outage/blackout edges). This module keeps each placeable
+//! board filed under one of three classes so a pick touches O(log B)
+//! state instead of scanning every board:
+//!
+//! * **Zero** — the board's busy-until is at or behind the clock, so
+//!   its backlog is exactly `0.0` and *stays* `0.0` as the clock
+//!   advances (an idle board, or one whose in-flight estimate has
+//!   already lapsed with nothing queued). Filed globally by
+//!   `(dispatched as f64, board)` — the `LeastLoaded` tie-break — and
+//!   per architecture class by board index.
+//! * **Ordered** — busy-until is strictly ahead of the clock and
+//!   independent of it (oracle accumulator, or an online board whose
+//!   in-flight finish estimate has not lapsed). Filed globally and per
+//!   architecture class by `(busy_until bits, board)`; since busy and
+//!   backlog are non-negative and `x ↦ (x - now).max(0)` is monotone,
+//!   bit order on the stored busy value *is* backlog order.
+//! * **Stale** — an online board whose in-flight finish estimate has
+//!   lapsed while work is still queued (or, defensively, an idle board
+//!   with queued work): its busy-until is genuinely clock-dependent
+//!   (`now + Σ queued`), so it is kept on a short list and evaluated
+//!   exactly per pick. Boards enter this class only when a service
+//!   estimate overran, so it stays small in steady state.
+//!
+//! The classes are repaired *eagerly* at every mutation site (the
+//! kernel calls [`refresh_dispatch_index`](crate::state::ClusterState::refresh_dispatch_index)
+//! wherever it touches a board) plus two prefix sweeps when the clock
+//! advances: ordered entries whose busy-until the clock has reached
+//! reclassify to Zero/Stale, and in-flight estimates the clock has
+//! passed (tracked in a third ordered set) demote their boards out of
+//! Ordered. Each board is swept at most once per insertion, so the
+//! sweeps are amortised O(log B) per event.
+//!
+//! The index never *computes* a key: dispatchers use it only to
+//! enumerate a small candidate set that provably contains the argmin,
+//! then compare candidates with the exact same floating-point
+//! expressions the reference linear scan uses — which is how the
+//! indexed picks reproduce the scan bit-for-bit (the `pick_crosscheck`
+//! feature asserts this on every pick).
+
+use std::collections::BTreeSet;
+
+/// Fleets below this size keep the index disabled and dispatch via
+/// the reference scan: walking a couple dozen boards is cheaper than
+/// maintaining the orderings on every board-local event, and the two
+/// paths pick identically, so the threshold is a pure perf knob (the
+/// `fleet_chaos` quick leg, 20 boards of heavy churn, regressed ~20%
+/// paying repairs it could never amortise).
+pub(crate) const INDEX_MIN_BOARDS: usize = 32;
+
+/// Which class a board is filed under (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BoardClass {
+    /// Not placeable (down or blacked out): in no set.
+    None,
+    /// Backlog is exactly zero and stays zero as the clock advances.
+    Zero {
+        /// `(dispatched as f64).to_bits()` — the `LeastLoaded` tie key.
+        disp_bits: u64,
+    },
+    /// Busy-until is ahead of the clock and independent of it.
+    Ordered {
+        /// Bit pattern of the absolute busy-until value.
+        busy_bits: u64,
+        /// Bit pattern of the in-flight finish estimate when the class
+        /// must demote once the clock passes it (online mode only).
+        ifl_bits: Option<u64>,
+    },
+    /// Busy-until depends on the clock: evaluated exactly per pick.
+    Stale,
+}
+
+/// The maintained index structure. Owned by
+/// [`ClusterState`](crate::state::ClusterState); all classification
+/// logic lives there (it needs the live board state), this type only
+/// keeps the sets consistent and answers ordered queries.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct DispatchIndex {
+    /// Is the index live? Off by default: states built by tests and
+    /// benches mutate boards directly, so dispatchers fall back to the
+    /// reference scan unless the owner opts in and maintains it.
+    pub(crate) enabled: bool,
+    /// Current class of each board (`class[b]` mirrors set membership).
+    class: Vec<BoardClass>,
+    /// Architecture-class id per board, first-appearance order.
+    arch_of: Vec<u16>,
+    /// Distinct architecture classes.
+    n_arch: usize,
+    /// Zero-class boards by `(dispatched bits, board)`.
+    zero: BTreeSet<(u64, u32)>,
+    /// Zero-class boards per architecture class, by board index.
+    zero_arch: Vec<BTreeSet<u32>>,
+    /// Ordered-class boards by `(busy bits, board)`.
+    ordered: BTreeSet<(u64, u32)>,
+    /// Ordered-class boards per architecture class.
+    ordered_arch: Vec<BTreeSet<(u64, u32)>>,
+    /// Ordered-class boards whose class lapses when the clock passes
+    /// their in-flight finish estimate, by `(estimate bits, board)`.
+    inflight: BTreeSet<(u64, u32)>,
+    /// Stale-class boards, unordered (evaluated exactly per pick).
+    stale: Vec<u32>,
+    /// Position of each stale board in `stale` (swap-remove support).
+    stale_pos: Vec<u32>,
+}
+
+impl DispatchIndex {
+    /// Reset to an empty, enabled index over `arch_of.len()` boards.
+    pub(crate) fn reset(&mut self, arch_of: Vec<u16>, n_arch: usize) {
+        let n = arch_of.len();
+        self.enabled = true;
+        self.class = vec![BoardClass::None; n];
+        self.arch_of = arch_of;
+        self.n_arch = n_arch;
+        self.zero = BTreeSet::new();
+        self.zero_arch = vec![BTreeSet::new(); n_arch];
+        self.ordered = BTreeSet::new();
+        self.ordered_arch = vec![BTreeSet::new(); n_arch];
+        self.inflight = BTreeSet::new();
+        self.stale = Vec::new();
+        self.stale_pos = vec![u32::MAX; n];
+    }
+
+    /// Remove board `b` from whatever sets its current class filed it
+    /// in, then file it under `class`.
+    pub(crate) fn set_class(&mut self, b: usize, class: BoardClass) {
+        if class == self.class[b] {
+            // Identical classification files identically (Stale keeps
+            // its slot): skip the remove + insert round trip.
+            return;
+        }
+        let bu = b as u32;
+        let a = self.arch_of[b] as usize;
+        match self.class[b] {
+            BoardClass::None => {}
+            BoardClass::Zero { disp_bits } => {
+                self.zero.remove(&(disp_bits, bu));
+                self.zero_arch[a].remove(&bu);
+            }
+            BoardClass::Ordered {
+                busy_bits,
+                ifl_bits,
+            } => {
+                self.ordered.remove(&(busy_bits, bu));
+                self.ordered_arch[a].remove(&(busy_bits, bu));
+                if let Some(fb) = ifl_bits {
+                    self.inflight.remove(&(fb, bu));
+                }
+            }
+            BoardClass::Stale => {
+                let pos = self.stale_pos[b] as usize;
+                let last = self.stale.len() - 1;
+                self.stale.swap_remove(pos);
+                if pos != last {
+                    let moved = self.stale[pos] as usize;
+                    self.stale_pos[moved] = pos as u32;
+                }
+                self.stale_pos[b] = u32::MAX;
+            }
+        }
+        match class {
+            BoardClass::None => {}
+            BoardClass::Zero { disp_bits } => {
+                self.zero.insert((disp_bits, bu));
+                self.zero_arch[a].insert(bu);
+            }
+            BoardClass::Ordered {
+                busy_bits,
+                ifl_bits,
+            } => {
+                self.ordered.insert((busy_bits, bu));
+                self.ordered_arch[a].insert((busy_bits, bu));
+                if let Some(fb) = ifl_bits {
+                    self.inflight.insert((fb, bu));
+                }
+            }
+            BoardClass::Stale => {
+                self.stale_pos[b] = self.stale.len() as u32;
+                self.stale.push(bu);
+            }
+        }
+        self.class[b] = class;
+    }
+
+    /// The earliest ordered entry at or behind `now_bits`, if any —
+    /// the clock-advance sweep target.
+    pub(crate) fn ordered_lapsed(&self, now_bits: u64) -> Option<usize> {
+        match self.ordered.first() {
+            Some(&(bits, b)) if bits <= now_bits => Some(b as usize),
+            _ => None,
+        }
+    }
+
+    /// The earliest filed in-flight estimate strictly behind
+    /// `now_bits`, if any — the other clock-advance sweep target.
+    pub(crate) fn inflight_lapsed(&self, now_bits: u64) -> Option<usize> {
+        match self.inflight.first() {
+            Some(&(bits, b)) if bits < now_bits => Some(b as usize),
+            _ => None,
+        }
+    }
+
+    /// Distinct architecture classes.
+    #[inline]
+    pub(crate) fn n_arch(&self) -> usize {
+        self.n_arch
+    }
+
+    /// Any zero-class (backlog exactly zero) board?
+    #[inline]
+    pub(crate) fn has_zero(&self) -> bool {
+        !self.zero.is_empty()
+    }
+
+    /// The zero-class board minimising `(dispatched, board)` — the
+    /// `LeastLoaded` champion among idle boards.
+    #[inline]
+    pub(crate) fn zero_min(&self) -> Option<usize> {
+        self.zero.first().map(|&(_, b)| b as usize)
+    }
+
+    /// The lowest-indexed zero-class board in architecture class `a` —
+    /// the band champion where per-arch keys tie on everything but `b`.
+    #[inline]
+    pub(crate) fn zero_min_arch(&self, a: usize) -> Option<usize> {
+        self.zero_arch[a].first().map(|&b| b as usize)
+    }
+
+    /// Ordered-class boards, ascending busy-until (then board index).
+    #[inline]
+    pub(crate) fn ordered_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.ordered.iter().map(|&(_, b)| b as usize)
+    }
+
+    /// Ordered-class boards of architecture class `a`, ascending
+    /// busy-until (then board index).
+    #[inline]
+    pub(crate) fn ordered_iter_arch(&self, a: usize) -> impl Iterator<Item = usize> + '_ {
+        self.ordered_arch[a].iter().map(|&(_, b)| b as usize)
+    }
+
+    /// Stale-class boards (unordered; evaluate exactly).
+    #[inline]
+    pub(crate) fn stale_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.stale.iter().map(|&b| b as usize)
+    }
+
+    /// Filed entries across every class (diagnostics / tests).
+    #[cfg(test)]
+    pub(crate) fn filed(&self) -> usize {
+        self.zero.len() + self.ordered.len() + self.stale.len()
+    }
+}

@@ -598,6 +598,9 @@ impl FleetSim<'_> {
         let arches = ArchMap::new(self.cluster);
         let mut profiles = ProfileTable::new();
         let mut state = ClusterState::new(self.cluster, scenario.dispatch);
+        // Indexed argmin dispatch: the kernel maintains the index at
+        // every board mutation below, so picks stop scanning O(boards).
+        state.rebuild_dispatch_index();
         let mut shards = ShardSet::new(n_boards, self.params.shards);
         let workers = self.params.shard_workers.max(1);
         let mut stats = KernelStats {
@@ -691,6 +694,7 @@ impl FleetSim<'_> {
                 let wall = telemetry.stopwatch();
                 fold_delta(
                     delta,
+                    &mut state,
                     &mut stats,
                     &mut open,
                     &mut outcomes,
@@ -725,6 +729,7 @@ impl FleetSim<'_> {
             let wall = telemetry.stopwatch();
             fold_delta(
                 delta,
+                &mut state,
                 &mut stats,
                 &mut open,
                 &mut outcomes,
@@ -741,7 +746,7 @@ impl FleetSim<'_> {
                 state.now_s,
                 time_s
             );
-            state.now_s = state.now_s.max(time_s);
+            state.advance_now(time_s);
             stats.events += 1;
 
             match kind {
@@ -850,6 +855,7 @@ impl FleetSim<'_> {
                             collect_observations: feedback.is_some(),
                         },
                     );
+                    state.refresh_dispatch_index(b);
                     telemetry.on_dispatch(time_s, job.id, job.workload.name, b, svc_est);
                 }
 
@@ -1430,6 +1436,7 @@ impl FleetSim<'_> {
                 collect_observations: feedback.is_some(),
             },
         );
+        state.refresh_dispatch_index(b);
         b
     }
 
@@ -1543,6 +1550,7 @@ impl FleetSim<'_> {
                                 collect_observations: feedback.is_some(),
                             },
                         );
+                        state.refresh_dispatch_index(b2);
                         stats.migrations += 1;
                     }
                     None => {
@@ -1552,6 +1560,7 @@ impl FleetSim<'_> {
                 }
             }
             state.boards[b].set_queued(kept);
+            state.refresh_dispatch_index(b);
         }
     }
 
@@ -1654,6 +1663,7 @@ fn ensure_static_build(
 #[allow(clippy::too_many_arguments)]
 fn fold_delta(
     delta: AdvanceDelta,
+    state: &mut ClusterState,
     stats: &mut KernelStats,
     open: &mut usize,
     outcomes: &mut Vec<JobOutcome>,
@@ -1663,6 +1673,14 @@ fn fold_delta(
     to_s: f64,
     parallel: bool,
 ) {
+    // Shard threads mutate board state (completions pop queues and
+    // start successors) outside the control plane's view; the boards
+    // they touched are exactly the outcome boards, so the dispatch
+    // index is repaired here, at the barrier, before any decision
+    // reads it.
+    for o in &delta.outcomes {
+        state.refresh_dispatch_index(o.board);
+    }
     stats.events += delta.completions;
     stats.completions += delta.completions;
     *open -= delta.completions as usize;

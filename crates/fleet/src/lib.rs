@@ -60,6 +60,7 @@ pub mod chaos;
 pub mod cluster;
 pub mod dispatch;
 pub mod feedback;
+mod index;
 pub mod job;
 pub mod kernel;
 pub mod metrics;

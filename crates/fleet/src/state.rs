@@ -21,6 +21,7 @@
 //!   bursts, estimate error and board churn.
 
 use crate::cluster::ClusterSpec;
+use crate::index::{BoardClass, DispatchIndex};
 use crate::job::{JobOutcome, JobSpec, Taxon};
 use astro_core::schedule::StaticSchedule;
 use std::cell::Cell;
@@ -334,6 +335,12 @@ pub struct ClusterState<'a> {
     placeable: Vec<bool>,
     /// How many entries of `placeable` are true.
     n_placeable: usize,
+    /// Incrementally maintained argmin index over placeable boards
+    /// (see [`crate::index`]). Disabled unless the owner opts in with
+    /// [`ClusterState::rebuild_dispatch_index`] and repairs it at every
+    /// board mutation — the kernel does; hand-built states usually
+    /// leave it off and dispatchers fall back to the reference scan.
+    index: DispatchIndex,
 }
 
 impl<'a> ClusterState<'a> {
@@ -346,6 +353,136 @@ impl<'a> ClusterState<'a> {
             boards: (0..spec.len()).map(|_| BoardState::new()).collect(),
             placeable: vec![true; spec.len()],
             n_placeable: spec.len(),
+            index: DispatchIndex::default(),
+        }
+    }
+
+    /// Enable the dispatch index and (re)build it from the current
+    /// board state. After this, every board mutation made outside
+    /// [`ClusterState`]'s own mutators must be followed by
+    /// [`ClusterState::refresh_dispatch_index`] on the touched board,
+    /// and every clock move must go through the kernel's advance path —
+    /// the contract the event kernel upholds. Indexed picks also assume
+    /// the estimates handed to dispatchers are fanned out per
+    /// architecture class (identical values for boards sharing an
+    /// architecture key), which the kernel's estimate path guarantees.
+    ///
+    /// Fleets smaller than `INDEX_MIN_BOARDS` (32, in `crate::index`)
+    /// keep the index disabled — a linear scan over a few dozen boards
+    /// is cheaper than maintaining the orderings, and both paths pick
+    /// identically, so this is purely a performance threshold.
+    pub fn rebuild_dispatch_index(&mut self) {
+        if self.len() >= crate::index::INDEX_MIN_BOARDS {
+            self.enable_dispatch_index();
+        }
+    }
+
+    /// Unconditionally enable and (re)build the index, regardless of
+    /// fleet size. Tests use this to exercise the indexed paths on
+    /// small hand-built clusters.
+    pub(crate) fn enable_dispatch_index(&mut self) {
+        let mut keys: Vec<&'static str> = Vec::new();
+        let arch_of = (0..self.len())
+            .map(|b| {
+                let k = self.spec.arch_key(b);
+                match keys.iter().position(|&x| x == k) {
+                    Some(i) => i as u16,
+                    None => {
+                        keys.push(k);
+                        (keys.len() - 1) as u16
+                    }
+                }
+            })
+            .collect();
+        self.index.reset(arch_of, keys.len());
+        for b in 0..self.len() {
+            self.refresh_dispatch_index(b);
+        }
+    }
+
+    /// Seed the oracle-mode busy-until accumulator for board `b` and
+    /// repair its dispatch index entry. Support for benches and tests
+    /// that need a loaded fleet without running the kernel (which
+    /// maintains the accumulator itself as it dispatches); only
+    /// meaningful in [`DispatchMode::Oracle`].
+    pub fn seed_oracle_backlog(&mut self, b: usize, busy_until_s: f64) {
+        self.boards[b].oracle_busy_until_s = busy_until_s;
+        self.refresh_dispatch_index(b);
+    }
+
+    /// The dispatch index, when enabled (dispatchers consult this to
+    /// choose the indexed pick path).
+    #[inline]
+    pub(crate) fn dispatch_index(&self) -> Option<&DispatchIndex> {
+        if self.index.enabled {
+            Some(&self.index)
+        } else {
+            None
+        }
+    }
+
+    /// Classify board `b` for the dispatch index from its live state
+    /// (see [`crate::index`] for the class invariants).
+    fn classify_board(&self, b: usize) -> BoardClass {
+        if !self.placeable[b] {
+            return BoardClass::None;
+        }
+        let busy = self.est_busy_until_s(b);
+        if busy <= self.now_s {
+            // Backlog is exactly 0.0 and stays 0.0 as the clock moves:
+            // in online mode `busy <= now` forces the fold base to be
+            // `now` with a zero queue sum, in oracle mode the
+            // accumulator only falls further behind.
+            return BoardClass::Zero {
+                disp_bits: (self.boards[b].dispatched as f64).to_bits(),
+            };
+        }
+        match self.mode {
+            DispatchMode::Oracle => BoardClass::Ordered {
+                busy_bits: busy.to_bits(),
+                ifl_bits: None,
+            },
+            DispatchMode::Online => match &self.boards[b].in_flight {
+                Some(f) if f.est_finish_s >= self.now_s => BoardClass::Ordered {
+                    busy_bits: busy.to_bits(),
+                    ifl_bits: Some(f.est_finish_s.to_bits()),
+                },
+                // A lapsed in-flight estimate (or an idle board with
+                // queued work) folds from `now`: clock-dependent.
+                _ => BoardClass::Stale,
+            },
+        }
+    }
+
+    /// Re-file board `b` in the dispatch index after any mutation that
+    /// can move its busy-until estimate, dispatch count, in-flight
+    /// state or placeability. No-op while the index is disabled.
+    #[inline]
+    pub fn refresh_dispatch_index(&mut self, b: usize) {
+        if !self.index.enabled {
+            return;
+        }
+        let class = self.classify_board(b);
+        self.index.set_class(b, class);
+    }
+
+    /// Advance the virtual clock to at least `time_s`, sweeping the
+    /// dispatch index: ordered boards the clock has caught up with
+    /// reclassify (their backlog just hit zero), and online boards
+    /// whose in-flight estimate has lapsed demote out of the ordered
+    /// class (their busy-until is now clock-dependent). Each board is
+    /// swept at most once per insertion.
+    pub(crate) fn advance_now(&mut self, time_s: f64) {
+        self.now_s = self.now_s.max(time_s);
+        if !self.index.enabled {
+            return;
+        }
+        let now_bits = self.now_s.to_bits();
+        while let Some(b) = self.index.ordered_lapsed(now_bits) {
+            self.refresh_dispatch_index(b);
+        }
+        while let Some(b) = self.index.inflight_lapsed(now_bits) {
+            self.refresh_dispatch_index(b);
         }
     }
 
@@ -380,6 +517,9 @@ impl<'a> ClusterState<'a> {
                 self.n_placeable -= 1;
             }
         }
+        // Placeability edges move boards in and out of the dispatch
+        // index (a board in no class is invisible to indexed picks).
+        self.refresh_dispatch_index(b);
     }
 
     /// Number of boards (up or down).
@@ -441,9 +581,11 @@ impl<'a> ClusterState<'a> {
         self.boards[b].in_flight.as_ref().map(|f| f.taxon)
     }
 
-    /// Taxa queued on board `b`, queue order.
-    pub fn queued_taxa(&self, b: usize) -> Vec<Taxon> {
-        self.boards[b].queued().map(|q| q.job.taxon).collect()
+    /// Taxa queued on board `b`, queue order. Borrows instead of
+    /// collecting — callers that need a `Vec` can `collect()`, hot
+    /// paths iterate allocation-free.
+    pub fn queued_taxa(&self, b: usize) -> impl Iterator<Item = Taxon> + '_ {
+        self.boards[b].queued().map(|q| q.job.taxon)
     }
 
     /// Jobs ever dispatched to board `b`.
@@ -537,7 +679,7 @@ mod tests {
         // Idle board: backlog is the queued estimates (incl. penalties).
         assert!((st.backlog_s(0) - 3.5).abs() < 1e-12);
         assert_eq!(st.queue_depth(0), 2);
-        assert_eq!(st.queued_taxa(0).len(), 2);
+        assert_eq!(st.queued_taxa(0).count(), 2);
         // A stale in-flight estimate clamps to now.
         st.boards[0].in_flight = Some(InFlight {
             id: 9,
