@@ -16,6 +16,7 @@ pub mod fleet;
 pub mod fleet_chaos;
 pub mod fleet_churn;
 pub mod fleet_million;
+pub mod fleet_resident;
 pub mod fleet_scale;
 pub mod fleet_trace;
 pub mod table1;

@@ -6,12 +6,27 @@
 //! bursty regime that replays coordinated traffic spikes — a trace-like
 //! pattern of Poisson burst starts, each releasing a volley of jobs.
 //! Same seed ⇒ byte-identical stream.
+//!
+//! Streams can be consumed two ways. The batch path
+//! ([`ArrivalProcess::generate`]) materialises a `Vec<JobSpec>`. The
+//! resident path pulls jobs one at a time through an [`ArrivalCursor`]
+//! — [`GenCursor`] regenerates the *exact same* sequence lazily in
+//! O(1) memory (traffic warps applied per pull), [`SliceCursor`] wraps
+//! a materialised slice, and [`TraceCursor`] streams a line-delimited
+//! external trace file. Cursor positions are checkpointable
+//! ([`ArrivalCursor::save`]), which is what lets the resident kernel
+//! resume mid-stream bit-identically.
 
 use crate::chaos::{traffic_breakpoints, TrafficClause};
-use crate::job::{taxon_of, JobSpec, Taxon};
+use crate::checkpoint::{CheckpointError, CursorState};
+use crate::job::{taxon_of, JobClass, JobSpec, Taxon};
 use astro_workloads::{InputSize, Workload};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io::{self, BufRead, Write};
+use std::path::{Path, PathBuf};
 
 /// How jobs arrive over time.
 #[derive(Clone, Copy, Debug)]
@@ -65,14 +80,7 @@ impl ArrivalProcess {
         slo_tightness: (f64, f64),
         seed: u64,
     ) -> Vec<JobSpec> {
-        assert!(!pool.is_empty(), "workload pool must not be empty");
-        let (lo, hi) = slo_tightness;
-        assert!(
-            lo > 0.0 && lo.is_finite() && hi.is_finite() && hi >= lo,
-            "invalid arrival stream: SLO tightness range ({lo}, {hi}) must be positive, \
-             finite and ordered — a job with slo_s <= 0 can never meet its deadline and \
-             would corrupt the SLO-ratio metrics"
-        );
+        validate_stream(pool, slo_tightness);
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xA1217_F1EE7);
         // Classify each pool entry once (module construction is not free).
         let taxa: Vec<Taxon> = pool.iter().map(|w| taxon_of(&(w.build)(size))).collect();
@@ -200,6 +208,587 @@ impl ArrivalProcess {
 fn exponential(rng: &mut SmallRng, rate: f64) -> f64 {
     let u: f64 = rng.gen_range(0.0..1.0);
     -(1.0 - u).ln() / rate
+}
+
+/// Shared stream validation (batch and cursor construction): non-empty
+/// pool, positive finite ordered SLO tightness.
+fn validate_stream(pool: &[Workload], slo_tightness: (f64, f64)) {
+    assert!(!pool.is_empty(), "workload pool must not be empty");
+    let (lo, hi) = slo_tightness;
+    assert!(
+        lo > 0.0 && lo.is_finite() && hi.is_finite() && hi >= lo,
+        "invalid arrival stream: SLO tightness range ({lo}, {hi}) must be positive, \
+         finite and ordered — a job with slo_s <= 0 can never meet its deadline and \
+         would corrupt the SLO-ratio metrics"
+    );
+}
+
+/// A pull-based job stream: the resident kernel's replacement for a
+/// materialised `Vec<JobSpec>`. Implementations promise that the pull
+/// sequence is **bitwise identical** to the batch sequence the same
+/// configuration would have materialised (ids, arrival times, seeds,
+/// SLO draws — everything), and that a [`save`](ArrivalCursor::save)d
+/// position restored with [`load`](ArrivalCursor::load) resumes that
+/// exact sequence.
+pub trait ArrivalCursor {
+    /// Pulls the next job, or `None` when the stream is exhausted.
+    fn next_job(&mut self) -> Option<JobSpec>;
+
+    /// Total jobs this stream delivers over its lifetime.
+    fn total(&self) -> usize;
+
+    /// Jobs already pulled.
+    fn position(&self) -> usize;
+
+    /// The distinct workloads the stream can emit, first-appearance
+    /// order (the kernel compiles stock binaries and calibrates replay
+    /// tiers for exactly these).
+    fn workloads(&self) -> Vec<Workload>;
+
+    /// Snapshots the stream position for a checkpoint.
+    fn save(&self) -> CursorState;
+
+    /// Restores a [`save`](ArrivalCursor::save)d position. Structurally
+    /// impossible states (position past the end, oversized merge heap)
+    /// are rejected with a [`CheckpointError`], never applied.
+    fn load(&mut self, s: &CursorState) -> Result<(), CheckpointError>;
+}
+
+/// An [`ArrivalCursor`] over an already-materialised job slice — the
+/// adapter that runs the batch entry points through the resident
+/// kernel, so both paths share one loop.
+pub struct SliceCursor<'a> {
+    jobs: &'a [JobSpec],
+    pos: usize,
+}
+
+impl<'a> SliceCursor<'a> {
+    /// Wraps a materialised stream.
+    pub fn new(jobs: &'a [JobSpec]) -> Self {
+        SliceCursor { jobs, pos: 0 }
+    }
+}
+
+impl ArrivalCursor for SliceCursor<'_> {
+    fn next_job(&mut self) -> Option<JobSpec> {
+        let j = self.jobs.get(self.pos).copied()?;
+        self.pos += 1;
+        Some(j)
+    }
+
+    fn total(&self) -> usize {
+        self.jobs.len()
+    }
+
+    fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn workloads(&self) -> Vec<Workload> {
+        let mut out: Vec<Workload> = Vec::new();
+        for j in self.jobs {
+            if !out.iter().any(|w| w.name == j.workload.name) {
+                out.push(j.workload);
+            }
+        }
+        out
+    }
+
+    fn save(&self) -> CursorState {
+        CursorState {
+            pos: self.pos as u64,
+            ..CursorState::default()
+        }
+    }
+
+    fn load(&mut self, s: &CursorState) -> Result<(), CheckpointError> {
+        if s.pos as usize > self.jobs.len() {
+            return Err(CheckpointError::Corrupt("cursor position past stream end"));
+        }
+        self.pos = s.pos as usize;
+        Ok(())
+    }
+}
+
+/// The lazy traffic-warp table: piecewise-constant intensity segments
+/// and their cumulative weights, exactly as
+/// [`ArrivalProcess::generate_shaped`] builds them.
+struct WarpTable {
+    /// `(start_fraction, multiplier)` segments over `[0, 1]`.
+    segs: Vec<(f64, f64)>,
+    /// `cum[j] = ∫₀^{segs[j].0} m` plus a final total entry.
+    cum: Vec<f64>,
+    /// Total weight `∫₀¹ m`.
+    total: f64,
+}
+
+impl WarpTable {
+    fn new(traffic: &[TrafficClause]) -> Self {
+        let segs = traffic_breakpoints(traffic);
+        let mut cum = Vec::with_capacity(segs.len() + 1);
+        cum.push(0.0);
+        for j in 0..segs.len() {
+            let end = if j + 1 < segs.len() {
+                segs[j + 1].0
+            } else {
+                1.0
+            };
+            cum.push(cum[j] + segs[j].1 * (end - segs[j].0));
+        }
+        let total = *cum.last().unwrap();
+        WarpTable { segs, cum, total }
+    }
+}
+
+/// A streaming [`ArrivalCursor`] over a seeded generator: regenerates
+/// the exact sequence [`ArrivalProcess::generate_shaped`] would have
+/// materialised, one job per pull, in O(1) memory (O(burst) for the
+/// bursty regime's merge heap).
+///
+/// Two generator streams share one seed expansion: construction
+/// fast-forwards a clone of the seeded RNG through all `n`
+/// arrival-time draws (discarding values, recording the horizon), which
+/// positions the per-job draw stream exactly where the batch path's
+/// post-sort draws begin; a second, freshly seeded RNG then re-draws
+/// arrival times lazily. Poisson times are already sorted; bursty times
+/// are merged through a min-heap bounded by the burst-base frontier
+/// (no future burst can land before the most recent base, and ties are
+/// value-equal, so emission order matches the batch sort bitwise).
+pub struct GenCursor {
+    process: ArrivalProcess,
+    n: usize,
+    pool: Vec<Workload>,
+    taxa: Vec<Taxon>,
+    slo_tightness: (f64, f64),
+    seed: u64,
+    /// Lazy arrival-time regeneration stream.
+    rng_t: SmallRng,
+    /// Per-job draw stream, positioned after all time draws.
+    rng_j: SmallRng,
+    /// Jobs emitted so far (also the next job's id).
+    pos: usize,
+    /// Arrival times drawn from `rng_t` so far.
+    drawn: usize,
+    /// Running burst base (bursty) / running time (poisson).
+    frontier: f64,
+    /// Generated-but-not-emitted times (bursty), as non-negative IEEE
+    /// bits (bit order == numeric order for non-negative floats).
+    heap: BinaryHeap<Reverse<u64>>,
+    /// Last arrival of the full stream (known at construction).
+    horizon: f64,
+    /// Lazy warp, when traffic clauses are active.
+    warp: Option<WarpTable>,
+    /// Forward segment pointer of the warp (arrivals are emitted in
+    /// sorted order, so it only moves right — same as the batch path).
+    warp_seg: usize,
+}
+
+impl GenCursor {
+    /// Builds a cursor equivalent to
+    /// [`ArrivalProcess::generate_shaped`]`(n, pool, size, slo_tightness,
+    /// seed, traffic)`. Pass no traffic clauses for the plain
+    /// [`generate`](ArrivalProcess::generate) sequence.
+    ///
+    /// # Panics
+    ///
+    /// On an empty pool or an invalid SLO tightness range, exactly as
+    /// the batch path does.
+    pub fn new(
+        process: ArrivalProcess,
+        n: usize,
+        pool: &[Workload],
+        size: InputSize,
+        slo_tightness: (f64, f64),
+        seed: u64,
+        traffic: &[TrafficClause],
+    ) -> Self {
+        validate_stream(pool, slo_tightness);
+        let taxa: Vec<Taxon> = pool.iter().map(|w| taxon_of(&(w.build)(size))).collect();
+        // Fast-forward a clone of the seeded stream through every
+        // arrival-time draw — the exact loop `arrival_times` runs —
+        // recording only the maximum (the sorted stream's last entry).
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xA1217_F1EE7);
+        let mut horizon = 0.0f64;
+        match process {
+            ArrivalProcess::Poisson { rate_jobs_per_s } => {
+                assert!(rate_jobs_per_s > 0.0);
+                let mut t = 0.0;
+                for _ in 0..n {
+                    t += exponential(&mut rng, rate_jobs_per_s);
+                }
+                horizon = t;
+            }
+            ArrivalProcess::Bursty {
+                rate_jobs_per_s,
+                burst,
+                spread_s,
+            } => {
+                assert!(rate_jobs_per_s > 0.0 && burst > 0);
+                let burst_rate = rate_jobs_per_s / burst as f64;
+                let mut t = 0.0;
+                let mut len = 0usize;
+                while len < n {
+                    t += exponential(&mut rng, burst_rate);
+                    for _ in 0..burst.min(n - len) {
+                        let v = t + rng.gen_range(0.0..spread_s.max(1e-9));
+                        if v > horizon {
+                            horizon = v;
+                        }
+                        len += 1;
+                    }
+                }
+            }
+        }
+        let warp = if !traffic.is_empty() && n > 0 && horizon > 0.0 {
+            Some(WarpTable::new(traffic))
+        } else {
+            None
+        };
+        GenCursor {
+            process,
+            n,
+            pool: pool.to_vec(),
+            taxa,
+            slo_tightness,
+            seed,
+            rng_t: SmallRng::seed_from_u64(seed ^ 0xA1217_F1EE7),
+            rng_j: rng,
+            pos: 0,
+            drawn: 0,
+            frontier: 0.0,
+            heap: BinaryHeap::new(),
+            horizon,
+            warp,
+            warp_seg: 0,
+        }
+    }
+
+    /// The next arrival time in sorted order (caller guarantees
+    /// `pos < n`).
+    fn next_time(&mut self) -> f64 {
+        match self.process {
+            ArrivalProcess::Poisson { rate_jobs_per_s } => {
+                self.frontier += exponential(&mut self.rng_t, rate_jobs_per_s);
+                self.drawn += 1;
+                self.frontier
+            }
+            ArrivalProcess::Bursty {
+                rate_jobs_per_s,
+                burst,
+                spread_s,
+            } => {
+                let burst_rate = rate_jobs_per_s / burst as f64;
+                loop {
+                    if let Some(&Reverse(min_bits)) = self.heap.peek() {
+                        // Every not-yet-generated job lands at or after
+                        // the current burst base, so a pending time at
+                        // or before the frontier is globally minimal
+                        // (ties are value-equal and therefore
+                        // order-insensitive).
+                        if self.drawn >= self.n || f64::from_bits(min_bits) <= self.frontier {
+                            self.heap.pop();
+                            return f64::from_bits(min_bits);
+                        }
+                    }
+                    debug_assert!(self.drawn < self.n, "heap empty with stream unfinished");
+                    self.frontier += exponential(&mut self.rng_t, burst_rate);
+                    for _ in 0..burst.min(self.n - self.drawn) {
+                        let v = self.frontier + self.rng_t.gen_range(0.0..spread_s.max(1e-9));
+                        self.heap.push(Reverse(v.to_bits()));
+                        self.drawn += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies the lazy traffic warp: the same W⁻¹ map
+    /// [`ArrivalProcess::generate_shaped`] applies post-hoc, with the
+    /// same monotone forward pointer.
+    fn warp_time(&mut self, raw: f64) -> f64 {
+        let Some(w) = &self.warp else { return raw };
+        let target = (raw / self.horizon).clamp(0.0, 1.0) * w.total;
+        if target >= w.total {
+            return self.horizon;
+        }
+        while self.warp_seg + 1 < w.segs.len() && w.cum[self.warp_seg + 1] <= target {
+            self.warp_seg += 1;
+        }
+        let q = w.segs[self.warp_seg].0 + (target - w.cum[self.warp_seg]) / w.segs[self.warp_seg].1;
+        (q * self.horizon).min(self.horizon)
+    }
+}
+
+impl ArrivalCursor for GenCursor {
+    fn next_job(&mut self) -> Option<JobSpec> {
+        if self.pos >= self.n {
+            return None;
+        }
+        let raw = self.next_time();
+        let arrival_s = self.warp_time(raw);
+        let k = self.rng_j.gen_range(0..self.pool.len());
+        let (lo, hi) = self.slo_tightness;
+        let slo = if hi > lo {
+            self.rng_j.gen_range(lo..hi)
+        } else {
+            lo
+        };
+        let i = self.pos;
+        self.pos += 1;
+        Some(JobSpec {
+            id: i as u32,
+            workload: self.pool[k],
+            taxon: self.taxa[k],
+            arrival_s,
+            slo_tightness: slo,
+            seed: self
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64),
+        })
+    }
+
+    fn total(&self) -> usize {
+        self.n
+    }
+
+    fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn workloads(&self) -> Vec<Workload> {
+        self.pool.clone()
+    }
+
+    fn save(&self) -> CursorState {
+        let mut heap_bits: Vec<u64> = self.heap.iter().map(|r| r.0).collect();
+        heap_bits.sort_unstable();
+        CursorState {
+            pos: self.pos as u64,
+            rng_t: self.rng_t.state(),
+            rng_j: self.rng_j.state(),
+            heap_bits,
+            frontier_bits: self.frontier.to_bits(),
+            drawn: self.drawn as u64,
+            warp_seg: self.warp_seg as u64,
+        }
+    }
+
+    fn load(&mut self, s: &CursorState) -> Result<(), CheckpointError> {
+        if s.pos > self.n as u64 || s.drawn > self.n as u64 || s.pos > s.drawn {
+            return Err(CheckpointError::Corrupt("cursor position past stream end"));
+        }
+        if s.heap_bits.len() as u64 != s.drawn - s.pos {
+            return Err(CheckpointError::Corrupt(
+                "cursor merge heap inconsistent with position",
+            ));
+        }
+        if let Some(w) = &self.warp {
+            if s.warp_seg as usize >= w.segs.len() {
+                return Err(CheckpointError::Corrupt(
+                    "warp segment pointer out of range",
+                ));
+            }
+        } else if s.warp_seg != 0 {
+            return Err(CheckpointError::Corrupt(
+                "warp segment pointer without warp",
+            ));
+        }
+        self.pos = s.pos as usize;
+        self.drawn = s.drawn as usize;
+        self.rng_t = SmallRng::from_state(s.rng_t);
+        self.rng_j = SmallRng::from_state(s.rng_j);
+        self.frontier = f64::from_bits(s.frontier_bits);
+        self.heap = s.heap_bits.iter().map(|&b| Reverse(b)).collect();
+        self.warp_seg = s.warp_seg as usize;
+        Ok(())
+    }
+}
+
+/// Writes a stream as a line-delimited external trace [`TraceCursor`]
+/// can replay. One job per line, space-separated:
+/// `workload arrival_bits_hex slo_bits_hex seed class_index signature`
+/// — floats as raw IEEE bit patterns, so the round-trip is lossless to
+/// the last bit. Job ids are implicit stream positions, exactly as
+/// generated streams number them.
+pub fn write_trace<W: Write>(mut w: W, jobs: &[JobSpec]) -> io::Result<()> {
+    for j in jobs {
+        let class_idx = JobClass::ALL
+            .iter()
+            .position(|c| *c == j.taxon.class)
+            .expect("JobClass::ALL covers every class");
+        writeln!(
+            w,
+            "{} {:016x} {:016x} {} {} {}",
+            j.workload.name,
+            j.arrival_s.to_bits(),
+            j.slo_tightness.to_bits(),
+            j.seed,
+            class_idx,
+            j.taxon.signature
+        )?;
+    }
+    Ok(())
+}
+
+/// A streaming [`ArrivalCursor`] over a [`write_trace`]-format file:
+/// one buffered line per pull, O(1) memory however long the trace is.
+///
+/// Malformed lines and unknown workload names panic with the offending
+/// line number — a trace file is an input artefact, and replaying a
+/// corrupt one deterministically wrong would be worse than stopping.
+pub struct TraceCursor {
+    path: PathBuf,
+    reader: io::BufReader<std::fs::File>,
+    pos: usize,
+    total: usize,
+    pool: Vec<Workload>,
+}
+
+impl TraceCursor {
+    /// Opens a trace file, scanning it once to count jobs and collect
+    /// the distinct workloads (the kernel needs both up front).
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut total = 0usize;
+        let mut pool: Vec<Workload> = Vec::new();
+        for (ln, line) in io::BufReader::new(std::fs::File::open(path)?)
+            .lines()
+            .enumerate()
+        {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            total += 1;
+            let name = line
+                .split_whitespace()
+                .next()
+                .unwrap_or_else(|| panic!("trace line {} is empty", ln + 1));
+            if !pool.iter().any(|w| w.name == name) {
+                pool.push(astro_workloads::by_name(name).unwrap_or_else(|| {
+                    panic!("trace line {} names unknown workload {name:?}", ln + 1)
+                }));
+            }
+        }
+        Ok(TraceCursor {
+            path: path.to_path_buf(),
+            reader: io::BufReader::new(std::fs::File::open(path)?),
+            pos: 0,
+            total,
+            pool,
+        })
+    }
+
+    fn parse_line(&self, line: &str, id: usize) -> JobSpec {
+        let mut f = line.split_whitespace();
+        let mut field = |what: &str| {
+            f.next()
+                .unwrap_or_else(|| panic!("trace job {id}: missing {what}"))
+                .to_string()
+        };
+        let name = field("workload");
+        let arrival_bits = u64::from_str_radix(&field("arrival bits"), 16)
+            .unwrap_or_else(|e| panic!("trace job {id}: bad arrival bits: {e}"));
+        let slo_bits = u64::from_str_radix(&field("slo bits"), 16)
+            .unwrap_or_else(|e| panic!("trace job {id}: bad slo bits: {e}"));
+        let seed: u64 = field("seed")
+            .parse()
+            .unwrap_or_else(|e| panic!("trace job {id}: bad seed: {e}"));
+        let class_idx: usize = field("class index")
+            .parse()
+            .unwrap_or_else(|e| panic!("trace job {id}: bad class index: {e}"));
+        let signature: u8 = field("signature")
+            .parse()
+            .unwrap_or_else(|e| panic!("trace job {id}: bad signature: {e}"));
+        assert!(
+            class_idx < JobClass::ALL.len(),
+            "trace job {id}: class index {class_idx} out of range"
+        );
+        let workload = self
+            .pool
+            .iter()
+            .find(|w| w.name == name)
+            .copied()
+            .unwrap_or_else(|| panic!("trace job {id}: unknown workload {name:?}"));
+        JobSpec {
+            id: id as u32,
+            workload,
+            taxon: Taxon {
+                class: JobClass::ALL[class_idx],
+                signature,
+            },
+            arrival_s: f64::from_bits(arrival_bits),
+            slo_tightness: f64::from_bits(slo_bits),
+            seed,
+        }
+    }
+
+    /// Reads the next non-empty line, or `None` at end of file.
+    fn next_line(&mut self) -> Option<String> {
+        loop {
+            let mut line = String::new();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .unwrap_or_else(|e| panic!("trace read failed: {e}"));
+            if n == 0 {
+                return None;
+            }
+            if !line.trim().is_empty() {
+                return Some(line);
+            }
+        }
+    }
+}
+
+impl ArrivalCursor for TraceCursor {
+    fn next_job(&mut self) -> Option<JobSpec> {
+        if self.pos >= self.total {
+            return None;
+        }
+        let line = self.next_line()?;
+        let job = self.parse_line(&line, self.pos);
+        self.pos += 1;
+        Some(job)
+    }
+
+    fn total(&self) -> usize {
+        self.total
+    }
+
+    fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn workloads(&self) -> Vec<Workload> {
+        self.pool.clone()
+    }
+
+    fn save(&self) -> CursorState {
+        CursorState {
+            pos: self.pos as u64,
+            ..CursorState::default()
+        }
+    }
+
+    fn load(&mut self, s: &CursorState) -> Result<(), CheckpointError> {
+        if s.pos as usize > self.total {
+            return Err(CheckpointError::Corrupt("cursor position past stream end"));
+        }
+        // Reopen and skip: the trace is the source of truth, and a
+        // linear re-scan is exact however the file is buffered.
+        let file = std::fs::File::open(&self.path)
+            .map_err(|_| CheckpointError::Corrupt("trace file vanished before resume"))?;
+        self.reader = io::BufReader::new(file);
+        self.pos = 0;
+        for _ in 0..s.pos {
+            if self.next_line().is_none() {
+                return Err(CheckpointError::Corrupt("trace file shrank before resume"));
+            }
+            self.pos += 1;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -378,5 +967,159 @@ mod tests {
         for (i, j) in jobs.iter().enumerate() {
             assert_eq!(j.id as usize, i);
         }
+    }
+
+    fn assert_same_stream(batch: &[JobSpec], cursor: &mut dyn ArrivalCursor) {
+        assert_eq!(cursor.total(), batch.len());
+        for (i, want) in batch.iter().enumerate() {
+            let got = cursor
+                .next_job()
+                .unwrap_or_else(|| panic!("cursor ended at {i}"));
+            assert_eq!(got.id, want.id, "id at {i}");
+            assert_eq!(got.workload.name, want.workload.name, "workload at {i}");
+            assert_eq!(got.taxon, want.taxon, "taxon at {i}");
+            assert_eq!(
+                got.arrival_s.to_bits(),
+                want.arrival_s.to_bits(),
+                "arrival at {i}"
+            );
+            assert_eq!(
+                got.slo_tightness.to_bits(),
+                want.slo_tightness.to_bits(),
+                "slo at {i}"
+            );
+            assert_eq!(got.seed, want.seed, "seed at {i}");
+        }
+        assert!(cursor.next_job().is_none(), "cursor overruns the stream");
+    }
+
+    #[test]
+    fn gen_cursor_matches_batch_poisson_and_bursty() {
+        let procs = [
+            ArrivalProcess::Poisson {
+                rate_jobs_per_s: 120.0,
+            },
+            ArrivalProcess::Bursty {
+                rate_jobs_per_s: 150.0,
+                burst: 8,
+                spread_s: 0.01,
+            },
+        ];
+        for p in procs {
+            let batch = p.generate(200, &pool(), InputSize::Test, (3.0, 6.0), 41);
+            let mut cur = GenCursor::new(p, 200, &pool(), InputSize::Test, (3.0, 6.0), 41, &[]);
+            assert_same_stream(&batch, &mut cur);
+        }
+    }
+
+    #[test]
+    fn gen_cursor_matches_batch_under_traffic_warps() {
+        let p = ArrivalProcess::Bursty {
+            rate_jobs_per_s: 150.0,
+            burst: 8,
+            spread_s: 0.01,
+        };
+        let traffic = [
+            TrafficClause::FlashCrowd {
+                from_frac: 0.4,
+                to_frac: 0.6,
+                factor: 6.0,
+            },
+            TrafficClause::Diurnal {
+                cycles: 2.0,
+                depth: 0.7,
+                steps: 16,
+            },
+        ];
+        let batch = p.generate_shaped(300, &pool(), InputSize::Test, (3.0, 6.0), 9, &traffic);
+        let mut cur = GenCursor::new(p, 300, &pool(), InputSize::Test, (3.0, 6.0), 9, &traffic);
+        assert_same_stream(&batch, &mut cur);
+    }
+
+    #[test]
+    fn gen_cursor_save_load_resumes_exactly() {
+        let p = ArrivalProcess::Bursty {
+            rate_jobs_per_s: 150.0,
+            burst: 8,
+            spread_s: 0.01,
+        };
+        let batch = p.generate(120, &pool(), InputSize::Test, (3.0, 6.0), 13);
+        for cut in [0usize, 1, 37, 119, 120] {
+            let mut cur = GenCursor::new(p, 120, &pool(), InputSize::Test, (3.0, 6.0), 13, &[]);
+            for _ in 0..cut {
+                cur.next_job().unwrap();
+            }
+            let saved = cur.save();
+            let mut resumed = GenCursor::new(p, 120, &pool(), InputSize::Test, (3.0, 6.0), 13, &[]);
+            resumed.load(&saved).unwrap();
+            assert_same_stream(&batch[cut..], &mut SliceCursor::new(&batch[cut..]));
+            for (i, want) in batch[cut..].iter().enumerate() {
+                let got = resumed.next_job().unwrap();
+                assert_eq!(got.arrival_s.to_bits(), want.arrival_s.to_bits(), "at {i}");
+                assert_eq!(got.seed, want.seed);
+                assert_eq!(got.id, want.id);
+            }
+            assert!(resumed.next_job().is_none());
+        }
+    }
+
+    #[test]
+    fn gen_cursor_rejects_impossible_positions() {
+        let p = ArrivalProcess::Poisson {
+            rate_jobs_per_s: 50.0,
+        };
+        let mut cur = GenCursor::new(p, 10, &pool(), InputSize::Test, (3.0, 5.0), 1, &[]);
+        let mut s = cur.save();
+        s.pos = 11;
+        assert!(cur.load(&s).is_err());
+        let mut s = cur.save();
+        s.heap_bits.push(7);
+        assert!(cur.load(&s).is_err());
+    }
+
+    #[test]
+    fn trace_round_trips_losslessly() {
+        let p = ArrivalProcess::Bursty {
+            rate_jobs_per_s: 150.0,
+            burst: 8,
+            spread_s: 0.01,
+        };
+        let batch = p.generate(150, &pool(), InputSize::Test, (3.0, 6.0), 17);
+        let dir = std::env::temp_dir().join(format!("astro_trace_rt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.trace");
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &batch).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut cur = TraceCursor::open(&path).unwrap();
+        assert_same_stream(&batch, &mut cur);
+
+        // save/load mid-stream.
+        let mut cur = TraceCursor::open(&path).unwrap();
+        for _ in 0..77 {
+            cur.next_job().unwrap();
+        }
+        let saved = cur.save();
+        let mut resumed = TraceCursor::open(&path).unwrap();
+        resumed.load(&saved).unwrap();
+        for want in &batch[77..] {
+            let got = resumed.next_job().unwrap();
+            assert_eq!(got.arrival_s.to_bits(), want.arrival_s.to_bits());
+            assert_eq!(got.seed, want.seed);
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn slice_cursor_is_the_identity_adapter() {
+        let p = ArrivalProcess::Poisson {
+            rate_jobs_per_s: 50.0,
+        };
+        let batch = p.generate(20, &pool(), InputSize::Test, (3.0, 5.0), 1);
+        let mut cur = SliceCursor::new(&batch);
+        assert_eq!(cur.workloads().len(), 2);
+        assert_same_stream(&batch, &mut cur);
     }
 }

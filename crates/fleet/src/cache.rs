@@ -261,6 +261,94 @@ impl PolicyCache {
         self.entries.get(&(taxon, arch))
     }
 
+    /// Serialise the full cache for a kernel checkpoint: configuration,
+    /// clock, accounting, live lines (with LRU stamps) and retired
+    /// version watermarks, all in deterministic `BTreeMap` order.
+    pub(crate) fn encode(&self, enc: &mut crate::checkpoint::Enc) {
+        enc.u32(self.staleness_limit);
+        enc.usize(self.capacity);
+        enc.u64(self.clock);
+        enc.u64(self.stats.lookups);
+        enc.u64(self.stats.hits);
+        enc.u64(self.stats.misses);
+        enc.u64(self.stats.stale_refreshes);
+        enc.u64(self.stats.evictions);
+        enc.u64(self.stats.evicted_refreshes);
+        enc.usize(self.entries.len());
+        for (&(taxon, arch), e) in &self.entries {
+            crate::checkpoint::enc_taxon(enc, taxon);
+            enc.str(arch);
+            crate::checkpoint::enc_schedule(enc, &e.schedule);
+            crate::checkpoint::enc_snapshot(enc, &e.snapshot);
+            enc.u32(e.version);
+            enc.u32(e.uses);
+            enc.u64(e.last_use);
+        }
+        enc.usize(self.retired_versions.len());
+        for (&(taxon, arch), &v) in &self.retired_versions {
+            crate::checkpoint::enc_taxon(enc, taxon);
+            enc.str(arch);
+            enc.u32(v);
+        }
+    }
+
+    /// Decode a cache serialised by [`PolicyCache::encode`].
+    pub(crate) fn decode(
+        dec: &mut crate::checkpoint::Dec<'_>,
+        arch_keys: &[&'static str],
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        let staleness_limit = dec.u32()?;
+        let capacity = dec.usize()?;
+        let clock = dec.u64()?;
+        let stats = CacheStats {
+            lookups: dec.u64()?,
+            hits: dec.u64()?,
+            misses: dec.u64()?,
+            stale_refreshes: dec.u64()?,
+            evictions: dec.u64()?,
+            evicted_refreshes: dec.u64()?,
+        };
+        let n = dec.count(8)?;
+        let mut entries = BTreeMap::new();
+        for _ in 0..n {
+            let taxon = crate::checkpoint::dec_taxon(dec)?;
+            let arch = dec.str()?;
+            let arch = crate::checkpoint::resolve_arch(arch_keys, &arch)?;
+            let entry = PolicyEntry {
+                schedule: crate::checkpoint::dec_schedule(dec)?,
+                snapshot: crate::checkpoint::dec_snapshot(dec)?,
+                version: dec.u32()?,
+                uses: dec.u32()?,
+                last_use: dec.u64()?,
+            };
+            if entries.insert((taxon, arch), entry).is_some() {
+                return Err(CheckpointError::Corrupt("duplicate cache line"));
+            }
+        }
+        if capacity > 0 && entries.len() > capacity {
+            return Err(CheckpointError::Corrupt("cache lines exceed capacity"));
+        }
+        let n = dec.count(8)?;
+        let mut retired_versions = BTreeMap::new();
+        for _ in 0..n {
+            let taxon = crate::checkpoint::dec_taxon(dec)?;
+            let arch = dec.str()?;
+            let arch = crate::checkpoint::resolve_arch(arch_keys, &arch)?;
+            if retired_versions.insert((taxon, arch), dec.u32()?).is_some() {
+                return Err(CheckpointError::Corrupt("duplicate retired version"));
+            }
+        }
+        Ok(PolicyCache {
+            entries,
+            retired_versions,
+            staleness_limit,
+            capacity,
+            clock,
+            stats,
+        })
+    }
+
     /// Entries currently cached.
     pub fn len(&self) -> usize {
         self.entries.len()

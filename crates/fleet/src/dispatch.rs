@@ -97,8 +97,10 @@ impl LeastLoaded {
     /// exactly zero, (b) the head equal-backlog group of the ordered
     /// class (backlog order is busy-until order; equal backlogs are
     /// contiguous because `x ↦ (x - now).max(0)` is monotone), and
-    /// (c) every stale board, evaluated exactly. Candidates are then
-    /// compared with the exact scan key.
+    /// (c) the head equal-backlog group of the stale view (sorted by
+    /// exact backlog bits at the current clock), or every stale board
+    /// when the set is small. Candidates are then compared with the
+    /// exact scan key.
     fn pick_indexed(&self, state: &ClusterState, idx: &DispatchIndex) -> usize {
         let mut best: Option<(f64, f64, usize)> = None;
         let consider = |best: &mut Option<(f64, f64, usize)>, b: usize| {
@@ -121,8 +123,29 @@ impl LeastLoaded {
                 consider(&mut best, b);
             }
         }
-        for b in idx.stale_iter() {
-            consider(&mut best, b);
+        match idx.stale_view(state.now_s.to_bits(), |b| state.backlog_s(b).to_bits()) {
+            None => {
+                for b in idx.stale_iter() {
+                    consider(&mut best, b);
+                }
+            }
+            Some(view) => {
+                // Sorted by exact backlog bits: the argmin's backlog
+                // is the head's, and equal backlogs are contiguous
+                // (bit order is numeric order on non-negative values),
+                // so the head group covers every dispatched/board
+                // tie-break candidate.
+                let mut it = view.all().iter();
+                if let Some(&(bl0, b0)) = it.next() {
+                    consider(&mut best, b0 as usize);
+                    for &(bl, b) in it {
+                        if bl != bl0 {
+                            break;
+                        }
+                        consider(&mut best, b as usize);
+                    }
+                }
+            }
         }
         best.expect("at least one board is placeable").2
     }
@@ -175,15 +198,30 @@ impl EnergyAware {
     /// ordered set (or its lowest-indexed zero-class board, which is
     /// always feasible since its backlog is zero). The fleet-minimum
     /// backlog itself is an order-independent `f64::min` fold, so it
-    /// is reconstructed exactly from the class heads. Stale boards are
-    /// evaluated exactly; candidates compare with the exact scan key.
+    /// is reconstructed exactly from the class heads. Stale boards go
+    /// through the per-clock view (per-architecture head equal-finish
+    /// groups, with the same head-infeasibility cutoff as the ordered
+    /// class) or, for small sets, an exact walk; candidates compare
+    /// with the exact scan key.
     fn pick_indexed(&self, state: &ClusterState, est: &JobEstimates, idx: &DispatchIndex) -> usize {
+        let stale_view = idx.stale_view(state.now_s.to_bits(), |b| state.backlog_s(b).to_bits());
         let mut min_backlog = if idx.has_zero() { 0.0 } else { f64::INFINITY };
         if let Some(b) = idx.ordered_iter().next() {
             min_backlog = min_backlog.min(state.backlog_s(b));
         }
-        for b in idx.stale_iter() {
-            min_backlog = min_backlog.min(state.backlog_s(b));
+        match &stale_view {
+            None => {
+                for b in idx.stale_iter() {
+                    min_backlog = min_backlog.min(state.backlog_s(b));
+                }
+            }
+            Some(view) => {
+                // The min over the stale class is the view head's
+                // exact value (an `f64::min` fold is order-free).
+                if let Some(&(bl0, _)) = view.all().first() {
+                    min_backlog = min_backlog.min(f64::from_bits(bl0));
+                }
+            }
         }
         let mut best: Option<(f64, f64, usize)> = None;
         let consider = |best: &mut Option<(f64, f64, usize)>, b: usize| {
@@ -216,8 +254,37 @@ impl EnergyAware {
                 }
             }
         }
-        for b in idx.stale_iter() {
-            consider(&mut best, b);
+        match &stale_view {
+            None => {
+                for b in idx.stale_iter() {
+                    consider(&mut best, b);
+                }
+            }
+            Some(view) => {
+                for a in 0..idx.n_arch() {
+                    let mut it = view.arch(a).iter();
+                    if let Some(&(bl0, b0)) = it.next() {
+                        let b0 = b0 as usize;
+                        let bl0 = f64::from_bits(bl0);
+                        // Backlog is non-decreasing along the view
+                        // order and energy/service are per-class
+                        // constants, so the class winner is in the
+                        // head equal-finish group — and when the head
+                        // is infeasible, so is every later board.
+                        if bl0 <= min_backlog + est.service_s[b0] {
+                            let f0 = state.now_s + bl0 + est.service_s[b0];
+                            consider(&mut best, b0);
+                            for &(bl, b) in it {
+                                let b = b as usize;
+                                if state.now_s + f64::from_bits(bl) + est.service_s[b] != f0 {
+                                    break;
+                                }
+                                consider(&mut best, b);
+                            }
+                        }
+                    }
+                }
+            }
         }
         best.expect("some board is up").2
     }
@@ -314,8 +381,13 @@ impl PhaseAware {
     /// Pass 2's key `(mismatch, cold, finish, board)` is constant per
     /// class in its first two terms, so each class's tie-band winner
     /// is its pass-1 champion when that champion makes the band — no
-    /// other class member can. Stale boards are evaluated exactly in
-    /// both passes; all comparisons use the exact scan expressions.
+    /// other class member can. Stale boards join through the per-clock
+    /// view: within a class their finish is monotone in backlog too,
+    /// so each class's stale winner is in the head equal-finish group
+    /// of its view ordering and folds into the class champion, which
+    /// makes pass 2's champion argument cover them unchanged. Small
+    /// stale sets are walked exactly in both passes instead. All
+    /// comparisons use the exact scan expressions.
     fn pick_indexed(
         &mut self,
         state: &ClusterState,
@@ -323,6 +395,7 @@ impl PhaseAware {
         est: &JobEstimates,
         idx: &DispatchIndex,
     ) -> usize {
+        let stale_view = idx.stale_view(state.now_s.to_bits(), |b| state.backlog_s(b).to_bits());
         let na = idx.n_arch();
         if self.champ.len() != na {
             self.champ.resize(na, None);
@@ -350,6 +423,31 @@ impl PhaseAware {
                     consider(&mut c, b);
                 }
             }
+            if let Some(view) = &stale_view {
+                // Fold the class's stale winner into its champion:
+                // finish is monotone in backlog within the class, so
+                // it lives in the head equal-finish group, and the
+                // keys within the group share `f0` — the group min is
+                // the lowest board index.
+                let mut it = view.arch(a).iter();
+                if let Some(&(_, b0)) = it.next() {
+                    let b0 = b0 as usize;
+                    let f0 = est.est_finish_s(state, b0);
+                    let mut k = (f0, b0);
+                    for &(_, b) in it {
+                        let b = b as usize;
+                        if est.est_finish_s(state, b) != f0 {
+                            break;
+                        }
+                        if b < k.1 {
+                            k = (f0, b);
+                        }
+                    }
+                    if c.map(|o| k < o).unwrap_or(true) {
+                        c = Some(k);
+                    }
+                }
+            }
             self.champ[a] = c;
             if let Some(k) = c {
                 if overall.map(|o| k < o).unwrap_or(true) {
@@ -357,10 +455,12 @@ impl PhaseAware {
                 }
             }
         }
-        for b in idx.stale_iter() {
-            let k = (est.est_finish_s(state, b), b);
-            if overall.map(|o| k < o).unwrap_or(true) {
-                overall = Some(k);
+        if stale_view.is_none() {
+            for b in idx.stale_iter() {
+                let k = (est.est_finish_s(state, b), b);
+                if overall.map(|o| k < o).unwrap_or(true) {
+                    overall = Some(k);
+                }
             }
         }
         let (best_finish, overall_b) = overall.expect("at least one board is placeable");
@@ -385,12 +485,17 @@ impl PhaseAware {
                 }
             }
         }
-        for b in idx.stale_iter() {
-            let f = est.est_finish_s(state, b);
-            if f <= thresh {
-                let key = full_key(b, f);
-                if best.map(|(k, _)| key < k).unwrap_or(true) {
-                    best = Some((key, b));
+        if stale_view.is_none() {
+            // With the view active, stale candidates already folded
+            // into the per-class champions above — pass 2's
+            // constant-(mismatch, cold) argument covers them.
+            for b in idx.stale_iter() {
+                let f = est.est_finish_s(state, b);
+                if f <= thresh {
+                    let key = full_key(b, f);
+                    if best.map(|(k, _)| key < k).unwrap_or(true) {
+                        best = Some((key, b));
+                    }
                 }
             }
         }
@@ -479,6 +584,50 @@ mod tests {
             arrival_s: 10.0,
             slo_tightness: 4.0,
             seed: 1,
+        }
+    }
+
+    /// A queued job for the index churn/flood sweeps.
+    fn qj_for_churn(svc: f64) -> crate::state::QueuedJob {
+        crate::state::QueuedJob {
+            job: job(JobClass::CpuHeavy),
+            slo_s: 100.0,
+            schedule: None,
+            sched_arch: "",
+            est_service_s: svc,
+            profiled_s: svc,
+            penalty_s: 0.0,
+            migrations: 0,
+            redispatches: 0,
+        }
+    }
+
+    /// An in-flight entry started at `now` for the index churn/flood
+    /// sweeps (pass a past `now` for an already-lapsed estimate).
+    fn ifl_for_churn(now: f64, svc: f64) -> crate::state::InFlight {
+        crate::state::InFlight {
+            id: 0,
+            taxon: crate::job::Taxon {
+                class: JobClass::CpuHeavy,
+                signature: 2,
+            },
+            start_s: now,
+            est_finish_s: now + svc,
+            profiled_s: svc,
+            raw_service_s: svc,
+            outcome: crate::job::JobOutcome {
+                id: 0,
+                workload: "swaptions",
+                class: JobClass::CpuHeavy,
+                board: 0,
+                arrival_s: 0.0,
+                start_s: now,
+                finish_s: now + svc,
+                service_s: svc,
+                energy_j: 1.0,
+                slo_s: 100.0,
+                migrations: 0,
+            },
         }
     }
 
@@ -744,49 +893,8 @@ mod tests {
     /// makes the busy-until clock-dependent).
     #[test]
     fn indexed_picks_match_scan_under_mutation_churn() {
-        use crate::job::Taxon;
-        use crate::state::{InFlight, QueuedJob};
-
-        fn qj(svc: f64) -> QueuedJob {
-            QueuedJob {
-                job: job(JobClass::CpuHeavy),
-                slo_s: 100.0,
-                schedule: None,
-                sched_arch: "",
-                est_service_s: svc,
-                profiled_s: svc,
-                penalty_s: 0.0,
-                migrations: 0,
-                redispatches: 0,
-            }
-        }
-        fn ifl(now: f64, svc: f64) -> InFlight {
-            InFlight {
-                id: 0,
-                taxon: Taxon {
-                    class: JobClass::CpuHeavy,
-                    signature: 2,
-                },
-                start_s: now,
-                est_finish_s: now + svc,
-                profiled_s: svc,
-                raw_service_s: svc,
-                outcome: crate::job::JobOutcome {
-                    id: 0,
-                    workload: "swaptions",
-                    class: JobClass::CpuHeavy,
-                    board: 0,
-                    arrival_s: 0.0,
-                    start_s: now,
-                    finish_s: now + svc,
-                    service_s: svc,
-                    energy_j: 1.0,
-                    slo_s: 100.0,
-                    migrations: 0,
-                },
-            }
-        }
-
+        let qj = qj_for_churn;
+        let ifl = ifl_for_churn;
         let mut lcg = 0x9e37_79b9_7f4a_7c15u64;
         let mut next = move || {
             lcg ^= lcg >> 12;
@@ -902,6 +1010,123 @@ mod tests {
             checked > 3000,
             "churn sweep degenerated: only {checked} picks"
         );
+    }
+
+    /// Floods the Stale class far past `STALE_SCAN_MAX` — the regime a
+    /// systematic-underestimation chaos clause creates (every in-flight
+    /// estimate lapsed with work still queued) — then churns queues,
+    /// dispatch counts, liveness and the clock while checking every
+    /// indexed pick against its reference scan, bit for bit. Back-to-
+    /// back picks at an unchanged clock reuse the cached stale view;
+    /// enqueues between picks invalidate it through the revision bump
+    /// (backlog moves while the lapse key does not); clock advances
+    /// rebuild it outright.
+    #[test]
+    fn indexed_picks_match_scan_with_flooded_stale_class() {
+        let mut lcg = 0x6c62_272e_07bb_0142u64;
+        let mut next = move || {
+            lcg ^= lcg >> 12;
+            lcg ^= lcg << 25;
+            lcg ^= lcg >> 27;
+            lcg.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let n = 48;
+        let cluster = ClusterSpec::heterogeneous(n);
+        let mut st = ClusterState::new(&cluster, DispatchMode::Online);
+        st.now_s = 10.0;
+        st.enable_dispatch_index();
+        let lapsed = |now: f64, next: &mut dyn FnMut() -> u64| {
+            // An in-flight whose estimate already lapsed: the board
+            // files Stale keyed by the overrun estimate.
+            let svc = 0.5 + (next() % 4) as f64 * 0.5;
+            let mut f = ifl_for_churn(now - 2.0 * svc, svc);
+            debug_assert!(f.est_finish_s < now);
+            f.id = 1;
+            f
+        };
+        // Seed: every board gets queued work; two thirds also carry a
+        // lapsed in-flight (distinct lapse keys), the rest sit idle
+        // with a queue (lapse key 0).
+        for b in 0..n {
+            for _ in 0..1 + next() % 3 {
+                st.boards[b].enqueue(qj_for_churn(0.5 + (next() % 4) as f64 * 0.5));
+            }
+            if b % 3 != 0 {
+                st.boards[b].in_flight = Some(lapsed(st.now_s, &mut next));
+            }
+            st.boards[b].dispatched = (next() % 4) as usize;
+            st.refresh_dispatch_index(b);
+        }
+        let arch_svc = [1.5, 1.5];
+        let est = JobEstimates {
+            service_s: (0..n).map(|b| arch_svc[b % 2]).collect(),
+            energy_j: (0..n).map(|b| 1.0 + (b % 2) as f64).collect(),
+            warm: (0..n).map(|b| b % 2 == 0).collect(),
+        };
+        let mut max_stale = 0usize;
+        let mut checked = 0usize;
+        for step in 0..400 {
+            let b = (next() % n as u64) as usize;
+            match next() % 6 {
+                0 => {
+                    st.boards[b].enqueue(qj_for_churn(0.5 + (next() % 4) as f64 * 0.5));
+                    st.refresh_dispatch_index(b);
+                }
+                1 => {
+                    st.boards[b].pop_next();
+                    st.refresh_dispatch_index(b);
+                }
+                2 => {
+                    st.boards[b].in_flight = Some(lapsed(st.now_s, &mut next));
+                    st.boards[b].dispatched += 1;
+                    st.refresh_dispatch_index(b);
+                }
+                3 => {
+                    let up = st.up(b);
+                    st.set_up(b, !up);
+                }
+                4 => {
+                    // Quantised advances land exactly on filed values.
+                    let dt = (next() % 3) as f64 * 0.5;
+                    st.advance_now(st.now_s + dt);
+                }
+                _ => {
+                    st.boards[b].dispatched += 1;
+                    st.refresh_dispatch_index(b);
+                }
+            }
+            max_stale = max_stale.max(st.dispatch_index().unwrap().stale_len());
+            if !st.any_placeable() {
+                continue;
+            }
+            let j = job(JobClass::ALL[(next() % JobClass::ALL.len() as u64) as usize]);
+            // Two rounds per step: the second reuses the cached view.
+            for _ in 0..2 {
+                assert_eq!(
+                    LeastLoaded.pick(&st, &j, &est),
+                    LeastLoaded.pick_scan(&st),
+                    "least-loaded diverged (step {step})"
+                );
+                let mut energy = EnergyAware::default();
+                assert_eq!(
+                    energy.pick(&st, &j, &est),
+                    energy.pick_scan(&st, &est),
+                    "energy-aware diverged (step {step})"
+                );
+                let mut phase = PhaseAware::default();
+                assert_eq!(
+                    phase.pick(&st, &j, &est),
+                    phase.pick_scan(&st, &j, &est),
+                    "phase-aware diverged (step {step})"
+                );
+                checked += 3;
+            }
+        }
+        assert!(
+            max_stale > 2 * crate::index::STALE_SCAN_MAX,
+            "stale flood degenerated: peak {max_stale} boards"
+        );
+        assert!(checked > 2000, "flood sweep degenerated: {checked} picks");
     }
 
     #[test]

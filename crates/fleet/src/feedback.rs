@@ -183,6 +183,73 @@ impl ServiceFeedback {
     }
 }
 
+impl ServiceFeedback {
+    /// Serialise the layer for a kernel checkpoint: the EWMA weight,
+    /// accounting, and every learned cell in `BTreeMap` (deterministic)
+    /// order.
+    pub(crate) fn encode(&self, enc: &mut crate::checkpoint::Enc) {
+        enc.f64(self.alpha);
+        enc.u64(self.stats.samples);
+        enc.u64(self.stats.rejected);
+        enc.u64(self.stats.mispredicts);
+        enc.f64(self.stats.sum_abs_rel_err);
+        enc.usize(self.cells.len());
+        for (&(taxon, arch), cell) in &self.cells {
+            crate::checkpoint::enc_taxon(enc, taxon);
+            enc.str(arch);
+            enc.f64(cell.ratio);
+            enc.u64(cell.samples);
+        }
+    }
+
+    /// Decode a layer serialised by [`ServiceFeedback::encode`].
+    /// Architecture keys are re-interned against the resuming cluster's
+    /// `arch_keys`.
+    pub(crate) fn decode(
+        dec: &mut crate::checkpoint::Dec<'_>,
+        arch_keys: &[&'static str],
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        let alpha = dec.f64()?;
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(CheckpointError::Corrupt(
+                "feedback EWMA weight outside (0, 1]",
+            ));
+        }
+        let stats = FeedbackStats {
+            samples: dec.u64()?,
+            rejected: dec.u64()?,
+            mispredicts: dec.u64()?,
+            sum_abs_rel_err: dec.f64()?,
+        };
+        let n = dec.count(8)?;
+        let mut cells = BTreeMap::new();
+        for _ in 0..n {
+            let taxon = crate::checkpoint::dec_taxon(dec)?;
+            let arch = dec.str()?;
+            let arch = crate::checkpoint::resolve_arch(arch_keys, &arch)?;
+            let ratio = dec.f64()?;
+            if !(ratio.is_finite() && (MIN_RATIO..=MAX_RATIO).contains(&ratio)) {
+                return Err(CheckpointError::Corrupt(
+                    "feedback ratio outside clamp band",
+                ));
+            }
+            let samples = dec.u64()?;
+            if cells
+                .insert((taxon, arch), Cell { ratio, samples })
+                .is_some()
+            {
+                return Err(CheckpointError::Corrupt("duplicate feedback cell"));
+            }
+        }
+        Ok(ServiceFeedback {
+            alpha,
+            cells,
+            stats,
+        })
+    }
+}
+
 impl Default for ServiceFeedback {
     fn default() -> Self {
         ServiceFeedback::new(Self::DEFAULT_ALPHA)

@@ -23,9 +23,22 @@
 //! * **Stale** — an online board whose in-flight finish estimate has
 //!   lapsed while work is still queued (or, defensively, an idle board
 //!   with queued work): its busy-until is genuinely clock-dependent
-//!   (`now + Σ queued`), so it is kept on a short list and evaluated
-//!   exactly per pick. Boards enter this class only when a service
-//!   estimate overran, so it stays small in steady state.
+//!   (`now + Σ queued`), so no clock-free ordering over it can be
+//!   maintained incrementally. Stale boards are bucketed in an ordered
+//!   set keyed by lapse time, and picks are served from a cached
+//!   [`StaleView`] — per-(clock, revision) global and per-architecture
+//!   orderings by *exact* backlog bits — so the head equal-key groups
+//!   dispatchers walk are the same ones they walk in the ordered
+//!   class. The view is rebuilt lazily when the clock has moved or any
+//!   stale board was refiled since the last pick; in steady state the
+//!   class is near-empty (boards enter it only when a service estimate
+//!   overran and feedback shrinks it again), and under a systematic-
+//!   underestimation chaos clause — where most of the fleet goes stale
+//!   — bursty arrivals at shared timestamps amortise one rebuild over
+//!   many picks instead of degrading every pick to five linear scans.
+//!   Small stale sets (≤ [`STALE_SCAN_MAX`]) skip the view and keep
+//!   the exact per-pick walk: sorting a handful of boards costs more
+//!   than scanning them.
 //!
 //! The classes are repaired *eagerly* at every mutation site (the
 //! kernel calls [`refresh_dispatch_index`](crate::state::ClusterState::refresh_dispatch_index)
@@ -43,6 +56,7 @@
 //! indexed picks reproduce the scan bit-for-bit (the `pick_crosscheck`
 //! feature asserts this on every pick).
 
+use std::cell::{Ref, RefCell};
 use std::collections::BTreeSet;
 
 /// Fleets below this size keep the index disabled and dispatch via
@@ -52,6 +66,13 @@ use std::collections::BTreeSet;
 /// `fleet_chaos` quick leg, 20 boards of heavy churn, regressed ~20%
 /// paying repairs it could never amortise).
 pub(crate) const INDEX_MIN_BOARDS: usize = 32;
+
+/// Stale sets at or below this size are walked exactly per pick
+/// instead of going through the cached [`StaleView`]: collecting and
+/// sorting a handful of boards costs more than evaluating them
+/// directly, and small sets are the steady state (boards only go
+/// stale when a service estimate overran).
+pub(crate) const STALE_SCAN_MAX: usize = 16;
 
 /// Which class a board is filed under (see the module docs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,8 +92,51 @@ pub(crate) enum BoardClass {
         /// must demote once the clock passes it (online mode only).
         ifl_bits: Option<u64>,
     },
-    /// Busy-until depends on the clock: evaluated exactly per pick.
-    Stale,
+    /// Busy-until depends on the clock: bucketed by lapse time and
+    /// served through the cached [`StaleView`].
+    Stale {
+        /// Bit pattern of the in-flight finish estimate that lapsed
+        /// (`0` for an idle board with queued work) — the bucket key.
+        /// Identical keys still invalidate the view on refile: the
+        /// board's backlog may have moved even though its lapse time
+        /// did not.
+        lapse_bits: u64,
+    },
+}
+
+/// Cached orderings over the stale class, valid for one `(clock,
+/// revision)` pair. Stale backlogs are clock-dependent (`fold(now) −
+/// now` — the bits genuinely change as `now` moves), so the view is
+/// rebuilt from exact per-board backlog bits whenever the clock has
+/// advanced or any stale board was refiled, and reused verbatim across
+/// the picks in between (bursty arrivals at one timestamp, the hot
+/// adversarial pattern). Since backlogs are non-negative and finite,
+/// bit order *is* numeric order, and dispatchers walk the same head
+/// equal-key groups they walk in the ordered class.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct StaleView {
+    /// Clock bits the view was built at.
+    now_bits: u64,
+    /// `stale_rev` the view was built at.
+    rev: u64,
+    /// Every stale board by `(backlog bits, board)`, ascending.
+    by_bl: Vec<(u64, u32)>,
+    /// Stale boards per architecture class, same order.
+    by_bl_arch: Vec<Vec<(u64, u32)>>,
+}
+
+impl StaleView {
+    /// All stale boards, ascending `(backlog bits, board)`.
+    #[inline]
+    pub(crate) fn all(&self) -> &[(u64, u32)] {
+        &self.by_bl
+    }
+
+    /// Stale boards of architecture class `a`, same order.
+    #[inline]
+    pub(crate) fn arch(&self, a: usize) -> &[(u64, u32)] {
+        &self.by_bl_arch[a]
+    }
 }
 
 /// The maintained index structure. Owned by
@@ -102,10 +166,17 @@ pub(crate) struct DispatchIndex {
     /// Ordered-class boards whose class lapses when the clock passes
     /// their in-flight finish estimate, by `(estimate bits, board)`.
     inflight: BTreeSet<(u64, u32)>,
-    /// Stale-class boards, unordered (evaluated exactly per pick).
-    stale: Vec<u32>,
-    /// Position of each stale board in `stale` (swap-remove support).
-    stale_pos: Vec<u32>,
+    /// Stale-class boards by `(lapse bits, board)` — ordered by when
+    /// their in-flight estimate lapsed, so rebuild order (and the
+    /// fallback exact walk) is deterministic.
+    stale: BTreeSet<(u64, u32)>,
+    /// Bumped whenever any board enters, leaves or refiles within the
+    /// stale class; part of the [`StaleView`] cache key.
+    stale_rev: u64,
+    /// Cached per-(clock, revision) stale orderings, rebuilt lazily on
+    /// first use after an invalidation (interior mutability: picks
+    /// hold `&ClusterState`).
+    stale_view: RefCell<StaleView>,
 }
 
 impl DispatchIndex {
@@ -121,16 +192,28 @@ impl DispatchIndex {
         self.ordered = BTreeSet::new();
         self.ordered_arch = vec![BTreeSet::new(); n_arch];
         self.inflight = BTreeSet::new();
-        self.stale = Vec::new();
-        self.stale_pos = vec![u32::MAX; n];
+        self.stale = BTreeSet::new();
+        // Keep the revision monotone across resets so a view cached
+        // before a rebuild can never alias a fresh (clock, revision)
+        // pair.
+        self.stale_rev += 1;
     }
 
     /// Remove board `b` from whatever sets its current class filed it
     /// in, then file it under `class`.
     pub(crate) fn set_class(&mut self, b: usize, class: BoardClass) {
+        // Any refile touching the stale class invalidates the cached
+        // view — including an identical reclassification: a queue
+        // mutation moves a stale board's backlog without moving its
+        // lapse key, and the view orders by backlog.
+        if matches!(class, BoardClass::Stale { .. })
+            || matches!(self.class[b], BoardClass::Stale { .. })
+        {
+            self.stale_rev += 1;
+        }
         if class == self.class[b] {
-            // Identical classification files identically (Stale keeps
-            // its slot): skip the remove + insert round trip.
+            // Identical classification files identically: skip the
+            // remove + insert round trip.
             return;
         }
         let bu = b as u32;
@@ -151,15 +234,8 @@ impl DispatchIndex {
                     self.inflight.remove(&(fb, bu));
                 }
             }
-            BoardClass::Stale => {
-                let pos = self.stale_pos[b] as usize;
-                let last = self.stale.len() - 1;
-                self.stale.swap_remove(pos);
-                if pos != last {
-                    let moved = self.stale[pos] as usize;
-                    self.stale_pos[moved] = pos as u32;
-                }
-                self.stale_pos[b] = u32::MAX;
+            BoardClass::Stale { lapse_bits } => {
+                self.stale.remove(&(lapse_bits, bu));
             }
         }
         match class {
@@ -178,9 +254,8 @@ impl DispatchIndex {
                     self.inflight.insert((fb, bu));
                 }
             }
-            BoardClass::Stale => {
-                self.stale_pos[b] = self.stale.len() as u32;
-                self.stale.push(bu);
+            BoardClass::Stale { lapse_bits } => {
+                self.stale.insert((lapse_bits, bu));
             }
         }
         self.class[b] = class;
@@ -243,15 +318,155 @@ impl DispatchIndex {
         self.ordered_arch[a].iter().map(|&(_, b)| b as usize)
     }
 
-    /// Stale-class boards (unordered; evaluate exactly).
+    /// Stale-class boards, ascending `(lapse time, board)` — the exact
+    /// per-pick walk for small sets (and the deterministic rebuild
+    /// order for the view).
     #[inline]
     pub(crate) fn stale_iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.stale.iter().map(|&b| b as usize)
+        self.stale.iter().map(|&(_, b)| b as usize)
+    }
+
+    /// The cached stale orderings for the current clock, or `None`
+    /// when the stale set is small enough (≤ [`STALE_SCAN_MAX`]) that
+    /// the caller should walk [`stale_iter`](Self::stale_iter)
+    /// exactly. `backlog_bits` must return board `b`'s exact current
+    /// backlog bits (the same value the pick's key expressions read);
+    /// it is only invoked on a rebuild — when the clock has moved or a
+    /// stale board was refiled since the view was last built.
+    pub(crate) fn stale_view(
+        &self,
+        now_bits: u64,
+        backlog_bits: impl Fn(usize) -> u64,
+    ) -> Option<Ref<'_, StaleView>> {
+        if self.stale.len() <= STALE_SCAN_MAX {
+            return None;
+        }
+        {
+            let v = self.stale_view.borrow();
+            if v.now_bits == now_bits && v.rev == self.stale_rev {
+                return Some(v);
+            }
+        }
+        let mut v = self.stale_view.borrow_mut();
+        v.now_bits = now_bits;
+        v.rev = self.stale_rev;
+        v.by_bl.clear();
+        if v.by_bl_arch.len() != self.n_arch {
+            v.by_bl_arch.resize(self.n_arch, Vec::new());
+        }
+        for arch in &mut v.by_bl_arch {
+            arch.clear();
+        }
+        for &(_, b) in &self.stale {
+            v.by_bl.push((backlog_bits(b as usize), b));
+        }
+        v.by_bl.sort_unstable();
+        for i in 0..v.by_bl.len() {
+            let (bits, b) = v.by_bl[i];
+            v.by_bl_arch[self.arch_of[b as usize] as usize].push((bits, b));
+        }
+        drop(v);
+        Some(self.stale_view.borrow())
     }
 
     /// Filed entries across every class (diagnostics / tests).
     #[cfg(test)]
     pub(crate) fn filed(&self) -> usize {
         self.zero.len() + self.ordered.len() + self.stale.len()
+    }
+
+    /// Stale entries currently filed (diagnostics / tests).
+    #[cfg(test)]
+    pub(crate) fn stale_len(&self) -> usize {
+        self.stale.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(n: usize) -> DispatchIndex {
+        let mut idx = DispatchIndex::default();
+        // Two architecture classes, alternating by parity.
+        idx.reset((0..n).map(|b| (b % 2) as u16).collect(), 2);
+        idx
+    }
+
+    /// The view only engages past `STALE_SCAN_MAX`, orders by exact
+    /// backlog bits globally and per class, and is reused verbatim
+    /// while `(clock, revision)` is unchanged.
+    #[test]
+    fn stale_view_engages_sorts_and_caches() {
+        let n = STALE_SCAN_MAX + 4;
+        let mut idx = index(n);
+        for b in 0..STALE_SCAN_MAX {
+            idx.set_class(
+                b,
+                BoardClass::Stale {
+                    lapse_bits: b as u64,
+                },
+            );
+        }
+        // At the threshold: callers must walk the exact iterator.
+        assert!(idx.stale_view(1, |_| 0).is_none());
+        for b in STALE_SCAN_MAX..n {
+            idx.set_class(
+                b,
+                BoardClass::Stale {
+                    lapse_bits: b as u64,
+                },
+            );
+        }
+        assert_eq!(idx.stale_len(), n);
+        // Backlog descending in board index → the view must re-sort.
+        let bl = |b: usize| (n - b) as u64;
+        let view = idx.stale_view(1, bl).expect("past the threshold");
+        let all: Vec<(u64, u32)> = view.all().to_vec();
+        assert_eq!(all.len(), n);
+        assert!(all.windows(2).all(|w| w[0] <= w[1]), "sorted by backlog");
+        assert_eq!(all[0], (1, (n - 1) as u32), "deepest board files first");
+        for a in 0..2 {
+            assert!(view.arch(a).iter().all(|&(_, b)| b as usize % 2 == a));
+            assert!(view.arch(a).windows(2).all(|w| w[0] <= w[1]));
+        }
+        drop(view);
+        // Same clock, same revision: the rebuild closure must not run.
+        let cached = idx
+            .stale_view(1, |_| panic!("cache hit must not rebuild"))
+            .expect("cached");
+        assert_eq!(cached.all(), &all[..]);
+        drop(cached);
+        // A clock move alone invalidates (stale backlogs are
+        // clock-dependent).
+        let moved = idx.stale_view(2, |b| b as u64).expect("rebuilt");
+        assert_eq!(moved.all()[0], (0, 0));
+        drop(moved);
+        // A refile under the *same* lapse key still invalidates: the
+        // board's backlog may have moved even though its key did not.
+        idx.set_class(3, BoardClass::Stale { lapse_bits: 3 });
+        let rebuilt = idx.stale_view(2, |b| (n - b) as u64).expect("rebuilt");
+        assert_eq!(rebuilt.all()[0], (1, (n - 1) as u32));
+        drop(rebuilt);
+        // Leaving the class shrinks the set below the threshold + 1;
+        // dropping to the threshold disengages the view entirely.
+        for b in 0..4 {
+            idx.set_class(b, BoardClass::None);
+        }
+        assert_eq!(idx.stale_len(), n - 4);
+        assert!(idx.stale_view(2, |_| 0).is_none());
+    }
+
+    /// The stale set itself stays ordered by `(lapse time, board)` so
+    /// the fallback exact walk and rebuild order are deterministic.
+    #[test]
+    fn stale_set_orders_by_lapse_time() {
+        let mut idx = index(6);
+        for (b, lapse) in [(4usize, 7u64), (1, 3), (5, 3), (0, 9)] {
+            idx.set_class(b, BoardClass::Stale { lapse_bits: lapse });
+        }
+        let walked: Vec<usize> = idx.stale_iter().collect();
+        assert_eq!(walked, vec![1, 5, 4, 0]);
+        assert_eq!(idx.filed(), 4);
     }
 }

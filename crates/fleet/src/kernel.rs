@@ -37,17 +37,20 @@
 //! loop further by correcting profiled estimates with observed
 //! service times.
 
+use crate::arrival::{ArrivalCursor, SliceCursor};
 use crate::cache::{CacheDecision, PolicyCache};
 use crate::chaos::{ChaosSchedule, ChaosStats, CompiledChaos};
+use crate::checkpoint::{self, CheckpointError, CursorState, Dec, Enc};
 use crate::dispatch::{Dispatcher, JobEstimates};
 use crate::feedback::ServiceFeedback;
 use crate::job::{JobOutcome, JobSpec};
-use crate::metrics::{FleetMetrics, FleetOutcome};
+use crate::metrics::{FleetMetrics, FleetOutcome, StreamAgg};
 use crate::shard::{AdvanceCtx, AdvanceDelta, ProgramSet, ShardMsg, ShardSet};
 use crate::sim::{FleetSim, PolicyMode, ProfileTable};
-use crate::state::{ClusterState, DispatchMode, DropReason, DroppedJob, QueuedJob};
+use crate::state::{BoardState, ClusterState, DispatchMode, DropReason, DroppedJob, QueuedJob};
 use crate::telemetry::{CompletionRecord, FlightRecorder, WindowSample};
 use astro_core::pipeline::build_static;
+use astro_core::replay::ReplaySession;
 use astro_exec::executor::{Executor, MachineExecutor};
 use astro_exec::program::compile;
 use astro_ir::Module;
@@ -215,6 +218,136 @@ impl EventQueue {
     /// Is anything pending?
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+}
+
+impl EventQueue {
+    /// Serialises the queue for a checkpoint: `next_seq` (so pushes
+    /// after a restore keep globally unique tie-breakers), the lifetime
+    /// counters, and every pending event ordered by (time, seq) — the
+    /// deterministic pop order itself, so the encoding is canonical
+    /// whatever heap shape produced it.
+    pub(crate) fn encode(&self, enc: &mut Enc) {
+        enc.u64(self.next_seq);
+        enc.u64(self.pushed);
+        enc.u64(self.popped);
+        let mut entries: Vec<Event> = self.heap.iter().copied().collect();
+        entries.sort_by(|a, b| a.time_s.total_cmp(&b.time_s).then(a.seq.cmp(&b.seq)));
+        enc.usize(entries.len());
+        for ev in &entries {
+            enc.f64(ev.time_s);
+            enc.u64(ev.seq);
+            match ev.kind {
+                EventKind::MonitorTick => enc.u8(0),
+                EventKind::BoardDown(b) => {
+                    enc.u8(1);
+                    enc.u32(b);
+                }
+                EventKind::BoardUp(b) => {
+                    enc.u8(2);
+                    enc.u32(b);
+                }
+                EventKind::ThrottleStart { board, clause } => {
+                    enc.u8(3);
+                    enc.u32(board);
+                    enc.u32(clause);
+                }
+                EventKind::ThrottleEnd { board, clause } => {
+                    enc.u8(4);
+                    enc.u32(board);
+                    enc.u32(clause);
+                }
+                EventKind::BlackoutStart { board, clause } => {
+                    enc.u8(5);
+                    enc.u32(board);
+                    enc.u32(clause);
+                }
+                EventKind::BlackoutEnd { board, clause } => {
+                    enc.u8(6);
+                    enc.u32(board);
+                    enc.u32(clause);
+                }
+                EventKind::Arrival(_) | EventKind::Completion { .. } => {
+                    unreachable!("control queue never holds arrival/completion events")
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a control queue from [`EventQueue::encode`]d bytes.
+    /// Every event is validated — finite non-negative timestamp, seq
+    /// below `next_seq`, board and clause indices in range, and only
+    /// control-plane kinds (arrivals stream through the cursor and
+    /// completions live in shard queues, never here).
+    pub(crate) fn decode(
+        dec: &mut Dec<'_>,
+        n_boards: usize,
+        n_clauses: usize,
+    ) -> Result<EventQueue, CheckpointError> {
+        let next_seq = dec.u64()?;
+        let pushed = dec.u64()?;
+        let popped = dec.u64()?;
+        let n = dec.count(17)?;
+        let mut q = EventQueue {
+            heap: BinaryHeap::with_capacity(n),
+            next_seq,
+            pushed,
+            popped,
+        };
+        for _ in 0..n {
+            let time_s = dec.f64()?;
+            if !time_s.is_finite() || time_s < 0.0 {
+                return Err(CheckpointError::Corrupt(
+                    "event timestamp is not finite and non-negative",
+                ));
+            }
+            let seq = dec.u64()?;
+            if seq >= next_seq {
+                return Err(CheckpointError::Corrupt(
+                    "event seq at or past the queue's next_seq",
+                ));
+            }
+            let tag = dec.u8()?;
+            let kind = match tag {
+                0 => EventKind::MonitorTick,
+                1 | 2 => {
+                    let b = dec.u32()?;
+                    if b as usize >= n_boards {
+                        return Err(CheckpointError::Corrupt(
+                            "churn event board index out of range",
+                        ));
+                    }
+                    if tag == 1 {
+                        EventKind::BoardDown(b)
+                    } else {
+                        EventKind::BoardUp(b)
+                    }
+                }
+                3..=6 => {
+                    let board = dec.u32()?;
+                    let clause = dec.u32()?;
+                    if board as usize >= n_boards {
+                        return Err(CheckpointError::Corrupt(
+                            "chaos event board index out of range",
+                        ));
+                    }
+                    if clause as usize >= n_clauses {
+                        return Err(CheckpointError::Corrupt(
+                            "chaos event clause index out of range",
+                        ));
+                    }
+                    match tag {
+                        3 => EventKind::ThrottleStart { board, clause },
+                        4 => EventKind::ThrottleEnd { board, clause },
+                        5 => EventKind::BlackoutStart { board, clause },
+                        _ => EventKind::BlackoutEnd { board, clause },
+                    }
+                }
+                _ => return Err(CheckpointError::Corrupt("control event tag out of range")),
+            };
+            q.heap.push(Event { time_s, seq, kind });
+        }
+        Ok(q)
     }
 }
 
@@ -475,9 +608,13 @@ impl EstScratch {
     }
 }
 
-impl FleetSim<'_> {
-    /// The event loop. Public API is [`FleetSim::run`] /
-    /// [`FleetSim::run_traced`]. `telemetry` is the flight recorder:
+impl<'a> FleetSim<'a> {
+    /// The batch event loop: a [`ResidentKernel`] driven off a
+    /// [`SliceCursor`] over the materialised job stream with outcome
+    /// retention on — byte-for-byte the semantics every earlier PR
+    /// pinned. Public API is [`FleetSim::run`] /
+    /// [`FleetSim::run_traced`]; the streaming entry point is
+    /// [`FleetSim::resident`]. `telemetry` is the flight recorder:
     /// every hook reads kernel state and writes only recorder state, so
     /// the returned outcome is byte-identical whatever the trace level
     /// (including [`crate::telemetry::TraceLevel::Off`], where each
@@ -490,7 +627,112 @@ impl FleetSim<'_> {
         scenario: &Scenario,
         telemetry: &mut FlightRecorder,
     ) -> FleetOutcome {
-        let n_boards = self.cluster.len();
+        let mut cursor = SliceCursor::new(jobs);
+        let mut kernel = ResidentKernel::new(
+            self,
+            &mut cursor,
+            dispatcher,
+            cache,
+            scenario,
+            telemetry,
+            true,
+        );
+        kernel.run();
+        kernel.finish()
+    }
+
+    /// A resident (streaming) kernel over this simulator: jobs are
+    /// pulled lazily from `cursor` instead of a materialised slice,
+    /// and with `retain = false` completed outcomes are folded into
+    /// streaming aggregates at the barrier merge and discarded —
+    /// O(boards) memory however many jobs flow through. The caller
+    /// owns the loop: [`ResidentKernel::step`] advances one control
+    /// event at a time (so a service can checkpoint between events),
+    /// [`ResidentKernel::run`] drives it to completion and
+    /// [`ResidentKernel::finish`] assembles the [`FleetOutcome`]. With
+    /// `retain = true` and a [`SliceCursor`] this is exactly
+    /// [`FleetSim::run`], byte-for-byte.
+    pub fn resident<'r>(
+        &'r self,
+        cursor: &'r mut dyn ArrivalCursor,
+        dispatcher: &'r mut dyn Dispatcher,
+        cache: &'r mut PolicyCache,
+        scenario: &'r Scenario,
+        telemetry: &'r mut FlightRecorder,
+        retain: bool,
+    ) -> ResidentKernel<'a, 'r> {
+        ResidentKernel::new(self, cursor, dispatcher, cache, scenario, telemetry, retain)
+    }
+}
+
+/// The fleet kernel as a long-lived value instead of one closed loop:
+/// the same control plane, execution plane and determinism contract as
+/// the batch path (which is now a thin wrapper over this), but
+/// arrivals stream in through an [`ArrivalCursor`], each
+/// [`ResidentKernel::step`] processes exactly one control event, and
+/// the caller decides when to pause, checkpoint or finish. With
+/// retention off, completed outcomes are folded into streaming
+/// quantile digests and counters at the barrier merge and discarded,
+/// so a run's footprint is O(boards + architectures), independent of
+/// how many jobs flow through.
+pub struct ResidentKernel<'a, 'r> {
+    sim: &'r FleetSim<'a>,
+    cursor: &'r mut dyn ArrivalCursor,
+    dispatcher: &'r mut dyn Dispatcher,
+    cache: &'r mut PolicyCache,
+    scenario: &'r Scenario,
+    telemetry: &'r mut FlightRecorder,
+    chaos: CompiledChaos,
+    chaos_stats: ChaosStats,
+    modules: BTreeMap<&'static str, Module>,
+    machine_exec: MachineExecutor,
+    session: Option<ReplaySession<'r>>,
+    progs: ProgramSet,
+    arches: ArchMap,
+    profiles: ProfileTable,
+    state: ClusterState<'a>,
+    shards: ShardSet,
+    workers: usize,
+    stats: KernelStats,
+    feedback: Option<ServiceFeedback>,
+    train_time_s: f64,
+    train_energy_j: f64,
+    guard_bypasses: u64,
+    outcomes: Vec<JobOutcome>,
+    dropped: Vec<DroppedJob>,
+    scratch: EstScratch,
+    ctrl: EventQueue,
+    open: usize,
+    pending: Option<JobSpec>,
+    retain: bool,
+    stream: Option<StreamAgg>,
+    wall_run: Option<std::time::Instant>,
+    finished: bool,
+}
+
+/// What one [`ResidentKernel::step`] decided to do: pop a queued
+/// control event, or admit the job the cursor has buffered.
+enum ControlAction {
+    Ctl(EventKind),
+    Arrive(JobSpec),
+}
+
+impl<'a, 'r> ResidentKernel<'a, 'r> {
+    /// Validates the scenario against `sim`'s cluster, compiles the
+    /// chaos schedule, builds every per-run table and seeds the
+    /// control queue — everything the old batch loop did before its
+    /// first event. Executes nothing: drive with
+    /// [`ResidentKernel::step`] or [`ResidentKernel::run`].
+    pub(crate) fn new(
+        sim: &'r FleetSim<'a>,
+        cursor: &'r mut dyn ArrivalCursor,
+        dispatcher: &'r mut dyn Dispatcher,
+        cache: &'r mut PolicyCache,
+        scenario: &'r Scenario,
+        telemetry: &'r mut FlightRecorder,
+        retain: bool,
+    ) -> Self {
+        let n_boards = sim.cluster.len();
         assert!(
             !scenario.preemption
                 || (scenario.dispatch == DispatchMode::Online && scenario.monitor_interval_s > 0.0),
@@ -515,7 +757,7 @@ impl FleetSim<'_> {
         // let e.g. a mistyped board index skew every later decision
         // without a trace.
         let chaos = scenario.chaos.compile(n_boards);
-        let mut chaos_stats = chaos.stats.clone();
+        let chaos_stats = chaos.stats.clone();
         {
             let mut seq: Vec<(f64, bool, usize)> = scenario
                 .churn
@@ -551,20 +793,21 @@ impl FleetSim<'_> {
             }
         }
 
-        // Source modules, one per distinct workload in the stream.
+        // Source modules, one per distinct workload the cursor can
+        // yield (for generators, the whole pool).
         let mut modules: BTreeMap<&'static str, Module> = BTreeMap::new();
-        for job in jobs {
+        for w in cursor.workloads() {
             modules
-                .entry(job.workload.name)
-                .or_insert_with(|| (job.workload.build)(self.params.size));
+                .entry(w.name)
+                .or_insert_with(|| (w.build)(sim.params.size));
         }
 
         // Calibration-then-replay: record every (workload, architecture)
         // trace set up front, in deterministic order (earlier runs of
         // this simulator are cache hits).
-        if let Some(replay) = &self.replay_exec {
-            for key in self.cluster.arch_keys() {
-                let board = self.cluster.representative_board(key);
+        if let Some(replay) = &sim.replay_exec {
+            for key in sim.cluster.arch_keys() {
+                let board = sim.cluster.representative_board(key);
                 for (name, module) in &modules {
                     replay.calibrate(name, module, board);
                 }
@@ -576,13 +819,9 @@ impl FleetSim<'_> {
         // snapshotted after the pre-pass above: one rwlock acquisition
         // for the whole run, answered lock-free per job thereafter.
         let machine_exec = MachineExecutor {
-            params: self.params.machine,
+            params: sim.params.machine,
         };
-        let session = self.replay_exec.as_ref().map(|r| r.session());
-        let exec: &dyn Executor = match &session {
-            Some(s) => s,
-            None => &machine_exec,
-        };
+        let session = sim.replay_exec.as_ref().map(|r| r.session());
 
         // Stock binaries compiled up front; static builds are compiled
         // by the control plane at dispatch/migration time. Either way
@@ -595,26 +834,22 @@ impl FleetSim<'_> {
             );
         }
 
-        let arches = ArchMap::new(self.cluster);
-        let mut profiles = ProfileTable::new();
-        let mut state = ClusterState::new(self.cluster, scenario.dispatch);
+        let arches = ArchMap::new(sim.cluster);
+        let profiles = ProfileTable::new();
+        let mut state = ClusterState::new(sim.cluster, scenario.dispatch);
         // Indexed argmin dispatch: the kernel maintains the index at
         // every board mutation below, so picks stop scanning O(boards).
         state.rebuild_dispatch_index();
-        let mut shards = ShardSet::new(n_boards, self.params.shards);
-        let workers = self.params.shard_workers.max(1);
-        let mut stats = KernelStats {
+        let shards = ShardSet::new(n_boards, sim.params.shards);
+        let workers = sim.params.shard_workers.max(1);
+        let stats = KernelStats {
             shards: shards.len() as u32,
             ..KernelStats::default()
         };
-        let mut feedback = scenario.feedback.then(ServiceFeedback::default);
-        let mut train_time_s = 0.0;
-        let mut train_energy_j = 0.0;
-        let mut guard_bypasses = 0u64;
-        let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
-        let mut dropped: Vec<DroppedJob> = Vec::new();
+        let feedback = scenario.feedback.then(ServiceFeedback::default);
+        let outcomes: Vec<JobOutcome> = Vec::with_capacity(if retain { cursor.total() } else { 0 });
         // Per-arrival scratch, refilled in place (no per-event allocs).
-        let mut scratch = EstScratch::new(n_boards, arches.len());
+        let scratch = EstScratch::new(n_boards, arches.len());
 
         // The control queue: churn first (so a down-at-t beats an
         // arrival at the same t), then the compiled chaos events in
@@ -640,87 +875,140 @@ impl FleetSim<'_> {
         if scenario.monitor_interval_s > 0.0 {
             ctrl.push(scenario.monitor_interval_s, EventKind::MonitorTick);
         }
-        let mut next_arrival = 0usize;
-
-        // Jobs not yet completed or dropped.
-        let mut open = jobs.len();
+        // Jobs not yet completed or dropped. The cursor knows its
+        // stream length up front even though specs materialise lazily.
+        let open = cursor.total();
 
         // Wall-clock phase profiling (machine time, recorder-gated —
         // the off path never reads the OS clock).
         let wall_run = telemetry.stopwatch();
 
-        loop {
-            // The next control event: the earlier of the arrival cursor
-            // and the control queue, ties resolved churn < arrival < tick
-            // (the order the sequential kernel's seeding produced).
-            let arrival_t = jobs.get(next_arrival).map(|j| j.arrival_s);
-            let queued = ctrl.peek().copied();
-            let take_ctrl = match (arrival_t, &queued) {
-                (None, None) => false,
-                (None, Some(_)) => true,
-                (Some(_), None) => false,
-                (Some(ta), Some(e)) => {
-                    e.time_s < ta || (e.time_s == ta && e.kind.is_state_change())
-                }
-            };
-            let ctl = if take_ctrl {
-                ctrl.pop().map(|e| (e.time_s, e.kind))
-            } else if let Some(ta) = arrival_t {
-                let i = next_arrival;
-                next_arrival += 1;
-                Some((ta, EventKind::Arrival(i as u32)))
-            } else {
-                None
-            };
+        ResidentKernel {
+            sim,
+            cursor,
+            dispatcher,
+            cache,
+            scenario,
+            telemetry,
+            chaos,
+            chaos_stats,
+            modules,
+            machine_exec,
+            session,
+            progs,
+            arches,
+            profiles,
+            state,
+            shards,
+            workers,
+            stats,
+            feedback,
+            train_time_s: 0.0,
+            train_energy_j: 0.0,
+            guard_bypasses: 0,
+            outcomes,
+            dropped: Vec::new(),
+            scratch,
+            ctrl,
+            open,
+            pending: None,
+            retain,
+            stream: (!retain).then(StreamAgg::new),
+            wall_run,
+            finished: false,
+        }
+    }
 
-            let Some((time_s, kind)) = ctl else {
-                // No control left: drain every shard's completion chain.
-                let from_s = state.now_s;
-                let wall = telemetry.stopwatch();
-                let delta = shards.advance_all(
-                    &mut state.boards,
-                    f64::INFINITY,
-                    workers,
-                    &AdvanceCtx {
-                        exec,
-                        progs: &progs,
-                        modules: &modules,
-                        specs: &self.cluster.boards,
-                        collect_observations: feedback.is_some(),
-                    },
-                );
-                telemetry.lap_advance(wall);
-                let parallel = shards.last_parallel;
-                let wall = telemetry.stopwatch();
-                fold_delta(
-                    delta,
-                    &mut state,
-                    &mut stats,
-                    &mut open,
-                    &mut outcomes,
-                    &mut feedback,
-                    telemetry,
-                    from_s,
-                    f64::INFINITY,
-                    parallel,
-                );
-                telemetry.lap_merge(wall);
-                break;
-            };
+    /// Advances the kernel by exactly one control event — an arrival,
+    /// a churn/chaos edge or a monitor tick, each preceded by its
+    /// barrier merge — or, when no control remains, by the final drain
+    /// of every shard's completion chain. Returns `false` once the run
+    /// is complete (after which [`ResidentKernel::finish`] assembles
+    /// the outcome).
+    pub fn step(&mut self) -> bool {
+        if self.finished {
+            return false;
+        }
+        let ResidentKernel {
+            sim,
+            cursor,
+            dispatcher,
+            cache,
+            scenario,
+            telemetry,
+            chaos,
+            chaos_stats,
+            modules,
+            machine_exec,
+            session,
+            progs,
+            arches,
+            profiles,
+            state,
+            shards,
+            workers,
+            stats,
+            feedback,
+            train_time_s,
+            train_energy_j,
+            guard_bypasses,
+            outcomes,
+            dropped,
+            scratch,
+            ctrl,
+            open,
+            pending,
+            retain,
+            stream,
+            finished,
+            ..
+        } = self;
+        let n_boards = sim.cluster.len();
+        // On the replay backend every profile and job run goes through
+        // the calibration-cache session snapshotted in `new` — one
+        // rwlock acquisition for the whole run, lock-free per job.
+        let exec: &dyn Executor = match session.as_ref() {
+            Some(s) => s,
+            None => &*machine_exec,
+        };
 
-            // Barrier: every completion strictly before this control
-            // event is folded in before the decision reads any state.
+        // The next control event: the earlier of the arrival cursor
+        // and the control queue, ties resolved churn < arrival < tick
+        // (the order the sequential kernel's seeding produced). The
+        // cursor is consuming, so the peeked job waits in a one-slot
+        // buffer until the seam decides to admit it.
+        if pending.is_none() {
+            *pending = cursor.next_job();
+        }
+        let arrival_t = pending.as_ref().map(|j| j.arrival_s);
+        let queued = ctrl.peek().copied();
+        let take_ctrl = match (arrival_t, &queued) {
+            (None, None) => false,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some(ta), Some(e)) => e.time_s < ta || (e.time_s == ta && e.kind.is_state_change()),
+        };
+        let ctl = if take_ctrl {
+            ctrl.pop().map(|e| (e.time_s, ControlAction::Ctl(e.kind)))
+        } else if let Some(job) = pending.take() {
+            Some((job.arrival_s, ControlAction::Arrive(job)))
+        } else {
+            None
+        };
+
+        let Some((time_s, act)) = ctl else {
+            // No control left: drain every shard's completion chain.
             let from_s = state.now_s;
             let wall = telemetry.stopwatch();
             let delta = shards.advance_all(
                 &mut state.boards,
-                time_s,
-                workers,
+                f64::INFINITY,
+                *workers,
                 &AdvanceCtx {
                     exec,
-                    progs: &progs,
-                    modules: &modules,
-                    specs: &self.cluster.boards,
+                    progs: &*progs,
+                    modules: &*modules,
+                    specs: &sim.cluster.boards,
                     collect_observations: feedback.is_some(),
                 },
             );
@@ -729,399 +1017,827 @@ impl FleetSim<'_> {
             let wall = telemetry.stopwatch();
             fold_delta(
                 delta,
-                &mut state,
-                &mut stats,
-                &mut open,
-                &mut outcomes,
-                &mut feedback,
-                telemetry,
+                &mut *state,
+                &mut *stats,
+                &mut *open,
+                &mut *outcomes,
+                &mut *feedback,
+                &mut **telemetry,
                 from_s,
-                time_s,
+                f64::INFINITY,
                 parallel,
+                *retain,
+                &mut *stream,
             );
             telemetry.lap_merge(wall);
-            debug_assert!(
-                time_s >= state.now_s - 1e-9,
-                "virtual clock ran backwards: {} -> {}",
-                state.now_s,
-                time_s
-            );
-            state.advance_now(time_s);
-            stats.events += 1;
+            *finished = true;
+            return false;
+        };
 
-            match kind {
-                EventKind::Arrival(i) => {
-                    stats.arrivals += 1;
-                    let job = jobs[i as usize];
+        // Barrier: every completion strictly before this control
+        // event is folded in before the decision reads any state.
+        let from_s = state.now_s;
+        let wall = telemetry.stopwatch();
+        let delta = shards.advance_all(
+            &mut state.boards,
+            time_s,
+            *workers,
+            &AdvanceCtx {
+                exec,
+                progs: &*progs,
+                modules: &*modules,
+                specs: &sim.cluster.boards,
+                collect_observations: feedback.is_some(),
+            },
+        );
+        telemetry.lap_advance(wall);
+        let parallel = shards.last_parallel;
+        let wall = telemetry.stopwatch();
+        fold_delta(
+            delta,
+            &mut *state,
+            &mut *stats,
+            &mut *open,
+            &mut *outcomes,
+            &mut *feedback,
+            &mut **telemetry,
+            from_s,
+            time_s,
+            parallel,
+            *retain,
+            &mut *stream,
+        );
+        telemetry.lap_merge(wall);
+        debug_assert!(
+            time_s >= state.now_s - 1e-9,
+            "virtual clock ran backwards: {} -> {}",
+            state.now_s,
+            time_s
+        );
+        state.advance_now(time_s);
+        stats.events += 1;
+
+        let kind = match act {
+            ControlAction::Arrive(job) => {
+                stats.arrivals += 1;
+                if !state.any_placeable() {
+                    // Whole fleet down — or every up board under a
+                    // dispatch blackout. Both route through the
+                    // existing no-board-up drop path; the chaos
+                    // accounting distinguishes them.
+                    if state.any_up() {
+                        chaos_stats.blackout_drops += 1;
+                    }
+                    dropped.push(DroppedJob {
+                        id: job.id,
+                        reason: DropReason::NoBoardUp,
+                    });
+                    stats.dropped += 1;
+                    stats.dropped_no_board += 1;
+                    *open -= 1;
+                    telemetry.on_drop(time_s, job.id, DropReason::NoBoardUp.name());
+                    return true;
+                }
+                let module = &modules[job.workload.name];
+                let slo_s = sim.estimates_into(
+                    exec,
+                    &mut *profiles,
+                    &**cache,
+                    scenario.policy,
+                    &job,
+                    module,
+                    &*arches,
+                    feedback.as_ref(),
+                    &mut *scratch,
+                );
+                // Mis-profiled taxa: corrupt what the dispatcher
+                // and admission see (never the SLO — deadlines are
+                // contracts, not estimates).
+                let mf = chaos.misprofile_factor(job.class(), time_s, Some(&mut *chaos_stats));
+                if mf != 1.0 {
+                    for s in &mut scratch.est.service_s {
+                        *s *= mf;
+                    }
+                }
+                let b = dispatcher.pick(&*state, &job, &scratch.est);
+                assert!(b < n_boards, "dispatcher picked board {b} of {n_boards}");
+                assert!(
+                    state.placeable(b),
+                    "dispatcher picked down or blacked-out board {b}"
+                );
+
+                // Policy resolution (training on miss/staleness) and
+                // admission latency guard.
+                let (schedule, profiled_s) = sim.resolve_with_training(
+                    exec,
+                    &mut *profiles,
+                    &mut **cache,
+                    scenario.policy,
+                    &job,
+                    module,
+                    b,
+                    scratch.base_s[arches.of_board[b]],
+                    &mut *train_time_s,
+                    &mut *train_energy_j,
+                    &mut *guard_bypasses,
+                );
+                ensure_static_build(&mut *progs, module, &job, &schedule, &*arches, b);
+                // The corrupted profiled estimate is what the job
+                // is admitted with — and what the feedback layer
+                // later compares observed service against, which
+                // is exactly how the EWMA learns the 1/mf repair.
+                let profiled_s = profiled_s * mf;
+                let svc_est = corrected(
+                    profiled_s,
+                    feedback.as_ref(),
+                    &job,
+                    arches.keys[arches.of_board[b]],
+                );
+
+                // Oracle accumulator: batch stage-1 semantics.
+                let acc = &mut state.boards[b].oracle_busy_until_s;
+                *acc = acc.max(job.arrival_s) + svc_est;
+                state.boards[b].dispatched += 1;
+
+                let qj = QueuedJob {
+                    job,
+                    slo_s,
+                    schedule,
+                    sched_arch: sim.cluster.arch_key(b),
+                    est_service_s: svc_est,
+                    profiled_s,
+                    penalty_s: 0.0,
+                    migrations: 0,
+                    redispatches: 0,
+                };
+                shards.deliver(
+                    &mut state.boards,
+                    ShardMsg::Enqueue { board: b, job: qj },
+                    state.now_s,
+                    &AdvanceCtx {
+                        exec,
+                        progs: &*progs,
+                        modules: &*modules,
+                        specs: &sim.cluster.boards,
+                        collect_observations: feedback.is_some(),
+                    },
+                );
+                state.refresh_dispatch_index(b);
+                telemetry.on_dispatch(time_s, job.id, job.workload.name, b, svc_est);
+                return true;
+            }
+            ControlAction::Ctl(kind) => kind,
+        };
+
+        match kind {
+            EventKind::MonitorTick => {
+                stats.ticks += 1;
+                if scenario.preemption {
+                    let migrated_before = stats.migrations;
+                    sim.preempt_scan(
+                        exec,
+                        &mut *profiles,
+                        &mut **cache,
+                        *scenario,
+                        &mut *state,
+                        &mut *shards,
+                        &mut *progs,
+                        &*modules,
+                        &*arches,
+                        feedback.as_ref(),
+                        &*chaos,
+                        &mut *stats,
+                        &mut *guard_bypasses,
+                    );
+                    telemetry.on_preempt_scan(time_s, stats.migrations - migrated_before);
+                }
+                // Sample the fleet's gauges for the recorder. Gated
+                // on the level so the gauge walk costs nothing when
+                // telemetry is off; reads state only, so it cannot
+                // perturb the run either way.
+                if telemetry.wants_ticks() {
+                    let nb = state.boards.len();
+                    let mut mean_util = 0.0;
+                    let mut queue_depth = 0u64;
+                    let mut backlog_s = 0.0;
+                    let mut boards_up = 0u32;
+                    let mut boards_placeable = 0u32;
+                    let mut throttled = 0u32;
+                    let mut blacked_out = 0u32;
+                    for b in 0..nb {
+                        mean_util += state.utilisation(b);
+                        queue_depth += state.queue_depth(b) as u64;
+                        backlog_s += state.backlog_s(b);
+                        if state.up(b) {
+                            boards_up += 1;
+                        }
+                        if state.placeable(b) {
+                            boards_placeable += 1;
+                        }
+                        if !state.boards[b].throttles.is_empty() {
+                            throttled += 1;
+                        }
+                        if state.boards[b].blackouts > 0 {
+                            blacked_out += 1;
+                        }
+                    }
+                    let (p50_s, p95_s, p99_s) = telemetry.latency_so_far();
+                    let (fb_err, fb_samples, fb_corr) = match &feedback {
+                        Some(fb) => (
+                            fb.stats.mean_abs_rel_err(),
+                            fb.stats.samples,
+                            fb.mean_correction(),
+                        ),
+                        None => (0.0, 0, 1.0),
+                    };
+                    telemetry.on_tick(WindowSample {
+                        t_s: time_s,
+                        completions: telemetry.completions(),
+                        p50_s,
+                        p95_s,
+                        p99_s,
+                        slo_miss_rate: telemetry.slo_miss_rate(),
+                        mean_util: mean_util / nb as f64,
+                        queue_depth,
+                        backlog_s,
+                        boards_up,
+                        boards_placeable,
+                        throttled,
+                        blacked_out,
+                        feedback_mean_abs_rel_err: fb_err,
+                        feedback_samples: fb_samples,
+                        feedback_mean_correction: fb_corr,
+                    });
+                }
+                if *open > 0 {
+                    ctrl.push(
+                        state.now_s + scenario.monitor_interval_s,
+                        EventKind::MonitorTick,
+                    );
+                }
+            }
+
+            EventKind::BoardDown(b) => {
+                stats.board_downs += 1;
+                let b = b as usize;
+                telemetry.on_churn(time_s, b, false);
+                state.set_up(b, false);
+                // The in-flight job drains; queued work is
+                // redistributed (or dropped when nowhere is up or
+                // the redispatch cap is exhausted).
+                let orphans = state.boards[b].take_queued();
+                for qj in orphans {
                     if !state.any_placeable() {
-                        // Whole fleet down — or every up board under a
-                        // dispatch blackout. Both route through the
-                        // existing no-board-up drop path; the chaos
-                        // accounting distinguishes them.
                         if state.any_up() {
                             chaos_stats.blackout_drops += 1;
                         }
                         dropped.push(DroppedJob {
-                            id: job.id,
+                            id: qj.job.id,
                             reason: DropReason::NoBoardUp,
                         });
                         stats.dropped += 1;
                         stats.dropped_no_board += 1;
-                        open -= 1;
-                        telemetry.on_drop(time_s, job.id, DropReason::NoBoardUp.name());
+                        *open -= 1;
+                        telemetry.on_drop(time_s, qj.job.id, DropReason::NoBoardUp.name());
                         continue;
                     }
-                    let module = &modules[job.workload.name];
-                    let slo_s = self.estimates_into(
-                        exec,
-                        &mut profiles,
-                        cache,
-                        scenario.policy,
-                        &job,
-                        module,
-                        &arches,
-                        feedback.as_ref(),
-                        &mut scratch,
-                    );
-                    // Mis-profiled taxa: corrupt what the dispatcher
-                    // and admission see (never the SLO — deadlines are
-                    // contracts, not estimates).
-                    let mf = chaos.misprofile_factor(job.class(), time_s, Some(&mut chaos_stats));
-                    if mf != 1.0 {
-                        for s in &mut scratch.est.service_s {
-                            *s *= mf;
-                        }
-                    }
-                    let b = dispatcher.pick(&state, &job, &scratch.est);
-                    assert!(b < n_boards, "dispatcher picked board {b} of {n_boards}");
-                    assert!(
-                        state.placeable(b),
-                        "dispatcher picked down or blacked-out board {b}"
-                    );
-
-                    // Policy resolution (training on miss/staleness) and
-                    // admission latency guard.
-                    let (schedule, profiled_s) = self.resolve_with_training(
-                        exec,
-                        &mut profiles,
-                        cache,
-                        scenario.policy,
-                        &job,
-                        module,
-                        b,
-                        scratch.base_s[arches.of_board[b]],
-                        &mut train_time_s,
-                        &mut train_energy_j,
-                        &mut guard_bypasses,
-                    );
-                    ensure_static_build(&mut progs, module, &job, &schedule, &arches, b);
-                    // The corrupted profiled estimate is what the job
-                    // is admitted with — and what the feedback layer
-                    // later compares observed service against, which
-                    // is exactly how the EWMA learns the 1/mf repair.
-                    let profiled_s = profiled_s * mf;
-                    let svc_est = corrected(
-                        profiled_s,
-                        feedback.as_ref(),
-                        &job,
-                        arches.keys[arches.of_board[b]],
-                    );
-
-                    // Oracle accumulator: batch stage-1 semantics.
-                    let acc = &mut state.boards[b].oracle_busy_until_s;
-                    *acc = acc.max(job.arrival_s) + svc_est;
-                    state.boards[b].dispatched += 1;
-
-                    let qj = QueuedJob {
-                        job,
-                        slo_s,
-                        schedule,
-                        sched_arch: self.cluster.arch_key(b),
-                        est_service_s: svc_est,
-                        profiled_s,
-                        penalty_s: 0.0,
-                        migrations: 0,
-                        redispatches: 0,
-                    };
-                    shards.deliver(
-                        &mut state.boards,
-                        ShardMsg::Enqueue { board: b, job: qj },
-                        state.now_s,
-                        &AdvanceCtx {
-                            exec,
-                            progs: &progs,
-                            modules: &modules,
-                            specs: &self.cluster.boards,
-                            collect_observations: feedback.is_some(),
-                        },
-                    );
-                    state.refresh_dispatch_index(b);
-                    telemetry.on_dispatch(time_s, job.id, job.workload.name, b, svc_est);
-                }
-
-                EventKind::MonitorTick => {
-                    stats.ticks += 1;
-                    if scenario.preemption {
-                        let migrated_before = stats.migrations;
-                        self.preempt_scan(
-                            exec,
-                            &mut profiles,
-                            cache,
-                            scenario,
-                            &mut state,
-                            &mut shards,
-                            &mut progs,
-                            &modules,
-                            &arches,
-                            feedback.as_ref(),
-                            &chaos,
-                            &mut stats,
-                            &mut guard_bypasses,
-                        );
-                        telemetry.on_preempt_scan(time_s, stats.migrations - migrated_before);
-                    }
-                    // Sample the fleet's gauges for the recorder. Gated
-                    // on the level so the gauge walk costs nothing when
-                    // telemetry is off; reads state only, so it cannot
-                    // perturb the run either way.
-                    if telemetry.wants_ticks() {
-                        let nb = state.boards.len();
-                        let mut mean_util = 0.0;
-                        let mut queue_depth = 0u64;
-                        let mut backlog_s = 0.0;
-                        let mut boards_up = 0u32;
-                        let mut boards_placeable = 0u32;
-                        let mut throttled = 0u32;
-                        let mut blacked_out = 0u32;
-                        for b in 0..nb {
-                            mean_util += state.utilisation(b);
-                            queue_depth += state.queue_depth(b) as u64;
-                            backlog_s += state.backlog_s(b);
-                            if state.up(b) {
-                                boards_up += 1;
-                            }
-                            if state.placeable(b) {
-                                boards_placeable += 1;
-                            }
-                            if !state.boards[b].throttles.is_empty() {
-                                throttled += 1;
-                            }
-                            if state.boards[b].blackouts > 0 {
-                                blacked_out += 1;
-                            }
-                        }
-                        let (p50_s, p95_s, p99_s) = telemetry.latency_so_far();
-                        let (fb_err, fb_samples, fb_corr) = match &feedback {
-                            Some(fb) => (
-                                fb.stats.mean_abs_rel_err(),
-                                fb.stats.samples,
-                                fb.mean_correction(),
-                            ),
-                            None => (0.0, 0, 1.0),
-                        };
-                        telemetry.on_tick(WindowSample {
-                            t_s: time_s,
-                            completions: telemetry.completions(),
-                            p50_s,
-                            p95_s,
-                            p99_s,
-                            slo_miss_rate: telemetry.slo_miss_rate(),
-                            mean_util: mean_util / nb as f64,
-                            queue_depth,
-                            backlog_s,
-                            boards_up,
-                            boards_placeable,
-                            throttled,
-                            blacked_out,
-                            feedback_mean_abs_rel_err: fb_err,
-                            feedback_samples: fb_samples,
-                            feedback_mean_correction: fb_corr,
+                    if qj.redispatches >= scenario.max_redispatches {
+                        dropped.push(DroppedJob {
+                            id: qj.job.id,
+                            reason: DropReason::MigrationCap,
                         });
+                        stats.dropped += 1;
+                        stats.dropped_migration_cap += 1;
+                        *open -= 1;
+                        telemetry.on_drop(time_s, qj.job.id, DropReason::MigrationCap.name());
+                        continue;
                     }
-                    if open > 0 {
-                        ctrl.push(
-                            state.now_s + scenario.monitor_interval_s,
-                            EventKind::MonitorTick,
-                        );
-                    }
-                }
-
-                EventKind::BoardDown(b) => {
-                    stats.board_downs += 1;
-                    let b = b as usize;
-                    telemetry.on_churn(time_s, b, false);
-                    state.set_up(b, false);
-                    // The in-flight job drains; queued work is
-                    // redistributed (or dropped when nowhere is up or
-                    // the redispatch cap is exhausted).
-                    let orphans = state.boards[b].take_queued();
-                    for qj in orphans {
-                        if !state.any_placeable() {
-                            if state.any_up() {
-                                chaos_stats.blackout_drops += 1;
-                            }
-                            dropped.push(DroppedJob {
-                                id: qj.job.id,
-                                reason: DropReason::NoBoardUp,
-                            });
-                            stats.dropped += 1;
-                            stats.dropped_no_board += 1;
-                            open -= 1;
-                            telemetry.on_drop(time_s, qj.job.id, DropReason::NoBoardUp.name());
-                            continue;
-                        }
-                        if qj.redispatches >= scenario.max_redispatches {
-                            dropped.push(DroppedJob {
-                                id: qj.job.id,
-                                reason: DropReason::MigrationCap,
-                            });
-                            stats.dropped += 1;
-                            stats.dropped_migration_cap += 1;
-                            open -= 1;
-                            telemetry.on_drop(time_s, qj.job.id, DropReason::MigrationCap.name());
-                            continue;
-                        }
-                        stats.redistributions += 1;
-                        self.redispatch(
-                            exec,
-                            &mut profiles,
-                            cache,
-                            scenario,
-                            dispatcher,
-                            &mut state,
-                            &mut shards,
-                            &mut progs,
-                            &modules,
-                            &arches,
-                            feedback.as_ref(),
-                            &chaos,
-                            qj,
-                            &mut guard_bypasses,
-                            &mut scratch,
-                            &mut chaos_stats,
-                        );
-                    }
-                }
-
-                EventKind::BoardUp(b) => {
-                    stats.board_ups += 1;
-                    telemetry.on_churn(time_s, b as usize, true);
-                    state.set_up(b as usize, true);
-                }
-
-                EventKind::ThrottleStart { board, clause } => {
-                    stats.chaos_events += 1;
-                    chaos_stats.clauses[clause as usize].events += 1;
-                    telemetry.on_chaos(
-                        time_s,
-                        "throttle start",
-                        &chaos_stats.clauses[clause as usize].label,
-                        board as usize,
+                    stats.redistributions += 1;
+                    sim.redispatch(
+                        exec,
+                        &mut *profiles,
+                        &mut **cache,
+                        *scenario,
+                        &mut **dispatcher,
+                        &mut *state,
+                        &mut *shards,
+                        &mut *progs,
+                        &*modules,
+                        &*arches,
+                        feedback.as_ref(),
+                        &*chaos,
+                        qj,
+                        &mut *guard_bypasses,
+                        &mut *scratch,
+                        &mut *chaos_stats,
                     );
-                    let bs = &mut state.boards[board as usize];
-                    bs.throttles.push((clause, chaos.factors[clause as usize]));
-                    bs.recompute_slowdown();
-                    // Throttle windows apply whether or not the board
-                    // is up — a board going down mid-throttle comes
-                    // back at whatever speed its open windows dictate.
-                    chaos_stats.max_slowdown = chaos_stats.max_slowdown.max(bs.slowdown);
-                }
-
-                EventKind::ThrottleEnd { board, clause } => {
-                    stats.chaos_events += 1;
-                    chaos_stats.clauses[clause as usize].events += 1;
-                    telemetry.on_chaos(
-                        time_s,
-                        "throttle end",
-                        &chaos_stats.clauses[clause as usize].label,
-                        board as usize,
-                    );
-                    let bs = &mut state.boards[board as usize];
-                    bs.throttles.retain(|&(c, _)| c != clause);
-                    bs.recompute_slowdown();
-                }
-
-                EventKind::BlackoutStart { board, clause } => {
-                    stats.chaos_events += 1;
-                    chaos_stats.clauses[clause as usize].events += 1;
-                    telemetry.on_chaos(
-                        time_s,
-                        "blackout start",
-                        &chaos_stats.clauses[clause as usize].label,
-                        board as usize,
-                    );
-                    state.add_blackout(board as usize);
-                }
-
-                EventKind::BlackoutEnd { board, clause } => {
-                    stats.chaos_events += 1;
-                    chaos_stats.clauses[clause as usize].events += 1;
-                    telemetry.on_chaos(
-                        time_s,
-                        "blackout end",
-                        &chaos_stats.clauses[clause as usize].label,
-                        board as usize,
-                    );
-                    state.remove_blackout(board as usize);
-                }
-
-                EventKind::Completion { .. } => {
-                    unreachable!("completions live on shard queues, not the control queue")
                 }
             }
-        }
 
-        telemetry.lap_total(wall_run);
-        stats.messages = shards.messages;
-        stats.advances = shards.advances;
-        stats.par_advances = shards.par_advances;
-        assert_eq!(open, 0, "kernel exited with open jobs");
+            EventKind::BoardUp(b) => {
+                stats.board_ups += 1;
+                telemetry.on_churn(time_s, b as usize, true);
+                state.set_up(b as usize, true);
+            }
+
+            EventKind::ThrottleStart { board, clause } => {
+                stats.chaos_events += 1;
+                chaos_stats.clauses[clause as usize].events += 1;
+                telemetry.on_chaos(
+                    time_s,
+                    "throttle start",
+                    &chaos_stats.clauses[clause as usize].label,
+                    board as usize,
+                );
+                let bs = &mut state.boards[board as usize];
+                bs.throttles.push((clause, chaos.factors[clause as usize]));
+                bs.recompute_slowdown();
+                // Throttle windows apply whether or not the board
+                // is up — a board going down mid-throttle comes
+                // back at whatever speed its open windows dictate.
+                chaos_stats.max_slowdown = chaos_stats.max_slowdown.max(bs.slowdown);
+            }
+
+            EventKind::ThrottleEnd { board, clause } => {
+                stats.chaos_events += 1;
+                chaos_stats.clauses[clause as usize].events += 1;
+                telemetry.on_chaos(
+                    time_s,
+                    "throttle end",
+                    &chaos_stats.clauses[clause as usize].label,
+                    board as usize,
+                );
+                let bs = &mut state.boards[board as usize];
+                bs.throttles.retain(|&(c, _)| c != clause);
+                bs.recompute_slowdown();
+            }
+
+            EventKind::BlackoutStart { board, clause } => {
+                stats.chaos_events += 1;
+                chaos_stats.clauses[clause as usize].events += 1;
+                telemetry.on_chaos(
+                    time_s,
+                    "blackout start",
+                    &chaos_stats.clauses[clause as usize].label,
+                    board as usize,
+                );
+                state.add_blackout(board as usize);
+            }
+
+            EventKind::BlackoutEnd { board, clause } => {
+                stats.chaos_events += 1;
+                chaos_stats.clauses[clause as usize].events += 1;
+                telemetry.on_chaos(
+                    time_s,
+                    "blackout end",
+                    &chaos_stats.clauses[clause as usize].label,
+                    board as usize,
+                );
+                state.remove_blackout(board as usize);
+            }
+
+            EventKind::Arrival(_) => {
+                unreachable!("arrivals come from the cursor, not the control queue")
+            }
+
+            EventKind::Completion { .. } => {
+                unreachable!("completions live on shard queues, not the control queue")
+            }
+        }
+        true
+    }
+
+    /// Drives [`ResidentKernel::step`] until the run completes.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Has the final drain run (is the kernel ready to
+    /// [`ResidentKernel::finish`])?
+    pub fn done(&self) -> bool {
+        self.finished
+    }
+
+    /// Jobs the arrival cursor has yielded so far (including one
+    /// possibly buffered, not-yet-admitted peek).
+    pub fn position(&self) -> usize {
+        self.cursor.position()
+    }
+
+    /// Jobs completed so far.
+    pub fn completions(&self) -> u64 {
+        self.stats.completions
+    }
+
+    /// Jobs neither completed nor dropped yet (counts arrivals the
+    /// cursor has not yielded yet).
+    pub fn open(&self) -> usize {
+        self.open
+    }
+
+    /// The virtual clock, seconds.
+    pub fn now_s(&self) -> f64 {
+        self.state.now_s
+    }
+
+    /// Consumes the drained kernel: exit invariants, final sorts and
+    /// [`FleetOutcome`] assembly. Metrics come from the retained
+    /// outcomes when retention is on, from the streaming aggregates
+    /// otherwise (exact counters and sums, digest percentiles).
+    pub fn finish(mut self) -> FleetOutcome {
+        assert!(
+            self.finished,
+            "finish() called before the kernel drained; step() to completion first"
+        );
+        self.telemetry.lap_total(self.wall_run);
+        self.stats.messages = self.shards.messages;
+        self.stats.advances = self.shards.advances;
+        self.stats.par_advances = self.shards.par_advances;
+        assert_eq!(self.open, 0, "kernel exited with open jobs");
         assert_eq!(
-            stats.arrivals,
-            stats.completions + stats.dropped,
-            "event accounting out of balance: {stats:?}"
+            self.stats.arrivals,
+            self.stats.completions + self.stats.dropped,
+            "event accounting out of balance: {:?}",
+            self.stats
         );
         assert_eq!(
-            stats.dropped,
-            stats.dropped_no_board + stats.dropped_migration_cap,
-            "per-reason drop accounting out of balance: {stats:?}"
+            self.stats.dropped,
+            self.stats.dropped_no_board + self.stats.dropped_migration_cap,
+            "per-reason drop accounting out of balance: {:?}",
+            self.stats
         );
-        debug_assert!(state
+        debug_assert!(self
+            .state
             .boards
             .iter()
             .all(|s| s.queue_is_empty() && s.in_flight.is_none()));
 
-        outcomes.sort_by_key(|o| o.id);
-        dropped.sort_by_key(|d| d.id);
-        chaos_stats.throttled_starts = state.boards.iter().map(|s| s.throttled_starts).sum();
-        let mut metrics = FleetMetrics::from_outcomes(
-            &outcomes,
-            state.boards.iter().map(|s| s.busy_s),
-            train_energy_j,
-        );
-        if let Some(fb) = &feedback {
+        self.outcomes.sort_by_key(|o| o.id);
+        self.dropped.sort_by_key(|d| d.id);
+        self.chaos_stats.throttled_starts =
+            self.state.boards.iter().map(|s| s.throttled_starts).sum();
+        let mut metrics = match &self.stream {
+            Some(agg) => agg.metrics(
+                self.state.boards.iter().map(|s| s.busy_s),
+                self.train_energy_j,
+            ),
+            None => FleetMetrics::from_outcomes(
+                &self.outcomes,
+                self.state.boards.iter().map(|s| s.busy_s),
+                self.train_energy_j,
+            ),
+        };
+        if let Some(fb) = &self.feedback {
             metrics.feedback = fb.stats;
         }
         FleetOutcome {
             metrics,
-            outcomes,
-            cache: cache.stats,
-            guard_bypasses,
-            train_time_s,
-            train_energy_j,
-            backend: self.params.backend.name(),
+            outcomes: self.outcomes,
+            cache: self.cache.stats,
+            guard_bypasses: self.guard_bypasses,
+            train_time_s: self.train_time_s,
+            train_energy_j: self.train_energy_j,
+            backend: self.sim.params.backend.name(),
             calibrations: self
+                .sim
                 .replay_exec
                 .as_ref()
                 .map(|r| r.stats().calibrations)
                 .unwrap_or(0),
-            dispatch: scenario.dispatch.name(),
-            dropped,
-            kernel: stats,
-            chaos: chaos_stats,
+            dispatch: self.scenario.dispatch.name(),
+            dropped: self.dropped,
+            kernel: self.stats,
+            chaos: self.chaos_stats,
+            stream: self.stream.as_ref().map(StreamAgg::summary),
         }
     }
+}
 
+/// Kernel event counters, every field in declaration order.
+fn enc_kernel_stats(enc: &mut Enc, s: &KernelStats) {
+    enc.u64(s.events);
+    enc.u64(s.arrivals);
+    enc.u64(s.completions);
+    enc.u64(s.dropped);
+    enc.u64(s.dropped_no_board);
+    enc.u64(s.dropped_migration_cap);
+    enc.u64(s.migrations);
+    enc.u64(s.redistributions);
+    enc.u64(s.ticks);
+    enc.u64(s.board_downs);
+    enc.u64(s.board_ups);
+    enc.u64(s.chaos_events);
+    enc.u32(s.shards);
+    enc.u64(s.messages);
+    enc.u64(s.advances);
+    enc.u64(s.par_advances);
+}
+
+fn dec_kernel_stats(dec: &mut Dec<'_>) -> Result<KernelStats, CheckpointError> {
+    let stats = KernelStats {
+        events: dec.u64()?,
+        arrivals: dec.u64()?,
+        completions: dec.u64()?,
+        dropped: dec.u64()?,
+        dropped_no_board: dec.u64()?,
+        dropped_migration_cap: dec.u64()?,
+        migrations: dec.u64()?,
+        redistributions: dec.u64()?,
+        ticks: dec.u64()?,
+        board_downs: dec.u64()?,
+        board_ups: dec.u64()?,
+        chaos_events: dec.u64()?,
+        shards: dec.u32()?,
+        messages: dec.u64()?,
+        advances: dec.u64()?,
+        par_advances: dec.u64()?,
+    };
+    if stats.dropped != stats.dropped_no_board + stats.dropped_migration_cap {
+        return Err(CheckpointError::Corrupt(
+            "per-reason drop counters do not sum to the drop total",
+        ));
+    }
+    Ok(stats)
+}
+
+/// Chaos accounting counters. Clause labels are *not* serialised — the
+/// resuming kernel recompiles the same schedule and keeps its own
+/// labels — so a checkpoint cannot inject arbitrary strings into
+/// reports.
+fn enc_chaos_stats(enc: &mut Enc, s: &ChaosStats) {
+    enc.usize(s.clauses.len());
+    for c in &s.clauses {
+        enc.u64(c.events);
+        enc.u64(c.affected_jobs);
+    }
+    enc.u64(s.throttled_starts);
+    enc.f64(s.max_slowdown);
+    enc.u64(s.misprofiled);
+    enc.u64(s.blackout_drops);
+}
+
+/// `fresh` is the compiled schedule's zeroed accounting (labels filled
+/// in): the clause count must match it exactly.
+fn dec_chaos_stats(dec: &mut Dec<'_>, fresh: &ChaosStats) -> Result<ChaosStats, CheckpointError> {
+    let n = dec.count(16)?;
+    if n != fresh.clauses.len() {
+        return Err(CheckpointError::Corrupt(
+            "chaos clause count does not match the scenario",
+        ));
+    }
+    let mut out = fresh.clone();
+    for c in out.clauses.iter_mut() {
+        c.events = dec.u64()?;
+        c.affected_jobs = dec.u64()?;
+    }
+    out.throttled_starts = dec.u64()?;
+    out.max_slowdown = dec.f64()?;
+    if !out.max_slowdown.is_finite() || out.max_slowdown < 0.0 {
+        return Err(CheckpointError::Corrupt(
+            "chaos max_slowdown is not finite and non-negative",
+        ));
+    }
+    out.misprofiled = dec.u64()?;
+    out.blackout_drops = dec.u64()?;
+    Ok(out)
+}
+
+impl<'a, 'r> ResidentKernel<'a, 'r> {
+    /// Fingerprint of everything a checkpoint's bytes implicitly assume
+    /// about the kernel resuming them: fleet size, stream length,
+    /// scenario label and retention mode. Deliberately *excludes* the
+    /// shard count — the determinism contract makes a checkpoint taken
+    /// under K shards valid to resume under any K'.
+    fn config_fp(&self) -> u64 {
+        let mut enc = Enc::new();
+        enc.usize(self.state.len());
+        enc.usize(self.cursor.total());
+        enc.str(&self.scenario.label());
+        enc.bool(self.retain);
+        checkpoint::fnv1a(&enc.finish())
+    }
+
+    /// Serialises the complete mid-run state to a versioned,
+    /// checksummed byte buffer: cursor position, virtual clock, control
+    /// queue, per-board queues and in-flight jobs, every counter, the
+    /// policy cache, feedback EWMAs, chaos accounting and the streaming
+    /// aggregates (or retained outcomes). A kernel built over the same
+    /// configuration that [`ResidentKernel::restore`]s these bytes
+    /// continues bit-identically to the uninterrupted run — under any
+    /// shard count.
+    ///
+    /// What is *not* serialised is everything rebuildable: profile and
+    /// calibration memos, compiled programs (warm static builds are
+    /// recompiled on restore for every queued job that needs one), the
+    /// dispatch index, and telemetry (the flight recorder's
+    /// non-perturbation contract means it never affects results).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        checkpoint::header(&mut enc, self.config_fp());
+        self.cursor.save().encode(&mut enc);
+        match &self.pending {
+            None => enc.bool(false),
+            Some(j) => {
+                enc.bool(true);
+                checkpoint::enc_job_spec(&mut enc, j);
+            }
+        }
+        enc.f64(self.state.now_s);
+        self.ctrl.encode(&mut enc);
+        enc_kernel_stats(&mut enc, &self.stats);
+        for b in &self.state.boards {
+            b.encode(&mut enc);
+        }
+        enc.u64(self.shards.advances);
+        enc.u64(self.shards.par_advances);
+        enc.u64(self.shards.messages);
+        enc_chaos_stats(&mut enc, &self.chaos_stats);
+        match &self.feedback {
+            None => enc.bool(false),
+            Some(fb) => {
+                enc.bool(true);
+                fb.encode(&mut enc);
+            }
+        }
+        self.cache.encode(&mut enc);
+        enc.f64(self.train_time_s);
+        enc.f64(self.train_energy_j);
+        enc.u64(self.guard_bypasses);
+        enc.usize(self.open);
+        if self.retain {
+            enc.usize(self.outcomes.len());
+            for o in &self.outcomes {
+                checkpoint::enc_outcome(&mut enc, o);
+            }
+        }
+        // The dropped list is small (drops are exceptional) and
+        // reported in both modes, so it is serialised unconditionally.
+        enc.usize(self.dropped.len());
+        for d in &self.dropped {
+            checkpoint::enc_dropped(&mut enc, d);
+        }
+        if let Some(s) = &self.stream {
+            s.encode(&mut enc);
+        }
+        checkpoint::seal(enc.finish())
+    }
+
+    /// Restores a [`ResidentKernel::checkpoint`] into this kernel,
+    /// which must have been built over the same configuration (cluster,
+    /// cursor, scenario, retention — fingerprinted in the header; the
+    /// shard count may differ freely). Every section is decoded and
+    /// validated into temporaries before anything is applied, so a
+    /// corrupted, truncated or mismatched checkpoint returns a
+    /// [`CheckpointError`] and leaves the kernel exactly as it was.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let payload = checkpoint::unseal(bytes)?;
+        let mut dec = Dec::new(payload);
+        checkpoint::check_header(&mut dec, self.config_fp())?;
+        let n_boards = self.state.len();
+        let n_clauses = self.chaos.factors.len();
+
+        let cursor_state = CursorState::decode(&mut dec)?;
+        let pending = if dec.bool()? {
+            Some(checkpoint::dec_job_spec(&mut dec)?)
+        } else {
+            None
+        };
+        let now_s = dec.f64()?;
+        if !now_s.is_finite() || now_s < 0.0 {
+            return Err(CheckpointError::Corrupt(
+                "virtual clock is not finite and non-negative",
+            ));
+        }
+        let ctrl = EventQueue::decode(&mut dec, n_boards, n_clauses)?;
+        let mut stats = dec_kernel_stats(&mut dec)?;
+        let mut boards = Vec::with_capacity(n_boards);
+        for _ in 0..n_boards {
+            boards.push(BoardState::decode(
+                &mut dec,
+                &self.arches.keys,
+                n_boards,
+                n_clauses,
+            )?);
+        }
+        // Queued jobs must name workloads this kernel compiled modules
+        // for (the registry check in decode is necessary, not
+        // sufficient: the cursor's pool can be narrower).
+        for board in &boards {
+            for q in board.queued() {
+                if !self.modules.contains_key(q.job.workload.name) {
+                    return Err(CheckpointError::UnknownWorkload(
+                        q.job.workload.name.to_string(),
+                    ));
+                }
+            }
+        }
+        if let Some(j) = &pending {
+            if !self.modules.contains_key(j.workload.name) {
+                return Err(CheckpointError::UnknownWorkload(
+                    j.workload.name.to_string(),
+                ));
+            }
+        }
+        let advances = dec.u64()?;
+        let par_advances = dec.u64()?;
+        let messages = dec.u64()?;
+        let chaos_stats = dec_chaos_stats(&mut dec, &self.chaos.stats)?;
+        let feedback = if dec.bool()? {
+            Some(ServiceFeedback::decode(&mut dec, &self.arches.keys)?)
+        } else {
+            None
+        };
+        if feedback.is_some() != self.scenario.feedback {
+            return Err(CheckpointError::Corrupt(
+                "feedback section does not match the scenario",
+            ));
+        }
+        let cache = PolicyCache::decode(&mut dec, &self.arches.keys)?;
+        let train_time_s = dec.f64()?;
+        let train_energy_j = dec.f64()?;
+        let guard_bypasses = dec.u64()?;
+        let open = dec.usize()?;
+        if self.cursor.total() as u64 != stats.completions + stats.dropped + open as u64 {
+            return Err(CheckpointError::Corrupt(
+                "open-job count inconsistent with completion/drop counters",
+            ));
+        }
+        let outcomes = if self.retain {
+            let n = dec.count(4)?;
+            let mut outcomes = Vec::with_capacity(n);
+            for _ in 0..n {
+                outcomes.push(checkpoint::dec_outcome(&mut dec, n_boards)?);
+            }
+            outcomes
+        } else {
+            Vec::new()
+        };
+        let n = dec.count(5)?;
+        let mut dropped = Vec::with_capacity(n);
+        for _ in 0..n {
+            dropped.push(checkpoint::dec_dropped(&mut dec)?);
+        }
+        let stream = if self.retain {
+            None
+        } else {
+            Some(StreamAgg::decode(&mut dec)?)
+        };
+        dec.finish()?;
+
+        // The cursor validates before it applies, so it is safe as the
+        // first mutation: a rejected position leaves everything
+        // untouched.
+        self.cursor.load(&cursor_state)?;
+
+        // ---- apply (infallible from here) ---------------------------
+        self.pending = pending;
+        self.state.now_s = now_s;
+        self.state.restore_boards(boards);
+        self.ctrl = ctrl;
+        // The shard count is this kernel's, not the checkpoint's: the
+        // execution plane is reconstructed, with one pending completion
+        // per busy board (same-time cross-board completions commute, so
+        // this is the only shard state the contract needs).
+        stats.shards = self.shards.len() as u32;
+        self.stats = stats;
+        self.shards = ShardSet::new(n_boards, self.sim.params.shards);
+        self.shards.restore_completions(&self.state.boards);
+        self.shards
+            .restore_counters(advances, par_advances, messages);
+        self.chaos_stats = chaos_stats;
+        self.feedback = feedback;
+        *self.cache = cache;
+        self.train_time_s = train_time_s;
+        self.train_energy_j = train_energy_j;
+        self.guard_bypasses = guard_bypasses;
+        self.open = open;
+        self.outcomes = outcomes;
+        self.dropped = dropped;
+        self.stream = stream;
+        self.finished = false;
+
+        // Warm static builds are a pure memo keyed by (workload, arch,
+        // policy version): recompile the entries every restored queued
+        // job will read when it starts. In-flight jobs carry their
+        // precomputed outcome and need no program.
+        for b in 0..n_boards {
+            for q in self.state.boards[b].queued() {
+                let module = &self.modules[q.job.workload.name];
+                ensure_static_build(
+                    &mut self.progs,
+                    module,
+                    &q.job,
+                    &q.schedule,
+                    &self.arches,
+                    b,
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FleetSim<'_> {
     // ---- admission ----------------------------------------------------------
 
     /// Refill `scratch` with per-board estimates for `job` (and the
@@ -1650,9 +2366,10 @@ fn ensure_static_build(
 }
 
 /// Fold one barrier merge into the run accounting: completions become
-/// events, outcomes accumulate, and feedback observations are applied
-/// in (completion time, job id) order so the learned state is
-/// identical for every shard count.
+/// events, outcomes accumulate (when retained) or fold into the
+/// streaming aggregates, and feedback observations are applied in
+/// (completion time, job id) order so the learned state is identical
+/// for every shard count.
 ///
 /// The flight recorder observes the merge here too — and *only* here
 /// for completion-derived telemetry: its records are sorted by the same
@@ -1662,7 +2379,7 @@ fn ensure_static_build(
 /// monotone in sim time.
 #[allow(clippy::too_many_arguments)]
 fn fold_delta(
-    delta: AdvanceDelta,
+    mut delta: AdvanceDelta,
     state: &mut ClusterState,
     stats: &mut KernelStats,
     open: &mut usize,
@@ -1672,6 +2389,8 @@ fn fold_delta(
     from_s: f64,
     to_s: f64,
     parallel: bool,
+    retain: bool,
+    stream: &mut Option<StreamAgg>,
 ) {
     // Shard threads mutate board state (completions pop queues and
     // start successors) outside the control plane's view; the boards
@@ -1700,7 +2419,22 @@ fn fold_delta(
         recs.sort_by(|a, b| a.finish_s.total_cmp(&b.finish_s).then(a.id.cmp(&b.id)));
         telemetry.on_window(from_s, to_s, parallel, &recs);
     }
-    outcomes.extend(delta.outcomes);
+    if let Some(agg) = stream {
+        // The shard fold concatenates per-shard outcome runs, whose
+        // grouping depends on the shard count; pin the streaming fold
+        // to (finish time, id) order so digest and float-sum state is
+        // bit-identical for every shard count (barriers themselves sit
+        // at control timestamps, which are shard-count-invariant).
+        delta
+            .outcomes
+            .sort_by(|a, b| a.finish_s.total_cmp(&b.finish_s).then(a.id.cmp(&b.id)));
+        for o in &delta.outcomes {
+            agg.add(o);
+        }
+    }
+    if retain {
+        outcomes.extend(delta.outcomes);
+    }
     if let Some(fb) = feedback {
         let mut obs = delta.observations;
         obs.sort_by(|x, y| x.finish_s.total_cmp(&y.finish_s).then(x.id.cmp(&y.id)));
@@ -1781,5 +2515,281 @@ mod tests {
         assert!(f.feedback);
         assert_eq!(f.max_redispatches, 3);
         assert_eq!(f.label(), "warm/online+fb");
+    }
+
+    use crate::arrival::{ArrivalProcess, GenCursor};
+    use crate::cluster::ClusterSpec;
+    use crate::dispatch::PhaseAware;
+    use crate::sim::{FleetParams, FleetSim};
+    use crate::telemetry::FlightRecorder;
+    use astro_exec::executor::BackendKind;
+    use astro_workloads::InputSize;
+
+    fn ckpt_pool() -> Vec<astro_workloads::Workload> {
+        ["swaptions", "bfs"]
+            .iter()
+            .map(|n| astro_workloads::by_name(n).unwrap())
+            .collect()
+    }
+
+    fn ckpt_scenario() -> Scenario {
+        Scenario::online(PolicyMode::Warm)
+            .with_feedback()
+            .with_churn(vec![
+                ChurnEvent {
+                    time_s: 0.002,
+                    board: 1,
+                    up: false,
+                },
+                ChurnEvent {
+                    time_s: 0.004,
+                    board: 1,
+                    up: true,
+                },
+            ])
+            .with_chaos(
+                ChaosSchedule::new()
+                    .throttle(2, 2.0, 0.001, 0.006)
+                    .blackout(vec![3], 0.002, 0.005),
+            )
+    }
+
+    fn ckpt_cursor() -> GenCursor {
+        GenCursor::new(
+            ArrivalProcess::Poisson {
+                rate_jobs_per_s: 9_000.0,
+            },
+            60,
+            &ckpt_pool(),
+            InputSize::Test,
+            (4.0, 8.0),
+            7,
+            &[],
+        )
+    }
+
+    fn ckpt_params(shards: usize) -> FleetParams {
+        let mut p = FleetParams::new(7);
+        p.backend = BackendKind::Replay;
+        p.shards = shards;
+        p
+    }
+
+    /// Everything the determinism contract pins across a
+    /// checkpoint/restore cycle under the *same* shard count.
+    fn ckpt_fingerprint(out: &FleetOutcome) -> String {
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}|{}",
+            out.metrics,
+            out.kernel,
+            out.chaos,
+            out.stream,
+            out.cache,
+            out.dropped,
+            out.guard_bypasses,
+            out.train_time_s.to_bits(),
+            out.train_energy_j.to_bits(),
+        )
+    }
+
+    /// The shard-count-agnostic slice of the fingerprint: everything
+    /// except the execution-plane counters (messages/advances vary
+    /// with K by design).
+    fn ckpt_fingerprint_any_k(out: &FleetOutcome) -> String {
+        let mut k = out.kernel;
+        k.shards = 0;
+        k.messages = 0;
+        k.advances = 0;
+        k.par_advances = 0;
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}|{}",
+            out.metrics,
+            k,
+            out.chaos,
+            out.stream,
+            out.cache,
+            out.dropped,
+            out.guard_bypasses,
+            out.train_time_s.to_bits(),
+            out.train_energy_j.to_bits(),
+        )
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_resumes_bit_identically() {
+        let cluster = ClusterSpec::heterogeneous(6);
+        let scenario = ckpt_scenario();
+
+        // Uninterrupted streaming reference.
+        let reference = {
+            let sim = FleetSim::new(&cluster, ckpt_params(2));
+            let mut cursor = ckpt_cursor();
+            let mut dispatcher = PhaseAware::default();
+            let mut cache = PolicyCache::new(8);
+            let mut telemetry = FlightRecorder::off();
+            let mut k = sim.resident(
+                &mut cursor,
+                &mut dispatcher,
+                &mut cache,
+                &scenario,
+                &mut telemetry,
+                false,
+            );
+            k.run();
+            k.finish()
+        };
+
+        // Interrupted run: step partway, checkpoint, keep going —
+        // taking the checkpoint must not perturb the run.
+        let (bytes, undisturbed) = {
+            let sim = FleetSim::new(&cluster, ckpt_params(2));
+            let mut cursor = ckpt_cursor();
+            let mut dispatcher = PhaseAware::default();
+            let mut cache = PolicyCache::new(8);
+            let mut telemetry = FlightRecorder::off();
+            let mut k = sim.resident(
+                &mut cursor,
+                &mut dispatcher,
+                &mut cache,
+                &scenario,
+                &mut telemetry,
+                false,
+            );
+            for _ in 0..40 {
+                assert!(k.step(), "fixture must checkpoint mid-run");
+            }
+            let bytes = k.checkpoint();
+            k.run();
+            (bytes, k.finish())
+        };
+        assert_eq!(ckpt_fingerprint(&reference), ckpt_fingerprint(&undisturbed));
+
+        // Restore into a fresh kernel (same config, same K) and drain.
+        let resumed = {
+            let sim = FleetSim::new(&cluster, ckpt_params(2));
+            let mut cursor = ckpt_cursor();
+            let mut dispatcher = PhaseAware::default();
+            let mut cache = PolicyCache::new(8);
+            let mut telemetry = FlightRecorder::off();
+            let mut k = sim.resident(
+                &mut cursor,
+                &mut dispatcher,
+                &mut cache,
+                &scenario,
+                &mut telemetry,
+                false,
+            );
+            k.restore(&bytes).expect("restore succeeds");
+            k.run();
+            k.finish()
+        };
+        assert_eq!(ckpt_fingerprint(&reference), ckpt_fingerprint(&resumed));
+
+        // Resume under a different shard count: everything but the
+        // execution-plane counters is still bit-identical.
+        let resumed_k5 = {
+            let sim = FleetSim::new(&cluster, ckpt_params(5));
+            let mut cursor = ckpt_cursor();
+            let mut dispatcher = PhaseAware::default();
+            let mut cache = PolicyCache::new(8);
+            let mut telemetry = FlightRecorder::off();
+            let mut k = sim.resident(
+                &mut cursor,
+                &mut dispatcher,
+                &mut cache,
+                &scenario,
+                &mut telemetry,
+                false,
+            );
+            k.restore(&bytes).expect("restore under a new K succeeds");
+            k.run();
+            k.finish()
+        };
+        assert_eq!(
+            ckpt_fingerprint_any_k(&reference),
+            ckpt_fingerprint_any_k(&resumed_k5)
+        );
+    }
+
+    #[test]
+    fn checkpoint_rejects_malformed_bytes() {
+        let cluster = ClusterSpec::heterogeneous(6);
+        let scenario = ckpt_scenario();
+        let sim = FleetSim::new(&cluster, ckpt_params(2));
+        let mut cursor = ckpt_cursor();
+        let mut dispatcher = PhaseAware::default();
+        let mut cache = PolicyCache::new(8);
+        let mut telemetry = FlightRecorder::off();
+        let mut k = sim.resident(
+            &mut cursor,
+            &mut dispatcher,
+            &mut cache,
+            &scenario,
+            &mut telemetry,
+            false,
+        );
+        for _ in 0..40 {
+            assert!(k.step());
+        }
+        let bytes = k.checkpoint();
+
+        // Any single byte flip anywhere is caught by the checksum.
+        for at in [0, 4, 12, bytes.len() / 2, bytes.len() - 9] {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x40;
+            assert!(
+                k.restore(&bad).is_err(),
+                "byte flip at {at} must be rejected"
+            );
+        }
+        // Truncation at any point is rejected.
+        for cut in [0, 7, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                k.restore(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes must be rejected"
+            );
+        }
+        // Bad magic and bad version (re-sealed so the checksum passes)
+        // fail with their specific errors.
+        let payload = &bytes[..bytes.len() - 8];
+        let mut magic = payload.to_vec();
+        magic[0] = b'X';
+        assert_eq!(
+            k.restore(&checkpoint::seal(magic)),
+            Err(CheckpointError::BadMagic)
+        );
+        let mut version = payload.to_vec();
+        version[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            k.restore(&checkpoint::seal(version)),
+            Err(CheckpointError::BadVersion { found: 99, .. })
+        ));
+        // A checkpoint from a different configuration is refused.
+        let other = {
+            let sim2 = FleetSim::new(&cluster, ckpt_params(2));
+            let mut c2 = ckpt_cursor();
+            let mut d2 = PhaseAware::default();
+            let mut cache2 = PolicyCache::new(8);
+            let mut t2 = FlightRecorder::off();
+            let s2 = Scenario::online(PolicyMode::Warm); // no feedback: different label
+            let mut k2 = sim2.resident(&mut c2, &mut d2, &mut cache2, &s2, &mut t2, false);
+            k2.step();
+            k2.checkpoint()
+        };
+        assert!(matches!(
+            k.restore(&other),
+            Err(CheckpointError::ConfigMismatch { .. })
+        ));
+
+        // Every rejection above left the kernel untouched: the good
+        // bytes still restore and the run still drains cleanly.
+        k.restore(&bytes)
+            .expect("good bytes restore after rejections");
+        k.run();
+        let out = k.finish();
+        assert_eq!(
+            out.kernel.arrivals,
+            out.kernel.completions + out.kernel.dropped
+        );
     }
 }

@@ -57,6 +57,7 @@
 pub mod arrival;
 pub mod cache;
 pub mod chaos;
+pub mod checkpoint;
 pub mod cluster;
 pub mod dispatch;
 pub mod feedback;
@@ -69,16 +70,19 @@ pub mod sim;
 pub mod state;
 pub mod telemetry;
 
-pub use arrival::ArrivalProcess;
+pub use arrival::{
+    write_trace, ArrivalCursor, ArrivalProcess, GenCursor, SliceCursor, TraceCursor,
+};
 pub use astro_exec::executor::BackendKind;
 pub use cache::{CacheDecision, CacheStats, PolicyCache, PolicyEntry};
 pub use chaos::{ChaosClause, ChaosSchedule, ChaosStats, ClauseStats, TrafficClause, MAX_SLOWDOWN};
+pub use checkpoint::{CheckpointError, CursorState};
 pub use cluster::ClusterSpec;
 pub use dispatch::{Dispatcher, EnergyAware, JobEstimates, LeastLoaded, PhaseAware};
 pub use feedback::{FeedbackStats, ServiceFeedback};
 pub use job::{classify_module, taxon_of, JobClass, JobOutcome, JobSpec, Taxon};
-pub use kernel::{ChurnEvent, Event, EventKind, EventQueue, KernelStats, Scenario};
-pub use metrics::{percentile, FleetMetrics, FleetOutcome};
+pub use kernel::{ChurnEvent, Event, EventKind, EventQueue, KernelStats, ResidentKernel, Scenario};
+pub use metrics::{percentile, FleetMetrics, FleetOutcome, StreamSummary, STREAM_WINDOW};
 pub use shard::{ShardMsg, ShardSet};
 pub use sim::{chunked_map, serial_map, FleetParams, FleetSim, PolicyMode};
 pub use state::{

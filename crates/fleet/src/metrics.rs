@@ -6,6 +6,7 @@ use crate::cache::CacheStats;
 use crate::feedback::FeedbackStats;
 use crate::job::JobOutcome;
 use crate::state::DroppedJob;
+use crate::telemetry::QuantileDigest;
 
 /// Nearest-rank percentile of an ascending-sorted slice (`q` in 0..100).
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -131,6 +132,225 @@ impl FleetMetrics {
     }
 }
 
+/// Samples the sliding latency window holds: the resident kernel's
+/// "recent tail" gauges (window p50/p95/p99) are nearest-rank
+/// percentiles over the last this-many completions.
+pub const STREAM_WINDOW: usize = 4096;
+
+/// Streaming aggregation state for the resident kernel: everything
+/// [`FleetMetrics`] needs, folded one [`JobOutcome`] at a time in
+/// (finish time, id) order at the barrier merge, so a run holds O(1)
+/// metric state instead of a retained outcome vector.
+///
+/// Counters and sums are exact (the fold order is pinned per barrier,
+/// so they are bit-identical for every shard count); percentiles come
+/// from the fixed-size [`QuantileDigest`]s, within one digest bucket
+/// of the retained-outcome nearest-rank values.
+#[derive(Clone)]
+pub(crate) struct StreamAgg {
+    /// Outcomes folded.
+    pub jobs: u64,
+    /// Sum of end-to-end latencies, seconds.
+    pub sum_latency_s: f64,
+    /// Sum of per-job energies, Joules.
+    pub sum_energy_j: f64,
+    /// Latest completion time seen, seconds.
+    pub makespan_s: f64,
+    /// Outcomes that missed their SLO.
+    pub slo_misses: u64,
+    /// Latency digest (p50/p95/p99 estimates).
+    pub latency: QuantileDigest,
+    /// Latency-to-SLO ratio digest (p99 vs SLO estimate).
+    pub slo_ratio: QuantileDigest,
+    /// Ring of the last [`STREAM_WINDOW`] latencies.
+    pub window: Vec<f64>,
+    /// Next ring slot to overwrite once the ring is full.
+    pub window_next: usize,
+}
+
+impl StreamAgg {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        StreamAgg {
+            jobs: 0,
+            sum_latency_s: 0.0,
+            sum_energy_j: 0.0,
+            makespan_s: 0.0,
+            slo_misses: 0,
+            latency: QuantileDigest::new(),
+            slo_ratio: QuantileDigest::new(),
+            window: Vec::new(),
+            window_next: 0,
+        }
+    }
+
+    /// Fold one completed outcome in (callers feed outcomes in
+    /// (finish time, id) order per barrier).
+    pub fn add(&mut self, o: &JobOutcome) {
+        let lat = o.latency_s();
+        self.jobs += 1;
+        self.sum_latency_s += lat;
+        self.sum_energy_j += o.energy_j;
+        self.makespan_s = self.makespan_s.max(o.finish_s);
+        if !o.slo_met() {
+            self.slo_misses += 1;
+        }
+        self.latency.add(lat);
+        // A non-positive SLO can never be met: clamp it into the
+        // digest's top bucket (the worst ratio), mirroring the
+        // retained path's f64::INFINITY sort key.
+        self.slo_ratio.add(if o.slo_s > 0.0 {
+            lat / o.slo_s
+        } else {
+            f64::INFINITY
+        });
+        if self.window.len() < STREAM_WINDOW {
+            self.window.push(lat);
+        } else {
+            self.window[self.window_next] = lat;
+            self.window_next = (self.window_next + 1) % STREAM_WINDOW;
+        }
+    }
+
+    /// The aggregate as [`FleetMetrics`]: counters and sums exact,
+    /// percentiles from the digests.
+    pub fn metrics(
+        &self,
+        board_busy_s: impl IntoIterator<Item = f64>,
+        extra_energy_j: f64,
+    ) -> FleetMetrics {
+        let jobs = self.jobs as usize;
+        FleetMetrics {
+            jobs,
+            makespan_s: self.makespan_s,
+            throughput_jps: if self.makespan_s > 0.0 {
+                jobs as f64 / self.makespan_s
+            } else {
+                0.0
+            },
+            mean_latency_s: if jobs == 0 {
+                0.0
+            } else {
+                self.sum_latency_s / jobs as f64
+            },
+            p50_s: self.latency.quantile(50.0),
+            p95_s: self.latency.quantile(95.0),
+            p99_s: self.latency.quantile(99.0),
+            slo_misses: self.slo_misses as usize,
+            p99_slo_ratio: self.slo_ratio.quantile(99.0),
+            total_energy_j: self.sum_energy_j + extra_energy_j,
+            feedback: FeedbackStats::default(),
+            board_util: board_busy_s
+                .into_iter()
+                .map(|b| {
+                    if self.makespan_s > 0.0 {
+                        b / self.makespan_s
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Serialise the aggregate for a kernel checkpoint.
+    pub fn encode(&self, enc: &mut crate::checkpoint::Enc) {
+        enc.u64(self.jobs);
+        enc.f64(self.sum_latency_s);
+        enc.f64(self.sum_energy_j);
+        enc.f64(self.makespan_s);
+        enc.u64(self.slo_misses);
+        self.latency.encode(enc);
+        self.slo_ratio.encode(enc);
+        enc.usize(self.window.len());
+        for &lat in &self.window {
+            enc.f64(lat);
+        }
+        enc.usize(self.window_next);
+    }
+
+    /// Decode an aggregate serialised by [`StreamAgg::encode`].
+    pub fn decode(
+        dec: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        let jobs = dec.u64()?;
+        let sum_latency_s = dec.f64()?;
+        let sum_energy_j = dec.f64()?;
+        let makespan_s = dec.f64()?;
+        let slo_misses = dec.u64()?;
+        let latency = QuantileDigest::decode(dec)?;
+        let slo_ratio = QuantileDigest::decode(dec)?;
+        let n = dec.count(8)?;
+        if n > STREAM_WINDOW {
+            return Err(CheckpointError::Corrupt(
+                "latency window longer than STREAM_WINDOW",
+            ));
+        }
+        let mut window = Vec::with_capacity(n);
+        for _ in 0..n {
+            window.push(dec.f64()?);
+        }
+        let window_next = dec.usize()?;
+        if window_next >= STREAM_WINDOW {
+            return Err(CheckpointError::Corrupt(
+                "latency window cursor out of range",
+            ));
+        }
+        Ok(StreamAgg {
+            jobs,
+            sum_latency_s,
+            sum_energy_j,
+            makespan_s,
+            slo_misses,
+            latency,
+            slo_ratio,
+            window,
+            window_next,
+        })
+    }
+
+    /// The public summary carried in [`FleetOutcome::stream`].
+    pub fn summary(&self) -> StreamSummary {
+        let mut w = self.window.clone();
+        w.sort_by(f64::total_cmp);
+        StreamSummary {
+            jobs: self.jobs,
+            window_len: w.len(),
+            window_p50_s: percentile(&w, 50.0),
+            window_p95_s: percentile(&w, 95.0),
+            window_p99_s: percentile(&w, 99.0),
+            digest_p50_s: self.latency.quantile(50.0),
+            digest_p95_s: self.latency.quantile(95.0),
+            digest_p99_s: self.latency.quantile(99.0),
+        }
+    }
+}
+
+/// What the resident kernel's streaming aggregation reports beyond
+/// [`FleetMetrics`]: the sliding-window ("recent tail") percentiles a
+/// long-horizon run watches, plus the digest estimates they complement.
+/// `None` on [`FleetOutcome`] when the run retained its outcomes.
+#[derive(Clone, Debug)]
+pub struct StreamSummary {
+    /// Outcomes folded into the streaming aggregate.
+    pub jobs: u64,
+    /// Completions currently in the sliding window (≤ [`STREAM_WINDOW`]).
+    pub window_len: usize,
+    /// Median latency over the window, seconds.
+    pub window_p50_s: f64,
+    /// 95th-percentile latency over the window, seconds.
+    pub window_p95_s: f64,
+    /// 99th-percentile latency over the window, seconds.
+    pub window_p99_s: f64,
+    /// Whole-run median latency from the digest, seconds.
+    pub digest_p50_s: f64,
+    /// Whole-run 95th-percentile latency from the digest, seconds.
+    pub digest_p95_s: f64,
+    /// Whole-run 99th-percentile latency from the digest, seconds.
+    pub digest_p99_s: f64,
+}
+
 /// Everything one scenario produces.
 #[derive(Clone, Debug)]
 pub struct FleetOutcome {
@@ -167,6 +387,10 @@ pub struct FleetOutcome {
     /// Per-chaos-clause accounting (empty when the scenario carries no
     /// [`ChaosSchedule`](crate::chaos::ChaosSchedule)).
     pub chaos: crate::chaos::ChaosStats,
+    /// Streaming-aggregation summary when the run streamed instead of
+    /// retaining outcomes (the resident kernel with retention off);
+    /// `None` on retained runs, whose `outcomes` carry everything.
+    pub stream: Option<StreamSummary>,
 }
 
 #[cfg(test)]

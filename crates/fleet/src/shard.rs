@@ -249,6 +249,41 @@ impl ShardSet {
         }
     }
 
+    /// Rebuild the per-shard completion queues after a checkpoint
+    /// restore: exactly one completion event per busy board, at the
+    /// in-flight job's already-resolved true finish time. Board order
+    /// fixes the push sequence, but any order would do — the only
+    /// events that can share a timestamp live on *different* boards
+    /// (one in-flight per board), and same-time cross-board
+    /// completions commute (see the module docs). Must be called on a
+    /// freshly-partitioned set whose queues are empty.
+    pub(crate) fn restore_completions(&mut self, boards: &[BoardState]) {
+        debug_assert_eq!(self.pending(), 0, "restore into a fresh shard set");
+        for (b, bs) in boards.iter().enumerate() {
+            if let Some(f) = &bs.in_flight {
+                let shard = self.shard_of(b);
+                self.queues[shard].push(
+                    f.outcome.finish_s,
+                    EventKind::Completion { board: b as u32 },
+                );
+            }
+        }
+        self.earliest_s = self
+            .queues
+            .iter()
+            .filter_map(|q| q.peek().map(|e| e.time_s))
+            .fold(f64::INFINITY, f64::min);
+    }
+
+    /// Restore the fan-out accounting carried across a checkpoint
+    /// (the queues themselves are rebuilt by
+    /// [`ShardSet::restore_completions`]).
+    pub(crate) fn restore_counters(&mut self, advances: u64, par_advances: u64, messages: u64) {
+        self.advances = advances;
+        self.par_advances = par_advances;
+        self.messages = messages;
+    }
+
     /// Advance every shard's completion chain to `to_s` (exclusive) and
     /// fold the per-shard deltas in shard order. `workers > 1` fans the
     /// shards out across OS threads when the pending window is deep

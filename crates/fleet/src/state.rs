@@ -297,6 +297,104 @@ impl BoardState {
         t
     }
 
+    /// Serialise this board for a kernel checkpoint. The busy-until
+    /// memo and queue epoch are *not* written: the memo is a pure cache
+    /// (a fresh board refolds to bitwise the same value) and the epoch
+    /// only orders memo validity.
+    pub(crate) fn encode(&self, enc: &mut crate::checkpoint::Enc) {
+        enc.bool(self.up);
+        enc.usize(self.queue.len());
+        for q in &self.queue {
+            crate::checkpoint::enc_queued_job(enc, q);
+        }
+        match &self.in_flight {
+            None => enc.bool(false),
+            Some(f) => {
+                enc.bool(true);
+                enc.u32(f.id);
+                crate::checkpoint::enc_taxon(enc, f.taxon);
+                enc.f64(f.start_s);
+                enc.f64(f.est_finish_s);
+                enc.f64(f.profiled_s);
+                enc.f64(f.raw_service_s);
+                crate::checkpoint::enc_outcome(enc, &f.outcome);
+            }
+        }
+        enc.usize(self.dispatched);
+        enc.usize(self.completed);
+        enc.f64(self.busy_s);
+        enc.usize(self.throttles.len());
+        for &(clause, factor) in &self.throttles {
+            enc.u32(clause);
+            enc.f64(factor);
+        }
+        enc.u32(self.blackouts);
+        enc.u64(self.throttled_starts);
+        enc.f64(self.oracle_busy_until_s);
+    }
+
+    /// Decode a board serialised by [`BoardState::encode`]. The
+    /// slowdown is refolded from the restored throttle windows —
+    /// bitwise what the uninterrupted run carries, since
+    /// [`BoardState::recompute_slowdown`] is a pure fold of the list.
+    pub(crate) fn decode(
+        dec: &mut crate::checkpoint::Dec<'_>,
+        arch_keys: &[&'static str],
+        n_boards: usize,
+        n_throttle_clauses: usize,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        let mut board = BoardState::new();
+        board.up = dec.bool()?;
+        let n = dec.count(8)?;
+        for _ in 0..n {
+            board
+                .queue
+                .push_back(crate::checkpoint::dec_queued_job(dec, arch_keys)?);
+        }
+        if dec.bool()? {
+            let id = dec.u32()?;
+            let taxon = crate::checkpoint::dec_taxon(dec)?;
+            let start_s = dec.f64()?;
+            let est_finish_s = dec.f64()?;
+            let profiled_s = dec.f64()?;
+            let raw_service_s = dec.f64()?;
+            let outcome = crate::checkpoint::dec_outcome(dec, n_boards)?;
+            if !outcome.finish_s.is_finite() {
+                return Err(CheckpointError::Corrupt(
+                    "in-flight completion time is not finite",
+                ));
+            }
+            board.in_flight = Some(InFlight {
+                id,
+                taxon,
+                start_s,
+                est_finish_s,
+                profiled_s,
+                raw_service_s,
+                outcome,
+            });
+        }
+        board.dispatched = dec.usize()?;
+        board.completed = dec.usize()?;
+        board.busy_s = dec.f64()?;
+        let n = dec.count(12)?;
+        for _ in 0..n {
+            let clause = dec.u32()?;
+            if clause as usize >= n_throttle_clauses {
+                return Err(CheckpointError::Corrupt(
+                    "throttle window names an out-of-range chaos clause",
+                ));
+            }
+            board.throttles.push((clause, dec.f64()?));
+        }
+        board.blackouts = dec.u32()?;
+        board.throttled_starts = dec.u64()?;
+        board.oracle_busy_until_s = dec.f64()?;
+        board.recompute_slowdown();
+        Ok(board)
+    }
+
     /// Refold the composed slowdown from the active throttle windows:
     /// overlapping windows compose *multiplicatively* (two 2x
     /// throttles make a 4x slowdown), clamped to
@@ -449,7 +547,13 @@ impl<'a> ClusterState<'a> {
                 },
                 // A lapsed in-flight estimate (or an idle board with
                 // queued work) folds from `now`: clock-dependent.
-                _ => BoardClass::Stale,
+                // Bucketed by lapse time (0 for idle-with-queue) so
+                // the stale set keeps a deterministic order for the
+                // cached view to rebuild from.
+                Some(f) => BoardClass::Stale {
+                    lapse_bits: f.est_finish_s.to_bits(),
+                },
+                None => BoardClass::Stale { lapse_bits: 0 },
             },
         }
     }
@@ -520,6 +624,29 @@ impl<'a> ClusterState<'a> {
         // Placeability edges move boards in and out of the dispatch
         // index (a board in no class is invisible to indexed picks).
         self.refresh_dispatch_index(b);
+    }
+
+    /// Replace every board with checkpoint-restored state, then rebuild
+    /// the derived structures that are *not* serialised: the dense
+    /// placeability mirror, its live count, and the dispatch index.
+    /// The caller must have set `now_s` to the checkpoint's clock
+    /// first — index classification is clock-dependent.
+    pub(crate) fn restore_boards(&mut self, boards: Vec<BoardState>) {
+        assert_eq!(boards.len(), self.len(), "restore with matching fleet size");
+        self.boards = boards;
+        self.n_placeable = 0;
+        for b in 0..self.boards.len() {
+            let s = &self.boards[b];
+            self.placeable[b] = s.up && s.blackouts == 0;
+            if self.placeable[b] {
+                self.n_placeable += 1;
+            }
+        }
+        if self.index.enabled {
+            self.enable_dispatch_index();
+        } else {
+            self.rebuild_dispatch_index();
+        }
     }
 
     /// Number of boards (up or down).

@@ -154,6 +154,49 @@ impl QuantileDigest {
         self.total
     }
 
+    /// Serialise the digest sparsely (only occupied buckets) for a
+    /// kernel checkpoint.
+    pub(crate) fn encode(&self, enc: &mut crate::checkpoint::Enc) {
+        let occupied = self.counts.iter().filter(|&&c| c > 0).count();
+        enc.usize(occupied);
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                enc.u32(i as u32);
+                enc.u64(c);
+            }
+        }
+        enc.u64(self.total);
+    }
+
+    /// Decode a digest serialised by [`QuantileDigest::encode`],
+    /// rejecting out-of-range bucket indices and count/total mismatches.
+    pub(crate) fn decode(
+        dec: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        let occupied = dec.count(12)?;
+        let mut d = QuantileDigest::new();
+        let mut sum = 0u64;
+        for _ in 0..occupied {
+            let i = dec.u32()? as usize;
+            if i >= DIGEST_BUCKETS {
+                return Err(CheckpointError::Corrupt("digest bucket index out of range"));
+            }
+            let c = dec.u64()?;
+            d.counts[i] = c;
+            sum = sum
+                .checked_add(c)
+                .ok_or(CheckpointError::Corrupt("digest counts overflow"))?;
+        }
+        d.total = dec.u64()?;
+        if d.total != sum {
+            return Err(CheckpointError::Corrupt(
+                "digest total disagrees with bucket counts",
+            ));
+        }
+        Ok(d)
+    }
+
     /// Nearest-rank quantile estimate (`q` in 0..100): the upper edge
     /// of the bucket holding the rank-`ceil(q/100 · n)` sample. Returns
     /// `0.0` on an empty digest, matching

@@ -137,6 +137,65 @@ fn deep_queue_churn_chaos_stress() {
     }
 }
 
+/// Systematic-underestimation adversary: a misprofile window spanning
+/// every admission corrupts all service estimates far below reality,
+/// with feedback disabled so nothing ever corrects them — every
+/// in-flight estimate lapses while work is still queued, herding most
+/// of the fleet into the index's Stale class at once (the regime that
+/// used to degrade every pick to linear stale scans). The bucketed
+/// stale view must keep picks byte-identical across shard counts, and
+/// equal to the reference scan on every single pick under the
+/// `pick_crosscheck` CI leg. Deep bursty queues keep boards stale for
+/// long stretches; the burst's shared timestamps are exactly the
+/// pattern the per-(clock, revision) view cache amortises.
+#[test]
+fn systematic_underestimation_floods_stale_class() {
+    let cluster = ClusterSpec::heterogeneous(96);
+    let jobs = ArrivalProcess::Bursty {
+        rate_jobs_per_s: 700_000.0,
+        burst: 48,
+        spread_s: 1e-6,
+    }
+    .generate(1_500, &pool(), InputSize::Test, (4.0, 9.0), 41);
+    let horizon = jobs.last().unwrap().arrival_s;
+    let chaos = ChaosSchedule::new().misprofile(None, 0.15, 0.0, 4.0 * horizon);
+    let scenario = Scenario::online(PolicyMode::Cold)
+        .with_migration_cost(1e-6)
+        .with_chaos(chaos);
+    for pick in 0..3u8 {
+        let mut reference: Option<Vec<u64>> = None;
+        for shards in [1usize, 4] {
+            let mut params = FleetParams::new(41);
+            params.backend = astro_fleet::BackendKind::Replay;
+            params.shards = shards;
+            let sim = FleetSim::new(&cluster, params);
+            let mut cache = PolicyCache::new(0);
+            let out = sim.run(&jobs, &mut *dispatcher(pick), &mut cache, &scenario);
+            assert_eq!(
+                out.outcomes.len() + out.dropped.len(),
+                1_500,
+                "accounting must balance ({})",
+                dispatcher(pick).name()
+            );
+            assert!(
+                out.chaos.misprofiled >= 1_500,
+                "the adversarial clause must corrupt every admission, got {}",
+                out.chaos.misprofiled
+            );
+            let fp = fingerprint(&out);
+            match &reference {
+                None => reference = Some(fp),
+                Some(r) => assert_eq!(
+                    r,
+                    &fp,
+                    "shard counts disagree under {} with a flooded stale class",
+                    dispatcher(pick).name()
+                ),
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
